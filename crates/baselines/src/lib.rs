@@ -1,0 +1,28 @@
+//! Baseline trainers the paper compares against (§II, §VIII).
+//!
+//! - [`planet`]: the PLANET algorithm as adopted by Spark MLlib — row
+//!   partitioning, level-synchronous node construction via one
+//!   histogram-aggregation "job" per level (`maxBins` equi-depth candidate
+//!   thresholds, default 32), split decisions broadcast back. Both the
+//!   parallel and the single-threaded variants of Table II, with per-level
+//!   stage overhead modelling Spark's job-launch cost.
+//! - [`xgb`]: an XGBoost-style booster — second-order gradients, weighted
+//!   quantile sketch candidates ('approx' mode), L2-regularised leaf
+//!   weights, shrinkage, sparsity-aware default directions, and strictly
+//!   sequential trees (the dependency that makes boosting slow to scale
+//!   with tree count, Table II(c)/IV(c)).
+//! - [`yggdrasil`]: Yggdrasil's columnar **exact** trainer with the
+//!   master-broadcast row-to-child bitvector per level — the communication
+//!   pattern the paper's delegate-worker design (section V) eliminates; used
+//!   by the ablation bench.
+//!
+//! All three charge their communication to a [`ts_netsim::NetStats`] so the
+//! benches can compare traffic shapes, not just wall-clock.
+
+pub mod planet;
+pub mod xgb;
+pub mod yggdrasil;
+
+pub use planet::{PlanetConfig, PlanetStats, PlanetTrainer};
+pub use xgb::{Objective, XgbConfig, XgbModel, XgbTrainer};
+pub use yggdrasil::{YggdrasilConfig, YggdrasilStats, YggdrasilTrainer};

@@ -1,0 +1,105 @@
+//! Property tests for the baseline trainers: structural invariants of
+//! PLANET trees and XGBoost models on arbitrary data.
+
+use proptest::prelude::*;
+use ts_baselines::{Objective, PlanetConfig, PlanetTrainer, XgbConfig, XgbTrainer};
+use ts_datatable::synth::{generate, SynthSpec};
+use ts_datatable::Task;
+
+fn any_class_spec() -> impl Strategy<Value = SynthSpec> {
+    (50usize..600, 1usize..5, 0usize..3, 0u64..2_000).prop_map(
+        |(rows, numeric, categorical, seed)| SynthSpec {
+            rows,
+            numeric,
+            categorical,
+            cat_cardinality: 4,
+            task: Task::Classification { n_classes: 2 },
+            missing_rate: 0.05,
+            noise: 0.1,
+            concept_depth: 4,
+            latent: 0,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// PLANET trees respect dmax, children partition parents, and every
+    /// split threshold is one of the (at most max_bins - 1) candidates —
+    /// the defining property of the approximation.
+    #[test]
+    fn planet_tree_structure(spec in any_class_spec(), max_bins in 2usize..16) {
+        let t = generate(&spec);
+        let trainer = PlanetTrainer::new(PlanetConfig {
+            n_machines: 2,
+            threads_per_machine: 1,
+            max_bins,
+            dmax: 5,
+            ..Default::default()
+        });
+        let all: Vec<usize> = (0..t.n_attrs()).collect();
+        let (model, stats) = trainer.train_tree(&t, &all);
+        prop_assert!(model.max_depth() <= 5);
+        prop_assert!(stats.levels <= 5);
+        for n in &model.nodes {
+            if let Some((_, l, r)) = &n.split {
+                prop_assert_eq!(
+                    model.nodes[*l].n_rows + model.nodes[*r].n_rows,
+                    n.n_rows
+                );
+            }
+        }
+        // Prediction over the training table never panics, missing included.
+        let _ = model.predict_labels(&t);
+    }
+
+    /// XGBoost models are finite and improve (or tie) training log-loss as
+    /// rounds are added.
+    #[test]
+    fn xgb_training_loss_monotonicity(spec in any_class_spec()) {
+        let t = generate(&spec);
+        let loss_at = |rounds: usize| {
+            let trainer = XgbTrainer::new(XgbConfig {
+                n_rounds: rounds,
+                threads: 1,
+                max_depth: 3,
+                ..XgbConfig::new(Objective::Logistic)
+            });
+            let m = trainer.train(&t);
+            let margins = m.predict_margins(&t);
+            let probs: Vec<f64> =
+                margins.iter().map(|v| 1.0 / (1.0 + (-v[0]).exp())).collect();
+            prop_assert!(probs.iter().all(|p| p.is_finite()));
+            Ok(ts_datatable::metrics::log_loss(&probs, t.labels().as_class().unwrap()))
+        };
+        let l1 = loss_at(1)?;
+        let l6 = loss_at(6)?;
+        // Gradient descent on training loss: more rounds never hurt the
+        // TRAINING loss beyond float noise.
+        prop_assert!(l6 <= l1 + 1e-6, "training log-loss rose: {} -> {}", l1, l6);
+    }
+
+    /// The Yggdrasil baseline equals the local exact trainer on arbitrary
+    /// data (the exactness triangle, randomised).
+    #[test]
+    fn yggdrasil_exactness_randomised(spec in any_class_spec()) {
+        use ts_baselines::{YggdrasilConfig, YggdrasilTrainer};
+        use ts_tree::{train_tree, TrainParams};
+        let t = generate(&spec);
+        let all: Vec<usize> = (0..t.n_attrs()).collect();
+        let (model, _) = YggdrasilTrainer::new(YggdrasilConfig {
+            dmax: 6,
+            ..Default::default()
+        })
+        .train_tree(&t, &all);
+        let reference = train_tree(
+            &t,
+            &all,
+            &TrainParams { dmax: 6, ..TrainParams::for_task(t.schema().task) },
+            0,
+        );
+        prop_assert_eq!(model.canonicalize(), reference.canonicalize());
+    }
+}

@@ -1,0 +1,61 @@
+//! §V ablation: delegate-worker row-index serving vs master-centric
+//! alternatives.
+//!
+//! Compares, for the same exact single-tree training job:
+//!
+//! - **TreeServer**: the master ships only plans/conditions; `Ix` moves
+//!   worker-to-worker via delegate workers.
+//! - **Yggdrasil-style**: exact columnar training, but the master broadcasts
+//!   a row->child bitvector to every machine at every level — the "single
+//!   point of transmission bottleneck" the paper §II calls out.
+//!
+//! Shape to reproduce: the TreeServer master's outbound bytes are small and
+//! roughly independent of |D|, while the Yggdrasil master's outbound grows
+//! with rows x machines x levels.
+
+use treeserver::{Cluster, JobSpec};
+use ts_baselines::{YggdrasilConfig, YggdrasilTrainer};
+use ts_bench::*;
+use ts_datatable::synth::PaperDataset;
+
+fn main() {
+    print_header("Ablation (§V): delegate workers vs master bitvector broadcast", "");
+    println!(
+        "{:<12} {:>8} | {:>16} {:>16} | {:>18}",
+        "Dataset", "rows", "TS master out", "TS workers out", "Ygg master out"
+    );
+    for d in [PaperDataset::MsLtrc, PaperDataset::Kdd99, PaperDataset::HiggsBoson, PaperDataset::LoanY1] {
+        let (train, _) = dataset(d);
+        let task = train.schema().task;
+
+        let mut cfg = ts_config(train.n_rows(), 8, 4);
+        cfg.work_ns_per_unit = 0; // traffic comparison, not timing
+        let cluster = Cluster::launch(cfg, &train);
+        let _ = cluster.train(JobSpec::decision_tree(task));
+        let report = cluster.shutdown();
+        let ts_master = report.master_sent_bytes;
+        let ts_workers: u64 = report.per_node[1..].iter().map(|s| s.sent_bytes).sum();
+
+        let ycfg = YggdrasilConfig {
+            n_machines: 8,
+            impurity: if task.is_classification() {
+                ts_splits::Impurity::Gini
+            } else {
+                ts_splits::Impurity::Variance
+            },
+            ..Default::default()
+        };
+        let trainer = YggdrasilTrainer::new(ycfg);
+        let all: Vec<usize> = (0..train.n_attrs()).collect();
+        let (_, ystats) = trainer.train_tree(&train, &all);
+
+        println!(
+            "{:<12} {:>8} | {:>13} KB {:>13} KB | {:>15} KB",
+            d.name(),
+            train.n_rows(),
+            ts_master / 1024,
+            ts_workers / 1024,
+            ystats.master_broadcast_bytes / 1024,
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! §VIII "Fairness of Implementation": single-threaded, single-tree
+//! training — TreeServer's exact trainer vs the MLlib-style histogram
+//! trainer, both on one thread with no cluster.
+//!
+//! Paper shape: comparable times (TreeServer's per-tree work is NOT cheaper
+//! serially — its wins come from the system design, not the language/
+//! implementation). The exact sorted scan is inherently somewhat more
+//! expensive than a binned pass.
+
+use std::time::Instant;
+use ts_bench::*;
+use ts_datatable::synth::PaperDataset;
+use ts_tree::{train_tree, TrainParams};
+
+fn main() {
+    print_header("Fairness: single-threaded single-tree", "no cluster, no work model");
+    println!(
+        "{:<12} {:>8} | {:>12} | {:>12}",
+        "Dataset", "rows", "TS exact (s)", "ML hist (s)"
+    );
+    for d in [PaperDataset::HiggsBoson, PaperDataset::MsLtrc, PaperDataset::LoanY1] {
+        let (train, _) = dataset(d);
+        let all: Vec<usize> = (0..train.n_attrs()).collect();
+        let params = TrainParams::for_task(train.schema().task);
+
+        let t0 = Instant::now();
+        let _ = train_tree(&train, &all, &params, 0);
+        let ts_secs = t0.elapsed().as_secs_f64();
+
+        let mut cfg = planet_config(train.schema().task, 1, 1);
+        cfg.stage_overhead = std::time::Duration::ZERO;
+        cfg.work_ns_per_unit = 0;
+        let trainer = ts_baselines::PlanetTrainer::new(cfg);
+        let t0 = Instant::now();
+        let _ = trainer.train_tree(&train, &all);
+        let ml_secs = t0.elapsed().as_secs_f64();
+
+        println!(
+            "{:<12} {:>8} | {:>12.3} | {:>12.3}",
+            d.name(),
+            train.n_rows(),
+            ts_secs,
+            ml_secs
+        );
+    }
+}

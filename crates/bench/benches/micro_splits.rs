@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks of the split kernels: the inner loops whose
+//! cost model (`|Ix| * |C| * log|Ix|`) drives the §VI worker assignment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use ts_splits::exact::{best_cat_split_classification, best_numeric_split};
+use ts_splits::histogram::{BinCuts, NumericHistogram};
+use ts_splits::impurity::{Impurity, LabelView};
+use ts_splits::sketch::QuantileSketch;
+
+fn data(n: usize, seed: u64) -> (Vec<f64>, Vec<u32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let values: Vec<f64> = (0..n).map(|_| rng.gen_range(-100.0..100.0)).collect();
+    let ys: Vec<u32> = values.iter().map(|&v| u32::from(v > 3.0)).collect();
+    (values, ys)
+}
+
+fn bench_exact_numeric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exact_numeric_split");
+    for n in [1_000usize, 10_000, 100_000] {
+        let (values, ys) = data(n, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                best_numeric_split(&values, LabelView::Class(&ys, 2), Impurity::Gini)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_histogram_pass(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histogram_pass");
+    for n in [10_000usize, 100_000] {
+        let (values, ys) = data(n, 2);
+        let cuts = BinCuts::equi_depth(&values, 32);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut h = NumericHistogram::new_class(cuts.n_bins(), 2);
+                for (&v, &y) in values.iter().zip(&ys) {
+                    h.add_class(&cuts, v, y);
+                }
+                h.best_split(&cuts, Impurity::Gini)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_categorical(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 100_000;
+    let codes: Vec<u32> = (0..n).map(|_| rng.gen_range(0..32)).collect();
+    let ys: Vec<u32> = codes.iter().map(|&c| u32::from(c % 3 == 0)).collect();
+    c.bench_function("exact_categorical_split_100k_32vals", |b| {
+        b.iter(|| best_cat_split_classification(&codes, 32, &ys, 2, Impurity::Gini))
+    });
+}
+
+fn bench_sketch(c: &mut Criterion) {
+    let (values, _) = data(100_000, 4);
+    c.bench_function("quantile_sketch_build_100k", |b| {
+        b.iter(|| {
+            let mut s = QuantileSketch::new(128);
+            for &v in &values {
+                s.push(v, 1.0);
+            }
+            s.cut_points(32)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_exact_numeric,
+    bench_histogram_pass,
+    bench_categorical,
+    bench_sketch
+);
+criterion_main!(benches);

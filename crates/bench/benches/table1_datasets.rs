@@ -1,0 +1,40 @@
+//! Table I: the dataset inventory — paper shapes vs the generated
+//! shape-matched synthetics actually used at bench scale.
+
+use ts_bench::*;
+use ts_datatable::synth::PaperDataset;
+use ts_datatable::Task;
+
+fn main() {
+    print_header("Table I: datasets (paper shape -> generated shape)", "");
+    println!(
+        "{:<12} {:>12} {:>6} {:>6} {:<14} | {:>9} {:>6} {:>6} {:>8}",
+        "Dataset", "paper rows", "#num", "#cat", "problem", "gen rows", "#num", "#cat", "missing"
+    );
+    for d in PaperDataset::ALL {
+        let (num, cat) = d.paper_attrs();
+        let problem = match d.task() {
+            Task::Regression => "regression".to_string(),
+            Task::Classification { n_classes } => format!("class. ({n_classes})"),
+        };
+        let t = d.generate(BASE_SCALE * env_scale(), 0xBEEF);
+        let missing: usize = (0..t.n_attrs()).map(|a| t.column(a).n_missing()).sum();
+        let gen_num = (0..t.n_attrs())
+            .filter(|&a| !t.schema().attr_type(a).is_categorical())
+            .count();
+        println!(
+            "{:<12} {:>12} {:>6} {:>6} {:<14} | {:>9} {:>6} {:>6} {:>8}",
+            d.name(),
+            d.paper_rows(),
+            num,
+            cat,
+            problem,
+            t.n_rows(),
+            gen_num,
+            t.n_attrs() - gen_num,
+            missing,
+        );
+        assert_eq!(gen_num, num, "numeric column count must match Table I");
+        assert_eq!(t.n_attrs() - gen_num, cat, "categorical count must match Table I");
+    }
+}

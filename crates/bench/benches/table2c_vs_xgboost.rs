@@ -1,0 +1,45 @@
+//! Table II(c): 100 trees — TreeServer random forest (bagging, trees train
+//! concurrently) vs XGBoost (boosting, trees strictly sequential).
+//!
+//! Paper shape: XGBoost is dramatically slower (up to ~56x) because boosted
+//! trees depend on each other, while its accuracy is higher on some
+//! datasets thanks to the second-order objective.
+
+use treeserver::JobSpec;
+use ts_bench::*;
+use ts_datatable::synth::PaperDataset;
+
+fn main() {
+    let n_trees = scaled_trees(100);
+    print_header(
+        "Table II(c): TreeServer RF vs XGBoost",
+        &format!("{n_trees} trees"),
+    );
+    println!(
+        "{:<12} {:>8} | {:>9} {:>9} | {:>9} {:>9} | {:>7}",
+        "Dataset", "rows", "TS s", "TS acc", "XGB s", "XGB acc", "x slow"
+    );
+    for d in PaperDataset::ALL {
+        let (train, test) = dataset(d);
+        let task = train.schema().task;
+
+        let ts = run_treeserver(
+            &train,
+            &test,
+            ts_config(train.n_rows(), 15, 10),
+            JobSpec::random_forest(task, n_trees).with_seed(5),
+        );
+        let xgb = run_xgb(&train, &test, xgb_config(task, n_trees));
+
+        println!(
+            "{:<12} {:>8} | {:>9.2} {:>9} | {:>9.2} {:>9} | {:>7.1}",
+            d.name(),
+            train.n_rows(),
+            ts.secs,
+            fmt_metric(task, ts.metric),
+            xgb.secs,
+            fmt_metric(task, xgb.metric),
+            xgb.secs / ts.secs,
+        );
+    }
+}

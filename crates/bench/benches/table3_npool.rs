@@ -1,0 +1,40 @@
+//! Table III(a)-(c): effect of the tree pool size `n_pool` on running time
+//! and peak worker memory (20-tree random forest).
+//!
+//! Paper shape: time drops steeply from n_pool = 1 and flattens once the
+//! compers saturate; memory grows only slightly with n_pool because column
+//! storage dominates.
+
+use treeserver::{Cluster, JobSpec};
+use ts_bench::*;
+use ts_datatable::synth::PaperDataset;
+
+fn main() {
+    let n_trees = scaled_trees(20);
+    print_header("Table III(a)-(c): effect of n_pool", &format!("{n_trees}-tree forest"));
+    for d in [PaperDataset::Allstate, PaperDataset::HiggsBoson, PaperDataset::Kdd99] {
+        let (train, _test) = dataset_scaled(d, 0.25);
+        println!("\n--- {} ({} rows) ---", d.name(), train.n_rows());
+        println!("{:>7} {:>10} {:>12}", "n_pool", "time (s)", "mem (MB)");
+        for n_pool in [1usize, 5, 10, 20] {
+            let mut cfg = ts_config(train.n_rows(), 15, 10);
+            // Heavy modeled work so scheduling effects, not the single-core
+            // real-compute floor, dominate (DESIGN.md section 2).
+            cfg.work_ns_per_unit = WORK_NS * 100;
+            cfg.n_pool = n_pool;
+            let cluster = Cluster::launch(cfg, &train);
+            let t0 = std::time::Instant::now();
+            let _ = cluster.train(
+                JobSpec::random_forest(train.schema().task, n_trees).with_seed(1),
+            );
+            let secs = t0.elapsed().as_secs_f64();
+            let report = cluster.shutdown();
+            println!(
+                "{:>7} {:>10.2} {:>12.2}",
+                n_pool,
+                secs,
+                report.avg_peak_mem_bytes / 1e6
+            );
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Table III(d): effect of the depth-first threshold `tau_dfs` (20-tree
+//! forest; tau_D fixed at its default).
+//!
+//! Paper shape: a U-curve — too small starves initial parallelism, too
+//! large delays CPU-bound subtree-tasks; the default (scaled) sits near the
+//! minimum. The sweep also covers the pure-BFS / pure-DFS ablation
+//! (DESIGN.md section 6): the extremes of the sweep ARE those schedules.
+
+use treeserver::{Cluster, JobSpec};
+use ts_bench::*;
+use ts_datatable::synth::PaperDataset;
+
+fn main() {
+    let n_trees = scaled_trees(20);
+    print_header("Table III(d): effect of tau_dfs", &format!("{n_trees}-tree forest"));
+    for d in [PaperDataset::Allstate, PaperDataset::HiggsBoson, PaperDataset::Kdd99] {
+        let (train, _test) = dataset_scaled(d, 0.25);
+        let n = train.n_rows() as u64;
+        println!("\n--- {} ({} rows) ---", d.name(), train.n_rows());
+        println!("{:>12} {:>10}", "tau_dfs", "time (s)");
+        // Paper sweeps 20k..150k around the 80k default on multi-million-row
+        // data; sweep the same ratios of n, plus the BFS/DFS extremes.
+        for (label, tau_dfs) in [
+            ("1 (pure BFS)", 1),
+            ("n/20", n / 20),
+            ("n/8", n / 8),
+            ("n/5", n / 5),
+            ("n/2", n / 2),
+            ("n (pure DFS)", n),
+        ] {
+            let mut cfg = ts_config(train.n_rows(), 15, 10);
+            // Heavy modeled work so scheduling effects, not the single-core
+            // real-compute floor, dominate (DESIGN.md section 2).
+            cfg.work_ns_per_unit = WORK_NS * 100;
+            cfg.tau_dfs = tau_dfs.max(1);
+            let cluster = Cluster::launch(cfg, &train);
+            let t0 = std::time::Instant::now();
+            let _ = cluster.train(
+                JobSpec::random_forest(train.schema().task, n_trees).with_seed(1),
+            );
+            let secs = t0.elapsed().as_secs_f64();
+            cluster.shutdown();
+            println!("{label:>12} {secs:>10.2}");
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Table III(e): effect of the subtree-task threshold `tau_D` (20-tree
+//! forest; tau_dfs fixed at its default).
+//!
+//! Paper shape: a U-curve — tiny subtree-tasks can't saturate compers,
+//! huge ones prevent load balancing. tau_D -> 0 is also the
+//! "subtree-tasks off" ablation of DESIGN.md section 6.
+
+use treeserver::{Cluster, JobSpec};
+use ts_bench::*;
+use ts_datatable::synth::PaperDataset;
+
+fn main() {
+    let n_trees = scaled_trees(20);
+    print_header("Table III(e): effect of tau_D", &format!("{n_trees}-tree forest"));
+    for d in [PaperDataset::Allstate, PaperDataset::HiggsBoson, PaperDataset::Kdd99] {
+        let (train, _test) = dataset_scaled(d, 0.25);
+        let n = train.n_rows() as u64;
+        println!("\n--- {} ({} rows) ---", d.name(), train.n_rows());
+        println!("{:>16} {:>10}", "tau_D", "time (s)");
+        for (label, tau_d) in [
+            ("64 (no subtree)", 64),
+            ("n/100", n / 100),
+            ("n/40", n / 40),
+            ("n/20", n / 20),
+            ("n/10", n / 10),
+            ("n/4", n / 4),
+        ] {
+            let mut cfg = ts_config(train.n_rows(), 15, 10);
+            // Heavy modeled work so scheduling effects, not the single-core
+            // real-compute floor, dominate (DESIGN.md section 2).
+            cfg.work_ns_per_unit = WORK_NS * 100;
+            cfg.tau_d = tau_d.max(1);
+            cfg.tau_dfs = (tau_d.max(1) * 4).max(cfg.tau_dfs);
+            let cluster = Cluster::launch(cfg, &train);
+            let t0 = std::time::Instant::now();
+            let _ = cluster.train(
+                JobSpec::random_forest(train.schema().task, n_trees).with_seed(1),
+            );
+            let secs = t0.elapsed().as_secs_f64();
+            cluster.shutdown();
+            println!("{label:>16} {secs:>10.2}");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Table IV(a)-(b): running time vs number of trees (500..2000 in the
+//! paper; scaled here) — TreeServer vs MLlib on MS_LTRC- and c14B-shaped
+//! data.
+//!
+//! Paper shape: both systems scale linearly in tree count (cores are
+//! saturated), TreeServer several times faster throughout; accuracy is
+//! flat in the tree count for bagging.
+
+use treeserver::JobSpec;
+use ts_bench::*;
+use ts_datatable::synth::PaperDataset;
+
+fn main() {
+    // The paper's 500..2000 trees scaled by a tenth keeps the bench minutes.
+    let counts: Vec<usize> = [50usize, 100, 150, 200]
+        .iter()
+        .map(|&c| scaled_trees(c))
+        .collect();
+    print_header("Table IV(a)-(b): time vs number of trees", "counts = paper/10");
+    for d in [PaperDataset::MsLtrc, PaperDataset::C14B] {
+        let (train, test) = dataset(d);
+        let task = train.schema().task;
+        println!("\n--- {} ({} rows) ---", d.name(), train.n_rows());
+        println!(
+            "{:>7} | {:>9} {:>9} | {:>9} {:>9}",
+            "#trees", "TS s", "TS acc", "MLlib s", "ML acc"
+        );
+        for &n_trees in &counts {
+            let ts = run_treeserver(
+                &train,
+                &test,
+                ts_config(train.n_rows(), 15, 10),
+                JobSpec::random_forest(task, n_trees).with_seed(2),
+            );
+            let ml = run_planet_forest(&train, &test, planet_config(task, 15, 10), n_trees, 2);
+            println!(
+                "{:>7} | {:>9.2} {:>9} | {:>9.2} {:>9}",
+                n_trees,
+                ts.secs,
+                fmt_metric(task, ts.metric),
+                ml.secs,
+                fmt_metric(task, ml.metric),
+            );
+        }
+    }
+}

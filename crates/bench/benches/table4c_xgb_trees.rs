@@ -1,0 +1,24 @@
+//! Table IV(c): XGBoost accuracy vs number of trees on MS_LTRC- and
+//! c14B-shaped data.
+//!
+//! Paper shape: boosting keeps improving as trees are added (unlike
+//! bagging, whose accuracy is flat in Table IV(a)-(b)), while the time
+//! grows linearly because the trees are sequential.
+
+use ts_bench::*;
+use ts_datatable::synth::PaperDataset;
+
+fn main() {
+    print_header("Table IV(c): XGBoost, accuracy vs trees", "");
+    for d in [PaperDataset::MsLtrc, PaperDataset::C14B] {
+        let (train, test) = dataset(d);
+        let task = train.schema().task;
+        println!("\n--- {} ({} rows) ---", d.name(), train.n_rows());
+        println!("{:>7} {:>9} {:>9}", "#trees", "time (s)", "accuracy");
+        for n in [10usize, 20, 40, 80, 100] {
+            let n = scaled_trees(n);
+            let r = run_xgb(&train, &test, xgb_config(task, n));
+            println!("{:>7} {:>9.2} {:>9}", n, r.secs, fmt_metric(task, r.metric));
+        }
+    }
+}

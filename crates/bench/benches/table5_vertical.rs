@@ -1,0 +1,41 @@
+//! Table V: vertical scalability — running time vs compers/threads per
+//! machine for TreeServer and MLlib (20-tree forest; the paper also runs
+//! 200 trees — scale with TS_TREES_SCALE).
+//!
+//! Paper shape: both systems speed up with threads and flatten by ~8-10
+//! threads; TreeServer is several times faster at every width.
+
+use treeserver::JobSpec;
+use ts_bench::*;
+use ts_datatable::synth::PaperDataset;
+
+fn main() {
+    let n_trees = scaled_trees(20);
+    print_header("Table V: vertical scalability (threads per machine)", &format!("{n_trees} trees"));
+    for d in [PaperDataset::Allstate, PaperDataset::HiggsBoson] {
+        let (train, test) = dataset_scaled(d, 0.25);
+        let task = train.schema().task;
+        println!("\n--- {} ({} rows) ---", d.name(), train.n_rows());
+        println!("{:>9} | {:>11} | {:>11}", "#threads", "TS s", "MLlib s");
+        for threads in [1usize, 2, 4, 8, 10] {
+            let mut cfg = ts_config(train.n_rows(), 15, threads);
+            cfg.tau_d = (train.n_rows() as u64 / 100).max(200);
+            cfg.tau_dfs = cfg.tau_d * 4;
+            cfg.work_ns_per_unit = WORK_NS * 100;
+            let ts = run_treeserver(
+                &train,
+                &test,
+                cfg,
+                JobSpec::random_forest(task, n_trees).with_seed(4),
+            );
+            let ml = run_planet_forest(
+                &train,
+                &test,
+                { let mut c = planet_config(task, 15, threads); c.work_ns_per_unit = WORK_NS * 100; c },
+                n_trees,
+                4,
+            );
+            println!("{:>9} | {:>11.2} | {:>11.2}", threads, ts.secs, ml.secs);
+        }
+    }
+}

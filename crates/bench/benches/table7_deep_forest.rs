@@ -1,0 +1,54 @@
+//! Table VII: the deep-forest case study — per-step training/test times and
+//! per-layer test accuracy on MNIST-like images.
+//!
+//! Paper shape: MGS training dominates the wall clock (win7train largest),
+//! extract steps are much cheaper, CF layers train fast, and per-layer test
+//! accuracy is high and stable across CF0..CF5.
+
+use treeserver::ClusterConfig;
+use ts_bench::*;
+use ts_datatable::synth::mnist_like;
+use ts_deepforest::{DeepForest, DeepForestConfig};
+
+fn main() {
+    let n_train = (1_500.0 * env_scale()) as usize;
+    let n_test = (500.0 * env_scale()) as usize;
+    print_header(
+        "Table VII: deep forest on MNIST-like images",
+        &format!("{n_train} train / {n_test} test"),
+    );
+    let (train, test) = mnist_like(n_train, n_test, 7);
+    let cfg = DeepForestConfig {
+        windows: vec![3, 5, 7],
+        stride: 3,
+        mgs_forests: 2,
+        mgs_trees: scaled_trees(20),
+        mgs_dmax: 10,
+        cf_layers: 6,
+        cf_forests: 2,
+        cf_trees: scaled_trees(20),
+        cf_dmax: u32::MAX,
+        cluster: ClusterConfig {
+            n_workers: 8,
+            compers_per_worker: 8,
+            tau_d: 20_000,
+            tau_dfs: 80_000,
+            work_ns_per_unit: WORK_NS,
+            ..Default::default()
+        },
+        seed: 3,
+    };
+    let (model, reports) = DeepForest::train(cfg, &train, &test);
+    println!("{:<14} {:>12} {:>12} {:>10}", "Step", "Train", "Test", "Accuracy");
+    for r in &reports {
+        println!(
+            "{:<14} {:>12} {:>12} {:>10}",
+            r.step,
+            format!("{:.2?}", r.train_time),
+            r.test_time.map_or("-".into(), |t| format!("{t:.2?}")),
+            r.test_accuracy
+                .map_or("-".into(), |a| format!("{:.2}%", a * 100.0)),
+        );
+    }
+    println!("total trees: {}", model.n_trees());
+}

@@ -1,0 +1,249 @@
+//! Shared harness for the table-reproduction benches.
+//!
+//! Every table and figure of the paper's evaluation (§VIII) has a
+//! `harness = false` bench target in this crate that regenerates the same
+//! rows on the simulated substrate. Absolute numbers differ from the paper's
+//! testbed (see DESIGN.md §2 — scaled datasets, simulated cluster, modeled
+//! compute); the *shape* (who wins, by what factor, where curves flatten)
+//! is the reproduction target recorded in EXPERIMENTS.md.
+//!
+//! Environment knobs:
+//!
+//! - `TS_SCALE` (default 1.0): multiplies dataset sizes. `TS_SCALE=5` runs
+//!   the whole suite on 5× more rows.
+//! - `TS_TREES_SCALE` (default 1.0): multiplies ensemble sizes in the
+//!   heavyweight ensemble benches.
+
+use std::time::{Duration, Instant};
+use treeserver::{Cluster, ClusterConfig, JobResult, JobSpec};
+use ts_baselines::{PlanetConfig, PlanetTrainer, XgbConfig, XgbTrainer};
+use ts_datatable::metrics::{accuracy, rmse};
+use ts_datatable::synth::PaperDataset;
+use ts_datatable::{DataTable, Task};
+use ts_netsim::NetModel;
+use ts_splits::Impurity;
+
+/// Base dataset scale: paper row counts × this (then clamped by the
+/// generator to `[2_000, 400_000]`).
+pub const BASE_SCALE: f64 = 2e-3;
+
+/// Modeled compute cost used by all timed benches (ns per row-attribute
+/// touch). See `ClusterConfig::work_ns_per_unit`.
+pub const WORK_NS: u64 = 40;
+
+/// Per-level job-launch overhead charged to the MLlib baseline (Spark stage
+/// scheduling; real Spark stages cost tens to hundreds of ms).
+pub const STAGE_OVERHEAD: Duration = Duration::from_millis(120);
+
+/// The user-set dataset scale factor.
+pub fn env_scale() -> f64 {
+    std::env::var("TS_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// The user-set ensemble scale factor.
+pub fn env_trees_scale() -> f64 {
+    std::env::var("TS_TREES_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Scales a tree count, keeping at least 2.
+pub fn scaled_trees(n: usize) -> usize {
+    ((n as f64 * env_trees_scale()) as usize).max(2)
+}
+
+/// Generates the shape-matched train/test split of a paper dataset.
+pub fn dataset(d: PaperDataset) -> (DataTable, DataTable) {
+    dataset_scaled(d, 1.0)
+}
+
+/// Like [`dataset`] but with an extra multiplier — the scalability tables
+/// (V/VI) need enough rows that compute, not fixed overheads, dominates.
+pub fn dataset_scaled(d: PaperDataset, mult: f64) -> (DataTable, DataTable) {
+    let table = d.generate(BASE_SCALE * env_scale() * mult, 0xBEEF);
+    table.train_test_split(0.8, 7)
+}
+
+/// The default TreeServer cluster shape for benches: the paper's 15 workers
+/// × 10 compers on a simulated 1 GigE, with thresholds scaled to the data
+/// size by the same ratio the paper's defaults have to its datasets.
+pub fn ts_config(n_rows: usize, workers: usize, compers: usize) -> ClusterConfig {
+    let tau_d = (n_rows as u64 / 20).max(500);
+    ClusterConfig {
+        n_workers: workers,
+        compers_per_worker: compers,
+        replication: 2.min(workers),
+        tau_d,
+        tau_dfs: tau_d * 4,
+        n_pool: 200,
+        net: NetModel {
+            bandwidth_bytes_per_sec: Some(125_000_000.0),
+            latency: Duration::from_micros(15),
+        },
+        work_ns_per_unit: WORK_NS,
+        ..Default::default()
+    }
+}
+
+/// The MLlib-style baseline config matching the cluster shape.
+pub fn planet_config(task: Task, machines: usize, threads: usize) -> PlanetConfig {
+    PlanetConfig {
+        n_machines: machines,
+        threads_per_machine: threads,
+        max_bins: 32,
+        dmax: 10,
+        tau_leaf: 1,
+        impurity: if task.is_classification() { Impurity::Gini } else { Impurity::Variance },
+        stage_overhead: STAGE_OVERHEAD,
+        net: NetModel {
+            bandwidth_bytes_per_sec: Some(125_000_000.0),
+            latency: Duration::from_micros(15),
+        },
+        work_ns_per_unit: WORK_NS,
+    }
+}
+
+/// One timed system run.
+pub struct RunResult {
+    /// Wall-clock seconds.
+    pub secs: f64,
+    /// Test accuracy (classification) or RMSE (regression), paper-style.
+    pub metric: f64,
+}
+
+/// Formats the metric the way Table II does ("Accuracy = RMSE for Allstate").
+pub fn fmt_metric(task: Task, metric: f64) -> String {
+    match task {
+        Task::Classification { .. } => format!("{:.2}%", metric * 100.0),
+        Task::Regression => format!("{metric:.3}"),
+    }
+}
+
+/// Scores a job result against the test set.
+pub fn score(result: &JobResult, test: &DataTable) -> f64 {
+    let task = test.schema().task;
+    match (result, task) {
+        (JobResult::Tree(t), Task::Classification { .. }) => {
+            accuracy(&t.predict_labels(test), test.labels().as_class().unwrap())
+        }
+        (JobResult::Tree(t), Task::Regression) => {
+            rmse(&t.predict_values(test), test.labels().as_real().unwrap())
+        }
+        (JobResult::Forest(f), Task::Classification { .. }) => {
+            accuracy(&f.predict_labels(test), test.labels().as_class().unwrap())
+        }
+        (JobResult::Forest(f), Task::Regression) => {
+            rmse(&f.predict_values(test), test.labels().as_real().unwrap())
+        }
+    }
+}
+
+/// Trains on a fresh TreeServer cluster and scores on `test`.
+pub fn run_treeserver(
+    train: &DataTable,
+    test: &DataTable,
+    cfg: ClusterConfig,
+    spec: JobSpec,
+) -> RunResult {
+    let cluster = Cluster::launch(cfg, train);
+    let t0 = Instant::now();
+    let result = cluster.train(spec);
+    let secs = t0.elapsed().as_secs_f64();
+    cluster.shutdown();
+    RunResult { secs, metric: score(&result, test) }
+}
+
+/// Trains the MLlib-style baseline (single tree) and scores it.
+pub fn run_planet_tree(train: &DataTable, test: &DataTable, cfg: PlanetConfig) -> RunResult {
+    let trainer = PlanetTrainer::new(cfg);
+    let all: Vec<usize> = (0..train.n_attrs()).collect();
+    let t0 = Instant::now();
+    let (model, _) = trainer.train_tree(train, &all);
+    let secs = t0.elapsed().as_secs_f64();
+    let metric = match test.schema().task {
+        Task::Classification { .. } => {
+            accuracy(&model.predict_labels(test), test.labels().as_class().unwrap())
+        }
+        Task::Regression => rmse(&model.predict_values(test), test.labels().as_real().unwrap()),
+    };
+    RunResult { secs, metric }
+}
+
+/// Trains the MLlib-style baseline forest and scores it.
+pub fn run_planet_forest(
+    train: &DataTable,
+    test: &DataTable,
+    cfg: PlanetConfig,
+    n_trees: usize,
+    seed: u64,
+) -> RunResult {
+    let trainer = PlanetTrainer::new(cfg);
+    let t0 = Instant::now();
+    let (model, _) = trainer.train_forest(train, n_trees, seed);
+    let secs = t0.elapsed().as_secs_f64();
+    let metric = match test.schema().task {
+        Task::Classification { .. } => {
+            accuracy(&model.predict_labels(test), test.labels().as_class().unwrap())
+        }
+        Task::Regression => rmse(&model.predict_values(test), test.labels().as_real().unwrap()),
+    };
+    RunResult { secs, metric }
+}
+
+/// XGBoost-style config for a dataset's task.
+pub fn xgb_config(task: Task, n_rounds: usize) -> XgbConfig {
+    let objective = match task {
+        Task::Regression => ts_baselines::Objective::SquaredError,
+        Task::Classification { n_classes: 2 } => ts_baselines::Objective::Logistic,
+        Task::Classification { n_classes } => ts_baselines::Objective::Softmax { n_classes },
+    };
+    XgbConfig {
+        n_rounds,
+        max_depth: 10,
+        threads: 10,
+        work_ns_per_unit: WORK_NS,
+        ..XgbConfig::new(objective)
+    }
+}
+
+/// Trains and scores the XGBoost-style baseline.
+pub fn run_xgb(train: &DataTable, test: &DataTable, cfg: XgbConfig) -> RunResult {
+    let trainer = XgbTrainer::new(cfg);
+    let t0 = Instant::now();
+    let model = trainer.train(train);
+    let secs = t0.elapsed().as_secs_f64();
+    let metric = match test.schema().task {
+        Task::Classification { .. } => {
+            accuracy(&model.predict_labels(test), test.labels().as_class().unwrap())
+        }
+        Task::Regression => rmse(&model.predict_values(test), test.labels().as_real().unwrap()),
+    };
+    RunResult { secs, metric }
+}
+
+/// Prints a table header with the bench name and the scaling context.
+pub fn print_header(table: &str, extra: &str) {
+    println!("\n================================================================");
+    println!("{table}");
+    println!(
+        "dataset scale = paper rows x {:.0e}{}; modeled compute {WORK_NS} ns/unit; {extra}",
+        BASE_SCALE * env_scale(),
+        if env_scale() == 1.0 { String::new() } else { format!(" (TS_SCALE={})", env_scale()) },
+    );
+    println!("================================================================");
+}
+
+/// The evaluation's classification datasets that stay light at bench scale.
+pub fn light_datasets() -> Vec<PaperDataset> {
+    vec![
+        PaperDataset::MsLtrc,
+        PaperDataset::C14B,
+        PaperDataset::Covtype,
+        PaperDataset::Poker,
+        PaperDataset::Susy,
+    ]
+}

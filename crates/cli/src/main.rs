@@ -1,0 +1,268 @@
+//! `treeserver` — command-line front-end for the TreeServer reproduction.
+//!
+//! ```text
+//! treeserver train   --csv data.csv --target label --task class \
+//!                    [--model dt|rf|etc|gbt] [--trees N] [--dmax D]
+//!                    [--workers W] [--compers C] [--out model.json]
+//! treeserver predict --model model.json --csv data.csv --target label --task class
+//! treeserver importance --model model.json [--top K]
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use treeserver::{train_gbt, Cluster, ClusterConfig, GbtConfig, JobResult, JobSpec};
+use ts_datatable::csv::{parse_csv, TaskKind};
+use ts_datatable::metrics::{accuracy, rmse};
+use ts_datatable::{DataTable, Task};
+
+mod model_file;
+use model_file::ModelFile;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Opts::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "train" => cmd_train(&opts),
+        "predict" => cmd_predict(&opts),
+        "importance" => cmd_importance(&opts),
+        "show" => cmd_show(&opts),
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  treeserver train      --csv FILE --target COL --task class|reg
+                        [--model dt|rf|etc|gbt] [--trees N] [--dmax D]
+                        [--workers W] [--compers C] [--seed S] [--out FILE]
+  treeserver predict    --model FILE --csv FILE --target COL --task class|reg
+                        [--out FILE]
+  treeserver importance --model FILE [--top K]
+  treeserver show       --model FILE [--tree N]";
+
+/// Parsed `--key value` options.
+struct Opts(HashMap<String, String>);
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut map = HashMap::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected --option, got {key:?}"));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            map.insert(name.to_string(), value.clone());
+        }
+        Ok(Opts(map))
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.0
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("--{name} is required"))
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0.get(name).map(String::as_str)
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.0.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} {v:?} is not a valid number")),
+        }
+    }
+}
+
+fn load_table(opts: &Opts) -> Result<DataTable, String> {
+    let path = opts.required("csv")?;
+    let target = opts.required("target")?;
+    let task = match opts.required("task")? {
+        "class" | "classification" => TaskKind::Classification,
+        "reg" | "regression" => TaskKind::Regression,
+        other => return Err(format!("--task must be class or reg, got {other:?}")),
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse_csv(&text, target, task).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn cluster_config(opts: &Opts, n_rows: usize) -> Result<ClusterConfig, String> {
+    let workers = opts.num("workers", 4usize)?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    let compers = opts.num("compers", 2usize)?;
+    if compers == 0 {
+        return Err("--compers must be at least 1".into());
+    }
+    Ok(ClusterConfig {
+        n_workers: workers,
+        compers_per_worker: compers,
+        replication: 2.min(workers),
+        tau_d: (n_rows as u64 / 20).max(256),
+        tau_dfs: (n_rows as u64 / 5).max(1_024),
+        ..Default::default()
+    })
+}
+
+fn cmd_train(opts: &Opts) -> Result<(), String> {
+    let kind = opts.get("model").unwrap_or("dt");
+    if !["dt", "rf", "etc", "gbt"].contains(&kind) {
+        return Err(format!("--model must be dt|rf|etc|gbt, got {kind:?}"));
+    }
+    let table = load_table(opts)?;
+    let task = table.schema().task;
+    let trees = opts.num("trees", 20usize)?;
+    let dmax = opts.num("dmax", 10u32)?;
+    let seed = opts.num("seed", 0u64)?;
+    let cfg = cluster_config(opts, table.n_rows())?;
+    eprintln!(
+        "training {kind} on {} rows x {} attrs ({} workers x {} compers)",
+        table.n_rows(),
+        table.n_attrs(),
+        cfg.n_workers,
+        cfg.compers_per_worker
+    );
+    let start = std::time::Instant::now();
+    let model = match kind {
+        "dt" => {
+            let cluster = Cluster::launch(cfg, &table);
+            let m = cluster.train(JobSpec::decision_tree(task).with_dmax(dmax).with_seed(seed));
+            cluster.shutdown();
+            match m {
+                JobResult::Tree(t) => ModelFile::Tree(t),
+                JobResult::Forest(_) => unreachable!("decision tree job"),
+            }
+        }
+        "rf" | "etc" => {
+            let spec = if kind == "rf" {
+                JobSpec::random_forest(task, trees)
+            } else {
+                JobSpec::extra_trees(task, trees)
+            };
+            let cluster = Cluster::launch(cfg, &table);
+            let m = cluster.train(spec.with_dmax(dmax).with_seed(seed));
+            cluster.shutdown();
+            ModelFile::Forest(m.into_forest())
+        }
+        "gbt" => {
+            let gbt_cfg = GbtConfig::for_task(task).with_rounds(trees).with_dmax(dmax.min(8));
+            ModelFile::Gbt(train_gbt(cfg, &table, gbt_cfg))
+        }
+        other => return Err(format!("--model must be dt|rf|etc|gbt, got {other:?}")),
+    };
+    eprintln!("trained in {:.2?}", start.elapsed());
+
+    // Training-set fit as a quick sanity line.
+    match task {
+        Task::Classification { .. } => {
+            let acc = accuracy(&model.predict_labels(&table)?, table.labels().as_class().unwrap());
+            eprintln!("training accuracy: {:.2}%", acc * 100.0);
+        }
+        Task::Regression => {
+            let r = rmse(&model.predict_values(&table)?, table.labels().as_real().unwrap());
+            eprintln!("training RMSE: {r:.4}");
+        }
+    }
+
+    let out = opts.get("out").unwrap_or("model.json");
+    std::fs::write(out, model.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("model written to {out}");
+    Ok(())
+}
+
+fn cmd_predict(opts: &Opts) -> Result<(), String> {
+    let model_path = opts.required("model")?;
+    let model = ModelFile::from_json(
+        &std::fs::read_to_string(model_path).map_err(|e| format!("reading {model_path}: {e}"))?,
+    )
+    .map_err(|e| format!("parsing {model_path}: {e}"))?;
+    let table = load_table(opts)?;
+
+    let lines: Vec<String> = match table.schema().task {
+        Task::Classification { .. } => {
+            let pred = model.predict_labels(&table)?;
+            let acc = accuracy(&pred, table.labels().as_class().unwrap());
+            eprintln!("accuracy against the CSV's target column: {:.2}%", acc * 100.0);
+            pred.into_iter().map(|p| p.to_string()).collect()
+        }
+        Task::Regression => {
+            let pred = model.predict_values(&table)?;
+            let r = rmse(&pred, table.labels().as_real().unwrap());
+            eprintln!("RMSE against the CSV's target column: {r:.4}");
+            pred.into_iter().map(|p| p.to_string()).collect()
+        }
+    };
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, format!("prediction\n{}\n", lines.join("\n")))
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("{} predictions written to {path}", lines.len());
+        }
+        None => {
+            println!("prediction");
+            for l in lines {
+                println!("{l}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_show(opts: &Opts) -> Result<(), String> {
+    let model_path = opts.required("model")?;
+    let model = ModelFile::from_json(
+        &std::fs::read_to_string(model_path).map_err(|e| format!("reading {model_path}: {e}"))?,
+    )
+    .map_err(|e| format!("parsing {model_path}: {e}"))?;
+    let index = opts.num("tree", 0usize)?;
+    let tree = model
+        .tree_at(index)
+        .ok_or_else(|| format!("model has no tree {index}"))?;
+    print!("{}", tree.render(|a| format!("a{a}")));
+    Ok(())
+}
+
+fn cmd_importance(opts: &Opts) -> Result<(), String> {
+    let model_path = opts.required("model")?;
+    let model = ModelFile::from_json(
+        &std::fs::read_to_string(model_path).map_err(|e| format!("reading {model_path}: {e}"))?,
+    )
+    .map_err(|e| format!("parsing {model_path}: {e}"))?;
+    let top = opts.num("top", 10usize)?;
+    let imp = model.feature_importance();
+    let mut ranked: Vec<(usize, f64)> = imp.into_iter().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("{:<8} {:>10}", "attr", "importance");
+    for (attr, v) in ranked.into_iter().take(top) {
+        if v > 0.0 {
+            println!("{attr:<8} {v:>10.4}");
+        }
+    }
+    Ok(())
+}

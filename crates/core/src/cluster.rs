@@ -1,0 +1,289 @@
+//! The user-facing cluster handle: launch machines, submit jobs, collect
+//! models, inject faults, and read statistics.
+
+use crate::assign::ColumnMap;
+use crate::config::ClusterConfig;
+use crate::job::{JobHandle, JobResult, JobSpec};
+use crate::master::Master;
+use crate::messages::{DataMsg, TaskMsg};
+use crate::worker::Worker;
+use crossbeam_channel::Receiver;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use ts_datatable::{DataTable, Task};
+use ts_netsim::{Fabric, NetStats, NodeId};
+
+/// Summary statistics of a cluster run, in the units the paper reports.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Wall-clock since launch.
+    pub elapsed: Duration,
+    /// Average CPU percentage per worker (busy compute time / elapsed; >100
+    /// with multiple compers), averaged over workers.
+    pub avg_cpu_percent: f64,
+    /// Average send throughput per worker in Mbit/s.
+    pub avg_send_mbps: f64,
+    /// Master outbound bytes (the §V bottleneck under scrutiny).
+    pub master_sent_bytes: u64,
+    /// Peak tracked memory per worker in bytes, averaged over workers.
+    pub avg_peak_mem_bytes: f64,
+    /// Per-machine snapshots (index 0 = master).
+    pub per_node: Vec<ts_netsim::NodeSnapshot>,
+}
+
+/// A running TreeServer cluster.
+///
+/// ```no_run
+/// # use treeserver::{Cluster, ClusterConfig, JobSpec};
+/// # use ts_datatable::synth::{generate, SynthSpec};
+/// let table = generate(&SynthSpec::default());
+/// let cluster = Cluster::launch(ClusterConfig::default(), &table);
+/// let model = cluster.train(JobSpec::random_forest(table.schema().task, 20));
+/// let report = cluster.shutdown();
+/// # let _ = (model, report);
+/// ```
+pub struct Cluster {
+    master: Arc<Master>,
+    stats: Arc<NetStats>,
+    fabric_task: Fabric<TaskMsg>,
+    fabric_data: Fabric<DataMsg>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    pending: Mutex<HashMap<JobHandle, Receiver<JobResult>>>,
+    task_kind: Task,
+    n_rows: usize,
+    launched: Instant,
+}
+
+impl Cluster {
+    /// Launches a cluster over an in-memory table: partitions the columns
+    /// among workers (round-robin with replication `k`), replicates `Y`
+    /// everywhere, and starts the master and worker threads.
+    pub fn launch(cfg: ClusterConfig, table: &DataTable) -> Cluster {
+        cfg.validate();
+        let n_nodes = cfg.n_workers + 1;
+        let stats = NetStats::new(n_nodes);
+        let (fabric_task, mut task_rxs) =
+            Fabric::<TaskMsg>::new(n_nodes, cfg.net, Arc::clone(&stats));
+        let (fabric_data, mut data_rxs) =
+            Fabric::<DataMsg>::new(n_nodes, cfg.net, Arc::clone(&stats));
+
+        let colmap = ColumnMap::round_robin(table.n_attrs(), cfg.n_workers, cfg.replication);
+        let labels = Arc::new(table.labels().clone());
+        let attr_types = Arc::new(
+            (0..table.n_attrs())
+                .map(|a| table.schema().attr_type(a))
+                .collect::<Vec<_>>(),
+        );
+        let shared_cols: Vec<Arc<ts_datatable::Column>> = table
+            .columns()
+            .iter()
+            .map(|c| Arc::new(c.clone()))
+            .collect();
+
+        let mut handles = Vec::new();
+        // Receivers must be taken in reverse so indices stay valid.
+        let mut task_rxs_opt: Vec<Option<Receiver<TaskMsg>>> =
+            task_rxs.drain(..).map(Some).collect();
+        let mut data_rxs_opt: Vec<Option<Receiver<DataMsg>>> =
+            data_rxs.drain(..).map(Some).collect();
+
+        for w in 1..=cfg.n_workers {
+            let mut cols = HashMap::new();
+            for a in colmap.columns_of(w) {
+                cols.insert(a, Arc::clone(&shared_cols[a]));
+            }
+            handles.extend(Worker::spawn(
+                w,
+                cfg.work_ns_per_unit,
+                cols,
+                Arc::clone(&labels),
+                Arc::clone(&attr_types),
+                table.schema().task,
+                cfg.compers_per_worker,
+                fabric_task.clone(),
+                fabric_data.clone(),
+                task_rxs_opt[w].take().expect("receiver taken once"),
+                data_rxs_opt[w].take().expect("receiver taken once"),
+            ));
+        }
+
+        let master = Master::new(
+            cfg.clone(),
+            table.n_rows(),
+            table.n_attrs(),
+            table.schema().task,
+            colmap,
+            fabric_task.clone(),
+        );
+        master.init_load_matrix(n_nodes);
+        {
+            let m = Arc::clone(&master);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("master-main".into())
+                    .spawn(move || m.main_loop())
+                    .expect("spawn master main"),
+            );
+        }
+        {
+            let m = Arc::clone(&master);
+            let rx = task_rxs_opt[0].take().expect("master receiver");
+            handles.push(
+                std::thread::Builder::new()
+                    .name("master-recv".into())
+                    .spawn(move || m.recv_loop(rx))
+                    .expect("spawn master recv"),
+            );
+        }
+        // The master has no data-plane loop (§V: it never relays Ix);
+        // dropping its receiver is deliberate.
+        drop(data_rxs_opt[0].take());
+
+        Cluster {
+            master,
+            stats,
+            fabric_task,
+            fabric_data,
+            handles: Mutex::new(handles),
+            pending: Mutex::new(HashMap::new()),
+            task_kind: table.schema().task,
+            n_rows: table.n_rows(),
+            launched: Instant::now(),
+        }
+    }
+
+    /// Launches a cluster whose workers load their columns from a dataset in
+    /// the simulated DFS (the paper's normal deployment: "loads data in
+    /// parallel from HDFS"). The per-file connection cost of the DFS applies.
+    pub fn launch_from_dfs(
+        cfg: ClusterConfig,
+        dfs: &ts_dfs::Dfs,
+        dataset: &str,
+    ) -> Result<Cluster, ts_dfs::DfsError> {
+        let table = dfs.open(dataset)?.load_all()?;
+        Ok(Cluster::launch(cfg, &table))
+    }
+
+    /// Submits a job without blocking.
+    pub fn submit(&self, spec: JobSpec) -> JobHandle {
+        let (handle, rx) = self.master.submit(spec);
+        self.pending.lock().insert(handle, rx);
+        handle
+    }
+
+    /// Blocks until a submitted job completes and returns its model.
+    ///
+    /// # Panics
+    /// Panics if the handle is unknown or was already waited on.
+    pub fn wait(&self, handle: JobHandle) -> JobResult {
+        let rx = self
+            .pending
+            .lock()
+            .remove(&handle)
+            .expect("unknown or already-waited job handle");
+        rx.recv().expect("master dropped the job notifier")
+    }
+
+    /// Convenience: submit + wait.
+    pub fn train(&self, spec: JobSpec) -> JobResult {
+        let h = self.submit(spec);
+        self.wait(h)
+    }
+
+    /// The prediction task of the loaded table.
+    pub fn task(&self) -> Task {
+        self.task_kind
+    }
+
+    /// Replaces the replicated target column `Y` on every worker — the
+    /// re-labelling step between boosting rounds (see [`crate::gbt`]).
+    ///
+    /// The broadcast is accounted and paced like any other transfer. Callers
+    /// must quiesce first (wait for all submitted jobs): in-flight tasks of
+    /// an old round would otherwise mix label versions.
+    ///
+    /// # Panics
+    /// Panics if the length differs from the table's row count or jobs are
+    /// still pending.
+    pub fn update_labels(&self, labels: &ts_datatable::Labels) {
+        assert!(
+            self.pending.lock().is_empty(),
+            "update_labels while jobs are pending — wait() on them first"
+        );
+        assert_eq!(
+            labels.len(),
+            self.n_rows,
+            "label column length must match the table's row count"
+        );
+        let workers = self.master.live_workers();
+        for w in workers {
+            let _ = self.fabric_task.send(
+                0,
+                w,
+                TaskMsg::LoadLabels { labels: labels.clone() },
+            );
+        }
+        self.master.set_data_task(match labels {
+            ts_datatable::Labels::Real(_) => Task::Regression,
+            ts_datatable::Labels::Class(_) => self.task_kind,
+        });
+    }
+
+    /// Simulates a worker crash: the worker stops processing and the master
+    /// re-replicates its columns and restarts all in-flight trees.
+    pub fn kill_worker(&self, worker: NodeId) {
+        assert!(worker >= 1, "cannot kill the master");
+        let _ = self.fabric_task.send(0, worker, TaskMsg::Shutdown);
+        let _ = self.fabric_data.send(0, worker, DataMsg::Shutdown);
+        self.master.handle_worker_crash(worker);
+    }
+
+    /// Live statistics handle.
+    pub fn stats(&self) -> &Arc<NetStats> {
+        &self.stats
+    }
+
+    /// A point-in-time report in the paper's units.
+    pub fn report(&self) -> ClusterReport {
+        let elapsed = self.launched.elapsed();
+        let per_node = self.stats.snapshot_all();
+        let n_workers = per_node.len() - 1;
+        let avg_cpu = (1..per_node.len())
+            .map(|w| self.stats.cpu_percent(w, elapsed))
+            .sum::<f64>()
+            / n_workers as f64;
+        let avg_send = (1..per_node.len())
+            .map(|w| self.stats.send_mbps(w, elapsed))
+            .sum::<f64>()
+            / n_workers as f64;
+        let avg_peak_mem = (1..per_node.len())
+            .map(|w| per_node[w].mem_peak as f64)
+            .sum::<f64>()
+            / n_workers as f64;
+        ClusterReport {
+            elapsed,
+            avg_cpu_percent: avg_cpu,
+            avg_send_mbps: avg_send,
+            master_sent_bytes: per_node[0].sent_bytes,
+            avg_peak_mem_bytes: avg_peak_mem,
+            per_node,
+        }
+    }
+
+    /// Stops every machine and returns the final report. All submitted jobs
+    /// must have been waited on first.
+    pub fn shutdown(self) -> ClusterReport {
+        assert!(
+            self.pending.lock().is_empty(),
+            "shutdown with jobs still pending — wait() on them first"
+        );
+        let report = self.report();
+        self.master.request_shutdown();
+        for h in self.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+        report
+    }
+}

@@ -1,0 +1,118 @@
+//! Cluster and system configuration.
+
+use std::time::Duration;
+use ts_netsim::NetModel;
+
+/// Configuration of a TreeServer cluster.
+///
+/// Defaults follow the paper's tuned system parameters (§III):
+/// `τ_D = 10,000`, `τ_dfs = 80,000`, `n_pool = 200`, column replication
+/// `k = 2`, and the experimental setup of §VIII (10 compers per worker).
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of worker machines (the paper uses up to 15; master is extra).
+    pub n_workers: usize,
+    /// Computing threads (*compers*) per worker.
+    pub compers_per_worker: usize,
+    /// Column replication factor `k` (each column lives on `k` workers).
+    pub replication: usize,
+    /// Subtree-task threshold `τ_D`: tasks with `|Dx| <= τ_D` build the
+    /// whole subtree on one worker.
+    pub tau_d: u64,
+    /// Depth-first threshold `τ_dfs`: tasks with `|Dx| <= τ_dfs` go to the
+    /// head of `Bplan` (depth-first), larger ones to the tail (breadth-first).
+    pub tau_dfs: u64,
+    /// Maximum number of trees under construction at any time (`n_pool`).
+    pub n_pool: usize,
+    /// The simulated link model.
+    pub net: NetModel,
+    /// Idle-poll sleep of the master's main thread (the paper uses 100 µs).
+    pub poll_sleep: Duration,
+    /// Directory the master flushes completed trees into (one JSON file per
+    /// tree, written the moment the tree's last task result arrives — the
+    /// paper's "a tree is flushed to disk by the master as soon as it
+    /// receives the results from the tree's last task"). `None` disables
+    /// flushing.
+    pub model_dir: Option<std::path::PathBuf>,
+    /// Modeled compute cost in nanoseconds per work unit (0 = off).
+    ///
+    /// A work unit is one row-attribute touch (`|Ix| * |C'|` for a
+    /// column-task shard, `|Ix| * |C| * log|Ix|` for a subtree build — the
+    /// same units as the §VI cost model). Compers sleep `units * ns` around
+    /// the real computation. On hosts with fewer cores than the simulated
+    /// cluster (this repo's benches run on a single core), the sleeps stand
+    /// in for compute: they overlap across threads exactly as real compute
+    /// overlaps across real cores, so scalability shapes survive the
+    /// substitution (DESIGN.md §2).
+    pub work_ns_per_unit: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            n_workers: 4,
+            compers_per_worker: 2,
+            replication: 2,
+            tau_d: 10_000,
+            tau_dfs: 80_000,
+            n_pool: 200,
+            net: NetModel::instant(),
+            poll_sleep: Duration::from_micros(100),
+            model_dir: None,
+            work_ns_per_unit: 0,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The paper's full testbed shape: 15 workers × 10 compers, 1 GigE.
+    pub fn paper_testbed() -> ClusterConfig {
+        ClusterConfig {
+            n_workers: 15,
+            compers_per_worker: 10,
+            net: NetModel::gige(),
+            ..Default::default()
+        }
+    }
+
+    /// Validates invariants; called by `Cluster::launch`.
+    pub fn validate(&self) {
+        assert!(self.n_workers >= 1, "need at least one worker");
+        assert!(self.compers_per_worker >= 1, "need at least one comper");
+        assert!(
+            (1..=self.n_workers).contains(&self.replication),
+            "replication must be in 1..=n_workers"
+        );
+        assert!(self.n_pool >= 1, "n_pool must be at least 1");
+        assert!(self.tau_d >= 1, "tau_d must be at least 1");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_thresholds() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.tau_d, 10_000);
+        assert_eq!(c.tau_dfs, 80_000);
+        assert_eq!(c.n_pool, 200);
+        assert_eq!(c.replication, 2);
+        c.validate();
+    }
+
+    #[test]
+    fn paper_testbed_shape() {
+        let c = ClusterConfig::paper_testbed();
+        assert_eq!(c.n_workers, 15);
+        assert_eq!(c.compers_per_worker, 10);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "replication")]
+    fn replication_above_workers_panics() {
+        ClusterConfig { n_workers: 2, replication: 3, ..Default::default() }.validate();
+    }
+}

@@ -1,0 +1,314 @@
+//! Job specifications and results.
+//!
+//! Users submit *jobs* to the master, which "disassembles each tree model
+//! into individual decision trees for training" and reassembles the results
+//! (paper §III, Fig. 2). A job is one model: a single decision tree, a
+//! bagged forest (random forest / extra-trees), or a boosted ensemble whose
+//! stages depend on each other.
+
+use crate::messages::TreeParams;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use ts_datatable::Task;
+use ts_splits::Impurity;
+use ts_tree::{DecisionTreeModel, ForestModel};
+
+/// Handle returned by `Cluster::submit`; pass to `Cluster::wait`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobHandle(pub(crate) u64);
+
+/// What kind of model a job trains.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobKind {
+    /// One decision tree over all columns (`|C| = |A|`).
+    DecisionTree,
+    /// A bagged random forest: `n_trees` trees, each over an independently
+    /// sampled column subset of `col_fraction * m` columns (the paper uses
+    /// `|C| = sqrt(|A|)` by default — see [`JobSpec::random_forest`]).
+    RandomForest {
+        /// Number of trees.
+        n_trees: usize,
+        /// Columns per tree as a fraction of `m` (clamped to at least 1
+        /// column).
+        col_fraction: f64,
+    },
+    /// A forest of completely-random trees (Appendix F).
+    ExtraTrees {
+        /// Number of trees.
+        n_trees: usize,
+    },
+}
+
+/// A model-training job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// The model kind.
+    pub kind: JobKind,
+    /// Impurity function (defaults by task in the constructors).
+    pub impurity: Impurity,
+    /// Maximum tree depth.
+    pub dmax: u32,
+    /// Leaf threshold `τ_leaf`.
+    pub tau_leaf: u64,
+    /// Seed driving column sampling and extra-trees randomness.
+    pub seed: u64,
+}
+
+impl JobSpec {
+    /// A single decision tree with the paper's defaults (`dmax = 10`,
+    /// `τ_leaf = 1`, Gini / variance by task).
+    pub fn decision_tree(task: Task) -> JobSpec {
+        JobSpec {
+            kind: JobKind::DecisionTree,
+            impurity: default_impurity(task),
+            dmax: 10,
+            tau_leaf: 1,
+            seed: 0,
+        }
+    }
+
+    /// A random forest with `|C| = sqrt(|A|)` per tree (the paper's forest
+    /// default).
+    pub fn random_forest(task: Task, n_trees: usize) -> JobSpec {
+        JobSpec {
+            kind: JobKind::RandomForest { n_trees, col_fraction: -1.0 }, // sqrt sentinel
+            impurity: default_impurity(task),
+            dmax: 10,
+            tau_leaf: 1,
+            seed: 0,
+        }
+    }
+
+    /// A random forest whose per-tree column count is `fraction * m`
+    /// (Table VIII(c)–(d) sweeps this ratio).
+    pub fn random_forest_with_fraction(task: Task, n_trees: usize, fraction: f64) -> JobSpec {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+        JobSpec {
+            kind: JobKind::RandomForest { n_trees, col_fraction: fraction },
+            impurity: default_impurity(task),
+            dmax: 10,
+            tau_leaf: 1,
+            seed: 0,
+        }
+    }
+
+    /// A forest of completely-random trees.
+    pub fn extra_trees(task: Task, n_trees: usize) -> JobSpec {
+        JobSpec {
+            kind: JobKind::ExtraTrees { n_trees },
+            impurity: default_impurity(task),
+            dmax: 10,
+            tau_leaf: 1,
+            seed: 0,
+        }
+    }
+
+    /// Builder: overrides the maximum depth.
+    pub fn with_dmax(mut self, dmax: u32) -> JobSpec {
+        self.dmax = dmax;
+        self
+    }
+
+    /// Builder: overrides the leaf threshold.
+    pub fn with_tau_leaf(mut self, tau_leaf: u64) -> JobSpec {
+        self.tau_leaf = tau_leaf;
+        self
+    }
+
+    /// Builder: overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> JobSpec {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: overrides the impurity.
+    pub fn with_impurity(mut self, impurity: Impurity) -> JobSpec {
+        self.impurity = impurity;
+        self
+    }
+
+    /// Number of trees this job trains.
+    pub fn n_trees(&self) -> usize {
+        match self.kind {
+            JobKind::DecisionTree => 1,
+            JobKind::RandomForest { n_trees, .. } | JobKind::ExtraTrees { n_trees } => n_trees,
+        }
+    }
+
+    /// Expands the job into per-tree specifications: the candidate column
+    /// set (sampled per tree, as the paper describes for random forests) and
+    /// the training parameters.
+    pub fn expand(&self, n_attrs: usize) -> Vec<TreeSpec> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let all: Vec<usize> = (0..n_attrs).collect();
+        (0..self.n_trees())
+            .map(|i| {
+                let (candidates, extra) = match self.kind {
+                    JobKind::DecisionTree => (all.clone(), false),
+                    JobKind::RandomForest { col_fraction, .. } => {
+                        let count = if col_fraction < 0.0 {
+                            (n_attrs as f64).sqrt().round() as usize
+                        } else {
+                            (col_fraction * n_attrs as f64).round() as usize
+                        }
+                        .clamp(1, n_attrs);
+                        let mut cols = all.clone();
+                        cols.shuffle(&mut rng);
+                        let mut c: Vec<usize> = cols[..count].to_vec();
+                        c.sort_unstable();
+                        (c, false)
+                    }
+                    // Extra-trees resample from *all* attributes per node.
+                    JobKind::ExtraTrees { .. } => (all.clone(), true),
+                };
+                TreeSpec {
+                    candidates,
+                    params: TreeParams {
+                        impurity: self.impurity,
+                        dmax: self.dmax,
+                        tau_leaf: self.tau_leaf,
+                        extra_trees: extra,
+                    },
+                    seed: self.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
+                }
+            })
+            .collect()
+    }
+}
+
+fn default_impurity(task: Task) -> Impurity {
+    if task.is_classification() {
+        Impurity::Gini
+    } else {
+        Impurity::Variance
+    }
+}
+
+/// One tree's worth of work inside a job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeSpec {
+    /// Candidate columns `C` for every node of this tree.
+    pub candidates: Vec<usize>,
+    /// Training parameters.
+    pub params: TreeParams,
+    /// Per-tree seed (extra-trees randomness).
+    pub seed: u64,
+}
+
+/// A completed job's model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobResult {
+    /// A single tree.
+    Tree(DecisionTreeModel),
+    /// A bagged forest.
+    Forest(ForestModel),
+}
+
+impl JobResult {
+    /// The single tree; panics for forests.
+    pub fn into_tree(self) -> DecisionTreeModel {
+        match self {
+            JobResult::Tree(t) => t,
+            JobResult::Forest(_) => panic!("job produced a forest, not a tree"),
+        }
+    }
+
+    /// The forest; a single tree is wrapped into a 1-tree forest.
+    pub fn into_forest(self) -> ForestModel {
+        match self {
+            JobResult::Forest(f) => f,
+            JobResult::Tree(t) => {
+                let task = t.task;
+                ForestModel::new(vec![t], task)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_tree_uses_all_columns() {
+        let spec = JobSpec::decision_tree(Task::Classification { n_classes: 2 });
+        let trees = spec.expand(7);
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].candidates, (0..7).collect::<Vec<_>>());
+        assert!(!trees[0].params.extra_trees);
+        assert_eq!(trees[0].params.impurity, Impurity::Gini);
+    }
+
+    #[test]
+    fn random_forest_samples_sqrt_columns() {
+        let spec = JobSpec::random_forest(Task::Classification { n_classes: 2 }, 10);
+        let trees = spec.expand(100);
+        assert_eq!(trees.len(), 10);
+        for t in &trees {
+            assert_eq!(t.candidates.len(), 10, "sqrt(100) columns");
+            assert!(t.candidates.windows(2).all(|w| w[0] < w[1]));
+        }
+        // Subsets should differ across trees (with overwhelming probability).
+        assert!(trees.windows(2).any(|w| w[0].candidates != w[1].candidates));
+    }
+
+    #[test]
+    fn random_forest_fraction() {
+        let spec = JobSpec::random_forest_with_fraction(Task::Regression, 3, 0.4);
+        let trees = spec.expand(10);
+        assert!(trees.iter().all(|t| t.candidates.len() == 4));
+        assert_eq!(trees[0].params.impurity, Impurity::Variance);
+    }
+
+    #[test]
+    fn extra_trees_use_all_columns_per_node() {
+        let spec = JobSpec::extra_trees(Task::Classification { n_classes: 3 }, 2);
+        let trees = spec.expand(5);
+        assert!(trees.iter().all(|t| t.params.extra_trees));
+        assert!(trees.iter().all(|t| t.candidates.len() == 5));
+        assert_ne!(trees[0].seed, trees[1].seed);
+    }
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let spec = JobSpec::random_forest(Task::Regression, 5).with_seed(9);
+        assert_eq!(spec.expand(30), spec.expand(30));
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let spec = JobSpec::decision_tree(Task::Regression)
+            .with_dmax(4)
+            .with_tau_leaf(50)
+            .with_impurity(Impurity::Variance)
+            .with_seed(11);
+        assert_eq!(spec.dmax, 4);
+        assert_eq!(spec.tau_leaf, 50);
+        assert_eq!(spec.seed, 11);
+    }
+
+    #[test]
+    fn job_result_conversions() {
+        use ts_tree::{Node, Prediction};
+        let t = DecisionTreeModel::new(
+            vec![Node::leaf(Prediction::Real(1.0), 1, 0)],
+            Task::Regression,
+        );
+        let f = JobResult::Tree(t.clone()).into_forest();
+        assert_eq!(f.n_trees(), 1);
+        assert_eq!(JobResult::Tree(t.clone()).into_tree(), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "forest, not a tree")]
+    fn forest_into_tree_panics() {
+        use ts_tree::{Node, Prediction};
+        let t = DecisionTreeModel::new(
+            vec![Node::leaf(Prediction::Real(1.0), 1, 0)],
+            Task::Regression,
+        );
+        let f = ForestModel::new(vec![t], Task::Regression);
+        JobResult::Forest(f).into_tree();
+    }
+}

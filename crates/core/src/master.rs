@@ -1,0 +1,962 @@
+//! The master machine: tree/task scheduling, result folding, load-balanced
+//! assignment, and fault recovery.
+//!
+//! Two threads, as in the paper (§IV, Fig. 14(a)):
+//!
+//! - `θ_main` ([`Master::main_loop`]): admits trees into the active pool
+//!   (at most `n_pool` at a time), pops plans from the head of the deque
+//!   `Bplan`, runs the §VI greedy assignment against `M_work`, and ships
+//!   plans (plus delegate serve-quotas) to workers.
+//! - `θ_recv` ([`Master::recv_loop`]): folds column-task results into the
+//!   task table `Ttask`, picks the overall best split, confirms the winner
+//!   (making it the delegate worker), types the child tasks from the
+//!   returned `|Ixl|`/`|Ixr|` counters, grafts completed subtrees, and
+//!   tracks per-tree progress (Appendix C's `T_prog`) to flush finished
+//!   trees and complete jobs.
+//!
+//! Hybrid scheduling (§III, Fig. 4/5): a new task goes to the **head** of
+//! `Bplan` when `|Dx| <= τ_dfs` (depth-first — reaches CPU-bound
+//! subtree-tasks quickly) and to the **tail** otherwise (breadth-first —
+//! generates parallelism early).
+
+use crate::assign::{assign_column_task, assign_subtree, ColumnMap, LoadMatrix};
+use crate::config::ClusterConfig;
+use crate::ids::{ParentRef, Side, TaskId, TreeId};
+use crate::job::{JobHandle, JobKind, JobResult, JobSpec, TreeSpec};
+use crate::messages::{ColumnPlan, ColumnTaskBest, SubtreePlan, TaskMsg};
+use crossbeam_channel::{Receiver, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use ts_datatable::Task;
+use ts_netsim::{Fabric, NodeId};
+use ts_splits::exact::ColumnSplit;
+use ts_splits::impurity::NodeStats;
+use ts_tree::{graft_nodes, trainer::prediction_from_stats, DecisionTreeModel, Node, Prediction, SplitInfo};
+
+/// A task descriptor waiting in `Bplan` for worker assignment.
+#[derive(Debug, Clone)]
+struct PlanDesc {
+    task: TaskId,
+    tree: TreeId,
+    node: usize,
+    parent: ParentRef,
+    n_rows: u64,
+    depth: u32,
+    /// Root-path identifier: 1 for the root, `p<<1` / `p<<1|1` for left /
+    /// right children. Stable across scheduling interleavings, so all
+    /// randomness (extra-trees sampling, subtree seeds) derives from it
+    /// rather than from racy task ids.
+    path: u64,
+}
+
+/// SplitMix64 finaliser: decorrelates path-derived seeds.
+fn mix_seed(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The master's record of an in-flight task (`Ttask`).
+struct MasterTask {
+    tree: TreeId,
+    node: usize,
+    n_rows: u64,
+    depth: u32,
+    path: u64,
+    charges: Vec<(NodeId, [u64; 3])>,
+    kind: TaskKind,
+}
+
+#[allow(clippy::large_enum_variant)] // Column is the hot variant; boxing it costs more
+enum TaskKind {
+    Column {
+        pending: usize,
+        involved: Vec<NodeId>,
+        best: Option<(NodeId, ColumnTaskBest)>,
+        node_stats: Option<NodeStats>,
+    },
+    Subtree,
+}
+
+/// A tree being built.
+struct ActiveTree {
+    job: u64,
+    /// Index of this tree within its job.
+    index: usize,
+    spec: TreeSpec,
+    nodes: Vec<Node>,
+    /// Outstanding tasks (Appendix C's per-tree progress counter).
+    pending: u64,
+}
+
+/// One submitted job.
+struct JobState {
+    total: usize,
+    done: usize,
+    models: Vec<Option<DecisionTreeModel>>,
+    kind: JobKind,
+    notify: Sender<JobResult>,
+}
+
+/// Trees waiting for pool admission.
+struct QueuedTree {
+    job: u64,
+    index: usize,
+    spec: TreeSpec,
+}
+
+struct Registry {
+    jobs: HashMap<u64, JobState>,
+    queue: VecDeque<QueuedTree>,
+    active: HashMap<TreeId, ActiveTree>,
+    next_tree: u64,
+    next_job: u64,
+}
+
+/// Shared master state; the two master threads and the `Cluster` handle all
+/// hold an `Arc<Master>`.
+pub struct Master {
+    cfg: ClusterConfig,
+    n_rows: usize,
+    n_attrs: usize,
+    data_task: Mutex<Task>,
+    workers: Mutex<Vec<NodeId>>,
+    colmap: Mutex<ColumnMap>,
+    bplan: Mutex<VecDeque<PlanDesc>>,
+    ttask: Mutex<HashMap<TaskId, MasterTask>>,
+    mwork: Mutex<LoadMatrix>,
+    registry: Mutex<Registry>,
+    next_task: AtomicU64,
+    shutdown: AtomicBool,
+    fabric: Fabric<TaskMsg>,
+}
+
+impl Master {
+    /// Creates the master state.
+    pub fn new(
+        cfg: ClusterConfig,
+        n_rows: usize,
+        n_attrs: usize,
+        data_task: Task,
+        colmap: ColumnMap,
+        fabric: Fabric<TaskMsg>,
+    ) -> Arc<Master> {
+        let workers: Vec<NodeId> = (1..=cfg.n_workers).collect();
+        Arc::new(Master {
+            cfg,
+            n_rows,
+            n_attrs,
+            data_task: Mutex::new(data_task),
+            workers: Mutex::new(workers),
+            colmap: Mutex::new(colmap),
+            bplan: Mutex::new(VecDeque::new()),
+            ttask: Mutex::new(HashMap::new()),
+            mwork: Mutex::new(LoadMatrix::new(0)),
+            registry: Mutex::new(Registry {
+                jobs: HashMap::new(),
+                queue: VecDeque::new(),
+                active: HashMap::new(),
+                next_tree: 0,
+                next_job: 0,
+            }),
+            next_task: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            fabric,
+        })
+    }
+
+    /// Initialises the load matrix once the cluster size is known.
+    pub fn init_load_matrix(&self, n_nodes: usize) {
+        *self.mwork.lock() = LoadMatrix::new(n_nodes);
+    }
+
+    /// Submits a job; returns the handle and the result channel.
+    pub fn submit(&self, spec: JobSpec) -> (JobHandle, Receiver<JobResult>) {
+        let trees = spec.expand(self.n_attrs);
+        let (tx, rx) = crossbeam_channel::bounded(1);
+        let mut reg = self.registry.lock();
+        let job_id = reg.next_job;
+        reg.next_job += 1;
+        reg.jobs.insert(
+            job_id,
+            JobState {
+                total: trees.len(),
+                done: 0,
+                models: vec![None; trees.len()],
+                kind: spec.kind.clone(),
+                notify: tx,
+            },
+        );
+        for (index, spec) in trees.into_iter().enumerate() {
+            reg.queue.push_back(QueuedTree { job: job_id, index, spec });
+        }
+        (JobHandle(job_id), rx)
+    }
+
+    /// The current prediction task (boosting rounds may retarget it).
+    pub fn data_task(&self) -> Task {
+        *self.data_task.lock()
+    }
+
+    /// Retargets the prediction task (see `Cluster::update_labels`).
+    pub fn set_data_task(&self, task: Task) {
+        *self.data_task.lock() = task;
+    }
+
+    /// The currently live workers.
+    pub fn live_workers(&self) -> Vec<NodeId> {
+        self.workers.lock().clone()
+    }
+
+    /// Requests shutdown: `θ_main` notifies workers and both loops exit.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    fn new_task(&self) -> TaskId {
+        TaskId(self.next_task.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn placeholder_pred(&self) -> Prediction {
+        match self.data_task() {
+            Task::Classification { n_classes } => Prediction::Class {
+                label: 0,
+                pmf: vec![0.0; n_classes as usize],
+            },
+            Task::Regression => Prediction::Real(0.0),
+        }
+    }
+
+    /// Inserts a plan into `Bplan` per the hybrid BFS/DFS rule.
+    fn enqueue_plan(&self, desc: PlanDesc) {
+        let mut bplan = self.bplan.lock();
+        if desc.n_rows <= self.cfg.tau_dfs {
+            bplan.push_front(desc);
+        } else {
+            bplan.push_back(desc);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // θ_main: admission + assignment.
+    // ------------------------------------------------------------------
+
+    /// The master's main thread.
+    pub fn main_loop(self: Arc<Self>) {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                let workers = self.workers.lock().clone();
+                for w in workers {
+                    let _ = self.fabric.send(0, w, TaskMsg::Shutdown);
+                }
+                // Wake θ_recv so it can exit.
+                let _ = self.fabric.send(0, 0, TaskMsg::Shutdown);
+                return;
+            }
+            self.admit_trees();
+            let desc = self.bplan.lock().pop_front();
+            match desc {
+                Some(d) => self.assign_plan(d),
+                None => std::thread::sleep(self.cfg.poll_sleep),
+            }
+        }
+    }
+
+    /// Admits queued trees while the active pool has room (`n_pool`).
+    fn admit_trees(&self) {
+        loop {
+            let root = {
+                let mut reg = self.registry.lock();
+                if reg.active.len() >= self.cfg.n_pool {
+                    return;
+                }
+                let Some(q) = reg.queue.pop_front() else { return };
+                let tree = TreeId(reg.next_tree);
+                reg.next_tree += 1;
+                reg.active.insert(
+                    tree,
+                    ActiveTree {
+                        job: q.job,
+                        index: q.index,
+                        spec: q.spec,
+                        nodes: vec![Node::leaf(self.placeholder_pred(), 0, 0)],
+                        pending: 1,
+                    },
+                );
+                PlanDesc {
+                    task: self.new_task(),
+                    tree,
+                    node: 0,
+                    parent: ParentRef::Root,
+                    n_rows: self.n_rows as u64,
+                    depth: 0,
+                    path: 1,
+                }
+            };
+            self.enqueue_plan(root);
+        }
+    }
+
+    /// Assigns one plan to workers (§VI) and ships it.
+    fn assign_plan(&self, desc: PlanDesc) {
+        // Fetch the tree's spec; a missing tree was revoked by recovery.
+        let (candidates, params, tree_seed) = {
+            let reg = self.registry.lock();
+            match reg.active.get(&desc.tree) {
+                Some(t) => (t.spec.candidates.clone(), t.spec.params, t.spec.seed),
+                None => return,
+            }
+        };
+        let workers = self.workers.lock().clone();
+        let parent_worker = match desc.parent {
+            ParentRef::Root => None,
+            ParentRef::Node { worker, .. } => Some(worker),
+        };
+
+        let mut msgs: Vec<(NodeId, TaskMsg)> = Vec::new();
+        if desc.n_rows <= self.cfg.tau_d {
+            // Subtree-task.
+            let asg = {
+                let mut mwork = self.mwork.lock();
+                let colmap = self.colmap.lock();
+                assign_subtree(
+                    &mut mwork,
+                    &colmap,
+                    &workers,
+                    &candidates,
+                    desc.n_rows,
+                    parent_worker,
+                )
+            };
+            self.ttask.lock().insert(
+                desc.task,
+                MasterTask {
+                    tree: desc.tree,
+                    node: desc.node,
+                    n_rows: desc.n_rows,
+                    depth: desc.depth,
+                    path: desc.path,
+                    charges: asg.charges.clone(),
+                    kind: TaskKind::Subtree,
+                },
+            );
+            if let ParentRef::Node { worker, task: ptask, side } = desc.parent {
+                msgs.push((
+                    worker,
+                    TaskMsg::ServeQuota {
+                        task: ptask,
+                        side,
+                        quota: asg.ix_requesters.len() as u32,
+                    },
+                ));
+            }
+            msgs.push((
+                asg.key_worker,
+                TaskMsg::SubtreePlan(SubtreePlan {
+                    task: desc.task,
+                    tree: desc.tree,
+                    col_sources: asg.col_sources,
+                    parent: desc.parent,
+                    n_rows: desc.n_rows,
+                    depth: desc.depth,
+                    params,
+                    seed: mix_seed(tree_seed, desc.path),
+                }),
+            ));
+        } else if params.extra_trees {
+            // Extra-trees column-task: one randomly chosen worker resamples
+            // among the columns it holds (round-robin placement makes this
+            // distributionally equivalent to uniform attribute sampling;
+            // see DESIGN.md).
+            let mut rng = StdRng::seed_from_u64(mix_seed(tree_seed, desc.path));
+            // Only workers that actually hold columns can resample; with
+            // more workers than attribute replicas, some hold none.
+            let (w, cols) = {
+                let colmap = self.colmap.lock();
+                let eligible: Vec<NodeId> = workers
+                    .iter()
+                    .copied()
+                    .filter(|&w| !colmap.columns_of(w).is_empty())
+                    .collect();
+                assert!(!eligible.is_empty(), "no worker holds any column");
+                let w = eligible[rng.gen_range(0..eligible.len())];
+                (w, colmap.columns_of(w))
+            };
+            let charges = vec![(w, [desc.n_rows, 0, 0])];
+            self.mwork.lock().apply(&charges);
+            self.ttask.lock().insert(
+                desc.task,
+                MasterTask {
+                    tree: desc.tree,
+                    node: desc.node,
+                    n_rows: desc.n_rows,
+                    depth: desc.depth,
+                    path: desc.path,
+                    charges,
+                    kind: TaskKind::Column {
+                        pending: 1,
+                        involved: vec![w],
+                        best: None,
+                        node_stats: None,
+                    },
+                },
+            );
+            if let ParentRef::Node { worker, task: ptask, side } = desc.parent {
+                msgs.push((worker, TaskMsg::ServeQuota { task: ptask, side, quota: 1 }));
+            }
+            msgs.push((
+                w,
+                TaskMsg::ColumnPlan(ColumnPlan {
+                    task: desc.task,
+                    tree: desc.tree,
+                    cols,
+                    parent: desc.parent,
+                    n_rows: desc.n_rows,
+                    depth: desc.depth,
+                    params,
+                    random_seed: Some(rng.gen()),
+                }),
+            ));
+        } else {
+            // Exact column-task, sharded over column holders.
+            let asg = {
+                let mut mwork = self.mwork.lock();
+                let colmap = self.colmap.lock();
+                assign_column_task(&mut mwork, &colmap, &candidates, desc.n_rows, parent_worker)
+            };
+            let involved: Vec<NodeId> = asg.shards.iter().map(|&(w, _)| w).collect();
+            self.ttask.lock().insert(
+                desc.task,
+                MasterTask {
+                    tree: desc.tree,
+                    node: desc.node,
+                    n_rows: desc.n_rows,
+                    depth: desc.depth,
+                    path: desc.path,
+                    charges: asg.charges.clone(),
+                    kind: TaskKind::Column {
+                        pending: involved.len(),
+                        involved: involved.clone(),
+                        best: None,
+                        node_stats: None,
+                    },
+                },
+            );
+            if let ParentRef::Node { worker, task: ptask, side } = desc.parent {
+                msgs.push((
+                    worker,
+                    TaskMsg::ServeQuota {
+                        task: ptask,
+                        side,
+                        quota: involved.len() as u32,
+                    },
+                ));
+            }
+            for (w, cols) in asg.shards {
+                msgs.push((
+                    w,
+                    TaskMsg::ColumnPlan(ColumnPlan {
+                        task: desc.task,
+                        tree: desc.tree,
+                        cols,
+                        parent: desc.parent,
+                        n_rows: desc.n_rows,
+                        depth: desc.depth,
+                        params,
+                        random_seed: None,
+                    }),
+                ));
+            }
+        }
+        for (to, msg) in msgs {
+            let _ = self.fabric.send(0, to, msg);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // θ_recv: results.
+    // ------------------------------------------------------------------
+
+    /// The master's receiving thread.
+    pub fn recv_loop(self: Arc<Self>, rx: Receiver<TaskMsg>) {
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                TaskMsg::ColumnResult { task, worker, best, node_stats } => {
+                    self.on_column_result(task, worker, best, node_stats)
+                }
+                TaskMsg::SubtreeResult { task, subtree, .. } => {
+                    self.on_subtree_result(task, subtree)
+                }
+                TaskMsg::ReplicateDone { attrs, worker } => {
+                    let mut colmap = self.colmap.lock();
+                    for a in attrs {
+                        colmap.add_holder(a, worker);
+                    }
+                }
+                TaskMsg::Shutdown => return,
+                _ => unreachable!("worker-bound message delivered to the master"),
+            }
+        }
+    }
+
+    fn on_column_result(
+        &self,
+        task: TaskId,
+        worker: NodeId,
+        best: Option<ColumnTaskBest>,
+        node_stats: NodeStats,
+    ) {
+        let finished = {
+            let mut ttask = self.ttask.lock();
+            let Some(entry) = ttask.get_mut(&task) else {
+                return; // revoked
+            };
+            let TaskKind::Column { pending, best: stored, node_stats: stats_slot, .. } =
+                &mut entry.kind
+            else {
+                unreachable!("column result for a subtree task");
+            };
+            *pending -= 1;
+            if let Some(b) = best {
+                let replace = match stored {
+                    None => true,
+                    Some((_, incumbent)) => ColumnSplit::challenger_wins(
+                        &b.split,
+                        b.attr,
+                        &incumbent.split,
+                        incumbent.attr,
+                    ),
+                };
+                if replace {
+                    *stored = Some((worker, b));
+                }
+            }
+            if stats_slot.is_none() {
+                *stats_slot = Some(node_stats);
+            }
+            if *pending == 0 {
+                ttask.remove(&task)
+            } else {
+                None
+            }
+        };
+        if let Some(entry) = finished {
+            self.mwork.lock().deduct(&entry.charges);
+            self.finalize_column_task(task, entry);
+        }
+    }
+
+    /// All shards of a column-task have reported: pick the winner, update
+    /// the tree, spawn child tasks (or leaves), and notify the workers.
+    fn finalize_column_task(&self, task: TaskId, entry: MasterTask) {
+        let TaskKind::Column { involved, best, node_stats, .. } = entry.kind else {
+            unreachable!()
+        };
+        let node_stats = node_stats.expect("at least one shard reported");
+        let params = {
+            let reg = self.registry.lock();
+            reg.active.get(&entry.tree).map(|t| t.spec.params)
+        };
+        let Some(params) = params else {
+            // Tree revoked while results were in flight: just tell the
+            // workers to drop their task objects (outside any lock — sends
+            // sleep under the link model).
+            for w in involved {
+                let _ = self.fabric.send(0, w, TaskMsg::DropTask { task });
+            }
+            return;
+        };
+
+        // Leaf conditions at this node itself (relevant for root tasks; for
+        // child tasks the parent's finalize already filtered these).
+        let must_leaf = entry.depth >= params.dmax
+            || entry.n_rows <= params.tau_leaf
+            || node_stats.is_pure();
+
+        let Some((winner, best)) = (if must_leaf { None } else { best }) else {
+            // Leaf: fill the node's prediction and drop all task objects.
+            let pred = prediction_from_stats(&node_stats);
+            let done_tree = {
+                let mut reg = self.registry.lock();
+                let Some(tree) = reg.active.get_mut(&entry.tree) else { return };
+                tree.nodes[entry.node] =
+                    Node::leaf(pred, entry.n_rows, entry.depth);
+                tree.pending -= 1;
+                tree.pending == 0
+            };
+            for w in involved {
+                let _ = self.fabric.send(0, w, TaskMsg::DropTask { task });
+            }
+            if done_tree {
+                self.finish_tree(entry.tree);
+            }
+            return;
+        };
+
+        // Winner path: update the tree, create children.
+        let mut quota_zero_sides: Vec<Side> = Vec::new();
+        let mut child_plans: Vec<PlanDesc> = Vec::new();
+        let done_tree = {
+            let mut reg = self.registry.lock();
+            let Some(tree) = reg.active.get_mut(&entry.tree) else {
+                // Revoked mid-flight: release the lock before the paced sends.
+                drop(reg);
+                for w in involved {
+                    let _ = self.fabric.send(0, w, TaskMsg::DropTask { task });
+                }
+                return;
+            };
+            let node_pred = prediction_from_stats(&node_stats);
+            let l_idx = tree.nodes.len();
+            let r_idx = l_idx + 1;
+            let child_depth = entry.depth + 1;
+            tree.nodes.push(Node::leaf(
+                prediction_from_stats(&best.split.left),
+                best.split.n_left(),
+                child_depth,
+            ));
+            tree.nodes.push(Node::leaf(
+                prediction_from_stats(&best.split.right),
+                best.split.n_right(),
+                child_depth,
+            ));
+            tree.nodes[entry.node] = Node {
+                split: Some((
+                    SplitInfo {
+                        attr: best.attr,
+                        test: best.split.test.clone(),
+                        gain: best.split.gain,
+                        missing_left: best.split.missing_left,
+                        seen: best.seen.clone(),
+                    },
+                    l_idx,
+                    r_idx,
+                )),
+                prediction: node_pred,
+                n_rows: entry.n_rows,
+                depth: entry.depth,
+            };
+
+            let mut n_child_tasks = 0u64;
+            for (side, stats, child_node) in [
+                (Side::Left, &best.split.left, l_idx),
+                (Side::Right, &best.split.right, r_idx),
+            ] {
+                let n_child = stats.n();
+                let child_leaf = child_depth >= params.dmax
+                    || n_child <= params.tau_leaf
+                    || stats.is_pure();
+                if child_leaf {
+                    quota_zero_sides.push(side);
+                } else {
+                    n_child_tasks += 1;
+                    child_plans.push(PlanDesc {
+                        task: self.new_task(),
+                        tree: entry.tree,
+                        node: child_node,
+                        parent: ParentRef::Node { worker: winner, task, side },
+                        n_rows: n_child,
+                        depth: child_depth,
+                        path: match side {
+                            Side::Left => entry.path.wrapping_shl(1),
+                            Side::Right => entry.path.wrapping_shl(1) | 1,
+                        },
+                    });
+                }
+            }
+            tree.pending = tree.pending - 1 + n_child_tasks;
+            tree.pending == 0
+        };
+
+        // Notify workers. ConfirmBest must reach the winner before any
+        // ServeQuota for this task does; both ride the same FIFO channel, so
+        // sending ConfirmBest first (and only then enqueueing child plans
+        // that trigger θ_main quotas) guarantees the order.
+        let _ = self.fabric.send(0, winner, TaskMsg::ConfirmBest { task });
+        for w in involved {
+            if w != winner {
+                let _ = self.fabric.send(0, w, TaskMsg::DropTask { task });
+            }
+        }
+        for side in quota_zero_sides {
+            let _ = self
+                .fabric
+                .send(0, winner, TaskMsg::ServeQuota { task, side, quota: 0 });
+        }
+        for plan in child_plans {
+            self.enqueue_plan(plan);
+        }
+        if done_tree {
+            self.finish_tree(entry.tree);
+        }
+    }
+
+    fn on_subtree_result(&self, task: TaskId, subtree: DecisionTreeModel) {
+        let Some(entry) = self.ttask.lock().remove(&task) else {
+            return; // revoked
+        };
+        self.mwork.lock().deduct(&entry.charges);
+        let done_tree = {
+            let mut reg = self.registry.lock();
+            let Some(tree) = reg.active.get_mut(&entry.tree) else { return };
+            graft_nodes(&mut tree.nodes, entry.node, subtree);
+            tree.pending -= 1;
+            tree.pending == 0
+        };
+        if done_tree {
+            self.finish_tree(entry.tree);
+        }
+    }
+
+    /// Flushes a completed tree into its job; completes the job when its
+    /// last tree lands.
+    fn finish_tree(&self, tree_id: TreeId) {
+        let mut reg = self.registry.lock();
+        let tree = reg.active.remove(&tree_id).expect("tree just completed");
+        debug_assert_eq!(tree.pending, 0);
+        let model = DecisionTreeModel::new(tree.nodes, self.data_task());
+        if let Some(dir) = &self.cfg.model_dir {
+            // Flush the finished tree immediately (paper §III); failures are
+            // reported but do not abort training.
+            let path = dir.join(format!("tree_{}.json", tree_id.0));
+            if let Err(e) = std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(&path, model.to_json()))
+            {
+                eprintln!("treeserver: failed to flush {}: {e}", path.display());
+            }
+        }
+        let job = reg.jobs.get_mut(&tree.job).expect("job exists");
+        job.models[tree.index] = Some(model);
+        job.done += 1;
+        if job.done == job.total {
+            let job = reg.jobs.remove(&tree.job).expect("just present");
+            let models: Vec<DecisionTreeModel> =
+                job.models.into_iter().map(|m| m.expect("all trees done")).collect();
+            let result = match job.kind {
+                JobKind::DecisionTree => {
+                    JobResult::Tree(models.into_iter().next().expect("one tree"))
+                }
+                JobKind::RandomForest { .. } | JobKind::ExtraTrees { .. } => JobResult::Forest(
+                    ts_tree::ForestModel::new(models, self.data_task()),
+                ),
+            };
+            let _ = job.notify.send(result);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault recovery (paper §IV "Fault Tolerance" / Appendix E).
+    // ------------------------------------------------------------------
+
+    /// Handles a worker crash: re-replicates its columns from surviving
+    /// replicas and restarts every in-flight tree (completed trees are
+    /// unaffected). See DESIGN.md §7 for the tree-granularity note.
+    pub fn handle_worker_crash(&self, dead: NodeId) {
+        // 1. Membership.
+        self.workers.lock().retain(|&w| w != dead);
+        let live = self.workers.lock().clone();
+        assert!(!live.is_empty(), "no workers left");
+
+        // 2. Column re-replication planning.
+        let mut transfer: HashMap<NodeId, (NodeId, Vec<usize>)> = HashMap::new();
+        {
+            let mut colmap = self.colmap.lock();
+            let lost = colmap.remove_worker(dead);
+            let mut load: HashMap<NodeId, usize> =
+                live.iter().map(|&w| (w, colmap.columns_of(w).len())).collect();
+            for attr in lost {
+                let source = colmap.holders(attr)[0];
+                let target = *live
+                    .iter()
+                    .filter(|&&w| !colmap.holders(attr).contains(&w))
+                    .min_by_key(|&&w| (load[&w], w))
+                    .expect("replication < live workers");
+                *load.get_mut(&target).expect("live") += 1;
+                transfer.entry(source).or_insert((target, Vec::new())).1.push(attr);
+                // The holder list is updated when ReplicateDone arrives.
+            }
+        }
+
+        // 3. Revoke all in-flight trees and restart them under fresh ids.
+        let mut revoked: Vec<TreeId> = Vec::new();
+        let mut new_roots: Vec<PlanDesc> = Vec::new();
+        {
+            let mut reg = self.registry.lock();
+            let old: Vec<TreeId> = reg.active.keys().copied().collect();
+            for tid in old {
+                let t = reg.active.remove(&tid).expect("present");
+                revoked.push(tid);
+                let new_id = TreeId(reg.next_tree);
+                reg.next_tree += 1;
+                reg.active.insert(
+                    new_id,
+                    ActiveTree {
+                        job: t.job,
+                        index: t.index,
+                        spec: t.spec,
+                        nodes: vec![Node::leaf(self.placeholder_pred(), 0, 0)],
+                        pending: 1,
+                    },
+                );
+                new_roots.push(PlanDesc {
+                    task: self.new_task(),
+                    tree: new_id,
+                    node: 0,
+                    parent: ParentRef::Root,
+                    n_rows: self.n_rows as u64,
+                    depth: 0,
+                    path: 1,
+                });
+            }
+        }
+        self.ttask.lock().clear();
+        self.mwork.lock().clear();
+        {
+            let mut bplan = self.bplan.lock();
+            bplan.clear();
+            for root in new_roots {
+                if root.n_rows <= self.cfg.tau_dfs {
+                    bplan.push_front(root);
+                } else {
+                    bplan.push_back(root);
+                }
+            }
+        }
+
+        // 4. Notify workers.
+        for &w in &live {
+            for &tid in &revoked {
+                let _ = self.fabric.send(0, w, TaskMsg::RevokeTree { tree: tid });
+            }
+        }
+        for (source, (target, attrs)) in transfer {
+            let _ = self
+                .fabric
+                .send(0, source, TaskMsg::ReplicateTo { attrs, to: target });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_netsim::{Fabric, NetModel, NetStats};
+
+    fn test_master(n_rows: usize, tau_dfs: u64) -> (Arc<Master>, Vec<crossbeam_channel::Receiver<TaskMsg>>) {
+        let stats = NetStats::new(3);
+        let (fabric, rxs) = Fabric::new(3, NetModel::instant(), stats);
+        let cfg = ClusterConfig {
+            n_workers: 2,
+            tau_dfs,
+            ..ClusterConfig::default()
+        };
+        let colmap = crate::assign::ColumnMap::round_robin(4, 2, 2);
+        let m = Master::new(
+            cfg,
+            n_rows,
+            4,
+            Task::Classification { n_classes: 2 },
+            colmap,
+            fabric,
+        );
+        m.init_load_matrix(3);
+        (m, rxs)
+    }
+
+    #[test]
+    fn enqueue_respects_hybrid_bfs_dfs_rule() {
+        // Fig. 5: |Dx| > tau_dfs appends (breadth-first tail), smaller
+        // pushes to the head (depth-first).
+        let (m, _rxs) = test_master(1_000, 100);
+        let mk = |task: u64, n_rows: u64| PlanDesc {
+            task: TaskId(task),
+            tree: TreeId(0),
+            node: 0,
+            parent: ParentRef::Root,
+            n_rows,
+            depth: 0,
+            path: 1,
+        };
+        m.enqueue_plan(mk(1, 500)); // big -> tail
+        m.enqueue_plan(mk(2, 600)); // big -> tail (after 1)
+        m.enqueue_plan(mk(3, 50)); // small -> head
+        m.enqueue_plan(mk(4, 20)); // small -> head (before 3)
+        let order: Vec<u64> = m.bplan.lock().iter().map(|p| p.task.0).collect();
+        assert_eq!(order, vec![4, 3, 1, 2]);
+    }
+
+    #[test]
+    fn submit_expands_trees_into_the_queue() {
+        let (m, _rxs) = test_master(1_000, 100);
+        let (h1, _rx1) = m.submit(JobSpec::random_forest(
+            Task::Classification { n_classes: 2 },
+            5,
+        ));
+        let (h2, _rx2) = m.submit(JobSpec::decision_tree(Task::Classification { n_classes: 2 }));
+        assert_ne!(h1, h2);
+        let reg = m.registry.lock();
+        assert_eq!(reg.queue.len(), 6, "5 forest trees + 1 decision tree");
+        assert_eq!(reg.jobs.len(), 2);
+    }
+
+    #[test]
+    fn admit_respects_npool() {
+        let (m, _rxs) = test_master(10, 1_000);
+        {
+            let mut reg = m.registry.lock();
+            reg.jobs.insert(
+                0,
+                JobState {
+                    total: 10,
+                    done: 0,
+                    models: vec![None; 10],
+                    kind: JobKind::RandomForest { n_trees: 10, col_fraction: -1.0 },
+                    notify: crossbeam_channel::bounded(1).0,
+                },
+            );
+            for index in 0..10 {
+                reg.queue.push_back(QueuedTree {
+                    job: 0,
+                    index,
+                    spec: JobSpec::random_forest(Task::Classification { n_classes: 2 }, 10)
+                        .expand(4)
+                        .remove(index),
+                });
+            }
+        }
+        // Shrink the pool and admit.
+        let mut m2 = Arc::try_unwrap(m).ok().expect("sole owner");
+        m2.cfg.n_pool = 3;
+        let m = Arc::new(m2);
+        m.admit_trees();
+        let reg = m.registry.lock();
+        assert_eq!(reg.active.len(), 3, "pool capped at 3");
+        assert_eq!(reg.queue.len(), 7);
+        drop(reg);
+        assert_eq!(m.bplan.lock().len(), 3, "one root plan per admitted tree");
+    }
+
+    #[test]
+    fn mix_seed_is_stable_and_spread() {
+        let a = mix_seed(1, 1);
+        let b = mix_seed(1, 2);
+        let c = mix_seed(2, 1);
+        assert_eq!(a, mix_seed(1, 1));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn placeholder_matches_task_kind() {
+        let (m, _rxs) = test_master(10, 100);
+        match m.placeholder_pred() {
+            Prediction::Class { pmf, .. } => assert_eq!(pmf.len(), 2),
+            Prediction::Real(_) => panic!("classification master"),
+        }
+    }
+}

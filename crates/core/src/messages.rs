@@ -1,0 +1,357 @@
+//! The wire protocol: task-channel and data-channel messages.
+//!
+//! Two planes, as in the paper's Fig. 6:
+//!
+//! - **Task channel** (master ↔ workers): plans out, results back, plus the
+//!   §V control messages (`ConfirmBest`, `DropTask`, `ServeQuota`).
+//! - **Data channel** (worker ↔ worker): `Ix` requests served by parent
+//!   workers and column-data requests served by column holders. The master
+//!   never appears on this plane — that is the whole point of §V.
+//!
+//! Every message reports an approximate serialized size so the fabric can
+//! account and pace it.
+
+use crate::ids::{ParentRef, Side, TaskId, TreeId};
+use ts_datatable::{Column, ValuesBuf};
+use ts_netsim::{NodeId, WireSized};
+use ts_splits::exact::ColumnSplit;
+use ts_splits::impurity::NodeStats;
+use ts_splits::{Impurity, SplitTest};
+use ts_tree::{DecisionTreeModel, Prediction};
+
+/// Per-tree training parameters carried inside plans.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Impurity function for split scoring.
+    pub impurity: Impurity,
+    /// Maximum node depth (`u32::MAX` = unbounded).
+    pub dmax: u32,
+    /// Leaf threshold `τ_leaf`.
+    pub tau_leaf: u64,
+    /// `true` for completely-random (extra-trees) splits.
+    pub extra_trees: bool,
+}
+
+/// A plan for a column-task shard: "evaluate these columns of node `x`".
+#[derive(Debug, Clone)]
+pub struct ColumnPlan {
+    /// The task this shard belongs to.
+    pub task: TaskId,
+    /// The tree under construction.
+    pub tree: TreeId,
+    /// Attribute ids this worker must evaluate (it holds all of them).
+    pub cols: Vec<usize>,
+    /// Where to fetch `Ix`.
+    pub parent: ParentRef,
+    /// `|Dx|` (known from the parent's split counters, §V).
+    pub n_rows: u64,
+    /// Node depth.
+    pub depth: u32,
+    /// Training parameters of the tree.
+    pub params: TreeParams,
+    /// Extra-trees only: the seed for the random split draw.
+    pub random_seed: Option<u64>,
+}
+
+/// A plan for a subtree-task: "collect `Dx` and build `∆x`".
+#[derive(Debug, Clone)]
+pub struct SubtreePlan {
+    /// The task id.
+    pub task: TaskId,
+    /// The tree under construction.
+    pub tree: TreeId,
+    /// For every candidate column, the worker to request it from (computed
+    /// by the master's §VI assignment; sorted by attribute id).
+    pub col_sources: Vec<(usize, NodeId)>,
+    /// Where to fetch `Ix`.
+    pub parent: ParentRef,
+    /// `|Dx|`.
+    pub n_rows: u64,
+    /// Node depth (the local trainer's base depth).
+    pub depth: u32,
+    /// Training parameters of the tree.
+    pub params: TreeParams,
+    /// Seed for extra-trees randomness inside the subtree.
+    pub seed: u64,
+}
+
+/// The best split one worker found among its assigned columns, with the
+/// `|Ixl|`/`|Ixr|` counters and child statistics the paper sends back so the
+/// master can type the child tasks without ever seeing `Ix` (§V).
+#[derive(Debug, Clone)]
+pub struct ColumnTaskBest {
+    /// The winning attribute (among this worker's assigned columns).
+    pub attr: usize,
+    /// The split and its exact child statistics.
+    pub split: ColumnSplit,
+    /// Categorical split-attributes: the category codes seen in `Dx`.
+    pub seen: Option<Vec<u32>>,
+}
+
+/// Messages on the task channel.
+#[derive(Debug, Clone)]
+pub enum TaskMsg {
+    /// Master → worker: evaluate columns of a node.
+    ColumnPlan(ColumnPlan),
+    /// Master → worker (the key worker): build a subtree.
+    SubtreePlan(SubtreePlan),
+    /// Worker → master: result of a column-task shard.
+    ColumnResult {
+        /// The task.
+        task: TaskId,
+        /// Reporting worker.
+        worker: NodeId,
+        /// Best split among the worker's columns (`None`: no column splits).
+        best: Option<ColumnTaskBest>,
+        /// The node's own label statistics over `Dx` (for the node's stored
+        /// prediction and the leaf decision).
+        node_stats: NodeStats,
+    },
+    /// Worker → master: a completed subtree.
+    SubtreeResult {
+        /// The task.
+        task: TaskId,
+        /// Reporting worker.
+        worker: NodeId,
+        /// The built subtree (depths relative to the subtree root).
+        subtree: DecisionTreeModel,
+    },
+    /// Master → winner worker: your split is the overall best — partition
+    /// `Ix` and serve the child tasks (you are now a delegate worker).
+    ConfirmBest {
+        /// The confirmed task.
+        task: TaskId,
+    },
+    /// Master → loser workers: free your task object for `task`.
+    DropTask {
+        /// The dropped task.
+        task: TaskId,
+    },
+    /// Master → delegate worker: exactly `quota` workers will request the
+    /// `side` half of `task`'s rows; free the buffer after serving them all
+    /// (quota 0 means the child became a leaf — free immediately).
+    ServeQuota {
+        /// The delegate's task.
+        task: TaskId,
+        /// Which half.
+        side: Side,
+        /// Number of distinct requesters to expect.
+        quota: u32,
+    },
+    /// Master → worker: revoke every task belonging to a tree (fault
+    /// recovery).
+    RevokeTree {
+        /// The revoked tree.
+        tree: TreeId,
+    },
+    /// Master → worker: store these columns (crash re-replication target).
+    LoadColumns {
+        /// `(attr id, column)` pairs.
+        columns: Vec<(usize, Column)>,
+    },
+    /// Master → surviving replica: copy your columns `attrs` to worker `to`
+    /// over the data channel (crash recovery).
+    ReplicateTo {
+        /// Columns to copy.
+        attrs: Vec<usize>,
+        /// The new holder.
+        to: NodeId,
+    },
+    /// Worker → master: the replicated columns have arrived and are
+    /// servable; the master may now list this worker as a holder.
+    ReplicateDone {
+        /// Columns now held.
+        attrs: Vec<usize>,
+        /// The reporting worker.
+        worker: NodeId,
+    },
+    /// Client → worker: replace the full target column (boosting rounds
+    /// re-label between trees; `Y` is replicated on every machine, so the
+    /// update is a broadcast).
+    LoadLabels {
+        /// The new target values (must match the table's row count).
+        labels: ts_datatable::Labels,
+    },
+    /// Master → worker: stop all threads.
+    Shutdown,
+}
+
+impl WireSized for TaskMsg {
+    fn wire_bytes(&self) -> usize {
+        const HDR: usize = 24;
+        match self {
+            TaskMsg::ColumnPlan(p) => HDR + 8 * p.cols.len() + 32,
+            TaskMsg::SubtreePlan(p) => HDR + 12 * p.col_sources.len() + 40,
+            TaskMsg::ColumnResult { best, node_stats, .. } => {
+                HDR + stats_bytes(node_stats)
+                    + best.as_ref().map_or(1, |b| {
+                        8 + b.split.test.wire_bytes()
+                            + stats_bytes(&b.split.left)
+                            + stats_bytes(&b.split.right)
+                            + b.seen.as_ref().map_or(0, |s| 4 * s.len())
+                    })
+            }
+            TaskMsg::SubtreeResult { subtree, .. } => HDR + tree_bytes(subtree),
+            TaskMsg::ConfirmBest { .. }
+            | TaskMsg::DropTask { .. }
+            | TaskMsg::ServeQuota { .. }
+            | TaskMsg::RevokeTree { .. }
+            | TaskMsg::Shutdown => HDR,
+            TaskMsg::ReplicateTo { attrs, .. } | TaskMsg::ReplicateDone { attrs, .. } => {
+                HDR + 8 * attrs.len()
+            }
+            TaskMsg::LoadLabels { labels } => HDR + labels.payload_bytes(),
+            TaskMsg::LoadColumns { columns } => {
+                HDR + columns.iter().map(|(_, c)| 8 + c.payload_bytes()).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// Messages on the data channel.
+#[derive(Debug, Clone)]
+pub enum DataMsg {
+    /// Request the `side` half of `parent_task`'s row split, to be applied
+    /// to the requester's task `for_task`.
+    ReqIx {
+        /// The parent task whose delegate is addressed.
+        parent_task: TaskId,
+        /// Which half.
+        side: Side,
+        /// Who asks (the response goes back there).
+        requester: NodeId,
+        /// The requester-side task waiting for the rows.
+        for_task: TaskId,
+        /// The tree both tasks belong to (fault-recovery bookkeeping).
+        tree: TreeId,
+    },
+    /// The requested row ids.
+    RespIx {
+        /// The requester-side task.
+        for_task: TaskId,
+        /// The rows `Ix` (sorted).
+        rows: Vec<u32>,
+    },
+    /// Key worker → holder: send me these columns gathered over `for_task`'s
+    /// rows (the holder fetches `Ix` from the parent worker itself).
+    ReqCols {
+        /// The subtree task.
+        for_task: TaskId,
+        /// Attribute ids to gather (the holder has them all).
+        attrs: Vec<usize>,
+        /// Where the response goes.
+        key_worker: NodeId,
+        /// Where the holder can fetch `Ix`.
+        parent: ParentRef,
+        /// The tree the task belongs to (fault-recovery bookkeeping).
+        tree: TreeId,
+    },
+    /// Holder → key worker: gathered column data.
+    RespCols {
+        /// The subtree task.
+        for_task: TaskId,
+        /// Attribute ids, aligned with `bufs`.
+        attrs: Vec<usize>,
+        /// Gathered values, aligned with the task's `Ix` order.
+        bufs: Vec<ValuesBuf>,
+    },
+    /// Master-directed replication: the column payload a surviving replica
+    /// copies to a new holder (crash recovery).
+    ReplicateCols {
+        /// `(attr id, column)` pairs copied from a surviving replica.
+        columns: Vec<(usize, Column)>,
+    },
+    /// Stop the data loop (sent by the worker to itself during shutdown).
+    Shutdown,
+}
+
+impl WireSized for DataMsg {
+    fn wire_bytes(&self) -> usize {
+        const HDR: usize = 24;
+        match self {
+            DataMsg::ReqIx { .. } => HDR,
+            DataMsg::RespIx { rows, .. } => HDR + 4 * rows.len(),
+            DataMsg::ReqCols { attrs, .. } => HDR + 8 * attrs.len(),
+            DataMsg::RespCols { bufs, .. } => {
+                HDR + bufs.iter().map(|b| 8 + b.payload_bytes()).sum::<usize>()
+            }
+            DataMsg::ReplicateCols { columns } => {
+                HDR + columns.iter().map(|(_, c)| 8 + c.payload_bytes()).sum::<usize>()
+            }
+            DataMsg::Shutdown => HDR,
+        }
+    }
+}
+
+fn stats_bytes(s: &NodeStats) -> usize {
+    match s {
+        NodeStats::Class(c) => 8 + 8 * c.counts().len(),
+        NodeStats::Reg(_) => 24,
+    }
+}
+
+fn tree_bytes(t: &DecisionTreeModel) -> usize {
+    t.nodes
+        .iter()
+        .map(|n| {
+            let pred = match &n.prediction {
+                Prediction::Class { pmf, .. } => 4 + 4 * pmf.len(),
+                Prediction::Real(_) => 8,
+            };
+            let split = n.split.as_ref().map_or(0, |(info, _, _)| {
+                info.test.wire_bytes() + info.seen.as_ref().map_or(0, |s| 4 * s.len()) + 16
+            });
+            16 + pred + split
+        })
+        .sum()
+}
+
+/// Wire size of a split test plus child stats (used by assignment cost
+/// estimates).
+pub fn split_wire_bytes(test: &SplitTest) -> usize {
+    test.wire_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_splits::impurity::{LabelView, NodeStats};
+
+    #[test]
+    fn respix_scales_with_rows() {
+        let small = DataMsg::RespIx { for_task: TaskId(1), rows: vec![1, 2] };
+        let big = DataMsg::RespIx { for_task: TaskId(1), rows: vec![0; 1000] };
+        assert!(big.wire_bytes() > small.wire_bytes() + 3900);
+    }
+
+    #[test]
+    fn respcols_counts_payload() {
+        let m = DataMsg::RespCols {
+            for_task: TaskId(1),
+            attrs: vec![0],
+            bufs: vec![ValuesBuf::Numeric(vec![0.0; 100])],
+        };
+        assert!(m.wire_bytes() >= 800);
+    }
+
+    #[test]
+    fn column_result_size_includes_stats() {
+        let stats = NodeStats::from_view(LabelView::Class(&[0, 1, 1], 2));
+        let m = TaskMsg::ColumnResult {
+            task: TaskId(0),
+            worker: 1,
+            best: None,
+            node_stats: stats,
+        };
+        assert!(m.wire_bytes() >= 24 + 24);
+    }
+
+    #[test]
+    fn control_messages_are_small() {
+        assert_eq!(TaskMsg::Shutdown.wire_bytes(), 24);
+        assert_eq!(
+            TaskMsg::ServeQuota { task: TaskId(1), side: Side::Left, quota: 3 }.wire_bytes(),
+            24
+        );
+    }
+}

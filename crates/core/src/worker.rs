@@ -1,0 +1,912 @@
+//! The worker machine: task/data event loops, the comper pool, column
+//! storage, and the §V delegate-worker machinery.
+//!
+//! Each worker runs (paper §IV, Fig. 7 / Fig. 14(b)):
+//!
+//! - a **task-loop** thread (the paper's worker `θ_main`) receiving plans
+//!   and control messages from the master,
+//! - a **data-loop** thread (`θ_recv`) receiving/serving worker↔worker data:
+//!   `Ix` requests against its delegate table, column requests against its
+//!   column store, and responses that complete its own pending tasks, and
+//! - a pool of **compers** pulling ready tasks from `Btask` and sending
+//!   results straight to the master.
+//!
+//! A column-task's row set `Ix` survives the result send in the *awaiting
+//! verdict* table; when the master confirms this worker's split as the
+//! overall best (`ConfirmBest`), the worker becomes the task's **delegate**:
+//! it partitions `Ix` with its locally-held winning column and serves the
+//! halves to the child tasks' workers, freeing them when the master-announced
+//! quotas are met. `Ix` requests that race ahead of `ConfirmBest` are parked
+//! and replayed.
+//!
+//! Lock discipline: the state mutex is never held across a fabric send
+//! (sends sleep under the link model).
+
+use crate::ids::{ParentRef, RowSet, Side, TaskId, TreeId};
+use crate::messages::{ColumnPlan, ColumnTaskBest, DataMsg, SubtreePlan, TaskMsg};
+use crossbeam_channel::{Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use ts_datatable::{AttrType, Column, Labels, Task, ValuesBuf};
+use ts_netsim::{BusyGuard, Fabric, NetStats, NodeId};
+use ts_splits::exact::{best_split_for_column, distinct_categories, ColumnSplit};
+use ts_splits::impurity::{LabelView, NodeStats};
+use ts_splits::random::random_split_for_column;
+use ts_splits::{partition_rows, SplitTest};
+use ts_tree::{train_subtree, LocalDataset, TrainMode, TrainParams};
+
+/// Accounted bytes of a row set (the implicit root range costs nothing).
+fn ix_bytes(ix: &RowSet) -> usize {
+    match ix {
+        RowSet::All => 0,
+        RowSet::Ids(v) => v.len() * 4,
+    }
+}
+
+/// A task whose data is complete, ready for a comper.
+enum ReadyTask {
+    Column {
+        plan: ColumnPlan,
+        ix: RowSet,
+    },
+    Subtree {
+        plan: SubtreePlan,
+        ix: RowSet,
+        /// Buffers received from remote holders, keyed by attribute.
+        remote_bufs: HashMap<usize, ValuesBuf>,
+    },
+    Stop,
+}
+
+/// A task parked in the worker's task table waiting for data.
+enum PendingTask {
+    /// Column-task waiting for `Ix`.
+    Column { plan: ColumnPlan },
+    /// Subtree-task (on its key worker) waiting for `Ix` and/or columns.
+    Subtree {
+        plan: SubtreePlan,
+        ix: Option<RowSet>,
+        remote_bufs: HashMap<usize, ValuesBuf>,
+        remote_needed: usize,
+    },
+    /// A `ReqCols` we must serve once we learn `Ix`.
+    Serve {
+        tree: TreeId,
+        attrs: Vec<usize>,
+        key_worker: NodeId,
+    },
+}
+
+impl PendingTask {
+    fn tree(&self) -> TreeId {
+        match self {
+            PendingTask::Column { plan } => plan.tree,
+            PendingTask::Subtree { plan, .. } => plan.tree,
+            PendingTask::Serve { tree, .. } => *tree,
+        }
+    }
+}
+
+/// A computed column-task whose `Ix` (and winning condition) must survive
+/// until the master's verdict.
+struct AwaitingVerdict {
+    tree: TreeId,
+    ix: RowSet,
+    winning: Option<(usize, SplitTest, bool)>,
+}
+
+/// Delegate-worker state for one confirmed task (paper §V).
+struct DelegateEntry {
+    tree: TreeId,
+    sides: [Option<Vec<u32>>; 2],
+    quota: [Option<u32>; 2],
+    served: [u32; 2],
+}
+
+impl DelegateEntry {
+    fn side_idx(side: Side) -> usize {
+        match side {
+            Side::Left => 0,
+            Side::Right => 1,
+        }
+    }
+
+    /// Drops side buffers whose quota is known and fully served; returns the
+    /// freed byte count.
+    fn release_satisfied(&mut self) -> usize {
+        let mut freed = 0;
+        for i in 0..2 {
+            if let Some(q) = self.quota[i] {
+                if self.served[i] >= q {
+                    if let Some(v) = self.sides[i].take() {
+                        freed += v.len() * 4;
+                    }
+                }
+            }
+        }
+        freed
+    }
+
+    fn done(&self) -> bool {
+        self.quota.iter().all(Option::is_some) && self.sides.iter().all(Option::is_none)
+    }
+}
+
+struct WorkerState {
+    tasks: HashMap<TaskId, PendingTask>,
+    awaiting: HashMap<TaskId, AwaitingVerdict>,
+    delegates: HashMap<TaskId, DelegateEntry>,
+    /// `Ix` requests that arrived before `ConfirmBest`, keyed by parent task.
+    parked: HashMap<TaskId, Vec<(TreeId, Side, NodeId, TaskId)>>,
+    /// Trees revoked by fault recovery: results for them are suppressed.
+    revoked: HashSet<TreeId>,
+}
+
+/// One worker machine.
+pub struct Worker {
+    id: NodeId,
+    work_ns_per_unit: u64,
+    n_rows: usize,
+    task: Task,
+    labels: RwLock<Arc<Labels>>,
+    attr_types: Arc<Vec<AttrType>>,
+    columns: RwLock<HashMap<usize, Arc<Column>>>,
+    state: Mutex<WorkerState>,
+    ready_tx: Sender<ReadyTask>,
+    fabric_task: Fabric<TaskMsg>,
+    fabric_data: Fabric<DataMsg>,
+    stats: Arc<NetStats>,
+}
+
+impl Worker {
+    /// Creates a worker holding `columns` (attr id → column) plus the full
+    /// label column, and spawns its threads. Returns the join handles.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn(
+        id: NodeId,
+        work_ns_per_unit: u64,
+        columns: HashMap<usize, Arc<Column>>,
+        labels: Arc<Labels>,
+        attr_types: Arc<Vec<AttrType>>,
+        task: Task,
+        compers: usize,
+        fabric_task: Fabric<TaskMsg>,
+        fabric_data: Fabric<DataMsg>,
+        task_rx: Receiver<TaskMsg>,
+        data_rx: Receiver<DataMsg>,
+    ) -> Vec<std::thread::JoinHandle<()>> {
+        let (ready_tx, ready_rx) = crossbeam_channel::unbounded();
+        let stats = Arc::clone(fabric_task.stats());
+        // The resident column data is the memory baseline of the machine
+        // ("most memory is used to hold data columns", Table III discussion).
+        let col_bytes: usize = columns.values().map(|c| c.payload_bytes()).sum();
+        stats.mem_alloc(id, col_bytes + labels.payload_bytes());
+        let worker = Arc::new(Worker {
+            id,
+            work_ns_per_unit,
+            n_rows: labels.len(),
+            task,
+            labels: RwLock::new(labels),
+            attr_types,
+            columns: RwLock::new(columns),
+            state: Mutex::new(WorkerState {
+                tasks: HashMap::new(),
+                awaiting: HashMap::new(),
+                delegates: HashMap::new(),
+                parked: HashMap::new(),
+                revoked: HashSet::new(),
+            }),
+            ready_tx,
+            fabric_task,
+            fabric_data,
+            stats,
+        });
+
+        let mut handles = Vec::new();
+        {
+            let w = Arc::clone(&worker);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("worker{id}-task"))
+                    .spawn(move || w.task_loop(task_rx, compers))
+                    .expect("spawn task loop"),
+            );
+        }
+        {
+            let w = Arc::clone(&worker);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("worker{id}-data"))
+                    .spawn(move || w.data_loop(data_rx))
+                    .expect("spawn data loop"),
+            );
+        }
+        for c in 0..compers {
+            let w = Arc::clone(&worker);
+            let rx = ready_rx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("worker{id}-comper{c}"))
+                    .spawn(move || w.comper_loop(rx))
+                    .expect("spawn comper"),
+            );
+        }
+        handles
+    }
+
+    fn n_classes(&self) -> u32 {
+        self.task.n_classes().unwrap_or(0)
+    }
+
+    /// The effective prediction task: boosting rounds swap in real-valued
+    /// pseudo-targets, turning every tree into a regression tree regardless
+    /// of the table's original task.
+    fn current_task(&self) -> Task {
+        match &**self.labels.read() {
+            Labels::Real(_) => Task::Regression,
+            Labels::Class(_) => self.task,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Task loop (worker θ_main): plans and control messages from master.
+    // ------------------------------------------------------------------
+    fn task_loop(self: Arc<Self>, rx: Receiver<TaskMsg>, compers: usize) {
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                TaskMsg::ColumnPlan(plan) => self.on_column_plan(plan),
+                TaskMsg::SubtreePlan(plan) => self.on_subtree_plan(plan),
+                TaskMsg::ConfirmBest { task } => self.on_confirm_best(task),
+                TaskMsg::DropTask { task } => self.on_drop_task(task),
+                TaskMsg::ServeQuota { task, side, quota } => {
+                    self.on_serve_quota(task, side, quota)
+                }
+                TaskMsg::RevokeTree { tree } => self.on_revoke_tree(tree),
+                TaskMsg::LoadColumns { columns } => {
+                    let mut store = self.columns.write();
+                    for (attr, col) in columns {
+                        self.stats.mem_alloc(self.id, col.payload_bytes());
+                        store.insert(attr, Arc::new(col));
+                    }
+                }
+                TaskMsg::LoadLabels { labels } => {
+                    // Boosting support: the client distributes a fresh target
+                    // column between rounds (the cluster is quiesced — the
+                    // caller waits for the previous round's job first).
+                    assert_eq!(labels.len(), self.n_rows, "label column length");
+                    *self.labels.write() = Arc::new(labels);
+                }
+                TaskMsg::ReplicateTo { attrs, to } => {
+                    let columns: Vec<(usize, Column)> = {
+                        let store = self.columns.read();
+                        attrs
+                            .iter()
+                            .map(|a| {
+                                (*a, (**store.get(a).expect("replica source holds column")).clone())
+                            })
+                            .collect()
+                    };
+                    let _ = self
+                        .fabric_data
+                        .send(self.id, to, DataMsg::ReplicateCols { columns });
+                }
+                TaskMsg::Shutdown => {
+                    for _ in 0..compers {
+                        let _ = self.ready_tx.send(ReadyTask::Stop);
+                    }
+                    // Stop the data loop too (self-send is free and FIFO,
+                    // so queued data messages drain first).
+                    let _ = self.fabric_data.send(self.id, self.id, DataMsg::Shutdown);
+                    break;
+                }
+                // Master-only messages never reach workers.
+                TaskMsg::ColumnResult { .. }
+                | TaskMsg::SubtreeResult { .. }
+                | TaskMsg::ReplicateDone { .. } => {
+                    unreachable!("master-bound message delivered to a worker")
+                }
+            }
+        }
+    }
+
+    fn on_column_plan(&self, plan: ColumnPlan) {
+        match plan.parent {
+            ParentRef::Root => {
+                let _ = self
+                    .ready_tx
+                    .send(ReadyTask::Column { plan, ix: RowSet::All });
+            }
+            ParentRef::Node { worker, task: ptask, side } => {
+                let task = plan.task;
+                let tree = plan.tree;
+                self.state.lock().tasks.insert(task, PendingTask::Column { plan });
+                self.request_ix(worker, ptask, side, task, tree);
+            }
+        }
+    }
+
+    fn on_subtree_plan(&self, plan: SubtreePlan) {
+        let task = plan.task;
+        let me = self.id;
+        // Group remote column requests by holder.
+        let mut by_holder: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        let mut remote_needed = 0usize;
+        for &(attr, holder) in &plan.col_sources {
+            if holder != me {
+                by_holder.entry(holder).or_default().push(attr);
+                remote_needed += 1;
+            }
+        }
+        let parent = plan.parent;
+        let tree = plan.tree;
+        let ix = match parent {
+            ParentRef::Root => Some(RowSet::All),
+            ParentRef::Node { .. } => None,
+        };
+        if ix.is_some() && remote_needed == 0 {
+            let _ = self.ready_tx.send(ReadyTask::Subtree {
+                plan,
+                ix: RowSet::All,
+                remote_bufs: HashMap::new(),
+            });
+        } else {
+            self.state.lock().tasks.insert(
+                task,
+                PendingTask::Subtree { plan, ix, remote_bufs: HashMap::new(), remote_needed },
+            );
+        }
+        // Fire the data requests after registering the entry.
+        let mut holders: Vec<(NodeId, Vec<usize>)> = by_holder.into_iter().collect();
+        holders.sort_unstable_by_key(|&(h, _)| h);
+        for (holder, attrs) in holders {
+            let _ = self.fabric_data.send(
+                me,
+                holder,
+                DataMsg::ReqCols { for_task: task, attrs, key_worker: me, parent, tree },
+            );
+        }
+        if let ParentRef::Node { worker, task: ptask, side } = parent {
+            self.request_ix(worker, ptask, side, task, tree);
+        }
+    }
+
+    fn request_ix(
+        &self,
+        parent_worker: NodeId,
+        ptask: TaskId,
+        side: Side,
+        for_task: TaskId,
+        tree: TreeId,
+    ) {
+        let _ = self.fabric_data.send(
+            self.id,
+            parent_worker,
+            DataMsg::ReqIx { parent_task: ptask, side, requester: self.id, for_task, tree },
+        );
+    }
+
+    fn on_confirm_best(&self, task: TaskId) {
+        let mut responses: Vec<(NodeId, DataMsg)> = Vec::new();
+        {
+            let mut st = self.state.lock();
+            let Some(av) = st.awaiting.remove(&task) else {
+                return; // revoked while the verdict was in flight
+            };
+            let (attr, test, missing_left) =
+                av.winning.expect("master confirmed a worker that reported no split");
+            let col = Arc::clone(
+                self.columns
+                    .read()
+                    .get(&attr)
+                    .expect("delegate must hold its winning column"),
+            );
+            let ids = av.ix.to_ids(self.n_rows);
+            let (l, r) = partition_rows(&col, &ids, &test, missing_left);
+            self.stats.mem_free(self.id, ix_bytes(&av.ix));
+            self.stats.mem_alloc(self.id, (l.len() + r.len()) * 4);
+            st.delegates.insert(
+                task,
+                DelegateEntry {
+                    tree: av.tree,
+                    sides: [Some(l), Some(r)],
+                    quota: [None, None],
+                    served: [0, 0],
+                },
+            );
+            // Replay any Ix requests that raced ahead of the verdict.
+            if let Some(parked) = st.parked.remove(&task) {
+                for (_tree, side, requester, for_task) in parked {
+                    if let Some(resp) = self.serve_ix(&mut st, task, side, for_task) {
+                        responses.push((requester, resp));
+                    }
+                }
+            }
+        }
+        for (to, msg) in responses {
+            let _ = self.fabric_data.send(self.id, to, msg);
+        }
+    }
+
+    fn on_drop_task(&self, task: TaskId) {
+        let mut st = self.state.lock();
+        if let Some(av) = st.awaiting.remove(&task) {
+            self.stats.mem_free(self.id, ix_bytes(&av.ix));
+        }
+    }
+
+    fn on_serve_quota(&self, task: TaskId, side: Side, quota: u32) {
+        let mut st = self.state.lock();
+        if let Some(entry) = st.delegates.get_mut(&task) {
+            entry.quota[DelegateEntry::side_idx(side)] = Some(quota);
+            let freed = entry.release_satisfied();
+            self.stats.mem_free(self.id, freed);
+            if entry.done() {
+                st.delegates.remove(&task);
+            }
+        }
+        // A quota for an unknown task means the tree was revoked meanwhile.
+    }
+
+    fn on_revoke_tree(&self, tree: TreeId) {
+        let mut st = self.state.lock();
+        st.revoked.insert(tree);
+        st.tasks.retain(|_, t| t.tree() != tree);
+        let mut freed = 0usize;
+        st.awaiting.retain(|_, a| {
+            if a.tree == tree {
+                freed += ix_bytes(&a.ix);
+                false
+            } else {
+                true
+            }
+        });
+        st.delegates.retain(|_, d| {
+            if d.tree == tree {
+                freed += d.sides.iter().flatten().map(|s| s.len() * 4).sum::<usize>();
+                false
+            } else {
+                true
+            }
+        });
+        for reqs in st.parked.values_mut() {
+            reqs.retain(|&(t, _, _, _)| t != tree);
+        }
+        st.parked.retain(|_, reqs| !reqs.is_empty());
+        self.stats.mem_free(self.id, freed);
+    }
+
+    // ------------------------------------------------------------------
+    // Data loop (worker θ_recv): worker↔worker data plane.
+    // ------------------------------------------------------------------
+    fn data_loop(self: Arc<Self>, rx: Receiver<DataMsg>) {
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                DataMsg::ReqIx { parent_task, side, requester, for_task, tree } => {
+                    let response = {
+                        let mut st = self.state.lock();
+                        if st.delegates.contains_key(&parent_task) {
+                            self.serve_ix(&mut st, parent_task, side, for_task)
+                        } else if st.revoked.contains(&tree) {
+                            None // requester's task was revoked too
+                        } else {
+                            st.parked
+                                .entry(parent_task)
+                                .or_default()
+                                .push((tree, side, requester, for_task));
+                            None
+                        }
+                    };
+                    if let Some(resp) = response {
+                        let _ = self.fabric_data.send(self.id, requester, resp);
+                    }
+                }
+                DataMsg::RespIx { for_task, rows } => self.on_resp_ix(for_task, rows),
+                DataMsg::ReqCols { for_task, attrs, key_worker, parent, tree } => {
+                    self.on_req_cols(for_task, attrs, key_worker, parent, tree)
+                }
+                DataMsg::RespCols { for_task, attrs, bufs } => {
+                    self.on_resp_cols(for_task, attrs, bufs)
+                }
+                DataMsg::Shutdown => break,
+                DataMsg::ReplicateCols { columns } => {
+                    let attrs: Vec<usize> = columns.iter().map(|&(a, _)| a).collect();
+                    {
+                        let mut store = self.columns.write();
+                        for (attr, col) in columns {
+                            self.stats.mem_alloc(self.id, col.payload_bytes());
+                            store.insert(attr, Arc::new(col));
+                        }
+                    }
+                    let _ = self.fabric_task.send(
+                        self.id,
+                        0,
+                        TaskMsg::ReplicateDone { attrs, worker: self.id },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Builds the `RespIx` for one request against the delegate table and
+    /// updates serve counters. Caller sends the message after unlocking.
+    fn serve_ix(
+        &self,
+        st: &mut WorkerState,
+        parent_task: TaskId,
+        side: Side,
+        for_task: TaskId,
+    ) -> Option<DataMsg> {
+        let idx = DelegateEntry::side_idx(side);
+        let (rows, done, freed) = {
+            let entry = st.delegates.get_mut(&parent_task)?;
+            let rows = entry.sides[idx]
+                .as_ref()
+                .expect("side requested after release — master quota was wrong")
+                .clone();
+            entry.served[idx] += 1;
+            let freed = entry.release_satisfied();
+            (rows, entry.done(), freed)
+        };
+        self.stats.mem_free(self.id, freed);
+        if done {
+            st.delegates.remove(&parent_task);
+        }
+        Some(DataMsg::RespIx { for_task, rows })
+    }
+
+    fn on_resp_ix(&self, for_task: TaskId, rows: Vec<u32>) {
+        let ix = RowSet::Ids(Arc::new(rows));
+        enum Next {
+            Nothing,
+            Serve { attrs: Vec<usize>, key: NodeId },
+        }
+        let next = {
+            let mut st = self.state.lock();
+            match st.tasks.get(&for_task) {
+                None => return, // revoked
+                Some(PendingTask::Column { .. }) => {
+                    let Some(PendingTask::Column { plan }) = st.tasks.remove(&for_task) else {
+                        unreachable!()
+                    };
+                    self.stats.mem_alloc(self.id, ix_bytes(&ix));
+                    let _ = self.ready_tx.send(ReadyTask::Column { plan, ix: ix.clone() });
+                    Next::Nothing
+                }
+                Some(PendingTask::Subtree { .. }) => {
+                    self.stats.mem_alloc(self.id, ix_bytes(&ix));
+                    let complete = {
+                        let Some(PendingTask::Subtree {
+                            ix: slot,
+                            remote_bufs,
+                            remote_needed,
+                            ..
+                        }) = st.tasks.get_mut(&for_task)
+                        else {
+                            unreachable!()
+                        };
+                        *slot = Some(ix.clone());
+                        remote_bufs.len() == *remote_needed
+                    };
+                    if complete {
+                        self.promote_subtree(&mut st, for_task);
+                    }
+                    Next::Nothing
+                }
+                Some(PendingTask::Serve { .. }) => {
+                    let Some(PendingTask::Serve { attrs, key_worker, .. }) =
+                        st.tasks.remove(&for_task)
+                    else {
+                        unreachable!()
+                    };
+                    Next::Serve { attrs, key: key_worker }
+                }
+            }
+        };
+        if let Next::Serve { attrs, key } = next {
+            self.send_cols(for_task, &attrs, key, &ix);
+        }
+    }
+
+    fn on_req_cols(
+        &self,
+        for_task: TaskId,
+        attrs: Vec<usize>,
+        key_worker: NodeId,
+        parent: ParentRef,
+        tree: TreeId,
+    ) {
+        match parent {
+            ParentRef::Root => self.send_cols(for_task, &attrs, key_worker, &RowSet::All),
+            ParentRef::Node { worker, task: ptask, side } => {
+                {
+                    let mut st = self.state.lock();
+                    if st.revoked.contains(&tree) {
+                        return;
+                    }
+                    st.tasks
+                        .insert(for_task, PendingTask::Serve { tree, attrs, key_worker });
+                }
+                self.request_ix(worker, ptask, side, for_task, tree);
+            }
+        }
+    }
+
+    fn send_cols(&self, for_task: TaskId, attrs: &[usize], key_worker: NodeId, ix: &RowSet) {
+        let bufs: Vec<ValuesBuf> = {
+            let store = self.columns.read();
+            attrs
+                .iter()
+                .map(|a| {
+                    let col = store.get(a).expect("holder must have its column");
+                    ix.gather(col, self.n_rows)
+                })
+                .collect()
+        };
+        let _ = self.fabric_data.send(
+            self.id,
+            key_worker,
+            DataMsg::RespCols { for_task, attrs: attrs.to_vec(), bufs },
+        );
+    }
+
+    fn on_resp_cols(&self, for_task: TaskId, attrs: Vec<usize>, bufs: Vec<ValuesBuf>) {
+        let mut st = self.state.lock();
+        let complete = {
+            let Some(PendingTask::Subtree { remote_bufs, remote_needed, ix, .. }) =
+                st.tasks.get_mut(&for_task)
+            else {
+                return; // revoked
+            };
+            let bytes: usize = bufs.iter().map(ValuesBuf::payload_bytes).sum();
+            self.stats.mem_alloc(self.id, bytes);
+            for (a, b) in attrs.into_iter().zip(bufs) {
+                remote_bufs.insert(a, b);
+            }
+            ix.is_some() && remote_bufs.len() == *remote_needed
+        };
+        if complete {
+            self.promote_subtree(&mut st, for_task);
+        }
+    }
+
+    /// Moves a fully-provisioned subtree task from the task table to `Btask`.
+    fn promote_subtree(&self, st: &mut WorkerState, task: TaskId) {
+        let Some(PendingTask::Subtree { plan, ix, remote_bufs, .. }) = st.tasks.remove(&task)
+        else {
+            unreachable!("promote_subtree on a non-subtree task");
+        };
+        let _ = self.ready_tx.send(ReadyTask::Subtree {
+            plan,
+            ix: ix.expect("ix present when promoting"),
+            remote_bufs,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Compers.
+    // ------------------------------------------------------------------
+    fn comper_loop(self: Arc<Self>, rx: Receiver<ReadyTask>) {
+        while let Ok(task) = rx.recv() {
+            match task {
+                ReadyTask::Stop => break,
+                ReadyTask::Column { plan, ix } => {
+                    let msg = {
+                        let _busy = BusyGuard::start(&self.stats, self.id);
+                        self.compute_column_task(plan, ix)
+                    };
+                    if let Some(msg) = msg {
+                        let _ = self.fabric_task.send(self.id, 0, msg);
+                    }
+                }
+                ReadyTask::Subtree { plan, ix, remote_bufs } => {
+                    let msg = {
+                        let _busy = BusyGuard::start(&self.stats, self.id);
+                        self.compute_subtree_task(plan, ix, remote_bufs)
+                    };
+                    if let Some(msg) = msg {
+                        let _ = self.fabric_task.send(self.id, 0, msg);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sleeps for the modeled compute cost of `units` row-attribute touches
+    /// (no-op when the work model is off). See `ClusterConfig::work_ns_per_unit`.
+    fn model_work(&self, units: u64) {
+        if self.work_ns_per_unit > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(
+                units.saturating_mul(self.work_ns_per_unit),
+            ));
+        }
+    }
+
+    fn compute_column_task(&self, plan: ColumnPlan, ix: RowSet) -> Option<TaskMsg> {
+        self.model_work(ix.len(self.n_rows) as u64 * plan.cols.len() as u64);
+        let labels = { let y = self.labels.read().clone(); ix.gather_labels(&y, self.n_rows) };
+        let view = LabelView::of(&labels, self.n_classes());
+        let node_stats = NodeStats::from_view(view);
+
+        let store = self.columns.read();
+        let mut best: Option<(usize, ColumnSplit)> = None;
+        if let Some(seed) = plan.random_seed {
+            // Extra-trees: try this worker's columns in seeded random order,
+            // accepting the first random split that separates anything.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut order = plan.cols.clone();
+            order.shuffle(&mut rng);
+            for attr in order {
+                let col = store.get(&attr).expect("assigned column must be held");
+                let buf = ix.gather(col, self.n_rows);
+                if let Some(s) = random_split_for_column(&buf, view, &mut rng) {
+                    best = Some((attr, s));
+                    break;
+                }
+            }
+        } else {
+            for &attr in &plan.cols {
+                let col = store.get(&attr).expect("assigned column must be held");
+                let buf = ix.gather(col, self.n_rows);
+                let ty = self.attr_types[attr];
+                if let Some(s) = best_split_for_column(&buf, ty, view, plan.params.impurity) {
+                    let wins = match &best {
+                        None => true,
+                        Some((battr, bs)) => ColumnSplit::challenger_wins(&s, attr, bs, *battr),
+                    };
+                    if wins {
+                        best = Some((attr, s));
+                    }
+                }
+            }
+        }
+
+        let best_full = best.map(|(attr, split)| {
+            let seen = match self.attr_types[attr] {
+                AttrType::Categorical { .. } => {
+                    let col = store.get(&attr).expect("held");
+                    match ix.gather(col, self.n_rows) {
+                        ValuesBuf::Categorical(codes) => Some(distinct_categories(&codes)),
+                        ValuesBuf::Numeric(_) => None,
+                    }
+                }
+                AttrType::Numeric => None,
+            };
+            (attr, split, seen)
+        });
+        drop(store);
+
+        // Keep Ix (and the winning condition) until the master's verdict —
+        // *before* sending the result, so ConfirmBest can never miss it.
+        {
+            let mut st = self.state.lock();
+            if st.revoked.contains(&plan.tree) {
+                self.stats.mem_free(self.id, ix_bytes(&ix));
+                return None;
+            }
+            st.awaiting.insert(
+                plan.task,
+                AwaitingVerdict {
+                    tree: plan.tree,
+                    ix,
+                    winning: best_full
+                        .as_ref()
+                        .map(|(a, s, _)| (*a, s.test.clone(), s.missing_left)),
+                },
+            );
+        }
+        let best = best_full.map(|(attr, split, seen)| ColumnTaskBest { attr, split, seen });
+        Some(TaskMsg::ColumnResult { task: plan.task, worker: self.id, best, node_stats })
+    }
+
+    fn compute_subtree_task(
+        &self,
+        plan: SubtreePlan,
+        ix: RowSet,
+        mut remote_bufs: HashMap<usize, ValuesBuf>,
+    ) -> Option<TaskMsg> {
+        let remote_bytes: usize = remote_bufs.values().map(ValuesBuf::payload_bytes).sum();
+        if self.state.lock().revoked.contains(&plan.tree) {
+            self.stats
+                .mem_free(self.id, ix_bytes(&ix) + remote_bytes);
+            return None;
+        }
+        let n_ix = ix.len(self.n_rows) as u64;
+        let log = 64 - n_ix.max(2).leading_zeros() as u64;
+        self.model_work(n_ix * plan.col_sources.len() as u64 * log);
+        // Assemble Dx: columns in plan order (sorted by attr id), gathering
+        // locally-held columns now.
+        let store = self.columns.read();
+        let mut attrs = Vec::with_capacity(plan.col_sources.len());
+        let mut types = Vec::with_capacity(plan.col_sources.len());
+        let mut columns = Vec::with_capacity(plan.col_sources.len());
+        let mut local_bytes = 0usize;
+        for &(attr, holder) in &plan.col_sources {
+            let buf = if holder == self.id {
+                let col = store.get(&attr).expect("local column must be held");
+                let b = ix.gather(col, self.n_rows);
+                local_bytes += b.payload_bytes();
+                b
+            } else {
+                remote_bufs.remove(&attr).expect("remote column buffered")
+            };
+            attrs.push(attr);
+            types.push(self.attr_types[attr]);
+            columns.push(buf);
+        }
+        drop(store);
+        self.stats.mem_alloc(self.id, local_bytes);
+        let labels = { let y = self.labels.read().clone(); ix.gather_labels(&y, self.n_rows) };
+        let data = LocalDataset::new(attrs, types, columns, labels, self.current_task());
+
+        let params = TrainParams {
+            impurity: plan.params.impurity,
+            dmax: plan.params.dmax,
+            tau_leaf: plan.params.tau_leaf,
+            mode: if plan.params.extra_trees {
+                TrainMode::ExtraTrees
+            } else {
+                TrainMode::Exact
+            },
+        };
+        let subtree = train_subtree(&data, &params, plan.depth, plan.seed);
+        drop(data);
+        self.stats
+            .mem_free(self.id, local_bytes + remote_bytes + ix_bytes(&ix));
+
+        Some(TaskMsg::SubtreeResult { task: plan.task, worker: self.id, subtree })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(l: usize, r: usize) -> DelegateEntry {
+        DelegateEntry {
+            tree: TreeId(1),
+            sides: [Some(vec![0; l]), Some(vec![0; r])],
+            quota: [None, None],
+            served: [0, 0],
+        }
+    }
+
+    #[test]
+    fn delegate_releases_only_when_quota_known_and_served() {
+        let mut e = entry(3, 2);
+        assert_eq!(e.release_satisfied(), 0, "no quota yet");
+        e.quota[0] = Some(2);
+        e.served[0] = 1;
+        assert_eq!(e.release_satisfied(), 0, "left not fully served");
+        e.served[0] = 2;
+        assert_eq!(e.release_satisfied(), 12, "left freed (3 rows x 4 bytes)");
+        assert!(e.sides[0].is_none());
+        assert!(!e.done(), "right quota unknown");
+        e.quota[1] = Some(0);
+        assert_eq!(e.release_satisfied(), 8, "right freed immediately at quota 0");
+        assert!(e.done());
+    }
+
+    #[test]
+    fn delegate_release_is_idempotent() {
+        let mut e = entry(1, 1);
+        e.quota = [Some(0), Some(0)];
+        assert_eq!(e.release_satisfied(), 8);
+        assert_eq!(e.release_satisfied(), 0, "second call frees nothing");
+    }
+
+    #[test]
+    fn ix_bytes_counts_only_materialised_sets() {
+        assert_eq!(ix_bytes(&RowSet::All), 0);
+        assert_eq!(ix_bytes(&RowSet::Ids(Arc::new(vec![1, 2, 3]))), 12);
+    }
+
+    #[test]
+    fn pending_task_reports_its_tree() {
+        let serve = PendingTask::Serve { tree: TreeId(7), attrs: vec![0], key_worker: 1 };
+        assert_eq!(serve.tree(), TreeId(7));
+    }
+}

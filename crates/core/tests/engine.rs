@@ -1,0 +1,287 @@
+//! Engine integration tests: the distributed cluster must produce *exactly*
+//! the trees the single-threaded exact trainer produces, regardless of
+//! cluster shape, thresholds, pool size or scheduling interleaving — plus
+//! fault-tolerance and statistics behaviour.
+
+use treeserver::{Cluster, ClusterConfig, JobSpec};
+use ts_datatable::metrics::accuracy;
+use ts_datatable::synth::{generate, PaperDataset, SynthSpec};
+use ts_datatable::{DataTable, Task};
+use ts_tree::{train_tree, TrainParams};
+
+fn table(rows: usize, numeric: usize, categorical: usize, seed: u64) -> DataTable {
+    generate(&SynthSpec {
+        rows,
+        numeric,
+        categorical,
+        cat_cardinality: 6,
+        noise: 0.05,
+        concept_depth: 5,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn small_cfg(workers: usize, compers: usize, tau_d: u64) -> ClusterConfig {
+    ClusterConfig {
+        n_workers: workers,
+        compers_per_worker: compers,
+        replication: 2.min(workers),
+        tau_d,
+        tau_dfs: tau_d * 4,
+        ..Default::default()
+    }
+}
+
+/// Reference model via the local exact trainer.
+fn reference_tree(t: &DataTable, dmax: u32) -> ts_tree::DecisionTreeModel {
+    let params = TrainParams { dmax, ..TrainParams::for_task(t.schema().task) };
+    train_tree(t, &(0..t.n_attrs()).collect::<Vec<_>>(), &params, 0)
+}
+
+#[test]
+fn single_tree_matches_local_trainer_exactly() {
+    let t = table(3_000, 5, 2, 1);
+    let reference = reference_tree(&t, 10);
+    // Sweep cluster shapes: column-task heavy (tiny tau_d), subtree-heavy
+    // (huge tau_d), single worker, many workers.
+    for (workers, compers, tau_d) in [(1, 1, 100), (3, 2, 200), (4, 3, 1_000_000), (2, 4, 50)] {
+        let cluster = Cluster::launch(small_cfg(workers, compers, tau_d), &t);
+        let model = cluster
+            .train(JobSpec::decision_tree(t.schema().task))
+            .into_tree();
+        cluster.shutdown();
+        assert_eq!(
+            model.canonicalize(),
+            reference.canonicalize(),
+            "cluster ({workers}w x {compers}c, tau_d={tau_d}) diverged from the exact trainer"
+        );
+    }
+}
+
+#[test]
+fn regression_tree_matches_local_trainer_exactly() {
+    let t = generate(&SynthSpec {
+        rows: 2_000,
+        numeric: 4,
+        categorical: 2,
+        task: Task::Regression,
+        seed: 9,
+        ..Default::default()
+    });
+    let reference = reference_tree(&t, 10);
+    let cluster = Cluster::launch(small_cfg(3, 2, 150), &t);
+    let model = cluster.train(JobSpec::decision_tree(Task::Regression)).into_tree();
+    cluster.shutdown();
+    assert_eq!(model.canonicalize(), reference.canonicalize());
+}
+
+#[test]
+fn forest_is_identical_across_cluster_shapes() {
+    let t = table(2_500, 6, 0, 3);
+    let spec = || JobSpec::random_forest(t.schema().task, 8).with_seed(42);
+    let run = |workers: usize, compers: usize, tau_d: u64| {
+        let cluster = Cluster::launch(small_cfg(workers, compers, tau_d), &t);
+        let f = cluster.train(spec()).into_forest();
+        cluster.shutdown();
+        f
+    };
+    let canon = |f: ts_tree::ForestModel| -> Vec<ts_tree::DecisionTreeModel> {
+        f.trees.iter().map(|t| t.canonicalize()).collect()
+    };
+    let a = canon(run(1, 2, 300));
+    let b = canon(run(4, 3, 300));
+    let c = canon(run(3, 1, 5_000));
+    assert_eq!(a, b, "worker count changed the model");
+    assert_eq!(a, c, "tau_d changed the model");
+}
+
+#[test]
+fn npool_does_not_change_models() {
+    let t = table(1_500, 5, 1, 4);
+    let run = |n_pool: usize| {
+        let cfg = ClusterConfig { n_pool, ..small_cfg(3, 2, 200) };
+        let cluster = Cluster::launch(cfg, &t);
+        let f = cluster
+            .train(JobSpec::random_forest(t.schema().task, 6).with_seed(5))
+            .into_forest();
+        cluster.shutdown();
+        f
+    };
+    let canon = |f: ts_tree::ForestModel| -> Vec<ts_tree::DecisionTreeModel> {
+        f.trees.iter().map(|t| t.canonicalize()).collect()
+    };
+    assert_eq!(canon(run(1)), canon(run(6)));
+}
+
+#[test]
+fn tau_dfs_does_not_change_models() {
+    let t = table(1_500, 4, 0, 5);
+    let run = |tau_dfs: u64| {
+        let cfg = ClusterConfig { tau_dfs, ..small_cfg(3, 2, 100) };
+        let cluster = Cluster::launch(cfg, &t);
+        let m = cluster.train(JobSpec::decision_tree(t.schema().task)).into_tree();
+        cluster.shutdown();
+        m
+    };
+    assert_eq!(run(50).canonicalize(), run(1_000_000).canonicalize());
+}
+
+#[test]
+fn dmax_and_tau_leaf_are_respected() {
+    let t = table(2_000, 5, 0, 6);
+    let cluster = Cluster::launch(small_cfg(3, 2, 200), &t);
+    let m = cluster
+        .train(JobSpec::decision_tree(t.schema().task).with_dmax(4).with_tau_leaf(50))
+        .into_tree();
+    cluster.shutdown();
+    assert!(m.max_depth() <= 4);
+    for n in &m.nodes {
+        if !n.is_leaf() {
+            assert!(n.n_rows > 50, "internal node with {} rows", n.n_rows);
+        }
+    }
+    // And it still matches the local trainer with the same knobs.
+    let params = TrainParams {
+        dmax: 4,
+        tau_leaf: 50,
+        ..TrainParams::for_task(t.schema().task)
+    };
+    let reference = train_tree(&t, &(0..t.n_attrs()).collect::<Vec<_>>(), &params, 0);
+    assert_eq!(m.canonicalize(), reference.canonicalize());
+}
+
+#[test]
+fn forest_accuracy_beats_baseline() {
+    let t = table(4_000, 8, 0, 7);
+    let (tr, te) = t.train_test_split(0.8, 1);
+    let cluster = Cluster::launch(small_cfg(4, 2, 300), &tr);
+    let f = cluster
+        .train(JobSpec::random_forest(tr.schema().task, 12).with_seed(3))
+        .into_forest();
+    cluster.shutdown();
+    let acc = accuracy(&f.predict_labels(&te), te.labels().as_class().unwrap());
+    assert!(acc > 0.75, "forest test accuracy {acc}");
+}
+
+#[test]
+fn extra_trees_train_and_are_seed_deterministic() {
+    let t = table(1_200, 4, 1, 8);
+    let run = |seed: u64| {
+        let cluster = Cluster::launch(small_cfg(3, 2, 200), &t);
+        let f = cluster
+            .train(JobSpec::extra_trees(t.schema().task, 4).with_seed(seed))
+            .into_forest();
+        cluster.shutdown();
+        f
+    };
+    let canon = |f: &ts_tree::ForestModel| -> Vec<ts_tree::DecisionTreeModel> {
+        f.trees.iter().map(|t| t.canonicalize()).collect()
+    };
+    let a = run(1);
+    let b = run(1);
+    let c = run(2);
+    assert_eq!(canon(&a), canon(&b), "same seed must reproduce the forest");
+    assert_ne!(canon(&a), canon(&c), "different seeds should differ");
+    assert!(a.trees.iter().all(|t| t.n_nodes() > 1));
+}
+
+#[test]
+fn missing_values_and_paper_shapes_train() {
+    // Allstate shape: regression, mixed columns, missing values.
+    let t = PaperDataset::Allstate.generate(2e-4, 11);
+    let cluster = Cluster::launch(small_cfg(3, 2, 300), &t);
+    let m = cluster.train(JobSpec::decision_tree(Task::Regression)).into_tree();
+    cluster.shutdown();
+    assert!(m.n_nodes() > 1);
+    // Prediction over missing-laden data works (stop-at-node semantics).
+    let preds = m.predict_values(&t);
+    assert_eq!(preds.len(), t.n_rows());
+    // Matches the local trainer bit-for-bit even with missing values.
+    assert_eq!(m.canonicalize(), reference_tree(&t, 10).canonicalize());
+}
+
+#[test]
+fn concurrent_jobs_complete_independently() {
+    let t = table(1_500, 5, 0, 13);
+    let cluster = Cluster::launch(small_cfg(3, 2, 200), &t);
+    let h1 = cluster.submit(JobSpec::decision_tree(t.schema().task));
+    let h2 = cluster.submit(JobSpec::random_forest(t.schema().task, 4).with_seed(9));
+    let h3 = cluster.submit(JobSpec::extra_trees(t.schema().task, 3).with_seed(2));
+    let r2 = cluster.wait(h2).into_forest();
+    let r1 = cluster.wait(h1).into_tree();
+    let r3 = cluster.wait(h3).into_forest();
+    cluster.shutdown();
+    assert_eq!(r2.n_trees(), 4);
+    assert_eq!(r3.n_trees(), 3);
+    assert_eq!(r1.canonicalize(), reference_tree(&t, 10).canonicalize());
+}
+
+#[test]
+fn worker_crash_recovers_and_completes() {
+    let t = table(3_000, 6, 0, 17);
+    let cfg = ClusterConfig {
+        n_workers: 4,
+        compers_per_worker: 2,
+        replication: 2,
+        tau_d: 100,
+        tau_dfs: 400,
+        ..Default::default()
+    };
+    let cluster = Cluster::launch(cfg, &t);
+    let h = cluster.submit(JobSpec::random_forest(t.schema().task, 6).with_seed(21));
+    // Let some tasks start, then kill a worker mid-flight.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    cluster.kill_worker(2);
+    let f = cluster.wait(h).into_forest();
+    cluster.shutdown();
+    assert_eq!(f.n_trees(), 6);
+    let acc = accuracy(&f.predict_labels(&t), t.labels().as_class().unwrap());
+    assert!(acc > 0.7, "post-crash forest accuracy {acc}");
+}
+
+#[test]
+fn master_never_ships_row_sets() {
+    // §V: the master's outbound traffic must not scale with |Ix| — row sets
+    // travel worker-to-worker. Train with column-task-heavy settings and
+    // compare the master's sent bytes against the per-plan overheads.
+    let t = table(4_000, 6, 0, 23);
+    let cluster = Cluster::launch(small_cfg(4, 2, 100), &t);
+    let _ = cluster.train(JobSpec::decision_tree(t.schema().task));
+    let report = cluster.report();
+    cluster.shutdown();
+    // Workers exchanged row ids (4 bytes/row across many nodes); if the
+    // master relayed them its outbound would be comparable to the workers'.
+    let worker_sent: u64 = report.per_node[1..].iter().map(|s| s.sent_bytes).sum();
+    assert!(
+        report.master_sent_bytes < worker_sent / 4,
+        "master sent {} vs workers {}",
+        report.master_sent_bytes,
+        worker_sent
+    );
+}
+
+#[test]
+fn report_collects_cpu_and_memory() {
+    let t = table(2_000, 5, 0, 29);
+    let cluster = Cluster::launch(small_cfg(3, 2, 300), &t);
+    let _ = cluster.train(JobSpec::random_forest(t.schema().task, 6));
+    let report = cluster.report();
+    cluster.shutdown();
+    assert!(report.avg_cpu_percent > 0.0);
+    assert!(report.avg_peak_mem_bytes > 0.0);
+    assert_eq!(report.per_node.len(), 4);
+}
+
+#[test]
+fn launch_from_dfs_trains_identically() {
+    let dir = std::env::temp_dir().join(format!("ts-core-dfs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dfs = ts_dfs::Dfs::new(ts_dfs::DfsConfig::local(&dir)).unwrap();
+    let t = table(1_000, 4, 1, 31);
+    dfs.put_table("train", &t, 2, 300).unwrap();
+    let cluster = Cluster::launch_from_dfs(small_cfg(2, 2, 200), &dfs, "train").unwrap();
+    let m = cluster.train(JobSpec::decision_tree(t.schema().task)).into_tree();
+    cluster.shutdown();
+    assert_eq!(m.canonicalize(), reference_tree(&t, 10).canonicalize());
+}

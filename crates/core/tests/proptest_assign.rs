@@ -1,0 +1,134 @@
+//! Property tests for the §VI assignment cost model: for any cluster shape
+//! and any task, charges are consistent, holders are real, and deduction
+//! restores the matrix.
+
+use proptest::prelude::*;
+use treeserver::assign::{
+    assign_column_task, assign_subtree, ColumnMap, LoadMatrix, COMP, RECV, SEND,
+};
+
+fn shapes() -> impl Strategy<Value = (usize, usize, usize, Vec<usize>, u64, Option<usize>)> {
+    (2usize..8, 1usize..30, 1usize..4).prop_flat_map(|(workers, attrs, repl)| {
+        let repl = repl.min(workers);
+        (
+            Just(workers),
+            Just(attrs),
+            Just(repl),
+            proptest::collection::vec(0..attrs, 1..attrs.max(2)),
+            1u64..100_000,
+            proptest::option::of(1..=workers),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Subtree assignment: the key worker exists, every column source holds
+    /// its column, requesters are exactly {key} ∪ remote holders when a
+    /// parent exists (empty for roots), and deducting the charges restores
+    /// the zero matrix.
+    #[test]
+    fn subtree_assignment_invariants(
+        (workers, attrs, repl, mut cands, n_rows, parent) in shapes()
+    ) {
+        cands.sort_unstable();
+        cands.dedup();
+        let colmap = ColumnMap::round_robin(attrs, workers, repl);
+        let worker_ids: Vec<usize> = (1..=workers).collect();
+        let mut m = LoadMatrix::new(workers + 1);
+        let asg = assign_subtree(&mut m, &colmap, &worker_ids, &cands, n_rows, parent);
+
+        prop_assert!(worker_ids.contains(&asg.key_worker));
+        prop_assert_eq!(asg.col_sources.len(), cands.len());
+        for &(attr, holder) in &asg.col_sources {
+            prop_assert!(colmap.holders(attr).contains(&holder),
+                "worker {} does not hold column {}", holder, attr);
+        }
+        match parent {
+            None => prop_assert!(asg.ix_requesters.is_empty()),
+            Some(_) => {
+                prop_assert!(asg.ix_requesters.contains(&asg.key_worker));
+                for &(_, h) in &asg.col_sources {
+                    if h != asg.key_worker {
+                        prop_assert!(asg.ix_requesters.contains(&h));
+                    }
+                }
+            }
+        }
+        // Charges were applied...
+        let applied: u64 = (1..=workers)
+            .map(|w| m.get(w, COMP) + m.get(w, SEND) + m.get(w, RECV))
+            .sum();
+        prop_assert!(applied > 0, "a subtree task always charges compute");
+        // ... and deduct to zero.
+        m.deduct(&asg.charges);
+        for w in 1..=workers {
+            for d in [COMP, SEND, RECV] {
+                prop_assert_eq!(m.get(w, d), 0, "worker {} dim {}", w, d);
+            }
+        }
+    }
+
+    /// Column-task assignment: shards cover the candidates exactly once,
+    /// each shard worker holds all its columns, requesters equal the shard
+    /// workers (when a parent exists), and charges deduct to zero.
+    #[test]
+    fn column_assignment_invariants(
+        (workers, attrs, repl, mut cands, n_rows, parent) in shapes()
+    ) {
+        cands.sort_unstable();
+        cands.dedup();
+        let colmap = ColumnMap::round_robin(attrs, workers, repl);
+        let mut m = LoadMatrix::new(workers + 1);
+        let asg = assign_column_task(&mut m, &colmap, &cands, n_rows, parent);
+
+        let mut covered: Vec<usize> =
+            asg.shards.iter().flat_map(|(_, c)| c.iter().copied()).collect();
+        covered.sort_unstable();
+        prop_assert_eq!(covered, cands.clone());
+        for (w, cols) in &asg.shards {
+            for c in cols {
+                prop_assert!(colmap.holders(*c).contains(w));
+            }
+        }
+        match parent {
+            None => prop_assert!(asg.ix_requesters.is_empty()),
+            Some(_) => {
+                let shard_workers: Vec<usize> = asg.shards.iter().map(|&(w, _)| w).collect();
+                prop_assert_eq!(asg.ix_requesters.clone(), shard_workers);
+            }
+        }
+        m.deduct(&asg.charges);
+        for w in 1..=workers {
+            for d in [COMP, SEND, RECV] {
+                prop_assert_eq!(m.get(w, d), 0);
+            }
+        }
+    }
+
+    /// Repeated assignments spread load: after assigning the same subtree
+    /// task many times, no worker's Comp exceeds the per-worker fair share
+    /// by more than one task's worth.
+    #[test]
+    fn repeated_subtree_assignment_balances_comp(
+        workers in 2usize..6,
+        reps in 4usize..20,
+    ) {
+        let attrs = 8;
+        let colmap = ColumnMap::round_robin(attrs, workers, 2.min(workers));
+        let worker_ids: Vec<usize> = (1..=workers).collect();
+        let cands: Vec<usize> = (0..attrs).collect();
+        let mut m = LoadMatrix::new(workers + 1);
+        for _ in 0..reps {
+            let _ = assign_subtree(&mut m, &colmap, &worker_ids, &cands, 1_000, None);
+        }
+        let comps: Vec<u64> = (1..=workers).map(|w| m.get(w, COMP)).collect();
+        let max = *comps.iter().max().unwrap();
+        let min = *comps.iter().min().unwrap();
+        // One task's compute is 1_000 * 8 * log2 ≈ fixed; min-comp greedy
+        // keeps the gap within one task.
+        prop_assert!(max - min <= 1_000 * 8 * 11,
+            "comp imbalance {:?}", comps);
+    }
+}

@@ -1,0 +1,237 @@
+//! Column storage: whole columns and gathered column slices.
+
+use serde::{Deserialize, Serialize};
+
+/// Sentinel code for a missing categorical value.
+pub const MISSING_CAT: u32 = u32::MAX;
+
+/// One attribute column, stored contiguously.
+///
+/// Missing values are `NaN` for numeric columns and [`MISSING_CAT`] for
+/// categorical columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Column {
+    /// Numeric (ordinal) values.
+    Numeric(Vec<f64>),
+    /// Categorical codes.
+    Categorical(Vec<u32>),
+}
+
+impl Column {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Numeric(v) => v.len(),
+            Column::Categorical(v) => v.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at `row`.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of range.
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Column::Numeric(v) => {
+                let x = v[row];
+                if x.is_nan() {
+                    Value::Missing
+                } else {
+                    Value::Num(x)
+                }
+            }
+            Column::Categorical(v) => {
+                let c = v[row];
+                if c == MISSING_CAT {
+                    Value::Missing
+                } else {
+                    Value::Cat(c)
+                }
+            }
+        }
+    }
+
+    /// Gathers the values at the given row ids into a dense buffer, in order.
+    ///
+    /// This is the operation a data-serving worker performs when a key worker
+    /// requests the rows `Ix` of a column it holds.
+    pub fn gather(&self, rows: &[u32]) -> ValuesBuf {
+        match self {
+            Column::Numeric(v) => {
+                ValuesBuf::Numeric(rows.iter().map(|&r| v[r as usize]).collect())
+            }
+            Column::Categorical(v) => {
+                ValuesBuf::Categorical(rows.iter().map(|&r| v[r as usize]).collect())
+            }
+        }
+    }
+
+    /// In-memory size of the column payload in bytes (used for memory and
+    /// wire accounting).
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            Column::Numeric(v) => v.len() * std::mem::size_of::<f64>(),
+            Column::Categorical(v) => v.len() * std::mem::size_of::<u32>(),
+        }
+    }
+
+    /// Number of missing entries.
+    pub fn n_missing(&self) -> usize {
+        match self {
+            Column::Numeric(v) => v.iter().filter(|x| x.is_nan()).count(),
+            Column::Categorical(v) => v.iter().filter(|&&c| c == MISSING_CAT).count(),
+        }
+    }
+}
+
+/// A single attribute value, as observed for one row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// A numeric value.
+    Num(f64),
+    /// A categorical code.
+    Cat(u32),
+    /// Missing.
+    Missing,
+}
+
+impl Value {
+    /// Whether this value is missing.
+    pub fn is_missing(&self) -> bool {
+        matches!(self, Value::Missing)
+    }
+}
+
+/// A dense, gathered buffer of values for a subset of rows of one column.
+///
+/// This is what crosses the (simulated) wire when a worker serves column data
+/// for the rows `Ix` of a subtree-task, and what subtree-tasks assemble into
+/// a local dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ValuesBuf {
+    /// Numeric values aligned with the requested row order.
+    Numeric(Vec<f64>),
+    /// Categorical codes aligned with the requested row order.
+    Categorical(Vec<u32>),
+}
+
+impl ValuesBuf {
+    /// Number of values in the buffer.
+    pub fn len(&self) -> usize {
+        match self {
+            ValuesBuf::Numeric(v) => v.len(),
+            ValuesBuf::Categorical(v) => v.len(),
+        }
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at position `i` (position in the gathered order, not a row id).
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            ValuesBuf::Numeric(v) => {
+                if v[i].is_nan() {
+                    Value::Missing
+                } else {
+                    Value::Num(v[i])
+                }
+            }
+            ValuesBuf::Categorical(v) => {
+                if v[i] == MISSING_CAT {
+                    Value::Missing
+                } else {
+                    Value::Cat(v[i])
+                }
+            }
+        }
+    }
+
+    /// Payload size in bytes (for wire accounting).
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            ValuesBuf::Numeric(v) => v.len() * std::mem::size_of::<f64>(),
+            ValuesBuf::Categorical(v) => v.len() * std::mem::size_of::<u32>(),
+        }
+    }
+
+    /// Converts the buffer into a full [`Column`] (used when a gathered subset
+    /// becomes a local table of its own, e.g. inside a subtree-task).
+    pub fn into_column(self) -> Column {
+        match self {
+            ValuesBuf::Numeric(v) => Column::Numeric(v),
+            ValuesBuf::Categorical(v) => Column::Categorical(v),
+        }
+    }
+
+    /// Gathers a sub-subset by positions (not row ids).
+    pub fn gather_positions(&self, pos: &[u32]) -> ValuesBuf {
+        match self {
+            ValuesBuf::Numeric(v) => {
+                ValuesBuf::Numeric(pos.iter().map(|&p| v[p as usize]).collect())
+            }
+            ValuesBuf::Categorical(v) => {
+                ValuesBuf::Categorical(pos.iter().map(|&p| v[p as usize]).collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_column_values_and_missing() {
+        let c = Column::Numeric(vec![1.0, f64::NAN, 3.5]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value(0), Value::Num(1.0));
+        assert!(c.value(1).is_missing());
+        assert_eq!(c.n_missing(), 1);
+        assert_eq!(c.payload_bytes(), 24);
+    }
+
+    #[test]
+    fn categorical_column_values_and_missing() {
+        let c = Column::Categorical(vec![2, MISSING_CAT, 0]);
+        assert_eq!(c.value(0), Value::Cat(2));
+        assert!(c.value(1).is_missing());
+        assert_eq!(c.n_missing(), 1);
+        assert_eq!(c.payload_bytes(), 12);
+    }
+
+    #[test]
+    fn gather_preserves_request_order() {
+        let c = Column::Numeric(vec![10.0, 11.0, 12.0, 13.0]);
+        let g = c.gather(&[3, 1]);
+        assert_eq!(g, ValuesBuf::Numeric(vec![13.0, 11.0]));
+        assert_eq!(g.value(0), Value::Num(13.0));
+    }
+
+    #[test]
+    fn gather_positions_on_buffer() {
+        let b = ValuesBuf::Categorical(vec![5, 6, 7]);
+        let g = b.gather_positions(&[2, 0]);
+        assert_eq!(g, ValuesBuf::Categorical(vec![7, 5]));
+    }
+
+    #[test]
+    fn buffer_into_column_roundtrip() {
+        let b = ValuesBuf::Numeric(vec![1.0, 2.0]);
+        let c = b.clone().into_column();
+        assert_eq!(c.gather(&[0, 1]), b);
+    }
+
+    #[test]
+    fn empty_buffers() {
+        assert!(ValuesBuf::Numeric(vec![]).is_empty());
+        assert!(Column::Categorical(vec![]).is_empty());
+    }
+}

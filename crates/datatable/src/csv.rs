@@ -1,0 +1,311 @@
+//! Minimal CSV reader/writer with schema inference.
+//!
+//! TreeServer loads tabular data "like in pandas" with runtime type
+//! detection (paper §VIII, *Fairness of Implementation*). This module
+//! provides the equivalent: a header row, comma separation, empty cells and
+//! `?`/`NA` meaning missing, and per-column type inference (a column is
+//! numeric iff every non-missing cell parses as `f64`; otherwise it is
+//! categorical with a dictionary built in first-appearance order).
+
+use crate::column::{Column, MISSING_CAT};
+use crate::schema::{AttrMeta, Schema, Task};
+use crate::table::{DataTable, Labels};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error parsing a CSV input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input had no header row.
+    MissingHeader,
+    /// A data row had a different number of cells than the header.
+    RaggedRow {
+        /// 1-based data row number.
+        row: usize,
+        /// Cells found.
+        found: usize,
+        /// Cells expected (header width).
+        expected: usize,
+    },
+    /// The named target column was not found in the header.
+    TargetNotFound(String),
+    /// The target column had a missing value (targets must be complete).
+    MissingTarget {
+        /// 1-based data row number.
+        row: usize,
+    },
+    /// A regression target cell did not parse as a number.
+    BadRegressionTarget {
+        /// 1-based data row number.
+        row: usize,
+        /// Offending cell text.
+        cell: String,
+    },
+    /// The table had no data rows.
+    Empty,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::MissingHeader => write!(f, "CSV input has no header row"),
+            CsvError::RaggedRow { row, found, expected } => {
+                write!(f, "row {row} has {found} cells, expected {expected}")
+            }
+            CsvError::TargetNotFound(name) => {
+                write!(f, "target column {name:?} not found in header")
+            }
+            CsvError::MissingTarget { row } => {
+                write!(f, "row {row} has a missing target value")
+            }
+            CsvError::BadRegressionTarget { row, cell } => {
+                write!(f, "row {row} regression target {cell:?} is not numeric")
+            }
+            CsvError::Empty => write!(f, "CSV input has no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+fn is_missing_cell(cell: &str) -> bool {
+    let c = cell.trim();
+    c.is_empty() || c == "?" || c.eq_ignore_ascii_case("na") || c.eq_ignore_ascii_case("nan")
+}
+
+/// Parses CSV text into a [`DataTable`], predicting the column named
+/// `target` with the given `task`.
+///
+/// For classification the target dictionary is built in first-appearance
+/// order; for regression the target must parse as numeric.
+pub fn parse_csv(text: &str, target: &str, task_kind: TaskKind) -> Result<DataTable, CsvError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or(CsvError::MissingHeader)?;
+    let names: Vec<&str> = header.split(',').map(str::trim).collect();
+    let width = names.len();
+    let target_idx = names
+        .iter()
+        .position(|&n| n == target)
+        .ok_or_else(|| CsvError::TargetNotFound(target.to_string()))?;
+
+    let mut cells: Vec<Vec<String>> = vec![Vec::new(); width];
+    let mut n_rows = 0usize;
+    for (i, line) in lines.enumerate() {
+        let row: Vec<&str> = line.split(',').map(str::trim).collect();
+        if row.len() != width {
+            return Err(CsvError::RaggedRow { row: i + 1, found: row.len(), expected: width });
+        }
+        for (j, cell) in row.iter().enumerate() {
+            cells[j].push((*cell).to_string());
+        }
+        n_rows += 1;
+    }
+    if n_rows == 0 {
+        return Err(CsvError::Empty);
+    }
+
+    // Target column.
+    let labels = match task_kind {
+        TaskKind::Classification => {
+            let mut dict: HashMap<String, u32> = HashMap::new();
+            let mut order: Vec<String> = Vec::new();
+            let mut ys = Vec::with_capacity(n_rows);
+            for (r, cell) in cells[target_idx].iter().enumerate() {
+                if is_missing_cell(cell) {
+                    return Err(CsvError::MissingTarget { row: r + 1 });
+                }
+                let next = dict.len() as u32;
+                let code = *dict.entry(cell.clone()).or_insert_with(|| {
+                    order.push(cell.clone());
+                    next
+                });
+                ys.push(code);
+            }
+            Labels::Class(ys)
+        }
+        TaskKind::Regression => {
+            let mut ys = Vec::with_capacity(n_rows);
+            for (r, cell) in cells[target_idx].iter().enumerate() {
+                if is_missing_cell(cell) {
+                    return Err(CsvError::MissingTarget { row: r + 1 });
+                }
+                let v: f64 = cell
+                    .parse()
+                    .map_err(|_| CsvError::BadRegressionTarget { row: r + 1, cell: cell.clone() })?;
+                ys.push(v);
+            }
+            Labels::Real(ys)
+        }
+    };
+    let task = match (&labels, task_kind) {
+        (Labels::Class(ys), TaskKind::Classification) => Task::Classification {
+            n_classes: ys.iter().copied().max().map_or(0, |m| m + 1),
+        },
+        _ => Task::Regression,
+    };
+
+    // Attribute columns with type inference.
+    let mut attrs = Vec::new();
+    let mut columns = Vec::new();
+    for (j, name) in names.iter().enumerate() {
+        if j == target_idx {
+            continue;
+        }
+        let col_cells = &cells[j];
+        let all_numeric = col_cells
+            .iter()
+            .all(|c| is_missing_cell(c) || c.parse::<f64>().is_ok());
+        if all_numeric {
+            let vals: Vec<f64> = col_cells
+                .iter()
+                .map(|c| {
+                    if is_missing_cell(c) {
+                        f64::NAN
+                    } else {
+                        c.parse::<f64>().expect("checked numeric")
+                    }
+                })
+                .collect();
+            attrs.push(AttrMeta::numeric(*name));
+            columns.push(Column::Numeric(vals));
+        } else {
+            let mut dict: HashMap<&str, u32> = HashMap::new();
+            let mut codes = Vec::with_capacity(n_rows);
+            for c in col_cells {
+                if is_missing_cell(c) {
+                    codes.push(MISSING_CAT);
+                } else {
+                    let next = dict.len() as u32;
+                    let code = *dict.entry(c.as_str()).or_insert(next);
+                    codes.push(code);
+                }
+            }
+            attrs.push(AttrMeta::categorical(*name, dict.len() as u32));
+            columns.push(Column::Categorical(codes));
+        }
+    }
+
+    Ok(DataTable::new(Schema::new(attrs, task), columns, labels))
+}
+
+/// Which task to parse the target column as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Target is a class label (dictionary-encoded).
+    Classification,
+    /// Target is a real value.
+    Regression,
+}
+
+/// Serialises a table back to CSV text. Categorical codes are written as
+/// `c<code>` and class labels as `y<code>`; missing cells are empty.
+pub fn write_csv(table: &DataTable) -> String {
+    let mut out = String::new();
+    for a in &table.schema().attrs {
+        out.push_str(&a.name);
+        out.push(',');
+    }
+    out.push_str("__target__\n");
+    for r in 0..table.n_rows() {
+        for c in 0..table.n_attrs() {
+            match table.value(r, c) {
+                crate::column::Value::Num(x) => out.push_str(&format!("{x}")),
+                crate::column::Value::Cat(k) => out.push_str(&format!("c{k}")),
+                crate::column::Value::Missing => {}
+            }
+            out.push(',');
+        }
+        match table.labels() {
+            Labels::Class(v) => out.push_str(&format!("y{}", v[r])),
+            Labels::Real(v) => out.push_str(&format!("{}", v[r])),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Value;
+    use crate::schema::AttrType;
+
+    const SAMPLE: &str = "\
+age,edu,income,default
+24,Bachelor,5000,No
+28,Master,7500,No
+44,Bachelor,?,No
+32,Secondary,6000,Yes
+";
+
+    #[test]
+    fn parse_infers_types_and_missing() {
+        let t = parse_csv(SAMPLE, "default", TaskKind::Classification).unwrap();
+        assert_eq!(t.n_rows(), 4);
+        assert_eq!(t.n_attrs(), 3);
+        assert_eq!(t.schema().attr_type(0), AttrType::Numeric);
+        assert_eq!(t.schema().attr_type(1), AttrType::Categorical { n_values: 3 });
+        assert!(t.value(2, 2).is_missing()); // income of row 3 is "?"
+        assert_eq!(t.schema().task, Task::Classification { n_classes: 2 });
+        // "No" seen first -> code 0; "Yes" -> 1.
+        assert_eq!(t.labels().as_class().unwrap(), &[0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn parse_regression_target() {
+        let text = "a,y\n1,2.5\n2,3.5\n";
+        let t = parse_csv(text, "y", TaskKind::Regression).unwrap();
+        assert_eq!(t.labels().as_real().unwrap(), &[2.5, 3.5]);
+        assert_eq!(t.schema().task, Task::Regression);
+    }
+
+    #[test]
+    fn error_on_missing_header_target() {
+        let err = parse_csv(SAMPLE, "nope", TaskKind::Classification).unwrap_err();
+        assert_eq!(err, CsvError::TargetNotFound("nope".into()));
+    }
+
+    #[test]
+    fn error_on_ragged_row() {
+        let text = "a,y\n1,2\n3\n";
+        let err = parse_csv(text, "y", TaskKind::Regression).unwrap_err();
+        assert!(matches!(err, CsvError::RaggedRow { row: 2, .. }));
+    }
+
+    #[test]
+    fn error_on_missing_target_cell() {
+        let text = "a,y\n1,\n";
+        let err = parse_csv(text, "y", TaskKind::Regression).unwrap_err();
+        assert_eq!(err, CsvError::MissingTarget { row: 1 });
+    }
+
+    #[test]
+    fn error_on_bad_regression_target() {
+        let text = "a,y\n1,hello\n";
+        let err = parse_csv(text, "y", TaskKind::Regression).unwrap_err();
+        assert!(matches!(err, CsvError::BadRegressionTarget { row: 1, .. }));
+    }
+
+    #[test]
+    fn error_on_empty() {
+        assert_eq!(
+            parse_csv("a,y\n", "y", TaskKind::Regression).unwrap_err(),
+            CsvError::Empty
+        );
+        assert_eq!(
+            parse_csv("", "y", TaskKind::Regression).unwrap_err(),
+            CsvError::MissingHeader
+        );
+    }
+
+    #[test]
+    fn write_then_reparse_keeps_shape() {
+        let t = parse_csv(SAMPLE, "default", TaskKind::Classification).unwrap();
+        let text = write_csv(&t);
+        let t2 = parse_csv(&text, "__target__", TaskKind::Classification).unwrap();
+        assert_eq!(t2.n_rows(), t.n_rows());
+        assert_eq!(t2.n_attrs(), t.n_attrs());
+        assert_eq!(t2.value(0, 0), Value::Num(24.0));
+        assert!(t2.value(2, 2).is_missing());
+    }
+}

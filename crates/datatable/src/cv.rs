@@ -1,0 +1,139 @@
+//! Cross-validation splits for model selection.
+//!
+//! The paper's Fig. 2 motivates TreeServer with "many tree models with
+//! different hyperparameters for model selection"; this module supplies the
+//! standard k-fold machinery those workflows need.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Produces `k` seeded, shuffled folds over `n` rows: for each fold, the
+/// `(train_rows, validation_rows)` pair, with every row appearing in exactly
+/// one validation set and fold sizes differing by at most one.
+///
+/// # Panics
+/// Panics unless `2 <= k <= n`.
+pub fn kfold_splits(n: usize, k: usize, seed: u64) -> Vec<(Vec<u32>, Vec<u32>)> {
+    assert!(k >= 2, "need at least 2 folds");
+    assert!(k <= n, "more folds than rows");
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ids.shuffle(&mut rng);
+
+    // Fold f gets rows [f*n/k, (f+1)*n/k) of the shuffle — balanced to ±1.
+    let bounds: Vec<usize> = (0..=k).map(|f| f * n / k).collect();
+    (0..k)
+        .map(|f| {
+            let valid: Vec<u32> = ids[bounds[f]..bounds[f + 1]].to_vec();
+            let train: Vec<u32> = ids[..bounds[f]]
+                .iter()
+                .chain(&ids[bounds[f + 1]..])
+                .copied()
+                .collect();
+            (train, valid)
+        })
+        .collect()
+}
+
+/// Stratified k-fold for classification: each validation fold approximately
+/// preserves the class proportions of `labels`.
+///
+/// # Panics
+/// Panics unless `2 <= k <= n` (with `n = labels.len()`).
+pub fn stratified_kfold_splits(labels: &[u32], k: usize, seed: u64) -> Vec<(Vec<u32>, Vec<u32>)> {
+    let n = labels.len();
+    assert!(k >= 2, "need at least 2 folds");
+    assert!(k <= n, "more folds than rows");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Group row ids by class, shuffle within each class, deal them to folds
+    // round-robin.
+    let n_classes = labels.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut by_class: Vec<Vec<u32>> = vec![Vec::new(); n_classes];
+    for (i, &y) in labels.iter().enumerate() {
+        by_class[y as usize].push(i as u32);
+    }
+    let mut folds: Vec<Vec<u32>> = vec![Vec::new(); k];
+    let mut next = 0usize;
+    for class_rows in &mut by_class {
+        class_rows.shuffle(&mut rng);
+        for &row in class_rows.iter() {
+            folds[next].push(row);
+            next = (next + 1) % k;
+        }
+    }
+    (0..k)
+        .map(|f| {
+            let valid = folds[f].clone();
+            let train: Vec<u32> = (0..k)
+                .filter(|&g| g != f)
+                .flat_map(|g| folds[g].iter().copied())
+                .collect();
+            (train, valid)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn kfold_partitions_all_rows() {
+        let folds = kfold_splits(103, 4, 1);
+        assert_eq!(folds.len(), 4);
+        let mut seen = HashSet::new();
+        for (train, valid) in &folds {
+            assert_eq!(train.len() + valid.len(), 103);
+            let t: HashSet<_> = train.iter().collect();
+            for v in valid {
+                assert!(!t.contains(v), "row {v} in both halves");
+                assert!(seen.insert(*v), "row {v} validated twice");
+            }
+        }
+        assert_eq!(seen.len(), 103, "every row validated exactly once");
+    }
+
+    #[test]
+    fn kfold_sizes_balanced() {
+        let folds = kfold_splits(10, 3, 2);
+        let sizes: Vec<usize> = folds.iter().map(|(_, v)| v.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4), "{sizes:?}");
+    }
+
+    #[test]
+    fn kfold_is_seed_deterministic() {
+        assert_eq!(kfold_splits(50, 5, 7), kfold_splits(50, 5, 7));
+        assert_ne!(kfold_splits(50, 5, 7), kfold_splits(50, 5, 8));
+    }
+
+    #[test]
+    fn stratified_preserves_proportions() {
+        // 80/20 class balance over 100 rows, 4 folds of 25: expect 20±2 of
+        // class 0 per fold.
+        let labels: Vec<u32> = (0..100).map(|i| u32::from(i % 5 == 0)).collect();
+        let folds = stratified_kfold_splits(&labels, 4, 3);
+        let mut seen = HashSet::new();
+        for (train, valid) in &folds {
+            assert_eq!(train.len() + valid.len(), 100);
+            let minority = valid.iter().filter(|&&r| labels[r as usize] == 1).count();
+            assert!(
+                (4..=6).contains(&minority),
+                "fold has {minority} minority rows"
+            );
+            for v in valid {
+                assert!(seen.insert(*v));
+            }
+        }
+        assert_eq!(seen.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "more folds than rows")]
+    fn too_many_folds_panics() {
+        kfold_splits(3, 4, 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Columnar data tables for TreeServer.
+//!
+//! This crate is the data substrate of the TreeServer reproduction (ICDE 2022,
+//! *Distributed Task-Based Training of Tree Models*). It provides:
+//!
+//! - a column-major [`DataTable`] with numeric and categorical attributes,
+//!   explicit missing values and a separate target column ([`Labels`]),
+//! - schema types ([`Schema`], [`AttrMeta`], [`AttrType`], [`Task`]),
+//! - a small CSV reader/writer with schema inference ([`csv`]),
+//! - seeded synthetic dataset generators matching the *shapes* of the paper's
+//!   evaluation datasets ([`synth`]), and
+//! - evaluation metrics (accuracy, RMSE) in [`metrics`].
+//!
+//! The table is column-major on purpose: TreeServer partitions data among
+//! machines **by columns**, so the natural unit of storage and of network
+//! transfer is a column (or a gathered slice of one).
+
+pub mod column;
+pub mod csv;
+pub mod cv;
+pub mod metrics;
+pub mod schema;
+pub mod synth;
+pub mod table;
+
+pub use column::{Column, Value, ValuesBuf, MISSING_CAT};
+pub use schema::{AttrMeta, AttrType, Schema, Task};
+pub use table::{DataTable, Labels};

@@ -1,0 +1,164 @@
+//! Evaluation metrics used in the paper's tables: test accuracy for
+//! classification and RMSE for regression (Table II uses "Accuracy = RMSE
+//! for Allstate").
+
+/// Fraction of positions where `pred == truth`.
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty.
+pub fn accuracy(pred: &[u32], truth: &[u32]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty inputs");
+    let hits = pred.iter().zip(truth).filter(|(p, t)| p == t).count();
+    hits as f64 / pred.len() as f64
+}
+
+/// Root-mean-square error.
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty inputs");
+    let mse = pred
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64;
+    mse.sqrt()
+}
+
+/// Area under the ROC curve for binary scores (rank statistic; ties get
+/// half credit). Returns 0.5 when one class is absent.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn auc(scores: &[f64], truth: &[u32]) -> f64 {
+    assert_eq!(scores.len(), truth.len(), "length mismatch");
+    assert!(!scores.is_empty(), "empty inputs");
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_unstable_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let n_pos = truth.iter().filter(|&&y| y == 1).count() as f64;
+    let n_neg = truth.len() as f64 - n_pos;
+    if n_pos == 0.0 || n_neg == 0.0 {
+        return 0.5;
+    }
+    // Mann-Whitney U via average ranks (ties averaged).
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            if truth[idx] == 1 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    (rank_sum_pos - n_pos * (n_pos + 1.0) / 2.0) / (n_pos * n_neg)
+}
+
+/// Binary cross-entropy of probability predictions, clamped away from 0/1.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn log_loss(probs: &[f64], truth: &[u32]) -> f64 {
+    assert_eq!(probs.len(), truth.len(), "length mismatch");
+    assert!(!probs.is_empty(), "empty inputs");
+    probs
+        .iter()
+        .zip(truth)
+        .map(|(&p, &y)| {
+            let p = p.clamp(1e-12, 1.0 - 1e-12);
+            if y == 1 {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum::<f64>()
+        / probs.len() as f64
+}
+
+/// A `k x k` confusion matrix; `m[t][p]` counts rows with true class `t`
+/// predicted as `p`.
+pub fn confusion_matrix(pred: &[u32], truth: &[u32], n_classes: u32) -> Vec<Vec<u64>> {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    let k = n_classes as usize;
+    let mut m = vec![vec![0u64; k]; k];
+    for (&p, &t) in pred.iter().zip(truth) {
+        m[t as usize][p as usize] += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]), 0.75);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+    }
+
+    #[test]
+    fn rmse_basic() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let m = confusion_matrix(&[0, 1, 1, 2], &[0, 1, 2, 2], 3);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[2][1], 1);
+        assert_eq!(m[2][2], 1);
+        assert_eq!(m[0][1], 0);
+    }
+
+    #[test]
+    fn auc_perfect_random_and_inverted() {
+        assert_eq!(auc(&[0.1, 0.2, 0.8, 0.9], &[0, 0, 1, 1]), 1.0);
+        assert_eq!(auc(&[0.9, 0.8, 0.2, 0.1], &[0, 0, 1, 1]), 0.0);
+        // All-tied scores: exactly chance.
+        assert!((auc(&[0.5; 6], &[0, 1, 0, 1, 0, 1]) - 0.5).abs() < 1e-12);
+        // Single-class degenerate: defined as 0.5.
+        assert_eq!(auc(&[0.3, 0.7], &[1, 1]), 0.5);
+    }
+
+    #[test]
+    fn auc_handles_partial_overlap() {
+        let scores = [0.1, 0.4, 0.35, 0.8];
+        let truth = [0, 0, 1, 1];
+        // One inversion among the 4 pos-neg pairs -> 3/4.
+        assert!((auc(&scores, &truth) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_loss_rewards_confidence() {
+        let confident = log_loss(&[0.99, 0.01], &[1, 0]);
+        let hedged = log_loss(&[0.6, 0.4], &[1, 0]);
+        assert!(confident < hedged);
+        // Extreme wrong predictions stay finite thanks to clamping.
+        assert!(log_loss(&[0.0], &[1]).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_mismatch_panics() {
+        accuracy(&[0], &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rmse_empty_panics() {
+        rmse(&[], &[]);
+    }
+}

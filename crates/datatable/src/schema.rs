@@ -1,0 +1,151 @@
+//! Schema types: attribute metadata and the prediction task.
+
+use serde::{Deserialize, Serialize};
+
+/// The type of a (non-target) attribute.
+///
+/// TreeServer distinguishes only two attribute kinds (paper §II): *ordinal*
+/// attributes split by `Ai <= v`, and *categorical* attributes split by
+/// `Ai ∈ Sl`. We call ordinal attributes "numeric" since values are stored
+/// as `f64`; integer ordinals are represented exactly up to 2^53.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttrType {
+    /// Ordinal attribute stored as `f64` (missing = NaN).
+    Numeric,
+    /// Categorical attribute with values `0..n_values` (missing = `MISSING_CAT`).
+    Categorical {
+        /// Number of distinct category codes (the size of `Si`).
+        n_values: u32,
+    },
+}
+
+impl AttrType {
+    /// Whether this attribute is categorical.
+    pub fn is_categorical(&self) -> bool {
+        matches!(self, AttrType::Categorical { .. })
+    }
+}
+
+/// Metadata for a single attribute column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttrMeta {
+    /// Human-readable attribute name (e.g. "Age").
+    pub name: String,
+    /// The attribute type.
+    pub ty: AttrType,
+}
+
+impl AttrMeta {
+    /// Convenience constructor for a numeric attribute.
+    pub fn numeric(name: impl Into<String>) -> Self {
+        AttrMeta { name: name.into(), ty: AttrType::Numeric }
+    }
+
+    /// Convenience constructor for a categorical attribute with `n_values` codes.
+    pub fn categorical(name: impl Into<String>, n_values: u32) -> Self {
+        AttrMeta { name: name.into(), ty: AttrType::Categorical { n_values } }
+    }
+}
+
+/// The prediction task for the target attribute `Y`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Task {
+    /// Classification into `n_classes` classes; labels are `0..n_classes`.
+    Classification {
+        /// Number of classes.
+        n_classes: u32,
+    },
+    /// Regression on a real-valued target.
+    Regression,
+}
+
+impl Task {
+    /// Number of classes, or `None` for regression.
+    pub fn n_classes(&self) -> Option<u32> {
+        match self {
+            Task::Classification { n_classes } => Some(*n_classes),
+            Task::Regression => None,
+        }
+    }
+
+    /// Whether this is a classification task.
+    pub fn is_classification(&self) -> bool {
+        matches!(self, Task::Classification { .. })
+    }
+}
+
+/// A table schema: the attribute columns `A1..Am` (the target `Y` is kept
+/// separately as [`crate::Labels`]) plus the prediction task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Per-attribute metadata, indexed by attribute id.
+    pub attrs: Vec<AttrMeta>,
+    /// The prediction task (determines the label representation).
+    pub task: Task,
+}
+
+impl Schema {
+    /// Creates a schema from attribute metadata and a task.
+    pub fn new(attrs: Vec<AttrMeta>, task: Task) -> Self {
+        Schema { attrs, task }
+    }
+
+    /// Number of attributes `m` (excluding the target).
+    pub fn n_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Type of attribute `attr`.
+    ///
+    /// # Panics
+    /// Panics if `attr` is out of range.
+    pub fn attr_type(&self, attr: usize) -> AttrType {
+        self.attrs[attr].ty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_meta_constructors() {
+        let a = AttrMeta::numeric("age");
+        assert_eq!(a.name, "age");
+        assert_eq!(a.ty, AttrType::Numeric);
+        assert!(!a.ty.is_categorical());
+
+        let b = AttrMeta::categorical("edu", 5);
+        assert_eq!(b.ty, AttrType::Categorical { n_values: 5 });
+        assert!(b.ty.is_categorical());
+    }
+
+    #[test]
+    fn task_helpers() {
+        assert_eq!(Task::Classification { n_classes: 3 }.n_classes(), Some(3));
+        assert_eq!(Task::Regression.n_classes(), None);
+        assert!(Task::Classification { n_classes: 2 }.is_classification());
+        assert!(!Task::Regression.is_classification());
+    }
+
+    #[test]
+    fn schema_accessors() {
+        let s = Schema::new(
+            vec![AttrMeta::numeric("a"), AttrMeta::categorical("b", 4)],
+            Task::Regression,
+        );
+        assert_eq!(s.n_attrs(), 2);
+        assert_eq!(s.attr_type(1), AttrType::Categorical { n_values: 4 });
+    }
+
+    #[test]
+    fn schema_serde_roundtrip() {
+        let s = Schema::new(
+            vec![AttrMeta::numeric("a"), AttrMeta::categorical("b", 4)],
+            Task::Classification { n_classes: 7 },
+        );
+        let j = serde_json::to_string(&s).unwrap();
+        let back: Schema = serde_json::from_str(&j).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,626 @@
+//! Seeded synthetic dataset generators.
+//!
+//! The paper evaluates on 11 public datasets (Table I) and on MNIST for the
+//! deep-forest case study. Those artifacts are not shipped here; instead this
+//! module generates datasets that match each one's *shape* — row count
+//! (scaled), numeric/categorical attribute counts, task kind, class count and
+//! (for Allstate) missing values — with a planted tree-structured concept so
+//! the learning problem is non-trivial and exact-vs-approximate split quality
+//! differences are observable. See DESIGN.md §2 for the substitution rationale.
+
+use crate::column::{Column, MISSING_CAT};
+use crate::schema::{AttrMeta, Schema, Task};
+use crate::table::{DataTable, Labels};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Specification of a synthetic table.
+#[derive(Debug, Clone)]
+pub struct SynthSpec {
+    /// Number of rows to generate.
+    pub rows: usize,
+    /// Number of numeric attributes.
+    pub numeric: usize,
+    /// Number of categorical attributes.
+    pub categorical: usize,
+    /// Cardinality of each categorical attribute.
+    pub cat_cardinality: u32,
+    /// Prediction task.
+    pub task: Task,
+    /// Fraction of attribute cells set to missing (after labelling).
+    pub missing_rate: f64,
+    /// Label noise: class-flip probability (classification) or Gaussian
+    /// sigma relative to the label range (regression).
+    pub noise: f64,
+    /// Depth of the planted ground-truth tree concept.
+    pub concept_depth: u32,
+    /// Number of latent factors (0 = the concept reads the observed
+    /// attributes directly). With `latent = L > 0`, the concept is a tree
+    /// over `L` hidden uniform variables and every observed column is a
+    /// *noisy proxy* of one of them — mimicking the feature redundancy of
+    /// real tabular data, where a random-forest's column subsampling can
+    /// find substitutes for any informative feature.
+    pub latent: usize,
+    /// RNG seed; the same spec + seed always produces the same table.
+    pub seed: u64,
+}
+
+impl Default for SynthSpec {
+    fn default() -> Self {
+        SynthSpec {
+            rows: 10_000,
+            numeric: 10,
+            categorical: 0,
+            cat_cardinality: 8,
+            task: Task::Classification { n_classes: 2 },
+            missing_rate: 0.0,
+            noise: 0.05,
+            concept_depth: 6,
+            latent: 0,
+            seed: 1,
+        }
+    }
+}
+
+/// A node of the planted concept tree.
+enum ConceptNode {
+    NumSplit { attr: usize, thresh: f64, left: usize, right: usize },
+    CatSplit { attr: usize, left_vals: Vec<u32>, left: usize, right: usize },
+    Leaf { value: f64 },
+}
+
+/// The planted ground-truth concept: a random decision tree over the
+/// attribute space whose leaves carry real values in `[0, 1)`. For
+/// classification the leaf value is quantised to a class.
+struct Concept {
+    nodes: Vec<ConceptNode>,
+}
+
+impl Concept {
+    fn random(spec: &SynthSpec, rng: &mut StdRng) -> Concept {
+        let mut nodes = Vec::new();
+        Self::grow(spec, rng, &mut nodes, 0);
+        Concept { nodes }
+    }
+
+    fn grow(spec: &SynthSpec, rng: &mut StdRng, nodes: &mut Vec<ConceptNode>, depth: u32) -> usize {
+        let id = nodes.len();
+        let n_attrs = spec.numeric + spec.categorical;
+        if depth >= spec.concept_depth || n_attrs == 0 {
+            nodes.push(ConceptNode::Leaf { value: rng.gen::<f64>() });
+            return id;
+        }
+        // Reserve the slot, then grow children.
+        nodes.push(ConceptNode::Leaf { value: 0.0 });
+        let attr = rng.gen_range(0..n_attrs);
+        let node = if attr < spec.numeric {
+            // Numeric attribute values are uniform in [0,1); pick a threshold
+            // away from the extremes so both sides stay populated.
+            let thresh = rng.gen_range(0.2..0.8);
+            let left = Self::grow(spec, rng, nodes, depth + 1);
+            let right = Self::grow(spec, rng, nodes, depth + 1);
+            ConceptNode::NumSplit { attr, thresh, left, right }
+        } else {
+            let card = spec.cat_cardinality.max(2);
+            let n_left = rng.gen_range(1..card);
+            let mut vals: Vec<u32> = (0..card).collect();
+            // Seeded partial shuffle to pick the left subset.
+            for i in 0..n_left as usize {
+                let j = rng.gen_range(i..card as usize);
+                vals.swap(i, j);
+            }
+            let mut left_vals: Vec<u32> = vals[..n_left as usize].to_vec();
+            left_vals.sort_unstable();
+            let left = Self::grow(spec, rng, nodes, depth + 1);
+            let right = Self::grow(spec, rng, nodes, depth + 1);
+            ConceptNode::CatSplit { attr, left_vals, left, right }
+        };
+        nodes[id] = node;
+        id
+    }
+
+    /// Evaluates the concept for one row (before noise/missingness).
+    fn eval(&self, num: &[Vec<f64>], cat: &[Vec<u32>], n_numeric: usize, row: usize) -> f64 {
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                ConceptNode::Leaf { value } => return *value,
+                ConceptNode::NumSplit { attr, thresh, left, right } => {
+                    i = if num[*attr][row] <= *thresh { *left } else { *right };
+                }
+                ConceptNode::CatSplit { attr, left_vals, left, right } => {
+                    let v = cat[*attr - n_numeric][row];
+                    i = if left_vals.binary_search(&v).is_ok() { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// Generates a table from a spec. Deterministic in `(spec, spec.seed)`.
+pub fn generate(spec: &SynthSpec) -> DataTable {
+    assert!(spec.rows > 0, "rows must be positive");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    // The variables the concept reads: either the observed columns
+    // themselves, or `latent` hidden factors every observed column proxies.
+    let (concept_spec, concept_num, concept_cat);
+    if spec.latent > 0 {
+        concept_spec = SynthSpec { numeric: spec.latent, categorical: 0, ..spec.clone() };
+        concept_num = (0..spec.latent)
+            .map(|_| (0..spec.rows).map(|_| rng.gen::<f64>()).collect::<Vec<f64>>())
+            .collect::<Vec<_>>();
+        concept_cat = Vec::new();
+    } else {
+        concept_spec = spec.clone();
+        concept_num = Vec::new();
+        concept_cat = Vec::new();
+    }
+    let concept = Concept::random(&concept_spec, &mut rng);
+
+    let mut gauss = {
+        let mut spare: Option<f64> = None;
+        move |rng: &mut StdRng| -> f64 {
+            if let Some(v) = spare.take() {
+                return v;
+            }
+            let (u1, u2): (f64, f64) = (rng.gen::<f64>().max(1e-12), rng.gen());
+            let r = (-2.0 * u1.ln()).sqrt();
+            let a = 2.0 * std::f64::consts::PI * u2;
+            spare = Some(r * a.sin());
+            r * a.cos()
+        }
+    };
+
+    // Raw attribute values (no missing yet).
+    let mut num_cols: Vec<Vec<f64>>;
+    let mut cat_cols: Vec<Vec<u32>>;
+    if spec.latent > 0 {
+        let l = spec.latent;
+        num_cols = (0..spec.numeric)
+            .map(|i| {
+                let base = &concept_num[i % l];
+                (0..spec.rows)
+                    .map(|r| base[r] + gauss(&mut rng) * 0.18)
+                    .collect()
+            })
+            .collect();
+        // Quantisation buckets must match the declared schema cardinality
+        // exactly, or generated codes would exceed `n_values`.
+        let card = spec.cat_cardinality.max(1) as f64;
+        cat_cols = (0..spec.categorical)
+            .map(|j| {
+                let base = &concept_num[(spec.numeric + j) % l];
+                (0..spec.rows)
+                    .map(|r| {
+                        let v = (base[r] + gauss(&mut rng) * 0.18).clamp(0.0, 1.0 - 1e-9);
+                        (v * card) as u32
+                    })
+                    .collect()
+            })
+            .collect();
+    } else {
+        num_cols = (0..spec.numeric)
+            .map(|_| (0..spec.rows).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        cat_cols = (0..spec.categorical)
+            .map(|_| {
+                (0..spec.rows)
+                    .map(|_| rng.gen_range(0..spec.cat_cardinality.max(1)))
+                    .collect()
+            })
+            .collect();
+    }
+
+    // Labels from the concept, plus noise. With latent factors the concept
+    // reads the hidden variables; otherwise the observed columns.
+    let (eval_num, eval_cat, eval_numeric_count) = if spec.latent > 0 {
+        (&concept_num, &concept_cat, spec.latent)
+    } else {
+        (&num_cols, &cat_cols, spec.numeric)
+    };
+    let labels = match spec.task {
+        Task::Classification { n_classes } => {
+            let k = n_classes.max(2);
+            let ys = (0..spec.rows)
+                .map(|r| {
+                    let v = concept.eval(eval_num, eval_cat, eval_numeric_count, r);
+                    let mut y = ((v * k as f64) as u32).min(k - 1);
+                    if rng.gen::<f64>() < spec.noise {
+                        y = rng.gen_range(0..k);
+                    }
+                    y
+                })
+                .collect();
+            Labels::Class(ys)
+        }
+        Task::Regression => {
+            let ys = (0..spec.rows)
+                .map(|r| {
+                    let v = concept.eval(eval_num, eval_cat, eval_numeric_count, r);
+                    let g = gauss(&mut rng);
+                    v * 100.0 + g * spec.noise * 100.0
+                })
+                .collect();
+            Labels::Real(ys)
+        }
+    };
+
+    // Inject missing values after labelling so missingness is uninformative.
+    if spec.missing_rate > 0.0 {
+        for col in &mut num_cols {
+            for v in col.iter_mut() {
+                if rng.gen::<f64>() < spec.missing_rate {
+                    *v = f64::NAN;
+                }
+            }
+        }
+        for col in &mut cat_cols {
+            for v in col.iter_mut() {
+                if rng.gen::<f64>() < spec.missing_rate {
+                    *v = MISSING_CAT;
+                }
+            }
+        }
+    }
+
+    let mut attrs = Vec::with_capacity(spec.numeric + spec.categorical);
+    let mut columns = Vec::with_capacity(spec.numeric + spec.categorical);
+    for (i, col) in num_cols.into_iter().enumerate() {
+        attrs.push(AttrMeta::numeric(format!("num{i}")));
+        columns.push(Column::Numeric(col));
+    }
+    for (i, col) in cat_cols.into_iter().enumerate() {
+        attrs.push(AttrMeta::categorical(
+            format!("cat{i}"),
+            spec.cat_cardinality.max(1),
+        ));
+        columns.push(Column::Categorical(col));
+    }
+    let task = match spec.task {
+        Task::Classification { n_classes } => Task::Classification { n_classes: n_classes.max(2) },
+        Task::Regression => Task::Regression,
+    };
+    DataTable::new(Schema::new(attrs, task), columns, labels)
+}
+
+/// The paper's Table I datasets, reproduced by shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum PaperDataset {
+    Allstate,
+    HiggsBoson,
+    MsLtrc,
+    C14B,
+    Covtype,
+    Poker,
+    Kdd99,
+    Susy,
+    LoanM1,
+    LoanY1,
+    LoanY2,
+}
+
+impl PaperDataset {
+    /// All eleven datasets, in Table I order.
+    pub const ALL: [PaperDataset; 11] = [
+        PaperDataset::Allstate,
+        PaperDataset::HiggsBoson,
+        PaperDataset::MsLtrc,
+        PaperDataset::C14B,
+        PaperDataset::Covtype,
+        PaperDataset::Poker,
+        PaperDataset::Kdd99,
+        PaperDataset::Susy,
+        PaperDataset::LoanM1,
+        PaperDataset::LoanY1,
+        PaperDataset::LoanY2,
+    ];
+
+    /// The dataset name as printed in Table I.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PaperDataset::Allstate => "Allstate",
+            PaperDataset::HiggsBoson => "Higgs_boson",
+            PaperDataset::MsLtrc => "MS_LTRC",
+            PaperDataset::C14B => "c14B",
+            PaperDataset::Covtype => "Covtype",
+            PaperDataset::Poker => "Poker",
+            PaperDataset::Kdd99 => "KDD99",
+            PaperDataset::Susy => "SUSY",
+            PaperDataset::LoanM1 => "loan_m1",
+            PaperDataset::LoanY1 => "loan_y1",
+            PaperDataset::LoanY2 => "loan_y2",
+        }
+    }
+
+    /// Row count reported in the paper's Table I.
+    pub fn paper_rows(&self) -> u64 {
+        match self {
+            PaperDataset::Allstate => 13_184_290,
+            PaperDataset::HiggsBoson => 11_000_000,
+            PaperDataset::MsLtrc => 723_412,
+            PaperDataset::C14B => 473_134,
+            PaperDataset::Covtype => 581_012,
+            PaperDataset::Poker => 1_025_010,
+            PaperDataset::Kdd99 => 4_898_431,
+            PaperDataset::Susy => 5_000_000,
+            PaperDataset::LoanM1 => 6_372_703,
+            PaperDataset::LoanY1 => 29_581_722,
+            PaperDataset::LoanY2 => 54_468_375,
+        }
+    }
+
+    /// `(numeric, categorical)` attribute counts from Table I.
+    pub fn paper_attrs(&self) -> (usize, usize) {
+        match self {
+            PaperDataset::Allstate => (13, 14),
+            PaperDataset::HiggsBoson => (28, 0),
+            PaperDataset::MsLtrc => (136, 1),
+            PaperDataset::C14B => (700, 0),
+            PaperDataset::Covtype => (54, 0),
+            PaperDataset::Poker => (0, 11),
+            PaperDataset::Kdd99 => (38, 3),
+            PaperDataset::Susy => (18, 0),
+            PaperDataset::LoanM1 | PaperDataset::LoanY1 | PaperDataset::LoanY2 => (14, 13),
+        }
+    }
+
+    /// The prediction task: Allstate is the paper's sole regression dataset.
+    pub fn task(&self) -> Task {
+        match self {
+            PaperDataset::Allstate => Task::Regression,
+            PaperDataset::Covtype => Task::Classification { n_classes: 7 },
+            PaperDataset::Poker => Task::Classification { n_classes: 10 },
+            PaperDataset::Kdd99 => Task::Classification { n_classes: 5 },
+            _ => Task::Classification { n_classes: 2 },
+        }
+    }
+
+    /// Builds the shape-matched synthetic spec. `scale` multiplies the paper
+    /// row count (e.g. `1e-2` turns 11 M Higgs rows into 110 k); rows are
+    /// clamped to `[2_000, 400_000]` so every dataset remains exercisable on
+    /// one host.
+    pub fn spec(&self, scale: f64, seed: u64) -> SynthSpec {
+        let rows = ((self.paper_rows() as f64 * scale) as usize).clamp(2_000, 400_000);
+        let (numeric, categorical) = self.paper_attrs();
+        SynthSpec {
+            rows,
+            numeric,
+            categorical,
+            cat_cardinality: 12,
+            task: self.task(),
+            missing_rate: if *self == PaperDataset::Allstate { 0.05 } else { 0.0 },
+            noise: 0.08,
+            concept_depth: 6,
+            // Real tabular data has redundant informative features; a few
+            // latent factors proxied by every column give random forests'
+            // column subsampling realistic substitutes to find.
+            latent: ((numeric + categorical) / 5).clamp(2, 8),
+            seed: seed ^ self.paper_rows(),
+        }
+    }
+
+    /// Generates the shape-matched table.
+    pub fn generate(&self, scale: f64, seed: u64) -> DataTable {
+        generate(&self.spec(scale, seed))
+    }
+}
+
+/// A set of grey-scale images for the deep-forest case study.
+#[derive(Debug, Clone)]
+pub struct ImageSet {
+    /// Row-major pixel intensities in `[0, 1]`, one `width*height` vector per image.
+    pub images: Vec<Vec<f32>>,
+    /// Class labels `0..n_classes`.
+    pub labels: Vec<u32>,
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Number of classes.
+    pub n_classes: u32,
+}
+
+/// Generates an MNIST-like image set: 10 class templates drawn as random
+/// strokes on a 28x28 canvas, with per-sample pixel noise and +-2 px shifts.
+///
+/// The deep-forest experiment (paper §VII/Table VII) needs images where
+/// sliding-window features are informative: a fixed spatial template per
+/// class gives exactly that.
+pub fn mnist_like(n_train: usize, n_test: usize, seed: u64) -> (ImageSet, ImageSet) {
+    const W: usize = 28;
+    const H: usize = 28;
+    const K: u32 = 10;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // One template per class: a few random strokes (random-walk of a brush).
+    let mut templates: Vec<Vec<f32>> = Vec::with_capacity(K as usize);
+    for _ in 0..K {
+        let mut img = vec![0f32; W * H];
+        for _stroke in 0..4 {
+            let mut x = rng.gen_range(4..(W - 4)) as i32;
+            let mut y = rng.gen_range(4..(H - 4)) as i32;
+            for _step in 0..30 {
+                for dy in -1..=1i32 {
+                    for dx in -1..=1i32 {
+                        let (px, py) = (x + dx, y + dy);
+                        if (0..W as i32).contains(&px) && (0..H as i32).contains(&py) {
+                            img[py as usize * W + px as usize] = 1.0;
+                        }
+                    }
+                }
+                x = (x + rng.gen_range(-1..=1)).clamp(2, W as i32 - 3);
+                y = (y + rng.gen_range(-1..=1)).clamp(2, H as i32 - 3);
+            }
+        }
+        templates.push(img);
+    }
+
+    let sample = |rng: &mut StdRng, n: usize| -> ImageSet {
+        let mut images = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = (i as u32) % K;
+            let t = &templates[class as usize];
+            let (sx, sy): (i32, i32) = (rng.gen_range(-3..=3), rng.gen_range(-3..=3));
+            let mut img = vec![0f32; W * H];
+            for y in 0..H as i32 {
+                for x in 0..W as i32 {
+                    let (ox, oy) = (x - sx, y - sy);
+                    let base = if (0..W as i32).contains(&ox) && (0..H as i32).contains(&oy) {
+                        t[oy as usize * W + ox as usize]
+                    } else {
+                        0.0
+                    };
+                    let noise: f32 = (rng.gen::<f32>() - 0.5) * 0.9;
+                    img[y as usize * W + x as usize] = (base + noise).clamp(0.0, 1.0);
+                }
+            }
+            images.push(img);
+            labels.push(class);
+        }
+        ImageSet { images, labels, width: W, height: H, n_classes: K }
+    };
+
+    let train = sample(&mut rng, n_train);
+    let test = sample(&mut rng, n_test);
+    (train, test)
+}
+
+/// Returns the fraction of rows whose label matches the planted concept's
+/// majority behaviour — a quick sanity measure that a spec is learnable.
+pub fn label_entropy(table: &DataTable) -> f64 {
+    match table.labels() {
+        Labels::Class(ys) => {
+            let k = table.schema().task.n_classes().unwrap_or(2) as usize;
+            let mut counts = vec![0usize; k];
+            for &y in ys {
+                counts[y as usize] += 1;
+            }
+            let n = ys.len() as f64;
+            counts
+                .iter()
+                .filter(|&&c| c > 0)
+                .map(|&c| {
+                    let p = c as f64 / n;
+                    -p * p.log2()
+                })
+                .sum()
+        }
+        Labels::Real(_) => f64::NAN,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrType;
+
+    #[test]
+    fn generate_is_deterministic() {
+        let spec = SynthSpec { rows: 500, numeric: 3, categorical: 2, ..Default::default() };
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generate_respects_shape() {
+        let spec = SynthSpec {
+            rows: 300,
+            numeric: 4,
+            categorical: 3,
+            cat_cardinality: 5,
+            task: Task::Classification { n_classes: 4 },
+            ..Default::default()
+        };
+        let t = generate(&spec);
+        assert_eq!(t.n_rows(), 300);
+        assert_eq!(t.n_attrs(), 7);
+        assert_eq!(t.schema().attr_type(0), AttrType::Numeric);
+        assert_eq!(t.schema().attr_type(4), AttrType::Categorical { n_values: 5 });
+        assert!(t.labels().as_class().unwrap().iter().all(|&y| y < 4));
+    }
+
+    #[test]
+    fn missing_rate_injects_missing() {
+        let spec = SynthSpec { rows: 2_000, numeric: 2, missing_rate: 0.2, ..Default::default() };
+        let t = generate(&spec);
+        let missing = t.column(0).n_missing();
+        let frac = missing as f64 / 2_000.0;
+        assert!((0.1..0.3).contains(&frac), "missing fraction {frac}");
+    }
+
+    #[test]
+    fn labels_not_degenerate() {
+        let t = generate(&SynthSpec { rows: 5_000, ..Default::default() });
+        let e = label_entropy(&t);
+        assert!(e > 0.2, "labels nearly constant: entropy {e}");
+    }
+
+    #[test]
+    fn paper_dataset_shapes_match_table1() {
+        let t = PaperDataset::Allstate.generate(1e-3, 7);
+        assert_eq!(t.n_attrs(), 27);
+        assert_eq!(t.schema().task, Task::Regression);
+        assert!(t.column(0).n_missing() > 0, "Allstate has missing values");
+
+        let t = PaperDataset::Poker.generate(1e-2, 7);
+        assert_eq!(t.n_attrs(), 11);
+        assert!(t.schema().attr_type(0).is_categorical());
+        assert_eq!(t.schema().task, Task::Classification { n_classes: 10 });
+    }
+
+    #[test]
+    fn paper_dataset_scaling_clamps() {
+        // 1e-6 of 473k rows would be sub-minimum; clamp to 2000.
+        let spec = PaperDataset::C14B.spec(1e-6, 1);
+        assert_eq!(spec.rows, 2_000);
+        // scale 1.0 of 54M clamps to 400k.
+        let spec = PaperDataset::LoanY2.spec(1.0, 1);
+        assert_eq!(spec.rows, 400_000);
+    }
+
+    #[test]
+    fn mnist_like_shapes_and_determinism() {
+        let (tr, te) = mnist_like(50, 20, 3);
+        assert_eq!(tr.images.len(), 50);
+        assert_eq!(te.images.len(), 20);
+        assert_eq!(tr.images[0].len(), 28 * 28);
+        assert!(tr.labels.iter().all(|&y| y < 10));
+        assert!(tr.images[0].iter().all(|&p| (0.0..=1.0).contains(&p)));
+        let (tr2, _) = mnist_like(50, 20, 3);
+        assert_eq!(tr.images, tr2.images);
+    }
+
+    #[test]
+    fn mnist_like_classes_are_separable_in_pixel_space() {
+        // Same-class images should be closer to each other than to other
+        // classes on average (templates + mild noise).
+        let (tr, _) = mnist_like(100, 1, 9);
+        let dist = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+        };
+        // Average same-class vs cross-class distances over many pairs (a
+        // single pair can invert under the per-sample noise and shifts).
+        let mut same = (0.0f32, 0u32);
+        let mut cross = (0.0f32, 0u32);
+        for i in 0..tr.images.len() {
+            for j in (i + 1)..tr.images.len() {
+                let d = dist(&tr.images[i], &tr.images[j]);
+                if tr.labels[i] == tr.labels[j] {
+                    same = (same.0 + d, same.1 + 1);
+                } else {
+                    cross = (cross.0 + d, cross.1 + 1);
+                }
+            }
+        }
+        let same = same.0 / same.1 as f32;
+        let cross = cross.0 / cross.1 as f32;
+        assert!(
+            same < cross,
+            "avg same-class dist {same} vs cross-class {cross}"
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! The column-major data table and its target labels.
+
+use crate::column::{Column, Value, ValuesBuf};
+use crate::schema::{AttrType, Schema, Task};
+use serde::{Deserialize, Serialize};
+
+/// The target column `Y`.
+///
+/// Kept separately from the attribute columns because TreeServer replicates
+/// `Y` on **every** machine (paper §III: impurity scores at each node are
+/// evaluated from the `Y`-values of `Dx`), while attribute columns are
+/// partitioned.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Labels {
+    /// Class labels `0..n_classes` for classification.
+    Class(Vec<u32>),
+    /// Real-valued targets for regression.
+    Real(Vec<f64>),
+}
+
+impl Labels {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Labels::Class(v) => v.len(),
+            Labels::Real(v) => v.len(),
+        }
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Gathers labels for the given row ids, preserving order.
+    pub fn gather(&self, rows: &[u32]) -> Labels {
+        match self {
+            Labels::Class(v) => Labels::Class(rows.iter().map(|&r| v[r as usize]).collect()),
+            Labels::Real(v) => Labels::Real(rows.iter().map(|&r| v[r as usize]).collect()),
+        }
+    }
+
+    /// Class labels slice, if classification.
+    pub fn as_class(&self) -> Option<&[u32]> {
+        match self {
+            Labels::Class(v) => Some(v),
+            Labels::Real(_) => None,
+        }
+    }
+
+    /// Real targets slice, if regression.
+    pub fn as_real(&self) -> Option<&[f64]> {
+        match self {
+            Labels::Real(v) => Some(v),
+            Labels::Class(_) => None,
+        }
+    }
+
+    /// Payload size in bytes.
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            Labels::Class(v) => v.len() * std::mem::size_of::<u32>(),
+            Labels::Real(v) => v.len() * std::mem::size_of::<f64>(),
+        }
+    }
+}
+
+/// A column-major data table: schema, attribute columns, and the target.
+///
+/// Invariants: `columns.len() == schema.n_attrs()`, every column and the
+/// labels have exactly `n_rows` entries, the label representation matches
+/// `schema.task`, and each column's storage kind matches its declared
+/// [`AttrType`]. [`DataTable::new`] checks all of these.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataTable {
+    schema: Schema,
+    columns: Vec<Column>,
+    labels: Labels,
+    n_rows: usize,
+}
+
+impl DataTable {
+    /// Builds a table, validating all structural invariants.
+    ///
+    /// # Panics
+    /// Panics if column counts/lengths/types or the label kind are
+    /// inconsistent with the schema. Construction is a load-time operation;
+    /// failing fast here keeps the whole training pipeline panic-free.
+    pub fn new(schema: Schema, columns: Vec<Column>, labels: Labels) -> Self {
+        assert_eq!(
+            columns.len(),
+            schema.n_attrs(),
+            "column count must match schema"
+        );
+        let n_rows = labels.len();
+        for (i, c) in columns.iter().enumerate() {
+            assert_eq!(c.len(), n_rows, "column {i} length mismatch");
+            match (c, schema.attr_type(i)) {
+                (Column::Numeric(_), AttrType::Numeric) => {}
+                (Column::Categorical(_), AttrType::Categorical { .. }) => {}
+                _ => panic!("column {i} storage kind does not match schema type"),
+            }
+        }
+        match (&labels, schema.task) {
+            (Labels::Class(v), Task::Classification { n_classes }) => {
+                debug_assert!(
+                    v.iter().all(|&y| y < n_classes),
+                    "class label out of range"
+                );
+            }
+            (Labels::Real(_), Task::Regression) => {}
+            _ => panic!("label kind does not match schema task"),
+        }
+        DataTable { schema, columns, labels, n_rows }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows `n`.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of attributes `m` (excluding the target).
+    pub fn n_attrs(&self) -> usize {
+        self.schema.n_attrs()
+    }
+
+    /// The attribute column with id `attr`.
+    pub fn column(&self, attr: usize) -> &Column {
+        &self.columns[attr]
+    }
+
+    /// All attribute columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The target labels.
+    pub fn labels(&self) -> &Labels {
+        &self.labels
+    }
+
+    /// The value of attribute `attr` in row `row`.
+    pub fn value(&self, row: usize, attr: usize) -> Value {
+        self.columns[attr].value(row)
+    }
+
+    /// Gathers a row subset of one column.
+    pub fn gather(&self, attr: usize, rows: &[u32]) -> ValuesBuf {
+        self.columns[attr].gather(rows)
+    }
+
+    /// Returns a new table containing only the given rows (in order).
+    pub fn select_rows(&self, rows: &[u32]) -> DataTable {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| c.gather(rows).into_column())
+            .collect();
+        DataTable::new(self.schema.clone(), columns, self.labels.gather(rows))
+    }
+
+    /// Splits the table into `(train, test)` with the first
+    /// `ceil(train_frac * n)` of a seeded shuffle going to train.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 < train_frac < 1.0`.
+    pub fn train_test_split(&self, train_frac: f64, seed: u64) -> (DataTable, DataTable) {
+        assert!(
+            train_frac > 0.0 && train_frac < 1.0,
+            "train_frac must be in (0, 1)"
+        );
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut ids: Vec<u32> = (0..self.n_rows as u32).collect();
+        ids.shuffle(&mut rng);
+        let n_train = ((self.n_rows as f64) * train_frac).ceil() as usize;
+        let n_train = n_train.clamp(1, self.n_rows - 1);
+        let (train_ids, test_ids) = ids.split_at(n_train);
+        (self.select_rows(train_ids), self.select_rows(test_ids))
+    }
+
+    /// Total payload bytes of all attribute columns plus labels.
+    pub fn payload_bytes(&self) -> usize {
+        self.columns.iter().map(Column::payload_bytes).sum::<usize>()
+            + self.labels.payload_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrMeta;
+
+    fn small_table() -> DataTable {
+        // The paper's Fig. 1 customer table (Age, Education, HomeOwner, Income -> Default).
+        let schema = Schema::new(
+            vec![
+                AttrMeta::numeric("Age"),
+                AttrMeta::categorical("Education", 5),
+                AttrMeta::categorical("HomeOwner", 2),
+                AttrMeta::numeric("Income"),
+            ],
+            Task::Classification { n_classes: 2 },
+        );
+        // Education codes: 0 Primary, 1 Secondary, 2 Bachelor, 3 Master, 4 PhD.
+        let columns = vec![
+            Column::Numeric(vec![
+                24.0, 28.0, 44.0, 32.0, 36.0, 48.0, 37.0, 42.0, 54.0, 47.0,
+            ]),
+            Column::Categorical(vec![2, 3, 2, 1, 4, 2, 1, 2, 1, 4]),
+            Column::Categorical(vec![0, 1, 1, 1, 0, 1, 0, 0, 0, 1]),
+            Column::Numeric(vec![
+                5000.0, 7500.0, 5500.0, 6000.0, 10000.0, 6500.0, 3000.0, 6000.0, 4000.0, 8000.0,
+            ]),
+        ];
+        let labels = Labels::Class(vec![0, 0, 0, 1, 0, 0, 1, 0, 1, 0]);
+        DataTable::new(schema, columns, labels)
+    }
+
+    #[test]
+    fn fig1_table_shape() {
+        let t = small_table();
+        assert_eq!(t.n_rows(), 10);
+        assert_eq!(t.n_attrs(), 4);
+        assert_eq!(t.value(0, 0), Value::Num(24.0));
+        assert_eq!(t.value(4, 1), Value::Cat(4));
+    }
+
+    #[test]
+    fn select_rows_matches_paper_node_x2() {
+        // Node x2 of Fig. 1(b) holds rows {1,2,4,5,7} (1-based) = ids {0,1,3,4,6}.
+        let t = small_table();
+        let sub = t.select_rows(&[0, 1, 3, 4, 6]);
+        assert_eq!(sub.n_rows(), 5);
+        assert_eq!(sub.labels(), &Labels::Class(vec![0, 0, 1, 0, 1]));
+        assert_eq!(sub.value(2, 0), Value::Num(32.0)); // original row 4's Age
+    }
+
+    #[test]
+    fn train_test_split_partitions_rows() {
+        let t = small_table();
+        let (tr, te) = t.train_test_split(0.7, 42);
+        assert_eq!(tr.n_rows() + te.n_rows(), t.n_rows());
+        assert_eq!(tr.n_rows(), 7);
+    }
+
+    #[test]
+    fn train_test_split_is_seed_deterministic() {
+        let t = small_table();
+        let (a, _) = t.train_test_split(0.5, 7);
+        let (b, _) = t.train_test_split(0.5, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn mismatched_column_count_panics() {
+        let schema = Schema::new(vec![AttrMeta::numeric("a")], Task::Regression);
+        DataTable::new(schema, vec![], Labels::Real(vec![1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "storage kind")]
+    fn mismatched_column_kind_panics() {
+        let schema = Schema::new(vec![AttrMeta::numeric("a")], Task::Regression);
+        DataTable::new(
+            schema,
+            vec![Column::Categorical(vec![0])],
+            Labels::Real(vec![1.0]),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "label kind")]
+    fn mismatched_labels_panic() {
+        let schema = Schema::new(vec![AttrMeta::numeric("a")], Task::Regression);
+        DataTable::new(
+            schema,
+            vec![Column::Numeric(vec![0.0])],
+            Labels::Class(vec![0]),
+        );
+    }
+
+    #[test]
+    fn labels_gather_and_accessors() {
+        let l = Labels::Class(vec![0, 1, 2]);
+        assert_eq!(l.gather(&[2, 0]), Labels::Class(vec![2, 0]));
+        assert_eq!(l.as_class(), Some(&[0u32, 1, 2][..]));
+        assert!(l.as_real().is_none());
+        let r = Labels::Real(vec![0.5]);
+        assert!(r.as_class().is_none());
+        assert_eq!(r.payload_bytes(), 8);
+    }
+}

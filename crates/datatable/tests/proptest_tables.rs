@@ -1,0 +1,128 @@
+//! Property tests for the data substrate: CSV round-trips, row selection
+//! algebra and split determinism over arbitrary generated tables.
+
+use proptest::prelude::*;
+use ts_datatable::csv::{parse_csv, write_csv, TaskKind};
+use ts_datatable::synth::{generate, SynthSpec};
+use ts_datatable::{Column, Task, Value};
+
+fn any_spec() -> impl Strategy<Value = SynthSpec> {
+    (
+        2usize..200,
+        0usize..4,
+        0usize..4,
+        2u32..6,
+        0u64..10_000,
+        any::<bool>(),
+        prop_oneof![Just(0.0f64), Just(0.15f64)],
+    )
+        .prop_filter_map(
+            "need at least one attribute",
+            |(rows, numeric, categorical, card, seed, regression, missing_rate)| {
+                if numeric + categorical == 0 {
+                    return None;
+                }
+                Some(SynthSpec {
+                    rows,
+                    numeric,
+                    categorical,
+                    cat_cardinality: card,
+                    task: if regression {
+                        Task::Regression
+                    } else {
+                        Task::Classification { n_classes: 3 }
+                    },
+                    missing_rate,
+                    noise: 0.1,
+                    concept_depth: 3,
+                    latent: 0,
+                    seed,
+                })
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    /// CSV write → parse preserves shape, types, missing cells and labels.
+    #[test]
+    fn csv_roundtrip_preserves_table(spec in any_spec()) {
+        let t = generate(&spec);
+        let task_kind = match spec.task {
+            Task::Regression => TaskKind::Regression,
+            Task::Classification { .. } => TaskKind::Classification,
+        };
+        let text = write_csv(&t);
+        let back = parse_csv(&text, "__target__", task_kind).unwrap();
+        prop_assert_eq!(back.n_rows(), t.n_rows());
+        prop_assert_eq!(back.n_attrs(), t.n_attrs());
+        for a in 0..t.n_attrs() {
+            prop_assert_eq!(back.column(a).n_missing(), t.column(a).n_missing());
+            for r in (0..t.n_rows()).step_by(7) {
+                match (t.value(r, a), back.value(r, a)) {
+                    (Value::Num(x), Value::Num(y)) => prop_assert_eq!(x, y),
+                    (Value::Cat(_), Value::Cat(_)) => {} // dictionary may renumber
+                    (Value::Missing, Value::Missing) => {}
+                    (orig, parsed) => prop_assert!(
+                        false,
+                        "row {} attr {}: {:?} became {:?}", r, a, orig, parsed
+                    ),
+                }
+            }
+        }
+        // Labels survive exactly (same dictionary order for y<code> names).
+        match spec.task {
+            Task::Regression => prop_assert_eq!(back.labels(), t.labels()),
+            Task::Classification { .. } => {
+                prop_assert_eq!(back.labels().len(), t.labels().len());
+            }
+        }
+    }
+
+    /// Selecting rows twice composes: select(A)(B) == select(A[B]).
+    #[test]
+    fn select_rows_composes(spec in any_spec(), seed in 0u64..100) {
+        let t = generate(&spec);
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let first: Vec<u32> = (0..t.n_rows() as u32)
+            .filter(|_| rng.gen_bool(0.6))
+            .collect();
+        if first.is_empty() {
+            return Ok(());
+        }
+        let second: Vec<u32> = (0..first.len() as u32)
+            .filter(|_| rng.gen_bool(0.6))
+            .collect();
+        if second.is_empty() {
+            return Ok(());
+        }
+        let via_two = t.select_rows(&first).select_rows(&second);
+        let composed: Vec<u32> = second.iter().map(|&i| first[i as usize]).collect();
+        let direct = t.select_rows(&composed);
+        // NaN payloads break PartialEq; compare via bit-census.
+        prop_assert_eq!(via_two.n_rows(), direct.n_rows());
+        for a in 0..t.n_attrs() {
+            match (via_two.column(a), direct.column(a)) {
+                (Column::Numeric(x), Column::Numeric(y)) => {
+                    prop_assert!(x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits()));
+                }
+                (x, y) => prop_assert_eq!(x, y),
+            }
+        }
+        prop_assert_eq!(via_two.labels(), direct.labels());
+    }
+
+    /// Train/test split partitions rows exactly, for any fraction.
+    #[test]
+    fn split_partitions(spec in any_spec(), frac in 0.05f64..0.95, seed in 0u64..50) {
+        let t = generate(&spec);
+        if t.n_rows() < 2 {
+            return Ok(());
+        }
+        let (tr, te) = t.train_test_split(frac, seed);
+        prop_assert_eq!(tr.n_rows() + te.n_rows(), t.n_rows());
+        prop_assert!(tr.n_rows() >= 1 && te.n_rows() >= 1);
+    }
+}

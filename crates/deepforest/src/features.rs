@@ -1,0 +1,141 @@
+//! Row-parallel feature plumbing: window sliding and row-major → columnar
+//! conversion.
+//!
+//! These are the paper's two companion jobs (§VII): they "partition input
+//! data by rows" across all threads of all machines, in contrast to
+//! TreeServer's column partitioning. Here they are rayon data-parallel
+//! loops.
+
+use rayon::prelude::*;
+use ts_datatable::synth::ImageSet;
+use ts_datatable::{AttrMeta, Column, DataTable, Labels, Schema, Task};
+
+/// The top-left corners of all `w x w` windows on a `width x height` image
+/// with the given stride.
+pub fn window_positions(width: usize, height: usize, w: usize, stride: usize) -> Vec<(usize, usize)> {
+    assert!(w <= width && w <= height, "window larger than image");
+    assert!(stride >= 1);
+    let mut pos = Vec::new();
+    let mut y = 0;
+    while y + w <= height {
+        let mut x = 0;
+        while x + w <= width {
+            pos.push((x, y));
+            x += stride;
+        }
+        y += stride;
+    }
+    pos
+}
+
+/// Extracts every `w x w` window vector from every image (row-parallel).
+///
+/// Returns `(vectors, labels)`: one `w*w`-dimensional vector per (image,
+/// position), labelled with the image's class — the training input of the
+/// MGS forests (paper Fig. 12).
+pub fn slide_windows(images: &ImageSet, w: usize, stride: usize) -> (Vec<Vec<f32>>, Vec<u32>) {
+    let positions = window_positions(images.width, images.height, w, stride);
+    let per_image: Vec<(Vec<Vec<f32>>, Vec<u32>)> = images
+        .images
+        .par_iter()
+        .zip(&images.labels)
+        .map(|(img, &label)| {
+            let mut vecs = Vec::with_capacity(positions.len());
+            for &(x, y) in &positions {
+                let mut v = Vec::with_capacity(w * w);
+                for dy in 0..w {
+                    let row = (y + dy) * images.width + x;
+                    v.extend_from_slice(&img[row..row + w]);
+                }
+                vecs.push(v);
+            }
+            (vecs, vec![label; positions.len()])
+        })
+        .collect();
+    let mut vectors = Vec::with_capacity(images.images.len() * positions.len());
+    let mut labels = Vec::with_capacity(vectors.capacity());
+    for (vs, ls) in per_image {
+        vectors.extend(vs);
+        labels.extend(ls);
+    }
+    (vectors, labels)
+}
+
+/// Converts row-major feature vectors into a columnar [`DataTable`]
+/// (all-numeric attributes).
+pub fn table_from_rows(rows: &[Vec<f32>], labels: Vec<u32>, n_classes: u32) -> DataTable {
+    assert!(!rows.is_empty(), "need at least one row");
+    assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
+    let dim = rows[0].len();
+    let columns: Vec<Column> = (0..dim)
+        .into_par_iter()
+        .map(|c| Column::Numeric(rows.iter().map(|r| r[c] as f64).collect()))
+        .collect();
+    let attrs = (0..dim).map(|i| AttrMeta::numeric(format!("f{i}"))).collect();
+    DataTable::new(
+        Schema::new(attrs, Task::Classification { n_classes }),
+        columns,
+        Labels::Class(labels),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_datatable::synth::mnist_like;
+
+    #[test]
+    fn positions_cover_grid() {
+        let pos = window_positions(28, 28, 3, 1);
+        assert_eq!(pos.len(), 26 * 26);
+        assert_eq!(pos[0], (0, 0));
+        assert_eq!(*pos.last().unwrap(), (25, 25));
+        let strided = window_positions(28, 28, 3, 2);
+        assert_eq!(strided.len(), 13 * 13);
+    }
+
+    #[test]
+    fn slide_extracts_window_content() {
+        // A 4x4 "image" with pixel value = index; window 2, stride 2.
+        let img: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let set = ImageSet {
+            images: vec![img],
+            labels: vec![3],
+            width: 4,
+            height: 4,
+            n_classes: 10,
+        };
+        let (vecs, labels) = slide_windows(&set, 2, 2);
+        assert_eq!(vecs.len(), 4);
+        assert_eq!(vecs[0], vec![0.0, 1.0, 4.0, 5.0]);
+        assert_eq!(vecs[1], vec![2.0, 3.0, 6.0, 7.0]);
+        assert_eq!(vecs[3], vec![10.0, 11.0, 14.0, 15.0]);
+        assert!(labels.iter().all(|&l| l == 3));
+    }
+
+    #[test]
+    fn slide_counts_match_images_times_positions() {
+        let (train, _) = mnist_like(10, 1, 1);
+        let (vecs, labels) = slide_windows(&train, 5, 3);
+        let expect = window_positions(28, 28, 5, 3).len() * 10;
+        assert_eq!(vecs.len(), expect);
+        assert_eq!(labels.len(), expect);
+        assert!(vecs.iter().all(|v| v.len() == 25));
+    }
+
+    #[test]
+    fn table_from_rows_is_columnar_transpose() {
+        let rows = vec![vec![1.0f32, 2.0], vec![3.0, 4.0]];
+        let t = table_from_rows(&rows, vec![0, 1], 2);
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.n_attrs(), 2);
+        assert_eq!(t.value(0, 1), ts_datatable::Value::Num(2.0));
+        assert_eq!(t.value(1, 0), ts_datatable::Value::Num(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn table_from_rows_validates() {
+        table_from_rows(&[vec![1.0]], vec![0, 1], 2);
+    }
+}

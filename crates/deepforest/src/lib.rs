@@ -1,0 +1,28 @@
+//! Deep forest (multi-grained scanning + cascade forest) on TreeServer.
+//!
+//! Reproduces the paper's section VII case study: the gcForest model of
+//! Zhou & Feng trained with TreeServer as the forest-training engine, plus
+//! the two row-parallel companion jobs (window-sliding feature extraction
+//! and re-representation), which partition work by rows while TreeServer
+//! partitions by columns.
+//!
+//! Pipeline:
+//!
+//! 1. **MGS** — for each window size `w`, slide a `w x w` window over every
+//!    image (row-parallel), train forests on the window vectors, then run
+//!    the images back through the trained forests to re-represent each
+//!    image as the concatenation of per-position class-PMF vectors.
+//! 2. **CF** — a cascade of layers; layer `l` trains forests on the
+//!    concatenation of layer `l-1`'s output features with the MGS
+//!    re-representation of one window size (cycling through the windows),
+//!    exactly as Fig. 11 shows. Prediction at any layer averages the
+//!    layer's forest PMFs.
+//!
+//! Per the paper's tuning notes (section VIII): random forests only in the
+//! CF stage, `dmax = 10` in MGS, unbounded depth in CF.
+
+pub mod features;
+pub mod pipeline;
+
+pub use features::{slide_windows, table_from_rows, window_positions};
+pub use pipeline::{DeepForest, DeepForestConfig, StepReport};

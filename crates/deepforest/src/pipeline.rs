@@ -1,0 +1,406 @@
+//! The deep-forest training/prediction pipeline driving TreeServer.
+
+use crate::features::{slide_windows, table_from_rows};
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+use treeserver::{Cluster, ClusterConfig, JobSpec};
+use ts_datatable::synth::ImageSet;
+use ts_tree::ForestModel;
+
+/// Configuration of the deep forest (defaults follow the paper's tuned
+/// MNIST setup in §VIII: windows 3/5/7, 2 forests × 20 trees per step,
+/// `dmax = 10` in MGS, unbounded depth and random forests only in CF).
+#[derive(Debug, Clone)]
+pub struct DeepForestConfig {
+    /// Square MGS window sizes.
+    pub windows: Vec<usize>,
+    /// Window stride (the paper slides with stride 1; larger strides scale
+    /// the experiment down — see DESIGN.md §2).
+    pub stride: usize,
+    /// Forests trained per MGS window.
+    pub mgs_forests: usize,
+    /// Trees per MGS forest.
+    pub mgs_trees: usize,
+    /// MGS tree depth cap.
+    pub mgs_dmax: u32,
+    /// Cascade layers (the paper runs CF0..CF5).
+    pub cf_layers: usize,
+    /// Forests per cascade layer.
+    pub cf_forests: usize,
+    /// Trees per cascade forest.
+    pub cf_trees: usize,
+    /// CF tree depth cap (`u32::MAX` = the paper's `dmax = ∞`).
+    pub cf_dmax: u32,
+    /// TreeServer cluster shape used for every training job.
+    pub cluster: ClusterConfig,
+    /// Seed for all column sampling.
+    pub seed: u64,
+}
+
+impl Default for DeepForestConfig {
+    fn default() -> Self {
+        DeepForestConfig {
+            windows: vec![3, 5, 7],
+            stride: 2,
+            mgs_forests: 2,
+            mgs_trees: 20,
+            mgs_dmax: 10,
+            cf_layers: 6,
+            cf_forests: 2,
+            cf_trees: 20,
+            cf_dmax: u32::MAX,
+            cluster: ClusterConfig::default(),
+            seed: 1,
+        }
+    }
+}
+
+/// Timing (and, for CF steps, accuracy) of one pipeline step — the rows of
+/// the paper's Table VII.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Step name in the paper's naming ("slide", "win3train", "CF0extract" ...).
+    pub step: String,
+    /// Training-side wall clock.
+    pub train_time: Duration,
+    /// Test-side wall clock, when the step also processes the test set.
+    pub test_time: Option<Duration>,
+    /// Test accuracy after this step (CF extract steps).
+    pub test_accuracy: Option<f64>,
+}
+
+/// A trained deep forest.
+pub struct DeepForest {
+    cfg: DeepForestConfig,
+    /// Per window size: the MGS forests.
+    mgs: Vec<Vec<ForestModel>>,
+    /// Per cascade layer: the layer's forests.
+    cf: Vec<Vec<ForestModel>>,
+    n_classes: u32,
+}
+
+impl DeepForest {
+    /// Trains the full pipeline, returning the model and the per-step report
+    /// (Table VII's rows). `test` is evaluated after every cascade layer.
+    pub fn train(
+        cfg: DeepForestConfig,
+        train: &ImageSet,
+        test: &ImageSet,
+    ) -> (DeepForest, Vec<StepReport>) {
+        assert!(!cfg.windows.is_empty(), "need at least one window size");
+        assert!(cfg.cf_layers >= 1, "need at least one cascade layer");
+        let n_classes = train.n_classes;
+        let mut reports = Vec::new();
+
+        // --- Step "slide": window extraction for every window size. ---
+        let t0 = Instant::now();
+        let slid_train: Vec<(Vec<Vec<f32>>, Vec<u32>)> = cfg
+            .windows
+            .iter()
+            .map(|&w| slide_windows(train, w, cfg.stride))
+            .collect();
+        let train_slide = t0.elapsed();
+        let t0 = Instant::now();
+        let slid_test: Vec<(Vec<Vec<f32>>, Vec<u32>)> = cfg
+            .windows
+            .iter()
+            .map(|&w| slide_windows(test, w, cfg.stride))
+            .collect();
+        reports.push(StepReport {
+            step: "slide".into(),
+            train_time: train_slide,
+            test_time: Some(t0.elapsed()),
+            test_accuracy: None,
+        });
+
+        // --- MGS: train forests per window, then re-represent images. ---
+        let mut mgs = Vec::with_capacity(cfg.windows.len());
+        let mut mgs_train_feats: Vec<Vec<Vec<f32>>> = Vec::new();
+        let mut mgs_test_feats: Vec<Vec<Vec<f32>>> = Vec::new();
+        for (wi, &w) in cfg.windows.iter().enumerate() {
+            let t0 = Instant::now();
+            let (vecs, labels) = &slid_train[wi];
+            let table = table_from_rows(vecs, labels.clone(), n_classes);
+            let cluster = Cluster::launch(cfg.cluster.clone(), &table);
+            let forests: Vec<ForestModel> = (0..cfg.mgs_forests)
+                .map(|f| {
+                    cluster
+                        .train(
+                            JobSpec::random_forest(table.schema().task, cfg.mgs_trees)
+                                .with_dmax(cfg.mgs_dmax)
+                                .with_seed(cfg.seed ^ ((wi as u64) << 8) ^ f as u64),
+                        )
+                        .into_forest()
+                })
+                .collect();
+            cluster.shutdown();
+            reports.push(StepReport {
+                step: format!("win{w}train"),
+                train_time: t0.elapsed(),
+                test_time: None,
+                test_accuracy: None,
+            });
+
+            // Re-representation (row-parallel prediction job).
+            let t0 = Instant::now();
+            let train_f = extract_features(&forests, &slid_train[wi].0, train.images.len(), n_classes);
+            let train_time = t0.elapsed();
+            let t0 = Instant::now();
+            let test_f = extract_features(&forests, &slid_test[wi].0, test.images.len(), n_classes);
+            reports.push(StepReport {
+                step: format!("win{w}extract"),
+                train_time,
+                test_time: Some(t0.elapsed()),
+                test_accuracy: None,
+            });
+            mgs_train_feats.push(train_f);
+            mgs_test_feats.push(test_f);
+            mgs.push(forests);
+        }
+
+        // --- Cascade forest. ---
+        let mut cf: Vec<Vec<ForestModel>> = Vec::with_capacity(cfg.cf_layers);
+        let mut prev_train: Vec<Vec<f32>> = Vec::new();
+        let mut prev_test: Vec<Vec<f32>> = Vec::new();
+        for layer in 0..cfg.cf_layers {
+            let win = layer % cfg.windows.len();
+            let train_in = concat_features(&prev_train, &mgs_train_feats[win]);
+            let test_in = concat_features(&prev_test, &mgs_test_feats[win]);
+
+            let t0 = Instant::now();
+            let table = table_from_rows(&train_in, train.labels.clone(), n_classes);
+            let cluster = Cluster::launch(cfg.cluster.clone(), &table);
+            let forests: Vec<ForestModel> = (0..cfg.cf_forests)
+                .map(|f| {
+                    cluster
+                        .train(
+                            JobSpec::random_forest(table.schema().task, cfg.cf_trees)
+                                .with_dmax(cfg.cf_dmax)
+                                .with_seed(cfg.seed ^ 0xCF00 ^ ((layer as u64) << 8) ^ f as u64),
+                        )
+                        .into_forest()
+                })
+                .collect();
+            cluster.shutdown();
+            reports.push(StepReport {
+                step: format!("CF{layer}train"),
+                train_time: t0.elapsed(),
+                test_time: None,
+                test_accuracy: None,
+            });
+
+            // Layer extract + test accuracy.
+            let t0 = Instant::now();
+            prev_train = layer_outputs(&forests, &train_in, n_classes);
+            let train_time = t0.elapsed();
+            let t0 = Instant::now();
+            prev_test = layer_outputs(&forests, &test_in, n_classes);
+            let test_time = t0.elapsed();
+            let acc = {
+                let pred: Vec<u32> = prev_test
+                    .iter()
+                    .map(|feats| argmax_avg(feats, n_classes))
+                    .collect();
+                let hits = pred
+                    .iter()
+                    .zip(&test.labels)
+                    .filter(|(p, t)| p == t)
+                    .count();
+                hits as f64 / test.labels.len() as f64
+            };
+            reports.push(StepReport {
+                step: format!("CF{layer}extract"),
+                train_time,
+                test_time: Some(test_time),
+                test_accuracy: Some(acc),
+            });
+            cf.push(forests);
+        }
+
+        (DeepForest { cfg, mgs, cf, n_classes }, reports)
+    }
+
+    /// Predicts class labels for a set of images by running the full
+    /// pipeline (MGS re-representation + cascade).
+    pub fn predict(&self, images: &ImageSet) -> Vec<u32> {
+        let slid: Vec<(Vec<Vec<f32>>, Vec<u32>)> = self
+            .cfg
+            .windows
+            .iter()
+            .map(|&w| slide_windows(images, w, self.cfg.stride))
+            .collect();
+        let mgs_feats: Vec<Vec<Vec<f32>>> = self
+            .cfg
+            .windows
+            .iter()
+            .enumerate()
+            .map(|(wi, _)| {
+                extract_features(&self.mgs[wi], &slid[wi].0, images.images.len(), self.n_classes)
+            })
+            .collect();
+        let mut prev: Vec<Vec<f32>> = Vec::new();
+        for (layer, forests) in self.cf.iter().enumerate() {
+            let win = layer % self.cfg.windows.len();
+            let input = concat_features(&prev, &mgs_feats[win]);
+            prev = layer_outputs(forests, &input, self.n_classes);
+        }
+        prev.iter().map(|f| argmax_avg(f, self.n_classes)).collect()
+    }
+
+    /// Number of trees across the whole model.
+    pub fn n_trees(&self) -> usize {
+        self.mgs
+            .iter()
+            .flatten()
+            .chain(self.cf.iter().flatten())
+            .map(ForestModel::n_trees)
+            .sum()
+    }
+}
+
+/// Runs window vectors through the MGS forests and concatenates the PMFs of
+/// all positions into one feature vector per image (row-parallel over
+/// images).
+fn extract_features(
+    forests: &[ForestModel],
+    window_vecs: &[Vec<f32>],
+    n_images: usize,
+    n_classes: u32,
+) -> Vec<Vec<f32>> {
+    let per_image = window_vecs.len() / n_images;
+    assert_eq!(per_image * n_images, window_vecs.len(), "uneven window count");
+    (0..n_images)
+        .into_par_iter()
+        .map(|img| {
+            let slice = &window_vecs[img * per_image..(img + 1) * per_image];
+            let table = table_from_rows(slice, vec![0; slice.len()], n_classes);
+            let mut out = Vec::with_capacity(per_image * forests.len() * n_classes as usize);
+            for f in forests {
+                for pmf in f.predict_pmf(&table) {
+                    out.extend(pmf);
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// One cascade layer's output features: the concatenated per-forest PMFs.
+fn layer_outputs(forests: &[ForestModel], input: &[Vec<f32>], n_classes: u32) -> Vec<Vec<f32>> {
+    let table = table_from_rows(input, vec![0; input.len()], n_classes);
+    let per_forest: Vec<Vec<Vec<f32>>> = forests.par_iter().map(|f| f.predict_pmf(&table)).collect();
+    (0..input.len())
+        .map(|r| {
+            let mut out = Vec::with_capacity(forests.len() * n_classes as usize);
+            for pf in &per_forest {
+                out.extend(&pf[r]);
+            }
+            out
+        })
+        .collect()
+}
+
+/// Concatenates previous-layer features with MGS features (empty previous =
+/// CF0).
+fn concat_features(prev: &[Vec<f32>], mgs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    if prev.is_empty() {
+        return mgs.to_vec();
+    }
+    assert_eq!(prev.len(), mgs.len(), "feature row counts must align");
+    prev.iter()
+        .zip(mgs)
+        .map(|(p, m)| {
+            let mut v = Vec::with_capacity(p.len() + m.len());
+            v.extend(p);
+            v.extend(m);
+            v
+        })
+        .collect()
+}
+
+/// Averages a concatenated multi-forest PMF vector and takes the argmax —
+/// the paper's layer-level prediction rule.
+fn argmax_avg(features: &[f32], n_classes: u32) -> u32 {
+    let k = n_classes as usize;
+    debug_assert_eq!(features.len() % k, 0);
+    let groups = features.len() / k;
+    let mut avg = vec![0f32; k];
+    for g in 0..groups {
+        for c in 0..k {
+            avg[c] += features[g * k + c];
+        }
+    }
+    ts_tree::forest::argmax(&avg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_datatable::synth::mnist_like;
+
+    fn tiny_config() -> DeepForestConfig {
+        DeepForestConfig {
+            windows: vec![5],
+            stride: 4,
+            mgs_forests: 2,
+            mgs_trees: 6,
+            mgs_dmax: 6,
+            cf_layers: 2,
+            cf_forests: 2,
+            cf_trees: 6,
+            cf_dmax: 12,
+            cluster: ClusterConfig {
+                n_workers: 2,
+                compers_per_worker: 2,
+                tau_d: 2_000,
+                tau_dfs: 8_000,
+                ..Default::default()
+            },
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn tiny_deep_forest_trains_and_beats_chance() {
+        let (train, test) = mnist_like(120, 40, 5);
+        let (model, reports) = DeepForest::train(tiny_config(), &train, &test);
+        // Step report covers slide + (train+extract per window) + 2 per CF layer.
+        assert_eq!(reports.len(), 1 + 2 + 2 * 2);
+        assert_eq!(reports[0].step, "slide");
+        assert!(reports.iter().any(|r| r.step == "win5train"));
+        assert!(reports.iter().any(|r| r.step == "CF1extract"));
+        // Final layer accuracy well above 10% chance for 10 classes.
+        let final_acc = reports.last().unwrap().test_accuracy.unwrap();
+        assert!(final_acc > 0.4, "deep forest accuracy {final_acc}");
+        // predict() agrees with the recorded final-layer accuracy.
+        let pred = model.predict(&test);
+        let acc = pred
+            .iter()
+            .zip(&test.labels)
+            .filter(|(p, t)| p == t)
+            .count() as f64
+            / test.labels.len() as f64;
+        assert!((acc - final_acc).abs() < 1e-9);
+        assert_eq!(model.n_trees(), 2 * 6 + 2 * 2 * 6);
+    }
+
+    #[test]
+    fn argmax_avg_averages_groups() {
+        // Two 3-class PMFs: [1,0,0] and [0,0,1] -> avg favours class 0 (tie
+        // broken toward smaller index) ... make it unambiguous:
+        let f = [0.8, 0.1, 0.1, 0.6, 0.2, 0.2];
+        assert_eq!(argmax_avg(&f, 3), 0);
+        let f = [0.1, 0.8, 0.1, 0.2, 0.6, 0.2];
+        assert_eq!(argmax_avg(&f, 3), 1);
+    }
+
+    #[test]
+    fn concat_features_aligns_rows() {
+        let prev = vec![vec![1.0f32], vec![2.0]];
+        let mgs = vec![vec![3.0f32], vec![4.0]];
+        let c = concat_features(&prev, &mgs);
+        assert_eq!(c, vec![vec![1.0, 3.0], vec![2.0, 4.0]]);
+        let c0 = concat_features(&[], &mgs);
+        assert_eq!(c0, mgs);
+    }
+}

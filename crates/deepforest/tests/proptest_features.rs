@@ -1,0 +1,102 @@
+//! Property tests for the deep-forest feature plumbing: window geometry and
+//! the row-major → columnar transpose hold for arbitrary image shapes.
+
+use proptest::prelude::*;
+use ts_datatable::synth::ImageSet;
+use ts_datatable::Value;
+use ts_deepforest::{slide_windows, table_from_rows, window_positions};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Window positions tile the image: count matches the closed form, all
+    /// windows are in bounds, and positions are unique.
+    #[test]
+    fn positions_tile_the_image(
+        width in 4usize..40,
+        height in 4usize..40,
+        w in 1usize..8,
+        stride in 1usize..6,
+    ) {
+        let w = w.min(width).min(height);
+        let pos = window_positions(width, height, w, stride);
+        let expect_x = (width - w) / stride + 1;
+        let expect_y = (height - w) / stride + 1;
+        prop_assert_eq!(pos.len(), expect_x * expect_y);
+        let mut seen = std::collections::HashSet::new();
+        for &(x, y) in &pos {
+            prop_assert!(x + w <= width && y + w <= height);
+            prop_assert!(seen.insert((x, y)), "duplicate window at ({}, {})", x, y);
+        }
+    }
+
+    /// Sliding windows extracts exactly images × positions vectors of the
+    /// right dimension, labels inherited per image, and each vector's
+    /// content equals a direct pixel lookup.
+    #[test]
+    fn slide_matches_direct_lookup(
+        n_images in 1usize..5,
+        side in 6usize..16,
+        w in 2usize..5,
+        stride in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let images: Vec<Vec<f32>> = (0..n_images)
+            .map(|_| (0..side * side).map(|_| rng.gen::<f32>()).collect())
+            .collect();
+        let labels: Vec<u32> = (0..n_images as u32).map(|i| i % 3).collect();
+        let set = ImageSet {
+            images: images.clone(),
+            labels: labels.clone(),
+            width: side,
+            height: side,
+            n_classes: 3,
+        };
+        let positions = window_positions(side, side, w, stride);
+        let (vecs, vec_labels) = slide_windows(&set, w, stride);
+        prop_assert_eq!(vecs.len(), n_images * positions.len());
+        for (i, v) in vecs.iter().enumerate() {
+            let img = i / positions.len();
+            let (x, y) = positions[i % positions.len()];
+            prop_assert_eq!(v.len(), w * w);
+            prop_assert_eq!(vec_labels[i], labels[img]);
+            for dy in 0..w {
+                for dx in 0..w {
+                    prop_assert_eq!(
+                        v[dy * w + dx],
+                        images[img][(y + dy) * side + x + dx],
+                        "image {} window ({},{}) offset ({},{})", img, x, y, dx, dy
+                    );
+                }
+            }
+        }
+    }
+
+    /// table_from_rows is an exact transpose.
+    #[test]
+    fn transpose_is_exact(
+        rows in 1usize..30,
+        dim in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<Vec<f32>> = (0..rows)
+            .map(|_| (0..dim).map(|_| rng.gen::<f32>()).collect())
+            .collect();
+        let labels: Vec<u32> = (0..rows as u32).map(|i| i % 2).collect();
+        let t = table_from_rows(&data, labels, 2);
+        prop_assert_eq!(t.n_rows(), rows);
+        prop_assert_eq!(t.n_attrs(), dim);
+        for r in 0..rows {
+            for c in 0..dim {
+                match t.value(r, c) {
+                    Value::Num(v) => prop_assert_eq!(v, data[r][c] as f64),
+                    other => prop_assert!(false, "unexpected {:?}", other),
+                }
+            }
+        }
+    }
+}

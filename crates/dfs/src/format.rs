@@ -1,0 +1,229 @@
+//! Binary on-disk format for column and label files.
+//!
+//! Deliberately simple and self-describing: a magic byte per file kind, a
+//! column count, then per column a type tag, a length and raw little-endian
+//! values. Missing values travel in-band (`NaN` bits / `MISSING_CAT`).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ts_datatable::{Column, Labels};
+
+const MAGIC_COLUMNS: u8 = 0xC1;
+const MAGIC_LABELS: u8 = 0xC2;
+const TAG_NUMERIC: u8 = 0;
+const TAG_CATEGORICAL: u8 = 1;
+const TAG_CLASS: u8 = 2;
+const TAG_REAL: u8 = 3;
+
+/// Corrupt-file errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// File is shorter than its header/payload claims.
+    Truncated,
+    /// Unknown magic byte.
+    BadMagic(u8),
+    /// Unknown column/label type tag.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::Truncated => write!(f, "file truncated"),
+            FormatError::BadMagic(m) => write!(f, "bad magic byte {m:#x}"),
+            FormatError::BadTag(t) => write!(f, "bad type tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// Serialises a set of columns into one file body.
+pub fn write_columns(cols: &[Column]) -> Bytes {
+    let payload: usize = cols
+        .iter()
+        .map(|c| 1 + 8 + c.payload_bytes())
+        .sum::<usize>();
+    let mut buf = BytesMut::with_capacity(1 + 4 + payload);
+    buf.put_u8(MAGIC_COLUMNS);
+    buf.put_u32_le(cols.len() as u32);
+    for c in cols {
+        match c {
+            Column::Numeric(v) => {
+                buf.put_u8(TAG_NUMERIC);
+                buf.put_u64_le(v.len() as u64);
+                for &x in v {
+                    buf.put_f64_le(x);
+                }
+            }
+            Column::Categorical(v) => {
+                buf.put_u8(TAG_CATEGORICAL);
+                buf.put_u64_le(v.len() as u64);
+                for &x in v {
+                    buf.put_u32_le(x);
+                }
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Parses a column file body.
+pub fn read_columns(mut bytes: &[u8]) -> Result<Vec<Column>, FormatError> {
+    if bytes.remaining() < 5 {
+        return Err(FormatError::Truncated);
+    }
+    let magic = bytes.get_u8();
+    if magic != MAGIC_COLUMNS {
+        return Err(FormatError::BadMagic(magic));
+    }
+    let n_cols = bytes.get_u32_le() as usize;
+    let mut cols = Vec::with_capacity(n_cols);
+    for _ in 0..n_cols {
+        if bytes.remaining() < 9 {
+            return Err(FormatError::Truncated);
+        }
+        let tag = bytes.get_u8();
+        let len = bytes.get_u64_le() as usize;
+        match tag {
+            TAG_NUMERIC => {
+                if bytes.remaining() < len * 8 {
+                    return Err(FormatError::Truncated);
+                }
+                let mut v = Vec::with_capacity(len);
+                for _ in 0..len {
+                    v.push(bytes.get_f64_le());
+                }
+                cols.push(Column::Numeric(v));
+            }
+            TAG_CATEGORICAL => {
+                if bytes.remaining() < len * 4 {
+                    return Err(FormatError::Truncated);
+                }
+                let mut v = Vec::with_capacity(len);
+                for _ in 0..len {
+                    v.push(bytes.get_u32_le());
+                }
+                cols.push(Column::Categorical(v));
+            }
+            t => return Err(FormatError::BadTag(t)),
+        }
+    }
+    Ok(cols)
+}
+
+/// Serialises a label slice into one file body.
+pub fn write_labels(labels: &Labels) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 + 1 + 8 + labels.payload_bytes());
+    buf.put_u8(MAGIC_LABELS);
+    match labels {
+        Labels::Class(v) => {
+            buf.put_u8(TAG_CLASS);
+            buf.put_u64_le(v.len() as u64);
+            for &x in v {
+                buf.put_u32_le(x);
+            }
+        }
+        Labels::Real(v) => {
+            buf.put_u8(TAG_REAL);
+            buf.put_u64_le(v.len() as u64);
+            for &x in v {
+                buf.put_f64_le(x);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Parses a label file body.
+pub fn read_labels(mut bytes: &[u8]) -> Result<Labels, FormatError> {
+    if bytes.remaining() < 10 {
+        return Err(FormatError::Truncated);
+    }
+    let magic = bytes.get_u8();
+    if magic != MAGIC_LABELS {
+        return Err(FormatError::BadMagic(magic));
+    }
+    let tag = bytes.get_u8();
+    let len = bytes.get_u64_le() as usize;
+    match tag {
+        TAG_CLASS => {
+            if bytes.remaining() < len * 4 {
+                return Err(FormatError::Truncated);
+            }
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                v.push(bytes.get_u32_le());
+            }
+            Ok(Labels::Class(v))
+        }
+        TAG_REAL => {
+            if bytes.remaining() < len * 8 {
+                return Err(FormatError::Truncated);
+            }
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                v.push(bytes.get_f64_le());
+            }
+            Ok(Labels::Real(v))
+        }
+        t => Err(FormatError::BadTag(t)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_datatable::MISSING_CAT;
+
+    #[test]
+    fn columns_roundtrip_with_missing() {
+        let cols = vec![
+            Column::Numeric(vec![1.5, f64::NAN, -3.0]),
+            Column::Categorical(vec![0, MISSING_CAT, 7]),
+        ];
+        let bytes = write_columns(&cols);
+        let back = read_columns(&bytes).unwrap();
+        assert_eq!(back.len(), 2);
+        match (&back[0], &cols[0]) {
+            (Column::Numeric(a), Column::Numeric(b)) => {
+                assert!(a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()))
+            }
+            _ => panic!(),
+        }
+        assert_eq!(back[1], cols[1]);
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        for l in [Labels::Class(vec![1, 2, 3]), Labels::Real(vec![0.5, -1.0])] {
+            let bytes = write_labels(&l);
+            assert_eq!(read_labels(&bytes).unwrap(), l);
+        }
+    }
+
+    #[test]
+    fn truncated_files_error() {
+        let bytes = write_columns(&[Column::Numeric(vec![1.0, 2.0])]);
+        assert_eq!(read_columns(&bytes[..bytes.len() - 4]), Err(FormatError::Truncated));
+        assert_eq!(read_columns(&[]), Err(FormatError::Truncated));
+        let l = write_labels(&Labels::Real(vec![1.0]));
+        assert_eq!(read_labels(&l[..5]), Err(FormatError::Truncated));
+    }
+
+    #[test]
+    fn bad_magic_and_tag_error() {
+        assert_eq!(read_columns(&[0xFF, 0, 0, 0, 0]), Err(FormatError::BadMagic(0xFF)));
+        let mut bytes = write_columns(&[Column::Numeric(vec![])]).to_vec();
+        bytes[5] = 9; // corrupt the first column's tag
+        assert_eq!(read_columns(&bytes), Err(FormatError::BadTag(9)));
+        let mut l = write_labels(&Labels::Class(vec![])).to_vec();
+        l[1] = 9;
+        assert_eq!(read_labels(&l), Err(FormatError::BadTag(9)));
+    }
+
+    #[test]
+    fn empty_column_set_roundtrips() {
+        let bytes = write_columns(&[]);
+        assert_eq!(read_columns(&bytes).unwrap(), Vec::<Column>::new());
+    }
+}

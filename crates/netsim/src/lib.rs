@@ -1,0 +1,458 @@
+//! In-process cluster simulation.
+//!
+//! The paper evaluates TreeServer on a 15-machine cluster with 1 GigE
+//! links. This crate substitutes an in-process simulation (see DESIGN.md §2):
+//! every "machine" is a set of real OS threads, machines exchange typed
+//! messages over [`crossbeam_channel`] channels, and every send is
+//!
+//! 1. **accounted** — payload bytes are charged to the sender's Send counter
+//!    and the receiver's Recv counter (giving the paper's per-machine
+//!    Send/Recv workload and Mbps figures), and
+//! 2. **paced** — an optional [`NetModel`] sleeps the sending thread for
+//!    `latency + bytes / bandwidth`, which serialises a machine's outbound
+//!    traffic exactly like a shared NIC does. This is what recreates the
+//!    master-outbound bottleneck of §V and the send-throughput saturation of
+//!    Table VI at laptop scale.
+//!
+//! The paper's two channel types ("Task Comm." master↔workers and "Data
+//! Comm." worker↔worker, Fig. 6) map to two [`Fabric`] instances sharing one
+//! [`NetStats`].
+//!
+//! [`NetStats`] also aggregates per-machine *busy time* reported by compute
+//! threads, from which the experiments derive the paper's "average CPU rate"
+//! (e.g. 837% = 8.37 cores busy).
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Identifies a machine in the simulated cluster. The engine uses `0` for
+/// the master and `1..=w` for workers.
+pub type NodeId = usize;
+
+/// A message with a known payload size, so the fabric can account and pace it.
+pub trait WireSized {
+    /// Approximate serialized size in bytes.
+    fn wire_bytes(&self) -> usize;
+}
+
+/// The link model applied to every non-local send.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetModel {
+    /// Link bandwidth in bytes/second; `None` disables the bandwidth sleep.
+    pub bandwidth_bytes_per_sec: Option<f64>,
+    /// Fixed per-message latency.
+    pub latency: Duration,
+}
+
+impl NetModel {
+    /// No pacing at all: accounting only. Unit tests use this.
+    pub fn instant() -> NetModel {
+        NetModel { bandwidth_bytes_per_sec: None, latency: Duration::ZERO }
+    }
+
+    /// The paper's testbed link: 1 GigE (~125 MB/s) with a small fixed
+    /// per-message latency.
+    pub fn gige() -> NetModel {
+        NetModel {
+            bandwidth_bytes_per_sec: Some(125_000_000.0),
+            latency: Duration::from_micros(200),
+        }
+    }
+
+    /// A deliberately slow link for tests that need visible contention.
+    pub fn slow(bytes_per_sec: f64, latency: Duration) -> NetModel {
+        NetModel { bandwidth_bytes_per_sec: Some(bytes_per_sec), latency }
+    }
+
+    /// The transmission delay this model assigns to a payload.
+    pub fn delay_for(&self, bytes: usize) -> Duration {
+        let bw = match self.bandwidth_bytes_per_sec {
+            Some(b) if b > 0.0 && b.is_finite() => {
+                Duration::from_secs_f64(bytes as f64 / b)
+            }
+            _ => Duration::ZERO,
+        };
+        self.latency + bw
+    }
+}
+
+/// Per-machine counters, shared across fabrics.
+#[derive(Debug)]
+struct NodeCounters {
+    sent_bytes: AtomicU64,
+    recv_bytes: AtomicU64,
+    sent_msgs: AtomicU64,
+    recv_msgs: AtomicU64,
+    busy_ns: AtomicU64,
+    mem_current: AtomicU64,
+    mem_peak: AtomicU64,
+}
+
+impl NodeCounters {
+    fn new() -> Self {
+        NodeCounters {
+            sent_bytes: AtomicU64::new(0),
+            recv_bytes: AtomicU64::new(0),
+            sent_msgs: AtomicU64::new(0),
+            recv_msgs: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+            mem_current: AtomicU64::new(0),
+            mem_peak: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A point-in-time snapshot of one machine's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeSnapshot {
+    /// Total payload bytes sent.
+    pub sent_bytes: u64,
+    /// Total payload bytes received.
+    pub recv_bytes: u64,
+    /// Messages sent.
+    pub sent_msgs: u64,
+    /// Messages received.
+    pub recv_msgs: u64,
+    /// Nanoseconds of compute-thread busy time.
+    pub busy_ns: u64,
+    /// Peak tracked task memory in bytes.
+    pub mem_peak: u64,
+}
+
+/// Cluster-wide statistics: communication counters, compute busy time and
+/// task-memory watermarks per machine.
+#[derive(Debug)]
+pub struct NetStats {
+    nodes: Vec<NodeCounters>,
+    started: Instant,
+}
+
+impl NetStats {
+    /// Creates statistics for `n` machines.
+    pub fn new(n: usize) -> Arc<NetStats> {
+        Arc::new(NetStats {
+            nodes: (0..n).map(|_| NodeCounters::new()).collect(),
+            started: Instant::now(),
+        })
+    }
+
+    /// Number of machines tracked.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Records a message of `bytes` from `from` to `to`.
+    pub fn record_send(&self, from: NodeId, to: NodeId, bytes: usize) {
+        self.nodes[from].sent_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.nodes[from].sent_msgs.fetch_add(1, Ordering::Relaxed);
+        self.nodes[to].recv_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.nodes[to].recv_msgs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds compute busy time for a machine.
+    pub fn add_busy(&self, node: NodeId, d: Duration) {
+        self.nodes[node].busy_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Tracks a task-memory allocation (subtree data, delegate `Ix` sets ...)
+    /// and updates the peak watermark.
+    pub fn mem_alloc(&self, node: NodeId, bytes: usize) {
+        let cur = self.nodes[node]
+            .mem_current
+            .fetch_add(bytes as u64, Ordering::Relaxed)
+            + bytes as u64;
+        self.nodes[node].mem_peak.fetch_max(cur, Ordering::Relaxed);
+    }
+
+    /// Releases tracked task memory.
+    pub fn mem_free(&self, node: NodeId, bytes: usize) {
+        self.nodes[node].mem_current.fetch_sub(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot of one machine's counters.
+    pub fn snapshot(&self, node: NodeId) -> NodeSnapshot {
+        let c = &self.nodes[node];
+        NodeSnapshot {
+            sent_bytes: c.sent_bytes.load(Ordering::Relaxed),
+            recv_bytes: c.recv_bytes.load(Ordering::Relaxed),
+            sent_msgs: c.sent_msgs.load(Ordering::Relaxed),
+            recv_msgs: c.recv_msgs.load(Ordering::Relaxed),
+            busy_ns: c.busy_ns.load(Ordering::Relaxed),
+            mem_peak: c.mem_peak.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshots for every machine.
+    pub fn snapshot_all(&self) -> Vec<NodeSnapshot> {
+        (0..self.nodes.len()).map(|i| self.snapshot(i)).collect()
+    }
+
+    /// Wall-clock time since the stats were created.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Average busy CPU percentage of a machine over `elapsed` (can exceed
+    /// 100 when several compute threads run — the paper reports e.g. 837%).
+    pub fn cpu_percent(&self, node: NodeId, elapsed: Duration) -> f64 {
+        let busy = self.nodes[node].busy_ns.load(Ordering::Relaxed) as f64;
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        100.0 * busy / elapsed.as_nanos() as f64
+    }
+
+    /// Average send throughput of a machine over `elapsed`, in Mbit/s — the
+    /// quantity Table VI reports as "Send".
+    pub fn send_mbps(&self, node: NodeId, elapsed: Duration) -> f64 {
+        let bytes = self.nodes[node].sent_bytes.load(Ordering::Relaxed) as f64;
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        bytes * 8.0 / 1e6 / elapsed.as_secs_f64()
+    }
+}
+
+/// A guard that reports its lifetime as busy time on drop. Compute threads
+/// wrap each task execution in one of these.
+pub struct BusyGuard<'a> {
+    stats: &'a NetStats,
+    node: NodeId,
+    start: Instant,
+}
+
+impl<'a> BusyGuard<'a> {
+    /// Starts a busy interval for `node`.
+    pub fn start(stats: &'a NetStats, node: NodeId) -> Self {
+        BusyGuard { stats, node, start: Instant::now() }
+    }
+}
+
+impl Drop for BusyGuard<'_> {
+    fn drop(&mut self) {
+        self.stats.add_busy(self.node, self.start.elapsed());
+    }
+}
+
+/// One typed message plane connecting all machines (the engine instantiates
+/// one for task communication and one for data communication, per Fig. 6).
+///
+/// Cloneable; all clones share channels, stats and the link model.
+pub struct Fabric<M> {
+    senders: Vec<Sender<M>>,
+    model: NetModel,
+    stats: Arc<NetStats>,
+}
+
+impl<M> Clone for Fabric<M> {
+    fn clone(&self) -> Self {
+        Fabric {
+            senders: self.senders.clone(),
+            model: self.model,
+            stats: Arc::clone(&self.stats),
+        }
+    }
+}
+
+/// Error returned when the destination machine has shut down (its receiver
+/// was dropped). The engine treats this as a crashed worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected {
+    /// The unreachable machine.
+    pub to: NodeId,
+}
+
+impl std::fmt::Display for Disconnected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "machine {} is disconnected", self.to)
+    }
+}
+
+impl std::error::Error for Disconnected {}
+
+impl<M: WireSized> Fabric<M> {
+    /// Creates a fabric over `n` machines sharing `stats`; returns the
+    /// cloneable handle plus one receiver per machine.
+    pub fn new(n: usize, model: NetModel, stats: Arc<NetStats>) -> (Fabric<M>, Vec<Receiver<M>>) {
+        assert_eq!(stats.n_nodes(), n, "stats sized for a different cluster");
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(r);
+        }
+        (Fabric { senders, model, stats }, receivers)
+    }
+
+    /// Sends `msg` from `from` to `to`.
+    ///
+    /// Local sends (`from == to`) are free: no accounting, no pacing —
+    /// mirroring the paper's "skipping communication when the requested data
+    /// is local". Remote sends charge the counters and sleep the calling
+    /// thread per the link model.
+    pub fn send(&self, from: NodeId, to: NodeId, msg: M) -> Result<(), Disconnected> {
+        if from != to {
+            let bytes = msg.wire_bytes();
+            self.stats.record_send(from, to, bytes);
+            let delay = self.model.delay_for(bytes);
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+        }
+        self.senders[to].send(msg).map_err(|_| Disconnected { to })
+    }
+
+    /// The shared statistics.
+    pub fn stats(&self) -> &Arc<NetStats> {
+        &self.stats
+    }
+
+    /// The link model.
+    pub fn model(&self) -> NetModel {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Msg(Vec<u8>);
+
+    impl WireSized for Msg {
+        fn wire_bytes(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    fn setup(n: usize, model: NetModel) -> (Fabric<Msg>, Vec<Receiver<Msg>>, Arc<NetStats>) {
+        let stats = NetStats::new(n);
+        let (f, r) = Fabric::new(n, model, Arc::clone(&stats));
+        (f, r, stats)
+    }
+
+    #[test]
+    fn send_delivers_and_accounts() {
+        let (f, r, stats) = setup(3, NetModel::instant());
+        f.send(0, 2, Msg(vec![0; 100])).unwrap();
+        assert_eq!(r[2].recv().unwrap(), Msg(vec![0; 100]));
+        let s0 = stats.snapshot(0);
+        let s2 = stats.snapshot(2);
+        assert_eq!(s0.sent_bytes, 100);
+        assert_eq!(s0.sent_msgs, 1);
+        assert_eq!(s2.recv_bytes, 100);
+        assert_eq!(s2.recv_msgs, 1);
+        assert_eq!(stats.snapshot(1), NodeSnapshot::default());
+    }
+
+    #[test]
+    fn local_send_is_free() {
+        let (f, r, stats) = setup(2, NetModel::gige());
+        let t = Instant::now();
+        f.send(1, 1, Msg(vec![0; 1_000_000])).unwrap();
+        assert!(t.elapsed() < Duration::from_millis(50), "local send must not pace");
+        assert_eq!(stats.snapshot(1).sent_bytes, 0);
+        assert_eq!(r[1].recv().unwrap().0.len(), 1_000_000);
+    }
+
+    #[test]
+    fn bandwidth_model_paces_sender() {
+        // 1 MB at 10 MB/s => >= 100 ms.
+        let model = NetModel::slow(10_000_000.0, Duration::ZERO);
+        let (f, _r, _stats) = setup(2, model);
+        let t = Instant::now();
+        f.send(0, 1, Msg(vec![0; 1_000_000])).unwrap();
+        assert!(t.elapsed() >= Duration::from_millis(95), "took {:?}", t.elapsed());
+    }
+
+    #[test]
+    fn latency_applies_per_message() {
+        let model = NetModel::slow(f64::INFINITY, Duration::from_millis(10));
+        let (f, _r, _stats) = setup(2, model);
+        let t = Instant::now();
+        for _ in 0..3 {
+            f.send(0, 1, Msg(vec![0; 1])).unwrap();
+        }
+        assert!(t.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn disconnected_receiver_reports_error() {
+        let (f, r, _stats) = setup(2, NetModel::instant());
+        drop(r.into_iter().nth(1));
+        let err = f.send(0, 1, Msg(vec![1])).unwrap_err();
+        assert_eq!(err, Disconnected { to: 1 });
+    }
+
+    #[test]
+    fn busy_guard_accumulates() {
+        let stats = NetStats::new(1);
+        {
+            let _g = BusyGuard::start(&stats, 0);
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let busy = stats.snapshot(0).busy_ns;
+        assert!(busy >= 15_000_000, "busy {busy} ns");
+        let pct = stats.cpu_percent(0, Duration::from_millis(40));
+        assert!(pct > 25.0, "cpu% {pct}");
+    }
+
+    #[test]
+    fn memory_watermark_tracks_peak() {
+        let stats = NetStats::new(1);
+        stats.mem_alloc(0, 100);
+        stats.mem_alloc(0, 200);
+        stats.mem_free(0, 100);
+        stats.mem_alloc(0, 50);
+        let snap = stats.snapshot(0);
+        assert_eq!(snap.mem_peak, 300);
+    }
+
+    #[test]
+    fn send_mbps_is_computed_from_bytes() {
+        let (f, _r, stats) = setup(2, NetModel::instant());
+        f.send(0, 1, Msg(vec![0; 1_000_000])).unwrap();
+        let mbps = stats.send_mbps(0, Duration::from_secs(1));
+        assert!((mbps - 8.0).abs() < 1e-9, "1 MB/s = 8 Mbps, got {mbps}");
+    }
+
+    #[test]
+    fn concurrent_sends_from_many_threads() {
+        let (f, r, stats) = setup(4, NetModel::instant());
+        let mut handles = Vec::new();
+        for from in 0..4usize {
+            let f = f.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    f.send(from, (from + 1) % 4, Msg(vec![0; i])).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total_recv: usize = (0..4).map(|i| r[i].try_iter().count()).sum();
+        assert_eq!(total_recv, 400);
+        let sent: u64 = (0..4).map(|i| stats.snapshot(i).sent_msgs).sum();
+        assert_eq!(sent, 400);
+    }
+
+    #[test]
+    fn delay_for_combines_latency_and_bandwidth() {
+        let m = NetModel::slow(1000.0, Duration::from_millis(5));
+        let d = m.delay_for(1000);
+        assert_eq!(d, Duration::from_millis(1005));
+        assert_eq!(NetModel::instant().delay_for(1 << 30), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "stats sized")]
+    fn mismatched_stats_size_panics() {
+        let stats = NetStats::new(2);
+        let _ = Fabric::<Msg>::new(3, NetModel::instant(), stats);
+    }
+}

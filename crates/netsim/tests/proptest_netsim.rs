@@ -1,0 +1,94 @@
+//! Property tests for the cluster fabric: accounting conservation and
+//! delay-model monotonicity under arbitrary traffic.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+use ts_netsim::{Fabric, NetModel, NetStats, WireSized};
+
+#[derive(Debug, Clone, PartialEq)]
+struct Msg(usize);
+
+impl WireSized for Msg {
+    fn wire_bytes(&self) -> usize {
+        self.0
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Bytes and messages are conserved: total sent equals total received,
+    /// and local sends are never accounted.
+    #[test]
+    fn accounting_conservation(
+        n in 2usize..6,
+        traffic in proptest::collection::vec((0usize..6, 0usize..6, 0usize..10_000), 1..100),
+    ) {
+        let stats = NetStats::new(n);
+        let (fabric, receivers) = Fabric::new(n, NetModel::instant(), Arc::clone(&stats));
+        let mut expected_remote = 0u64;
+        let mut expected_bytes = 0u64;
+        for (from, to, size) in traffic {
+            let (from, to) = (from % n, to % n);
+            fabric.send(from, to, Msg(size)).unwrap();
+            if from != to {
+                expected_remote += 1;
+                expected_bytes += size as u64;
+            }
+        }
+        let snaps = stats.snapshot_all();
+        let sent: u64 = snaps.iter().map(|s| s.sent_bytes).sum();
+        let recv: u64 = snaps.iter().map(|s| s.recv_bytes).sum();
+        prop_assert_eq!(sent, expected_bytes);
+        prop_assert_eq!(recv, expected_bytes);
+        let sent_msgs: u64 = snaps.iter().map(|s| s.sent_msgs).sum();
+        prop_assert_eq!(sent_msgs, expected_remote);
+        // Every message is still deliverable.
+        let delivered: usize = receivers.iter().map(|r| r.try_iter().count()).sum();
+        prop_assert!(delivered >= expected_remote as usize);
+    }
+
+    /// The delay model is monotone in payload size and additive in latency.
+    #[test]
+    fn delay_model_monotone(
+        bw in 1_000.0f64..1e9,
+        latency_us in 0u64..10_000,
+        a in 0usize..1_000_000,
+        b in 0usize..1_000_000,
+    ) {
+        let m = NetModel {
+            bandwidth_bytes_per_sec: Some(bw),
+            latency: Duration::from_micros(latency_us),
+        };
+        let (small, large) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(m.delay_for(small) <= m.delay_for(large));
+        prop_assert!(m.delay_for(small) >= Duration::from_micros(latency_us));
+        // Accounting-only model: always zero.
+        prop_assert_eq!(NetModel::instant().delay_for(large), Duration::ZERO);
+    }
+
+    /// Memory watermark: peak equals the max prefix sum of alloc/free.
+    #[test]
+    fn memory_watermark_matches_prefix_max(
+        ops in proptest::collection::vec((any::<bool>(), 1usize..10_000), 1..60),
+    ) {
+        let stats = NetStats::new(1);
+        let mut cur: i64 = 0;
+        let mut peak: i64 = 0;
+        let mut held: Vec<usize> = Vec::new();
+        for (alloc, size) in ops {
+            if alloc || held.is_empty() {
+                stats.mem_alloc(0, size);
+                held.push(size);
+                cur += size as i64;
+                peak = peak.max(cur);
+            } else {
+                let s = held.pop().unwrap();
+                stats.mem_free(0, s);
+                cur -= s as i64;
+            }
+        }
+        prop_assert_eq!(stats.snapshot(0).mem_peak, peak as u64);
+    }
+}

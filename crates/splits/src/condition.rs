@@ -1,0 +1,164 @@
+//! Split-conditions and row partitioning.
+//!
+//! A split-condition is either `Ai <= v` for ordinal attributes or
+//! `Ai ∈ Sl` for categorical attributes (paper §II). [`partition_rows`] is
+//! the operation a *delegate worker* performs when the master confirms its
+//! column's condition as the overall best: splitting `Ix` into `Ixl`/`Ixr`
+//! with its locally-held column (paper §V).
+
+use serde::{Deserialize, Serialize};
+use ts_datatable::{Column, Value};
+
+/// The test applied at an internal node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SplitTest {
+    /// `Ai <= v`: rows with value at most `v` go left.
+    NumericLe(f64),
+    /// `Ai ∈ Sl`: rows whose code is in the (sorted, deduplicated) set go left.
+    CatIn(Vec<u32>),
+}
+
+impl SplitTest {
+    /// Evaluates the test for one value.
+    ///
+    /// Returns `None` when the value is missing — the caller decides what a
+    /// missing value means (majority-side routing during training,
+    /// stop-at-node during prediction; see Appendix D).
+    pub fn goes_left(&self, v: Value) -> Option<bool> {
+        match (self, v) {
+            (SplitTest::NumericLe(t), Value::Num(x)) => Some(x <= *t),
+            (SplitTest::CatIn(set), Value::Cat(c)) => Some(set.binary_search(&c).is_ok()),
+            (_, Value::Missing) => None,
+            // A type mismatch means the model is being applied to the wrong
+            // schema; that is a caller bug, not a data condition.
+            (SplitTest::NumericLe(_), Value::Cat(_)) => {
+                panic!("numeric split applied to categorical value")
+            }
+            (SplitTest::CatIn(_), Value::Num(_)) => {
+                panic!("categorical split applied to numeric value")
+            }
+        }
+    }
+
+    /// Creates a sorted, deduplicated categorical test.
+    pub fn cat_in(mut vals: Vec<u32>) -> Self {
+        vals.sort_unstable();
+        vals.dedup();
+        SplitTest::CatIn(vals)
+    }
+
+    /// Approximate wire size of the test in bytes (for network accounting).
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            SplitTest::NumericLe(_) => 9,
+            SplitTest::CatIn(s) => 1 + 4 + 4 * s.len(),
+        }
+    }
+}
+
+/// Splits the row ids `ix` into `(left, right)` using `col`'s values and the
+/// test, preserving the input order (so sorted `Ix` stays sorted and every
+/// machine observes the same canonical order). Missing values go to the side
+/// indicated by `missing_left`.
+pub fn partition_rows(
+    col: &Column,
+    ix: &[u32],
+    test: &SplitTest,
+    missing_left: bool,
+) -> (Vec<u32>, Vec<u32>) {
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for &r in ix {
+        let go_left = test.goes_left(col.value(r as usize)).unwrap_or(missing_left);
+        if go_left {
+            left.push(r);
+        } else {
+            right.push(r);
+        }
+    }
+    (left, right)
+}
+
+/// Like [`partition_rows`] but over *positions* of an already-gathered values
+/// buffer (used inside subtree-tasks, where data is local and indexed by
+/// position within `Dx` rather than by global row id).
+pub fn partition_positions(
+    values: &ts_datatable::ValuesBuf,
+    test: &SplitTest,
+    missing_left: bool,
+) -> (Vec<u32>, Vec<u32>) {
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for i in 0..values.len() {
+        let go_left = test.goes_left(values.value(i)).unwrap_or(missing_left);
+        if go_left {
+            left.push(i as u32);
+        } else {
+            right.push(i as u32);
+        }
+    }
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_datatable::{ValuesBuf, MISSING_CAT};
+
+    #[test]
+    fn numeric_test_boundaries() {
+        let t = SplitTest::NumericLe(40.0);
+        assert_eq!(t.goes_left(Value::Num(40.0)), Some(true));
+        assert_eq!(t.goes_left(Value::Num(40.0001)), Some(false));
+        assert_eq!(t.goes_left(Value::Missing), None);
+    }
+
+    #[test]
+    fn cat_test_membership() {
+        // Fig. 1(b): A2 ∈ {Bachelor, Master, PhD} = codes {2,3,4}.
+        let t = SplitTest::cat_in(vec![4, 2, 3, 2]);
+        assert_eq!(t, SplitTest::CatIn(vec![2, 3, 4]));
+        assert_eq!(t.goes_left(Value::Cat(3)), Some(true));
+        assert_eq!(t.goes_left(Value::Cat(1)), Some(false));
+        assert_eq!(t.goes_left(Value::Missing), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "numeric split applied")]
+    fn type_mismatch_panics() {
+        SplitTest::NumericLe(1.0).goes_left(Value::Cat(0));
+    }
+
+    #[test]
+    fn partition_preserves_order_and_routes_missing() {
+        let col = Column::Numeric(vec![1.0, f64::NAN, 3.0, 2.0, 5.0]);
+        let (l, r) = partition_rows(&col, &[0, 1, 2, 3, 4], &SplitTest::NumericLe(2.5), true);
+        assert_eq!(l, vec![0, 1, 3]);
+        assert_eq!(r, vec![2, 4]);
+        let (l2, r2) = partition_rows(&col, &[0, 1, 2, 3, 4], &SplitTest::NumericLe(2.5), false);
+        assert_eq!(l2, vec![0, 3]);
+        assert_eq!(r2, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn partition_subset_of_rows() {
+        let col = Column::Categorical(vec![0, 1, 2, 1, MISSING_CAT]);
+        let (l, r) = partition_rows(&col, &[4, 2, 1], &SplitTest::cat_in(vec![1]), false);
+        assert_eq!(l, vec![1]);
+        assert_eq!(r, vec![4, 2]);
+    }
+
+    #[test]
+    fn partition_positions_over_buffer() {
+        let buf = ValuesBuf::Numeric(vec![10.0, 20.0, 30.0]);
+        let (l, r) = partition_positions(&buf, &SplitTest::NumericLe(15.0), true);
+        assert_eq!(l, vec![0]);
+        assert_eq!(r, vec![1, 2]);
+    }
+
+    #[test]
+    fn wire_bytes_scale_with_set_size() {
+        assert_eq!(SplitTest::NumericLe(1.0).wire_bytes(), 9);
+        assert_eq!(SplitTest::cat_in(vec![1, 2, 3]).wire_bytes(), 17);
+    }
+}

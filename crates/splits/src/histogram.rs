@@ -1,0 +1,599 @@
+//! Equi-depth histograms — the PLANET/MLlib approximation.
+//!
+//! PLANET (and Spark MLlib, which adopts it) does not examine every distinct
+//! attribute value: it computes approximate equi-depth histograms per
+//! attribute and considers **one splitting value per bucket** (paper §II,
+//! *Related Systems*; MLlib's `maxBins`, default 32). This module provides:
+//!
+//! - [`BinCuts`]: candidate thresholds from an equi-depth quantile sweep,
+//! - [`NumericHistogram`]: per-bin label aggregates that machines build over
+//!   their row partitions and the master merges (this is exactly the object
+//!   whose transmission makes PLANET IO-bound), and
+//! - per-category statistics kernels for categorical attributes (MLlib
+//!   aggregates per-category stats and applies the same one-vs-rest /
+//!   Breiman selection the exact kernels use).
+
+use crate::condition::SplitTest;
+use crate::exact::ColumnSplit;
+use crate::impurity::{ClassCounts, Impurity, NodeStats, RegAgg};
+use serde::{Deserialize, Serialize};
+use ts_datatable::MISSING_CAT;
+
+/// Candidate split thresholds for one numeric attribute.
+///
+/// `cuts` is strictly increasing; values `v <= cuts[b]` with
+/// `v > cuts[b-1]` fall into bin `b`, and values above the last cut fall
+/// into the overflow bin `cuts.len()`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinCuts {
+    cuts: Vec<f64>,
+}
+
+impl BinCuts {
+    /// Builds equi-depth cuts from (a sample of) the attribute values,
+    /// keeping at most `max_bins - 1` thresholds (so at most `max_bins`
+    /// bins), mirroring MLlib's `findSplits`.
+    pub fn equi_depth(values: &[f64], max_bins: usize) -> BinCuts {
+        assert!(max_bins >= 2, "need at least two bins");
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        sorted.sort_unstable_by(f64::total_cmp);
+        if sorted.is_empty() {
+            return BinCuts { cuts: Vec::new() };
+        }
+        let n = sorted.len();
+        let mut cuts = Vec::with_capacity(max_bins - 1);
+        for i in 1..max_bins {
+            let idx = (i * n) / max_bins;
+            if idx == 0 || idx >= n {
+                continue;
+            }
+            let c = sorted[idx - 1];
+            if cuts.last().is_none_or(|&last| c > last) && c < sorted[n - 1] {
+                cuts.push(c);
+            }
+        }
+        BinCuts { cuts }
+    }
+
+    /// The candidate thresholds.
+    pub fn cuts(&self) -> &[f64] {
+        &self.cuts
+    }
+
+    /// Number of bins (`cuts + 1`, or 0 when there are no values).
+    pub fn n_bins(&self) -> usize {
+        if self.cuts.is_empty() {
+            1
+        } else {
+            self.cuts.len() + 1
+        }
+    }
+
+    /// The bin index of a value: the first bin whose cut is `>= v`.
+    pub fn bin_of(&self, v: f64) -> usize {
+        debug_assert!(!v.is_nan());
+        self.cuts.partition_point(|&c| c < v)
+    }
+
+    /// Approximate wire size (what PLANET broadcasts per attribute).
+    pub fn wire_bytes(&self) -> usize {
+        8 * self.cuts.len() + 8
+    }
+}
+
+/// Per-bin label aggregates for one numeric attribute over one machine's
+/// share of a node's rows. Mergeable: the master folds every machine's
+/// histogram before selecting the best bucket boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NumericHistogram {
+    /// Classification: per-bin class counts plus a missing-row aggregate.
+    Class {
+        /// One aggregate per bin.
+        bins: Vec<ClassCounts>,
+        /// Rows with a missing attribute value.
+        missing: ClassCounts,
+    },
+    /// Regression: per-bin `(n, sum, sum_sq)` plus a missing-row aggregate.
+    Reg {
+        /// One aggregate per bin.
+        bins: Vec<RegAgg>,
+        /// Rows with a missing attribute value.
+        missing: RegAgg,
+    },
+}
+
+impl NumericHistogram {
+    /// Creates an empty classification histogram.
+    pub fn new_class(n_bins: usize, n_classes: u32) -> Self {
+        NumericHistogram::Class {
+            bins: vec![ClassCounts::new(n_classes); n_bins],
+            missing: ClassCounts::new(n_classes),
+        }
+    }
+
+    /// Creates an empty regression histogram.
+    pub fn new_reg(n_bins: usize) -> Self {
+        NumericHistogram::Reg { bins: vec![RegAgg::default(); n_bins], missing: RegAgg::default() }
+    }
+
+    /// Adds one classification row.
+    pub fn add_class(&mut self, cuts: &BinCuts, v: f64, y: u32) {
+        match self {
+            NumericHistogram::Class { bins, missing } => {
+                if v.is_nan() {
+                    missing.add(y);
+                } else {
+                    bins[cuts.bin_of(v)].add(y);
+                }
+            }
+            NumericHistogram::Reg { .. } => panic!("class row added to regression histogram"),
+        }
+    }
+
+    /// Adds one regression row.
+    pub fn add_reg(&mut self, cuts: &BinCuts, v: f64, y: f64) {
+        match self {
+            NumericHistogram::Reg { bins, missing } => {
+                if v.is_nan() {
+                    missing.add(y);
+                } else {
+                    bins[cuts.bin_of(v)].add(y);
+                }
+            }
+            NumericHistogram::Class { .. } => panic!("regression row added to class histogram"),
+        }
+    }
+
+    /// Merges another machine's histogram into this one.
+    pub fn merge(&mut self, other: &NumericHistogram) {
+        match (self, other) {
+            (
+                NumericHistogram::Class { bins: a, missing: ma },
+                NumericHistogram::Class { bins: b, missing: mb },
+            ) => {
+                assert_eq!(a.len(), b.len(), "bin count mismatch");
+                for (x, y) in a.iter_mut().zip(b) {
+                    x.merge(y);
+                }
+                ma.merge(mb);
+            }
+            (
+                NumericHistogram::Reg { bins: a, missing: ma },
+                NumericHistogram::Reg { bins: b, missing: mb },
+            ) => {
+                assert_eq!(a.len(), b.len(), "bin count mismatch");
+                for (x, y) in a.iter_mut().zip(b) {
+                    x.merge(y);
+                }
+                ma.merge(mb);
+            }
+            _ => panic!("cannot merge class and regression histograms"),
+        }
+    }
+
+    /// Approximate wire size in bytes (per-bin stats), what one machine sends
+    /// to the master for one `(node, attribute)` pair.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            NumericHistogram::Class { bins, missing } => {
+                (bins.len() + 1) * missing.counts().len() * 8
+            }
+            NumericHistogram::Reg { bins, .. } => (bins.len() + 1) * 24,
+        }
+    }
+
+    /// Finds the best bucket-boundary split from the (merged) histogram —
+    /// PLANET considers exactly one candidate threshold per bucket.
+    pub fn best_split(&self, cuts: &BinCuts, imp: Impurity) -> Option<ColumnSplit> {
+        if cuts.cuts().is_empty() {
+            return None;
+        }
+        match self {
+            NumericHistogram::Class { bins, missing } => {
+                let mut total = ClassCounts::new(missing.counts().len() as u32);
+                for b in bins {
+                    total.merge(b);
+                }
+                if total.total() < 2 {
+                    return None;
+                }
+                let total_w = total.weighted_impurity(imp);
+                let mut left = ClassCounts::new(missing.counts().len() as u32);
+                let mut best: Option<(f64, usize)> = None;
+                for (b, agg) in bins.iter().enumerate().take(cuts.cuts().len()) {
+                    left.merge(agg);
+                    if left.total() == 0 || left.total() == total.total() {
+                        continue;
+                    }
+                    let right = total.minus(&left);
+                    let gain = total_w
+                        - left.weighted_impurity(imp)
+                        - right.weighted_impurity(imp);
+                    if gain > 0.0 && best.is_none_or(|(bg, _)| gain > bg) {
+                        best = Some((gain, b));
+                    }
+                }
+                let (gain, b) = best?;
+                let mut l = ClassCounts::new(missing.counts().len() as u32);
+                for agg in &bins[..=b] {
+                    l.merge(agg);
+                }
+                let mut r = total.minus(&l);
+                let missing_left = l.total() >= r.total();
+                if missing.total() > 0 {
+                    if missing_left {
+                        l.merge(missing);
+                    } else {
+                        r.merge(missing);
+                    }
+                }
+                Some(ColumnSplit {
+                    test: SplitTest::NumericLe(cuts.cuts()[b]),
+                    gain,
+                    missing_left,
+                    left: NodeStats::Class(l),
+                    right: NodeStats::Class(r),
+                })
+            }
+            NumericHistogram::Reg { bins, missing } => {
+                let mut total = RegAgg::default();
+                for b in bins {
+                    total.merge(b);
+                }
+                if total.n < 2 {
+                    return None;
+                }
+                let total_w = total.weighted_impurity();
+                let mut left = RegAgg::default();
+                let mut best: Option<(f64, usize)> = None;
+                for (b, agg) in bins.iter().enumerate().take(cuts.cuts().len()) {
+                    left.merge(agg);
+                    if left.n == 0 || left.n == total.n {
+                        continue;
+                    }
+                    let right = RegAgg {
+                        n: total.n - left.n,
+                        sum: total.sum - left.sum,
+                        sum_sq: total.sum_sq - left.sum_sq,
+                    };
+                    let gain =
+                        total_w - left.weighted_impurity() - right.weighted_impurity();
+                    if gain > 0.0 && best.is_none_or(|(bg, _)| gain > bg) {
+                        best = Some((gain, b));
+                    }
+                }
+                let (gain, b) = best?;
+                let mut l = RegAgg::default();
+                for agg in &bins[..=b] {
+                    l.merge(agg);
+                }
+                let mut r = RegAgg {
+                    n: total.n - l.n,
+                    sum: total.sum - l.sum,
+                    sum_sq: total.sum_sq - l.sum_sq,
+                };
+                let missing_left = l.n >= r.n;
+                if missing.n > 0 {
+                    if missing_left {
+                        l.merge(missing);
+                    } else {
+                        r.merge(missing);
+                    }
+                }
+                Some(ColumnSplit {
+                    test: SplitTest::NumericLe(cuts.cuts()[b]),
+                    gain,
+                    missing_left,
+                    left: NodeStats::Reg(l),
+                    right: NodeStats::Reg(r),
+                })
+            }
+        }
+    }
+}
+
+/// Best one-vs-rest categorical split from merged per-category class counts
+/// (what MLlib computes after aggregating category stats across machines).
+/// `per_value[c]` holds the class counts of category `c`; `missing` holds the
+/// rows with a missing value.
+pub fn best_cat_from_class_stats(
+    per_value: &[ClassCounts],
+    missing: &ClassCounts,
+    imp: Impurity,
+) -> Option<ColumnSplit> {
+    let n_classes = missing.counts().len() as u32;
+    let mut total = ClassCounts::new(n_classes);
+    for v in per_value {
+        total.merge(v);
+    }
+    if total.total() < 2 {
+        return None;
+    }
+    let total_w = total.weighted_impurity(imp);
+    let mut best: Option<(f64, u32)> = None;
+    for (code, counts) in per_value.iter().enumerate() {
+        if counts.total() == 0 || counts.total() == total.total() {
+            continue;
+        }
+        let rest = total.minus(counts);
+        let gain = total_w - counts.weighted_impurity(imp) - rest.weighted_impurity(imp);
+        if gain > 0.0
+            && best.is_none_or(|(bg, bc)| match gain.total_cmp(&bg) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Less => false,
+                std::cmp::Ordering::Equal => (code as u32) < bc,
+            })
+        {
+            best = Some((gain, code as u32));
+        }
+    }
+    let (gain, code) = best?;
+    let mut l = per_value[code as usize].clone();
+    let mut r = total.minus(&l);
+    let missing_left = l.total() >= r.total();
+    if missing.total() > 0 {
+        if missing_left {
+            l.merge(missing);
+        } else {
+            r.merge(missing);
+        }
+    }
+    Some(ColumnSplit {
+        test: SplitTest::CatIn(vec![code]),
+        gain,
+        missing_left,
+        left: NodeStats::Class(l),
+        right: NodeStats::Class(r),
+    })
+}
+
+/// Best Breiman-prefix categorical split from merged per-category regression
+/// aggregates.
+pub fn best_cat_from_reg_stats(per_value: &[RegAgg], missing: &RegAgg) -> Option<ColumnSplit> {
+    let mut total = RegAgg::default();
+    for v in per_value {
+        total.merge(v);
+    }
+    if total.n < 2 {
+        return None;
+    }
+    let total_w = total.weighted_impurity();
+    let mut groups: Vec<(u32, RegAgg)> = per_value
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.n > 0)
+        .map(|(c, a)| (c as u32, *a))
+        .collect();
+    if groups.len() < 2 {
+        return None;
+    }
+    groups.sort_unstable_by(|a, b| a.1.mean().total_cmp(&b.1.mean()).then(a.0.cmp(&b.0)));
+    let mut left = RegAgg::default();
+    let mut best: Option<(f64, usize)> = None;
+    for (i, (_, agg)) in groups.iter().enumerate().take(groups.len() - 1) {
+        left.merge(agg);
+        let right = RegAgg {
+            n: total.n - left.n,
+            sum: total.sum - left.sum,
+            sum_sq: total.sum_sq - left.sum_sq,
+        };
+        let gain = total_w - left.weighted_impurity() - right.weighted_impurity();
+        if gain > 0.0 && best.is_none_or(|(bg, _)| gain > bg) {
+            best = Some((gain, i + 1));
+        }
+    }
+    let (gain, prefix) = best?;
+    let mut left_set: Vec<u32> = groups[..prefix].iter().map(|&(c, _)| c).collect();
+    left_set.sort_unstable();
+    let mut l = RegAgg::default();
+    for &(_, a) in &groups[..prefix] {
+        l.merge(&a);
+    }
+    let mut r = RegAgg { n: total.n - l.n, sum: total.sum - l.sum, sum_sq: total.sum_sq - l.sum_sq };
+    let missing_left = l.n >= r.n;
+    if missing.n > 0 {
+        if missing_left {
+            l.merge(missing);
+        } else {
+            r.merge(missing);
+        }
+    }
+    Some(ColumnSplit {
+        test: SplitTest::CatIn(left_set),
+        gain,
+        missing_left,
+        left: NodeStats::Reg(l),
+        right: NodeStats::Reg(r),
+    })
+}
+
+/// Builds per-category class counts for one machine's rows (to be merged at
+/// the master).
+pub fn cat_class_stats(
+    codes: &[u32],
+    ys: &[u32],
+    n_values: u32,
+    n_classes: u32,
+) -> (Vec<ClassCounts>, ClassCounts) {
+    let mut per_value = vec![ClassCounts::new(n_classes); n_values as usize];
+    let mut missing = ClassCounts::new(n_classes);
+    for (&c, &y) in codes.iter().zip(ys) {
+        if c == MISSING_CAT {
+            missing.add(y);
+        } else {
+            per_value[c as usize].add(y);
+        }
+    }
+    (per_value, missing)
+}
+
+/// Builds per-category regression aggregates for one machine's rows.
+pub fn cat_reg_stats(codes: &[u32], ys: &[f64], n_values: u32) -> (Vec<RegAgg>, RegAgg) {
+    let mut per_value = vec![RegAgg::default(); n_values as usize];
+    let mut missing = RegAgg::default();
+    for (&c, &y) in codes.iter().zip(ys) {
+        if c == MISSING_CAT {
+            missing.add(y);
+        } else {
+            per_value[c as usize].add(y);
+        }
+    }
+    (per_value, missing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{best_cat_split_classification, best_cat_split_regression};
+
+    #[test]
+    fn equi_depth_cuts_are_increasing_and_bounded() {
+        let values: Vec<f64> = (0..1000).map(|i| (i % 100) as f64).collect();
+        let cuts = BinCuts::equi_depth(&values, 32);
+        assert!(cuts.cuts().len() <= 31);
+        assert!(cuts.cuts().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn equi_depth_few_distinct_values() {
+        let values = [1.0, 1.0, 2.0, 2.0, 2.0];
+        let cuts = BinCuts::equi_depth(&values, 32);
+        assert_eq!(cuts.cuts(), &[1.0]);
+        assert_eq!(cuts.n_bins(), 2);
+    }
+
+    #[test]
+    fn equi_depth_constant_column_has_no_cuts() {
+        let cuts = BinCuts::equi_depth(&[7.0; 50], 32);
+        assert!(cuts.cuts().is_empty());
+    }
+
+    #[test]
+    fn bin_of_respects_boundaries() {
+        let cuts = BinCuts { cuts: vec![1.0, 5.0] };
+        assert_eq!(cuts.bin_of(0.5), 0);
+        assert_eq!(cuts.bin_of(1.0), 0);
+        assert_eq!(cuts.bin_of(1.5), 1);
+        assert_eq!(cuts.bin_of(5.0), 1);
+        assert_eq!(cuts.bin_of(9.0), 2);
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_pass() {
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let ys = [0u32, 0, 0, 1, 1, 1];
+        let cuts = BinCuts::equi_depth(&values, 4);
+        let mut whole = NumericHistogram::new_class(cuts.n_bins(), 2);
+        for (&v, &y) in values.iter().zip(&ys) {
+            whole.add_class(&cuts, v, y);
+        }
+        let mut h1 = NumericHistogram::new_class(cuts.n_bins(), 2);
+        let mut h2 = NumericHistogram::new_class(cuts.n_bins(), 2);
+        for (&v, &y) in values.iter().zip(&ys).take(3) {
+            h1.add_class(&cuts, v, y);
+        }
+        for (&v, &y) in values.iter().zip(&ys).skip(3) {
+            h2.add_class(&cuts, v, y);
+        }
+        h1.merge(&h2);
+        assert_eq!(h1, whole);
+    }
+
+    #[test]
+    fn histogram_best_split_separates_classes() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<u32> = (0..100).map(|i| if i < 50 { 0 } else { 1 }).collect();
+        let cuts = BinCuts::equi_depth(&values, 10);
+        let mut h = NumericHistogram::new_class(cuts.n_bins(), 2);
+        for (&v, &y) in values.iter().zip(&ys) {
+            h.add_class(&cuts, v, y);
+        }
+        let s = h.best_split(&cuts, Impurity::Gini).unwrap();
+        assert_eq!(s.n_left() + s.n_right(), 100);
+        // The chosen boundary is one of the 9 candidate cuts, near 50.
+        if let SplitTest::NumericLe(t) = s.test {
+            assert!((40.0..60.0).contains(&t), "threshold {t}");
+        } else {
+            panic!("numeric test expected");
+        }
+    }
+
+    #[test]
+    fn histogram_is_coarser_than_exact() {
+        // With a boundary at 50 but only ~4 candidate cuts, the histogram's
+        // gain can be at most the exact kernel's gain.
+        let values: Vec<f64> = (0..200).map(|i| (i as f64) * 0.37).collect();
+        let ys: Vec<u32> = (0..200).map(|i| u32::from(i >= 93)).collect();
+        let exact = crate::exact::best_numeric_split(
+            &values,
+            crate::impurity::LabelView::Class(&ys, 2),
+            Impurity::Gini,
+        )
+        .unwrap();
+        let cuts = BinCuts::equi_depth(&values, 4);
+        let mut h = NumericHistogram::new_class(cuts.n_bins(), 2);
+        for (&v, &y) in values.iter().zip(&ys) {
+            h.add_class(&cuts, v, y);
+        }
+        let approx = h.best_split(&cuts, Impurity::Gini).unwrap();
+        assert!(approx.gain <= exact.gain + 1e-9);
+    }
+
+    #[test]
+    fn histogram_reg_split_and_missing() {
+        let values = [1.0, 2.0, 3.0, 4.0, f64::NAN];
+        let ys = [0.0, 0.0, 10.0, 10.0, 5.0];
+        let cuts = BinCuts::equi_depth(&values, 4);
+        let mut h = NumericHistogram::new_reg(cuts.n_bins());
+        for (&v, &y) in values.iter().zip(&ys) {
+            h.add_reg(&cuts, v, y);
+        }
+        let s = h.best_split(&cuts, Impurity::Variance).unwrap();
+        assert_eq!(s.n_left() + s.n_right(), 5, "missing row routed to a child");
+    }
+
+    #[test]
+    fn cat_stats_kernels_match_exact_kernels() {
+        // The stats-based categorical kernels (used by the MLlib baseline)
+        // must agree with the exact kernels on identical data.
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..30 {
+            let k = 5u32;
+            let n = rng.gen_range(5..60);
+            let codes: Vec<u32> = (0..n).map(|_| rng.gen_range(0..k)).collect();
+            let ys: Vec<u32> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+            let exact = best_cat_split_classification(&codes, k, &ys, 3, Impurity::Gini);
+            let (pv, miss) = cat_class_stats(&codes, &ys, k, 3);
+            let from_stats = best_cat_from_class_stats(&pv, &miss, Impurity::Gini);
+            match (&exact, &from_stats) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.test, b.test);
+                    assert!((a.gain - b.gain).abs() < 1e-9);
+                }
+                (None, None) => {}
+                _ => panic!("existence disagrees: {exact:?} vs {from_stats:?}"),
+            }
+
+            let yr: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..5.0)).collect();
+            let exact_r = best_cat_split_regression(&codes, k, &yr);
+            let (pv, miss) = cat_reg_stats(&codes, &yr, k);
+            let from_stats_r = best_cat_from_reg_stats(&pv, &miss);
+            match (&exact_r, &from_stats_r) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.test, b.test);
+                    assert!((a.gain - b.gain).abs() < 1e-9);
+                }
+                (None, None) => {}
+                _ => panic!("regression existence disagrees"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "class row added")]
+    fn histogram_kind_mismatch_panics() {
+        let cuts = BinCuts { cuts: vec![1.0] };
+        NumericHistogram::new_reg(2).add_class(&cuts, 0.5, 1);
+    }
+}

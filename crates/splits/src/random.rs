@@ -1,0 +1,204 @@
+//! Completely-random splits for extra-trees (paper Appendix F).
+//!
+//! A "completely random decision tree" resamples **one** attribute per node
+//! and draws the split value uniformly from `[min, max]` of that attribute's
+//! values in `Dx`. Unlike the exact kernels, a random split is accepted even
+//! with zero gain — randomness, not greed, drives the structure.
+
+use crate::condition::SplitTest;
+use crate::exact::ColumnSplit;
+use crate::impurity::{LabelView, NodeStats};
+use rand::Rng;
+use ts_datatable::{ValuesBuf, MISSING_CAT};
+
+/// Draws a random `Ai <= v` split with `v` uniform in `[min, max)` of the
+/// present values. Returns `None` when fewer than two distinct present
+/// values exist (no threshold can separate anything).
+pub fn random_numeric_split<R: Rng>(
+    values: &[f64],
+    labels: LabelView<'_>,
+    rng: &mut R,
+) -> Option<ColumnSplit> {
+    assert_eq!(values.len(), labels.len(), "values/labels length mismatch");
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in values {
+        if !v.is_nan() {
+            min = min.min(v);
+            max = max.max(v);
+        }
+    }
+    // NaN-safe: requires at least two distinct present values.
+    if min.partial_cmp(&max) != Some(std::cmp::Ordering::Less) {
+        return None;
+    }
+    let thr = rng.gen_range(min..max);
+    build_split(
+        SplitTest::NumericLe(thr),
+        values.iter().map(|&v| {
+            if v.is_nan() {
+                None
+            } else {
+                Some(v <= thr)
+            }
+        }),
+        labels,
+    )
+}
+
+/// Draws a random one-category split: picks one of the categories present in
+/// `Dx` uniformly as the left set. Returns `None` when fewer than two
+/// distinct categories are present.
+pub fn random_cat_split<R: Rng>(
+    codes: &[u32],
+    labels: LabelView<'_>,
+    rng: &mut R,
+) -> Option<ColumnSplit> {
+    assert_eq!(codes.len(), labels.len(), "codes/labels length mismatch");
+    let present = crate::exact::distinct_categories(codes);
+    if present.len() < 2 {
+        return None;
+    }
+    let pick = present[rng.gen_range(0..present.len())];
+    build_split(
+        SplitTest::CatIn(vec![pick]),
+        codes.iter().map(|&c| {
+            if c == MISSING_CAT {
+                None
+            } else {
+                Some(c == pick)
+            }
+        }),
+        labels,
+    )
+}
+
+/// Draws a random split for a gathered buffer, dispatching on its kind.
+pub fn random_split_for_column<R: Rng>(
+    values: &ValuesBuf,
+    labels: LabelView<'_>,
+    rng: &mut R,
+) -> Option<ColumnSplit> {
+    match values {
+        ValuesBuf::Numeric(v) => random_numeric_split(v, labels, rng),
+        ValuesBuf::Categorical(c) => random_cat_split(c, labels, rng),
+    }
+}
+
+/// Assembles child stats for a fixed test; `sides` yields `Some(goes_left)`
+/// per position or `None` for missing.
+fn build_split(
+    test: SplitTest,
+    sides: impl Iterator<Item = Option<bool>>,
+    labels: LabelView<'_>,
+) -> Option<ColumnSplit> {
+    let mut left_pos = Vec::new();
+    let mut right_pos = Vec::new();
+    let mut missing_pos = Vec::new();
+    for (i, side) in sides.enumerate() {
+        match side {
+            Some(true) => left_pos.push(i),
+            Some(false) => right_pos.push(i),
+            None => missing_pos.push(i),
+        }
+    }
+    if left_pos.is_empty() || right_pos.is_empty() {
+        return None;
+    }
+    let mut left = NodeStats::from_view_positions(labels, left_pos.iter().copied());
+    let mut right = NodeStats::from_view_positions(labels, right_pos.iter().copied());
+    let missing_left = left.n() >= right.n();
+    if !missing_pos.is_empty() {
+        let ms = NodeStats::from_view_positions(labels, missing_pos.iter().copied());
+        if missing_left {
+            left.merge(&ms);
+        } else {
+            right.merge(&ms);
+        }
+    }
+    // Gain is not used for selection in extra-trees; report the true
+    // impurity decrease anyway (may be ~0) so diagnostics stay meaningful.
+    Some(ColumnSplit { test, gain: 0.0, missing_left, left, right })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_numeric_split_is_within_range_and_nonempty() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let values = [1.0, 5.0, 3.0, 9.0];
+        let ys = [0u32, 1, 0, 1];
+        for _ in 0..50 {
+            let s = random_numeric_split(&values, LabelView::Class(&ys, 2), &mut rng).unwrap();
+            if let SplitTest::NumericLe(t) = s.test {
+                assert!((1.0..9.0).contains(&t));
+            } else {
+                panic!("numeric expected");
+            }
+            assert!(s.n_left() >= 1 && s.n_right() >= 1);
+            assert_eq!(s.n_left() + s.n_right(), 4);
+        }
+    }
+
+    #[test]
+    fn random_numeric_none_for_constant() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let values = [2.0, 2.0, 2.0];
+        let ys = [0u32, 1, 0];
+        assert!(random_numeric_split(&values, LabelView::Class(&ys, 2), &mut rng).is_none());
+    }
+
+    #[test]
+    fn random_numeric_none_for_all_missing() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let values = [f64::NAN, f64::NAN];
+        let ys = [0u32, 1];
+        assert!(random_numeric_split(&values, LabelView::Class(&ys, 2), &mut rng).is_none());
+    }
+
+    #[test]
+    fn random_cat_split_picks_present_category() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let codes = [3, 5, 3, 5, 7];
+        let ys = [0u32, 1, 0, 1, 0];
+        for _ in 0..20 {
+            let s = random_cat_split(&codes, LabelView::Class(&ys, 2), &mut rng).unwrap();
+            if let SplitTest::CatIn(set) = &s.test {
+                assert_eq!(set.len(), 1);
+                assert!([3, 5, 7].contains(&set[0]));
+            } else {
+                panic!("categorical expected");
+            }
+        }
+    }
+
+    #[test]
+    fn random_cat_none_for_single_category() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let codes = [2, 2, 2];
+        let ys = [0u32, 1, 0];
+        assert!(random_cat_split(&codes, LabelView::Class(&ys, 2), &mut rng).is_none());
+    }
+
+    #[test]
+    fn random_split_missing_routed_majority() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let values = [1.0, 2.0, 3.0, f64::NAN];
+        let ys = [0.5, 1.5, 2.5, 9.0];
+        let s = random_numeric_split(&values, LabelView::Real(&ys), &mut rng).unwrap();
+        assert_eq!(s.n_left() + s.n_right(), 4);
+    }
+
+    #[test]
+    fn dispatch_matches_buffer_kind() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let buf = ValuesBuf::Categorical(vec![0, 1, 0, 1]);
+        let ys = [0u32, 1, 0, 1];
+        let s = random_split_for_column(&buf, LabelView::Class(&ys, 2), &mut rng).unwrap();
+        assert!(matches!(s.test, SplitTest::CatIn(_)));
+    }
+}

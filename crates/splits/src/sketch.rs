@@ -1,0 +1,264 @@
+//! A mergeable weighted quantile sketch — the XGBoost approximation.
+//!
+//! XGBoost's 'approx' mode proposes candidate split points per attribute
+//! with a *weighted quantile sketch* where each row is weighted by its
+//! second-order gradient (paper §II cites Chen & Guestrin 2016). This module
+//! implements a simplified mergeable summary in that spirit: it keeps a
+//! bounded number of `(value, weight)` entries chosen at even cumulative-
+//! weight spacing, giving rank error at most `~W / max_entries` per
+//! compaction. That is sufficient for the baseline's behaviour (approximate
+//! candidates, mergeable across data partitions); we do not reproduce the
+//! GK-style proof machinery of the original.
+
+use serde::{Deserialize, Serialize};
+
+/// A mergeable weighted quantile summary over `f64` values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantileSketch {
+    /// Compacted entries, sorted by value, weights summed per distinct value.
+    entries: Vec<(f64, f64)>,
+    /// Uncompacted recent insertions.
+    buffer: Vec<(f64, f64)>,
+    /// Compaction budget: max entries retained after a compaction.
+    max_entries: usize,
+    /// Total inserted weight.
+    total_weight: f64,
+}
+
+impl QuantileSketch {
+    /// Creates a sketch that retains at most `max_entries` compacted entries
+    /// (must be at least 8; ~`2/eps` for rank error `eps`).
+    pub fn new(max_entries: usize) -> Self {
+        assert!(max_entries >= 8, "max_entries must be >= 8");
+        QuantileSketch {
+            entries: Vec::new(),
+            buffer: Vec::new(),
+            max_entries,
+            total_weight: 0.0,
+        }
+    }
+
+    /// Inserts a value with a positive weight. NaN values are ignored
+    /// (missing data does not participate in candidate proposal).
+    pub fn push(&mut self, value: f64, weight: f64) {
+        if value.is_nan() || weight <= 0.0 {
+            return;
+        }
+        self.buffer.push((value, weight));
+        self.total_weight += weight;
+        if self.buffer.len() >= self.max_entries * 4 {
+            self.compact();
+        }
+    }
+
+    /// Merges another sketch into this one.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        self.buffer.extend_from_slice(&other.entries);
+        self.buffer.extend_from_slice(&other.buffer);
+        self.total_weight += other.total_weight;
+        if self.buffer.len() >= self.max_entries * 4 {
+            self.compact();
+        }
+    }
+
+    /// Total inserted weight.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    fn compact(&mut self) {
+        let mut all: Vec<(f64, f64)> = Vec::with_capacity(self.entries.len() + self.buffer.len());
+        all.append(&mut self.entries);
+        all.append(&mut self.buffer);
+        all.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        // Coalesce identical values.
+        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(all.len());
+        for (v, w) in all {
+            match merged.last_mut() {
+                Some((lv, lw)) if *lv == v => *lw += w,
+                _ => merged.push((v, w)),
+            }
+        }
+        if merged.len() <= self.max_entries {
+            self.entries = merged;
+            return;
+        }
+        // Keep entries at even cumulative-weight spacing, always including
+        // the extremes so min/max survive.
+        let total: f64 = merged.iter().map(|(_, w)| w).sum();
+        let step = total / (self.max_entries - 1) as f64;
+        let mut kept: Vec<(f64, f64)> = Vec::with_capacity(self.max_entries);
+        let mut next_rank = 0.0;
+        let mut cum = 0.0;
+        let mut pending_weight = 0.0;
+        for (i, (v, w)) in merged.iter().enumerate() {
+            cum += w;
+            pending_weight += w;
+            let is_last = i == merged.len() - 1;
+            if cum >= next_rank || is_last {
+                kept.push((*v, pending_weight));
+                pending_weight = 0.0;
+                while next_rank <= cum {
+                    next_rank += step;
+                }
+            }
+        }
+        self.entries = kept;
+    }
+
+    /// Estimated cumulative weight of values `<= v`.
+    pub fn rank(&mut self, v: f64) -> f64 {
+        self.compact();
+        let mut cum = 0.0;
+        for &(x, w) in &self.entries {
+            if x <= v {
+                cum += w;
+            } else {
+                break;
+            }
+        }
+        cum
+    }
+
+    /// Proposes up to `k - 1` candidate thresholds at even cumulative-weight
+    /// quantiles (XGBoost's per-attribute candidate set). Deduplicated and
+    /// strictly increasing; the maximum value is excluded (splitting there
+    /// sends everything left).
+    pub fn cut_points(&mut self, k: usize) -> Vec<f64> {
+        assert!(k >= 2, "need at least 2 quantile buckets");
+        self.compact();
+        if self.entries.len() <= 1 {
+            return Vec::new();
+        }
+        let max_v = self.entries.last().expect("nonempty").0;
+        let total: f64 = self.total_weight;
+        let mut cuts = Vec::with_capacity(k - 1);
+        let mut cum = 0.0;
+        let mut target = total / k as f64;
+        for &(v, w) in &self.entries {
+            cum += w;
+            while cum >= target && cuts.len() < k - 1 {
+                if v < max_v && cuts.last().is_none_or(|&last| v > last) {
+                    cuts.push(v);
+                }
+                target += total / k as f64;
+            }
+        }
+        cuts
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        (self.entries.len() + self.buffer.len()) * 16 + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn unweighted_uniform_quantiles_are_accurate() {
+        let mut s = QuantileSketch::new(64);
+        for i in 0..10_000 {
+            s.push(i as f64, 1.0);
+        }
+        let cuts = s.cut_points(4);
+        assert_eq!(cuts.len(), 3);
+        // Quartiles of 0..10000 with rank error ~ W/64.
+        for (c, expect) in cuts.iter().zip([2500.0, 5000.0, 7500.0]) {
+            assert!(
+                (c - expect).abs() < 400.0,
+                "cut {c} too far from {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_error_is_bounded_on_random_input() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = QuantileSketch::new(128);
+        let mut values: Vec<f64> = (0..20_000).map(|_| rng.gen::<f64>()).collect();
+        for &v in &values {
+            s.push(v, 1.0);
+        }
+        values.sort_unstable_by(f64::total_cmp);
+        let n = values.len() as f64;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let v = values[(q * n) as usize];
+            let est = s.rank(v);
+            let err = (est - q * n).abs() / n;
+            assert!(err < 0.05, "rank error {err} at q={q}");
+        }
+    }
+
+    #[test]
+    fn merge_matches_single_sketch_approximately() {
+        let mut whole = QuantileSketch::new(64);
+        let mut a = QuantileSketch::new(64);
+        let mut b = QuantileSketch::new(64);
+        for i in 0..5_000 {
+            let v = (i * 7919 % 5000) as f64;
+            whole.push(v, 1.0);
+            if i % 2 == 0 {
+                a.push(v, 1.0);
+            } else {
+                b.push(v, 1.0);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.total_weight(), whole.total_weight());
+        let ca = a.cut_points(8);
+        let cw = whole.cut_points(8);
+        assert_eq!(ca.len(), cw.len());
+        for (x, y) in ca.iter().zip(&cw) {
+            assert!((x - y).abs() < 250.0, "merged cut {x} vs whole {y}");
+        }
+    }
+
+    #[test]
+    fn weights_shift_quantiles() {
+        let mut s = QuantileSketch::new(64);
+        // Value 0 has weight 90, value 100 weight 10: the median cut is 0.
+        for _ in 0..90 {
+            s.push(0.0, 1.0);
+        }
+        for _ in 0..10 {
+            s.push(100.0, 1.0);
+        }
+        let cuts = s.cut_points(2);
+        assert_eq!(cuts, vec![0.0]);
+    }
+
+    #[test]
+    fn nan_and_nonpositive_weight_ignored() {
+        let mut s = QuantileSketch::new(8);
+        s.push(f64::NAN, 1.0);
+        s.push(1.0, 0.0);
+        s.push(1.0, -5.0);
+        assert_eq!(s.total_weight(), 0.0);
+        assert!(s.cut_points(4).is_empty());
+    }
+
+    #[test]
+    fn constant_values_produce_no_cuts() {
+        let mut s = QuantileSketch::new(8);
+        for _ in 0..100 {
+            s.push(3.0, 1.0);
+        }
+        assert!(s.cut_points(4).is_empty());
+    }
+
+    #[test]
+    fn cuts_strictly_increasing() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = QuantileSketch::new(32);
+        for _ in 0..3_000 {
+            s.push(rng.gen_range(0..50) as f64, rng.gen_range(0.1..2.0));
+        }
+        let cuts = s.cut_points(16);
+        assert!(cuts.windows(2).all(|w| w[0] < w[1]));
+        assert!(cuts.iter().all(|c| (0.0..49.0).contains(c)));
+    }
+}

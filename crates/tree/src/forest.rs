@@ -1,0 +1,222 @@
+//! Bagged forests: prediction by PMF averaging.
+//!
+//! In the paper's deep forest, "a forest for k-class classification returns
+//! a k-dimensional vector computed as the average of the class PMF vectors
+//! returned by all its trees" (§VII). `ForestModel` implements exactly that,
+//! plus plain label/value prediction for the evaluation tables.
+
+use crate::model::{DecisionTreeModel, Prediction};
+use serde::{Deserialize, Serialize};
+use ts_datatable::{DataTable, Task};
+
+/// A bag of independently-trained trees over one task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForestModel {
+    /// The member trees.
+    pub trees: Vec<DecisionTreeModel>,
+    /// The prediction task.
+    pub task: Task,
+}
+
+impl ForestModel {
+    /// Builds a forest, validating that every tree matches the task.
+    ///
+    /// # Panics
+    /// Panics if the forest is empty or a member has a different task.
+    pub fn new(trees: Vec<DecisionTreeModel>, task: Task) -> Self {
+        assert!(!trees.is_empty(), "forest must contain at least one tree");
+        for t in &trees {
+            assert_eq!(t.task, task, "tree task mismatch");
+        }
+        ForestModel { trees, task }
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The averaged PMF vector for one row (classification forests).
+    pub fn predict_pmf_row(&self, table: &DataTable, row: usize) -> Vec<f32> {
+        let k = self
+            .task
+            .n_classes()
+            .expect("predict_pmf_row requires a classification forest")
+            as usize;
+        let mut acc = vec![0f32; k];
+        for t in &self.trees {
+            let p = t.predict_row(table, row, u32::MAX);
+            match p {
+                Prediction::Class { pmf, .. } => {
+                    for (a, b) in acc.iter_mut().zip(pmf) {
+                        *a += b;
+                    }
+                }
+                Prediction::Real(_) => unreachable!("task checked at construction"),
+            }
+        }
+        let inv = 1.0 / self.trees.len() as f32;
+        for a in &mut acc {
+            *a *= inv;
+        }
+        acc
+    }
+
+    /// Averaged PMFs for every row — deep forest's re-representation output.
+    pub fn predict_pmf(&self, table: &DataTable) -> Vec<Vec<f32>> {
+        (0..table.n_rows())
+            .map(|r| self.predict_pmf_row(table, r))
+            .collect()
+    }
+
+    /// Majority-vote labels from the averaged PMFs (ties toward the smaller
+    /// class id).
+    pub fn predict_labels(&self, table: &DataTable) -> Vec<u32> {
+        (0..table.n_rows())
+            .map(|r| {
+                let pmf = self.predict_pmf_row(table, r);
+                argmax(&pmf)
+            })
+            .collect()
+    }
+
+    /// Mean of per-tree regression predictions for every row.
+    pub fn predict_values(&self, table: &DataTable) -> Vec<f64> {
+        (0..table.n_rows())
+            .map(|r| {
+                self.trees
+                    .iter()
+                    .map(|t| t.predict_row(table, r, u32::MAX).value())
+                    .sum::<f64>()
+                    / self.trees.len() as f64
+            })
+            .collect()
+    }
+
+    /// Mean gain-based feature importance across the member trees (each
+    /// tree's importances are normalised first, so every tree votes with
+    /// equal weight).
+    pub fn feature_importance(&self, n_attrs: usize) -> Vec<f64> {
+        let mut acc = vec![0.0; n_attrs];
+        for t in &self.trees {
+            for (a, v) in acc.iter_mut().zip(t.feature_importance(n_attrs)) {
+                *a += v;
+            }
+        }
+        let inv = 1.0 / self.trees.len() as f64;
+        for a in &mut acc {
+            *a *= inv;
+        }
+        acc
+    }
+
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("forest serialisation cannot fail")
+    }
+
+    /// Deserialises from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Index of the maximum entry, ties toward the smaller index.
+pub fn argmax(xs: &[f32]) -> u32 {
+    let mut best = 0usize;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{train_tree, TrainParams};
+    use ts_datatable::metrics::accuracy;
+    use ts_datatable::synth::{generate, SynthSpec};
+
+    fn forest_on(rows: usize, n_trees: usize, seed: u64) -> (ForestModel, ts_datatable::DataTable) {
+        let t = generate(&SynthSpec {
+            rows,
+            numeric: 6,
+            categorical: 0,
+            noise: 0.03,
+            concept_depth: 4,
+            seed,
+            ..Default::default()
+        });
+        let params = TrainParams::for_task(t.schema().task);
+        // Vary the candidate subsets like a random forest (|C| = sqrt(m)).
+        let trees: Vec<_> = (0..n_trees)
+            .map(|i| {
+                let c = vec![i % 6, (i + 2) % 6];
+                train_tree(&t, &c, &params, i as u64)
+            })
+            .collect();
+        (ForestModel::new(trees, t.schema().task), t)
+    }
+
+    #[test]
+    fn pmf_is_normalised_average() {
+        let (f, t) = forest_on(800, 5, 3);
+        let pmf = f.predict_pmf_row(&t, 0);
+        assert_eq!(pmf.len(), 2);
+        let sum: f32 = pmf.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "pmf sums to {sum}");
+    }
+
+    #[test]
+    fn forest_beats_or_matches_nothing_degenerate() {
+        let (f, t) = forest_on(2_000, 9, 5);
+        let acc = accuracy(&f.predict_labels(&t), t.labels().as_class().unwrap());
+        assert!(acc > 0.7, "forest training accuracy {acc}");
+    }
+
+    #[test]
+    fn argmax_ties_toward_smaller_index() {
+        assert_eq!(argmax(&[0.5, 0.5]), 0);
+        assert_eq!(argmax(&[0.1, 0.9, 0.9]), 1);
+        assert_eq!(argmax(&[1.0]), 0);
+    }
+
+    #[test]
+    fn regression_forest_averages_trees() {
+        let t = generate(&SynthSpec {
+            rows: 1_000,
+            numeric: 4,
+            task: ts_datatable::Task::Regression,
+            seed: 8,
+            ..Default::default()
+        });
+        let params = TrainParams::for_task(ts_datatable::Task::Regression);
+        let trees: Vec<_> = (0..3)
+            .map(|i| train_tree(&t, &[i, (i + 1) % 4], &params, i as u64))
+            .collect();
+        let single_preds: Vec<Vec<f64>> = trees.iter().map(|tr| tr.predict_values(&t)).collect();
+        let f = ForestModel::new(trees, ts_datatable::Task::Regression);
+        let avg = f.predict_values(&t);
+        for r in [0usize, 13, 999] {
+            let manual =
+                (single_preds[0][r] + single_preds[1][r] + single_preds[2][r]) / 3.0;
+            assert!((avg[r] - manual).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let (f, _) = forest_on(300, 2, 1);
+        let j = f.to_json();
+        let back = ForestModel::from_json(&j).unwrap();
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn empty_forest_panics() {
+        ForestModel::new(vec![], ts_datatable::Task::Regression);
+    }
+}

@@ -1,0 +1,412 @@
+//! The single-threaded exact recursive trainer.
+//!
+//! This is the code a subtree-task runs on its key worker: given the
+//! materialised `Dx` ([`LocalDataset`]), build the entire subtree `∆x` with
+//! no further communication (paper §III). It uses exactly the same split
+//! kernels ([`ts_splits::exact`]) and the same cross-column comparison as
+//! the distributed column-task path, so the engine's trees are bit-identical
+//! to single-machine training — the exactness guarantee the paper
+//! distinguishes TreeServer from PLANET/MLlib by.
+
+use crate::dataset::LocalDataset;
+use crate::model::{DecisionTreeModel, Node, Prediction, SplitInfo};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use ts_datatable::{Task, ValuesBuf};
+use ts_splits::exact::{best_split_for_column, distinct_categories, ColumnSplit};
+use ts_splits::impurity::{Impurity, LabelView, NodeStats};
+use ts_splits::partition_positions;
+use ts_splits::random::random_split_for_column;
+
+/// How splits are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainMode {
+    /// Greedy exact splits over all candidate columns (decision trees,
+    /// random forests — the column subset is baked into the dataset).
+    Exact,
+    /// Completely-random trees (Appendix F): one column resampled per node,
+    /// a random threshold/category — structure driven by the seed.
+    ExtraTrees,
+}
+
+/// Training hyperparameters shared by the local trainer and the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainParams {
+    /// Impurity function (Gini/entropy for classification, variance for
+    /// regression).
+    pub impurity: Impurity,
+    /// Maximum node depth; nodes at `depth >= dmax` become leaves. Use
+    /// `u32::MAX` for unbounded (the paper's CF stage uses `dmax = ∞`).
+    pub dmax: u32,
+    /// A node with `|Dx| <= tau_leaf` becomes a leaf.
+    pub tau_leaf: u64,
+    /// Split-selection mode.
+    pub mode: TrainMode,
+}
+
+impl Default for TrainParams {
+    fn default() -> Self {
+        TrainParams {
+            impurity: Impurity::Gini,
+            dmax: 10,
+            tau_leaf: 1,
+            mode: TrainMode::Exact,
+        }
+    }
+}
+
+impl TrainParams {
+    /// Default parameters for a task, matching the paper's experiment setup
+    /// (`dmax = 10`, `tau_leaf = 1`, Gini for classification, variance for
+    /// regression).
+    pub fn for_task(task: Task) -> TrainParams {
+        TrainParams {
+            impurity: if task.is_classification() {
+                Impurity::Gini
+            } else {
+                Impurity::Variance
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// Converts node label statistics into the node's stored prediction.
+pub fn prediction_from_stats(stats: &NodeStats) -> Prediction {
+    match stats {
+        NodeStats::Class(c) => {
+            let (label, pmf) = c.prediction();
+            Prediction::Class { label, pmf }
+        }
+        NodeStats::Reg(a) => Prediction::Real(a.mean()),
+    }
+}
+
+/// Trains a whole tree over `table`, restricted to the `candidates` columns
+/// (the per-tree sampled `C`; pass `0..m` for a plain decision tree).
+pub fn train_tree(
+    table: &ts_datatable::DataTable,
+    candidates: &[usize],
+    params: &TrainParams,
+    seed: u64,
+) -> DecisionTreeModel {
+    let data = LocalDataset::from_table(table, candidates);
+    train_subtree(&data, params, 0, seed)
+}
+
+/// Trains the subtree over a materialised dataset whose root sits at
+/// absolute depth `base_depth` in the enclosing tree. Node depths in the
+/// returned model are relative to the subtree root ([`DecisionTreeModel::graft`]
+/// re-bases them).
+pub fn train_subtree(
+    data: &LocalDataset,
+    params: &TrainParams,
+    base_depth: u32,
+    seed: u64,
+) -> DecisionTreeModel {
+    assert!(data.n_rows() > 0, "cannot train on an empty dataset");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = Builder { data, params, base_depth, nodes: Vec::new(), rng: &mut rng };
+    let all: Vec<u32> = (0..data.n_rows() as u32).collect();
+    builder.build(all, 0);
+    DecisionTreeModel::new(builder.nodes, data.task)
+}
+
+struct Builder<'a> {
+    data: &'a LocalDataset,
+    params: &'a TrainParams,
+    base_depth: u32,
+    nodes: Vec<Node>,
+    rng: &'a mut StdRng,
+}
+
+impl Builder<'_> {
+    /// Builds the node over `positions` (row positions within the dataset)
+    /// at relative depth `depth`; returns its arena index.
+    fn build(&mut self, positions: Vec<u32>, depth: u32) -> usize {
+        let n = positions.len() as u64;
+        let labels_sub = self.data.labels.gather(&positions);
+        let n_classes = self.data.task.n_classes().unwrap_or(0);
+        let view = LabelView::of(&labels_sub, n_classes);
+        let stats = NodeStats::from_view(view);
+        let prediction = prediction_from_stats(&stats);
+
+        let abs_depth = self.base_depth.saturating_add(depth);
+        let must_leaf =
+            abs_depth >= self.params.dmax || n <= self.params.tau_leaf || stats.is_pure();
+
+        let chosen = if must_leaf { None } else { self.choose_split(&positions, view) };
+
+        let id = self.nodes.len();
+        let Some((col_idx, split, col_sub)) = chosen else {
+            self.nodes.push(Node::leaf(prediction, n, depth));
+            return id;
+        };
+
+        let seen = match &col_sub {
+            ValuesBuf::Categorical(codes) => Some(distinct_categories(codes)),
+            ValuesBuf::Numeric(_) => None,
+        };
+        let (l_sub, r_sub) = partition_positions(&col_sub, &split.test, split.missing_left);
+        debug_assert_eq!(l_sub.len() as u64, split.n_left());
+        debug_assert_eq!(r_sub.len() as u64, split.n_right());
+        drop(col_sub);
+        drop(labels_sub);
+        let left_positions: Vec<u32> = l_sub.iter().map(|&p| positions[p as usize]).collect();
+        let right_positions: Vec<u32> = r_sub.iter().map(|&p| positions[p as usize]).collect();
+        drop(positions);
+
+        // Reserve the parent slot, then grow children (pre-order arena).
+        self.nodes.push(Node::leaf(prediction, n, depth));
+        let info = SplitInfo {
+            attr: self.data.attrs[col_idx],
+            test: split.test,
+            gain: split.gain,
+            missing_left: split.missing_left,
+            seen,
+        };
+        let l = self.build(left_positions, depth + 1);
+        let r = self.build(right_positions, depth + 1);
+        self.nodes[id].split = Some((info, l, r));
+        id
+    }
+
+    /// Picks the split for a node; returns `(local column index, split,
+    /// gathered column buffer)` or `None` when no column can split.
+    fn choose_split(
+        &mut self,
+        positions: &[u32],
+        view: LabelView<'_>,
+    ) -> Option<(usize, ColumnSplit, ValuesBuf)> {
+        match self.params.mode {
+            TrainMode::Exact => {
+                let mut best: Option<(usize, ColumnSplit)> = None;
+                for (i, col) in self.data.columns.iter().enumerate() {
+                    let sub = col.gather_positions(positions);
+                    if let Some(s) =
+                        best_split_for_column(&sub, self.data.types[i], view, self.params.impurity)
+                    {
+                        let wins = match &best {
+                            None => true,
+                            Some((bi, bs)) => ColumnSplit::challenger_wins(
+                                &s,
+                                self.data.attrs[i],
+                                bs,
+                                self.data.attrs[*bi],
+                            ),
+                        };
+                        if wins {
+                            best = Some((i, s));
+                        }
+                    }
+                }
+                best.map(|(i, s)| {
+                    let sub = self.data.columns[i].gather_positions(positions);
+                    (i, s, sub)
+                })
+            }
+            TrainMode::ExtraTrees => {
+                // Resample columns in random order until one can split; a
+                // column with a constant value in Dx cannot.
+                let mut order: Vec<usize> = (0..self.data.n_cols()).collect();
+                order.shuffle(self.rng);
+                for i in order {
+                    let sub = self.data.columns[i].gather_positions(positions);
+                    if let Some(s) = random_split_for_column(&sub, view, self.rng) {
+                        return Some((i, s, sub));
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_datatable::metrics::accuracy;
+    use ts_datatable::synth::{generate, SynthSpec};
+    use ts_datatable::Task;
+
+    fn learnable_table(rows: usize, seed: u64) -> ts_datatable::DataTable {
+        generate(&SynthSpec {
+            rows,
+            numeric: 5,
+            categorical: 2,
+            cat_cardinality: 6,
+            noise: 0.02,
+            concept_depth: 4,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn exact_tree_fits_training_data_well() {
+        let t = learnable_table(2_000, 3);
+        let params = TrainParams { dmax: 12, ..TrainParams::for_task(t.schema().task) };
+        let model = train_tree(&t, &(0..t.n_attrs()).collect::<Vec<_>>(), &params, 0);
+        let acc = accuracy(&model.predict_labels(&t), t.labels().as_class().unwrap());
+        assert!(acc > 0.9, "training accuracy {acc}");
+    }
+
+    #[test]
+    fn exact_tree_generalises_above_majority_baseline() {
+        let t = learnable_table(4_000, 5);
+        let (tr, te) = t.train_test_split(0.75, 1);
+        let params = TrainParams::for_task(t.schema().task);
+        let model = train_tree(&tr, &(0..tr.n_attrs()).collect::<Vec<_>>(), &params, 0);
+        let acc = accuracy(&model.predict_labels(&te), te.labels().as_class().unwrap());
+        // Majority baseline for a 2-class planted concept sits near 0.5-0.7.
+        assert!(acc > 0.75, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn dmax_zero_yields_single_leaf() {
+        let t = learnable_table(100, 1);
+        let params = TrainParams { dmax: 0, ..Default::default() };
+        let model = train_tree(&t, &[0, 1], &params, 0);
+        assert_eq!(model.n_nodes(), 1);
+        assert!(model.nodes[0].is_leaf());
+    }
+
+    #[test]
+    fn dmax_bounds_depth() {
+        let t = learnable_table(2_000, 2);
+        for dmax in [1, 3, 6] {
+            let params = TrainParams { dmax, ..Default::default() };
+            let model =
+                train_tree(&t, &(0..t.n_attrs()).collect::<Vec<_>>(), &params, 0);
+            assert!(model.max_depth() <= dmax, "depth {} > dmax {dmax}", model.max_depth());
+        }
+    }
+
+    #[test]
+    fn tau_leaf_prunes_small_nodes() {
+        let t = learnable_table(1_000, 2);
+        let params = TrainParams { tau_leaf: 100, dmax: 20, ..Default::default() };
+        let model = train_tree(&t, &(0..t.n_attrs()).collect::<Vec<_>>(), &params, 0);
+        for n in &model.nodes {
+            if !n.is_leaf() {
+                assert!(n.n_rows > 100, "internal node with {} rows", n.n_rows);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let t = learnable_table(1_500, 9);
+        let params = TrainParams::for_task(t.schema().task);
+        let c: Vec<usize> = (0..t.n_attrs()).collect();
+        let a = train_tree(&t, &c, &params, 0);
+        let b = train_tree(&t, &c, &params, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn candidate_restriction_is_respected() {
+        let t = learnable_table(1_000, 4);
+        let model = train_tree(&t, &[2, 4], &TrainParams::default(), 0);
+        for n in &model.nodes {
+            if let Some((info, _, _)) = &n.split {
+                assert!([2, 4].contains(&info.attr));
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_base_depth_respects_dmax() {
+        let t = learnable_table(1_000, 6);
+        let data = LocalDataset::from_table(&t, &[0, 1, 2]);
+        let params = TrainParams { dmax: 5, ..Default::default() };
+        let model = train_subtree(&data, &params, 3, 0);
+        // Absolute depth cap 5 minus base 3 leaves at most 2 relative levels.
+        assert!(model.max_depth() <= 2);
+    }
+
+    #[test]
+    fn node_counters_partition_parent() {
+        let t = learnable_table(2_000, 8);
+        let model =
+            train_tree(&t, &(0..t.n_attrs()).collect::<Vec<_>>(), &TrainParams::default(), 0);
+        for n in &model.nodes {
+            if let Some((_, l, r)) = &n.split {
+                assert_eq!(
+                    model.nodes[*l].n_rows + model.nodes[*r].n_rows,
+                    n.n_rows,
+                    "children must partition the parent rows"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn regression_tree_reduces_rmse() {
+        let t = generate(&SynthSpec {
+            rows: 3_000,
+            numeric: 6,
+            categorical: 1,
+            task: Task::Regression,
+            noise: 0.05,
+            concept_depth: 4,
+            seed: 12,
+            ..Default::default()
+        });
+        let (tr, te) = t.train_test_split(0.8, 2);
+        let params = TrainParams::for_task(Task::Regression);
+        let model = train_tree(&tr, &(0..tr.n_attrs()).collect::<Vec<_>>(), &params, 0);
+        let pred = model.predict_values(&te);
+        let truth = te.labels().as_real().unwrap();
+        let rmse = ts_datatable::metrics::rmse(&pred, truth);
+        // Mean-only baseline.
+        let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+        let base: Vec<f64> = vec![mean; truth.len()];
+        let base_rmse = ts_datatable::metrics::rmse(&base, truth);
+        assert!(rmse < base_rmse * 0.7, "rmse {rmse} vs baseline {base_rmse}");
+    }
+
+    #[test]
+    fn extra_trees_build_and_vary_with_seed() {
+        let t = learnable_table(1_000, 7);
+        let params = TrainParams { mode: TrainMode::ExtraTrees, ..Default::default() };
+        let c: Vec<usize> = (0..t.n_attrs()).collect();
+        let a = train_tree(&t, &c, &params, 1);
+        let b = train_tree(&t, &c, &params, 2);
+        let a2 = train_tree(&t, &c, &params, 1);
+        assert_eq!(a, a2, "same seed, same tree");
+        assert_ne!(a, b, "different seeds should differ");
+        assert!(a.n_nodes() > 3);
+    }
+
+    #[test]
+    fn missing_values_train_without_panic() {
+        let t = generate(&SynthSpec {
+            rows: 1_000,
+            numeric: 4,
+            categorical: 2,
+            missing_rate: 0.15,
+            seed: 3,
+            ..Default::default()
+        });
+        let model =
+            train_tree(&t, &(0..t.n_attrs()).collect::<Vec<_>>(), &TrainParams::default(), 0);
+        assert!(model.n_nodes() >= 1);
+        // Prediction over the same (missing-laden) table must not panic.
+        let _ = model.predict_labels(&t);
+    }
+
+    #[test]
+    fn pure_dataset_is_single_leaf() {
+        use ts_datatable::{AttrMeta, Column, Labels, Schema};
+        let t = ts_datatable::DataTable::new(
+            Schema::new(vec![AttrMeta::numeric("a")], Task::Classification { n_classes: 2 }),
+            vec![Column::Numeric(vec![1.0, 2.0, 3.0])],
+            Labels::Class(vec![1, 1, 1]),
+        );
+        let model = train_tree(&t, &[0], &TrainParams::default(), 0);
+        assert_eq!(model.n_nodes(), 1);
+        assert_eq!(model.nodes[0].prediction.label(), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests for tree models: prediction semantics, canonicalisation
+//! and grafting hold for arbitrary trained trees.
+
+use proptest::prelude::*;
+use ts_datatable::synth::{generate, SynthSpec};
+use ts_datatable::Task;
+use ts_tree::{train_subtree, train_tree, LocalDataset, TrainMode, TrainParams};
+
+fn any_spec() -> impl Strategy<Value = SynthSpec> {
+    (
+        100usize..800,
+        1usize..5,
+        0usize..3,
+        0u64..10_000,
+        any::<bool>(),
+        prop_oneof![Just(0.0f64), Just(0.1f64)],
+    )
+        .prop_map(|(rows, numeric, categorical, seed, regression, missing_rate)| SynthSpec {
+            rows,
+            numeric,
+            categorical,
+            cat_cardinality: 5,
+            task: if regression {
+                Task::Regression
+            } else {
+                Task::Classification { n_classes: 3 }
+            },
+            missing_rate,
+            noise: 0.1,
+            concept_depth: 4,
+            latent: 0,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Canonicalisation is idempotent and preserves prediction behaviour.
+    #[test]
+    fn canonicalize_preserves_predictions(spec in any_spec()) {
+        let t = generate(&spec);
+        let model = train_tree(
+            &t,
+            &(0..t.n_attrs()).collect::<Vec<_>>(),
+            &TrainParams { dmax: 6, ..TrainParams::for_task(t.schema().task) },
+            0,
+        );
+        let canon = model.canonicalize();
+        prop_assert_eq!(canon.canonicalize(), canon.clone());
+        prop_assert_eq!(canon.n_nodes(), model.n_nodes());
+        prop_assert_eq!(canon.n_leaves(), model.n_leaves());
+        for row in (0..t.n_rows()).step_by(17) {
+            prop_assert_eq!(
+                model.predict_row(&t, row, u32::MAX),
+                canon.predict_row(&t, row, u32::MAX)
+            );
+        }
+    }
+
+    /// Depth-capped prediction equals full prediction once the cap reaches
+    /// the tree's depth, and every cap produces a valid prediction.
+    #[test]
+    fn depth_cap_semantics(spec in any_spec()) {
+        let t = generate(&spec);
+        let model = train_tree(
+            &t,
+            &(0..t.n_attrs()).collect::<Vec<_>>(),
+            &TrainParams { dmax: 8, ..TrainParams::for_task(t.schema().task) },
+            0,
+        );
+        let d = model.max_depth();
+        for row in (0..t.n_rows()).step_by(29) {
+            let full = model.predict_row(&t, row, u32::MAX);
+            prop_assert_eq!(model.predict_row(&t, row, d), full);
+            for cap in 0..=d.min(4) {
+                let _ = model.predict_row(&t, row, cap); // must not panic
+            }
+        }
+    }
+
+    /// JSON round-trips any trained model exactly.
+    #[test]
+    fn json_roundtrip_any_model(spec in any_spec()) {
+        let t = generate(&spec);
+        let model = train_tree(
+            &t,
+            &(0..t.n_attrs()).collect::<Vec<_>>(),
+            &TrainParams { dmax: 5, ..TrainParams::for_task(t.schema().task) },
+            0,
+        );
+        let back = ts_tree::DecisionTreeModel::from_json(&model.to_json()).unwrap();
+        prop_assert_eq!(back, model);
+    }
+
+    /// Grafting a subtree trained on a leaf's rows reproduces what training
+    /// deeper would have produced at that leaf (the subtree-task contract).
+    #[test]
+    fn graft_matches_deeper_training(seed in 0u64..500) {
+        let t = generate(&SynthSpec {
+            rows: 600,
+            numeric: 3,
+            categorical: 1,
+            cat_cardinality: 4,
+            noise: 0.05,
+            concept_depth: 5,
+            seed,
+            ..Default::default()
+        });
+        let all: Vec<usize> = (0..t.n_attrs()).collect();
+        let params_deep = TrainParams { dmax: 6, ..TrainParams::for_task(t.schema().task) };
+        let deep = train_tree(&t, &all, &params_deep, 0);
+
+        // Train shallow (depth 2), then graft subtree-task results onto
+        // every depth-2 leaf that deep training would have split.
+        let params_shallow = TrainParams { dmax: 2, ..params_deep };
+        let mut shallow = train_tree(&t, &all, &params_shallow, 0);
+
+        // Recover each shallow leaf's row set by routing all rows.
+        let mut rows_of_node: Vec<Vec<u32>> = vec![Vec::new(); shallow.n_nodes()];
+        for row in 0..t.n_rows() {
+            let mut i = 0usize;
+            loop {
+                match &shallow.nodes[i].split {
+                    None => break,
+                    Some((info, l, r)) => {
+                        let v = t.value(row, info.attr);
+                        let left = info.test.goes_left(v).unwrap_or(info.missing_left);
+                        i = if left { *l } else { *r };
+                    }
+                }
+            }
+            rows_of_node[i].push(row as u32);
+        }
+        let leaf_ids: Vec<usize> =
+            (0..shallow.n_nodes()).filter(|&i| shallow.nodes[i].is_leaf()).collect();
+        for leaf in leaf_ids {
+            let rows = &rows_of_node[leaf];
+            if rows.is_empty() {
+                continue;
+            }
+            let data = LocalDataset::from_table_rows(&t, &all, rows);
+            let depth = shallow.nodes[leaf].depth;
+            let sub = train_subtree(&data, &params_deep, depth, 0);
+            shallow.graft(leaf, sub);
+        }
+        prop_assert_eq!(shallow.canonicalize(), deep.canonicalize());
+    }
+
+    /// Extra-trees respect dmax/tau_leaf and remain valid models.
+    #[test]
+    fn extra_trees_invariants(seed in 0u64..300) {
+        let t = generate(&SynthSpec { rows: 400, numeric: 3, seed, ..Default::default() });
+        let params = TrainParams {
+            dmax: 5,
+            tau_leaf: 10,
+            mode: TrainMode::ExtraTrees,
+            ..TrainParams::for_task(t.schema().task)
+        };
+        let m = train_tree(&t, &(0..t.n_attrs()).collect::<Vec<_>>(), &params, seed);
+        prop_assert!(m.max_depth() <= 5);
+        for n in &m.nodes {
+            if !n.is_leaf() {
+                prop_assert!(n.n_rows > 10);
+            }
+        }
+    }
+}

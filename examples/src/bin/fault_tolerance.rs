@@ -1,0 +1,61 @@
+//! Fault tolerance: kill a worker mid-training and watch the master
+//! re-replicate its columns from the surviving replicas and restart the
+//! affected trees (paper §IV "Fault Tolerance" / Appendix E).
+//!
+//! ```text
+//! cargo run -p ts-examples --release --bin fault_tolerance
+//! ```
+
+use treeserver::{Cluster, ClusterConfig, JobSpec};
+use ts_datatable::metrics::accuracy;
+use ts_datatable::synth::{generate, SynthSpec};
+
+fn main() {
+    let table = generate(&SynthSpec {
+        rows: 40_000,
+        numeric: 10,
+        categorical: 2,
+        noise: 0.05,
+        concept_depth: 6,
+        seed: 23,
+        ..Default::default()
+    });
+    let (train, test) = table.train_test_split(0.8, 1);
+
+    // Replication k = 2 (the paper's default): every column survives one
+    // worker crash.
+    let cfg = ClusterConfig {
+        n_workers: 4,
+        compers_per_worker: 2,
+        replication: 2,
+        tau_d: 3_000,
+        tau_dfs: 12_000,
+        ..Default::default()
+    };
+    let cluster = Cluster::launch(cfg, &train);
+
+    println!("submitting a 10-tree random forest ...");
+    let handle = cluster.submit(JobSpec::random_forest(train.schema().task, 10).with_seed(2));
+
+    // Give the job a moment to get tasks in flight, then crash worker 3.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    println!("killing worker 3 mid-flight");
+    cluster.kill_worker(3);
+
+    let forest = cluster.wait(handle).into_forest();
+    let report = cluster.shutdown();
+
+    let acc = accuracy(&forest.predict_labels(&test), test.labels().as_class().unwrap());
+    println!(
+        "job completed after the crash: {} trees, test accuracy {:.2}%",
+        forest.n_trees(),
+        acc * 100.0
+    );
+    println!(
+        "surviving workers' send totals: {:?} bytes",
+        report.per_node[1..]
+            .iter()
+            .map(|s| s.sent_bytes)
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,114 @@
+//! The paper's Fig. 2 scenario: a client submits several model-training
+//! jobs with different hyperparameters to one TreeServer master — two
+//! decision trees (different depths/impurities) and a random forest — and
+//! the master trains all their trees together in the shared pool.
+//!
+//! This is the paper's motivation for the tree pool (`n_pool`): "we often
+//! need to train many tree models with different hyperparameters for model
+//! selection ... T-thinker trains all these trees together so that we can
+//! have more node-centric tasks to keep CPUs busy" (§III).
+//!
+//! ```text
+//! cargo run -p ts-examples --release --bin model_selection
+//! ```
+
+use treeserver::{Cluster, ClusterConfig, JobSpec};
+use ts_datatable::cv::kfold_splits;
+use ts_datatable::metrics::accuracy;
+use ts_datatable::synth::{generate, SynthSpec};
+use ts_splits::Impurity;
+
+fn main() {
+    let table = generate(&SynthSpec {
+        rows: 30_000,
+        numeric: 10,
+        categorical: 3,
+        cat_cardinality: 6,
+        noise: 0.05,
+        concept_depth: 6,
+        latent: 4,
+        seed: 77,
+        ..Default::default()
+    });
+    let (dev, holdout) = table.train_test_split(0.8, 1);
+
+    let cluster = Cluster::launch(
+        ClusterConfig {
+            n_workers: 4,
+            compers_per_worker: 3,
+            tau_d: 3_000,
+            tau_dfs: 12_000,
+            ..Default::default()
+        },
+        &dev,
+    );
+
+    // Fig. 2's job mix: DT1 (entropy, dmax 6), DT2 (Gini, dmax 8), and
+    // RF3 (3 trees, 40% columns, Gini) — all submitted up front; the master
+    // disassembles them into 5 trees and trains them concurrently.
+    let t0 = std::time::Instant::now();
+    let dt1 = cluster.submit(
+        JobSpec::decision_tree(dev.schema().task)
+            .with_impurity(Impurity::Entropy)
+            .with_dmax(6),
+    );
+    let dt2 = cluster.submit(JobSpec::decision_tree(dev.schema().task).with_dmax(8));
+    let rf3 = cluster.submit(
+        JobSpec::random_forest_with_fraction(dev.schema().task, 3, 0.4).with_seed(3),
+    );
+
+    let truth = holdout.labels().as_class().unwrap();
+    let m_dt1 = cluster.wait(dt1).into_tree();
+    let m_dt2 = cluster.wait(dt2).into_tree();
+    let m_rf3 = cluster.wait(rf3).into_forest();
+    println!("all three jobs trained concurrently in {:?}", t0.elapsed());
+    println!(
+        "  DT1 (entropy, dmax 6): {:>6.2}%  ({} nodes)",
+        accuracy(&m_dt1.predict_labels(&holdout), truth) * 100.0,
+        m_dt1.n_nodes()
+    );
+    println!(
+        "  DT2 (gini, dmax 8):    {:>6.2}%  ({} nodes)",
+        accuracy(&m_dt2.predict_labels(&holdout), truth) * 100.0,
+        m_dt2.n_nodes()
+    );
+    println!(
+        "  RF3 (3 trees, 40%):    {:>6.2}%",
+        accuracy(&m_rf3.predict_labels(&holdout), truth) * 100.0
+    );
+    cluster.shutdown();
+
+    // Hyperparameter selection by 4-fold cross-validation over dmax,
+    // launching one cluster per fold's training split.
+    println!("\n4-fold CV over dmax:");
+    for dmax in [4u32, 8, 12] {
+        let mut scores = Vec::new();
+        for (train_rows, valid_rows) in kfold_splits(dev.n_rows(), 4, 9) {
+            let tr = dev.select_rows(&train_rows);
+            let va = dev.select_rows(&valid_rows);
+            let cluster = Cluster::launch(
+                ClusterConfig {
+                    n_workers: 3,
+                    compers_per_worker: 2,
+                    tau_d: 2_000,
+                    tau_dfs: 8_000,
+                    ..Default::default()
+                },
+                &tr,
+            );
+            let m = cluster
+                .train(JobSpec::decision_tree(tr.schema().task).with_dmax(dmax))
+                .into_tree();
+            cluster.shutdown();
+            scores.push(accuracy(
+                &m.predict_labels(&va),
+                va.labels().as_class().unwrap(),
+            ));
+        }
+        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+        println!(
+            "  dmax {dmax:>2}: {:.2}% mean validation accuracy {scores:.3?}",
+            mean * 100.0
+        );
+    }
+}

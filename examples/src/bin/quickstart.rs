@@ -1,0 +1,76 @@
+//! Quickstart: launch a TreeServer cluster, train a decision tree and a
+//! random forest, and read the run statistics.
+//!
+//! ```text
+//! cargo run -p ts-examples --release --bin quickstart
+//! ```
+
+use treeserver::{Cluster, ClusterConfig, JobSpec};
+use ts_datatable::metrics::accuracy;
+use ts_datatable::synth::{generate, SynthSpec};
+
+fn main() {
+    // A 50k-row synthetic classification table with a planted tree concept.
+    let table = generate(&SynthSpec {
+        rows: 50_000,
+        numeric: 12,
+        categorical: 4,
+        cat_cardinality: 8,
+        noise: 0.05,
+        concept_depth: 7,
+        // A few latent factors proxied by every column, like real tabular
+        // data — this is what makes sqrt(m)-column forest trees viable.
+        latent: 4,
+        seed: 42,
+        ..Default::default()
+    });
+    let (train, test) = table.train_test_split(0.8, 1);
+    println!(
+        "data: {} train rows, {} test rows, {} attributes",
+        train.n_rows(),
+        test.n_rows(),
+        train.n_attrs()
+    );
+
+    // A 4-worker cluster, 3 compers each, paper-default thresholds scaled
+    // to the data size.
+    let cfg = ClusterConfig {
+        n_workers: 4,
+        compers_per_worker: 3,
+        tau_d: 5_000,
+        tau_dfs: 20_000,
+        ..Default::default()
+    };
+    let cluster = Cluster::launch(cfg, &train);
+
+    // One exact decision tree.
+    let t0 = std::time::Instant::now();
+    let tree = cluster.train(JobSpec::decision_tree(train.schema().task)).into_tree();
+    println!(
+        "decision tree: {} nodes, depth {}, trained in {:?}",
+        tree.n_nodes(),
+        tree.max_depth(),
+        t0.elapsed()
+    );
+    let acc = accuracy(&tree.predict_labels(&test), test.labels().as_class().unwrap());
+    println!("decision tree test accuracy: {:.2}%", acc * 100.0);
+
+    // A 20-tree random forest (|C| = sqrt(m) per tree, as in the paper).
+    let t0 = std::time::Instant::now();
+    let forest = cluster
+        .train(JobSpec::random_forest(train.schema().task, 20).with_seed(7))
+        .into_forest();
+    println!("random forest: {} trees in {:?}", forest.n_trees(), t0.elapsed());
+    let acc = accuracy(&forest.predict_labels(&test), test.labels().as_class().unwrap());
+    println!("random forest test accuracy: {:.2}%", acc * 100.0);
+
+    // Cluster statistics in the paper's units.
+    let report = cluster.shutdown();
+    println!(
+        "cluster: avg CPU {:.0}%, avg send {:.1} Mbps, master sent {} KB, avg peak mem {:.1} MB",
+        report.avg_cpu_percent,
+        report.avg_send_mbps,
+        report.master_sent_bytes / 1024,
+        report.avg_peak_mem_bytes / 1e6
+    );
+}

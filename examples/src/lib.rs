@@ -1,0 +1,15 @@
+//! Runnable examples for the TreeServer reproduction.
+//!
+//! - `quickstart` — train a decision tree and a random forest on a synthetic
+//!   table and inspect the cluster report.
+//! - `credit_default` — the paper's Fig. 1 scenario: mixed-type tabular
+//!   classification with missing values, model export, stop-at-depth
+//!   prediction and unseen-category handling.
+//! - `loan_risk_regression` — an Allstate/loan-shaped regression workload
+//!   loaded through the simulated DFS, comparing TreeServer with the
+//!   MLlib-style baseline.
+//! - `deep_forest_mnist` — the §VII deep-forest pipeline on MNIST-like
+//!   images, printing Table VII-style step timings.
+//! - `fault_tolerance` — kills a worker mid-training and shows recovery.
+//!
+//! Run with `cargo run -p ts-examples --release --bin <name>`.

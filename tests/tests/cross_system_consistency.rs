@@ -1,0 +1,141 @@
+//! Cross-system consistency: the three *exact* trainers in this repository
+//! (the local recursive trainer, the TreeServer cluster, and the
+//! Yggdrasil-style baseline) must all produce the same tree, while the
+//! approximate trainers (PLANET histograms, XGBoost sketches) must behave
+//! like restrictions of the exact search.
+
+use treeserver::{Cluster, ClusterConfig, JobSpec};
+use ts_baselines::{PlanetConfig, PlanetTrainer, YggdrasilConfig, YggdrasilTrainer};
+use ts_datatable::metrics::accuracy;
+use ts_datatable::synth::{generate, PaperDataset, SynthSpec};
+use ts_datatable::{DataTable, Task};
+use ts_splits::Impurity;
+use ts_tree::{train_tree, TrainParams};
+
+fn sample(rows: usize, seed: u64) -> DataTable {
+    generate(&SynthSpec {
+        rows,
+        numeric: 5,
+        categorical: 2,
+        cat_cardinality: 6,
+        noise: 0.05,
+        concept_depth: 5,
+        seed,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn three_exact_trainers_agree() {
+    let t = sample(2_500, 41);
+    let all: Vec<usize> = (0..t.n_attrs()).collect();
+    let params = TrainParams::for_task(t.schema().task);
+
+    let local = train_tree(&t, &all, &params, 0).canonicalize();
+
+    let cluster = Cluster::launch(
+        ClusterConfig { n_workers: 3, compers_per_worker: 2, tau_d: 300, tau_dfs: 1_200, ..Default::default() },
+        &t,
+    );
+    let ts = cluster
+        .train(JobSpec::decision_tree(t.schema().task))
+        .into_tree()
+        .canonicalize();
+    cluster.shutdown();
+
+    let (ygg, _) = YggdrasilTrainer::new(YggdrasilConfig::default()).train_tree(&t, &all);
+    let ygg = ygg.canonicalize();
+
+    assert_eq!(local, ts, "TreeServer diverged from the local exact trainer");
+    assert_eq!(local, ygg, "Yggdrasil diverged from the local exact trainer");
+}
+
+#[test]
+fn approximate_trainers_do_not_beat_exact_on_training_fit() {
+    let t = sample(3_000, 43);
+    let all: Vec<usize> = (0..t.n_attrs()).collect();
+    let exact = train_tree(&t, &all, &TrainParams::for_task(t.schema().task), 0);
+    let exact_acc = accuracy(&exact.predict_labels(&t), t.labels().as_class().unwrap());
+
+    for bins in [4usize, 8, 32] {
+        let trainer = PlanetTrainer::new(PlanetConfig { max_bins: bins, ..Default::default() });
+        let (approx, _) = trainer.train_tree(&t, &all);
+        let approx_acc = accuracy(&approx.predict_labels(&t), t.labels().as_class().unwrap());
+        assert!(
+            approx_acc <= exact_acc + 0.02,
+            "maxBins={bins}: approx train acc {approx_acc} vs exact {exact_acc}"
+        );
+    }
+}
+
+#[test]
+fn coarser_bins_lose_more() {
+    // Restricting candidates further can only hurt (weak monotonicity, with
+    // a tolerance for tie noise).
+    let t = sample(3_000, 47);
+    let all: Vec<usize> = (0..t.n_attrs()).collect();
+    let acc_at = |bins: usize| {
+        let trainer = PlanetTrainer::new(PlanetConfig { max_bins: bins, ..Default::default() });
+        let (m, _) = trainer.train_tree(&t, &all);
+        accuracy(&m.predict_labels(&t), t.labels().as_class().unwrap())
+    };
+    let coarse = acc_at(3);
+    let fine = acc_at(64);
+    assert!(
+        coarse <= fine + 0.03,
+        "3-bin fit {coarse} should not beat 64-bin fit {fine}"
+    );
+}
+
+#[test]
+fn regression_exact_consistency_on_allstate_shape() {
+    let t = PaperDataset::Allstate.generate(3e-4, 51);
+    let all: Vec<usize> = (0..t.n_attrs()).collect();
+    let params = TrainParams::for_task(Task::Regression);
+    let local = train_tree(&t, &all, &params, 0).canonicalize();
+
+    let (ygg, _) = YggdrasilTrainer::new(YggdrasilConfig {
+        impurity: Impurity::Variance,
+        ..Default::default()
+    })
+    .train_tree(&t, &all);
+    assert_eq!(local, ygg.canonicalize(), "regression with missing values");
+}
+
+#[test]
+fn all_paper_dataset_shapes_train_on_every_system() {
+    // Smoke: each Table I shape flows through TreeServer, MLlib-style and
+    // the local trainer without panics, with matching tasks.
+    for d in PaperDataset::ALL {
+        let t = d.generate(1e-4, 3);
+        let (train, test) = t.train_test_split(0.8, 1);
+        let cluster = Cluster::launch(
+            ClusterConfig { n_workers: 2, compers_per_worker: 2, tau_d: 500, ..Default::default() },
+            &train,
+        );
+        let model = cluster.train(JobSpec::decision_tree(train.schema().task).with_dmax(5));
+        cluster.shutdown();
+        let planet = PlanetTrainer::new(PlanetConfig {
+            dmax: 5,
+            impurity: if train.schema().task.is_classification() {
+                Impurity::Gini
+            } else {
+                Impurity::Variance
+            },
+            ..Default::default()
+        });
+        let all: Vec<usize> = (0..train.n_attrs()).collect();
+        let (pm, _) = planet.train_tree(&train, &all);
+        // Both models predict over the test set without panicking.
+        match train.schema().task {
+            Task::Regression => {
+                let _ = model.into_tree().predict_values(&test);
+                let _ = pm.predict_values(&test);
+            }
+            Task::Classification { .. } => {
+                let _ = model.into_tree().predict_labels(&test);
+                let _ = pm.predict_labels(&test);
+            }
+        }
+    }
+}

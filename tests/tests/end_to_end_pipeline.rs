@@ -1,0 +1,102 @@
+//! End-to-end integration: CSV ingestion → DFS staging → cluster training →
+//! prediction → model persistence, crossing every crate boundary.
+
+use treeserver::{Cluster, ClusterConfig, JobSpec};
+use ts_datatable::csv::{parse_csv, write_csv, TaskKind};
+use ts_datatable::metrics::accuracy;
+use ts_datatable::synth::{generate, SynthSpec};
+use ts_dfs::{Dfs, DfsConfig};
+use ts_tree::{train_tree, DecisionTreeModel, TrainParams};
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("ts-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn csv_to_dfs_to_cluster_to_model_file() {
+    // 1. Generate data and serialise it as CSV (the user-facing format).
+    let source = generate(&SynthSpec {
+        rows: 3_000,
+        numeric: 4,
+        categorical: 2,
+        cat_cardinality: 5,
+        noise: 0.05,
+        concept_depth: 4,
+        seed: 31,
+        ..Default::default()
+    });
+    let csv_text = write_csv(&source);
+
+    // 2. Re-ingest the CSV (type inference) and stage it in the DFS with the
+    //    column-group x row-group layout.
+    let table = parse_csv(&csv_text, "__target__", TaskKind::Classification).unwrap();
+    assert_eq!(table.n_rows(), source.n_rows());
+    let (train, test) = table.train_test_split(0.8, 2);
+    let dfs = Dfs::new(DfsConfig::local(tmp("pipeline"))).unwrap();
+    dfs.put_table("train", &train, 2, 1_000).unwrap();
+
+    // 3. Launch a cluster from the DFS and train.
+    let cfg = ClusterConfig {
+        n_workers: 3,
+        compers_per_worker: 2,
+        tau_d: 400,
+        tau_dfs: 1_600,
+        ..Default::default()
+    };
+    let cluster = Cluster::launch_from_dfs(cfg, &dfs, "train").unwrap();
+    let tree = cluster.train(JobSpec::decision_tree(train.schema().task)).into_tree();
+    let forest = cluster
+        .train(JobSpec::random_forest(train.schema().task, 5).with_seed(4))
+        .into_forest();
+    cluster.shutdown();
+
+    // 4. The exactness guarantee holds across the whole pipeline.
+    let reference = train_tree(
+        &train,
+        &(0..train.n_attrs()).collect::<Vec<_>>(),
+        &TrainParams::for_task(train.schema().task),
+        0,
+    );
+    assert_eq!(tree.canonicalize(), reference.canonicalize());
+
+    // 5. Predictions are sane and the model survives a disk round-trip.
+    let acc = accuracy(&forest.predict_labels(&test), test.labels().as_class().unwrap());
+    assert!(acc > 0.6, "forest accuracy {acc}");
+    let path = std::env::temp_dir().join(format!("ts-e2e-model-{}.json", std::process::id()));
+    std::fs::write(&path, tree.to_json()).unwrap();
+    let loaded = DecisionTreeModel::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(loaded, tree);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn dfs_row_groups_serve_row_parallel_jobs() {
+    // The deep-forest-style companion jobs read row-groups; check a full
+    // row-partitioned traversal agrees with the columnar view.
+    let table = generate(&SynthSpec { rows: 1_000, numeric: 3, seed: 5, ..Default::default() });
+    let dfs = Dfs::new(DfsConfig::local(tmp("rows"))).unwrap();
+    let meta = dfs.put_table("d", &table, 2, 128).unwrap();
+    let dt = dfs.open("d").unwrap();
+    let mut rows_seen = 0usize;
+    for rg in 0..meta.n_row_groups() {
+        let cols = dt.load_row_group(rg).unwrap();
+        assert_eq!(cols.len(), table.n_attrs());
+        let range = meta.row_group_rows(rg);
+        for (local, global) in range.clone().enumerate() {
+            for (a, col) in cols.iter().enumerate() {
+                let got = col.value(local);
+                let want = table.value(global, a);
+                match (got, want) {
+                    (ts_datatable::Value::Num(x), ts_datatable::Value::Num(y)) => {
+                        assert_eq!(x.to_bits(), y.to_bits())
+                    }
+                    (g, w) => assert_eq!(format!("{g:?}"), format!("{w:?}")),
+                }
+            }
+        }
+        rows_seen += range.len();
+    }
+    assert_eq!(rows_seen, 1_000);
+}

@@ -1,0 +1,94 @@
+//! Workspace-level property tests: randomised cluster shapes and datasets
+//! must never break the engine's core invariants.
+
+use proptest::prelude::*;
+use treeserver::{Cluster, ClusterConfig, JobSpec};
+use ts_datatable::synth::{generate, SynthSpec};
+use ts_datatable::Task;
+use ts_tree::{train_tree, TrainParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// THE invariant: any cluster shape trains the same exact tree as the
+    /// local trainer, on randomly-shaped data.
+    #[test]
+    fn any_cluster_shape_is_exact(
+        rows in 300usize..1_500,
+        numeric in 1usize..5,
+        categorical in 0usize..3,
+        workers in 1usize..5,
+        compers in 1usize..4,
+        tau_d_frac in 2u64..40,
+        data_seed in 0u64..1_000,
+    ) {
+        let t = generate(&SynthSpec {
+            rows,
+            numeric,
+            categorical,
+            cat_cardinality: 5,
+            noise: 0.1,
+            concept_depth: 4,
+            seed: data_seed,
+            ..Default::default()
+        });
+        let cfg = ClusterConfig {
+            n_workers: workers,
+            compers_per_worker: compers,
+            replication: 2.min(workers),
+            tau_d: (rows as u64 / tau_d_frac).max(2),
+            tau_dfs: (rows as u64 / tau_d_frac).max(2) * 3,
+            ..Default::default()
+        };
+        let cluster = Cluster::launch(cfg, &t);
+        let model = cluster
+            .train(JobSpec::decision_tree(t.schema().task).with_dmax(6))
+            .into_tree();
+        cluster.shutdown();
+
+        let params = TrainParams { dmax: 6, ..TrainParams::for_task(t.schema().task) };
+        let reference = train_tree(&t, &(0..t.n_attrs()).collect::<Vec<_>>(), &params, 0);
+        prop_assert_eq!(model.canonicalize(), reference.canonicalize());
+    }
+
+    /// Tree structural invariants hold for any trained model: children
+    /// partition parents, depths increase by one, predictions exist.
+    #[test]
+    fn trained_tree_structural_invariants(
+        rows in 200usize..1_000,
+        seed in 0u64..500,
+        regression in any::<bool>(),
+    ) {
+        let t = generate(&SynthSpec {
+            rows,
+            numeric: 4,
+            categorical: 1,
+            task: if regression { Task::Regression } else { Task::Classification { n_classes: 3 } },
+            seed,
+            ..Default::default()
+        });
+        let cluster = Cluster::launch(
+            ClusterConfig { n_workers: 2, compers_per_worker: 2, tau_d: 100, tau_dfs: 400, ..Default::default() },
+            &t,
+        );
+        let model = cluster.train(JobSpec::decision_tree(t.schema().task)).into_tree();
+        cluster.shutdown();
+
+        prop_assert_eq!(model.nodes[0].n_rows, rows as u64, "root covers all rows");
+        for (i, n) in model.nodes.iter().enumerate() {
+            if let Some((_, l, r)) = &n.split {
+                prop_assert!(*l > i && *r > i);
+                prop_assert_eq!(
+                    model.nodes[*l].n_rows + model.nodes[*r].n_rows,
+                    n.n_rows
+                );
+                prop_assert_eq!(model.nodes[*l].depth, n.depth + 1);
+                prop_assert_eq!(model.nodes[*r].depth, n.depth + 1);
+            }
+        }
+        // Every row routes to *some* prediction without panicking.
+        for row in 0..t.n_rows().min(50) {
+            let _ = model.predict_row(&t, row, u32::MAX);
+        }
+    }
+}

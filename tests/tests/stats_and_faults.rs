@@ -1,0 +1,128 @@
+//! Cluster statistics invariants and fault-tolerance scenarios across
+//! crates.
+
+use treeserver::{Cluster, ClusterConfig, JobSpec};
+use ts_datatable::metrics::accuracy;
+use ts_datatable::synth::{generate, SynthSpec};
+use ts_datatable::DataTable;
+
+fn sample(rows: usize, seed: u64) -> DataTable {
+    generate(&SynthSpec {
+        rows,
+        numeric: 6,
+        categorical: 1,
+        noise: 0.05,
+        concept_depth: 5,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn cfg(workers: usize) -> ClusterConfig {
+    ClusterConfig {
+        n_workers: workers,
+        compers_per_worker: 2,
+        replication: 2.min(workers),
+        tau_d: 300,
+        tau_dfs: 1_200,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn bytes_sent_equal_bytes_received_cluster_wide() {
+    let t = sample(2_000, 61);
+    let cluster = Cluster::launch(cfg(4), &t);
+    let _ = cluster.train(JobSpec::random_forest(t.schema().task, 4).with_seed(1));
+    // Snapshot while everything is quiesced (job done, nothing else sends).
+    let report = cluster.report();
+    cluster.shutdown();
+    let sent: u64 = report.per_node.iter().map(|s| s.sent_bytes).sum();
+    let recv: u64 = report.per_node.iter().map(|s| s.recv_bytes).sum();
+    assert_eq!(sent, recv, "conservation of bytes across the fabric");
+    let sent_msgs: u64 = report.per_node.iter().map(|s| s.sent_msgs).sum();
+    let recv_msgs: u64 = report.per_node.iter().map(|s| s.recv_msgs).sum();
+    assert_eq!(sent_msgs, recv_msgs);
+}
+
+#[test]
+fn busy_time_is_recorded_for_all_workers() {
+    let t = sample(3_000, 67);
+    let cluster = Cluster::launch(cfg(3), &t);
+    let _ = cluster.train(JobSpec::random_forest(t.schema().task, 6).with_seed(2));
+    let report = cluster.report();
+    cluster.shutdown();
+    for (w, snap) in report.per_node.iter().enumerate().skip(1) {
+        assert!(snap.busy_ns > 0, "worker {w} never computed");
+        assert!(snap.mem_peak > 0, "worker {w} tracked no memory");
+    }
+    // The master computes nothing itself ("dedicated to task management").
+    assert_eq!(report.per_node[0].busy_ns, 0);
+}
+
+#[test]
+fn crash_of_each_worker_in_turn_recovers() {
+    let t = sample(2_000, 71);
+    for victim in 1..=3usize {
+        let cluster = Cluster::launch(cfg(3), &t);
+        let h = cluster.submit(JobSpec::random_forest(t.schema().task, 4).with_seed(3));
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        cluster.kill_worker(victim);
+        let f = cluster.wait(h).into_forest();
+        cluster.shutdown();
+        assert_eq!(f.n_trees(), 4, "victim {victim}");
+        let acc = accuracy(&f.predict_labels(&t), t.labels().as_class().unwrap());
+        assert!(acc > 0.6, "victim {victim}: accuracy {acc}");
+    }
+}
+
+#[test]
+fn crash_before_submission_still_trains() {
+    let t = sample(1_500, 73);
+    let cluster = Cluster::launch(cfg(4), &t);
+    cluster.kill_worker(2);
+    let f = cluster
+        .train(JobSpec::random_forest(t.schema().task, 3).with_seed(5))
+        .into_forest();
+    cluster.shutdown();
+    assert_eq!(f.n_trees(), 3);
+}
+
+#[test]
+fn jobs_submitted_after_crash_use_replicas() {
+    let t = sample(1_500, 79);
+    let cluster = Cluster::launch(cfg(3), &t);
+    let before = cluster
+        .train(JobSpec::decision_tree(t.schema().task))
+        .into_tree();
+    cluster.kill_worker(1);
+    let after = cluster
+        .train(JobSpec::decision_tree(t.schema().task))
+        .into_tree();
+    cluster.shutdown();
+    // Exactness is scheduling-independent, so the crash must not change the
+    // model either.
+    assert_eq!(before.canonicalize(), after.canonicalize());
+}
+
+#[test]
+fn memory_watermark_grows_with_npool() {
+    let t = sample(6_000, 83);
+    let peak_at = |n_pool: usize| {
+        let mut c = cfg(3);
+        c.n_pool = n_pool;
+        let cluster = Cluster::launch(c, &t);
+        let _ = cluster.train(JobSpec::random_forest(t.schema().task, 8).with_seed(6));
+        let report = cluster.report();
+        cluster.shutdown();
+        report.avg_peak_mem_bytes
+    };
+    let p1 = peak_at(1);
+    let p8 = peak_at(8);
+    // More concurrent trees hold more task data; column storage dominates,
+    // so the growth is modest but must not be negative beyond noise.
+    assert!(
+        p8 >= p1 * 0.95,
+        "peak memory shrank with larger pool: {p1} -> {p8}"
+    );
+}
