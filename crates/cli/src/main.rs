@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 use std::process::ExitCode;
-use treeserver::{train_gbt, Cluster, ClusterConfig, GbtConfig, JobResult, JobSpec};
+use treeserver::{train_gbt_on, Cluster, ClusterConfig, GbtConfig, JobResult, JobSpec};
 use ts_datatable::csv::{parse_csv, TaskKind};
 use ts_datatable::metrics::{accuracy, rmse};
 use ts_datatable::{DataTable, Task};
@@ -54,12 +54,25 @@ usage:
   treeserver train      --csv FILE --target COL --task class|reg
                         [--model dt|rf|etc|gbt] [--trees N] [--dmax D]
                         [--workers W] [--compers C] [--seed S] [--out FILE]
+                        [--trace-out FILE] [--metrics-json FILE]
+                        [--quiet] [--verbose]
   treeserver predict    --model FILE --csv FILE --target COL --task class|reg
                         [--out FILE]
   treeserver importance --model FILE [--top K]
-  treeserver show       --model FILE [--tree N]";
+  treeserver show       --model FILE [--tree N]
 
-/// Parsed `--key value` options.
+observability (train):
+  --trace-out FILE      write a Chrome trace-event JSON (open in Perfetto or
+                        chrome://tracing) of the run's task lifecycle
+  --metrics-json FILE   write the metrics registry (counters + histograms)
+                        as JSON alongside the cluster report
+  --quiet               suppress all non-error output
+  --verbose             also print event/metric totals after training";
+
+/// Options that take no value.
+const FLAGS: &[&str] = &["quiet", "verbose"];
+
+/// Parsed `--key value` options (plus valueless flags).
 struct Opts(HashMap<String, String>);
 
 impl Opts {
@@ -70,12 +83,20 @@ impl Opts {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(format!("expected --option, got {key:?}"));
             };
+            if FLAGS.contains(&name) {
+                map.insert(name.to_string(), "true".to_string());
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| format!("--{name} needs a value"))?;
             map.insert(name.to_string(), value.clone());
         }
         Ok(Opts(map))
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.0.contains_key(name)
     }
 
     fn required(&self, name: &str) -> Result<&str, String> {
@@ -135,25 +156,44 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
     if !["dt", "rf", "etc", "gbt"].contains(&kind) {
         return Err(format!("--model must be dt|rf|etc|gbt, got {kind:?}"));
     }
+    let quiet = opts.flag("quiet");
+    let verbose = opts.flag("verbose");
+    if quiet && verbose {
+        return Err("--quiet and --verbose are mutually exclusive".into());
+    }
+    let trace_out = opts.get("trace-out").map(str::to_string);
+    let metrics_out = opts.get("metrics-json").map(str::to_string);
+
     let table = load_table(opts)?;
     let task = table.schema().task;
     let trees = opts.num("trees", 20usize)?;
     let dmax = opts.num("dmax", 10u32)?;
     let seed = opts.num("seed", 0u64)?;
-    let cfg = cluster_config(opts, table.n_rows())?;
-    eprintln!(
-        "training {kind} on {} rows x {} attrs ({} workers x {} compers)",
-        table.n_rows(),
-        table.n_attrs(),
-        cfg.n_workers,
-        cfg.compers_per_worker
-    );
+    let mut cfg = cluster_config(opts, table.n_rows())?;
+    if trace_out.is_some() || metrics_out.is_some() || verbose {
+        cfg.obs = treeserver::obs::ObsConfig::enabled();
+    }
+    if !quiet {
+        eprintln!(
+            "training {kind} on {} rows x {} attrs ({} workers x {} compers)",
+            table.n_rows(),
+            table.n_attrs(),
+            cfg.n_workers,
+            cfg.compers_per_worker
+        );
+    }
     let start = std::time::Instant::now();
+    // GBT retrains on residual views each round, so the cluster is launched
+    // over a regression view of the table; everything else trains in place.
+    let cluster = if kind == "gbt" {
+        let view = treeserver::gbt::regression_view(&table, vec![0.0; table.n_rows()]);
+        Cluster::launch(cfg, &view)
+    } else {
+        Cluster::launch(cfg, &table)
+    };
     let model = match kind {
         "dt" => {
-            let cluster = Cluster::launch(cfg, &table);
             let m = cluster.train(JobSpec::decision_tree(task).with_dmax(dmax).with_seed(seed));
-            cluster.shutdown();
             match m {
                 JobResult::Tree(t) => ModelFile::Tree(t),
                 JobResult::Forest(_) => unreachable!("decision tree job"),
@@ -165,34 +205,67 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
             } else {
                 JobSpec::extra_trees(task, trees)
             };
-            let cluster = Cluster::launch(cfg, &table);
-            let m = cluster.train(spec.with_dmax(dmax).with_seed(seed));
-            cluster.shutdown();
-            ModelFile::Forest(m.into_forest())
+            ModelFile::Forest(cluster.train(spec.with_dmax(dmax).with_seed(seed)).into_forest())
         }
         "gbt" => {
             let gbt_cfg = GbtConfig::for_task(task).with_rounds(trees).with_dmax(dmax.min(8));
-            ModelFile::Gbt(train_gbt(cfg, &table, gbt_cfg))
+            ModelFile::Gbt(train_gbt_on(&cluster, &table, gbt_cfg))
         }
         other => return Err(format!("--model must be dt|rf|etc|gbt, got {other:?}")),
     };
-    eprintln!("trained in {:.2?}", start.elapsed());
+    let elapsed = start.elapsed();
+
+    // Export observability artifacts before tearing the cluster down.
+    if let Some(rec) = cluster.obs() {
+        if let Some(path) = &trace_out {
+            std::fs::write(path, rec.chrome_trace_json())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            if !quiet {
+                eprintln!("trace written to {path} (load in Perfetto or chrome://tracing)");
+            }
+        }
+        if let Some(path) = &metrics_out {
+            std::fs::write(path, rec.metrics_json())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            if !quiet {
+                eprintln!("metrics written to {path}");
+            }
+        }
+        if verbose {
+            eprintln!(
+                "observed {} events ({} lost to ring overflow)",
+                rec.events_total(),
+                rec.events_lost()
+            );
+        }
+    }
+    let report = cluster.shutdown();
+    if !quiet {
+        eprintln!("trained in {elapsed:.2?}");
+        eprint!("{report}");
+    }
 
     // Training-set fit as a quick sanity line.
     match task {
         Task::Classification { .. } => {
             let acc = accuracy(&model.predict_labels(&table)?, table.labels().as_class().unwrap());
-            eprintln!("training accuracy: {:.2}%", acc * 100.0);
+            if !quiet {
+                eprintln!("training accuracy: {:.2}%", acc * 100.0);
+            }
         }
         Task::Regression => {
             let r = rmse(&model.predict_values(&table)?, table.labels().as_real().unwrap());
-            eprintln!("training RMSE: {r:.4}");
+            if !quiet {
+                eprintln!("training RMSE: {r:.4}");
+            }
         }
     }
 
     let out = opts.get("out").unwrap_or("model.json");
     std::fs::write(out, model.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
-    eprintln!("model written to {out}");
+    if !quiet {
+        eprintln!("model written to {out}");
+    }
     Ok(())
 }
 

@@ -16,7 +16,7 @@ use ts_datatable::{DataTable, Task};
 use ts_netsim::{Fabric, NetStats, NodeId};
 
 /// Summary statistics of a cluster run, in the units the paper reports.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct ClusterReport {
     /// Wall-clock since launch.
     pub elapsed: Duration,
@@ -31,6 +31,50 @@ pub struct ClusterReport {
     pub avg_peak_mem_bytes: f64,
     /// Per-machine snapshots (index 0 = master).
     pub per_node: Vec<ts_netsim::NodeSnapshot>,
+}
+
+impl ClusterReport {
+    /// Builds a report from raw statistics. Worker averages are over
+    /// machines `1..n`; with no workers they are 0, not NaN.
+    pub fn from_stats(stats: &NetStats, elapsed: Duration) -> ClusterReport {
+        let per_node = stats.snapshot_all();
+        let n_workers = per_node.len().saturating_sub(1);
+        let avg = |f: &dyn Fn(usize) -> f64| {
+            if n_workers == 0 {
+                0.0
+            } else {
+                (1..per_node.len()).map(f).sum::<f64>() / n_workers as f64
+            }
+        };
+        ClusterReport {
+            elapsed,
+            avg_cpu_percent: avg(&|w| stats.cpu_percent(w, elapsed)),
+            avg_send_mbps: avg(&|w| stats.send_mbps(w, elapsed)),
+            master_sent_bytes: per_node.first().map_or(0, |m| m.sent_bytes),
+            avg_peak_mem_bytes: avg(&|w| per_node[w].mem_peak as f64),
+            per_node,
+        }
+    }
+}
+
+impl std::fmt::Display for ClusterReport {
+    /// A human-readable table in the paper's units (Table VI columns:
+    /// elapsed, CPU rate, send throughput, master outbound, peak memory).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "cluster report ({} machines, master + {} workers)",
+            self.per_node.len(),
+            self.per_node.len().saturating_sub(1))?;
+        writeln!(f, "  elapsed          {:>10.2?}", self.elapsed)?;
+        writeln!(f, "  avg worker CPU   {:>10.1} %", self.avg_cpu_percent)?;
+        writeln!(f, "  avg worker send  {:>10.2} Mbps", self.avg_send_mbps)?;
+        writeln!(f, "  master sent      {:>10.2} MB", self.master_sent_bytes as f64 / 1e6)?;
+        writeln!(f, "  avg peak mem     {:>10.2} MB", self.avg_peak_mem_bytes / 1e6)?;
+        for (i, snap) in self.per_node.iter().enumerate() {
+            let name = if i == 0 { "master ".to_string() } else { format!("worker{i}") };
+            writeln!(f, "  {name}  {snap}")?;
+        }
+        Ok(())
+    }
 }
 
 /// A running TreeServer cluster.
@@ -64,6 +108,10 @@ impl Cluster {
         cfg.validate();
         let n_nodes = cfg.n_workers + 1;
         let stats = NetStats::new(n_nodes);
+        #[cfg(feature = "obs")]
+        if cfg.obs.enabled {
+            stats.set_recorder(Arc::new(ts_obs::Recorder::new(n_nodes, &cfg.obs)));
+        }
         let (fabric_task, mut task_rxs) =
             Fabric::<TaskMsg>::new(n_nodes, cfg.net, Arc::clone(&stats));
         let (fabric_data, mut data_rxs) =
@@ -245,31 +293,16 @@ impl Cluster {
         &self.stats
     }
 
+    /// The attached event recorder, when `ClusterConfig::obs.enabled` was
+    /// set at launch.
+    #[cfg(feature = "obs")]
+    pub fn obs(&self) -> Option<&Arc<ts_obs::Recorder>> {
+        self.stats.recorder()
+    }
+
     /// A point-in-time report in the paper's units.
     pub fn report(&self) -> ClusterReport {
-        let elapsed = self.launched.elapsed();
-        let per_node = self.stats.snapshot_all();
-        let n_workers = per_node.len() - 1;
-        let avg_cpu = (1..per_node.len())
-            .map(|w| self.stats.cpu_percent(w, elapsed))
-            .sum::<f64>()
-            / n_workers as f64;
-        let avg_send = (1..per_node.len())
-            .map(|w| self.stats.send_mbps(w, elapsed))
-            .sum::<f64>()
-            / n_workers as f64;
-        let avg_peak_mem = (1..per_node.len())
-            .map(|w| per_node[w].mem_peak as f64)
-            .sum::<f64>()
-            / n_workers as f64;
-        ClusterReport {
-            elapsed,
-            avg_cpu_percent: avg_cpu,
-            avg_send_mbps: avg_send,
-            master_sent_bytes: per_node[0].sent_bytes,
-            avg_peak_mem_bytes: avg_peak_mem,
-            per_node,
-        }
+        ClusterReport::from_stats(&self.stats, self.launched.elapsed())
     }
 
     /// Stops every machine and returns the final report. All submitted jobs
@@ -285,5 +318,42 @@ impl Cluster {
             let _ = h.join();
         }
         report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_with_zero_workers_is_finite() {
+        // Regression: the worker averages used to divide by per_node.len()-1
+        // and return NaN for a master-only stats set.
+        let stats = NetStats::new(1);
+        let r = ClusterReport::from_stats(&stats, Duration::ZERO);
+        assert_eq!(r.avg_cpu_percent, 0.0);
+        assert_eq!(r.avg_send_mbps, 0.0);
+        assert_eq!(r.avg_peak_mem_bytes, 0.0);
+        assert!(r.avg_cpu_percent.is_finite());
+        assert_eq!(r.per_node.len(), 1);
+
+        let empty = ClusterReport::from_stats(&NetStats::new(0), Duration::ZERO);
+        assert_eq!(empty.master_sent_bytes, 0);
+        assert!(empty.avg_peak_mem_bytes.is_finite());
+    }
+
+    #[test]
+    fn report_serializes_and_displays() {
+        let stats = NetStats::new(3);
+        stats.record_send(0, 1, 1_000);
+        stats.add_busy(1, Duration::from_millis(5));
+        let r = ClusterReport::from_stats(&stats, Duration::from_secs(1));
+        let json = serde_json::to_string(&r).expect("report serializes");
+        assert!(json.contains("\"per_node\""), "{json}");
+        assert!(json.contains("\"master_sent_bytes\":1000"), "{json}");
+        let text = r.to_string();
+        assert!(text.contains("master"), "{text}");
+        assert!(text.contains("worker2"), "{text}");
+        assert!(text.contains("Mbps"), "{text}");
     }
 }

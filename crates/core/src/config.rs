@@ -45,6 +45,11 @@ pub struct ClusterConfig {
     /// overlaps across real cores, so scalability shapes survive the
     /// substitution (DESIGN.md §2).
     pub work_ns_per_unit: u64,
+    /// Observability: task-lifecycle tracing and metrics (see
+    /// `docs/OBSERVABILITY.md`). Off by default; `Cluster::launch` builds a
+    /// recorder only when `obs.enabled` is set.
+    #[cfg(feature = "obs")]
+    pub obs: ts_obs::ObsConfig,
 }
 
 impl Default for ClusterConfig {
@@ -60,6 +65,8 @@ impl Default for ClusterConfig {
             poll_sleep: Duration::from_micros(100),
             model_dir: None,
             work_ns_per_unit: 0,
+            #[cfg(feature = "obs")]
+            obs: ts_obs::ObsConfig::default(),
         }
     }
 }

@@ -206,6 +206,7 @@ pub fn train_gbt_on(cluster: &Cluster, table: &DataTable, cfg: GbtConfig) -> Gbt
 
     let mut trees = Vec::with_capacity(cfg.n_rounds);
     for round in 0..cfg.n_rounds {
+        obs_event!(cluster.stats(), 0, ts_obs::Event::GbtRound { round: round as u32 });
         // Canonical node order makes the whole model deterministic (the
         // cluster's arena order depends on result arrival, the tree itself
         // does not).
@@ -223,8 +224,11 @@ pub fn train_gbt_on(cluster: &Cluster, table: &DataTable, cfg: GbtConfig) -> Gbt
     GbtModel { trees, base, eta: cfg.eta, objective: cfg.objective }
 }
 
-/// The regression view: same columns, residuals as `Y`.
-fn regression_view(table: &DataTable, residuals: Vec<f64>) -> DataTable {
+/// The regression view: same columns, residuals as `Y`. Public so callers
+/// that launch their own cluster (e.g. the CLI, which needs the cluster
+/// handle for reports and trace export) can prepare the launch table the
+/// same way [`train_gbt`] does.
+pub fn regression_view(table: &DataTable, residuals: Vec<f64>) -> DataTable {
     let schema = ts_datatable::Schema::new(table.schema().attrs.clone(), Task::Regression);
     DataTable::new(schema, table.columns().to_vec(), Labels::Real(residuals))
 }

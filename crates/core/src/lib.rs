@@ -39,6 +39,35 @@
 //! `ts-tree` — scheduling only changes *when* work happens, never *what* is
 //! computed.
 
+/// Records a task-lifecycle event on a machine's ring.
+///
+/// `$stats` is a `&NetStats` (everything in the engine already holds one),
+/// `$node` the observing machine id, and `$event` a `ts_obs::Event`
+/// expression. With the `obs` feature compiled in, this is a recorder
+/// lookup (`OnceLock` load) and, only when one is attached, an event
+/// record; with the feature off it expands to nothing — the argument
+/// tokens are discarded unexpanded, so call sites carry zero cost and no
+/// `ts_obs` dependency.
+#[cfg(feature = "obs")]
+#[macro_export]
+macro_rules! obs_event {
+    ($stats:expr, $node:expr, $event:expr) => {
+        if let Some(__rec) = $stats.recorder() {
+            __rec.record($node as u32, $event);
+        }
+    };
+}
+
+/// Feature-off expansion: nothing.
+#[cfg(not(feature = "obs"))]
+#[macro_export]
+macro_rules! obs_event {
+    ($stats:expr, $node:expr, $event:expr) => {};
+}
+
+#[cfg(feature = "obs")]
+pub use ts_obs as obs;
+
 pub mod assign;
 pub mod cluster;
 pub mod config;

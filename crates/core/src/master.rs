@@ -32,6 +32,8 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use ts_datatable::Task;
+#[cfg(feature = "obs")]
+use ts_netsim::WireSized;
 use ts_netsim::{Fabric, NodeId};
 use ts_splits::exact::ColumnSplit;
 use ts_splits::impurity::NodeStats;
@@ -70,6 +72,9 @@ struct MasterTask {
     path: u64,
     charges: Vec<(NodeId, [u64; 3])>,
     kind: TaskKind,
+    /// Dispatch time, for the master-side task-latency histograms.
+    #[cfg(feature = "obs")]
+    started: std::time::Instant,
 }
 
 #[allow(clippy::large_enum_variant)] // Column is the hot variant; boxing it costs more
@@ -195,6 +200,8 @@ impl Master {
         for (index, spec) in trees.into_iter().enumerate() {
             reg.queue.push_back(QueuedTree { job: job_id, index, spec });
         }
+        drop(reg);
+        obs_event!(self.fabric.stats(), 0, ts_obs::Event::JobSubmitted { job: job_id });
         (JobHandle(job_id), rx)
     }
 
@@ -234,11 +241,29 @@ impl Master {
 
     /// Inserts a plan into `Bplan` per the hybrid BFS/DFS rule.
     fn enqueue_plan(&self, desc: PlanDesc) {
+        let head = desc.n_rows <= self.cfg.tau_dfs;
+        #[cfg(feature = "obs")]
+        let (depth, rows) = (desc.depth, desc.n_rows);
         let mut bplan = self.bplan.lock();
-        if desc.n_rows <= self.cfg.tau_dfs {
+        if head {
             bplan.push_front(desc);
         } else {
             bplan.push_back(desc);
+        }
+        #[cfg(feature = "obs")]
+        {
+            let qlen = bplan.len() as u32;
+            drop(bplan);
+            obs_event!(
+                self.fabric.stats(),
+                0,
+                ts_obs::Event::BplanPush {
+                    end: if head { ts_obs::DequeEnd::Head } else { ts_obs::DequeEnd::Tail },
+                    depth,
+                    rows,
+                    qlen,
+                }
+            );
         }
     }
 
@@ -343,6 +368,8 @@ impl Master {
                     path: desc.path,
                     charges: asg.charges.clone(),
                     kind: TaskKind::Subtree,
+                    #[cfg(feature = "obs")]
+                    started: std::time::Instant::now(),
                 },
             );
             if let ParentRef::Node { worker, task: ptask, side } = desc.parent {
@@ -404,6 +431,8 @@ impl Master {
                         best: None,
                         node_stats: None,
                     },
+                    #[cfg(feature = "obs")]
+                    started: std::time::Instant::now(),
                 },
             );
             if let ParentRef::Node { worker, task: ptask, side } = desc.parent {
@@ -445,6 +474,8 @@ impl Master {
                         best: None,
                         node_stats: None,
                     },
+                    #[cfg(feature = "obs")]
+                    started: std::time::Instant::now(),
                 },
             );
             if let ParentRef::Node { worker, task: ptask, side } = desc.parent {
@@ -474,6 +505,29 @@ impl Master {
             }
         }
         for (to, msg) in msgs {
+            #[cfg(feature = "obs")]
+            if let Some(rec) = self.fabric.stats().recorder() {
+                match &msg {
+                    TaskMsg::ColumnPlan(p) => rec.record(
+                        0,
+                        ts_obs::Event::ColumnTaskDispatched {
+                            task: p.task.0,
+                            node: to as u32,
+                            cols: p.cols.len() as u32,
+                            bytes: msg.wire_bytes() as u64,
+                        },
+                    ),
+                    TaskMsg::SubtreePlan(p) => rec.record(
+                        0,
+                        ts_obs::Event::SubtreeTaskDelegated {
+                            task: p.task.0,
+                            key_worker: to as u32,
+                            rows: p.n_rows,
+                        },
+                    ),
+                    _ => {}
+                }
+            }
             let _ = self.fabric.send(0, to, msg);
         }
     }
@@ -489,14 +543,21 @@ impl Master {
                 TaskMsg::ColumnResult { task, worker, best, node_stats } => {
                     self.on_column_result(task, worker, best, node_stats)
                 }
-                TaskMsg::SubtreeResult { task, subtree, .. } => {
-                    self.on_subtree_result(task, subtree)
+                TaskMsg::SubtreeResult { task, worker, subtree } => {
+                    self.on_subtree_result(task, worker, subtree)
                 }
                 TaskMsg::ReplicateDone { attrs, worker } => {
-                    let mut colmap = self.colmap.lock();
-                    for a in attrs {
-                        colmap.add_holder(a, worker);
+                    {
+                        let mut colmap = self.colmap.lock();
+                        for a in attrs {
+                            colmap.add_holder(a, worker);
+                        }
                     }
+                    obs_event!(
+                        self.fabric.stats(),
+                        0,
+                        ts_obs::Event::WorkerRecovered { node: worker as u32 }
+                    );
                 }
                 TaskMsg::Shutdown => return,
                 _ => unreachable!("worker-bound message delivered to the master"),
@@ -516,6 +577,15 @@ impl Master {
             let Some(entry) = ttask.get_mut(&task) else {
                 return; // revoked
             };
+            obs_event!(
+                self.fabric.stats(),
+                0,
+                ts_obs::Event::ColumnTaskCompleted {
+                    task: task.0,
+                    node: worker as u32,
+                    latency_ns: entry.started.elapsed().as_nanos() as u64,
+                }
+            );
             let TaskKind::Column { pending, best: stored, node_stats: stats_slot, .. } =
                 &mut entry.kind
             else {
@@ -597,6 +667,16 @@ impl Master {
             }
             return;
         };
+        obs_event!(
+            self.fabric.stats(),
+            0,
+            ts_obs::Event::SplitChosen {
+                task: task.0,
+                node: winner as u32,
+                attr: best.attr as u32,
+                gain: best.split.gain,
+            }
+        );
 
         // Winner path: update the tree, create children.
         let mut quota_zero_sides: Vec<Side> = Vec::new();
@@ -696,11 +776,22 @@ impl Master {
         }
     }
 
-    fn on_subtree_result(&self, task: TaskId, subtree: DecisionTreeModel) {
+    #[cfg_attr(not(feature = "obs"), allow(unused_variables))]
+    fn on_subtree_result(&self, task: TaskId, worker: NodeId, subtree: DecisionTreeModel) {
         let Some(entry) = self.ttask.lock().remove(&task) else {
             return; // revoked
         };
         self.mwork.lock().deduct(&entry.charges);
+        obs_event!(
+            self.fabric.stats(),
+            0,
+            ts_obs::Event::SubtreeTaskBuilt {
+                task: task.0,
+                node: worker as u32,
+                nodes: subtree.n_nodes() as u32,
+                latency_ns: entry.started.elapsed().as_nanos() as u64,
+            }
+        );
         let done_tree = {
             let mut reg = self.registry.lock();
             let Some(tree) = reg.active.get_mut(&entry.tree) else { return };
@@ -745,6 +836,9 @@ impl Master {
                     ts_tree::ForestModel::new(models, self.data_task()),
                 ),
             };
+            // Record before notifying: `Cluster::wait` returns on the send,
+            // and observers may snapshot the rings immediately after.
+            obs_event!(self.fabric.stats(), 0, ts_obs::Event::JobFinished { job: tree.job });
             let _ = job.notify.send(result);
         }
     }
@@ -757,6 +851,7 @@ impl Master {
     /// replicas and restarts every in-flight tree (completed trees are
     /// unaffected). See DESIGN.md §7 for the tree-granularity note.
     pub fn handle_worker_crash(&self, dead: NodeId) {
+        obs_event!(self.fabric.stats(), 0, ts_obs::Event::WorkerCrashed { node: dead as u32 });
         // 1. Membership.
         self.workers.lock().retain(|&w| w != dead);
         let live = self.workers.lock().clone();
@@ -816,16 +911,9 @@ impl Master {
         }
         self.ttask.lock().clear();
         self.mwork.lock().clear();
-        {
-            let mut bplan = self.bplan.lock();
-            bplan.clear();
-            for root in new_roots {
-                if root.n_rows <= self.cfg.tau_dfs {
-                    bplan.push_front(root);
-                } else {
-                    bplan.push_back(root);
-                }
-            }
+        self.bplan.lock().clear();
+        for root in new_roots {
+            self.enqueue_plan(root);
         }
 
         // 4. Notify workers.

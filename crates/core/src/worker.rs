@@ -694,19 +694,41 @@ impl Worker {
             match task {
                 ReadyTask::Stop => break,
                 ReadyTask::Column { plan, ix } => {
+                    #[cfg(feature = "obs")]
+                    let (task_id, t0) = (plan.task.0, std::time::Instant::now());
                     let msg = {
                         let _busy = BusyGuard::start(&self.stats, self.id);
                         self.compute_column_task(plan, ix)
                     };
+                    obs_event!(
+                        self.stats,
+                        self.id,
+                        ts_obs::Event::TaskComputed {
+                            task: task_id,
+                            node: self.id as u32,
+                            busy_ns: t0.elapsed().as_nanos() as u64,
+                        }
+                    );
                     if let Some(msg) = msg {
                         let _ = self.fabric_task.send(self.id, 0, msg);
                     }
                 }
                 ReadyTask::Subtree { plan, ix, remote_bufs } => {
+                    #[cfg(feature = "obs")]
+                    let (task_id, t0) = (plan.task.0, std::time::Instant::now());
                     let msg = {
                         let _busy = BusyGuard::start(&self.stats, self.id);
                         self.compute_subtree_task(plan, ix, remote_bufs)
                     };
+                    obs_event!(
+                        self.stats,
+                        self.id,
+                        ts_obs::Event::TaskComputed {
+                            task: task_id,
+                            node: self.id as u32,
+                            busy_ns: t0.elapsed().as_nanos() as u64,
+                        }
+                    );
                     if let Some(msg) = msg {
                         let _ = self.fabric_task.send(self.id, 0, msg);
                     }

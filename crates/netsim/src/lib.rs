@@ -105,7 +105,7 @@ impl NodeCounters {
 }
 
 /// A point-in-time snapshot of one machine's counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize)]
 pub struct NodeSnapshot {
     /// Total payload bytes sent.
     pub sent_bytes: u64,
@@ -121,12 +121,33 @@ pub struct NodeSnapshot {
     pub mem_peak: u64,
 }
 
+impl std::fmt::Display for NodeSnapshot {
+    /// Paper units: megabytes for traffic and memory, seconds for busy time.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sent {:>9.2} MB ({:>6} msgs)  recv {:>9.2} MB ({:>6} msgs)  busy {:>7.2} s  peak mem {:>8.2} MB",
+            self.sent_bytes as f64 / 1e6,
+            self.sent_msgs,
+            self.recv_bytes as f64 / 1e6,
+            self.recv_msgs,
+            self.busy_ns as f64 / 1e9,
+            self.mem_peak as f64 / 1e6,
+        )
+    }
+}
+
 /// Cluster-wide statistics: communication counters, compute busy time and
 /// task-memory watermarks per machine.
 #[derive(Debug)]
 pub struct NetStats {
     nodes: Vec<NodeCounters>,
     started: Instant,
+    /// The attached event recorder, set once by whoever launches the
+    /// cluster. Living on `NetStats` lets every engine thread reach it
+    /// without new constructor parameters: they all already share the stats.
+    #[cfg(feature = "obs")]
+    recorder: std::sync::OnceLock<Arc<ts_obs::Recorder>>,
 }
 
 impl NetStats {
@@ -135,7 +156,21 @@ impl NetStats {
         Arc::new(NetStats {
             nodes: (0..n).map(|_| NodeCounters::new()).collect(),
             started: Instant::now(),
+            #[cfg(feature = "obs")]
+            recorder: std::sync::OnceLock::new(),
         })
+    }
+
+    /// Attaches an event recorder. Later calls are ignored (first one wins).
+    #[cfg(feature = "obs")]
+    pub fn set_recorder(&self, rec: Arc<ts_obs::Recorder>) {
+        let _ = self.recorder.set(rec);
+    }
+
+    /// The attached event recorder, if any.
+    #[cfg(feature = "obs")]
+    pub fn recorder(&self) -> Option<&Arc<ts_obs::Recorder>> {
+        self.recorder.get()
     }
 
     /// Number of machines tracked.
@@ -149,6 +184,10 @@ impl NetStats {
         self.nodes[from].sent_msgs.fetch_add(1, Ordering::Relaxed);
         self.nodes[to].recv_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
         self.nodes[to].recv_msgs.fetch_add(1, Ordering::Relaxed);
+        #[cfg(feature = "obs")]
+        if let Some(rec) = self.recorder.get() {
+            rec.on_net_send(from as u32, to as u32, bytes as u64);
+        }
     }
 
     /// Adds compute busy time for a machine.
@@ -418,6 +457,65 @@ mod tests {
         f.send(0, 1, Msg(vec![0; 1_000_000])).unwrap();
         let mbps = stats.send_mbps(0, Duration::from_secs(1));
         assert!((mbps - 8.0).abs() < 1e-9, "1 MB/s = 8 Mbps, got {mbps}");
+    }
+
+    #[test]
+    fn record_send_charges_both_endpoints_symmetrically() {
+        let stats = NetStats::new(3);
+        stats.record_send(0, 2, 100);
+        stats.record_send(0, 2, 50);
+        stats.record_send(2, 0, 25);
+        let s0 = stats.snapshot(0);
+        let s2 = stats.snapshot(2);
+        assert_eq!(s0.sent_bytes, 150);
+        assert_eq!(s0.sent_msgs, 2);
+        assert_eq!(s0.recv_bytes, 25);
+        assert_eq!(s0.recv_msgs, 1);
+        assert_eq!(s2.recv_bytes, s0.sent_bytes);
+        assert_eq!(s2.recv_msgs, s0.sent_msgs);
+        assert_eq!(s2.sent_bytes, s0.recv_bytes);
+        assert_eq!(stats.snapshot(1), NodeSnapshot::default());
+    }
+
+    #[test]
+    fn mem_peak_is_a_true_watermark() {
+        let stats = NetStats::new(1);
+        stats.mem_alloc(0, 1000);
+        stats.mem_free(0, 1000);
+        // Re-allocating less than the old peak must not move it.
+        stats.mem_alloc(0, 10);
+        assert_eq!(stats.snapshot(0).mem_peak, 1000);
+        // Exceeding it must.
+        stats.mem_alloc(0, 2000);
+        assert_eq!(stats.snapshot(0).mem_peak, 2010);
+    }
+
+    #[test]
+    fn rates_at_zero_elapsed_are_zero_not_nan() {
+        let stats = NetStats::new(1);
+        stats.add_busy(0, Duration::from_secs(1));
+        stats.record_send(0, 0, 0); // self-accounting is allowed directly
+        let cpu = stats.cpu_percent(0, Duration::ZERO);
+        let mbps = stats.send_mbps(0, Duration::ZERO);
+        assert_eq!(cpu, 0.0, "cpu_percent at zero elapsed must be 0, got {cpu}");
+        assert_eq!(mbps, 0.0, "send_mbps at zero elapsed must be 0, got {mbps}");
+        assert!(cpu.is_finite() && mbps.is_finite());
+    }
+
+    #[test]
+    fn node_snapshot_display_uses_paper_units() {
+        let snap = NodeSnapshot {
+            sent_bytes: 2_500_000,
+            recv_bytes: 1_000_000,
+            sent_msgs: 10,
+            recv_msgs: 4,
+            busy_ns: 1_500_000_000,
+            mem_peak: 3_000_000,
+        };
+        let s = snap.to_string();
+        assert!(s.contains("2.50 MB"), "{s}");
+        assert!(s.contains("1.50 s"), "{s}");
+        assert!(s.contains("3.00 MB"), "{s}");
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! The task-lifecycle event taxonomy.
+//!
+//! Every variant is `Copy` and contains only scalars: records are written
+//! into the lock-free ring with a plain memory copy and read back with a
+//! seqlock validation, so they must be trivially movable and must not own
+//! heap data. Identifiers are the engine's `TaskId.0` / `TreeId.0` / job
+//! counters widened or narrowed to plain integers.
+
+/// Which end of the `Bplan` deque a plan was pushed to (paper §III: head =
+/// depth-first, tail = breadth-first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DequeEnd {
+    /// `push_front` — the task's `|Dx| <= τ_dfs`.
+    Head,
+    /// `push_back` — breadth-first.
+    Tail,
+}
+
+/// One task-lifecycle event. See `docs/OBSERVABILITY.md` for the taxonomy
+/// and how each variant maps onto the Chrome-trace export.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A job entered the master's registry.
+    JobSubmitted {
+        /// The job id (`JobHandle.0`).
+        job: u64,
+    },
+    /// The job's last tree landed and the client was notified.
+    JobFinished {
+        /// The job id.
+        job: u64,
+    },
+    /// A column-task shard was shipped to a worker (one event per shard).
+    ColumnTaskDispatched {
+        /// The task id.
+        task: u64,
+        /// The worker the shard goes to.
+        node: u32,
+        /// Number of columns in the shard.
+        cols: u32,
+        /// Wire bytes of the plan message.
+        bytes: u64,
+    },
+    /// A column-task shard result arrived back at the master.
+    ColumnTaskCompleted {
+        /// The task id.
+        task: u64,
+        /// The reporting worker.
+        node: u32,
+        /// Master-side dispatch-to-result latency.
+        latency_ns: u64,
+    },
+    /// A subtree-task was delegated to its key worker.
+    SubtreeTaskDelegated {
+        /// The task id.
+        task: u64,
+        /// The chosen key worker.
+        key_worker: u32,
+        /// `|Dx|` at handoff.
+        rows: u64,
+    },
+    /// A completed subtree arrived back at the master.
+    SubtreeTaskBuilt {
+        /// The task id.
+        task: u64,
+        /// The key worker that built it.
+        node: u32,
+        /// Node count of the returned subtree.
+        nodes: u32,
+        /// Master-side delegation-to-result latency.
+        latency_ns: u64,
+    },
+    /// A plan entered `Bplan` (head = DFS, tail = BFS, Fig. 5).
+    BplanPush {
+        /// Which end of the deque.
+        end: DequeEnd,
+        /// Node depth of the pushed plan.
+        depth: u32,
+        /// `|Dx|` of the pushed plan.
+        rows: u64,
+        /// Deque length right after the push.
+        qlen: u32,
+    },
+    /// The master confirmed a task's overall best split.
+    SplitChosen {
+        /// The task id.
+        task: u64,
+        /// The winning (delegate) worker.
+        node: u32,
+        /// The winning attribute.
+        attr: u32,
+        /// The winning split's gain.
+        gain: f64,
+    },
+    /// A comper finished the compute phase of a task (column or subtree).
+    TaskComputed {
+        /// The task id.
+        task: u64,
+        /// The computing worker.
+        node: u32,
+        /// Busy time of the computation.
+        busy_ns: u64,
+    },
+    /// A worker was declared dead (fault injection / send failure).
+    WorkerCrashed {
+        /// The dead worker.
+        node: u32,
+    },
+    /// A re-replication target finished loading a crashed worker's columns.
+    WorkerRecovered {
+        /// The worker now holding the columns.
+        node: u32,
+    },
+    /// A sampled fabric send (one event per `net_sample_every` sends).
+    NetSend {
+        /// Sender machine.
+        from: u32,
+        /// Receiver machine.
+        to: u32,
+        /// Payload bytes of this message.
+        bytes: u64,
+    },
+    /// A boosting round started (client-side, see `treeserver::gbt`).
+    GbtRound {
+        /// The round index.
+        round: u32,
+    },
+}
+
+/// An [`Event`] stamped with its monotonic record time and the machine whose
+/// ring it was written to (the *observing* machine; subject machines are in
+/// the event fields).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedEvent {
+    /// Nanoseconds since the recorder was created.
+    pub ts_ns: u64,
+    /// The ring (machine) the event was recorded on.
+    pub node: u32,
+    /// The event.
+    pub event: Event,
+}

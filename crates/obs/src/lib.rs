@@ -1,0 +1,333 @@
+//! `ts-obs` — task-lifecycle tracing, metrics and Chrome-trace export for
+//! the simulated TreeServer cluster.
+//!
+//! The crate is deliberately dependency-free (std only). The engine records
+//! typed [`Event`]s into per-machine lock-free rings via a shared
+//! [`Recorder`]; a [`MetricsRegistry`] of atomic counters and log-bucketed
+//! histograms is updated inline from the same events. Both are snapshotable
+//! at any instant, and exportable as a Chrome trace-event JSON document
+//! (Perfetto-loadable) and a JSON metrics dump. See `docs/OBSERVABILITY.md`.
+//!
+//! Cost model: when the `obs` feature is off in `treeserver`, the
+//! `obs_event!` call sites expand to nothing. When compiled in but runtime
+//! disabled (`ObsConfig::enabled == false`), the engine never constructs a
+//! `Recorder`, so the per-event cost is one `OnceLock` load and a `None`
+//! branch. When enabled, a record is a monotonic-clock read, a handful of
+//! relaxed atomic ops on pre-resolved metric handles, and one lock-free
+//! ring push.
+
+mod chrome;
+mod event;
+mod json;
+mod metrics;
+mod ring;
+
+pub use event::{DequeEnd, Event, TimedEvent};
+pub use metrics::{
+    Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, N_BUCKETS,
+};
+
+use ring::Ring;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Runtime observability configuration, carried in `ClusterConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Master switch: when false the cluster never builds a [`Recorder`]
+    /// and every record call is a load-and-branch.
+    pub enabled: bool,
+    /// Per-machine event-ring capacity (rounded up to a power of two).
+    pub ring_capacity: usize,
+    /// Record one `NetSend` ring event per this many fabric sends (the
+    /// `net_sends` counter and `net_send_bytes` histogram still see every
+    /// send). 0 disables per-send ring events entirely.
+    pub net_sample_every: u64,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig { enabled: false, ring_capacity: 1 << 16, net_sample_every: 64 }
+    }
+}
+
+impl ObsConfig {
+    /// A config with recording switched on and default sizing.
+    pub fn enabled() -> Self {
+        ObsConfig { enabled: true, ..ObsConfig::default() }
+    }
+}
+
+/// Pre-resolved handles for the engine's hot metrics, so recording never
+/// takes the registry lock.
+struct Hot {
+    jobs_submitted: Arc<Counter>,
+    jobs_finished: Arc<Counter>,
+    column_tasks_dispatched: Arc<Counter>,
+    column_tasks_completed: Arc<Counter>,
+    subtree_tasks_delegated: Arc<Counter>,
+    subtree_tasks_built: Arc<Counter>,
+    bplan_push_head: Arc<Counter>,
+    bplan_push_tail: Arc<Counter>,
+    splits_chosen: Arc<Counter>,
+    workers_crashed: Arc<Counter>,
+    workers_recovered: Arc<Counter>,
+    net_sends: Arc<Counter>,
+    gbt_rounds: Arc<Counter>,
+    column_task_latency_ns: Arc<Histogram>,
+    subtree_task_latency_ns: Arc<Histogram>,
+    subtree_handoff_rows: Arc<Histogram>,
+    bplan_depth: Arc<Histogram>,
+    net_send_bytes: Arc<Histogram>,
+    comper_busy_ns: Arc<Histogram>,
+}
+
+impl Hot {
+    fn new(reg: &MetricsRegistry) -> Hot {
+        Hot {
+            jobs_submitted: reg.counter("jobs_submitted"),
+            jobs_finished: reg.counter("jobs_finished"),
+            column_tasks_dispatched: reg.counter("column_tasks_dispatched"),
+            column_tasks_completed: reg.counter("column_tasks_completed"),
+            subtree_tasks_delegated: reg.counter("subtree_tasks_delegated"),
+            subtree_tasks_built: reg.counter("subtree_tasks_built"),
+            bplan_push_head: reg.counter("bplan_push_head"),
+            bplan_push_tail: reg.counter("bplan_push_tail"),
+            splits_chosen: reg.counter("splits_chosen"),
+            workers_crashed: reg.counter("workers_crashed"),
+            workers_recovered: reg.counter("workers_recovered"),
+            net_sends: reg.counter("net_sends"),
+            gbt_rounds: reg.counter("gbt_rounds"),
+            column_task_latency_ns: reg.histogram("column_task_latency_ns"),
+            subtree_task_latency_ns: reg.histogram("subtree_task_latency_ns"),
+            subtree_handoff_rows: reg.histogram("subtree_handoff_rows"),
+            bplan_depth: reg.histogram("bplan_depth"),
+            net_send_bytes: reg.histogram("net_send_bytes"),
+            comper_busy_ns: reg.histogram("comper_busy_ns"),
+        }
+    }
+}
+
+/// The cluster-wide event recorder: one ring per simulated machine plus a
+/// shared metrics registry. Cheap to share (`Arc`) and safe to record into
+/// from every engine thread concurrently.
+pub struct Recorder {
+    start: Instant,
+    rings: Vec<Ring>,
+    registry: MetricsRegistry,
+    hot: Hot,
+    net_seq: AtomicU64,
+    net_sample_every: u64,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("nodes", &self.rings.len())
+            .field("events_total", &self.events_total())
+            .field("events_lost", &self.events_lost())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// Creates a recorder for `n_nodes` machines (machine 0 is the master).
+    pub fn new(n_nodes: usize, cfg: &ObsConfig) -> Recorder {
+        let registry = MetricsRegistry::new();
+        let hot = Hot::new(&registry);
+        Recorder {
+            start: Instant::now(),
+            rings: (0..n_nodes.max(1)).map(|_| Ring::new(cfg.ring_capacity)).collect(),
+            registry,
+            hot,
+            net_seq: AtomicU64::new(0),
+            net_sample_every: cfg.net_sample_every,
+        }
+    }
+
+    /// Nanoseconds since the recorder was created.
+    pub fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Records `event` on machine `node`'s ring and folds it into the
+    /// metrics registry.
+    pub fn record(&self, node: u32, event: Event) {
+        self.observe_metrics(&event);
+        self.push(node, event);
+    }
+
+    fn push(&self, node: u32, event: Event) {
+        let ring = self.rings.get(node as usize).unwrap_or(&self.rings[0]);
+        ring.push(TimedEvent { ts_ns: self.now_ns(), node, event });
+    }
+
+    fn observe_metrics(&self, event: &Event) {
+        let h = &self.hot;
+        match *event {
+            Event::JobSubmitted { .. } => h.jobs_submitted.inc(),
+            Event::JobFinished { .. } => h.jobs_finished.inc(),
+            Event::ColumnTaskDispatched { .. } => h.column_tasks_dispatched.inc(),
+            Event::ColumnTaskCompleted { latency_ns, .. } => {
+                h.column_tasks_completed.inc();
+                h.column_task_latency_ns.observe(latency_ns);
+            }
+            Event::SubtreeTaskDelegated { rows, .. } => {
+                h.subtree_tasks_delegated.inc();
+                h.subtree_handoff_rows.observe(rows);
+            }
+            Event::SubtreeTaskBuilt { latency_ns, .. } => {
+                h.subtree_tasks_built.inc();
+                h.subtree_task_latency_ns.observe(latency_ns);
+            }
+            Event::BplanPush { end, depth, .. } => {
+                match end {
+                    DequeEnd::Head => h.bplan_push_head.inc(),
+                    DequeEnd::Tail => h.bplan_push_tail.inc(),
+                }
+                h.bplan_depth.observe(depth as u64);
+            }
+            Event::SplitChosen { .. } => h.splits_chosen.inc(),
+            Event::TaskComputed { busy_ns, .. } => h.comper_busy_ns.observe(busy_ns),
+            Event::WorkerCrashed { .. } => h.workers_crashed.inc(),
+            Event::WorkerRecovered { .. } => h.workers_recovered.inc(),
+            Event::NetSend { .. } => {} // accounted in on_net_send
+            Event::GbtRound { .. } => h.gbt_rounds.inc(),
+        }
+    }
+
+    /// Fabric send hook: every send hits the counter and byte histogram;
+    /// one in `net_sample_every` also lands a ring event on the sender.
+    pub fn on_net_send(&self, from: u32, to: u32, bytes: u64) {
+        self.hot.net_sends.inc();
+        self.hot.net_send_bytes.observe(bytes);
+        if self.net_sample_every == 0 {
+            return;
+        }
+        let seq = self.net_seq.fetch_add(1, Ordering::Relaxed);
+        if seq % self.net_sample_every == 0 {
+            self.push(from, Event::NetSend { from, to, bytes });
+        }
+    }
+
+    /// The metrics registry (for ad-hoc counters outside the hot set).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Every currently-readable event across all rings, in timestamp order.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        let mut out = Vec::new();
+        for ring in &self.rings {
+            ring.collect(&mut out);
+        }
+        out.sort_by_key(|e| e.ts_ns);
+        out
+    }
+
+    /// Total events ever recorded (including lost ones).
+    pub fn events_total(&self) -> u64 {
+        self.rings.iter().map(|r| r.total()).sum()
+    }
+
+    /// Events no longer readable (ring overwrite or writer collision).
+    pub fn events_lost(&self) -> u64 {
+        self.rings.iter().map(|r| r.lost()).sum()
+    }
+
+    /// A point-in-time copy of all metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// The collected events as a Chrome trace-event JSON document.
+    pub fn chrome_trace_json(&self) -> String {
+        chrome::export(self.events())
+    }
+
+    /// The metrics (plus event accounting) as a JSON object string.
+    pub fn metrics_json(&self) -> String {
+        let mut s = String::from("{");
+        self.metrics().write_json_fields(&mut s);
+        s.push_str(&format!(
+            ",\"events_total\":{},\"events_lost\":{}}}",
+            self.events_total(),
+            self.events_lost()
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_disabled() {
+        let cfg = ObsConfig::default();
+        assert!(!cfg.enabled);
+        assert!(ObsConfig::enabled().enabled);
+    }
+
+    #[test]
+    fn record_lands_in_ring_and_metrics() {
+        let rec = Recorder::new(3, &ObsConfig::enabled());
+        rec.record(0, Event::JobSubmitted { job: 1 });
+        rec.record(1, Event::ColumnTaskCompleted { task: 9, node: 1, latency_ns: 500 });
+        rec.record(0, Event::JobFinished { job: 1 });
+        let events = rec.events();
+        assert_eq!(events.len(), 3);
+        assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        let m = rec.metrics();
+        assert_eq!(m.counter("jobs_submitted"), 1);
+        assert_eq!(m.counter("jobs_finished"), 1);
+        assert_eq!(m.counter("column_tasks_completed"), 1);
+        assert_eq!(m.histogram("column_task_latency_ns").unwrap().count, 1);
+        assert_eq!(rec.events_lost(), 0);
+    }
+
+    #[test]
+    fn out_of_range_node_falls_back_to_master_ring() {
+        let rec = Recorder::new(2, &ObsConfig::enabled());
+        rec.record(99, Event::WorkerCrashed { node: 99 });
+        assert_eq!(rec.events().len(), 1);
+    }
+
+    #[test]
+    fn net_send_sampling() {
+        let cfg = ObsConfig { net_sample_every: 10, ..ObsConfig::enabled() };
+        let rec = Recorder::new(2, &cfg);
+        for _ in 0..100 {
+            rec.on_net_send(0, 1, 64);
+        }
+        let m = rec.metrics();
+        assert_eq!(m.counter("net_sends"), 100);
+        assert_eq!(m.histogram("net_send_bytes").unwrap().count, 100);
+        let ring_events =
+            rec.events().iter().filter(|e| matches!(e.event, Event::NetSend { .. })).count();
+        assert_eq!(ring_events, 10);
+    }
+
+    #[test]
+    fn net_send_sampling_disabled_at_zero() {
+        let cfg = ObsConfig { net_sample_every: 0, ..ObsConfig::enabled() };
+        let rec = Recorder::new(2, &cfg);
+        rec.on_net_send(0, 1, 64);
+        assert_eq!(rec.metrics().counter("net_sends"), 1);
+        assert!(rec.events().is_empty());
+    }
+
+    #[test]
+    fn json_exports_are_well_formed() {
+        let rec = Recorder::new(2, &ObsConfig::enabled());
+        rec.record(0, Event::JobSubmitted { job: 0 });
+        rec.record(0, Event::JobFinished { job: 0 });
+        let trace = rec.chrome_trace_json();
+        assert!(trace.contains("\"traceEvents\":["), "{trace}");
+        let metrics = rec.metrics_json();
+        assert!(metrics.starts_with('{') && metrics.ends_with('}'), "{metrics}");
+        assert!(metrics.contains("\"events_total\":2"), "{metrics}");
+        assert!(metrics.contains("\"events_lost\":0"), "{metrics}");
+    }
+}

@@ -1,0 +1,202 @@
+//! A fixed-capacity, lock-free, drop-oldest event ring.
+//!
+//! One ring per simulated machine. Writers are the machine's own threads
+//! plus the master threads recording on its behalf; readers are snapshot
+//! calls (`report()`, exporters) that may run concurrently with writers.
+//!
+//! Design (per-slot seqlock over a Vyukov-style ticket ring):
+//!
+//! - `head` is a monotonically increasing ticket counter; a writer claims
+//!   slot `ticket & mask`, overwriting whatever `capacity` tickets ago wrote
+//!   there (drop-oldest).
+//! - Each slot carries a sequence word: `0` = never written, odd = write in
+//!   progress, `2 * ticket + 2` = complete. Writers claim the slot with a
+//!   CAS to the odd value; a failed claim (another writer wrapped onto the
+//!   same slot at the same instant — only possible when the ring is at
+//!   least `capacity` events behind) drops the record and counts it.
+//! - Readers snapshot a slot seqlock-style: load the sequence, copy the
+//!   payload with a volatile read, re-check the sequence; a torn copy is
+//!   discarded. Records are `Copy`, so a discarded copy needs no cleanup.
+
+use crate::event::TimedEvent;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+pub(crate) struct Ring {
+    mask: u64,
+    head: AtomicU64,
+    /// Records dropped because a slot claim failed (writer collision).
+    contended: AtomicU64,
+    seq: Box<[AtomicU64]>,
+    slots: Box<[UnsafeCell<MaybeUninit<TimedEvent>>]>,
+}
+
+// The UnsafeCell slots are only accessed under the per-slot seqlock
+// protocol above.
+unsafe impl Send for Ring {}
+unsafe impl Sync for Ring {}
+
+impl Ring {
+    pub(crate) fn new(capacity: usize) -> Ring {
+        let cap = capacity.next_power_of_two().max(8);
+        Ring {
+            mask: (cap - 1) as u64,
+            head: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+            seq: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            slots: (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect(),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Records one event, overwriting the oldest when full.
+    pub(crate) fn push(&self, rec: TimedEvent) {
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let i = (ticket & self.mask) as usize;
+        let cur = self.seq[i].load(Ordering::Relaxed);
+        // Drop on collision: an odd sequence is a write in progress, and a
+        // newer complete value means a faster writer already lapped us.
+        if cur & 1 == 1
+            || cur > 2 * ticket + 1
+            || self.seq[i]
+                .compare_exchange(cur, 2 * ticket + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        unsafe { (*self.slots[i].get()).write(rec) };
+        self.seq[i].store(2 * ticket + 2, Ordering::Release);
+    }
+
+    /// Appends every currently-readable record to `out` (unordered).
+    pub(crate) fn collect(&self, out: &mut Vec<TimedEvent>) {
+        for i in 0..self.seq.len() {
+            let s1 = self.seq[i].load(Ordering::Acquire);
+            if s1 == 0 || s1 & 1 == 1 {
+                continue;
+            }
+            // Seqlock read: copy, fence, validate. A torn copy of a `Copy`
+            // payload is discarded before anyone looks at it.
+            let copy = unsafe { std::ptr::read_volatile(self.slots[i].get()) };
+            fence(Ordering::Acquire);
+            if self.seq[i].load(Ordering::Relaxed) == s1 {
+                out.push(unsafe { copy.assume_init() });
+            }
+        }
+    }
+
+    /// Total records ever pushed (including overwritten and dropped ones).
+    pub(crate) fn total(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Records no longer readable: overwritten by wrap-around plus writer
+    /// collisions.
+    pub(crate) fn lost(&self) -> u64 {
+        let overwritten = self.total().saturating_sub(self.seq.len() as u64);
+        overwritten + self.contended.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use std::sync::Arc;
+
+    fn ev(ts: u64) -> TimedEvent {
+        TimedEvent { ts_ns: ts, node: 0, event: Event::JobSubmitted { job: ts } }
+    }
+
+    #[test]
+    fn roundtrips_below_capacity() {
+        let r = Ring::new(16);
+        for i in 0..10 {
+            r.push(ev(i));
+        }
+        let mut out = Vec::new();
+        r.collect(&mut out);
+        out.sort_by_key(|e| e.ts_ns);
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[3], ev(3));
+        assert_eq!(r.total(), 10);
+        assert_eq!(r.lost(), 0);
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let r = Ring::new(8);
+        for i in 0..20 {
+            r.push(ev(i));
+        }
+        let mut out = Vec::new();
+        r.collect(&mut out);
+        out.sort_by_key(|e| e.ts_ns);
+        assert_eq!(out.len(), 8, "ring keeps exactly its capacity");
+        assert_eq!(out[0], ev(12), "oldest records were dropped");
+        assert_eq!(out[7], ev(19));
+        assert_eq!(r.lost(), 12);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(Ring::new(100).capacity(), 128);
+        assert_eq!(Ring::new(1).capacity(), 8);
+    }
+
+    #[test]
+    fn concurrent_writers_never_corrupt() {
+        let r = Arc::new(Ring::new(1 << 10));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let r = Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..5_000 {
+                    r.push(ev(t * 1_000_000 + i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.total(), 20_000);
+        let mut out = Vec::new();
+        r.collect(&mut out);
+        assert!(out.len() <= r.capacity());
+        // Every surviving record must be one that was actually written.
+        for e in &out {
+            let t = e.ts_ns / 1_000_000;
+            let i = e.ts_ns % 1_000_000;
+            assert!(t < 4 && i < 5_000, "torn or invented record {e:?}");
+        }
+        assert!(out.len() as u64 + r.lost() >= 20_000 - r.capacity() as u64);
+    }
+
+    #[test]
+    fn collect_while_writing_sees_only_whole_records() {
+        let r = Arc::new(Ring::new(64));
+        let writer = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                for i in 0..50_000 {
+                    r.push(ev(i));
+                }
+            })
+        };
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            out.clear();
+            r.collect(&mut out);
+            for e in &out {
+                assert!(e.ts_ns < 50_000);
+                assert!(matches!(e.event, Event::JobSubmitted { job } if job == e.ts_ns));
+            }
+        }
+        writer.join().unwrap();
+    }
+}
