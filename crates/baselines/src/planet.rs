@@ -21,7 +21,6 @@
 //! slowest histogram pass and its aggregation complete, nothing else runs —
 //! there are no CPU-bound subtree-tasks to overlap with the IO.
 
-use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
 use ts_datatable::{AttrType, DataTable, Labels, Task};
@@ -91,7 +90,7 @@ pub struct PlanetStats {
 pub struct PlanetTrainer {
     cfg: PlanetConfig,
     stats: Arc<NetStats>,
-    pool: rayon::ThreadPool,
+    pool: tspar::ThreadPool,
 }
 
 /// A node being grown; its position in the frontier vector is the dense
@@ -107,10 +106,7 @@ impl PlanetTrainer {
     /// cores).
     pub fn new(cfg: PlanetConfig) -> PlanetTrainer {
         let threads = (cfg.n_machines * cfg.threads_per_machine).max(1);
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("rayon pool");
+        let pool = tspar::ThreadPool::new(threads);
         // Node 0 plays the Spark driver; 1..=n the executors.
         let stats = NetStats::new(cfg.n_machines + 1);
         PlanetTrainer { cfg, stats, pool }
@@ -176,41 +172,35 @@ impl PlanetTrainer {
                 .collect();
 
             // --- Map phase: per machine, histograms for (node, attr). ---
-            let per_machine: Vec<LevelHistograms> = self.pool.install(|| {
-                ranges
-                    .par_iter()
-                    .enumerate()
-                    .map(|(m, range)| {
-                        if self.cfg.work_ns_per_unit > 0 {
-                            let units = range.len() as u64
-                                * candidates.len() as u64
-                                / self.cfg.threads_per_machine.max(1) as u64;
-                            std::thread::sleep(Duration::from_nanos(
-                                units * self.cfg.work_ns_per_unit,
-                            ));
-                        }
-                        let h = build_level_histograms(
-                            table,
-                            candidates,
-                            &cuts,
-                            &node_of_row,
-                            range.clone(),
-                            frontier.len(),
-                            &splittable,
-                            n_classes,
-                        );
-                        // Executor m ships its histograms to the driver.
-                        let bytes = h.wire_bytes();
-                        self.stats.record_send(m + 1, 0, bytes);
-                        let delay = self.cfg.net.delay_for(bytes);
-                        if !delay.is_zero() {
-                            std::thread::sleep(delay);
-                        }
-                        h
-                    })
-                    .collect()
+            let per_machine: Vec<LevelHistograms> = self.pool.map(&ranges, |m, range| {
+                if self.cfg.work_ns_per_unit > 0 {
+                    let units = range.len() as u64 * candidates.len() as u64
+                        / self.cfg.threads_per_machine.max(1) as u64;
+                    std::thread::sleep(Duration::from_nanos(units * self.cfg.work_ns_per_unit));
+                }
+                let h = build_level_histograms(
+                    table,
+                    candidates,
+                    &cuts,
+                    &node_of_row,
+                    range.clone(),
+                    frontier.len(),
+                    &splittable,
+                    n_classes,
+                );
+                // Executor m ships its histograms to the driver.
+                let bytes = h.wire_bytes();
+                self.stats.record_send(m + 1, 0, bytes);
+                let delay = self.cfg.net.delay_for(bytes);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                h
             });
-            run.histogram_bytes += per_machine.iter().map(|h| h.wire_bytes() as u64).sum::<u64>();
+            run.histogram_bytes += per_machine
+                .iter()
+                .map(|h| h.wire_bytes() as u64)
+                .sum::<u64>();
 
             // --- Reduce phase at the driver: merge + pick best per node. ---
             let mut merged = per_machine
@@ -221,8 +211,7 @@ impl PlanetTrainer {
                 })
                 .expect("at least one machine");
 
-            let mut decisions: Vec<Option<(usize, ColumnSplit)>> =
-                vec![None; frontier.len()];
+            let mut decisions: Vec<Option<(usize, ColumnSplit)>> = vec![None; frontier.len()];
             for (f_idx, dec) in decisions.iter_mut().enumerate() {
                 if !splittable[f_idx] {
                     continue;
@@ -233,9 +222,7 @@ impl PlanetTrainer {
                     if let Some(s) = split {
                         let wins = match &best {
                             None => true,
-                            Some((battr, bs)) => {
-                                ColumnSplit::challenger_wins(&s, attr, bs, *battr)
-                            }
+                            Some((battr, bs)) => ColumnSplit::challenger_wins(&s, attr, bs, *battr),
                         };
                         if wins {
                             best = Some((attr, s));
@@ -264,8 +251,7 @@ impl PlanetTrainer {
             // --- Apply splits: grow children, reassign rows. ---
             let mut next_frontier = Vec::new();
             let mut next_stats = Vec::new();
-            let mut slot_children: Vec<Option<SlotDecision>> =
-                vec![None; frontier.len()];
+            let mut slot_children: Vec<Option<SlotDecision>> = vec![None; frontier.len()];
             for (f_idx, dec) in decisions.into_iter().enumerate() {
                 let Some((attr, split)) = dec else { continue };
                 let f = &frontier[f_idx];
@@ -283,8 +269,7 @@ impl PlanetTrainer {
                 ));
                 let seen = match table.schema().attr_type(attr) {
                     AttrType::Categorical { .. } => {
-                        let ts_datatable::Column::Categorical(codes) = table.column(attr)
-                        else {
+                        let ts_datatable::Column::Categorical(codes) = table.column(attr) else {
                             unreachable!()
                         };
                         // MLlib tracks per-node category presence through its
@@ -310,30 +295,24 @@ impl PlanetTrainer {
                 let r_slot = next_frontier.len();
                 next_frontier.push(Frontier { node: r_idx });
                 next_stats.push(split.right.clone());
-                slot_children[f_idx] =
-                    Some((l_slot, r_slot, split.test, split.missing_left, attr));
+                slot_children[f_idx] = Some((l_slot, r_slot, split.test, split.missing_left, attr));
             }
 
             // Row reassignment (each machine over its rows; the bitvector
             // stays local — PLANET ships the model, not row ids).
-            self.pool.install(|| {
-                node_of_row
-                    .par_iter_mut()
-                    .enumerate()
-                    .for_each(|(row, slot)| {
-                        let cur = *slot as usize;
-                        if cur == u32::MAX as usize {
-                            return;
-                        }
-                        match &slot_children[cur] {
-                            None => *slot = u32::MAX, // settled in a leaf
-                            Some((l, r, test, missing_left, attr)) => {
-                                let v = table.value(row, *attr);
-                                let left = test.goes_left(v).unwrap_or(*missing_left);
-                                *slot = if left { *l as u32 } else { *r as u32 };
-                            }
-                        }
-                    });
+            self.pool.for_each_mut(&mut node_of_row, |row, slot| {
+                let cur = *slot as usize;
+                if cur == u32::MAX as usize {
+                    return;
+                }
+                match &slot_children[cur] {
+                    None => *slot = u32::MAX, // settled in a leaf
+                    Some((l, r, test, missing_left, attr)) => {
+                        let v = table.value(row, *attr);
+                        let left = test.goes_left(v).unwrap_or(*missing_left);
+                        *slot = if left { *l as u32 } else { *r as u32 };
+                    }
+                }
             });
 
             frontier = next_frontier;
@@ -353,8 +332,8 @@ impl PlanetTrainer {
         n_trees: usize,
         seed: u64,
     ) -> (ts_tree::ForestModel, PlanetStats) {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
+        use tsrand::seq::SliceRandom;
+        use tsrand::SeedableRng;
         // MLlib grows the trees of a forest through a shared node queue, so
         // Spark stages are amortised across the group rather than paid per
         // tree per level; model that by dividing the per-level overhead.
@@ -364,13 +343,12 @@ impl PlanetTrainer {
                 ..self.cfg.clone()
             },
             stats: Arc::clone(&self.stats),
-            pool: rayon::ThreadPoolBuilder::new()
-                .num_threads((self.cfg.n_machines * self.cfg.threads_per_machine).max(1))
-                .build()
-                .expect("rayon pool"),
+            pool: tspar::ThreadPool::new(
+                (self.cfg.n_machines * self.cfg.threads_per_machine).max(1),
+            ),
         };
         let this = &amortised;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = tsrand::rngs::StdRng::seed_from_u64(seed);
         let m = table.n_attrs();
         let count = ((m as f64).sqrt().round() as usize).clamp(1, m);
         let mut total = PlanetStats::default();
@@ -590,7 +568,10 @@ fn build_level_histograms(
                         else {
                             unreachable!()
                         };
-                        (vec![RegAgg::default(); n_values as usize], RegAgg::default())
+                        (
+                            vec![RegAgg::default(); n_values as usize],
+                            RegAgg::default(),
+                        )
                     });
                     let c = codes[row];
                     if c == ts_datatable::MISSING_CAT {
@@ -645,7 +626,10 @@ mod tests {
         // impurity reduction can't beat the exact tree of the same depth.
         let t = class_table(3_000, 2);
         let all: Vec<usize> = (0..t.n_attrs()).collect();
-        let trainer = PlanetTrainer::new(PlanetConfig { max_bins: 8, ..Default::default() });
+        let trainer = PlanetTrainer::new(PlanetConfig {
+            max_bins: 8,
+            ..Default::default()
+        });
         let (approx, _) = trainer.train_tree(&t, &all);
         let exact = train_tree(&t, &all, &TrainParams::for_task(t.schema().task), 0);
         let acc_a = accuracy(&approx.predict_labels(&t), t.labels().as_class().unwrap());
@@ -702,8 +686,14 @@ mod tests {
     fn planet_histogram_bytes_scale_with_machines() {
         let t = class_table(2_000, 5);
         let all: Vec<usize> = (0..t.n_attrs()).collect();
-        let small = PlanetTrainer::new(PlanetConfig { n_machines: 2, ..Default::default() });
-        let big = PlanetTrainer::new(PlanetConfig { n_machines: 8, ..Default::default() });
+        let small = PlanetTrainer::new(PlanetConfig {
+            n_machines: 2,
+            ..Default::default()
+        });
+        let big = PlanetTrainer::new(PlanetConfig {
+            n_machines: 8,
+            ..Default::default()
+        });
         let (_, s2) = small.train_tree(&t, &all);
         let (_, s8) = big.train_tree(&t, &all);
         assert!(
@@ -729,7 +719,10 @@ mod tests {
     fn stage_overhead_slows_training() {
         let t = class_table(800, 7);
         let all: Vec<usize> = (0..t.n_attrs()).collect();
-        let fast = PlanetTrainer::new(PlanetConfig { dmax: 5, ..Default::default() });
+        let fast = PlanetTrainer::new(PlanetConfig {
+            dmax: 5,
+            ..Default::default()
+        });
         let slow = PlanetTrainer::new(PlanetConfig {
             dmax: 5,
             stage_overhead: Duration::from_millis(30),

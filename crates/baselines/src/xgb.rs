@@ -19,7 +19,6 @@
 //! Categorical attributes are consumed as ordinal codes, as XGBoost
 //! historically does.
 
-use rayon::prelude::*;
 use ts_datatable::{Column, DataTable, Labels, MISSING_CAT};
 use ts_splits::sketch::QuantileSketch;
 
@@ -152,7 +151,10 @@ impl XgbModel {
     /// Regression predictions.
     pub fn predict_values(&self, table: &DataTable) -> Vec<f64> {
         assert_eq!(self.objective, Objective::SquaredError);
-        self.predict_margins(table).into_iter().map(|m| m[0]).collect()
+        self.predict_margins(table)
+            .into_iter()
+            .map(|m| m[0])
+            .collect()
     }
 
     /// Class predictions.
@@ -204,16 +206,13 @@ fn feature_value(table: &DataTable, row: usize, feature: usize) -> f64 {
 /// The booster.
 pub struct XgbTrainer {
     cfg: XgbConfig,
-    pool: rayon::ThreadPool,
+    pool: tspar::ThreadPool,
 }
 
 impl XgbTrainer {
     /// Creates a booster with its thread pool.
     pub fn new(cfg: XgbConfig) -> XgbTrainer {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(cfg.threads.max(1))
-            .build()
-            .expect("rayon pool");
+        let pool = tspar::ThreadPool::new(cfg.threads.max(1));
         XgbTrainer { cfg, pool }
     }
 
@@ -235,9 +234,7 @@ impl XgbTrainer {
             let mut class_trees = Vec::with_capacity(k);
             for class in 0..k {
                 let (grad, hess) = self.grad_hess(table.labels(), &margins, class);
-                let tree = self.pool.install(|| {
-                    build_tree(table, &features, &grad, &hess, &self.cfg)
-                });
+                let tree = build_tree(table, &features, &grad, &hess, &self.cfg, &self.pool);
                 // Sequential dependency: margins update before the next
                 // class/round can proceed.
                 for (row, m) in margins.iter_mut().enumerate() {
@@ -247,7 +244,10 @@ impl XgbTrainer {
             }
             rounds.push(class_trees);
         }
-        XgbModel { rounds, objective: self.cfg.objective }
+        XgbModel {
+            rounds,
+            objective: self.cfg.objective,
+        }
     }
 
     /// First/second-order statistics of the loss at the current margins.
@@ -259,11 +259,7 @@ impl XgbTrainer {
     ) -> (Vec<f64>, Vec<f64>) {
         match (self.cfg.objective, labels) {
             (Objective::SquaredError, Labels::Real(ys)) => {
-                let g = ys
-                    .iter()
-                    .zip(margins)
-                    .map(|(&y, m)| m[0] - y)
-                    .collect();
+                let g = ys.iter().zip(margins).map(|(&y, m)| m[0] - y).collect();
                 (g, vec![1.0; ys.len()])
             }
             (Objective::Logistic, Labels::Class(ys)) => {
@@ -309,22 +305,23 @@ fn build_tree(
     grad: &[f64],
     hess: &[f64],
     cfg: &XgbConfig,
+    pool: &tspar::ThreadPool,
 ) -> XgbTree {
     let n = table.n_rows();
 
     // Per-feature candidate cuts from the hessian-weighted sketch.
-    let cuts: Vec<Vec<f64>> = features
-        .par_iter()
-        .map(|&f| {
-            let mut sk = QuantileSketch::new((cfg.max_bins * 4).max(16));
-            for (row, &h) in hess.iter().enumerate() {
-                sk.push(feature_value(table, row, f), h);
-            }
-            sk.cut_points(cfg.max_bins)
-        })
-        .collect();
+    let cuts: Vec<Vec<f64>> = pool.map(features, |_, &f| {
+        let mut sk = QuantileSketch::new((cfg.max_bins * 4).max(16));
+        for (row, &h) in hess.iter().enumerate() {
+            sk.push(feature_value(table, row, f), h);
+        }
+        sk.cut_points(cfg.max_bins)
+    });
 
-    let mut nodes = vec![XgbNode { split: None, weight: 0.0 }];
+    let mut nodes = vec![XgbNode {
+        split: None,
+        weight: 0.0,
+    }];
     let mut node_of_row: Vec<u32> = vec![0; n];
     // Frontier: (arena index, G, H).
     let mut frontier: Vec<(usize, f64, f64)> = {
@@ -340,44 +337,41 @@ fn build_tree(
         }
         if cfg.work_ns_per_unit > 0 {
             let units = n as u64 * features.len() as u64 / cfg.threads.max(1) as u64;
-            std::thread::sleep(std::time::Duration::from_nanos(units * cfg.work_ns_per_unit));
+            std::thread::sleep(std::time::Duration::from_nanos(
+                units * cfg.work_ns_per_unit,
+            ));
         }
         // Feature-parallel accumulation: stats[feature][frontier slot].
-        let stats: Vec<Vec<FeatStats>> = features
-            .par_iter()
-            .enumerate()
-            .map(|(ci, &f)| {
-                let mut per_node: Vec<FeatStats> = frontier
-                    .iter()
-                    .map(|_| FeatStats {
-                        bins: vec![(0.0, 0.0); cuts[ci].len() + 1],
-                        missing: (0.0, 0.0),
-                    })
-                    .collect();
-                for row in 0..n {
-                    let slot = node_of_row[row];
-                    if slot == u32::MAX {
-                        continue;
-                    }
-                    let s = &mut per_node[slot as usize];
-                    let v = feature_value(table, row, f);
-                    if v.is_nan() {
-                        s.missing.0 += grad[row];
-                        s.missing.1 += hess[row];
-                    } else {
-                        let b = cuts[ci].partition_point(|&c| c < v);
-                        s.bins[b].0 += grad[row];
-                        s.bins[b].1 += hess[row];
-                    }
+        let stats: Vec<Vec<FeatStats>> = pool.map(features, |ci, &f| {
+            let mut per_node: Vec<FeatStats> = frontier
+                .iter()
+                .map(|_| FeatStats {
+                    bins: vec![(0.0, 0.0); cuts[ci].len() + 1],
+                    missing: (0.0, 0.0),
+                })
+                .collect();
+            for row in 0..n {
+                let slot = node_of_row[row];
+                if slot == u32::MAX {
+                    continue;
                 }
-                per_node
-            })
-            .collect();
+                let s = &mut per_node[slot as usize];
+                let v = feature_value(table, row, f);
+                if v.is_nan() {
+                    s.missing.0 += grad[row];
+                    s.missing.1 += hess[row];
+                } else {
+                    let b = cuts[ci].partition_point(|&c| c < v);
+                    s.bins[b].0 += grad[row];
+                    s.bins[b].1 += hess[row];
+                }
+            }
+            per_node
+        });
 
         // Pick the best split per frontier node.
         let mut next_frontier = Vec::new();
-        let mut decisions: Vec<Option<XgbSplit>> =
-            vec![None; frontier.len()];
+        let mut decisions: Vec<Option<XgbSplit>> = vec![None; frontier.len()];
         for (slot, &(node, g_tot, h_tot)) in frontier.iter().enumerate() {
             let parent_score = g_tot * g_tot / (h_tot + cfg.lambda);
             let mut best: Option<(f64, usize, f64, bool, f64, f64)> = None;
@@ -392,7 +386,11 @@ fn build_tree(
                     let thr = cuts[ci][b];
                     // Try missing on each side; keep the better.
                     for default_left in [true, false] {
-                        let (gl2, hl2) = if default_left { (gl + gm, hl + hm) } else { (gl, hl) };
+                        let (gl2, hl2) = if default_left {
+                            (gl + gm, hl + hm)
+                        } else {
+                            (gl, hl)
+                        };
                         let (gr2, hr2) = (g_tot - gl2, h_tot - hl2);
                         if hl2 < cfg.min_child_weight || hr2 < cfg.min_child_weight {
                             continue;
@@ -403,8 +401,7 @@ fn build_tree(
                             - cfg.gamma;
                         if gain > 0.0
                             && best.is_none_or(|(bg, bf, bt, _, _, _)| {
-                                gain > bg
-                                    || (gain == bg && (f < bf || (f == bf && thr < bt)))
+                                gain > bg || (gain == bg && (f < bf || (f == bf && thr < bt)))
                             })
                         {
                             best = Some((gain, f, thr, default_left, gl2, hl2));
@@ -415,8 +412,14 @@ fn build_tree(
             if let Some((_, f, thr, default_left, gl, hl)) = best {
                 let l = nodes.len();
                 let r = l + 1;
-                nodes.push(XgbNode { split: None, weight: 0.0 });
-                nodes.push(XgbNode { split: None, weight: 0.0 });
+                nodes.push(XgbNode {
+                    split: None,
+                    weight: 0.0,
+                });
+                nodes.push(XgbNode {
+                    split: None,
+                    weight: 0.0,
+                });
                 nodes[node].split = Some((f, thr, default_left, l, r));
                 decisions[slot] = Some((f, thr, default_left, l, r));
                 next_frontier.push((l, gl, hl));
@@ -618,7 +621,10 @@ mod tests {
             ..XgbConfig::new(Objective::Logistic)
         });
         let model = trainer.train(&t);
-        assert!(model.rounds[0][0].n_nodes() <= 7, "depth-2 tree has <= 7 nodes");
+        assert!(
+            model.rounds[0][0].n_nodes() <= 7,
+            "depth-2 tree has <= 7 nodes"
+        );
     }
 
     #[test]

@@ -95,8 +95,7 @@ impl YggdrasilTrainer {
         let root_stats = NodeStats::from_view(LabelView::of(&root_labels, n_classes));
         let mut nodes = vec![Node::leaf(prediction_from_stats(&root_stats), n as u64, 0)];
         // Frontier: (arena node, rows, stats).
-        let mut frontier: Vec<(usize, Vec<u32>, NodeStats)> =
-            vec![(0, root_rows, root_stats)];
+        let mut frontier: Vec<(usize, Vec<u32>, NodeStats)> = vec![(0, root_rows, root_stats)];
         let mut depth = 0u32;
 
         while !frontier.is_empty() && depth < self.cfg.dmax {
@@ -122,9 +121,7 @@ impl YggdrasilTrainer {
                     ) {
                         let wins = match &best {
                             None => true,
-                            Some((battr, bs)) => {
-                                ColumnSplit::challenger_wins(&s, attr, bs, *battr)
-                            }
+                            Some((battr, bs)) => ColumnSplit::challenger_wins(&s, attr, bs, *battr),
                         };
                         if wins {
                             best = Some((attr, s));
@@ -233,12 +230,16 @@ mod tests {
     fn broadcast_bytes_scale_with_rows_and_machines() {
         let t = sample(4_000, 2);
         let all: Vec<usize> = (0..t.n_attrs()).collect();
-        let (_, small) =
-            YggdrasilTrainer::new(YggdrasilConfig { n_machines: 2, ..Default::default() })
-                .train_tree(&t, &all);
-        let (_, big) =
-            YggdrasilTrainer::new(YggdrasilConfig { n_machines: 8, ..Default::default() })
-                .train_tree(&t, &all);
+        let (_, small) = YggdrasilTrainer::new(YggdrasilConfig {
+            n_machines: 2,
+            ..Default::default()
+        })
+        .train_tree(&t, &all);
+        let (_, big) = YggdrasilTrainer::new(YggdrasilConfig {
+            n_machines: 8,
+            ..Default::default()
+        })
+        .train_tree(&t, &all);
         assert!(
             big.master_broadcast_bytes >= small.master_broadcast_bytes * 3,
             "8 machines {} vs 2 machines {}",
@@ -268,9 +269,11 @@ mod tests {
     fn respects_dmax() {
         let t = sample(1_500, 4);
         let all: Vec<usize> = (0..t.n_attrs()).collect();
-        let (model, stats) =
-            YggdrasilTrainer::new(YggdrasilConfig { dmax: 3, ..Default::default() })
-                .train_tree(&t, &all);
+        let (model, stats) = YggdrasilTrainer::new(YggdrasilConfig {
+            dmax: 3,
+            ..Default::default()
+        })
+        .train_tree(&t, &all);
         assert!(model.max_depth() <= 3);
         assert!(stats.levels <= 3);
     }

@@ -1,10 +1,10 @@
 //! Property tests for the baseline trainers: structural invariants of
 //! PLANET trees and XGBoost models on arbitrary data.
 
-use proptest::prelude::*;
 use ts_baselines::{Objective, PlanetConfig, PlanetTrainer, XgbConfig, XgbTrainer};
 use ts_datatable::synth::{generate, SynthSpec};
 use ts_datatable::Task;
+use tscheck::prelude::*;
 
 fn any_class_spec() -> impl Strategy<Value = SynthSpec> {
     (50usize..600, 1usize..5, 0usize..3, 0u64..2_000).prop_map(

@@ -19,12 +19,20 @@ use ts_bench::*;
 use ts_datatable::synth::PaperDataset;
 
 fn main() {
-    print_header("Ablation (§V): delegate workers vs master bitvector broadcast", "");
+    print_header(
+        "Ablation (§V): delegate workers vs master bitvector broadcast",
+        "",
+    );
     println!(
         "{:<12} {:>8} | {:>16} {:>16} | {:>18}",
         "Dataset", "rows", "TS master out", "TS workers out", "Ygg master out"
     );
-    for d in [PaperDataset::MsLtrc, PaperDataset::Kdd99, PaperDataset::HiggsBoson, PaperDataset::LoanY1] {
+    for d in [
+        PaperDataset::MsLtrc,
+        PaperDataset::Kdd99,
+        PaperDataset::HiggsBoson,
+        PaperDataset::LoanY1,
+    ] {
         let (train, _) = dataset(d);
         let task = train.schema().task;
 

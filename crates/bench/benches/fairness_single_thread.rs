@@ -13,12 +13,19 @@ use ts_datatable::synth::PaperDataset;
 use ts_tree::{train_tree, TrainParams};
 
 fn main() {
-    print_header("Fairness: single-threaded single-tree", "no cluster, no work model");
+    print_header(
+        "Fairness: single-threaded single-tree",
+        "no cluster, no work model",
+    );
     println!(
         "{:<12} {:>8} | {:>12} | {:>12}",
         "Dataset", "rows", "TS exact (s)", "ML hist (s)"
     );
-    for d in [PaperDataset::HiggsBoson, PaperDataset::MsLtrc, PaperDataset::LoanY1] {
+    for d in [
+        PaperDataset::HiggsBoson,
+        PaperDataset::MsLtrc,
+        PaperDataset::LoanY1,
+    ] {
         let (train, _) = dataset(d);
         let all: Vec<usize> = (0..train.n_attrs()).collect();
         let params = TrainParams::for_task(train.schema().task);

@@ -1,12 +1,17 @@
-//! Criterion micro-benchmarks of the split kernels: the inner loops whose
-//! cost model (`|Ix| * |C| * log|Ix|`) drives the §VI worker assignment.
+//! Micro-benchmarks of the split kernels: the inner loops whose cost model
+//! (`|Ix| * |C| * log|Ix|`) drives the §VI worker assignment.
+//!
+//! Plain timed loops (median of repeated runs) like the table benches, so
+//! the workspace needs no external benchmark harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::prelude::*;
+use std::hint::black_box;
+use std::time::Instant;
+use ts_bench::print_header;
 use ts_splits::exact::{best_cat_split_classification, best_numeric_split};
 use ts_splits::histogram::{BinCuts, NumericHistogram};
 use ts_splits::impurity::{Impurity, LabelView};
 use ts_splits::sketch::QuantileSketch;
+use tsrand::prelude::*;
 
 fn data(n: usize, seed: u64) -> (Vec<f64>, Vec<u32>) {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -15,65 +20,92 @@ fn data(n: usize, seed: u64) -> (Vec<f64>, Vec<u32>) {
     (values, ys)
 }
 
-fn bench_exact_numeric(c: &mut Criterion) {
-    let mut g = c.benchmark_group("exact_numeric_split");
-    for n in [1_000usize, 10_000, 100_000] {
-        let (values, ys) = data(n, 1);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                best_numeric_split(&values, LabelView::Class(&ys, 2), Impurity::Gini)
-            })
-        });
+/// Times `f` over enough iterations to pass ~50ms, three rounds, and
+/// reports the best round's per-iteration time.
+fn time_us(mut f: impl FnMut()) -> f64 {
+    let mut iters = 1u32;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if t0.elapsed().as_millis() >= 50 || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
     }
-    g.finish();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e6 / iters as f64);
+    }
+    best
 }
 
-fn bench_histogram_pass(c: &mut Criterion) {
-    let mut g = c.benchmark_group("histogram_pass");
+fn report(name: &str, per_iter_us: f64) {
+    println!("{name:<40} {per_iter_us:>12.1} us/iter");
+}
+
+fn main() {
+    print_header(
+        "Micro: split kernels",
+        "per-call cost of the §VI work model's unit operations",
+    );
+
+    for n in [1_000usize, 10_000, 100_000] {
+        let (values, ys) = data(n, 1);
+        let us = time_us(|| {
+            black_box(best_numeric_split(
+                black_box(&values),
+                LabelView::Class(&ys, 2),
+                Impurity::Gini,
+            ));
+        });
+        report(&format!("exact_numeric_split/{n}"), us);
+    }
+
     for n in [10_000usize, 100_000] {
         let (values, ys) = data(n, 2);
         let cuts = BinCuts::equi_depth(&values, 32);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let mut h = NumericHistogram::new_class(cuts.n_bins(), 2);
-                for (&v, &y) in values.iter().zip(&ys) {
-                    h.add_class(&cuts, v, y);
-                }
-                h.best_split(&cuts, Impurity::Gini)
-            })
+        let us = time_us(|| {
+            let mut h = NumericHistogram::new_class(cuts.n_bins(), 2);
+            for (&v, &y) in values.iter().zip(&ys) {
+                h.add_class(&cuts, v, y);
+            }
+            black_box(h.best_split(&cuts, Impurity::Gini));
         });
+        report(&format!("histogram_pass/{n}"), us);
     }
-    g.finish();
-}
 
-fn bench_categorical(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(3);
-    let n = 100_000;
-    let codes: Vec<u32> = (0..n).map(|_| rng.gen_range(0..32)).collect();
-    let ys: Vec<u32> = codes.iter().map(|&c| u32::from(c % 3 == 0)).collect();
-    c.bench_function("exact_categorical_split_100k_32vals", |b| {
-        b.iter(|| best_cat_split_classification(&codes, 32, &ys, 2, Impurity::Gini))
-    });
-}
+    {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let codes: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..32)).collect();
+        let ys: Vec<u32> = codes.iter().map(|&c| u32::from(c % 3 == 0)).collect();
+        let us = time_us(|| {
+            black_box(best_cat_split_classification(
+                black_box(&codes),
+                32,
+                &ys,
+                2,
+                Impurity::Gini,
+            ));
+        });
+        report("exact_categorical_split_100k_32vals", us);
+    }
 
-fn bench_sketch(c: &mut Criterion) {
-    let (values, _) = data(100_000, 4);
-    c.bench_function("quantile_sketch_build_100k", |b| {
-        b.iter(|| {
+    {
+        let (values, _) = data(100_000, 4);
+        let us = time_us(|| {
             let mut s = QuantileSketch::new(128);
             for &v in &values {
                 s.push(v, 1.0);
             }
-            s.cut_points(32)
-        })
-    });
+            black_box(s.cut_points(32));
+        });
+        report("quantile_sketch_build_100k", us);
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_exact_numeric,
-    bench_histogram_pass,
-    bench_categorical,
-    bench_sketch
-);
-criterion_main!(benches);

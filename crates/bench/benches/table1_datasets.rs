@@ -35,6 +35,10 @@ fn main() {
             missing,
         );
         assert_eq!(gen_num, num, "numeric column count must match Table I");
-        assert_eq!(t.n_attrs() - gen_num, cat, "categorical count must match Table I");
+        assert_eq!(
+            t.n_attrs() - gen_num,
+            cat,
+            "categorical count must match Table I"
+        );
     }
 }

@@ -11,8 +11,15 @@ use ts_datatable::synth::PaperDataset;
 
 fn main() {
     let n_trees = scaled_trees(20);
-    print_header("Table III(a)-(c): effect of n_pool", &format!("{n_trees}-tree forest"));
-    for d in [PaperDataset::Allstate, PaperDataset::HiggsBoson, PaperDataset::Kdd99] {
+    print_header(
+        "Table III(a)-(c): effect of n_pool",
+        &format!("{n_trees}-tree forest"),
+    );
+    for d in [
+        PaperDataset::Allstate,
+        PaperDataset::HiggsBoson,
+        PaperDataset::Kdd99,
+    ] {
         let (train, _test) = dataset_scaled(d, 0.25);
         println!("\n--- {} ({} rows) ---", d.name(), train.n_rows());
         println!("{:>7} {:>10} {:>12}", "n_pool", "time (s)", "mem (MB)");
@@ -24,9 +31,8 @@ fn main() {
             cfg.n_pool = n_pool;
             let cluster = Cluster::launch(cfg, &train);
             let t0 = std::time::Instant::now();
-            let _ = cluster.train(
-                JobSpec::random_forest(train.schema().task, n_trees).with_seed(1),
-            );
+            let _ =
+                cluster.train(JobSpec::random_forest(train.schema().task, n_trees).with_seed(1));
             let secs = t0.elapsed().as_secs_f64();
             let report = cluster.shutdown();
             println!(

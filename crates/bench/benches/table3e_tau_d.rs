@@ -11,8 +11,15 @@ use ts_datatable::synth::PaperDataset;
 
 fn main() {
     let n_trees = scaled_trees(20);
-    print_header("Table III(e): effect of tau_D", &format!("{n_trees}-tree forest"));
-    for d in [PaperDataset::Allstate, PaperDataset::HiggsBoson, PaperDataset::Kdd99] {
+    print_header(
+        "Table III(e): effect of tau_D",
+        &format!("{n_trees}-tree forest"),
+    );
+    for d in [
+        PaperDataset::Allstate,
+        PaperDataset::HiggsBoson,
+        PaperDataset::Kdd99,
+    ] {
         let (train, _test) = dataset_scaled(d, 0.25);
         let n = train.n_rows() as u64;
         println!("\n--- {} ({} rows) ---", d.name(), train.n_rows());
@@ -33,9 +40,8 @@ fn main() {
             cfg.tau_dfs = (tau_d.max(1) * 4).max(cfg.tau_dfs);
             let cluster = Cluster::launch(cfg, &train);
             let t0 = std::time::Instant::now();
-            let _ = cluster.train(
-                JobSpec::random_forest(train.schema().task, n_trees).with_seed(1),
-            );
+            let _ =
+                cluster.train(JobSpec::random_forest(train.schema().task, n_trees).with_seed(1));
             let secs = t0.elapsed().as_secs_f64();
             cluster.shutdown();
             println!("{label:>16} {secs:>10.2}");

@@ -16,7 +16,10 @@ fn main() {
         .iter()
         .map(|&c| scaled_trees(c))
         .collect();
-    print_header("Table IV(a)-(b): time vs number of trees", "counts = paper/10");
+    print_header(
+        "Table IV(a)-(b): time vs number of trees",
+        "counts = paper/10",
+    );
     for d in [PaperDataset::MsLtrc, PaperDataset::C14B] {
         let (train, test) = dataset(d);
         let task = train.schema().task;

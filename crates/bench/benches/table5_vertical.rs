@@ -11,7 +11,10 @@ use ts_datatable::synth::PaperDataset;
 
 fn main() {
     let n_trees = scaled_trees(20);
-    print_header("Table V: vertical scalability (threads per machine)", &format!("{n_trees} trees"));
+    print_header(
+        "Table V: vertical scalability (threads per machine)",
+        &format!("{n_trees} trees"),
+    );
     for d in [PaperDataset::Allstate, PaperDataset::HiggsBoson] {
         let (train, test) = dataset_scaled(d, 0.25);
         let task = train.schema().task;
@@ -31,7 +34,11 @@ fn main() {
             let ml = run_planet_forest(
                 &train,
                 &test,
-                { let mut c = planet_config(task, 15, threads); c.work_ns_per_unit = WORK_NS * 100; c },
+                {
+                    let mut c = planet_config(task, 15, threads);
+                    c.work_ns_per_unit = WORK_NS * 100;
+                    c
+                },
                 n_trees,
                 4,
             );

@@ -10,12 +10,20 @@ use ts_bench::*;
 use ts_datatable::synth::PaperDataset;
 
 fn main() {
-    print_header("Table VI: horizontal scalability (machines)", "10 compers each");
+    print_header(
+        "Table VI: horizontal scalability (machines)",
+        "10 compers each",
+    );
     for (label, n_trees) in [("1 tree", 1usize), ("20 trees", scaled_trees(20))] {
         for d in [PaperDataset::Allstate, PaperDataset::HiggsBoson] {
             let (train, test) = dataset_scaled(d, 0.25);
             let task = train.schema().task;
-            println!("\n--- {} on {} ({} rows) ---", label, d.name(), train.n_rows());
+            println!(
+                "\n--- {} on {} ({} rows) ---",
+                label,
+                d.name(),
+                train.n_rows()
+            );
             println!(
                 "{:>7} | {:>8} {:>8} {:>10} | {:>9}",
                 "#macs", "TS s", "CPU %", "Send Mbps", "MLlib s"
@@ -41,12 +49,20 @@ fn main() {
                 let report = cluster.shutdown();
 
                 let ml = if n_trees == 1 {
-                    run_planet_tree(&train, &test, { let mut c = planet_config(task, machines, 10); c.work_ns_per_unit = WORK_NS * 100; c })
+                    run_planet_tree(&train, &test, {
+                        let mut c = planet_config(task, machines, 10);
+                        c.work_ns_per_unit = WORK_NS * 100;
+                        c
+                    })
                 } else {
                     run_planet_forest(
                         &train,
                         &test,
-                        { let mut c = planet_config(task, machines, 10); c.work_ns_per_unit = WORK_NS * 100; c },
+                        {
+                            let mut c = planet_config(task, machines, 10);
+                            c.work_ns_per_unit = WORK_NS * 100;
+                            c
+                        },
                         n_trees,
                         6,
                     )

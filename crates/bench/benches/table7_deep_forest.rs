@@ -39,7 +39,10 @@ fn main() {
         seed: 3,
     };
     let (model, reports) = DeepForest::train(cfg, &train, &test);
-    println!("{:<14} {:>12} {:>12} {:>10}", "Step", "Train", "Test", "Accuracy");
+    println!(
+        "{:<14} {:>12} {:>12} {:>10}",
+        "Step", "Train", "Test", "Accuracy"
+    );
     for r in &reports {
         println!(
             "{:<14} {:>12} {:>12} {:>10}",

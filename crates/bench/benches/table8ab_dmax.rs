@@ -20,10 +20,17 @@ fn main() {
             let spec = if n_trees == 1 {
                 JobSpec::decision_tree(task).with_dmax(dmax)
             } else {
-                JobSpec::random_forest(task, n_trees).with_dmax(dmax).with_seed(8)
+                JobSpec::random_forest(task, n_trees)
+                    .with_dmax(dmax)
+                    .with_seed(8)
             };
             let r = run_treeserver(&train, &test, ts_config(train.n_rows(), 15, 10), spec);
-            println!("{:>6} {:>9.2} {:>10}", dmax, r.secs, fmt_metric(task, r.metric));
+            println!(
+                "{:>6} {:>9.2} {:>10}",
+                dmax,
+                r.secs,
+                fmt_metric(task, r.metric)
+            );
         }
     }
 }

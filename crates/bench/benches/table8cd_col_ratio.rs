@@ -10,15 +10,22 @@ use ts_datatable::synth::PaperDataset;
 
 fn main() {
     let n_trees = scaled_trees(20);
-    print_header("Table VIII(c)-(d): effect of |C|/|A|", &format!("{n_trees}-tree forest"));
+    print_header(
+        "Table VIII(c)-(d): effect of |C|/|A|",
+        &format!("{n_trees}-tree forest"),
+    );
     for d in [PaperDataset::Allstate, PaperDataset::HiggsBoson] {
         let (train, test) = dataset(d);
         let task = train.schema().task;
-        println!("\n--- {} ({} rows, {} attrs) ---", d.name(), train.n_rows(), train.n_attrs());
+        println!(
+            "\n--- {} ({} rows, {} attrs) ---",
+            d.name(),
+            train.n_rows(),
+            train.n_attrs()
+        );
         println!("{:>8} {:>9} {:>10}", "|C|/|A|", "time (s)", "metric");
         for ratio in [0.2f64, 0.4, 0.6, 0.8, 1.0] {
-            let spec =
-                JobSpec::random_forest_with_fraction(task, n_trees, ratio).with_seed(9);
+            let spec = JobSpec::random_forest_with_fraction(task, n_trees, ratio).with_seed(9);
             let r = run_treeserver(&train, &test, ts_config(train.n_rows(), 15, 10), spec);
             println!(
                 "{:>7.0}% {:>9.2} {:>10}",

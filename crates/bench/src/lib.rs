@@ -97,7 +97,11 @@ pub fn planet_config(task: Task, machines: usize, threads: usize) -> PlanetConfi
         max_bins: 32,
         dmax: 10,
         tau_leaf: 1,
-        impurity: if task.is_classification() { Impurity::Gini } else { Impurity::Variance },
+        impurity: if task.is_classification() {
+            Impurity::Gini
+        } else {
+            Impurity::Variance
+        },
         stage_overhead: STAGE_OVERHEAD,
         net: NetModel {
             bandwidth_bytes_per_sec: Some(125_000_000.0),
@@ -154,7 +158,10 @@ pub fn run_treeserver(
     let result = cluster.train(spec);
     let secs = t0.elapsed().as_secs_f64();
     cluster.shutdown();
-    RunResult { secs, metric: score(&result, test) }
+    RunResult {
+        secs,
+        metric: score(&result, test),
+    }
 }
 
 /// Trains the MLlib-style baseline (single tree) and scores it.
@@ -165,10 +172,14 @@ pub fn run_planet_tree(train: &DataTable, test: &DataTable, cfg: PlanetConfig) -
     let (model, _) = trainer.train_tree(train, &all);
     let secs = t0.elapsed().as_secs_f64();
     let metric = match test.schema().task {
-        Task::Classification { .. } => {
-            accuracy(&model.predict_labels(test), test.labels().as_class().unwrap())
-        }
-        Task::Regression => rmse(&model.predict_values(test), test.labels().as_real().unwrap()),
+        Task::Classification { .. } => accuracy(
+            &model.predict_labels(test),
+            test.labels().as_class().unwrap(),
+        ),
+        Task::Regression => rmse(
+            &model.predict_values(test),
+            test.labels().as_real().unwrap(),
+        ),
     };
     RunResult { secs, metric }
 }
@@ -186,10 +197,14 @@ pub fn run_planet_forest(
     let (model, _) = trainer.train_forest(train, n_trees, seed);
     let secs = t0.elapsed().as_secs_f64();
     let metric = match test.schema().task {
-        Task::Classification { .. } => {
-            accuracy(&model.predict_labels(test), test.labels().as_class().unwrap())
-        }
-        Task::Regression => rmse(&model.predict_values(test), test.labels().as_real().unwrap()),
+        Task::Classification { .. } => accuracy(
+            &model.predict_labels(test),
+            test.labels().as_class().unwrap(),
+        ),
+        Task::Regression => rmse(
+            &model.predict_values(test),
+            test.labels().as_real().unwrap(),
+        ),
     };
     RunResult { secs, metric }
 }
@@ -217,10 +232,14 @@ pub fn run_xgb(train: &DataTable, test: &DataTable, cfg: XgbConfig) -> RunResult
     let model = trainer.train(train);
     let secs = t0.elapsed().as_secs_f64();
     let metric = match test.schema().task {
-        Task::Classification { .. } => {
-            accuracy(&model.predict_labels(test), test.labels().as_class().unwrap())
-        }
-        Task::Regression => rmse(&model.predict_values(test), test.labels().as_real().unwrap()),
+        Task::Classification { .. } => accuracy(
+            &model.predict_labels(test),
+            test.labels().as_class().unwrap(),
+        ),
+        Task::Regression => rmse(
+            &model.predict_values(test),
+            test.labels().as_real().unwrap(),
+        ),
     };
     RunResult { secs, metric }
 }
@@ -232,7 +251,11 @@ pub fn print_header(table: &str, extra: &str) {
     println!(
         "dataset scale = paper rows x {:.0e}{}; modeled compute {WORK_NS} ns/unit; {extra}",
         BASE_SCALE * env_scale(),
-        if env_scale() == 1.0 { String::new() } else { format!(" (TS_SCALE={})", env_scale()) },
+        if env_scale() == 1.0 {
+            String::new()
+        } else {
+            format!(" (TS_SCALE={})", env_scale())
+        },
     );
     println!("================================================================");
 }

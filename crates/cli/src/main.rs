@@ -87,9 +87,7 @@ impl Opts {
                 map.insert(name.to_string(), "true".to_string());
                 continue;
             }
-            let value = it
-                .next()
-                .ok_or_else(|| format!("--{name} needs a value"))?;
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
             map.insert(name.to_string(), value.clone());
         }
         Ok(Opts(map))
@@ -205,10 +203,16 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
             } else {
                 JobSpec::extra_trees(task, trees)
             };
-            ModelFile::Forest(cluster.train(spec.with_dmax(dmax).with_seed(seed)).into_forest())
+            ModelFile::Forest(
+                cluster
+                    .train(spec.with_dmax(dmax).with_seed(seed))
+                    .into_forest(),
+            )
         }
         "gbt" => {
-            let gbt_cfg = GbtConfig::for_task(task).with_rounds(trees).with_dmax(dmax.min(8));
+            let gbt_cfg = GbtConfig::for_task(task)
+                .with_rounds(trees)
+                .with_dmax(dmax.min(8));
             ModelFile::Gbt(train_gbt_on(&cluster, &table, gbt_cfg))
         }
         other => return Err(format!("--model must be dt|rf|etc|gbt, got {other:?}")),
@@ -225,8 +229,7 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
             }
         }
         if let Some(path) = &metrics_out {
-            std::fs::write(path, rec.metrics_json())
-                .map_err(|e| format!("writing {path}: {e}"))?;
+            std::fs::write(path, rec.metrics_json()).map_err(|e| format!("writing {path}: {e}"))?;
             if !quiet {
                 eprintln!("metrics written to {path}");
             }
@@ -248,13 +251,19 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
     // Training-set fit as a quick sanity line.
     match task {
         Task::Classification { .. } => {
-            let acc = accuracy(&model.predict_labels(&table)?, table.labels().as_class().unwrap());
+            let acc = accuracy(
+                &model.predict_labels(&table)?,
+                table.labels().as_class().unwrap(),
+            );
             if !quiet {
                 eprintln!("training accuracy: {:.2}%", acc * 100.0);
             }
         }
         Task::Regression => {
-            let r = rmse(&model.predict_values(&table)?, table.labels().as_real().unwrap());
+            let r = rmse(
+                &model.predict_values(&table)?,
+                table.labels().as_real().unwrap(),
+            );
             if !quiet {
                 eprintln!("training RMSE: {r:.4}");
             }
@@ -281,7 +290,10 @@ fn cmd_predict(opts: &Opts) -> Result<(), String> {
         Task::Classification { .. } => {
             let pred = model.predict_labels(&table)?;
             let acc = accuracy(&pred, table.labels().as_class().unwrap());
-            eprintln!("accuracy against the CSV's target column: {:.2}%", acc * 100.0);
+            eprintln!(
+                "accuracy against the CSV's target column: {:.2}%",
+                acc * 100.0
+            );
             pred.into_iter().map(|p| p.to_string()).collect()
         }
         Task::Regression => {

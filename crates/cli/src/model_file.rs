@@ -1,10 +1,10 @@
 //! The CLI's on-disk model envelope: a tagged JSON union over the three
 //! model kinds the engine produces.
 
-use serde_json::json;
 use treeserver::GbtModel;
 use ts_datatable::DataTable;
 use ts_tree::{DecisionTreeModel, ForestModel};
+use tsjson::json;
 
 /// A persisted model of any kind.
 pub enum ModelFile {
@@ -24,12 +24,12 @@ impl ModelFile {
             ModelFile::Forest(m) => json!({"kind": "forest", "model": m}),
             ModelFile::Gbt(m) => json!({"kind": "gbt", "model": m}),
         };
-        serde_json::to_string(&v).expect("model serialisation cannot fail")
+        tsjson::to_string(&v).expect("model serialisation cannot fail")
     }
 
     /// Parses the tagged envelope.
     pub fn from_json(s: &str) -> Result<ModelFile, String> {
-        let v: serde_json::Value = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        let v: tsjson::Value = tsjson::from_str(s).map_err(|e| e.to_string())?;
         let kind = v
             .get("kind")
             .and_then(|k| k.as_str())
@@ -37,13 +37,13 @@ impl ModelFile {
         let model = v.get("model").ok_or("missing \"model\" body")?.clone();
         match kind {
             "tree" => Ok(ModelFile::Tree(
-                serde_json::from_value(model).map_err(|e| e.to_string())?,
+                tsjson::from_value(model).map_err(|e| e.to_string())?,
             )),
             "forest" => Ok(ModelFile::Forest(
-                serde_json::from_value(model).map_err(|e| e.to_string())?,
+                tsjson::from_value(model).map_err(|e| e.to_string())?,
             )),
             "gbt" => Ok(ModelFile::Gbt(
-                serde_json::from_value(model).map_err(|e| e.to_string())?,
+                tsjson::from_value(model).map_err(|e| e.to_string())?,
             )),
             other => Err(format!("unknown model kind {other:?}")),
         }
@@ -111,13 +111,13 @@ mod tests {
     use ts_tree::{train_tree, TrainParams};
 
     fn sample_tree() -> (DecisionTreeModel, DataTable) {
-        let t = generate(&SynthSpec { rows: 500, numeric: 3, seed: 1, ..Default::default() });
-        let m = train_tree(
-            &t,
-            &[0, 1, 2],
-            &TrainParams::for_task(t.schema().task),
-            0,
-        );
+        let t = generate(&SynthSpec {
+            rows: 500,
+            numeric: 3,
+            seed: 1,
+            ..Default::default()
+        });
+        let m = train_tree(&t, &[0, 1, 2], &TrainParams::for_task(t.schema().task), 0);
         (m, t)
     }
 
@@ -125,10 +125,7 @@ mod tests {
     fn envelope_roundtrips_every_kind() {
         let (tree, table) = sample_tree();
         let forest = ForestModel::new(vec![tree.clone()], table.schema().task);
-        for mf in [
-            ModelFile::Tree(tree.clone()),
-            ModelFile::Forest(forest),
-        ] {
+        for mf in [ModelFile::Tree(tree.clone()), ModelFile::Forest(forest)] {
             let parsed = ModelFile::from_json(&mf.to_json()).unwrap();
             assert_eq!(
                 parsed.predict_labels(&table).unwrap(),

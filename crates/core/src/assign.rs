@@ -35,7 +35,9 @@ pub struct LoadMatrix {
 impl LoadMatrix {
     /// Creates a matrix for `n_nodes` machines (master + workers).
     pub fn new(n_nodes: usize) -> LoadMatrix {
-        LoadMatrix { rows: vec![[0; 3]; n_nodes] }
+        LoadMatrix {
+            rows: vec![[0; 3]; n_nodes],
+        }
     }
 
     /// Current value of one cell.
@@ -94,11 +96,7 @@ impl ColumnMap {
     pub fn round_robin(n_attrs: usize, n_workers: usize, replication: usize) -> ColumnMap {
         assert!(replication >= 1 && replication <= n_workers);
         let holders = (0..n_attrs)
-            .map(|a| {
-                (0..replication)
-                    .map(|r| 1 + (a + r) % n_workers)
-                    .collect()
-            })
+            .map(|a| (0..replication).map(|r| 1 + (a + r) % n_workers).collect())
             .collect();
         ColumnMap { holders }
     }
@@ -175,7 +173,9 @@ struct ChargeSet {
 
 impl ChargeSet {
     fn new() -> ChargeSet {
-        ChargeSet { map: HashMap::new() }
+        ChargeSet {
+            map: HashMap::new(),
+        }
     }
 
     fn add(&mut self, m: &mut LoadMatrix, node: NodeId, dim: usize, amount: u64) {
@@ -348,7 +348,11 @@ pub fn assign_column_task(
     } else {
         Vec::new()
     };
-    ColumnAssignment { shards, charges: charges.into_vec(), ix_requesters }
+    ColumnAssignment {
+        shards,
+        charges: charges.into_vec(),
+        ix_requesters,
+    }
 }
 
 #[cfg(test)]
@@ -417,7 +421,12 @@ mod tests {
         let a = assign_subtree(&mut m, &cm, &workers(3), &[0, 1, 2], 100, None);
         assert!(a.ix_requesters.is_empty());
         // No Recv charge for Ix on the key worker either.
-        let key_charge = a.charges.iter().find(|&&(w, _)| w == a.key_worker).unwrap().1;
+        let key_charge = a
+            .charges
+            .iter()
+            .find(|&&(w, _)| w == a.key_worker)
+            .unwrap()
+            .1;
         assert_eq!(key_charge[RECV] % 100, 0, "only column transfers counted");
     }
 

@@ -7,16 +7,16 @@ use crate::job::{JobHandle, JobResult, JobSpec};
 use crate::master::Master;
 use crate::messages::{DataMsg, TaskMsg};
 use crate::worker::Worker;
-use crossbeam_channel::Receiver;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use ts_datatable::{DataTable, Task};
 use ts_netsim::{Fabric, NetStats, NodeId};
+use tschan::sync::Mutex;
+use tschan::Receiver;
 
 /// Summary statistics of a cluster run, in the units the paper reports.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone, tsjson::Serialize)]
 pub struct ClusterReport {
     /// Wall-clock since launch.
     pub elapsed: Duration,
@@ -61,16 +61,31 @@ impl std::fmt::Display for ClusterReport {
     /// A human-readable table in the paper's units (Table VI columns:
     /// elapsed, CPU rate, send throughput, master outbound, peak memory).
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "cluster report ({} machines, master + {} workers)",
+        writeln!(
+            f,
+            "cluster report ({} machines, master + {} workers)",
             self.per_node.len(),
-            self.per_node.len().saturating_sub(1))?;
+            self.per_node.len().saturating_sub(1)
+        )?;
         writeln!(f, "  elapsed          {:>10.2?}", self.elapsed)?;
         writeln!(f, "  avg worker CPU   {:>10.1} %", self.avg_cpu_percent)?;
         writeln!(f, "  avg worker send  {:>10.2} Mbps", self.avg_send_mbps)?;
-        writeln!(f, "  master sent      {:>10.2} MB", self.master_sent_bytes as f64 / 1e6)?;
-        writeln!(f, "  avg peak mem     {:>10.2} MB", self.avg_peak_mem_bytes / 1e6)?;
+        writeln!(
+            f,
+            "  master sent      {:>10.2} MB",
+            self.master_sent_bytes as f64 / 1e6
+        )?;
+        writeln!(
+            f,
+            "  avg peak mem     {:>10.2} MB",
+            self.avg_peak_mem_bytes / 1e6
+        )?;
         for (i, snap) in self.per_node.iter().enumerate() {
-            let name = if i == 0 { "master ".to_string() } else { format!("worker{i}") };
+            let name = if i == 0 {
+                "master ".to_string()
+            } else {
+                format!("worker{i}")
+            };
             writeln!(f, "  {name}  {snap}")?;
         }
         Ok(())
@@ -112,10 +127,20 @@ impl Cluster {
         if cfg.obs.enabled {
             stats.set_recorder(Arc::new(ts_obs::Recorder::new(n_nodes, &cfg.obs)));
         }
-        let (fabric_task, mut task_rxs) =
-            Fabric::<TaskMsg>::new(n_nodes, cfg.net, Arc::clone(&stats));
-        let (fabric_data, mut data_rxs) =
-            Fabric::<DataMsg>::new(n_nodes, cfg.net, Arc::clone(&stats));
+        let (fabric_task, mut task_rxs) = Fabric::<TaskMsg>::new_faulty(
+            n_nodes,
+            cfg.net,
+            Arc::clone(&stats),
+            cfg.faults.clone(),
+            ts_netsim::SimClock::wall(),
+        );
+        let (fabric_data, mut data_rxs) = Fabric::<DataMsg>::new_faulty(
+            n_nodes,
+            cfg.net,
+            Arc::clone(&stats),
+            cfg.faults.clone(),
+            ts_netsim::SimClock::wall(),
+        );
 
         let colmap = ColumnMap::round_robin(table.n_attrs(), cfg.n_workers, cfg.replication);
         let labels = Arc::new(table.labels().clone());
@@ -270,7 +295,9 @@ impl Cluster {
             let _ = self.fabric_task.send(
                 0,
                 w,
-                TaskMsg::LoadLabels { labels: labels.clone() },
+                TaskMsg::LoadLabels {
+                    labels: labels.clone(),
+                },
             );
         }
         self.master.set_data_task(match labels {
@@ -348,7 +375,7 @@ mod tests {
         stats.record_send(0, 1, 1_000);
         stats.add_busy(1, Duration::from_millis(5));
         let r = ClusterReport::from_stats(&stats, Duration::from_secs(1));
-        let json = serde_json::to_string(&r).expect("report serializes");
+        let json = tsjson::to_string(&r).expect("report serializes");
         assert!(json.contains("\"per_node\""), "{json}");
         assert!(json.contains("\"master_sent_bytes\":1000"), "{json}");
         let text = r.to_string();

@@ -45,6 +45,12 @@ pub struct ClusterConfig {
     /// overlaps across real cores, so scalability shapes survive the
     /// substitution (DESIGN.md §2).
     pub work_ns_per_unit: u64,
+    /// Seeded fault injection (see `docs/TESTING.md`). `None` runs a
+    /// fault-free cluster. With a plan, message-level faults are applied by
+    /// the fabrics and a `with_crash_at_delegation` trigger makes the master
+    /// kill a key worker right after the n-th subtree delegation
+    /// cluster-wide, then run its normal crash recovery.
+    pub faults: Option<ts_netsim::FaultPlan>,
     /// Observability: task-lifecycle tracing and metrics (see
     /// `docs/OBSERVABILITY.md`). Off by default; `Cluster::launch` builds a
     /// recorder only when `obs.enabled` is set.
@@ -65,6 +71,7 @@ impl Default for ClusterConfig {
             poll_sleep: Duration::from_micros(100),
             model_dir: None,
             work_ns_per_unit: 0,
+            faults: None,
             #[cfg(feature = "obs")]
             obs: ts_obs::ObsConfig::default(),
         }
@@ -120,6 +127,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "replication")]
     fn replication_above_workers_panics() {
-        ClusterConfig { n_workers: 2, replication: 3, ..Default::default() }.validate();
+        ClusterConfig {
+            n_workers: 2,
+            replication: 3,
+            ..Default::default()
+        }
+        .validate();
     }
 }

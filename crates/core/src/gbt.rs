@@ -25,10 +25,10 @@
 use crate::cluster::Cluster;
 use crate::config::ClusterConfig;
 use crate::job::JobSpec;
-use serde::{Deserialize, Serialize};
 use ts_datatable::{DataTable, Labels, Task};
 use ts_splits::Impurity;
 use ts_tree::DecisionTreeModel;
+use tsjson::{Deserialize, Serialize};
 
 /// Loss to optimise.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -70,7 +70,14 @@ impl GbtConfig {
                 panic!("GBT on the engine supports 2 classes, got {n_classes}")
             }
         };
-        GbtConfig { n_rounds: 50, eta: 0.1, dmax: 5, tau_leaf: 10, objective, seed: 0 }
+        GbtConfig {
+            n_rounds: 50,
+            eta: 0.1,
+            dmax: 5,
+            tau_leaf: 10,
+            objective,
+            seed: 0,
+        }
     }
 
     /// Builder: rounds.
@@ -177,11 +184,7 @@ pub fn train_gbt_on(cluster: &Cluster, table: &DataTable, cfg: GbtConfig) -> Gbt
     let pseudo = |margins: &[f64]| -> Vec<f64> {
         match cfg.objective {
             // -∂L/∂m for squared error: the residual.
-            GbtObjective::SquaredError => targets
-                .iter()
-                .zip(margins)
-                .map(|(y, m)| y - m)
-                .collect(),
+            GbtObjective::SquaredError => targets.iter().zip(margins).map(|(y, m)| y - m).collect(),
             // -∂L/∂m for logistic: y - sigmoid(m).
             GbtObjective::Logistic => targets
                 .iter()
@@ -206,7 +209,13 @@ pub fn train_gbt_on(cluster: &Cluster, table: &DataTable, cfg: GbtConfig) -> Gbt
 
     let mut trees = Vec::with_capacity(cfg.n_rounds);
     for round in 0..cfg.n_rounds {
-        obs_event!(cluster.stats(), 0, ts_obs::Event::GbtRound { round: round as u32 });
+        obs_event!(
+            cluster.stats(),
+            0,
+            ts_obs::Event::GbtRound {
+                round: round as u32
+            }
+        );
         // Canonical node order makes the whole model deterministic (the
         // cluster's arena order depends on result arrival, the tree itself
         // does not).
@@ -221,7 +230,12 @@ pub fn train_gbt_on(cluster: &Cluster, table: &DataTable, cfg: GbtConfig) -> Gbt
             cluster.update_labels(&Labels::Real(pseudo(&margins)));
         }
     }
-    GbtModel { trees, base, eta: cfg.eta, objective: cfg.objective }
+    GbtModel {
+        trees,
+        base,
+        eta: cfg.eta,
+        objective: cfg.objective,
+    }
 }
 
 /// The regression view: same columns, residuals as `Y`. Public so callers
@@ -268,17 +282,27 @@ mod tests {
         let short = train_gbt(
             cfg(),
             &tr,
-            GbtConfig::for_task(Task::Regression).with_rounds(3).with_eta(0.3),
+            GbtConfig::for_task(Task::Regression)
+                .with_rounds(3)
+                .with_eta(0.3),
         );
         let long = train_gbt(
             cfg(),
             &tr,
-            GbtConfig::for_task(Task::Regression).with_rounds(30).with_eta(0.3),
+            GbtConfig::for_task(Task::Regression)
+                .with_rounds(30)
+                .with_eta(0.3),
         );
         let r_short = rmse(&short.predict_values(&te), truth);
         let r_long = rmse(&long.predict_values(&te), truth);
-        assert!(r_short < base_rmse, "3 rounds {r_short} vs mean {base_rmse}");
-        assert!(r_long < r_short, "boosting must improve: {r_short} -> {r_long}");
+        assert!(
+            r_short < base_rmse,
+            "3 rounds {r_short} vs mean {base_rmse}"
+        );
+        assert!(
+            r_long < r_short,
+            "boosting must improve: {r_short} -> {r_long}"
+        );
         assert_eq!(long.n_trees(), 30);
     }
 
@@ -296,7 +320,9 @@ mod tests {
         let model = train_gbt(
             cfg(),
             &tr,
-            GbtConfig::for_task(tr.schema().task).with_rounds(25).with_eta(0.3),
+            GbtConfig::for_task(tr.schema().task)
+                .with_rounds(25)
+                .with_eta(0.3),
         );
         let acc = accuracy(&model.predict_labels(&te), te.labels().as_class().unwrap());
         assert!(acc > 0.8, "gbt accuracy {acc}");
@@ -330,9 +356,13 @@ mod tests {
             seed: 19,
             ..Default::default()
         });
-        let m = train_gbt(cfg(), &t, GbtConfig::for_task(Task::Regression).with_rounds(2));
-        let j = serde_json::to_string(&m).unwrap();
-        let back: GbtModel = serde_json::from_str(&j).unwrap();
+        let m = train_gbt(
+            cfg(),
+            &t,
+            GbtConfig::for_task(Task::Regression).with_rounds(2),
+        );
+        let j = tsjson::to_string(&m).unwrap();
+        let back: GbtModel = tsjson::from_str(&j).unwrap();
         assert_eq!(m, back);
     }
 
@@ -350,9 +380,17 @@ mod tests {
         // First a short boosted model, then a crash, then another: both
         // must complete and the post-crash model must match a clean run
         // (exactness is fault-independent).
-        let before = train_gbt_on(&cluster, &t, GbtConfig::for_task(Task::Regression).with_rounds(3));
+        let before = train_gbt_on(
+            &cluster,
+            &t,
+            GbtConfig::for_task(Task::Regression).with_rounds(3),
+        );
         cluster.kill_worker(2);
-        let after = train_gbt_on(&cluster, &t, GbtConfig::for_task(Task::Regression).with_rounds(3));
+        let after = train_gbt_on(
+            &cluster,
+            &t,
+            GbtConfig::for_task(Task::Regression).with_rounds(3),
+        );
         cluster.shutdown();
         assert_eq!(before, after);
     }

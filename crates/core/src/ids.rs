@@ -1,10 +1,10 @@
 //! Identifiers and small shared types of the engine.
 
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use ts_datatable::Column;
 use ts_datatable::ValuesBuf;
 use ts_netsim::NodeId;
+use tsjson::{Deserialize, Serialize};
 
 /// Globally-unique task id (`tx` in the paper). Allocated by the master.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]

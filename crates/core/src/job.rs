@@ -7,12 +7,12 @@
 //! stages depend on each other.
 
 use crate::messages::TreeParams;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use ts_datatable::Task;
 use ts_splits::Impurity;
 use ts_tree::{DecisionTreeModel, ForestModel};
+use tsrand::rngs::StdRng;
+use tsrand::seq::SliceRandom;
+use tsrand::SeedableRng;
 
 /// Handle returned by `Cluster::submit`; pass to `Cluster::wait`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -72,7 +72,10 @@ impl JobSpec {
     /// default).
     pub fn random_forest(task: Task, n_trees: usize) -> JobSpec {
         JobSpec {
-            kind: JobKind::RandomForest { n_trees, col_fraction: -1.0 }, // sqrt sentinel
+            kind: JobKind::RandomForest {
+                n_trees,
+                col_fraction: -1.0,
+            }, // sqrt sentinel
             impurity: default_impurity(task),
             dmax: 10,
             tau_leaf: 1,
@@ -83,9 +86,15 @@ impl JobSpec {
     /// A random forest whose per-tree column count is `fraction * m`
     /// (Table VIII(c)–(d) sweeps this ratio).
     pub fn random_forest_with_fraction(task: Task, n_trees: usize, fraction: f64) -> JobSpec {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0,1]"
+        );
         JobSpec {
-            kind: JobKind::RandomForest { n_trees, col_fraction: fraction },
+            kind: JobKind::RandomForest {
+                n_trees,
+                col_fraction: fraction,
+            },
             impurity: default_impurity(task),
             dmax: 10,
             tau_leaf: 1,

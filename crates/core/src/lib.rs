@@ -80,6 +80,6 @@ pub mod worker;
 
 pub use cluster::{Cluster, ClusterReport};
 pub use config::ClusterConfig;
-pub use ids::{ParentRef, RowSet, Side, TaskId, TreeId};
 pub use gbt::{train_gbt, train_gbt_on, GbtConfig, GbtModel, GbtObjective};
+pub use ids::{ParentRef, RowSet, Side, TaskId, TreeId};
 pub use job::{JobHandle, JobKind, JobResult, JobSpec};

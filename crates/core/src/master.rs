@@ -24,10 +24,6 @@ use crate::config::ClusterConfig;
 use crate::ids::{ParentRef, Side, TaskId, TreeId};
 use crate::job::{JobHandle, JobKind, JobResult, JobSpec, TreeSpec};
 use crate::messages::{ColumnPlan, ColumnTaskBest, SubtreePlan, TaskMsg};
-use crossbeam_channel::{Receiver, Sender};
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -37,7 +33,13 @@ use ts_netsim::WireSized;
 use ts_netsim::{Fabric, NodeId};
 use ts_splits::exact::ColumnSplit;
 use ts_splits::impurity::NodeStats;
-use ts_tree::{graft_nodes, trainer::prediction_from_stats, DecisionTreeModel, Node, Prediction, SplitInfo};
+use ts_tree::{
+    graft_nodes, trainer::prediction_from_stats, DecisionTreeModel, Node, Prediction, SplitInfo,
+};
+use tschan::sync::Mutex;
+use tschan::{Receiver, Sender};
+use tsrand::rngs::StdRng;
+use tsrand::{Rng, SeedableRng};
 
 /// A task descriptor waiting in `Bplan` for worker assignment.
 #[derive(Debug, Clone)]
@@ -137,6 +139,10 @@ pub struct Master {
     mwork: Mutex<LoadMatrix>,
     registry: Mutex<Registry>,
     next_task: AtomicU64,
+    /// Cluster-wide count of subtree delegations, driving the fault plan's
+    /// `crash_at_delegation` trigger (global so the trigger is independent
+    /// of which worker happens to be picked as key worker).
+    delegations: AtomicU64,
     shutdown: AtomicBool,
     fabric: Fabric<TaskMsg>,
 }
@@ -170,6 +176,7 @@ impl Master {
                 next_job: 0,
             }),
             next_task: AtomicU64::new(0),
+            delegations: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             fabric,
         })
@@ -183,7 +190,7 @@ impl Master {
     /// Submits a job; returns the handle and the result channel.
     pub fn submit(&self, spec: JobSpec) -> (JobHandle, Receiver<JobResult>) {
         let trees = spec.expand(self.n_attrs);
-        let (tx, rx) = crossbeam_channel::bounded(1);
+        let (tx, rx) = tschan::bounded(1);
         let mut reg = self.registry.lock();
         let job_id = reg.next_job;
         reg.next_job += 1;
@@ -198,10 +205,18 @@ impl Master {
             },
         );
         for (index, spec) in trees.into_iter().enumerate() {
-            reg.queue.push_back(QueuedTree { job: job_id, index, spec });
+            reg.queue.push_back(QueuedTree {
+                job: job_id,
+                index,
+                spec,
+            });
         }
         drop(reg);
-        obs_event!(self.fabric.stats(), 0, ts_obs::Event::JobSubmitted { job: job_id });
+        obs_event!(
+            self.fabric.stats(),
+            0,
+            ts_obs::Event::JobSubmitted { job: job_id }
+        );
         (JobHandle(job_id), rx)
     }
 
@@ -258,7 +273,11 @@ impl Master {
                 self.fabric.stats(),
                 0,
                 ts_obs::Event::BplanPush {
-                    end: if head { ts_obs::DequeEnd::Head } else { ts_obs::DequeEnd::Tail },
+                    end: if head {
+                        ts_obs::DequeEnd::Head
+                    } else {
+                        ts_obs::DequeEnd::Tail
+                    },
                     depth,
                     rows,
                     qlen,
@@ -300,7 +319,9 @@ impl Master {
                 if reg.active.len() >= self.cfg.n_pool {
                     return;
                 }
-                let Some(q) = reg.queue.pop_front() else { return };
+                let Some(q) = reg.queue.pop_front() else {
+                    return;
+                };
                 let tree = TreeId(reg.next_tree);
                 reg.next_tree += 1;
                 reg.active.insert(
@@ -372,7 +393,12 @@ impl Master {
                     started: std::time::Instant::now(),
                 },
             );
-            if let ParentRef::Node { worker, task: ptask, side } = desc.parent {
+            if let ParentRef::Node {
+                worker,
+                task: ptask,
+                side,
+            } = desc.parent
+            {
                 msgs.push((
                     worker,
                     TaskMsg::ServeQuota {
@@ -435,8 +461,20 @@ impl Master {
                     started: std::time::Instant::now(),
                 },
             );
-            if let ParentRef::Node { worker, task: ptask, side } = desc.parent {
-                msgs.push((worker, TaskMsg::ServeQuota { task: ptask, side, quota: 1 }));
+            if let ParentRef::Node {
+                worker,
+                task: ptask,
+                side,
+            } = desc.parent
+            {
+                msgs.push((
+                    worker,
+                    TaskMsg::ServeQuota {
+                        task: ptask,
+                        side,
+                        quota: 1,
+                    },
+                ));
             }
             msgs.push((
                 w,
@@ -478,7 +516,12 @@ impl Master {
                     started: std::time::Instant::now(),
                 },
             );
-            if let ParentRef::Node { worker, task: ptask, side } = desc.parent {
+            if let ParentRef::Node {
+                worker,
+                task: ptask,
+                side,
+            } = desc.parent
+            {
                 msgs.push((
                     worker,
                     TaskMsg::ServeQuota {
@@ -505,6 +548,7 @@ impl Master {
             }
         }
         for (to, msg) in msgs {
+            let delegated_subtree = matches!(msg, TaskMsg::SubtreePlan(_));
             #[cfg(feature = "obs")]
             if let Some(rec) = self.fabric.stats().recorder() {
                 match &msg {
@@ -529,7 +573,46 @@ impl Master {
                 }
             }
             let _ = self.fabric.send(0, to, msg);
+            if delegated_subtree {
+                self.note_delegation(to);
+            }
         }
+    }
+
+    /// Counts cluster-wide subtree delegations and fires the fault plan's
+    /// crash trigger on the n-th one: the key worker that just received the
+    /// plan is shut down and the normal crash recovery runs. A single
+    /// task-channel `Shutdown` suffices — the worker cascades it into its
+    /// own data loop (see `Worker::task_loop`); `Cluster::kill_worker` is
+    /// the externally-driven variant of the same sequence.
+    fn note_delegation(&self, key_worker: NodeId) {
+        let nth = self.delegations.fetch_add(1, Ordering::Relaxed) + 1;
+        let Some(at) = self
+            .cfg
+            .faults
+            .as_ref()
+            .and_then(|p| p.crash_at_delegation())
+        else {
+            return;
+        };
+        if nth != at {
+            return;
+        }
+        // Re-replication needs a surviving replica; with one worker left the
+        // injection is skipped rather than aborting training.
+        if self.workers.lock().len() <= 1 {
+            return;
+        }
+        obs_event!(
+            self.fabric.stats(),
+            0,
+            ts_obs::Event::CrashInjected {
+                node: key_worker as u32,
+                at_delegation: nth
+            }
+        );
+        let _ = self.fabric.send(0, key_worker, TaskMsg::Shutdown);
+        self.handle_worker_crash(key_worker);
     }
 
     // ------------------------------------------------------------------
@@ -540,12 +623,17 @@ impl Master {
     pub fn recv_loop(self: Arc<Self>, rx: Receiver<TaskMsg>) {
         while let Ok(msg) = rx.recv() {
             match msg {
-                TaskMsg::ColumnResult { task, worker, best, node_stats } => {
-                    self.on_column_result(task, worker, best, node_stats)
-                }
-                TaskMsg::SubtreeResult { task, worker, subtree } => {
-                    self.on_subtree_result(task, worker, subtree)
-                }
+                TaskMsg::ColumnResult {
+                    task,
+                    worker,
+                    best,
+                    node_stats,
+                } => self.on_column_result(task, worker, best, node_stats),
+                TaskMsg::SubtreeResult {
+                    task,
+                    worker,
+                    subtree,
+                } => self.on_subtree_result(task, worker, subtree),
                 TaskMsg::ReplicateDone { attrs, worker } => {
                     {
                         let mut colmap = self.colmap.lock();
@@ -556,7 +644,9 @@ impl Master {
                     obs_event!(
                         self.fabric.stats(),
                         0,
-                        ts_obs::Event::WorkerRecovered { node: worker as u32 }
+                        ts_obs::Event::WorkerRecovered {
+                            node: worker as u32
+                        }
                     );
                 }
                 TaskMsg::Shutdown => return,
@@ -586,8 +676,12 @@ impl Master {
                     latency_ns: entry.started.elapsed().as_nanos() as u64,
                 }
             );
-            let TaskKind::Column { pending, best: stored, node_stats: stats_slot, .. } =
-                &mut entry.kind
+            let TaskKind::Column {
+                pending,
+                best: stored,
+                node_stats: stats_slot,
+                ..
+            } = &mut entry.kind
             else {
                 unreachable!("column result for a subtree task");
             };
@@ -624,7 +718,13 @@ impl Master {
     /// All shards of a column-task have reported: pick the winner, update
     /// the tree, spawn child tasks (or leaves), and notify the workers.
     fn finalize_column_task(&self, task: TaskId, entry: MasterTask) {
-        let TaskKind::Column { involved, best, node_stats, .. } = entry.kind else {
+        let TaskKind::Column {
+            involved,
+            best,
+            node_stats,
+            ..
+        } = entry.kind
+        else {
             unreachable!()
         };
         let node_stats = node_stats.expect("at least one shard reported");
@@ -644,18 +744,18 @@ impl Master {
 
         // Leaf conditions at this node itself (relevant for root tasks; for
         // child tasks the parent's finalize already filtered these).
-        let must_leaf = entry.depth >= params.dmax
-            || entry.n_rows <= params.tau_leaf
-            || node_stats.is_pure();
+        let must_leaf =
+            entry.depth >= params.dmax || entry.n_rows <= params.tau_leaf || node_stats.is_pure();
 
         let Some((winner, best)) = (if must_leaf { None } else { best }) else {
             // Leaf: fill the node's prediction and drop all task objects.
             let pred = prediction_from_stats(&node_stats);
             let done_tree = {
                 let mut reg = self.registry.lock();
-                let Some(tree) = reg.active.get_mut(&entry.tree) else { return };
-                tree.nodes[entry.node] =
-                    Node::leaf(pred, entry.n_rows, entry.depth);
+                let Some(tree) = reg.active.get_mut(&entry.tree) else {
+                    return;
+                };
+                tree.nodes[entry.node] = Node::leaf(pred, entry.n_rows, entry.depth);
                 tree.pending -= 1;
                 tree.pending == 0
             };
@@ -728,9 +828,8 @@ impl Master {
                 (Side::Right, &best.split.right, r_idx),
             ] {
                 let n_child = stats.n();
-                let child_leaf = child_depth >= params.dmax
-                    || n_child <= params.tau_leaf
-                    || stats.is_pure();
+                let child_leaf =
+                    child_depth >= params.dmax || n_child <= params.tau_leaf || stats.is_pure();
                 if child_leaf {
                     quota_zero_sides.push(side);
                 } else {
@@ -739,7 +838,11 @@ impl Master {
                         task: self.new_task(),
                         tree: entry.tree,
                         node: child_node,
-                        parent: ParentRef::Node { worker: winner, task, side },
+                        parent: ParentRef::Node {
+                            worker: winner,
+                            task,
+                            side,
+                        },
                         n_rows: n_child,
                         depth: child_depth,
                         path: match side {
@@ -764,9 +867,15 @@ impl Master {
             }
         }
         for side in quota_zero_sides {
-            let _ = self
-                .fabric
-                .send(0, winner, TaskMsg::ServeQuota { task, side, quota: 0 });
+            let _ = self.fabric.send(
+                0,
+                winner,
+                TaskMsg::ServeQuota {
+                    task,
+                    side,
+                    quota: 0,
+                },
+            );
         }
         for plan in child_plans {
             self.enqueue_plan(plan);
@@ -794,7 +903,9 @@ impl Master {
         );
         let done_tree = {
             let mut reg = self.registry.lock();
-            let Some(tree) = reg.active.get_mut(&entry.tree) else { return };
+            let Some(tree) = reg.active.get_mut(&entry.tree) else {
+                return;
+            };
             graft_nodes(&mut tree.nodes, entry.node, subtree);
             tree.pending -= 1;
             tree.pending == 0
@@ -815,8 +926,8 @@ impl Master {
             // Flush the finished tree immediately (paper §III); failures are
             // reported but do not abort training.
             let path = dir.join(format!("tree_{}.json", tree_id.0));
-            if let Err(e) = std::fs::create_dir_all(dir)
-                .and_then(|()| std::fs::write(&path, model.to_json()))
+            if let Err(e) =
+                std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, model.to_json()))
             {
                 eprintln!("treeserver: failed to flush {}: {e}", path.display());
             }
@@ -826,19 +937,26 @@ impl Master {
         job.done += 1;
         if job.done == job.total {
             let job = reg.jobs.remove(&tree.job).expect("just present");
-            let models: Vec<DecisionTreeModel> =
-                job.models.into_iter().map(|m| m.expect("all trees done")).collect();
+            let models: Vec<DecisionTreeModel> = job
+                .models
+                .into_iter()
+                .map(|m| m.expect("all trees done"))
+                .collect();
             let result = match job.kind {
                 JobKind::DecisionTree => {
                     JobResult::Tree(models.into_iter().next().expect("one tree"))
                 }
-                JobKind::RandomForest { .. } | JobKind::ExtraTrees { .. } => JobResult::Forest(
-                    ts_tree::ForestModel::new(models, self.data_task()),
-                ),
+                JobKind::RandomForest { .. } | JobKind::ExtraTrees { .. } => {
+                    JobResult::Forest(ts_tree::ForestModel::new(models, self.data_task()))
+                }
             };
             // Record before notifying: `Cluster::wait` returns on the send,
             // and observers may snapshot the rings immediately after.
-            obs_event!(self.fabric.stats(), 0, ts_obs::Event::JobFinished { job: tree.job });
+            obs_event!(
+                self.fabric.stats(),
+                0,
+                ts_obs::Event::JobFinished { job: tree.job }
+            );
             let _ = job.notify.send(result);
         }
     }
@@ -851,7 +969,11 @@ impl Master {
     /// replicas and restarts every in-flight tree (completed trees are
     /// unaffected). See DESIGN.md §7 for the tree-granularity note.
     pub fn handle_worker_crash(&self, dead: NodeId) {
-        obs_event!(self.fabric.stats(), 0, ts_obs::Event::WorkerCrashed { node: dead as u32 });
+        obs_event!(
+            self.fabric.stats(),
+            0,
+            ts_obs::Event::WorkerCrashed { node: dead as u32 }
+        );
         // 1. Membership.
         self.workers.lock().retain(|&w| w != dead);
         let live = self.workers.lock().clone();
@@ -862,8 +984,10 @@ impl Master {
         {
             let mut colmap = self.colmap.lock();
             let lost = colmap.remove_worker(dead);
-            let mut load: HashMap<NodeId, usize> =
-                live.iter().map(|&w| (w, colmap.columns_of(w).len())).collect();
+            let mut load: HashMap<NodeId, usize> = live
+                .iter()
+                .map(|&w| (w, colmap.columns_of(w).len()))
+                .collect();
             for attr in lost {
                 let source = colmap.holders(attr)[0];
                 let target = *live
@@ -872,7 +996,11 @@ impl Master {
                     .min_by_key(|&&w| (load[&w], w))
                     .expect("replication < live workers");
                 *load.get_mut(&target).expect("live") += 1;
-                transfer.entry(source).or_insert((target, Vec::new())).1.push(attr);
+                transfer
+                    .entry(source)
+                    .or_insert((target, Vec::new()))
+                    .1
+                    .push(attr);
                 // The holder list is updated when ReplicateDone arrives.
             }
         }
@@ -935,7 +1063,7 @@ mod tests {
     use super::*;
     use ts_netsim::{Fabric, NetModel, NetStats};
 
-    fn test_master(n_rows: usize, tau_dfs: u64) -> (Arc<Master>, Vec<crossbeam_channel::Receiver<TaskMsg>>) {
+    fn test_master(n_rows: usize, tau_dfs: u64) -> (Arc<Master>, Vec<tschan::Receiver<TaskMsg>>) {
         let stats = NetStats::new(3);
         let (fabric, rxs) = Fabric::new(3, NetModel::instant(), stats);
         let cfg = ClusterConfig {
@@ -985,7 +1113,9 @@ mod tests {
             Task::Classification { n_classes: 2 },
             5,
         ));
-        let (h2, _rx2) = m.submit(JobSpec::decision_tree(Task::Classification { n_classes: 2 }));
+        let (h2, _rx2) = m.submit(JobSpec::decision_tree(Task::Classification {
+            n_classes: 2,
+        }));
         assert_ne!(h1, h2);
         let reg = m.registry.lock();
         assert_eq!(reg.queue.len(), 6, "5 forest trees + 1 decision tree");
@@ -1003,8 +1133,11 @@ mod tests {
                     total: 10,
                     done: 0,
                     models: vec![None; 10],
-                    kind: JobKind::RandomForest { n_trees: 10, col_fraction: -1.0 },
-                    notify: crossbeam_channel::bounded(1).0,
+                    kind: JobKind::RandomForest {
+                        n_trees: 10,
+                        col_fraction: -1.0,
+                    },
+                    notify: tschan::bounded(1).0,
                 },
             );
             for index in 0..10 {

@@ -182,7 +182,9 @@ impl WireSized for TaskMsg {
         match self {
             TaskMsg::ColumnPlan(p) => HDR + 8 * p.cols.len() + 32,
             TaskMsg::SubtreePlan(p) => HDR + 12 * p.col_sources.len() + 40,
-            TaskMsg::ColumnResult { best, node_stats, .. } => {
+            TaskMsg::ColumnResult {
+                best, node_stats, ..
+            } => {
                 HDR + stats_bytes(node_stats)
                     + best.as_ref().map_or(1, |b| {
                         8 + b.split.test.wire_bytes()
@@ -202,7 +204,10 @@ impl WireSized for TaskMsg {
             }
             TaskMsg::LoadLabels { labels } => HDR + labels.payload_bytes(),
             TaskMsg::LoadColumns { columns } => {
-                HDR + columns.iter().map(|(_, c)| 8 + c.payload_bytes()).sum::<usize>()
+                HDR + columns
+                    .iter()
+                    .map(|(_, c)| 8 + c.payload_bytes())
+                    .sum::<usize>()
             }
         }
     }
@@ -276,7 +281,10 @@ impl WireSized for DataMsg {
                 HDR + bufs.iter().map(|b| 8 + b.payload_bytes()).sum::<usize>()
             }
             DataMsg::ReplicateCols { columns } => {
-                HDR + columns.iter().map(|(_, c)| 8 + c.payload_bytes()).sum::<usize>()
+                HDR + columns
+                    .iter()
+                    .map(|(_, c)| 8 + c.payload_bytes())
+                    .sum::<usize>()
             }
             DataMsg::Shutdown => HDR,
         }
@@ -319,8 +327,14 @@ mod tests {
 
     #[test]
     fn respix_scales_with_rows() {
-        let small = DataMsg::RespIx { for_task: TaskId(1), rows: vec![1, 2] };
-        let big = DataMsg::RespIx { for_task: TaskId(1), rows: vec![0; 1000] };
+        let small = DataMsg::RespIx {
+            for_task: TaskId(1),
+            rows: vec![1, 2],
+        };
+        let big = DataMsg::RespIx {
+            for_task: TaskId(1),
+            rows: vec![0; 1000],
+        };
         assert!(big.wire_bytes() > small.wire_bytes() + 3900);
     }
 
@@ -350,7 +364,12 @@ mod tests {
     fn control_messages_are_small() {
         assert_eq!(TaskMsg::Shutdown.wire_bytes(), 24);
         assert_eq!(
-            TaskMsg::ServeQuota { task: TaskId(1), side: Side::Left, quota: 3 }.wire_bytes(),
+            TaskMsg::ServeQuota {
+                task: TaskId(1),
+                side: Side::Left,
+                quota: 3
+            }
+            .wire_bytes(),
             24
         );
     }

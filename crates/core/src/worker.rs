@@ -24,11 +24,6 @@
 
 use crate::ids::{ParentRef, RowSet, Side, TaskId, TreeId};
 use crate::messages::{ColumnPlan, ColumnTaskBest, DataMsg, SubtreePlan, TaskMsg};
-use crossbeam_channel::{Receiver, Sender};
-use parking_lot::{Mutex, RwLock};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use ts_datatable::{AttrType, Column, Labels, Task, ValuesBuf};
@@ -38,6 +33,11 @@ use ts_splits::impurity::{LabelView, NodeStats};
 use ts_splits::random::random_split_for_column;
 use ts_splits::{partition_rows, SplitTest};
 use ts_tree::{train_subtree, LocalDataset, TrainMode, TrainParams};
+use tschan::sync::{Mutex, RwLock};
+use tschan::{Receiver, Sender};
+use tsrand::rngs::StdRng;
+use tsrand::seq::SliceRandom;
+use tsrand::SeedableRng;
 
 /// Accounted bytes of a row set (the implicit root range costs nothing).
 fn ix_bytes(ix: &RowSet) -> usize {
@@ -179,7 +179,7 @@ impl Worker {
         task_rx: Receiver<TaskMsg>,
         data_rx: Receiver<DataMsg>,
     ) -> Vec<std::thread::JoinHandle<()>> {
-        let (ready_tx, ready_rx) = crossbeam_channel::unbounded();
+        let (ready_tx, ready_rx) = tschan::unbounded();
         let stats = Arc::clone(fabric_task.stats());
         // The resident column data is the memory baseline of the machine
         // ("most memory is used to hold data columns", Table III discussion).
@@ -262,9 +262,7 @@ impl Worker {
                 TaskMsg::SubtreePlan(plan) => self.on_subtree_plan(plan),
                 TaskMsg::ConfirmBest { task } => self.on_confirm_best(task),
                 TaskMsg::DropTask { task } => self.on_drop_task(task),
-                TaskMsg::ServeQuota { task, side, quota } => {
-                    self.on_serve_quota(task, side, quota)
-                }
+                TaskMsg::ServeQuota { task, side, quota } => self.on_serve_quota(task, side, quota),
                 TaskMsg::RevokeTree { tree } => self.on_revoke_tree(tree),
                 TaskMsg::LoadColumns { columns } => {
                     let mut store = self.columns.write();
@@ -286,7 +284,10 @@ impl Worker {
                         attrs
                             .iter()
                             .map(|a| {
-                                (*a, (**store.get(a).expect("replica source holds column")).clone())
+                                (
+                                    *a,
+                                    (**store.get(a).expect("replica source holds column")).clone(),
+                                )
                             })
                             .collect()
                     };
@@ -316,14 +317,22 @@ impl Worker {
     fn on_column_plan(&self, plan: ColumnPlan) {
         match plan.parent {
             ParentRef::Root => {
-                let _ = self
-                    .ready_tx
-                    .send(ReadyTask::Column { plan, ix: RowSet::All });
+                let _ = self.ready_tx.send(ReadyTask::Column {
+                    plan,
+                    ix: RowSet::All,
+                });
             }
-            ParentRef::Node { worker, task: ptask, side } => {
+            ParentRef::Node {
+                worker,
+                task: ptask,
+                side,
+            } => {
                 let task = plan.task;
                 let tree = plan.tree;
-                self.state.lock().tasks.insert(task, PendingTask::Column { plan });
+                self.state
+                    .lock()
+                    .tasks
+                    .insert(task, PendingTask::Column { plan });
                 self.request_ix(worker, ptask, side, task, tree);
             }
         }
@@ -356,7 +365,12 @@ impl Worker {
         } else {
             self.state.lock().tasks.insert(
                 task,
-                PendingTask::Subtree { plan, ix, remote_bufs: HashMap::new(), remote_needed },
+                PendingTask::Subtree {
+                    plan,
+                    ix,
+                    remote_bufs: HashMap::new(),
+                    remote_needed,
+                },
             );
         }
         // Fire the data requests after registering the entry.
@@ -366,10 +380,21 @@ impl Worker {
             let _ = self.fabric_data.send(
                 me,
                 holder,
-                DataMsg::ReqCols { for_task: task, attrs, key_worker: me, parent, tree },
+                DataMsg::ReqCols {
+                    for_task: task,
+                    attrs,
+                    key_worker: me,
+                    parent,
+                    tree,
+                },
             );
         }
-        if let ParentRef::Node { worker, task: ptask, side } = parent {
+        if let ParentRef::Node {
+            worker,
+            task: ptask,
+            side,
+        } = parent
+        {
             self.request_ix(worker, ptask, side, task, tree);
         }
     }
@@ -385,7 +410,13 @@ impl Worker {
         let _ = self.fabric_data.send(
             self.id,
             parent_worker,
-            DataMsg::ReqIx { parent_task: ptask, side, requester: self.id, for_task, tree },
+            DataMsg::ReqIx {
+                parent_task: ptask,
+                side,
+                requester: self.id,
+                for_task,
+                tree,
+            },
         );
     }
 
@@ -396,8 +427,9 @@ impl Worker {
             let Some(av) = st.awaiting.remove(&task) else {
                 return; // revoked while the verdict was in flight
             };
-            let (attr, test, missing_left) =
-                av.winning.expect("master confirmed a worker that reported no split");
+            let (attr, test, missing_left) = av
+                .winning
+                .expect("master confirmed a worker that reported no split");
             let col = Arc::clone(
                 self.columns
                     .read()
@@ -485,7 +517,13 @@ impl Worker {
     fn data_loop(self: Arc<Self>, rx: Receiver<DataMsg>) {
         while let Ok(msg) = rx.recv() {
             match msg {
-                DataMsg::ReqIx { parent_task, side, requester, for_task, tree } => {
+                DataMsg::ReqIx {
+                    parent_task,
+                    side,
+                    requester,
+                    for_task,
+                    tree,
+                } => {
                     let response = {
                         let mut st = self.state.lock();
                         if st.delegates.contains_key(&parent_task) {
@@ -505,12 +543,18 @@ impl Worker {
                     }
                 }
                 DataMsg::RespIx { for_task, rows } => self.on_resp_ix(for_task, rows),
-                DataMsg::ReqCols { for_task, attrs, key_worker, parent, tree } => {
-                    self.on_req_cols(for_task, attrs, key_worker, parent, tree)
-                }
-                DataMsg::RespCols { for_task, attrs, bufs } => {
-                    self.on_resp_cols(for_task, attrs, bufs)
-                }
+                DataMsg::ReqCols {
+                    for_task,
+                    attrs,
+                    key_worker,
+                    parent,
+                    tree,
+                } => self.on_req_cols(for_task, attrs, key_worker, parent, tree),
+                DataMsg::RespCols {
+                    for_task,
+                    attrs,
+                    bufs,
+                } => self.on_resp_cols(for_task, attrs, bufs),
                 DataMsg::Shutdown => break,
                 DataMsg::ReplicateCols { columns } => {
                     let attrs: Vec<usize> = columns.iter().map(|&(a, _)| a).collect();
@@ -524,7 +568,10 @@ impl Worker {
                     let _ = self.fabric_task.send(
                         self.id,
                         0,
-                        TaskMsg::ReplicateDone { attrs, worker: self.id },
+                        TaskMsg::ReplicateDone {
+                            attrs,
+                            worker: self.id,
+                        },
                     );
                 }
             }
@@ -573,7 +620,10 @@ impl Worker {
                         unreachable!()
                     };
                     self.stats.mem_alloc(self.id, ix_bytes(&ix));
-                    let _ = self.ready_tx.send(ReadyTask::Column { plan, ix: ix.clone() });
+                    let _ = self.ready_tx.send(ReadyTask::Column {
+                        plan,
+                        ix: ix.clone(),
+                    });
                     Next::Nothing
                 }
                 Some(PendingTask::Subtree { .. }) => {
@@ -597,12 +647,16 @@ impl Worker {
                     Next::Nothing
                 }
                 Some(PendingTask::Serve { .. }) => {
-                    let Some(PendingTask::Serve { attrs, key_worker, .. }) =
-                        st.tasks.remove(&for_task)
+                    let Some(PendingTask::Serve {
+                        attrs, key_worker, ..
+                    }) = st.tasks.remove(&for_task)
                     else {
                         unreachable!()
                     };
-                    Next::Serve { attrs, key: key_worker }
+                    Next::Serve {
+                        attrs,
+                        key: key_worker,
+                    }
                 }
             }
         };
@@ -621,14 +675,24 @@ impl Worker {
     ) {
         match parent {
             ParentRef::Root => self.send_cols(for_task, &attrs, key_worker, &RowSet::All),
-            ParentRef::Node { worker, task: ptask, side } => {
+            ParentRef::Node {
+                worker,
+                task: ptask,
+                side,
+            } => {
                 {
                     let mut st = self.state.lock();
                     if st.revoked.contains(&tree) {
                         return;
                     }
-                    st.tasks
-                        .insert(for_task, PendingTask::Serve { tree, attrs, key_worker });
+                    st.tasks.insert(
+                        for_task,
+                        PendingTask::Serve {
+                            tree,
+                            attrs,
+                            key_worker,
+                        },
+                    );
                 }
                 self.request_ix(worker, ptask, side, for_task, tree);
             }
@@ -649,15 +713,23 @@ impl Worker {
         let _ = self.fabric_data.send(
             self.id,
             key_worker,
-            DataMsg::RespCols { for_task, attrs: attrs.to_vec(), bufs },
+            DataMsg::RespCols {
+                for_task,
+                attrs: attrs.to_vec(),
+                bufs,
+            },
         );
     }
 
     fn on_resp_cols(&self, for_task: TaskId, attrs: Vec<usize>, bufs: Vec<ValuesBuf>) {
         let mut st = self.state.lock();
         let complete = {
-            let Some(PendingTask::Subtree { remote_bufs, remote_needed, ix, .. }) =
-                st.tasks.get_mut(&for_task)
+            let Some(PendingTask::Subtree {
+                remote_bufs,
+                remote_needed,
+                ix,
+                ..
+            }) = st.tasks.get_mut(&for_task)
             else {
                 return; // revoked
             };
@@ -675,7 +747,12 @@ impl Worker {
 
     /// Moves a fully-provisioned subtree task from the task table to `Btask`.
     fn promote_subtree(&self, st: &mut WorkerState, task: TaskId) {
-        let Some(PendingTask::Subtree { plan, ix, remote_bufs, .. }) = st.tasks.remove(&task)
+        let Some(PendingTask::Subtree {
+            plan,
+            ix,
+            remote_bufs,
+            ..
+        }) = st.tasks.remove(&task)
         else {
             unreachable!("promote_subtree on a non-subtree task");
         };
@@ -713,7 +790,11 @@ impl Worker {
                         let _ = self.fabric_task.send(self.id, 0, msg);
                     }
                 }
-                ReadyTask::Subtree { plan, ix, remote_bufs } => {
+                ReadyTask::Subtree {
+                    plan,
+                    ix,
+                    remote_bufs,
+                } => {
                     #[cfg(feature = "obs")]
                     let (task_id, t0) = (plan.task.0, std::time::Instant::now());
                     let msg = {
@@ -749,7 +830,10 @@ impl Worker {
 
     fn compute_column_task(&self, plan: ColumnPlan, ix: RowSet) -> Option<TaskMsg> {
         self.model_work(ix.len(self.n_rows) as u64 * plan.cols.len() as u64);
-        let labels = { let y = self.labels.read().clone(); ix.gather_labels(&y, self.n_rows) };
+        let labels = {
+            let y = self.labels.read().clone();
+            ix.gather_labels(&y, self.n_rows)
+        };
         let view = LabelView::of(&labels, self.n_classes());
         let node_stats = NodeStats::from_view(view);
 
@@ -821,7 +905,12 @@ impl Worker {
             );
         }
         let best = best_full.map(|(attr, split, seen)| ColumnTaskBest { attr, split, seen });
-        Some(TaskMsg::ColumnResult { task: plan.task, worker: self.id, best, node_stats })
+        Some(TaskMsg::ColumnResult {
+            task: plan.task,
+            worker: self.id,
+            best,
+            node_stats,
+        })
     }
 
     fn compute_subtree_task(
@@ -832,8 +921,7 @@ impl Worker {
     ) -> Option<TaskMsg> {
         let remote_bytes: usize = remote_bufs.values().map(ValuesBuf::payload_bytes).sum();
         if self.state.lock().revoked.contains(&plan.tree) {
-            self.stats
-                .mem_free(self.id, ix_bytes(&ix) + remote_bytes);
+            self.stats.mem_free(self.id, ix_bytes(&ix) + remote_bytes);
             return None;
         }
         let n_ix = ix.len(self.n_rows) as u64;
@@ -861,7 +949,10 @@ impl Worker {
         }
         drop(store);
         self.stats.mem_alloc(self.id, local_bytes);
-        let labels = { let y = self.labels.read().clone(); ix.gather_labels(&y, self.n_rows) };
+        let labels = {
+            let y = self.labels.read().clone();
+            ix.gather_labels(&y, self.n_rows)
+        };
         let data = LocalDataset::new(attrs, types, columns, labels, self.current_task());
 
         let params = TrainParams {
@@ -879,7 +970,11 @@ impl Worker {
         self.stats
             .mem_free(self.id, local_bytes + remote_bytes + ix_bytes(&ix));
 
-        Some(TaskMsg::SubtreeResult { task: plan.task, worker: self.id, subtree })
+        Some(TaskMsg::SubtreeResult {
+            task: plan.task,
+            worker: self.id,
+            subtree,
+        })
     }
 }
 
@@ -908,7 +1003,11 @@ mod tests {
         assert!(e.sides[0].is_none());
         assert!(!e.done(), "right quota unknown");
         e.quota[1] = Some(0);
-        assert_eq!(e.release_satisfied(), 8, "right freed immediately at quota 0");
+        assert_eq!(
+            e.release_satisfied(),
+            8,
+            "right freed immediately at quota 0"
+        );
         assert!(e.done());
     }
 
@@ -928,7 +1027,11 @@ mod tests {
 
     #[test]
     fn pending_task_reports_its_tree() {
-        let serve = PendingTask::Serve { tree: TreeId(7), attrs: vec![0], key_worker: 1 };
+        let serve = PendingTask::Serve {
+            tree: TreeId(7),
+            attrs: vec![0],
+            key_worker: 1,
+        };
         assert_eq!(serve.tree(), TreeId(7));
     }
 }

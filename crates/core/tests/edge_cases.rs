@@ -30,7 +30,9 @@ fn constant_columns_make_a_single_leaf() {
         Labels::Class((0..40).map(|i| i % 2).collect()),
     );
     let cluster = Cluster::launch(tiny_cfg(), &t);
-    let m = cluster.train(JobSpec::decision_tree(t.schema().task)).into_tree();
+    let m = cluster
+        .train(JobSpec::decision_tree(t.schema().task))
+        .into_tree();
     cluster.shutdown();
     assert_eq!(m.n_nodes(), 1, "no column can split");
     assert_eq!(m.nodes[0].n_rows, 40);
@@ -39,12 +41,17 @@ fn constant_columns_make_a_single_leaf() {
 #[test]
 fn pure_labels_make_a_single_leaf() {
     let t = DataTable::new(
-        Schema::new(vec![AttrMeta::numeric("a")], Task::Classification { n_classes: 2 }),
+        Schema::new(
+            vec![AttrMeta::numeric("a")],
+            Task::Classification { n_classes: 2 },
+        ),
         vec![Column::Numeric((0..30).map(f64::from).collect())],
         Labels::Class(vec![1; 30]),
     );
     let cluster = Cluster::launch(tiny_cfg(), &t);
-    let m = cluster.train(JobSpec::decision_tree(t.schema().task)).into_tree();
+    let m = cluster
+        .train(JobSpec::decision_tree(t.schema().task))
+        .into_tree();
     cluster.shutdown();
     assert_eq!(m.n_nodes(), 1);
     assert_eq!(m.nodes[0].prediction.label(), 1);
@@ -58,14 +65,21 @@ fn two_row_table_trains() {
         Labels::Real(vec![10.0, 20.0]),
     );
     let cluster = Cluster::launch(tiny_cfg(), &t);
-    let m = cluster.train(JobSpec::decision_tree(Task::Regression)).into_tree();
+    let m = cluster
+        .train(JobSpec::decision_tree(Task::Regression))
+        .into_tree();
     cluster.shutdown();
     assert_eq!(m.n_nodes(), 3, "one split, two leaves");
 }
 
 #[test]
 fn dmax_zero_is_a_prior_only_model() {
-    let t = generate(&SynthSpec { rows: 500, numeric: 3, seed: 1, ..Default::default() });
+    let t = generate(&SynthSpec {
+        rows: 500,
+        numeric: 3,
+        seed: 1,
+        ..Default::default()
+    });
     let cluster = Cluster::launch(tiny_cfg(), &t);
     let m = cluster
         .train(JobSpec::decision_tree(t.schema().task).with_dmax(0))
@@ -76,7 +90,12 @@ fn dmax_zero_is_a_prior_only_model() {
 
 #[test]
 fn tau_leaf_larger_than_table_is_a_single_leaf() {
-    let t = generate(&SynthSpec { rows: 200, numeric: 3, seed: 2, ..Default::default() });
+    let t = generate(&SynthSpec {
+        rows: 200,
+        numeric: 3,
+        seed: 2,
+        ..Default::default()
+    });
     let cluster = Cluster::launch(tiny_cfg(), &t);
     let m = cluster
         .train(JobSpec::decision_tree(t.schema().task).with_tau_leaf(10_000))
@@ -103,14 +122,21 @@ fn single_attribute_single_worker() {
         ..Default::default()
     };
     let cluster = Cluster::launch(cfg, &t);
-    let m = cluster.train(JobSpec::decision_tree(t.schema().task)).into_tree();
+    let m = cluster
+        .train(JobSpec::decision_tree(t.schema().task))
+        .into_tree();
     cluster.shutdown();
     assert!(m.n_nodes() > 1);
 }
 
 #[test]
 fn more_workers_than_attributes() {
-    let t = generate(&SynthSpec { rows: 1_000, numeric: 2, seed: 4, ..Default::default() });
+    let t = generate(&SynthSpec {
+        rows: 1_000,
+        numeric: 2,
+        seed: 4,
+        ..Default::default()
+    });
     let cfg = ClusterConfig {
         n_workers: 6,
         compers_per_worker: 1,
@@ -120,14 +146,21 @@ fn more_workers_than_attributes() {
         ..Default::default()
     };
     let cluster = Cluster::launch(cfg, &t);
-    let m = cluster.train(JobSpec::decision_tree(t.schema().task)).into_tree();
+    let m = cluster
+        .train(JobSpec::decision_tree(t.schema().task))
+        .into_tree();
     cluster.shutdown();
     assert!(m.n_nodes() >= 1);
 }
 
 #[test]
 fn full_replication_still_trains_exactly() {
-    let t = generate(&SynthSpec { rows: 900, numeric: 4, seed: 5, ..Default::default() });
+    let t = generate(&SynthSpec {
+        rows: 900,
+        numeric: 4,
+        seed: 5,
+        ..Default::default()
+    });
     let cfg = ClusterConfig {
         n_workers: 3,
         compers_per_worker: 2,
@@ -137,7 +170,9 @@ fn full_replication_still_trains_exactly() {
         ..Default::default()
     };
     let cluster = Cluster::launch(cfg, &t);
-    let m = cluster.train(JobSpec::decision_tree(t.schema().task)).into_tree();
+    let m = cluster
+        .train(JobSpec::decision_tree(t.schema().task))
+        .into_tree();
     cluster.shutdown();
     let reference = ts_tree::train_tree(
         &t,
@@ -150,8 +185,16 @@ fn full_replication_still_trains_exactly() {
 
 #[test]
 fn forest_larger_than_pool_completes() {
-    let t = generate(&SynthSpec { rows: 400, numeric: 4, seed: 6, ..Default::default() });
-    let cfg = ClusterConfig { n_pool: 2, ..tiny_cfg() };
+    let t = generate(&SynthSpec {
+        rows: 400,
+        numeric: 4,
+        seed: 6,
+        ..Default::default()
+    });
+    let cfg = ClusterConfig {
+        n_pool: 2,
+        ..tiny_cfg()
+    };
     let cluster = Cluster::launch(cfg, &t);
     let f = cluster
         .train(JobSpec::random_forest(t.schema().task, 9).with_seed(1))
@@ -174,7 +217,9 @@ fn all_missing_column_is_skipped() {
         Labels::Class((0..60).map(|i| u32::from(i >= 30)).collect()),
     );
     let cluster = Cluster::launch(tiny_cfg(), &t);
-    let m = cluster.train(JobSpec::decision_tree(t.schema().task)).into_tree();
+    let m = cluster
+        .train(JobSpec::decision_tree(t.schema().task))
+        .into_tree();
     cluster.shutdown();
     // The split must be on the usable column and fit perfectly.
     let (info, _, _) = m.nodes[0].split.as_ref().expect("splits on 'ok'");
@@ -184,12 +229,20 @@ fn all_missing_column_is_skipped() {
 
 #[test]
 fn many_concurrent_small_jobs() {
-    let t = generate(&SynthSpec { rows: 300, numeric: 3, seed: 7, ..Default::default() });
+    let t = generate(&SynthSpec {
+        rows: 300,
+        numeric: 3,
+        seed: 7,
+        ..Default::default()
+    });
     let cluster = Cluster::launch(tiny_cfg(), &t);
     let handles: Vec<_> = (0..8)
         .map(|i| cluster.submit(JobSpec::decision_tree(t.schema().task).with_seed(i)))
         .collect();
-    let models: Vec<_> = handles.into_iter().map(|h| cluster.wait(h).into_tree()).collect();
+    let models: Vec<_> = handles
+        .into_iter()
+        .map(|h| cluster.wait(h).into_tree())
+        .collect();
     cluster.shutdown();
     // Identical specs => identical exact models, regardless of interleaving.
     for m in &models[1..] {
@@ -201,8 +254,16 @@ fn many_concurrent_small_jobs() {
 fn completed_trees_are_flushed_to_the_model_dir() {
     let dir = std::env::temp_dir().join(format!("ts-flush-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let t = generate(&SynthSpec { rows: 400, numeric: 3, seed: 8, ..Default::default() });
-    let cfg = ClusterConfig { model_dir: Some(dir.clone()), ..tiny_cfg() };
+    let t = generate(&SynthSpec {
+        rows: 400,
+        numeric: 3,
+        seed: 8,
+        ..Default::default()
+    });
+    let cfg = ClusterConfig {
+        model_dir: Some(dir.clone()),
+        ..tiny_cfg()
+    };
     let cluster = Cluster::launch(cfg, &t);
     let f = cluster
         .train(JobSpec::random_forest(t.schema().task, 3).with_seed(1))
@@ -227,13 +288,15 @@ fn completed_trees_are_flushed_to_the_model_dir() {
 fn entropy_impurity_trains_and_differs_from_gini_only_in_splits() {
     // The paper's Fig. 2 submits jobs with either Gini or entropy; both must
     // flow through the engine and match their local-trainer counterparts.
-    let t = generate(&SynthSpec { rows: 1_000, numeric: 4, seed: 9, ..Default::default() });
+    let t = generate(&SynthSpec {
+        rows: 1_000,
+        numeric: 4,
+        seed: 9,
+        ..Default::default()
+    });
     let cluster = Cluster::launch(tiny_cfg(), &t);
     let m = cluster
-        .train(
-            JobSpec::decision_tree(t.schema().task)
-                .with_impurity(ts_splits::Impurity::Entropy),
-        )
+        .train(JobSpec::decision_tree(t.schema().task).with_impurity(ts_splits::Impurity::Entropy))
         .into_tree();
     cluster.shutdown();
     let reference = ts_tree::train_tree(
@@ -253,7 +316,13 @@ fn extra_trees_survive_column_less_workers() {
     // Regression: with more workers than attribute replicas, some workers
     // hold no columns; extra-trees node resampling must never land on them
     // (it used to, collapsing most trees into single leaves).
-    let t = generate(&SynthSpec { rows: 600, numeric: 2, concept_depth: 3, seed: 4, ..Default::default() });
+    let t = generate(&SynthSpec {
+        rows: 600,
+        numeric: 2,
+        concept_depth: 3,
+        seed: 4,
+        ..Default::default()
+    });
     let cfg = ClusterConfig {
         n_workers: 6,
         compers_per_worker: 1,

@@ -1,0 +1,128 @@
+//! Seeded fault injection through `ClusterConfig::faults`: a `FaultPlan`
+//! crash trigger kills a key worker right after the n-th subtree delegation
+//! cluster-wide, and the engine's recovery (re-replication + tree restart)
+//! must still produce *exactly* the fault-free model. See `docs/TESTING.md`.
+
+use treeserver::{Cluster, ClusterConfig, JobSpec};
+use ts_datatable::synth::{generate, SynthSpec};
+use ts_datatable::DataTable;
+use ts_netsim::FaultPlan;
+use ts_tree::{train_tree, TrainParams};
+
+fn table(seed: u64) -> DataTable {
+    generate(&SynthSpec {
+        rows: 3_000,
+        numeric: 6,
+        categorical: 0,
+        noise: 0.05,
+        concept_depth: 5,
+        seed,
+        ..Default::default()
+    })
+}
+
+/// Subtree-heavy shape so delegations happen early and often; replication 2
+/// so a crashed worker's columns survive on a replica.
+fn faulty_cfg(faults: Option<FaultPlan>) -> ClusterConfig {
+    ClusterConfig {
+        n_workers: 4,
+        compers_per_worker: 2,
+        replication: 2,
+        tau_d: 100,
+        tau_dfs: 400,
+        faults,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn injected_crash_recovers_and_matches_reference() {
+    let t = table(17);
+    let params = TrainParams {
+        dmax: 10,
+        ..TrainParams::for_task(t.schema().task)
+    };
+    let reference = train_tree(&t, &(0..t.n_attrs()).collect::<Vec<_>>(), &params, 0);
+
+    let plan = FaultPlan::new(0xFA11).with_crash_at_delegation(3);
+    let cluster = Cluster::launch(faulty_cfg(Some(plan)), &t);
+    let model = cluster
+        .train(JobSpec::decision_tree(t.schema().task))
+        .into_tree();
+    cluster.shutdown();
+    assert_eq!(
+        model.canonicalize(),
+        reference.canonicalize(),
+        "crash-recovered tree diverged from the exact trainer"
+    );
+}
+
+#[test]
+fn forest_with_injected_crash_matches_fault_free_forest() {
+    let t = table(23);
+    let spec = || JobSpec::random_forest(t.schema().task, 6).with_seed(21);
+    let run = |faults: Option<FaultPlan>| {
+        let cluster = Cluster::launch(faulty_cfg(faults), &t);
+        let f = cluster.train(spec()).into_forest();
+        cluster.shutdown();
+        f.trees.iter().map(|m| m.canonicalize()).collect::<Vec<_>>()
+    };
+    let clean = run(None);
+    let crashed = run(Some(FaultPlan::new(7).with_crash_at_delegation(4)));
+    assert_eq!(clean.len(), 6);
+    assert_eq!(
+        clean, crashed,
+        "restarted trees must reuse the same spec/seed and land on the same forest"
+    );
+}
+
+/// The trigger is observable: exactly one `CrashInjected` and one
+/// `WorkerCrashed`, and the recorded delegation index matches the plan.
+#[cfg(feature = "obs")]
+#[test]
+fn injected_crash_is_recorded_by_obs() {
+    let t = table(29);
+    let mut cfg = faulty_cfg(Some(FaultPlan::new(99).with_crash_at_delegation(2)));
+    cfg.obs = ts_obs::ObsConfig::enabled();
+    let cluster = Cluster::launch(cfg, &t);
+    let _ = cluster.train(JobSpec::decision_tree(t.schema().task));
+    let rec = std::sync::Arc::clone(cluster.obs().expect("obs enabled"));
+    cluster.shutdown();
+
+    let m = rec.metrics();
+    assert_eq!(m.counter("crashes_injected"), 1);
+    assert_eq!(m.counter("workers_crashed"), 1);
+    let injected: Vec<_> = rec
+        .events()
+        .iter()
+        .filter_map(|e| match e.event {
+            ts_obs::Event::CrashInjected {
+                node,
+                at_delegation,
+            } => Some((node, at_delegation)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(injected.len(), 1);
+    let (node, at) = injected[0];
+    assert!((1..=4).contains(&node), "killed a worker, not the master");
+    assert_eq!(at, 2, "fired at the plan's delegation index");
+}
+
+/// A plan pointing past the end of training never fires and never perturbs
+/// the run.
+#[test]
+fn unfired_crash_trigger_is_inert() {
+    let t = table(31);
+    let run = |faults: Option<FaultPlan>| {
+        let cluster = Cluster::launch(faulty_cfg(faults), &t);
+        let m = cluster
+            .train(JobSpec::decision_tree(t.schema().task))
+            .into_tree();
+        cluster.shutdown();
+        m.canonicalize()
+    };
+    let clean = run(None);
+    let inert = run(Some(FaultPlan::new(1).with_crash_at_delegation(1_000_000)));
+    assert_eq!(clean, inert);
+}

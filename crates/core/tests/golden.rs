@@ -1,0 +1,66 @@
+//! Golden distributed-vs-local equivalence harness: with the paper's
+//! *default* thresholds (`τ_D = 10,000`, `τ_dfs = 80,000`) the cluster must
+//! reproduce the single-machine exact trainer bit-for-bit. The datasets are
+//! sized above `τ_D` so the root genuinely runs as sharded column-tasks and
+//! the frontier later crosses into subtree-task territory — the τ boundary
+//! the equivalence guarantee has to survive.
+
+use treeserver::{Cluster, ClusterConfig, JobSpec};
+use ts_datatable::synth::{generate, SynthSpec};
+use ts_datatable::{DataTable, Task};
+use ts_tree::{train_tree, TrainParams};
+
+const SEEDS: [u64; 3] = [11, 42, 977];
+
+fn datasets(seed: u64) -> [DataTable; 2] {
+    [
+        generate(&SynthSpec {
+            rows: 12_000,
+            numeric: 5,
+            categorical: 2,
+            cat_cardinality: 5,
+            noise: 0.05,
+            concept_depth: 5,
+            seed,
+            ..Default::default()
+        }),
+        generate(&SynthSpec {
+            rows: 12_000,
+            numeric: 4,
+            categorical: 1,
+            task: Task::Regression,
+            seed,
+            ..Default::default()
+        }),
+    ]
+}
+
+#[test]
+fn default_thresholds_match_local_trainer_across_seeds() {
+    let cfg = ClusterConfig::default();
+    assert_eq!(cfg.tau_d, 10_000, "test assumes the paper's default τ_D");
+    assert_eq!(
+        cfg.tau_dfs, 80_000,
+        "test assumes the paper's default τ_dfs"
+    );
+    for seed in SEEDS {
+        for t in datasets(seed) {
+            let params = TrainParams {
+                dmax: 8,
+                ..TrainParams::for_task(t.schema().task)
+            };
+            let reference = train_tree(&t, &(0..t.n_attrs()).collect::<Vec<_>>(), &params, 0);
+            let cluster = Cluster::launch(ClusterConfig::default(), &t);
+            let model = cluster
+                .train(JobSpec::decision_tree(t.schema().task).with_dmax(8))
+                .into_tree();
+            cluster.shutdown();
+            assert_eq!(
+                model.canonicalize(),
+                reference.canonicalize(),
+                "seed {seed}, task {:?}: cluster diverged from the exact trainer",
+                t.schema().task
+            );
+        }
+    }
+}

@@ -47,11 +47,21 @@ fn traced_forest(workers: usize, trees: usize) -> Cluster {
 #[test]
 fn lifecycle_events_pair_up_for_a_traced_forest() {
     let cluster = traced_forest(3, 6);
-    let rec = cluster.obs().expect("recorder attached when obs enabled").clone();
+    let rec = cluster
+        .obs()
+        .expect("recorder attached when obs enabled")
+        .clone();
 
     let events = rec.events();
-    assert!(!events.is_empty(), "a traced training run must record events");
-    assert_eq!(rec.events_lost(), 0, "ring sized for this run — no drops expected");
+    assert!(
+        !events.is_empty(),
+        "a traced training run must record events"
+    );
+    assert_eq!(
+        rec.events_lost(),
+        0,
+        "ring sized for this run — no drops expected"
+    );
 
     let mut dispatched = 0u64;
     let mut completed = 0u64;
@@ -93,8 +103,7 @@ fn chrome_trace_is_valid_json_with_required_fields() {
     let rec = cluster.obs().expect("recorder attached").clone();
 
     let trace = rec.chrome_trace_json();
-    let parsed: serde_json::Value =
-        serde_json::from_str(&trace).expect("chrome trace must be valid JSON");
+    let parsed: tsjson::Value = tsjson::from_str(&trace).expect("chrome trace must be valid JSON");
     let events = parsed["traceEvents"]
         .as_array()
         .expect("traceEvents must be an array");
@@ -107,10 +116,16 @@ fn chrome_trace_is_valid_json_with_required_fields() {
         );
         assert!(ev.get("pid").is_some(), "every event needs a pid: {ev}");
         if ph != "M" {
-            assert!(ev.get("ts").is_some(), "every non-metadata event needs ts: {ev}");
+            assert!(
+                ev.get("ts").is_some(),
+                "every non-metadata event needs ts: {ev}"
+            );
         }
         if ph == "X" {
-            assert!(ev["dur"].as_f64().unwrap_or(-1.0) >= 0.0, "span needs dur: {ev}");
+            assert!(
+                ev["dur"].as_f64().unwrap_or(-1.0) >= 0.0,
+                "span needs dur: {ev}"
+            );
         }
     }
     // One process-name metadata record per machine that emitted events.
@@ -130,8 +145,7 @@ fn metrics_json_parses_and_carries_histograms() {
     let rec = cluster.obs().expect("recorder attached").clone();
 
     let json = rec.metrics_json();
-    let parsed: serde_json::Value =
-        serde_json::from_str(&json).expect("metrics dump must be valid JSON");
+    let parsed: tsjson::Value = tsjson::from_str(&json).expect("metrics dump must be valid JSON");
     let counters = parsed["counters"].as_object().expect("counters object");
     assert!(counters.get("column_tasks_dispatched").is_some());
     assert!(parsed["histograms"]["column_task_latency_ns"]["count"]
@@ -155,6 +169,9 @@ fn recorder_absent_when_runtime_disabled() {
     };
     let cluster = Cluster::launch(cfg, &t);
     let _ = cluster.train(JobSpec::decision_tree(t.schema().task));
-    assert!(cluster.obs().is_none(), "obs must stay off unless requested");
+    assert!(
+        cluster.obs().is_none(),
+        "obs must stay off unless requested"
+    );
     cluster.shutdown();
 }

@@ -2,10 +2,10 @@
 //! and any task, charges are consistent, holders are real, and deduction
 //! restores the matrix.
 
-use proptest::prelude::*;
 use treeserver::assign::{
     assign_column_task, assign_subtree, ColumnMap, LoadMatrix, COMP, RECV, SEND,
 };
+use tscheck::prelude::*;
 
 fn shapes() -> impl Strategy<Value = (usize, usize, usize, Vec<usize>, u64, Option<usize>)> {
     (2usize..8, 1usize..30, 1usize..4).prop_flat_map(|(workers, attrs, repl)| {
@@ -14,9 +14,9 @@ fn shapes() -> impl Strategy<Value = (usize, usize, usize, Vec<usize>, u64, Opti
             Just(workers),
             Just(attrs),
             Just(repl),
-            proptest::collection::vec(0..attrs, 1..attrs.max(2)),
+            tscheck::collection::vec(0..attrs, 1..attrs.max(2)),
             1u64..100_000,
-            proptest::option::of(1..=workers),
+            tscheck::option::of(1..=workers),
         )
     })
 }

@@ -1,6 +1,6 @@
 //! Column storage: whole columns and gathered column slices.
 
-use serde::{Deserialize, Serialize};
+use tsjson::{Deserialize, Serialize};
 
 /// Sentinel code for a missing categorical value.
 pub const MISSING_CAT: u32 = u32::MAX;
@@ -62,9 +62,7 @@ impl Column {
     /// requests the rows `Ix` of a column it holds.
     pub fn gather(&self, rows: &[u32]) -> ValuesBuf {
         match self {
-            Column::Numeric(v) => {
-                ValuesBuf::Numeric(rows.iter().map(|&r| v[r as usize]).collect())
-            }
+            Column::Numeric(v) => ValuesBuf::Numeric(rows.iter().map(|&r| v[r as usize]).collect()),
             Column::Categorical(v) => {
                 ValuesBuf::Categorical(rows.iter().map(|&r| v[r as usize]).collect())
             }

@@ -49,7 +49,11 @@ impl fmt::Display for CsvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CsvError::MissingHeader => write!(f, "CSV input has no header row"),
-            CsvError::RaggedRow { row, found, expected } => {
+            CsvError::RaggedRow {
+                row,
+                found,
+                expected,
+            } => {
                 write!(f, "row {row} has {found} cells, expected {expected}")
             }
             CsvError::TargetNotFound(name) => {
@@ -93,7 +97,11 @@ pub fn parse_csv(text: &str, target: &str, task_kind: TaskKind) -> Result<DataTa
     for (i, line) in lines.enumerate() {
         let row: Vec<&str> = line.split(',').map(str::trim).collect();
         if row.len() != width {
-            return Err(CsvError::RaggedRow { row: i + 1, found: row.len(), expected: width });
+            return Err(CsvError::RaggedRow {
+                row: i + 1,
+                found: row.len(),
+                expected: width,
+            });
         }
         for (j, cell) in row.iter().enumerate() {
             cells[j].push((*cell).to_string());
@@ -129,9 +137,10 @@ pub fn parse_csv(text: &str, target: &str, task_kind: TaskKind) -> Result<DataTa
                 if is_missing_cell(cell) {
                     return Err(CsvError::MissingTarget { row: r + 1 });
                 }
-                let v: f64 = cell
-                    .parse()
-                    .map_err(|_| CsvError::BadRegressionTarget { row: r + 1, cell: cell.clone() })?;
+                let v: f64 = cell.parse().map_err(|_| CsvError::BadRegressionTarget {
+                    row: r + 1,
+                    cell: cell.clone(),
+                })?;
                 ys.push(v);
             }
             Labels::Real(ys)
@@ -244,7 +253,10 @@ age,edu,income,default
         assert_eq!(t.n_rows(), 4);
         assert_eq!(t.n_attrs(), 3);
         assert_eq!(t.schema().attr_type(0), AttrType::Numeric);
-        assert_eq!(t.schema().attr_type(1), AttrType::Categorical { n_values: 3 });
+        assert_eq!(
+            t.schema().attr_type(1),
+            AttrType::Categorical { n_values: 3 }
+        );
         assert!(t.value(2, 2).is_missing()); // income of row 3 is "?"
         assert_eq!(t.schema().task, Task::Classification { n_classes: 2 });
         // "No" seen first -> code 0; "Yes" -> 1.

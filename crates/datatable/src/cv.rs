@@ -4,9 +4,9 @@
 //! different hyperparameters for model selection"; this module supplies the
 //! standard k-fold machinery those workflows need.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use tsrand::rngs::StdRng;
+use tsrand::seq::SliceRandom;
+use tsrand::SeedableRng;
 
 /// Produces `k` seeded, shuffled folds over `n` rows: for each fold, the
 /// `(train_rows, validation_rows)` pair, with every row appearing in exactly

@@ -1,6 +1,6 @@
 //! Schema types: attribute metadata and the prediction task.
 
-use serde::{Deserialize, Serialize};
+use tsjson::{Deserialize, Serialize};
 
 /// The type of a (non-target) attribute.
 ///
@@ -38,12 +38,18 @@ pub struct AttrMeta {
 impl AttrMeta {
     /// Convenience constructor for a numeric attribute.
     pub fn numeric(name: impl Into<String>) -> Self {
-        AttrMeta { name: name.into(), ty: AttrType::Numeric }
+        AttrMeta {
+            name: name.into(),
+            ty: AttrType::Numeric,
+        }
     }
 
     /// Convenience constructor for a categorical attribute with `n_values` codes.
     pub fn categorical(name: impl Into<String>, n_values: u32) -> Self {
-        AttrMeta { name: name.into(), ty: AttrType::Categorical { n_values } }
+        AttrMeta {
+            name: name.into(),
+            ty: AttrType::Categorical { n_values },
+        }
     }
 }
 
@@ -144,8 +150,8 @@ mod tests {
             vec![AttrMeta::numeric("a"), AttrMeta::categorical("b", 4)],
             Task::Classification { n_classes: 7 },
         );
-        let j = serde_json::to_string(&s).unwrap();
-        let back: Schema = serde_json::from_str(&j).unwrap();
+        let j = tsjson::to_string(&s).unwrap();
+        let back: Schema = tsjson::from_str(&j).unwrap();
         assert_eq!(s, back);
     }
 }

@@ -11,8 +11,8 @@
 use crate::column::{Column, MISSING_CAT};
 use crate::schema::{AttrMeta, Schema, Task};
 use crate::table::{DataTable, Labels};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tsrand::rngs::StdRng;
+use tsrand::{Rng, SeedableRng};
 
 /// Specification of a synthetic table.
 #[derive(Debug, Clone)]
@@ -64,9 +64,21 @@ impl Default for SynthSpec {
 
 /// A node of the planted concept tree.
 enum ConceptNode {
-    NumSplit { attr: usize, thresh: f64, left: usize, right: usize },
-    CatSplit { attr: usize, left_vals: Vec<u32>, left: usize, right: usize },
-    Leaf { value: f64 },
+    NumSplit {
+        attr: usize,
+        thresh: f64,
+        left: usize,
+        right: usize,
+    },
+    CatSplit {
+        attr: usize,
+        left_vals: Vec<u32>,
+        left: usize,
+        right: usize,
+    },
+    Leaf {
+        value: f64,
+    },
 }
 
 /// The planted ground-truth concept: a random decision tree over the
@@ -87,7 +99,9 @@ impl Concept {
         let id = nodes.len();
         let n_attrs = spec.numeric + spec.categorical;
         if depth >= spec.concept_depth || n_attrs == 0 {
-            nodes.push(ConceptNode::Leaf { value: rng.gen::<f64>() });
+            nodes.push(ConceptNode::Leaf {
+                value: rng.gen::<f64>(),
+            });
             return id;
         }
         // Reserve the slot, then grow children.
@@ -99,7 +113,12 @@ impl Concept {
             let thresh = rng.gen_range(0.2..0.8);
             let left = Self::grow(spec, rng, nodes, depth + 1);
             let right = Self::grow(spec, rng, nodes, depth + 1);
-            ConceptNode::NumSplit { attr, thresh, left, right }
+            ConceptNode::NumSplit {
+                attr,
+                thresh,
+                left,
+                right,
+            }
         } else {
             let card = spec.cat_cardinality.max(2);
             let n_left = rng.gen_range(1..card);
@@ -113,7 +132,12 @@ impl Concept {
             left_vals.sort_unstable();
             let left = Self::grow(spec, rng, nodes, depth + 1);
             let right = Self::grow(spec, rng, nodes, depth + 1);
-            ConceptNode::CatSplit { attr, left_vals, left, right }
+            ConceptNode::CatSplit {
+                attr,
+                left_vals,
+                left,
+                right,
+            }
         };
         nodes[id] = node;
         id
@@ -125,12 +149,30 @@ impl Concept {
         loop {
             match &self.nodes[i] {
                 ConceptNode::Leaf { value } => return *value,
-                ConceptNode::NumSplit { attr, thresh, left, right } => {
-                    i = if num[*attr][row] <= *thresh { *left } else { *right };
+                ConceptNode::NumSplit {
+                    attr,
+                    thresh,
+                    left,
+                    right,
+                } => {
+                    i = if num[*attr][row] <= *thresh {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
-                ConceptNode::CatSplit { attr, left_vals, left, right } => {
+                ConceptNode::CatSplit {
+                    attr,
+                    left_vals,
+                    left,
+                    right,
+                } => {
                     let v = cat[*attr - n_numeric][row];
-                    i = if left_vals.binary_search(&v).is_ok() { *left } else { *right };
+                    i = if left_vals.binary_search(&v).is_ok() {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -146,9 +188,17 @@ pub fn generate(spec: &SynthSpec) -> DataTable {
     // themselves, or `latent` hidden factors every observed column proxies.
     let (concept_spec, concept_num, concept_cat);
     if spec.latent > 0 {
-        concept_spec = SynthSpec { numeric: spec.latent, categorical: 0, ..spec.clone() };
+        concept_spec = SynthSpec {
+            numeric: spec.latent,
+            categorical: 0,
+            ..spec.clone()
+        };
         concept_num = (0..spec.latent)
-            .map(|_| (0..spec.rows).map(|_| rng.gen::<f64>()).collect::<Vec<f64>>())
+            .map(|_| {
+                (0..spec.rows)
+                    .map(|_| rng.gen::<f64>())
+                    .collect::<Vec<f64>>()
+            })
             .collect::<Vec<_>>();
         concept_cat = Vec::new();
     } else {
@@ -278,7 +328,9 @@ pub fn generate(spec: &SynthSpec) -> DataTable {
         columns.push(Column::Categorical(col));
     }
     let task = match spec.task {
-        Task::Classification { n_classes } => Task::Classification { n_classes: n_classes.max(2) },
+        Task::Classification { n_classes } => Task::Classification {
+            n_classes: n_classes.max(2),
+        },
         Task::Regression => Task::Regression,
     };
     DataTable::new(Schema::new(attrs, task), columns, labels)
@@ -390,7 +442,11 @@ impl PaperDataset {
             categorical,
             cat_cardinality: 12,
             task: self.task(),
-            missing_rate: if *self == PaperDataset::Allstate { 0.05 } else { 0.0 },
+            missing_rate: if *self == PaperDataset::Allstate {
+                0.05
+            } else {
+                0.0
+            },
             noise: 0.08,
             concept_depth: 6,
             // Real tabular data has redundant informative features; a few
@@ -450,8 +506,8 @@ pub fn mnist_like(n_train: usize, n_test: usize, seed: u64) -> (ImageSet, ImageS
                         }
                     }
                 }
-                x = (x + rng.gen_range(-1..=1)).clamp(2, W as i32 - 3);
-                y = (y + rng.gen_range(-1..=1)).clamp(2, H as i32 - 3);
+                x = (x + rng.gen_range(-1i32..=1)).clamp(2, W as i32 - 3);
+                y = (y + rng.gen_range(-1i32..=1)).clamp(2, H as i32 - 3);
             }
         }
         templates.push(img);
@@ -480,7 +536,13 @@ pub fn mnist_like(n_train: usize, n_test: usize, seed: u64) -> (ImageSet, ImageS
             images.push(img);
             labels.push(class);
         }
-        ImageSet { images, labels, width: W, height: H, n_classes: K }
+        ImageSet {
+            images,
+            labels,
+            width: W,
+            height: H,
+            n_classes: K,
+        }
     };
 
     let train = sample(&mut rng, n_train);
@@ -519,7 +581,12 @@ mod tests {
 
     #[test]
     fn generate_is_deterministic() {
-        let spec = SynthSpec { rows: 500, numeric: 3, categorical: 2, ..Default::default() };
+        let spec = SynthSpec {
+            rows: 500,
+            numeric: 3,
+            categorical: 2,
+            ..Default::default()
+        };
         let a = generate(&spec);
         let b = generate(&spec);
         assert_eq!(a, b);
@@ -539,13 +606,21 @@ mod tests {
         assert_eq!(t.n_rows(), 300);
         assert_eq!(t.n_attrs(), 7);
         assert_eq!(t.schema().attr_type(0), AttrType::Numeric);
-        assert_eq!(t.schema().attr_type(4), AttrType::Categorical { n_values: 5 });
+        assert_eq!(
+            t.schema().attr_type(4),
+            AttrType::Categorical { n_values: 5 }
+        );
         assert!(t.labels().as_class().unwrap().iter().all(|&y| y < 4));
     }
 
     #[test]
     fn missing_rate_injects_missing() {
-        let spec = SynthSpec { rows: 2_000, numeric: 2, missing_rate: 0.2, ..Default::default() };
+        let spec = SynthSpec {
+            rows: 2_000,
+            numeric: 2,
+            missing_rate: 0.2,
+            ..Default::default()
+        };
         let t = generate(&spec);
         let missing = t.column(0).n_missing();
         let frac = missing as f64 / 2_000.0;
@@ -554,7 +629,10 @@ mod tests {
 
     #[test]
     fn labels_not_degenerate() {
-        let t = generate(&SynthSpec { rows: 5_000, ..Default::default() });
+        let t = generate(&SynthSpec {
+            rows: 5_000,
+            ..Default::default()
+        });
         let e = label_entropy(&t);
         assert!(e > 0.2, "labels nearly constant: entropy {e}");
     }
@@ -599,9 +677,8 @@ mod tests {
         // Same-class images should be closer to each other than to other
         // classes on average (templates + mild noise).
         let (tr, _) = mnist_like(100, 1, 9);
-        let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-        };
+        let dist =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
         // Average same-class vs cross-class distances over many pairs (a
         // single pair can invert under the per-sample noise and shifts).
         let mut same = (0.0f32, 0u32);

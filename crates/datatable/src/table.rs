@@ -2,7 +2,7 @@
 
 use crate::column::{Column, Value, ValuesBuf};
 use crate::schema::{AttrType, Schema, Task};
-use serde::{Deserialize, Serialize};
+use tsjson::{Deserialize, Serialize};
 
 /// The target column `Y`.
 ///
@@ -103,15 +103,17 @@ impl DataTable {
         }
         match (&labels, schema.task) {
             (Labels::Class(v), Task::Classification { n_classes }) => {
-                debug_assert!(
-                    v.iter().all(|&y| y < n_classes),
-                    "class label out of range"
-                );
+                debug_assert!(v.iter().all(|&y| y < n_classes), "class label out of range");
             }
             (Labels::Real(_), Task::Regression) => {}
             _ => panic!("label kind does not match schema task"),
         }
-        DataTable { schema, columns, labels, n_rows }
+        DataTable {
+            schema,
+            columns,
+            labels,
+            n_rows,
+        }
     }
 
     /// The schema.
@@ -174,9 +176,9 @@ impl DataTable {
             train_frac > 0.0 && train_frac < 1.0,
             "train_frac must be in (0, 1)"
         );
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use tsrand::seq::SliceRandom;
+        use tsrand::SeedableRng;
+        let mut rng = tsrand::rngs::StdRng::seed_from_u64(seed);
         let mut ids: Vec<u32> = (0..self.n_rows as u32).collect();
         ids.shuffle(&mut rng);
         let n_train = ((self.n_rows as f64) * train_frac).ceil() as usize;
@@ -187,7 +189,10 @@ impl DataTable {
 
     /// Total payload bytes of all attribute columns plus labels.
     pub fn payload_bytes(&self) -> usize {
-        self.columns.iter().map(Column::payload_bytes).sum::<usize>()
+        self.columns
+            .iter()
+            .map(Column::payload_bytes)
+            .sum::<usize>()
             + self.labels.payload_bytes()
     }
 }

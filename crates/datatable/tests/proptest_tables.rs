@@ -1,10 +1,10 @@
 //! Property tests for the data substrate: CSV round-trips, row selection
 //! algebra and split determinism over arbitrary generated tables.
 
-use proptest::prelude::*;
 use ts_datatable::csv::{parse_csv, write_csv, TaskKind};
 use ts_datatable::synth::{generate, SynthSpec};
 use ts_datatable::{Column, Task, Value};
+use tscheck::prelude::*;
 
 fn any_spec() -> impl Strategy<Value = SynthSpec> {
     (
@@ -84,7 +84,7 @@ proptest! {
     #[test]
     fn select_rows_composes(spec in any_spec(), seed in 0u64..100) {
         let t = generate(&spec);
-        use rand::prelude::*;
+        use tsrand::prelude::*;
         let mut rng = StdRng::seed_from_u64(seed);
         let first: Vec<u32> = (0..t.n_rows() as u32)
             .filter(|_| rng.gen_bool(0.6))

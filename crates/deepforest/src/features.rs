@@ -3,16 +3,20 @@
 //!
 //! These are the paper's two companion jobs (§VII): they "partition input
 //! data by rows" across all threads of all machines, in contrast to
-//! TreeServer's column partitioning. Here they are rayon data-parallel
+//! TreeServer's column partitioning. Here they are data-parallel
 //! loops.
 
-use rayon::prelude::*;
 use ts_datatable::synth::ImageSet;
 use ts_datatable::{AttrMeta, Column, DataTable, Labels, Schema, Task};
 
 /// The top-left corners of all `w x w` windows on a `width x height` image
 /// with the given stride.
-pub fn window_positions(width: usize, height: usize, w: usize, stride: usize) -> Vec<(usize, usize)> {
+pub fn window_positions(
+    width: usize,
+    height: usize,
+    w: usize,
+    stride: usize,
+) -> Vec<(usize, usize)> {
     assert!(w <= width && w <= height, "window larger than image");
     assert!(stride >= 1);
     let mut pos = Vec::new();
@@ -35,23 +39,19 @@ pub fn window_positions(width: usize, height: usize, w: usize, stride: usize) ->
 /// MGS forests (paper Fig. 12).
 pub fn slide_windows(images: &ImageSet, w: usize, stride: usize) -> (Vec<Vec<f32>>, Vec<u32>) {
     let positions = window_positions(images.width, images.height, w, stride);
-    let per_image: Vec<(Vec<Vec<f32>>, Vec<u32>)> = images
-        .images
-        .par_iter()
-        .zip(&images.labels)
-        .map(|(img, &label)| {
-            let mut vecs = Vec::with_capacity(positions.len());
-            for &(x, y) in &positions {
-                let mut v = Vec::with_capacity(w * w);
-                for dy in 0..w {
-                    let row = (y + dy) * images.width + x;
-                    v.extend_from_slice(&img[row..row + w]);
-                }
-                vecs.push(v);
+    let per_image: Vec<(Vec<Vec<f32>>, Vec<u32>)> = tspar::par_map(&images.images, 0, |i, img| {
+        let label = images.labels[i];
+        let mut vecs = Vec::with_capacity(positions.len());
+        for &(x, y) in &positions {
+            let mut v = Vec::with_capacity(w * w);
+            for dy in 0..w {
+                let row = (y + dy) * images.width + x;
+                v.extend_from_slice(&img[row..row + w]);
             }
-            (vecs, vec![label; positions.len()])
-        })
-        .collect();
+            vecs.push(v);
+        }
+        (vecs, vec![label; positions.len()])
+    });
     let mut vectors = Vec::with_capacity(images.images.len() * positions.len());
     let mut labels = Vec::with_capacity(vectors.capacity());
     for (vs, ls) in per_image {
@@ -67,11 +67,12 @@ pub fn table_from_rows(rows: &[Vec<f32>], labels: Vec<u32>, n_classes: u32) -> D
     assert!(!rows.is_empty(), "need at least one row");
     assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
     let dim = rows[0].len();
-    let columns: Vec<Column> = (0..dim)
-        .into_par_iter()
-        .map(|c| Column::Numeric(rows.iter().map(|r| r[c] as f64).collect()))
+    let columns: Vec<Column> = tspar::par_map_range(dim, 0, |c| {
+        Column::Numeric(rows.iter().map(|r| r[c] as f64).collect())
+    });
+    let attrs = (0..dim)
+        .map(|i| AttrMeta::numeric(format!("f{i}")))
         .collect();
-    let attrs = (0..dim).map(|i| AttrMeta::numeric(format!("f{i}"))).collect();
     DataTable::new(
         Schema::new(attrs, Task::Classification { n_classes }),
         columns,

@@ -1,7 +1,6 @@
 //! The deep-forest training/prediction pipeline driving TreeServer.
 
 use crate::features::{slide_windows, table_from_rows};
-use rayon::prelude::*;
 use std::time::{Duration, Instant};
 use treeserver::{Cluster, ClusterConfig, JobSpec};
 use ts_datatable::synth::ImageSet;
@@ -143,7 +142,8 @@ impl DeepForest {
 
             // Re-representation (row-parallel prediction job).
             let t0 = Instant::now();
-            let train_f = extract_features(&forests, &slid_train[wi].0, train.images.len(), n_classes);
+            let train_f =
+                extract_features(&forests, &slid_train[wi].0, train.images.len(), n_classes);
             let train_time = t0.elapsed();
             let t0 = Instant::now();
             let test_f = extract_features(&forests, &slid_test[wi].0, test.images.len(), n_classes);
@@ -217,7 +217,15 @@ impl DeepForest {
             cf.push(forests);
         }
 
-        (DeepForest { cfg, mgs, cf, n_classes }, reports)
+        (
+            DeepForest {
+                cfg,
+                mgs,
+                cf,
+                n_classes,
+            },
+            reports,
+        )
     }
 
     /// Predicts class labels for a set of images by running the full
@@ -235,7 +243,12 @@ impl DeepForest {
             .iter()
             .enumerate()
             .map(|(wi, _)| {
-                extract_features(&self.mgs[wi], &slid[wi].0, images.images.len(), self.n_classes)
+                extract_features(
+                    &self.mgs[wi],
+                    &slid[wi].0,
+                    images.images.len(),
+                    self.n_classes,
+                )
             })
             .collect();
         let mut prev: Vec<Vec<f32>> = Vec::new();
@@ -268,27 +281,28 @@ fn extract_features(
     n_classes: u32,
 ) -> Vec<Vec<f32>> {
     let per_image = window_vecs.len() / n_images;
-    assert_eq!(per_image * n_images, window_vecs.len(), "uneven window count");
-    (0..n_images)
-        .into_par_iter()
-        .map(|img| {
-            let slice = &window_vecs[img * per_image..(img + 1) * per_image];
-            let table = table_from_rows(slice, vec![0; slice.len()], n_classes);
-            let mut out = Vec::with_capacity(per_image * forests.len() * n_classes as usize);
-            for f in forests {
-                for pmf in f.predict_pmf(&table) {
-                    out.extend(pmf);
-                }
+    assert_eq!(
+        per_image * n_images,
+        window_vecs.len(),
+        "uneven window count"
+    );
+    tspar::par_map_range(n_images, 0, |img| {
+        let slice = &window_vecs[img * per_image..(img + 1) * per_image];
+        let table = table_from_rows(slice, vec![0; slice.len()], n_classes);
+        let mut out = Vec::with_capacity(per_image * forests.len() * n_classes as usize);
+        for f in forests {
+            for pmf in f.predict_pmf(&table) {
+                out.extend(pmf);
             }
-            out
-        })
-        .collect()
+        }
+        out
+    })
 }
 
 /// One cascade layer's output features: the concatenated per-forest PMFs.
 fn layer_outputs(forests: &[ForestModel], input: &[Vec<f32>], n_classes: u32) -> Vec<Vec<f32>> {
     let table = table_from_rows(input, vec![0; input.len()], n_classes);
-    let per_forest: Vec<Vec<Vec<f32>>> = forests.par_iter().map(|f| f.predict_pmf(&table)).collect();
+    let per_forest: Vec<Vec<Vec<f32>>> = tspar::par_map(forests, 0, |_, f| f.predict_pmf(&table));
     (0..input.len())
         .map(|r| {
             let mut out = Vec::with_capacity(forests.len() * n_classes as usize);

@@ -1,10 +1,10 @@
 //! Property tests for the deep-forest feature plumbing: window geometry and
 //! the row-major → columnar transpose hold for arbitrary image shapes.
 
-use proptest::prelude::*;
 use ts_datatable::synth::ImageSet;
 use ts_datatable::Value;
 use ts_deepforest::{slide_windows, table_from_rows, window_positions};
+use tscheck::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
@@ -41,7 +41,7 @@ proptest! {
         stride in 1usize..4,
         seed in 0u64..1000,
     ) {
-        use rand::prelude::*;
+        use tsrand::prelude::*;
         let mut rng = StdRng::seed_from_u64(seed);
         let images: Vec<Vec<f32>> = (0..n_images)
             .map(|_| (0..side * side).map(|_| rng.gen::<f32>()).collect())
@@ -81,7 +81,7 @@ proptest! {
         dim in 1usize..12,
         seed in 0u64..1000,
     ) {
-        use rand::prelude::*;
+        use tsrand::prelude::*;
         let mut rng = StdRng::seed_from_u64(seed);
         let data: Vec<Vec<f32>> = (0..rows)
             .map(|_| (0..dim).map(|_| rng.gen::<f32>()).collect())
@@ -90,10 +90,10 @@ proptest! {
         let t = table_from_rows(&data, labels, 2);
         prop_assert_eq!(t.n_rows(), rows);
         prop_assert_eq!(t.n_attrs(), dim);
-        for r in 0..rows {
-            for c in 0..dim {
+        for (r, row) in data.iter().enumerate() {
+            for (c, &expect) in row.iter().enumerate() {
                 match t.value(r, c) {
-                    Value::Num(v) => prop_assert_eq!(v, data[r][c] as f64),
+                    Value::Num(v) => prop_assert_eq!(v, expect as f64),
                     other => prop_assert!(false, "unexpected {:?}", other),
                 }
             }

@@ -4,7 +4,6 @@
 //! column count, then per column a type tag, a length and raw little-endian
 //! values. Missing values travel in-band (`NaN` bits / `MISSING_CAT`).
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ts_datatable::{Column, Labels};
 
 const MAGIC_COLUMNS: u8 = 0xC1;
@@ -37,38 +36,77 @@ impl std::fmt::Display for FormatError {
 
 impl std::error::Error for FormatError {}
 
+/// Little-endian cursor over a byte slice; bounds are checked by the
+/// callers via [`Reader::remaining`] before each fixed-size read.
+struct Reader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let (head, tail) = self.bytes.split_at(N);
+        self.bytes = tail;
+        head.try_into().expect("split_at returned N bytes")
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take::<1>()[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take::<4>())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take::<8>())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take::<8>())
+    }
+}
+
 /// Serialises a set of columns into one file body.
-pub fn write_columns(cols: &[Column]) -> Bytes {
+pub fn write_columns(cols: &[Column]) -> Vec<u8> {
     let payload: usize = cols
         .iter()
         .map(|c| 1 + 8 + c.payload_bytes())
         .sum::<usize>();
-    let mut buf = BytesMut::with_capacity(1 + 4 + payload);
-    buf.put_u8(MAGIC_COLUMNS);
-    buf.put_u32_le(cols.len() as u32);
+    let mut buf = Vec::with_capacity(1 + 4 + payload);
+    buf.push(MAGIC_COLUMNS);
+    buf.extend_from_slice(&(cols.len() as u32).to_le_bytes());
     for c in cols {
         match c {
             Column::Numeric(v) => {
-                buf.put_u8(TAG_NUMERIC);
-                buf.put_u64_le(v.len() as u64);
+                buf.push(TAG_NUMERIC);
+                buf.extend_from_slice(&(v.len() as u64).to_le_bytes());
                 for &x in v {
-                    buf.put_f64_le(x);
+                    buf.extend_from_slice(&x.to_le_bytes());
                 }
             }
             Column::Categorical(v) => {
-                buf.put_u8(TAG_CATEGORICAL);
-                buf.put_u64_le(v.len() as u64);
+                buf.push(TAG_CATEGORICAL);
+                buf.extend_from_slice(&(v.len() as u64).to_le_bytes());
                 for &x in v {
-                    buf.put_u32_le(x);
+                    buf.extend_from_slice(&x.to_le_bytes());
                 }
             }
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Parses a column file body.
-pub fn read_columns(mut bytes: &[u8]) -> Result<Vec<Column>, FormatError> {
+pub fn read_columns(bytes: &[u8]) -> Result<Vec<Column>, FormatError> {
+    let mut bytes = Reader::new(bytes);
     if bytes.remaining() < 5 {
         return Err(FormatError::Truncated);
     }
@@ -112,30 +150,31 @@ pub fn read_columns(mut bytes: &[u8]) -> Result<Vec<Column>, FormatError> {
 }
 
 /// Serialises a label slice into one file body.
-pub fn write_labels(labels: &Labels) -> Bytes {
-    let mut buf = BytesMut::with_capacity(1 + 1 + 8 + labels.payload_bytes());
-    buf.put_u8(MAGIC_LABELS);
+pub fn write_labels(labels: &Labels) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(1 + 1 + 8 + labels.payload_bytes());
+    buf.push(MAGIC_LABELS);
     match labels {
         Labels::Class(v) => {
-            buf.put_u8(TAG_CLASS);
-            buf.put_u64_le(v.len() as u64);
+            buf.push(TAG_CLASS);
+            buf.extend_from_slice(&(v.len() as u64).to_le_bytes());
             for &x in v {
-                buf.put_u32_le(x);
+                buf.extend_from_slice(&x.to_le_bytes());
             }
         }
         Labels::Real(v) => {
-            buf.put_u8(TAG_REAL);
-            buf.put_u64_le(v.len() as u64);
+            buf.push(TAG_REAL);
+            buf.extend_from_slice(&(v.len() as u64).to_le_bytes());
             for &x in v {
-                buf.put_f64_le(x);
+                buf.extend_from_slice(&x.to_le_bytes());
             }
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Parses a label file body.
-pub fn read_labels(mut bytes: &[u8]) -> Result<Labels, FormatError> {
+pub fn read_labels(bytes: &[u8]) -> Result<Labels, FormatError> {
+    let mut bytes = Reader::new(bytes);
     if bytes.remaining() < 10 {
         return Err(FormatError::Truncated);
     }
@@ -204,7 +243,10 @@ mod tests {
     #[test]
     fn truncated_files_error() {
         let bytes = write_columns(&[Column::Numeric(vec![1.0, 2.0])]);
-        assert_eq!(read_columns(&bytes[..bytes.len() - 4]), Err(FormatError::Truncated));
+        assert_eq!(
+            read_columns(&bytes[..bytes.len() - 4]),
+            Err(FormatError::Truncated)
+        );
         assert_eq!(read_columns(&[]), Err(FormatError::Truncated));
         let l = write_labels(&Labels::Real(vec![1.0]));
         assert_eq!(read_labels(&l[..5]), Err(FormatError::Truncated));
@@ -212,7 +254,10 @@ mod tests {
 
     #[test]
     fn bad_magic_and_tag_error() {
-        assert_eq!(read_columns(&[0xFF, 0, 0, 0, 0]), Err(FormatError::BadMagic(0xFF)));
+        assert_eq!(
+            read_columns(&[0xFF, 0, 0, 0, 0]),
+            Err(FormatError::BadMagic(0xFF))
+        );
         let mut bytes = write_columns(&[Column::Numeric(vec![])]).to_vec();
         bytes[5] = 9; // corrupt the first column's tag
         assert_eq!(read_columns(&bytes), Err(FormatError::BadTag(9)));

@@ -28,13 +28,13 @@ mod format;
 pub use format::FormatError;
 
 use format::{read_columns, read_labels, write_columns, write_labels};
-use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use ts_datatable::{Column, DataTable, Labels, Schema};
+use tsjson::{Deserialize, Serialize};
 
 /// Configuration of the simulated DFS.
 #[derive(Debug, Clone)]
@@ -49,7 +49,10 @@ pub struct DfsConfig {
 impl DfsConfig {
     /// A DFS rooted at `root` with no connection pacing.
     pub fn local(root: impl Into<PathBuf>) -> DfsConfig {
-        DfsConfig { root: root.into(), connection_cost: Duration::ZERO }
+        DfsConfig {
+            root: root.into(),
+            connection_cost: Duration::ZERO,
+        }
     }
 }
 
@@ -102,7 +105,7 @@ pub enum DfsError {
     /// Corrupt or mismatched file contents.
     Format(FormatError),
     /// Metadata JSON failed to parse.
-    Meta(serde_json::Error),
+    Meta(tsjson::Error),
 }
 
 impl std::fmt::Display for DfsError {
@@ -140,7 +143,10 @@ impl Dfs {
     /// Opens (creating if needed) the namespace directory.
     pub fn new(config: DfsConfig) -> Result<Dfs, DfsError> {
         std::fs::create_dir_all(&config.root)?;
-        Ok(Dfs { config, opens: Arc::new(AtomicU64::new(0)) })
+        Ok(Dfs {
+            config,
+            opens: Arc::new(AtomicU64::new(0)),
+        })
     }
 
     /// Total file opens charged so far (put + load).
@@ -171,7 +177,10 @@ impl Dfs {
         col_group_size: usize,
         row_group_size: usize,
     ) -> Result<DfsTableMeta, DfsError> {
-        assert!(col_group_size > 0 && row_group_size > 0, "group sizes must be positive");
+        assert!(
+            col_group_size > 0 && row_group_size > 0,
+            "group sizes must be positive"
+        );
         let meta = DfsTableMeta {
             schema: table.schema().clone(),
             n_rows: table.n_rows(),
@@ -183,7 +192,7 @@ impl Dfs {
         self.charge_open();
         std::fs::write(
             dir.join("meta.json"),
-            serde_json::to_vec_pretty(&meta).map_err(DfsError::Meta)?,
+            tsjson::to_vec_pretty(&meta).map_err(DfsError::Meta)?,
         )?;
         for r in 0..meta.n_row_groups() {
             let rows: Vec<u32> = meta.row_group_rows(r).map(|x| x as u32).collect();
@@ -209,9 +218,12 @@ impl Dfs {
         let dir = self.dataset_dir(name);
         self.charge_open();
         let meta: DfsTableMeta =
-            serde_json::from_slice(&std::fs::read(dir.join("meta.json"))?)
-                .map_err(DfsError::Meta)?;
-        Ok(DfsTable { dfs: self.clone(), dir, meta })
+            tsjson::from_slice(&std::fs::read(dir.join("meta.json"))?).map_err(DfsError::Meta)?;
+        Ok(DfsTable {
+            dfs: self.clone(),
+            dir,
+            meta,
+        })
     }
 }
 
@@ -354,7 +366,11 @@ mod tests {
         assert_eq!(loaded.n_rows(), t.n_rows());
         assert_eq!(loaded.schema(), t.schema());
         for a in 0..t.n_attrs() {
-            assert_eq!(loaded.column(a).n_missing(), t.column(a).n_missing(), "col {a}");
+            assert_eq!(
+                loaded.column(a).n_missing(),
+                t.column(a).n_missing(),
+                "col {a}"
+            );
             match (t.column(a), loaded.column(a)) {
                 (Column::Categorical(x), Column::Categorical(y)) => assert_eq!(x, y),
                 (Column::Numeric(x), Column::Numeric(y)) => {

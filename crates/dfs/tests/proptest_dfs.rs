@@ -1,10 +1,10 @@
 //! Property tests for the simulated DFS: any table survives the
 //! column-group × row-group layout under any group geometry.
 
-use proptest::prelude::*;
 use ts_datatable::synth::{generate, SynthSpec};
 use ts_datatable::{Column, Task};
 use ts_dfs::{Dfs, DfsConfig};
+use tscheck::prelude::*;
 
 fn bits_equal(a: &Column, b: &Column) -> bool {
     match (a, b) {

@@ -1,0 +1,357 @@
+//! Deterministic simulation time and seeded fault injection.
+//!
+//! Everything here derives from a single `u64` seed: which messages are
+//! dropped, how long delayed messages wait, and which worker crashes at
+//! which point of training. A fault decision is a **pure function** of
+//! `(seed, from, to, per-edge sequence number)` — no RNG state is shared
+//! between edges or threads — so a failure observed once can be replayed
+//! exactly by re-running with the same seed (see `docs/TESTING.md`).
+//!
+//! [`SimClock`] abstracts the time base. The default wall clock keeps the
+//! engine's real pacing behaviour; the virtual clock makes time a plain
+//! counter the sender advances, so a single-threaded run produces
+//! byte-identical observability timelines run after run.
+
+use crate::NodeId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// SimClock
+// ---------------------------------------------------------------------
+
+/// The simulation's time base: real time, or a virtual nanosecond counter.
+///
+/// Cloning shares the underlying source, so every fabric clone and the
+/// observability recorder read the same timeline.
+#[derive(Debug, Clone)]
+pub struct SimClock {
+    inner: ClockInner,
+}
+
+#[derive(Debug, Clone)]
+enum ClockInner {
+    Wall { started: Instant },
+    Virtual { now_ns: Arc<AtomicU64> },
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        SimClock::wall()
+    }
+}
+
+impl SimClock {
+    /// Real monotonic time; `sleep` really sleeps. The engine default.
+    pub fn wall() -> SimClock {
+        SimClock {
+            inner: ClockInner::Wall {
+                started: Instant::now(),
+            },
+        }
+    }
+
+    /// Virtual time starting at `ns`; `sleep` advances the counter instead
+    /// of blocking. With a single sending thread this makes every timestamp
+    /// of a run a deterministic function of the message sequence.
+    pub fn virtual_at(ns: u64) -> SimClock {
+        SimClock {
+            inner: ClockInner::Virtual {
+                now_ns: Arc::new(AtomicU64::new(ns)),
+            },
+        }
+    }
+
+    /// Whether this is a virtual clock.
+    pub fn is_virtual(&self) -> bool {
+        matches!(self.inner, ClockInner::Virtual { .. })
+    }
+
+    /// Nanoseconds since the clock's origin.
+    pub fn now_ns(&self) -> u64 {
+        match &self.inner {
+            ClockInner::Wall { started } => started.elapsed().as_nanos() as u64,
+            ClockInner::Virtual { now_ns } => now_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Advances a virtual clock by `d`; no-op on a wall clock (real time
+    /// advances itself).
+    pub fn advance(&self, d: Duration) {
+        if let ClockInner::Virtual { now_ns } = &self.inner {
+            now_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Sleeps the calling thread (wall) or advances the counter (virtual).
+    pub fn sleep(&self, d: Duration) {
+        match &self.inner {
+            ClockInner::Wall { .. } => std::thread::sleep(d),
+            ClockInner::Virtual { now_ns } => {
+                now_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The shared counter of a virtual clock, for wiring into an
+    /// observability recorder as its time source. `None` for wall clocks.
+    pub fn time_source(&self) -> Option<Arc<AtomicU64>> {
+        match &self.inner {
+            ClockInner::Wall { .. } => None,
+            ClockInner::Virtual { now_ns } => Some(Arc::clone(now_ns)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// FaultPlan
+// ---------------------------------------------------------------------
+
+/// What the plan says to do with one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Deliver normally.
+    Deliver,
+    /// Silently lose the message. **Training protocols have no retries**, so
+    /// drops are only meaningful for fabric-level tests; a training cluster
+    /// with drops enabled will deadlock waiting for the lost result.
+    Drop,
+    /// Deliver after an extra delay (sender-side, so per-channel FIFO order
+    /// is preserved and protocol invariants hold).
+    Delay(Duration),
+}
+
+/// A seeded fault-injection plan.
+///
+/// Message faults (drops, delays) are decided edge-locally: each
+/// `(from, to)` channel numbers its messages `0, 1, 2, ...` and the decision
+/// for message `seq` is `decide(seed, from, to, seq)` — deterministic no
+/// matter how threads interleave. Worker crashes are keyed on the global
+/// subtree-delegation count, which the (single-threaded) master dispatch
+/// loop advances, so the crash point is equally reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_prob: f64,
+    delay_prob: f64,
+    max_delay: Duration,
+    crash_at_delegation: Option<u64>,
+}
+
+/// SplitMix64: the mixing function behind every fault decision.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A unit float in `[0, 1)` from the top 53 bits of a hash.
+fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults enabled.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop_prob: 0.0,
+            delay_prob: 0.0,
+            max_delay: Duration::ZERO,
+            crash_at_delegation: None,
+        }
+    }
+
+    /// The seed every decision derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Drops each remote message independently with probability `prob`.
+    /// See [`FaultDecision::Drop`] for why this is for fabric tests only.
+    pub fn with_message_drops(mut self, prob: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        self.drop_prob = prob;
+        self
+    }
+
+    /// Delays each remote message independently with probability `prob`, by
+    /// a seed-derived duration in `[0, max)`.
+    pub fn with_message_delays(mut self, prob: f64, max: Duration) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        self.delay_prob = prob;
+        self.max_delay = max;
+        self
+    }
+
+    /// Crashes the worker that receives the `n`-th subtree-task delegation
+    /// (1-based, counted cluster-wide), right after the plan message is
+    /// sent — i.e. mid-subtree-task.
+    pub fn with_crash_at_delegation(mut self, n: u64) -> FaultPlan {
+        assert!(n >= 1, "delegations are counted from 1");
+        self.crash_at_delegation = Some(n);
+        self
+    }
+
+    /// Like [`with_crash_at_delegation`](Self::with_crash_at_delegation),
+    /// with `n` derived from the seed in `1..=max_delegation`.
+    pub fn with_seeded_crash(self, max_delegation: u64) -> FaultPlan {
+        assert!(max_delegation >= 1, "need a non-empty delegation range");
+        let n = 1 + mix(self.seed ^ 0x000C_4A57) % max_delegation;
+        self.with_crash_at_delegation(n)
+    }
+
+    /// The global delegation count at which a worker crash fires, if any.
+    pub fn crash_at_delegation(&self) -> Option<u64> {
+        self.crash_at_delegation
+    }
+
+    /// The fate of message `seq` on the `(from, to)` edge. Pure: same plan,
+    /// same arguments, same answer.
+    pub fn decide(&self, from: NodeId, to: NodeId, seq: u64) -> FaultDecision {
+        if self.drop_prob == 0.0 && self.delay_prob == 0.0 {
+            return FaultDecision::Deliver;
+        }
+        let edge = ((from as u64) << 32) | to as u64;
+        let h = mix(self.seed ^ mix(edge ^ mix(seq)));
+        if unit_f64(h) < self.drop_prob {
+            return FaultDecision::Drop;
+        }
+        let h2 = mix(h);
+        if unit_f64(h2) < self.delay_prob {
+            let frac = unit_f64(mix(h2));
+            let ns = (self.max_delay.as_nanos() as f64 * frac) as u64;
+            return FaultDecision::Delay(Duration::from_nanos(ns));
+        }
+        FaultDecision::Deliver
+    }
+
+    /// Whether any message fault (drop or delay) is enabled.
+    pub fn affects_messages(&self) -> bool {
+        self.drop_prob > 0.0 || self.delay_prob > 0.0
+    }
+}
+
+/// Shared per-fabric fault state: the plan plus one message counter per
+/// directed edge.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    pub(crate) plan: FaultPlan,
+    n: usize,
+    seq: Vec<AtomicU64>,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan, n: usize) -> FaultState {
+        FaultState {
+            plan,
+            n,
+            seq: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Takes the next sequence number of the `(from, to)` edge.
+    pub(crate) fn next_seq(&self, from: NodeId, to: NodeId) -> u64 {
+        self.seq[from * self.n + to].fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_advances_and_virtual_is_manual() {
+        let wall = SimClock::wall();
+        assert!(!wall.is_virtual());
+        let a = wall.now_ns();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(wall.now_ns() > a);
+        wall.advance(Duration::from_secs(100)); // no-op
+        assert!(wall.now_ns() < 90_000_000_000);
+
+        let v = SimClock::virtual_at(5);
+        assert!(v.is_virtual());
+        assert_eq!(v.now_ns(), 5);
+        v.sleep(Duration::from_nanos(10));
+        v.advance(Duration::from_nanos(1));
+        assert_eq!(v.now_ns(), 16);
+        let shared = v.clone();
+        shared.advance(Duration::from_nanos(4));
+        assert_eq!(v.now_ns(), 20, "clones share the counter");
+        assert!(v.time_source().is_some() && wall.time_source().is_none());
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_seed_edge_seq() {
+        let p = FaultPlan::new(42)
+            .with_message_drops(0.3)
+            .with_message_delays(0.3, Duration::from_millis(10));
+        for from in 0..4 {
+            for to in 0..4 {
+                for seq in 0..64 {
+                    assert_eq!(p.decide(from, to, seq), p.decide(from, to, seq));
+                }
+            }
+        }
+        // A different seed gives a different decision sequence.
+        let q = FaultPlan::new(43)
+            .with_message_drops(0.3)
+            .with_message_delays(0.3, Duration::from_millis(10));
+        let a: Vec<_> = (0..256).map(|s| p.decide(0, 1, s)).collect();
+        let b: Vec<_> = (0..256).map(|s| q.decide(0, 1, s)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn probabilities_are_roughly_honoured() {
+        let p = FaultPlan::new(7).with_message_drops(0.25);
+        let drops = (0..10_000)
+            .filter(|&s| p.decide(1, 2, s) == FaultDecision::Drop)
+            .count();
+        assert!(
+            (2_000..3_000).contains(&drops),
+            "{drops} drops out of 10000"
+        );
+        let d = FaultPlan::new(7).with_message_delays(1.0, Duration::from_millis(8));
+        for s in 0..1_000 {
+            match d.decide(1, 2, s) {
+                FaultDecision::Delay(dur) => assert!(dur < Duration::from_millis(8)),
+                other => panic!("expected delay, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_plan_always_delivers() {
+        let p = FaultPlan::new(9);
+        assert!(!p.affects_messages());
+        assert!((0..1000).all(|s| p.decide(0, 1, s) == FaultDecision::Deliver));
+    }
+
+    #[test]
+    fn seeded_crash_is_in_range_and_deterministic() {
+        for seed in 0..50u64 {
+            let p = FaultPlan::new(seed).with_seeded_crash(6);
+            let n = p.crash_at_delegation().unwrap();
+            assert!((1..=6).contains(&n));
+            assert_eq!(
+                FaultPlan::new(seed)
+                    .with_seeded_crash(6)
+                    .crash_at_delegation(),
+                Some(n)
+            );
+        }
+    }
+
+    #[test]
+    fn fault_state_sequences_edges_independently() {
+        let st = FaultState::new(FaultPlan::new(1), 3);
+        assert_eq!(st.next_seq(0, 1), 0);
+        assert_eq!(st.next_seq(0, 1), 1);
+        assert_eq!(st.next_seq(1, 0), 0, "reverse edge counts separately");
+        assert_eq!(st.next_seq(0, 2), 0);
+    }
+}

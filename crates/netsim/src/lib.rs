@@ -3,7 +3,7 @@
 //! The paper evaluates TreeServer on a 15-machine cluster with 1 GigE
 //! links. This crate substitutes an in-process simulation (see DESIGN.md §2):
 //! every "machine" is a set of real OS threads, machines exchange typed
-//! messages over [`crossbeam_channel`] channels, and every send is
+//! messages over [`tschan`] channels, and every send is
 //!
 //! 1. **accounted** — payload bytes are charged to the sender's Send counter
 //!    and the receiver's Recv counter (giving the paper's per-machine
@@ -22,10 +22,15 @@
 //! threads, from which the experiments derive the paper's "average CPU rate"
 //! (e.g. 837% = 8.37 cores busy).
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
+mod fault;
+
+pub use fault::{FaultDecision, FaultPlan, SimClock};
+
+use fault::FaultState;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use tschan::{unbounded, Receiver, Sender};
 
 /// Identifies a machine in the simulated cluster. The engine uses `0` for
 /// the master and `1..=w` for workers.
@@ -49,7 +54,10 @@ pub struct NetModel {
 impl NetModel {
     /// No pacing at all: accounting only. Unit tests use this.
     pub fn instant() -> NetModel {
-        NetModel { bandwidth_bytes_per_sec: None, latency: Duration::ZERO }
+        NetModel {
+            bandwidth_bytes_per_sec: None,
+            latency: Duration::ZERO,
+        }
     }
 
     /// The paper's testbed link: 1 GigE (~125 MB/s) with a small fixed
@@ -63,15 +71,16 @@ impl NetModel {
 
     /// A deliberately slow link for tests that need visible contention.
     pub fn slow(bytes_per_sec: f64, latency: Duration) -> NetModel {
-        NetModel { bandwidth_bytes_per_sec: Some(bytes_per_sec), latency }
+        NetModel {
+            bandwidth_bytes_per_sec: Some(bytes_per_sec),
+            latency,
+        }
     }
 
     /// The transmission delay this model assigns to a payload.
     pub fn delay_for(&self, bytes: usize) -> Duration {
         let bw = match self.bandwidth_bytes_per_sec {
-            Some(b) if b > 0.0 && b.is_finite() => {
-                Duration::from_secs_f64(bytes as f64 / b)
-            }
+            Some(b) if b > 0.0 && b.is_finite() => Duration::from_secs_f64(bytes as f64 / b),
             _ => Duration::ZERO,
         };
         self.latency + bw
@@ -105,7 +114,7 @@ impl NodeCounters {
 }
 
 /// A point-in-time snapshot of one machine's counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, tsjson::Serialize)]
 pub struct NodeSnapshot {
     /// Total payload bytes sent.
     pub sent_bytes: u64,
@@ -180,9 +189,13 @@ impl NetStats {
 
     /// Records a message of `bytes` from `from` to `to`.
     pub fn record_send(&self, from: NodeId, to: NodeId, bytes: usize) {
-        self.nodes[from].sent_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.nodes[from]
+            .sent_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
         self.nodes[from].sent_msgs.fetch_add(1, Ordering::Relaxed);
-        self.nodes[to].recv_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.nodes[to]
+            .recv_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
         self.nodes[to].recv_msgs.fetch_add(1, Ordering::Relaxed);
         #[cfg(feature = "obs")]
         if let Some(rec) = self.recorder.get() {
@@ -192,7 +205,9 @@ impl NetStats {
 
     /// Adds compute busy time for a machine.
     pub fn add_busy(&self, node: NodeId, d: Duration) {
-        self.nodes[node].busy_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.nodes[node]
+            .busy_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Tracks a task-memory allocation (subtree data, delegate `Ix` sets ...)
@@ -207,7 +222,9 @@ impl NetStats {
 
     /// Releases tracked task memory.
     pub fn mem_free(&self, node: NodeId, bytes: usize) {
-        self.nodes[node].mem_current.fetch_sub(bytes as u64, Ordering::Relaxed);
+        self.nodes[node]
+            .mem_current
+            .fetch_sub(bytes as u64, Ordering::Relaxed);
     }
 
     /// Snapshot of one machine's counters.
@@ -265,7 +282,11 @@ pub struct BusyGuard<'a> {
 impl<'a> BusyGuard<'a> {
     /// Starts a busy interval for `node`.
     pub fn start(stats: &'a NetStats, node: NodeId) -> Self {
-        BusyGuard { stats, node, start: Instant::now() }
+        BusyGuard {
+            stats,
+            node,
+            start: Instant::now(),
+        }
     }
 }
 
@@ -283,6 +304,8 @@ pub struct Fabric<M> {
     senders: Vec<Sender<M>>,
     model: NetModel,
     stats: Arc<NetStats>,
+    clock: SimClock,
+    faults: Option<Arc<FaultState>>,
 }
 
 impl<M> Clone for Fabric<M> {
@@ -291,6 +314,8 @@ impl<M> Clone for Fabric<M> {
             senders: self.senders.clone(),
             model: self.model,
             stats: Arc::clone(&self.stats),
+            clock: self.clock.clone(),
+            faults: self.faults.clone(),
         }
     }
 }
@@ -315,6 +340,18 @@ impl<M: WireSized> Fabric<M> {
     /// Creates a fabric over `n` machines sharing `stats`; returns the
     /// cloneable handle plus one receiver per machine.
     pub fn new(n: usize, model: NetModel, stats: Arc<NetStats>) -> (Fabric<M>, Vec<Receiver<M>>) {
+        Self::new_faulty(n, model, stats, None, SimClock::wall())
+    }
+
+    /// [`Fabric::new`] plus a fault plan and a time base. Passing
+    /// `plan: None` and a wall clock is exactly `new`.
+    pub fn new_faulty(
+        n: usize,
+        model: NetModel,
+        stats: Arc<NetStats>,
+        plan: Option<FaultPlan>,
+        clock: SimClock,
+    ) -> (Fabric<M>, Vec<Receiver<M>>) {
         assert_eq!(stats.n_nodes(), n, "stats sized for a different cluster");
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
@@ -323,7 +360,19 @@ impl<M: WireSized> Fabric<M> {
             senders.push(s);
             receivers.push(r);
         }
-        (Fabric { senders, model, stats }, receivers)
+        let faults = plan
+            .filter(|p| p.affects_messages())
+            .map(|p| Arc::new(FaultState::new(p, n)));
+        (
+            Fabric {
+                senders,
+                model,
+                stats,
+                clock,
+                faults,
+            },
+            receivers,
+        )
     }
 
     /// Sends `msg` from `from` to `to`.
@@ -331,17 +380,67 @@ impl<M: WireSized> Fabric<M> {
     /// Local sends (`from == to`) are free: no accounting, no pacing —
     /// mirroring the paper's "skipping communication when the requested data
     /// is local". Remote sends charge the counters and sleep the calling
-    /// thread per the link model.
+    /// thread per the link model; with a fault plan attached they may also
+    /// be dropped or delayed (decided purely from the plan's seed and the
+    /// message's per-edge sequence number).
     pub fn send(&self, from: NodeId, to: NodeId, msg: M) -> Result<(), Disconnected> {
         if from != to {
+            if let Some(faults) = &self.faults {
+                let seq = faults.next_seq(from, to);
+                match faults.plan.decide(from, to, seq) {
+                    FaultDecision::Deliver => {}
+                    FaultDecision::Drop => {
+                        #[cfg(feature = "obs")]
+                        if let Some(rec) = self.stats.recorder() {
+                            rec.record(
+                                from as u32,
+                                ts_obs::Event::MessageDropped {
+                                    from: from as u32,
+                                    to: to as u32,
+                                    seq,
+                                },
+                            );
+                        }
+                        // The message is lost in transit: the sender still
+                        // paid for it, the receiver never sees it.
+                        self.stats.record_send(from, to, msg.wire_bytes());
+                        return Ok(());
+                    }
+                    FaultDecision::Delay(extra) => {
+                        #[cfg(feature = "obs")]
+                        if let Some(rec) = self.stats.recorder() {
+                            rec.record(
+                                from as u32,
+                                ts_obs::Event::MessageDelayed {
+                                    from: from as u32,
+                                    to: to as u32,
+                                    seq,
+                                    delay_ns: extra.as_nanos() as u64,
+                                },
+                            );
+                        }
+                        self.clock.sleep(extra);
+                    }
+                }
+            }
             let bytes = msg.wire_bytes();
             self.stats.record_send(from, to, bytes);
             let delay = self.model.delay_for(bytes);
             if !delay.is_zero() {
-                std::thread::sleep(delay);
+                self.clock.sleep(delay);
             }
         }
         self.senders[to].send(msg).map_err(|_| Disconnected { to })
+    }
+
+    /// The fabric's time base.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The attached fault plan, if any message faults are enabled.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_deref().map(|f| &f.plan)
     }
 
     /// The shared statistics.
@@ -393,7 +492,10 @@ mod tests {
         let (f, r, stats) = setup(2, NetModel::gige());
         let t = Instant::now();
         f.send(1, 1, Msg(vec![0; 1_000_000])).unwrap();
-        assert!(t.elapsed() < Duration::from_millis(50), "local send must not pace");
+        assert!(
+            t.elapsed() < Duration::from_millis(50),
+            "local send must not pace"
+        );
         assert_eq!(stats.snapshot(1).sent_bytes, 0);
         assert_eq!(r[1].recv().unwrap().0.len(), 1_000_000);
     }
@@ -405,7 +507,11 @@ mod tests {
         let (f, _r, _stats) = setup(2, model);
         let t = Instant::now();
         f.send(0, 1, Msg(vec![0; 1_000_000])).unwrap();
-        assert!(t.elapsed() >= Duration::from_millis(95), "took {:?}", t.elapsed());
+        assert!(
+            t.elapsed() >= Duration::from_millis(95),
+            "took {:?}",
+            t.elapsed()
+        );
     }
 
     #[test]

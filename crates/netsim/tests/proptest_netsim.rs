@@ -1,10 +1,10 @@
 //! Property tests for the cluster fabric: accounting conservation and
 //! delay-model monotonicity under arbitrary traffic.
 
-use proptest::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
 use ts_netsim::{Fabric, NetModel, NetStats, WireSized};
+use tscheck::prelude::*;
 
 #[derive(Debug, Clone, PartialEq)]
 struct Msg(usize);
@@ -23,7 +23,7 @@ proptest! {
     #[test]
     fn accounting_conservation(
         n in 2usize..6,
-        traffic in proptest::collection::vec((0usize..6, 0usize..6, 0usize..10_000), 1..100),
+        traffic in tscheck::collection::vec((0usize..6, 0usize..6, 0usize..10_000), 1..100),
     ) {
         let stats = NetStats::new(n);
         let (fabric, receivers) = Fabric::new(n, NetModel::instant(), Arc::clone(&stats));
@@ -71,7 +71,7 @@ proptest! {
     /// Memory watermark: peak equals the max prefix sum of alloc/free.
     #[test]
     fn memory_watermark_matches_prefix_max(
-        ops in proptest::collection::vec((any::<bool>(), 1usize..10_000), 1..60),
+        ops in tscheck::collection::vec((any::<bool>(), 1usize..10_000), 1..60),
     ) {
         let stats = NetStats::new(1);
         let mut cur: i64 = 0;

@@ -120,63 +120,77 @@ pub(crate) fn export(mut events: Vec<TimedEvent>) -> String {
                     job + 1,
                     &format!("\"job\":{job}"),
                 ),
-                None => e.instant("job_finished", ev.ts_ns, MASTER_PID, &format!("\"job\":{job}")),
+                None => e.instant(
+                    "job_finished",
+                    ev.ts_ns,
+                    MASTER_PID,
+                    &format!("\"job\":{job}"),
+                ),
             },
             Event::ColumnTaskDispatched { task, node, .. } => {
                 open_cols.insert((task, node), *ev);
             }
-            Event::ColumnTaskCompleted { task, node, latency_ns } => {
-                match open_cols.remove(&(task, node)) {
-                    Some(start) => {
-                        let (cols, bytes) = match start.event {
-                            Event::ColumnTaskDispatched { cols, bytes, .. } => (cols, bytes),
-                            _ => (0, 0),
-                        };
-                        e.span(
-                            "column_task",
-                            start.ts_ns,
-                            ev.ts_ns,
-                            node,
-                            task + 1,
-                            &format!("\"task\":{task},\"cols\":{cols},\"bytes\":{bytes}"),
-                        );
-                    }
-                    None => e.instant(
-                        "column_task_completed",
+            Event::ColumnTaskCompleted {
+                task,
+                node,
+                latency_ns,
+            } => match open_cols.remove(&(task, node)) {
+                Some(start) => {
+                    let (cols, bytes) = match start.event {
+                        Event::ColumnTaskDispatched { cols, bytes, .. } => (cols, bytes),
+                        _ => (0, 0),
+                    };
+                    e.span(
+                        "column_task",
+                        start.ts_ns,
                         ev.ts_ns,
                         node,
-                        &format!("\"task\":{task},\"latency_ns\":{latency_ns}"),
-                    ),
+                        task + 1,
+                        &format!("\"task\":{task},\"cols\":{cols},\"bytes\":{bytes}"),
+                    );
                 }
-            }
+                None => e.instant(
+                    "column_task_completed",
+                    ev.ts_ns,
+                    node,
+                    &format!("\"task\":{task},\"latency_ns\":{latency_ns}"),
+                ),
+            },
             Event::SubtreeTaskDelegated { task, .. } => {
                 open_subs.insert(task, *ev);
             }
-            Event::SubtreeTaskBuilt { task, node, nodes, latency_ns } => {
-                match open_subs.remove(&task) {
-                    Some(start) => {
-                        let rows = match start.event {
-                            Event::SubtreeTaskDelegated { rows, .. } => rows,
-                            _ => 0,
-                        };
-                        e.span(
-                            "subtree_task",
-                            start.ts_ns,
-                            ev.ts_ns,
-                            node,
-                            task + 1,
-                            &format!("\"task\":{task},\"rows\":{rows},\"nodes\":{nodes}"),
-                        );
-                    }
-                    None => e.instant(
-                        "subtree_task_built",
+            Event::SubtreeTaskBuilt {
+                task,
+                node,
+                nodes,
+                latency_ns,
+            } => match open_subs.remove(&task) {
+                Some(start) => {
+                    let rows = match start.event {
+                        Event::SubtreeTaskDelegated { rows, .. } => rows,
+                        _ => 0,
+                    };
+                    e.span(
+                        "subtree_task",
+                        start.ts_ns,
                         ev.ts_ns,
                         node,
-                        &format!("\"task\":{task},\"latency_ns\":{latency_ns}"),
-                    ),
+                        task + 1,
+                        &format!("\"task\":{task},\"rows\":{rows},\"nodes\":{nodes}"),
+                    );
                 }
-            }
-            Event::TaskComputed { task, node, busy_ns } => {
+                None => e.instant(
+                    "subtree_task_built",
+                    ev.ts_ns,
+                    node,
+                    &format!("\"task\":{task},\"latency_ns\":{latency_ns}"),
+                ),
+            },
+            Event::TaskComputed {
+                task,
+                node,
+                busy_ns,
+            } => {
                 // The comper records at completion; draw the span backwards.
                 e.span(
                     "compute",
@@ -187,7 +201,12 @@ pub(crate) fn export(mut events: Vec<TimedEvent>) -> String {
                     &format!("\"task\":{task}"),
                 );
             }
-            Event::BplanPush { end, depth, rows, qlen } => {
+            Event::BplanPush {
+                end,
+                depth,
+                rows,
+                qlen,
+            } => {
                 e.counter(
                     "bplan_len",
                     ev.ts_ns,
@@ -205,34 +224,82 @@ pub(crate) fn export(mut events: Vec<TimedEvent>) -> String {
                     &format!("\"end\":\"{end}\",\"depth\":{depth},\"rows\":{rows}"),
                 );
             }
-            Event::SplitChosen { task, node, attr, gain } => e.instant(
+            Event::SplitChosen {
+                task,
+                node,
+                attr,
+                gain,
+            } => e.instant(
                 "split_chosen",
                 ev.ts_ns,
                 node,
-                &format!("\"task\":{task},\"attr\":{attr},\"gain\":{}", json::number(gain)),
+                &format!(
+                    "\"task\":{task},\"attr\":{attr},\"gain\":{}",
+                    json::number(gain)
+                ),
             ),
-            Event::WorkerCrashed { node } => {
-                e.instant("worker_crashed", ev.ts_ns, node, &format!("\"node\":{node}"))
-            }
-            Event::WorkerRecovered { node } => {
-                e.instant("worker_recovered", ev.ts_ns, node, &format!("\"node\":{node}"))
-            }
+            Event::WorkerCrashed { node } => e.instant(
+                "worker_crashed",
+                ev.ts_ns,
+                node,
+                &format!("\"node\":{node}"),
+            ),
+            Event::WorkerRecovered { node } => e.instant(
+                "worker_recovered",
+                ev.ts_ns,
+                node,
+                &format!("\"node\":{node}"),
+            ),
+            Event::MessageDropped { from, to, seq } => e.instant(
+                "message_dropped",
+                ev.ts_ns,
+                from,
+                &format!("\"to\":{to},\"seq\":{seq}"),
+            ),
+            Event::MessageDelayed {
+                from,
+                to,
+                seq,
+                delay_ns,
+            } => e.instant(
+                "message_delayed",
+                ev.ts_ns,
+                from,
+                &format!("\"to\":{to},\"seq\":{seq},\"delay_ns\":{delay_ns}"),
+            ),
+            Event::CrashInjected {
+                node,
+                at_delegation,
+            } => e.instant(
+                "crash_injected",
+                ev.ts_ns,
+                node,
+                &format!("\"node\":{node},\"at_delegation\":{at_delegation}"),
+            ),
             Event::NetSend { from, to, bytes } => e.instant(
                 "net_send",
                 ev.ts_ns,
                 from,
                 &format!("\"to\":{to},\"bytes\":{bytes}"),
             ),
-            Event::GbtRound { round } => {
-                e.instant("gbt_round", ev.ts_ns, MASTER_PID, &format!("\"round\":{round}"))
-            }
+            Event::GbtRound { round } => e.instant(
+                "gbt_round",
+                ev.ts_ns,
+                MASTER_PID,
+                &format!("\"round\":{round}"),
+            ),
         }
     }
 
     // Unpaired opens (job still running at export, or the completion event
     // was lost to ring overwrite) degrade to instants rather than vanish.
     for (job, ev) in open_jobs {
-        e.instant("job_submitted", ev.ts_ns, MASTER_PID, &format!("\"job\":{job}"));
+        e.instant(
+            "job_submitted",
+            ev.ts_ns,
+            MASTER_PID,
+            &format!("\"job\":{job}"),
+        );
     }
     for ((task, node), ev) in open_cols {
         e.instant(
@@ -270,8 +337,25 @@ mod tests {
     fn pairs_become_spans() {
         let trace = export(vec![
             te(1_000, 0, Event::JobSubmitted { job: 7 }),
-            te(2_000, 0, Event::ColumnTaskDispatched { task: 3, node: 1, cols: 4, bytes: 256 }),
-            te(9_000, 0, Event::ColumnTaskCompleted { task: 3, node: 1, latency_ns: 7_000 }),
+            te(
+                2_000,
+                0,
+                Event::ColumnTaskDispatched {
+                    task: 3,
+                    node: 1,
+                    cols: 4,
+                    bytes: 256,
+                },
+            ),
+            te(
+                9_000,
+                0,
+                Event::ColumnTaskCompleted {
+                    task: 3,
+                    node: 1,
+                    latency_ns: 7_000,
+                },
+            ),
             te(20_000, 0, Event::JobFinished { job: 7 }),
         ]);
         assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\""), "{trace}");
@@ -285,7 +369,10 @@ mod tests {
             trace.contains("\"name\":\"job\",\"ph\":\"X\",\"ts\":1.000,\"pid\":0"),
             "{trace}"
         );
-        assert!(trace.contains("\"name\":\"process_name\",\"ph\":\"M\""), "{trace}");
+        assert!(
+            trace.contains("\"name\":\"process_name\",\"ph\":\"M\""),
+            "{trace}"
+        );
         assert!(trace.contains("\"name\":\"worker1\""), "{trace}");
     }
 
@@ -294,7 +381,12 @@ mod tests {
         let trace = export(vec![te(
             5_000,
             0,
-            Event::ColumnTaskDispatched { task: 1, node: 2, cols: 1, bytes: 10 },
+            Event::ColumnTaskDispatched {
+                task: 1,
+                node: 2,
+                cols: 1,
+                bytes: 10,
+            },
         )]);
         assert!(
             trace.contains("\"name\":\"column_task_dispatched\",\"ph\":\"i\""),
@@ -307,9 +399,17 @@ mod tests {
         let trace = export(vec![te(
             100,
             0,
-            Event::BplanPush { end: DequeEnd::Head, depth: 3, rows: 40, qlen: 2 },
+            Event::BplanPush {
+                end: DequeEnd::Head,
+                depth: 3,
+                rows: 40,
+                qlen: 2,
+            },
         )]);
-        assert!(trace.contains("\"name\":\"bplan_len\",\"ph\":\"C\""), "{trace}");
+        assert!(
+            trace.contains("\"name\":\"bplan_len\",\"ph\":\"C\""),
+            "{trace}"
+        );
         assert!(trace.contains("\"len\":2"), "{trace}");
         assert!(trace.contains("\"end\":\"head\""), "{trace}");
     }
@@ -319,7 +419,11 @@ mod tests {
         let trace = export(vec![te(
             10_000,
             2,
-            Event::TaskComputed { task: 5, node: 2, busy_ns: 4_000 },
+            Event::TaskComputed {
+                task: 5,
+                node: 2,
+                busy_ns: 4_000,
+            },
         )]);
         assert!(
             trace.contains("\"name\":\"compute\",\"ph\":\"X\",\"ts\":6.000,\"pid\":2"),

@@ -111,6 +111,35 @@ pub enum Event {
         /// The worker now holding the columns.
         node: u32,
     },
+    /// A fault plan dropped a message in transit (the receiver never sees
+    /// it). Replayable: the same plan seed drops the same `(from, to, seq)`.
+    MessageDropped {
+        /// Sender machine.
+        from: u32,
+        /// Intended receiver.
+        to: u32,
+        /// The message's sequence number on the `(from, to)` edge.
+        seq: u64,
+    },
+    /// A fault plan delayed a message before delivery.
+    MessageDelayed {
+        /// Sender machine.
+        from: u32,
+        /// Receiver machine.
+        to: u32,
+        /// The message's sequence number on the `(from, to)` edge.
+        seq: u64,
+        /// The injected extra delay.
+        delay_ns: u64,
+    },
+    /// A fault plan triggered a worker crash (followed by the engine's
+    /// `WorkerCrashed` / recovery events).
+    CrashInjected {
+        /// The worker being killed.
+        node: u32,
+        /// The global subtree-delegation count at which the plan fired.
+        at_delegation: u64,
+    },
     /// A sampled fabric send (one event per `net_sample_every` sends).
     NetSend {
         /// Sender machine.

@@ -48,14 +48,21 @@ pub struct ObsConfig {
 
 impl Default for ObsConfig {
     fn default() -> Self {
-        ObsConfig { enabled: false, ring_capacity: 1 << 16, net_sample_every: 64 }
+        ObsConfig {
+            enabled: false,
+            ring_capacity: 1 << 16,
+            net_sample_every: 64,
+        }
     }
 }
 
 impl ObsConfig {
     /// A config with recording switched on and default sizing.
     pub fn enabled() -> Self {
-        ObsConfig { enabled: true, ..ObsConfig::default() }
+        ObsConfig {
+            enabled: true,
+            ..ObsConfig::default()
+        }
     }
 }
 
@@ -73,6 +80,9 @@ struct Hot {
     splits_chosen: Arc<Counter>,
     workers_crashed: Arc<Counter>,
     workers_recovered: Arc<Counter>,
+    messages_dropped: Arc<Counter>,
+    messages_delayed: Arc<Counter>,
+    crashes_injected: Arc<Counter>,
     net_sends: Arc<Counter>,
     gbt_rounds: Arc<Counter>,
     column_task_latency_ns: Arc<Histogram>,
@@ -97,6 +107,9 @@ impl Hot {
             splits_chosen: reg.counter("splits_chosen"),
             workers_crashed: reg.counter("workers_crashed"),
             workers_recovered: reg.counter("workers_recovered"),
+            messages_dropped: reg.counter("messages_dropped"),
+            messages_delayed: reg.counter("messages_delayed"),
+            crashes_injected: reg.counter("crashes_injected"),
             net_sends: reg.counter("net_sends"),
             gbt_rounds: reg.counter("gbt_rounds"),
             column_task_latency_ns: reg.histogram("column_task_latency_ns"),
@@ -114,6 +127,9 @@ impl Hot {
 /// from every engine thread concurrently.
 pub struct Recorder {
     start: Instant,
+    /// When set, `now_ns` reads this counter instead of the wall clock —
+    /// the simulation's virtual time source (`ts_netsim::SimClock`).
+    time_source: Option<Arc<AtomicU64>>,
     rings: Vec<Ring>,
     registry: MetricsRegistry,
     hot: Hot,
@@ -138,7 +154,10 @@ impl Recorder {
         let hot = Hot::new(&registry);
         Recorder {
             start: Instant::now(),
-            rings: (0..n_nodes.max(1)).map(|_| Ring::new(cfg.ring_capacity)).collect(),
+            time_source: None,
+            rings: (0..n_nodes.max(1))
+                .map(|_| Ring::new(cfg.ring_capacity))
+                .collect(),
             registry,
             hot,
             net_seq: AtomicU64::new(0),
@@ -146,9 +165,22 @@ impl Recorder {
         }
     }
 
-    /// Nanoseconds since the recorder was created.
+    /// A recorder stamping events from a shared virtual-nanosecond counter
+    /// instead of the wall clock. With a single recording thread this makes
+    /// the event timeline a pure function of the recorded sequence.
+    pub fn with_time_source(n_nodes: usize, cfg: &ObsConfig, source: Arc<AtomicU64>) -> Recorder {
+        let mut rec = Recorder::new(n_nodes, cfg);
+        rec.time_source = Some(source);
+        rec
+    }
+
+    /// Nanoseconds since the recorder was created (or the virtual time
+    /// source's current value).
     pub fn now_ns(&self) -> u64 {
-        self.start.elapsed().as_nanos() as u64
+        match &self.time_source {
+            Some(src) => src.load(Ordering::Relaxed),
+            None => self.start.elapsed().as_nanos() as u64,
+        }
     }
 
     /// Records `event` on machine `node`'s ring and folds it into the
@@ -160,7 +192,11 @@ impl Recorder {
 
     fn push(&self, node: u32, event: Event) {
         let ring = self.rings.get(node as usize).unwrap_or(&self.rings[0]);
-        ring.push(TimedEvent { ts_ns: self.now_ns(), node, event });
+        ring.push(TimedEvent {
+            ts_ns: self.now_ns(),
+            node,
+            event,
+        });
     }
 
     fn observe_metrics(&self, event: &Event) {
@@ -192,6 +228,9 @@ impl Recorder {
             Event::TaskComputed { busy_ns, .. } => h.comper_busy_ns.observe(busy_ns),
             Event::WorkerCrashed { .. } => h.workers_crashed.inc(),
             Event::WorkerRecovered { .. } => h.workers_recovered.inc(),
+            Event::MessageDropped { .. } => h.messages_dropped.inc(),
+            Event::MessageDelayed { .. } => h.messages_delayed.inc(),
+            Event::CrashInjected { .. } => h.crashes_injected.inc(),
             Event::NetSend { .. } => {} // accounted in on_net_send
             Event::GbtRound { .. } => h.gbt_rounds.inc(),
         }
@@ -206,7 +245,7 @@ impl Recorder {
             return;
         }
         let seq = self.net_seq.fetch_add(1, Ordering::Relaxed);
-        if seq % self.net_sample_every == 0 {
+        if seq.is_multiple_of(self.net_sample_every) {
             self.push(from, Event::NetSend { from, to, bytes });
         }
     }
@@ -274,7 +313,14 @@ mod tests {
     fn record_lands_in_ring_and_metrics() {
         let rec = Recorder::new(3, &ObsConfig::enabled());
         rec.record(0, Event::JobSubmitted { job: 1 });
-        rec.record(1, Event::ColumnTaskCompleted { task: 9, node: 1, latency_ns: 500 });
+        rec.record(
+            1,
+            Event::ColumnTaskCompleted {
+                task: 9,
+                node: 1,
+                latency_ns: 500,
+            },
+        );
         rec.record(0, Event::JobFinished { job: 1 });
         let events = rec.events();
         assert_eq!(events.len(), 3);
@@ -296,7 +342,10 @@ mod tests {
 
     #[test]
     fn net_send_sampling() {
-        let cfg = ObsConfig { net_sample_every: 10, ..ObsConfig::enabled() };
+        let cfg = ObsConfig {
+            net_sample_every: 10,
+            ..ObsConfig::enabled()
+        };
         let rec = Recorder::new(2, &cfg);
         for _ in 0..100 {
             rec.on_net_send(0, 1, 64);
@@ -304,14 +353,20 @@ mod tests {
         let m = rec.metrics();
         assert_eq!(m.counter("net_sends"), 100);
         assert_eq!(m.histogram("net_send_bytes").unwrap().count, 100);
-        let ring_events =
-            rec.events().iter().filter(|e| matches!(e.event, Event::NetSend { .. })).count();
+        let ring_events = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(e.event, Event::NetSend { .. }))
+            .count();
         assert_eq!(ring_events, 10);
     }
 
     #[test]
     fn net_send_sampling_disabled_at_zero() {
-        let cfg = ObsConfig { net_sample_every: 0, ..ObsConfig::enabled() };
+        let cfg = ObsConfig {
+            net_sample_every: 0,
+            ..ObsConfig::enabled()
+        };
         let rec = Recorder::new(2, &cfg);
         rec.on_net_send(0, 1, 64);
         assert_eq!(rec.metrics().counter("net_sends"), 1);
@@ -326,7 +381,10 @@ mod tests {
         let trace = rec.chrome_trace_json();
         assert!(trace.contains("\"traceEvents\":["), "{trace}");
         let metrics = rec.metrics_json();
-        assert!(metrics.starts_with('{') && metrics.ends_with('}'), "{metrics}");
+        assert!(
+            metrics.starts_with('{') && metrics.ends_with('}'),
+            "{metrics}"
+        );
         assert!(metrics.contains("\"events_total\":2"), "{metrics}");
         assert!(metrics.contains("\"events_lost\":0"), "{metrics}");
     }

@@ -45,10 +45,13 @@ impl Ring {
             head: AtomicU64::new(0),
             contended: AtomicU64::new(0),
             seq: (0..cap).map(|_| AtomicU64::new(0)).collect(),
-            slots: (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect(),
+            slots: (0..cap)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
         }
     }
 
+    #[cfg(test)]
     pub(crate) fn capacity(&self) -> usize {
         self.seq.len()
     }
@@ -110,7 +113,11 @@ mod tests {
     use std::sync::Arc;
 
     fn ev(ts: u64) -> TimedEvent {
-        TimedEvent { ts_ns: ts, node: 0, event: Event::JobSubmitted { job: ts } }
+        TimedEvent {
+            ts_ns: ts,
+            node: 0,
+            event: Event::JobSubmitted { job: ts },
+        }
     }
 
     #[test]

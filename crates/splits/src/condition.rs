@@ -6,8 +6,8 @@
 //! column's condition as the overall best: splitting `Ix` into `Ixl`/`Ixr`
 //! with its locally-held column (paper §V).
 
-use serde::{Deserialize, Serialize};
 use ts_datatable::{Column, Value};
+use tsjson::{Deserialize, Serialize};
 
 /// The test applied at an internal node.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -69,7 +69,9 @@ pub fn partition_rows(
     let mut left = Vec::new();
     let mut right = Vec::new();
     for &r in ix {
-        let go_left = test.goes_left(col.value(r as usize)).unwrap_or(missing_left);
+        let go_left = test
+            .goes_left(col.value(r as usize))
+            .unwrap_or(missing_left);
         if go_left {
             left.push(r);
         } else {

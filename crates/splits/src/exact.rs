@@ -16,8 +16,8 @@
 
 use crate::condition::SplitTest;
 use crate::impurity::{ClassCounts, Impurity, LabelView, NodeStats, RegAgg};
-use serde::{Deserialize, Serialize};
 use ts_datatable::{AttrType, ValuesBuf, MISSING_CAT};
+use tsjson::{Deserialize, Serialize};
 
 /// The best split found for one column, with exact child statistics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -117,8 +117,7 @@ pub fn best_numeric_split(
                 left.add(ys[present[i].1 as usize]);
                 right.remove(ys[present[i].1 as usize]);
                 if present[i].0 < present[i + 1].0 {
-                    let gain =
-                        total_w - left.weighted_impurity(imp) - right.weighted_impurity(imp);
+                    let gain = total_w - left.weighted_impurity(imp) - right.weighted_impurity(imp);
                     let thr = boundary_threshold(present[i].0, present[i + 1].0);
                     if challenger_gain_wins(gain, thr, &best) {
                         best = Some((gain, thr, i));
@@ -221,7 +220,13 @@ fn finish_numeric(
             Some(values[i] <= thr)
         }
     });
-    Some(ColumnSplit { test: SplitTest::NumericLe(thr), gain, missing_left, left, right })
+    Some(ColumnSplit {
+        test: SplitTest::NumericLe(thr),
+        gain,
+        missing_left,
+        left,
+        right,
+    })
 }
 
 /// Exact best categorical split for classification (Appendix B, Case 3):
@@ -254,8 +259,7 @@ pub fn best_cat_split_classification(
             continue;
         }
         let rest = total.minus(counts);
-        let gain =
-            total_w - counts.weighted_impurity(imp) - rest.weighted_impurity(imp);
+        let gain = total_w - counts.weighted_impurity(imp) - rest.weighted_impurity(imp);
         if gain > 0.0
             && best.is_none_or(|(bg, bc)| match gain.total_cmp(&bg) {
                 std::cmp::Ordering::Greater => true,
@@ -278,7 +282,13 @@ pub fn best_cat_split_classification(
             Some(codes[i] == code)
         }
     });
-    Some(ColumnSplit { test: SplitTest::CatIn(vec![code]), gain, missing_left, left, right })
+    Some(ColumnSplit {
+        test: SplitTest::CatIn(vec![code]),
+        gain,
+        missing_left,
+        left,
+        right,
+    })
 }
 
 /// Exact best categorical split for regression (Appendix B, Case 2 —
@@ -346,7 +356,13 @@ pub fn best_cat_split_regression(codes: &[u32], n_values: u32, ys: &[f64]) -> Op
             Some(in_left(codes[i]))
         }
     });
-    Some(ColumnSplit { test: SplitTest::CatIn(left_set), gain, missing_left, left, right })
+    Some(ColumnSplit {
+        test: SplitTest::CatIn(left_set),
+        gain,
+        missing_left,
+        left,
+        right,
+    })
 }
 
 impl RegAgg {
@@ -384,7 +400,11 @@ pub fn best_split_for_column(
 /// "seen in `Dx` during training" set a split node stores so prediction can
 /// detect unseen values; Appendix D).
 pub fn distinct_categories(codes: &[u32]) -> Vec<u32> {
-    let mut seen: Vec<u32> = codes.iter().copied().filter(|&c| c != MISSING_CAT).collect();
+    let mut seen: Vec<u32> = codes
+        .iter()
+        .copied()
+        .filter(|&c| c != MISSING_CAT)
+        .collect();
     seen.sort_unstable();
     seen.dedup();
     seen
@@ -532,7 +552,7 @@ mod tests {
     fn breiman_matches_exhaustive_on_small_inputs() {
         // Brute-force all 2^(k-1)-1 proper subsets and confirm Breiman's
         // prefix scan finds a subset with the same (optimal) gain.
-        use rand::prelude::*;
+        use tsrand::prelude::*;
         let mut rng = StdRng::seed_from_u64(11);
         for _trial in 0..50 {
             let k = rng.gen_range(2..6u32);
@@ -585,12 +605,8 @@ mod tests {
     fn dispatch_matches_kernel() {
         let buf = ValuesBuf::Numeric(vec![1.0, 2.0, 3.0, 4.0]);
         let ys = [0u32, 0, 1, 1];
-        let via_dispatch = best_split_for_column(
-            &buf,
-            AttrType::Numeric,
-            class_view(&ys),
-            Impurity::Gini,
-        );
+        let via_dispatch =
+            best_split_for_column(&buf, AttrType::Numeric, class_view(&ys), Impurity::Gini);
         let direct = best_numeric_split(&[1.0, 2.0, 3.0, 4.0], class_view(&ys), Impurity::Gini);
         assert_eq!(via_dispatch, direct);
     }
@@ -610,8 +626,7 @@ mod tests {
     #[test]
     fn challenger_order_is_strict() {
         let ys = [0u32, 0, 1, 1];
-        let s = best_numeric_split(&[1.0, 2.0, 3.0, 4.0], class_view(&ys), Impurity::Gini)
-            .unwrap();
+        let s = best_numeric_split(&[1.0, 2.0, 3.0, 4.0], class_view(&ys), Impurity::Gini).unwrap();
         // Equal gains: smaller attr id wins.
         assert!(ColumnSplit::challenger_wins(&s, 1, &s, 2));
         assert!(!ColumnSplit::challenger_wins(&s, 2, &s, 1));
@@ -620,7 +635,10 @@ mod tests {
 
     #[test]
     fn distinct_categories_sorted_dedup_no_missing() {
-        assert_eq!(distinct_categories(&[3, 1, 3, MISSING_CAT, 0]), vec![0, 1, 3]);
+        assert_eq!(
+            distinct_categories(&[3, 1, 3, MISSING_CAT, 0]),
+            vec![0, 1, 3]
+        );
         assert!(distinct_categories(&[MISSING_CAT]).is_empty());
     }
 }

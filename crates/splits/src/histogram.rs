@@ -16,8 +16,8 @@
 use crate::condition::SplitTest;
 use crate::exact::ColumnSplit;
 use crate::impurity::{ClassCounts, Impurity, NodeStats, RegAgg};
-use serde::{Deserialize, Serialize};
 use ts_datatable::MISSING_CAT;
+use tsjson::{Deserialize, Serialize};
 
 /// Candidate split thresholds for one numeric attribute.
 ///
@@ -113,7 +113,10 @@ impl NumericHistogram {
 
     /// Creates an empty regression histogram.
     pub fn new_reg(n_bins: usize) -> Self {
-        NumericHistogram::Reg { bins: vec![RegAgg::default(); n_bins], missing: RegAgg::default() }
+        NumericHistogram::Reg {
+            bins: vec![RegAgg::default(); n_bins],
+            missing: RegAgg::default(),
+        }
     }
 
     /// Adds one classification row.
@@ -148,8 +151,14 @@ impl NumericHistogram {
     pub fn merge(&mut self, other: &NumericHistogram) {
         match (self, other) {
             (
-                NumericHistogram::Class { bins: a, missing: ma },
-                NumericHistogram::Class { bins: b, missing: mb },
+                NumericHistogram::Class {
+                    bins: a,
+                    missing: ma,
+                },
+                NumericHistogram::Class {
+                    bins: b,
+                    missing: mb,
+                },
             ) => {
                 assert_eq!(a.len(), b.len(), "bin count mismatch");
                 for (x, y) in a.iter_mut().zip(b) {
@@ -158,8 +167,14 @@ impl NumericHistogram {
                 ma.merge(mb);
             }
             (
-                NumericHistogram::Reg { bins: a, missing: ma },
-                NumericHistogram::Reg { bins: b, missing: mb },
+                NumericHistogram::Reg {
+                    bins: a,
+                    missing: ma,
+                },
+                NumericHistogram::Reg {
+                    bins: b,
+                    missing: mb,
+                },
             ) => {
                 assert_eq!(a.len(), b.len(), "bin count mismatch");
                 for (x, y) in a.iter_mut().zip(b) {
@@ -206,9 +221,7 @@ impl NumericHistogram {
                         continue;
                     }
                     let right = total.minus(&left);
-                    let gain = total_w
-                        - left.weighted_impurity(imp)
-                        - right.weighted_impurity(imp);
+                    let gain = total_w - left.weighted_impurity(imp) - right.weighted_impurity(imp);
                     if gain > 0.0 && best.is_none_or(|(bg, _)| gain > bg) {
                         best = Some((gain, b));
                     }
@@ -256,8 +269,7 @@ impl NumericHistogram {
                         sum: total.sum - left.sum,
                         sum_sq: total.sum_sq - left.sum_sq,
                     };
-                    let gain =
-                        total_w - left.weighted_impurity() - right.weighted_impurity();
+                    let gain = total_w - left.weighted_impurity() - right.weighted_impurity();
                     if gain > 0.0 && best.is_none_or(|(bg, _)| gain > bg) {
                         best = Some((gain, b));
                     }
@@ -389,7 +401,11 @@ pub fn best_cat_from_reg_stats(per_value: &[RegAgg], missing: &RegAgg) -> Option
     for &(_, a) in &groups[..prefix] {
         l.merge(&a);
     }
-    let mut r = RegAgg { n: total.n - l.n, sum: total.sum - l.sum, sum_sq: total.sum_sq - l.sum_sq };
+    let mut r = RegAgg {
+        n: total.n - l.n,
+        sum: total.sum - l.sum,
+        sum_sq: total.sum_sq - l.sum_sq,
+    };
     let missing_left = l.n >= r.n;
     if missing.n > 0 {
         if missing_left {
@@ -470,7 +486,9 @@ mod tests {
 
     #[test]
     fn bin_of_respects_boundaries() {
-        let cuts = BinCuts { cuts: vec![1.0, 5.0] };
+        let cuts = BinCuts {
+            cuts: vec![1.0, 5.0],
+        };
         assert_eq!(cuts.bin_of(0.5), 0);
         assert_eq!(cuts.bin_of(1.0), 0);
         assert_eq!(cuts.bin_of(1.5), 1);
@@ -556,13 +574,13 @@ mod tests {
     fn cat_stats_kernels_match_exact_kernels() {
         // The stats-based categorical kernels (used by the MLlib baseline)
         // must agree with the exact kernels on identical data.
-        use rand::prelude::*;
+        use tsrand::prelude::*;
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..30 {
             let k = 5u32;
             let n = rng.gen_range(5..60);
             let codes: Vec<u32> = (0..n).map(|_| rng.gen_range(0..k)).collect();
-            let ys: Vec<u32> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+            let ys: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..3)).collect();
             let exact = best_cat_split_classification(&codes, k, &ys, 3, Impurity::Gini);
             let (pv, miss) = cat_class_stats(&codes, &ys, k, 3);
             let from_stats = best_cat_from_class_stats(&pv, &miss, Impurity::Gini);

@@ -5,8 +5,8 @@
 //! support `O(1)` add/remove of one label so the sorted-scan kernels find the
 //! best threshold in one pass (Appendix B, Case 1).
 
-use serde::{Deserialize, Serialize};
 use ts_datatable::Labels;
+use tsjson::{Deserialize, Serialize};
 
 /// The impurity function used to score node splits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -63,7 +63,10 @@ pub struct ClassCounts {
 impl ClassCounts {
     /// Empty counts for `n_classes` classes.
     pub fn new(n_classes: u32) -> Self {
-        ClassCounts { counts: vec![0; n_classes as usize], total: 0 }
+        ClassCounts {
+            counts: vec![0; n_classes as usize],
+            total: 0,
+        }
     }
 
     /// Adds one label.
@@ -103,7 +106,10 @@ impl ClassCounts {
                 a - b
             })
             .collect();
-        ClassCounts { counts, total: self.total - other.total }
+        ClassCounts {
+            counts,
+            total: self.total - other.total,
+        }
     }
 
     /// Total rows counted.

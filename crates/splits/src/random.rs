@@ -8,8 +8,8 @@
 use crate::condition::SplitTest;
 use crate::exact::ColumnSplit;
 use crate::impurity::{LabelView, NodeStats};
-use rand::Rng;
 use ts_datatable::{ValuesBuf, MISSING_CAT};
+use tsrand::Rng;
 
 /// Draws a random `Ai <= v` split with `v` uniform in `[min, max)` of the
 /// present values. Returns `None` when fewer than two distinct present
@@ -35,13 +35,9 @@ pub fn random_numeric_split<R: Rng>(
     let thr = rng.gen_range(min..max);
     build_split(
         SplitTest::NumericLe(thr),
-        values.iter().map(|&v| {
-            if v.is_nan() {
-                None
-            } else {
-                Some(v <= thr)
-            }
-        }),
+        values
+            .iter()
+            .map(|&v| if v.is_nan() { None } else { Some(v <= thr) }),
         labels,
     )
 }
@@ -118,14 +114,20 @@ fn build_split(
     }
     // Gain is not used for selection in extra-trees; report the true
     // impurity decrease anyway (may be ~0) so diagnostics stay meaningful.
-    Some(ColumnSplit { test, gain: 0.0, missing_left, left, right })
+    Some(ColumnSplit {
+        test,
+        gain: 0.0,
+        missing_left,
+        left,
+        right,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tsrand::rngs::StdRng;
+    use tsrand::SeedableRng;
 
     #[test]
     fn random_numeric_split_is_within_range_and_nonempty() {

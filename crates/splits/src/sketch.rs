@@ -10,7 +10,7 @@
 //! candidates, mergeable across data partitions); we do not reproduce the
 //! GK-style proof machinery of the original.
 
-use serde::{Deserialize, Serialize};
+use tsjson::{Deserialize, Serialize};
 
 /// A mergeable weighted quantile summary over `f64` values.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -156,7 +156,7 @@ impl QuantileSketch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
+    use tsrand::prelude::*;
 
     #[test]
     fn unweighted_uniform_quantiles_are_accurate() {
@@ -168,10 +168,7 @@ mod tests {
         assert_eq!(cuts.len(), 3);
         // Quartiles of 0..10000 with rank error ~ W/64.
         for (c, expect) in cuts.iter().zip([2500.0, 5000.0, 7500.0]) {
-            assert!(
-                (c - expect).abs() < 400.0,
-                "cut {c} too far from {expect}"
-            );
+            assert!((c - expect).abs() < 400.0, "cut {c} too far from {expect}");
         }
     }
 

@@ -1,7 +1,6 @@
 //! Property-based tests for the split kernels: the invariants that make
 //! "exact training" exact, checked over randomised inputs.
 
-use proptest::prelude::*;
 use ts_datatable::Column;
 use ts_splits::condition::partition_rows;
 use ts_splits::exact::{best_numeric_split, best_split_for_column};
@@ -9,15 +8,13 @@ use ts_splits::histogram::{BinCuts, NumericHistogram};
 use ts_splits::impurity::{Impurity, LabelView, NodeStats};
 use ts_splits::sketch::QuantileSketch;
 use ts_splits::SplitTest;
+use tscheck::prelude::*;
 
 fn class_data() -> impl Strategy<Value = (Vec<f64>, Vec<u32>)> {
     (2usize..120).prop_flat_map(|n| {
         (
-            proptest::collection::vec(
-                prop_oneof![4 => -50.0..50.0f64, 1 => Just(f64::NAN)],
-                n,
-            ),
-            proptest::collection::vec(0u32..3, n),
+            tscheck::collection::vec(prop_oneof![4 => -50.0..50.0f64, 1 => Just(f64::NAN)], n),
+            tscheck::collection::vec(0u32..3, n),
         )
     })
 }
@@ -92,7 +89,7 @@ proptest! {
     /// partition_rows: output is a disjoint, order-preserving cover of input.
     #[test]
     fn partition_rows_covers_input(
-        values in proptest::collection::vec(
+        values in tscheck::collection::vec(
             prop_oneof![4 => -10.0..10.0f64, 1 => Just(f64::NAN)], 1..80),
         thr in -10.0..10.0f64,
         missing_left in any::<bool>(),
@@ -147,7 +144,7 @@ proptest! {
     /// Sketch ranks stay within the coarse error budget.
     #[test]
     fn sketch_rank_error_bounded(
-        values in proptest::collection::vec(-1000.0..1000.0f64, 100..2000),
+        values in tscheck::collection::vec(-1000.0..1000.0f64, 100..2000),
     ) {
         let mut s = QuantileSketch::new(64);
         for &v in &values {
@@ -171,7 +168,7 @@ proptest! {
     /// classification.
     #[test]
     fn regression_split_children_partition_rows(
-        values in proptest::collection::vec(
+        values in tscheck::collection::vec(
             prop_oneof![4 => -50.0..50.0f64, 1 => Just(f64::NAN)], 2..100),
         seed in any::<u64>(),
     ) {
@@ -195,8 +192,8 @@ proptest! {
     /// Categorical dispatch consistency between buffer kinds.
     #[test]
     fn categorical_split_children_partition_rows(
-        codes in proptest::collection::vec(0u32..6, 2..100),
-        ys in proptest::collection::vec(0u32..3, 100),
+        codes in tscheck::collection::vec(0u32..6, 2..100),
+        ys in tscheck::collection::vec(0u32..3, 100),
     ) {
         let n = codes.len();
         let ys = &ys[..n];

@@ -42,7 +42,13 @@ impl LocalDataset {
         for (i, c) in columns.iter().enumerate() {
             assert_eq!(c.len(), n, "column {i} not aligned with labels");
         }
-        LocalDataset { attrs, types, columns, labels, task }
+        LocalDataset {
+            attrs,
+            types,
+            columns,
+            labels,
+            task,
+        }
     }
 
     /// Builds a dataset over a whole table restricted to `candidates`
@@ -59,10 +65,7 @@ impl LocalDataset {
             .iter()
             .map(|&a| table.schema().attr_type(a))
             .collect();
-        let columns = candidates
-            .iter()
-            .map(|&a| table.gather(a, rows))
-            .collect();
+        let columns = candidates.iter().map(|&a| table.gather(a, rows)).collect();
         let labels = table.labels().gather(rows);
         LocalDataset::new(attrs, types, columns, labels, table.schema().task)
     }
@@ -79,7 +82,10 @@ impl LocalDataset {
 
     /// Total payload bytes (for the engine's task-memory accounting).
     pub fn payload_bytes(&self) -> usize {
-        self.columns.iter().map(ValuesBuf::payload_bytes).sum::<usize>()
+        self.columns
+            .iter()
+            .map(ValuesBuf::payload_bytes)
+            .sum::<usize>()
             + self.labels.payload_bytes()
     }
 }
@@ -91,7 +97,12 @@ mod tests {
 
     #[test]
     fn from_table_gathers_all_rows() {
-        let t = generate(&SynthSpec { rows: 50, numeric: 3, categorical: 1, ..Default::default() });
+        let t = generate(&SynthSpec {
+            rows: 50,
+            numeric: 3,
+            categorical: 1,
+            ..Default::default()
+        });
         let d = LocalDataset::from_table(&t, &[0, 2, 3]);
         assert_eq!(d.n_rows(), 50);
         assert_eq!(d.n_cols(), 3);
@@ -101,7 +112,11 @@ mod tests {
 
     #[test]
     fn from_table_rows_subset() {
-        let t = generate(&SynthSpec { rows: 20, numeric: 2, ..Default::default() });
+        let t = generate(&SynthSpec {
+            rows: 20,
+            numeric: 2,
+            ..Default::default()
+        });
         let d = LocalDataset::from_table_rows(&t, &[1], &[3, 7, 11]);
         assert_eq!(d.n_rows(), 3);
         assert_eq!(d.columns[0], t.gather(1, &[3, 7, 11]));

@@ -6,8 +6,8 @@
 //! plus plain label/value prediction for the evaluation tables.
 
 use crate::model::{DecisionTreeModel, Prediction};
-use serde::{Deserialize, Serialize};
 use ts_datatable::{DataTable, Task};
+use tsjson::{Deserialize, Serialize};
 
 /// A bag of independently-trained trees over one task.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -41,8 +41,7 @@ impl ForestModel {
         let k = self
             .task
             .n_classes()
-            .expect("predict_pmf_row requires a classification forest")
-            as usize;
+            .expect("predict_pmf_row requires a classification forest") as usize;
         let mut acc = vec![0f32; k];
         for t in &self.trees {
             let p = t.predict_row(table, row, u32::MAX);
@@ -112,12 +111,12 @@ impl ForestModel {
 
     /// Serialises to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("forest serialisation cannot fail")
+        tsjson::to_string(self).expect("forest serialisation cannot fail")
     }
 
     /// Deserialises from JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Self, tsjson::Error> {
+        tsjson::from_str(s)
     }
 }
 
@@ -200,8 +199,7 @@ mod tests {
         let f = ForestModel::new(trees, ts_datatable::Task::Regression);
         let avg = f.predict_values(&t);
         for r in [0usize, 13, 999] {
-            let manual =
-                (single_preds[0][r] + single_preds[1][r] + single_preds[2][r]) / 3.0;
+            let manual = (single_preds[0][r] + single_preds[1][r] + single_preds[2][r]) / 3.0;
             assert!((avg[r] - manual).abs() < 1e-12);
         }
     }

@@ -1,8 +1,8 @@
 //! The decision-tree model: arena nodes, prediction, and subtree grafting.
 
-use serde::{Deserialize, Serialize};
 use ts_datatable::{DataTable, Task, Value};
 use ts_splits::SplitTest;
+use tsjson::{Deserialize, Serialize};
 
 /// The split stored at an internal node.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -83,7 +83,12 @@ pub struct Node {
 impl Node {
     /// Creates a leaf node.
     pub fn leaf(prediction: Prediction, n_rows: u64, depth: u32) -> Node {
-        Node { split: None, prediction, n_rows, depth }
+        Node {
+            split: None,
+            prediction,
+            n_rows,
+            depth,
+        }
     }
 
     /// Whether the node is a leaf.
@@ -113,7 +118,10 @@ impl DecisionTreeModel {
         for (i, n) in nodes.iter().enumerate() {
             if let Some((_, l, r)) = &n.split {
                 assert!(*l > i && *r > i, "children must follow their parent");
-                assert!(*l < nodes.len() && *r < nodes.len(), "child index out of range");
+                assert!(
+                    *l < nodes.len() && *r < nodes.len(),
+                    "child index out of range"
+                );
             }
         }
         DecisionTreeModel { nodes, task }
@@ -258,7 +266,10 @@ impl DecisionTreeModel {
             None => {
                 let pred = match &n.prediction {
                     Prediction::Class { label, pmf } => {
-                        format!("class {label} (p={:.2})", pmf.get(*label as usize).copied().unwrap_or(0.0))
+                        format!(
+                            "class {label} (p={:.2})",
+                            pmf.get(*label as usize).copied().unwrap_or(0.0)
+                        )
                     }
                     Prediction::Real(v) => format!("{v:.4}"),
                 };
@@ -286,12 +297,12 @@ impl DecisionTreeModel {
 
     /// Serialises to JSON (the master "flushes trees to disk" as JSON files).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("tree serialisation cannot fail")
+        tsjson::to_string(self).expect("tree serialisation cannot fail")
     }
 
     /// Deserialises from JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Self, tsjson::Error> {
+        tsjson::from_str(s)
     }
 }
 
@@ -350,11 +361,21 @@ mod tests {
                     1,
                     2,
                 )),
-                prediction: Prediction::Class { label: 0, pmf: vec![0.7, 0.3] },
+                prediction: Prediction::Class {
+                    label: 0,
+                    pmf: vec![0.7, 0.3],
+                },
                 n_rows: 10,
                 depth: 0,
             },
-            Node::leaf(Prediction::Class { label: 1, pmf: vec![0.2, 0.8] }, 5, 1),
+            Node::leaf(
+                Prediction::Class {
+                    label: 1,
+                    pmf: vec![0.2, 0.8],
+                },
+                5,
+                1,
+            ),
             Node {
                 split: Some((
                     SplitInfo {
@@ -367,12 +388,29 @@ mod tests {
                     3,
                     4,
                 )),
-                prediction: Prediction::Class { label: 0, pmf: vec![0.9, 0.1] },
+                prediction: Prediction::Class {
+                    label: 0,
+                    pmf: vec![0.9, 0.1],
+                },
                 n_rows: 5,
                 depth: 1,
             },
-            Node::leaf(Prediction::Class { label: 0, pmf: vec![1.0, 0.0] }, 3, 2),
-            Node::leaf(Prediction::Class { label: 1, pmf: vec![0.0, 1.0] }, 2, 2),
+            Node::leaf(
+                Prediction::Class {
+                    label: 0,
+                    pmf: vec![1.0, 0.0],
+                },
+                3,
+                2,
+            ),
+            Node::leaf(
+                Prediction::Class {
+                    label: 1,
+                    pmf: vec![0.0, 1.0],
+                },
+                2,
+                2,
+            ),
         ];
         DecisionTreeModel::new(nodes, Task::Classification { n_classes: 2 })
     }
@@ -381,17 +419,35 @@ mod tests {
     fn predict_descends_both_sides() {
         let t = two_level_tree();
         let p = t.predict_with(
-            |a| if a == 0 { Value::Num(30.0) } else { Value::Cat(2) },
+            |a| {
+                if a == 0 {
+                    Value::Num(30.0)
+                } else {
+                    Value::Cat(2)
+                }
+            },
             u32::MAX,
         );
         assert_eq!(p.label(), 1);
         let p = t.predict_with(
-            |a| if a == 0 { Value::Num(50.0) } else { Value::Cat(2) },
+            |a| {
+                if a == 0 {
+                    Value::Num(50.0)
+                } else {
+                    Value::Cat(2)
+                }
+            },
             u32::MAX,
         );
         assert_eq!(p.label(), 0);
         let p = t.predict_with(
-            |a| if a == 0 { Value::Num(50.0) } else { Value::Cat(1) },
+            |a| {
+                if a == 0 {
+                    Value::Num(50.0)
+                } else {
+                    Value::Cat(1)
+                }
+            },
             u32::MAX,
         );
         assert_eq!(p.label(), 1);
@@ -406,7 +462,13 @@ mod tests {
         assert_eq!(p.pmf(), &[0.7, 0.3]);
         // Depth cap 1: may descend once.
         let p = t.predict_with(
-            |a| if a == 0 { Value::Num(50.0) } else { Value::Cat(2) },
+            |a| {
+                if a == 0 {
+                    Value::Num(50.0)
+                } else {
+                    Value::Cat(2)
+                }
+            },
             1,
         );
         assert_eq!(p.label(), 0, "stops at node 2's own prediction");
@@ -418,7 +480,13 @@ mod tests {
         let p = t.predict_with(|_| Value::Missing, u32::MAX);
         assert_eq!(p.label(), 0, "root prediction on missing root attribute");
         let p = t.predict_with(
-            |a| if a == 0 { Value::Num(50.0) } else { Value::Missing },
+            |a| {
+                if a == 0 {
+                    Value::Num(50.0)
+                } else {
+                    Value::Missing
+                }
+            },
             u32::MAX,
         );
         assert_eq!(p.label(), 0, "node 2's prediction on missing A1");
@@ -429,7 +497,13 @@ mod tests {
         let t = two_level_tree();
         // Code 0 was never seen at node 2 during training (seen = {1,2,3,4}).
         let p = t.predict_with(
-            |a| if a == 0 { Value::Num(50.0) } else { Value::Cat(0) },
+            |a| {
+                if a == 0 {
+                    Value::Num(50.0)
+                } else {
+                    Value::Cat(0)
+                }
+            },
             u32::MAX,
         );
         assert_eq!(p.label(), 0, "unseen category stops at node 2");
@@ -452,12 +526,29 @@ mod tests {
                         1,
                         2,
                     )),
-                    prediction: Prediction::Class { label: 1, pmf: vec![0.5, 0.5] },
+                    prediction: Prediction::Class {
+                        label: 1,
+                        pmf: vec![0.5, 0.5],
+                    },
                     n_rows: 5,
                     depth: 0,
                 },
-                Node::leaf(Prediction::Class { label: 0, pmf: vec![1.0, 0.0] }, 2, 1),
-                Node::leaf(Prediction::Class { label: 1, pmf: vec![0.0, 1.0] }, 3, 1),
+                Node::leaf(
+                    Prediction::Class {
+                        label: 0,
+                        pmf: vec![1.0, 0.0],
+                    },
+                    2,
+                    1,
+                ),
+                Node::leaf(
+                    Prediction::Class {
+                        label: 1,
+                        pmf: vec![0.0, 1.0],
+                    },
+                    3,
+                    1,
+                ),
             ],
             Task::Classification { n_classes: 2 },
         );
@@ -487,7 +578,14 @@ mod tests {
     fn graft_on_internal_node_panics() {
         let mut t = two_level_tree();
         let sub = DecisionTreeModel::new(
-            vec![Node::leaf(Prediction::Class { label: 0, pmf: vec![1.0, 0.0] }, 1, 0)],
+            vec![Node::leaf(
+                Prediction::Class {
+                    label: 0,
+                    pmf: vec![1.0, 0.0],
+                },
+                1,
+                0,
+            )],
             Task::Classification { n_classes: 2 },
         );
         t.graft(0, sub);

@@ -10,14 +10,14 @@
 
 use crate::dataset::LocalDataset;
 use crate::model::{DecisionTreeModel, Node, Prediction, SplitInfo};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use ts_datatable::{Task, ValuesBuf};
 use ts_splits::exact::{best_split_for_column, distinct_categories, ColumnSplit};
 use ts_splits::impurity::{Impurity, LabelView, NodeStats};
 use ts_splits::partition_positions;
 use ts_splits::random::random_split_for_column;
+use tsrand::rngs::StdRng;
+use tsrand::seq::SliceRandom;
+use tsrand::SeedableRng;
 
 /// How splits are chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,7 +107,13 @@ pub fn train_subtree(
 ) -> DecisionTreeModel {
     assert!(data.n_rows() > 0, "cannot train on an empty dataset");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut builder = Builder { data, params, base_depth, nodes: Vec::new(), rng: &mut rng };
+    let mut builder = Builder {
+        data,
+        params,
+        base_depth,
+        nodes: Vec::new(),
+        rng: &mut rng,
+    };
     let all: Vec<u32> = (0..data.n_rows() as u32).collect();
     builder.build(all, 0);
     DecisionTreeModel::new(builder.nodes, data.task)
@@ -136,7 +142,11 @@ impl Builder<'_> {
         let must_leaf =
             abs_depth >= self.params.dmax || n <= self.params.tau_leaf || stats.is_pure();
 
-        let chosen = if must_leaf { None } else { self.choose_split(&positions, view) };
+        let chosen = if must_leaf {
+            None
+        } else {
+            self.choose_split(&positions, view)
+        };
 
         let id = self.nodes.len();
         let Some((col_idx, split, col_sub)) = chosen else {
@@ -246,7 +256,10 @@ mod tests {
     #[test]
     fn exact_tree_fits_training_data_well() {
         let t = learnable_table(2_000, 3);
-        let params = TrainParams { dmax: 12, ..TrainParams::for_task(t.schema().task) };
+        let params = TrainParams {
+            dmax: 12,
+            ..TrainParams::for_task(t.schema().task)
+        };
         let model = train_tree(&t, &(0..t.n_attrs()).collect::<Vec<_>>(), &params, 0);
         let acc = accuracy(&model.predict_labels(&t), t.labels().as_class().unwrap());
         assert!(acc > 0.9, "training accuracy {acc}");
@@ -266,7 +279,10 @@ mod tests {
     #[test]
     fn dmax_zero_yields_single_leaf() {
         let t = learnable_table(100, 1);
-        let params = TrainParams { dmax: 0, ..Default::default() };
+        let params = TrainParams {
+            dmax: 0,
+            ..Default::default()
+        };
         let model = train_tree(&t, &[0, 1], &params, 0);
         assert_eq!(model.n_nodes(), 1);
         assert!(model.nodes[0].is_leaf());
@@ -276,17 +292,27 @@ mod tests {
     fn dmax_bounds_depth() {
         let t = learnable_table(2_000, 2);
         for dmax in [1, 3, 6] {
-            let params = TrainParams { dmax, ..Default::default() };
-            let model =
-                train_tree(&t, &(0..t.n_attrs()).collect::<Vec<_>>(), &params, 0);
-            assert!(model.max_depth() <= dmax, "depth {} > dmax {dmax}", model.max_depth());
+            let params = TrainParams {
+                dmax,
+                ..Default::default()
+            };
+            let model = train_tree(&t, &(0..t.n_attrs()).collect::<Vec<_>>(), &params, 0);
+            assert!(
+                model.max_depth() <= dmax,
+                "depth {} > dmax {dmax}",
+                model.max_depth()
+            );
         }
     }
 
     #[test]
     fn tau_leaf_prunes_small_nodes() {
         let t = learnable_table(1_000, 2);
-        let params = TrainParams { tau_leaf: 100, dmax: 20, ..Default::default() };
+        let params = TrainParams {
+            tau_leaf: 100,
+            dmax: 20,
+            ..Default::default()
+        };
         let model = train_tree(&t, &(0..t.n_attrs()).collect::<Vec<_>>(), &params, 0);
         for n in &model.nodes {
             if !n.is_leaf() {
@@ -320,7 +346,10 @@ mod tests {
     fn subtree_base_depth_respects_dmax() {
         let t = learnable_table(1_000, 6);
         let data = LocalDataset::from_table(&t, &[0, 1, 2]);
-        let params = TrainParams { dmax: 5, ..Default::default() };
+        let params = TrainParams {
+            dmax: 5,
+            ..Default::default()
+        };
         let model = train_subtree(&data, &params, 3, 0);
         // Absolute depth cap 5 minus base 3 leaves at most 2 relative levels.
         assert!(model.max_depth() <= 2);
@@ -329,8 +358,12 @@ mod tests {
     #[test]
     fn node_counters_partition_parent() {
         let t = learnable_table(2_000, 8);
-        let model =
-            train_tree(&t, &(0..t.n_attrs()).collect::<Vec<_>>(), &TrainParams::default(), 0);
+        let model = train_tree(
+            &t,
+            &(0..t.n_attrs()).collect::<Vec<_>>(),
+            &TrainParams::default(),
+            0,
+        );
         for n in &model.nodes {
             if let Some((_, l, r)) = &n.split {
                 assert_eq!(
@@ -364,13 +397,19 @@ mod tests {
         let mean = truth.iter().sum::<f64>() / truth.len() as f64;
         let base: Vec<f64> = vec![mean; truth.len()];
         let base_rmse = ts_datatable::metrics::rmse(&base, truth);
-        assert!(rmse < base_rmse * 0.7, "rmse {rmse} vs baseline {base_rmse}");
+        assert!(
+            rmse < base_rmse * 0.7,
+            "rmse {rmse} vs baseline {base_rmse}"
+        );
     }
 
     #[test]
     fn extra_trees_build_and_vary_with_seed() {
         let t = learnable_table(1_000, 7);
-        let params = TrainParams { mode: TrainMode::ExtraTrees, ..Default::default() };
+        let params = TrainParams {
+            mode: TrainMode::ExtraTrees,
+            ..Default::default()
+        };
         let c: Vec<usize> = (0..t.n_attrs()).collect();
         let a = train_tree(&t, &c, &params, 1);
         let b = train_tree(&t, &c, &params, 2);
@@ -390,8 +429,12 @@ mod tests {
             seed: 3,
             ..Default::default()
         });
-        let model =
-            train_tree(&t, &(0..t.n_attrs()).collect::<Vec<_>>(), &TrainParams::default(), 0);
+        let model = train_tree(
+            &t,
+            &(0..t.n_attrs()).collect::<Vec<_>>(),
+            &TrainParams::default(),
+            0,
+        );
         assert!(model.n_nodes() >= 1);
         // Prediction over the same (missing-laden) table must not panic.
         let _ = model.predict_labels(&t);
@@ -401,7 +444,10 @@ mod tests {
     fn pure_dataset_is_single_leaf() {
         use ts_datatable::{AttrMeta, Column, Labels, Schema};
         let t = ts_datatable::DataTable::new(
-            Schema::new(vec![AttrMeta::numeric("a")], Task::Classification { n_classes: 2 }),
+            Schema::new(
+                vec![AttrMeta::numeric("a")],
+                Task::Classification { n_classes: 2 },
+            ),
             vec![Column::Numeric(vec![1.0, 2.0, 3.0])],
             Labels::Class(vec![1, 1, 1]),
         );

@@ -1,10 +1,10 @@
 //! Property tests for tree models: prediction semantics, canonicalisation
 //! and grafting hold for arbitrary trained trees.
 
-use proptest::prelude::*;
 use ts_datatable::synth::{generate, SynthSpec};
 use ts_datatable::Task;
 use ts_tree::{train_subtree, train_tree, LocalDataset, TrainMode, TrainParams};
+use tscheck::prelude::*;
 
 fn any_spec() -> impl Strategy<Value = SynthSpec> {
     (
@@ -15,22 +15,24 @@ fn any_spec() -> impl Strategy<Value = SynthSpec> {
         any::<bool>(),
         prop_oneof![Just(0.0f64), Just(0.1f64)],
     )
-        .prop_map(|(rows, numeric, categorical, seed, regression, missing_rate)| SynthSpec {
-            rows,
-            numeric,
-            categorical,
-            cat_cardinality: 5,
-            task: if regression {
-                Task::Regression
-            } else {
-                Task::Classification { n_classes: 3 }
+        .prop_map(
+            |(rows, numeric, categorical, seed, regression, missing_rate)| SynthSpec {
+                rows,
+                numeric,
+                categorical,
+                cat_cardinality: 5,
+                task: if regression {
+                    Task::Regression
+                } else {
+                    Task::Classification { n_classes: 3 }
+                },
+                missing_rate,
+                noise: 0.1,
+                concept_depth: 4,
+                latent: 0,
+                seed,
             },
-            missing_rate,
-            noise: 0.1,
-            concept_depth: 4,
-            latent: 0,
-            seed,
-        })
+        )
 }
 
 proptest! {

@@ -1,0 +1,378 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for `tsjson`.
+//!
+//! Implemented directly on `proc_macro::TokenStream` — no syn/quote — so
+//! the workspace builds with nothing beyond the standard library. Supports
+//! exactly the shapes the workspace derives on: non-generic structs (named,
+//! tuple, unit) and enums (unit, tuple and struct variants), encoded with
+//! serde's default conventions (field-order objects, newtype transparency,
+//! externally tagged enums). Field `#[...]` attributes and doc comments are
+//! ignored; generics and lifetimes are rejected at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+enum Fields {
+    Unit,
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields: only the arity matters.
+    Tuple(usize),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = serialize_fields(fields, &SelfAccess);
+            format!(
+                "impl ::tsjson::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::tsjson::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::tsjson::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::tsjson::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::tsjson::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::tsjson::Value::Arr(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{\n\
+                                 let mut __m = ::tsjson::Map::new();\n\
+                                 __m.insert(\"{vname}\".to_string(), {payload});\n\
+                                 ::tsjson::Value::Obj(__m)\n\
+                             }}\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let inserts: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "__inner.insert(\"{f}\".to_string(), \
+                                     ::tsjson::Serialize::to_value({f}));"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                                 let mut __inner = ::tsjson::Map::new();\n\
+                                 {inserts}\n\
+                                 let mut __m = ::tsjson::Map::new();\n\
+                                 __m.insert(\"{vname}\".to_string(), ::tsjson::Value::Obj(__inner));\n\
+                                 ::tsjson::Value::Obj(__m)\n\
+                             }}\n",
+                            binds = fs.join(", "),
+                            inserts = inserts.join("\n"),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::tsjson::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::tsjson::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("tsjson-derive generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = deserialize_fields(fields, name, name, "__v");
+            format!(
+                "impl ::tsjson::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::tsjson::Value) \
+                         -> ::std::result::Result<Self, ::tsjson::Error> {{\n\
+                         ::std::result::Result::Ok({body})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                let path = format!("{name}::{vname}");
+                let build = match fields {
+                    Fields::Unit => path.clone(),
+                    _ => deserialize_fields(fields, &path, &path, "__payload"),
+                };
+                arms.push_str(&format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({build}),\n"
+                ));
+            }
+            format!(
+                "impl ::tsjson::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::tsjson::Value) \
+                         -> ::std::result::Result<Self, ::tsjson::Error> {{\n\
+                         let (__tag, __payload) = ::tsjson::enum_tag(__v, \"{name}\")?;\n\
+                         let _ = __payload;\n\
+                         match __tag {{\n\
+                             {arms}\
+                             __other => ::std::result::Result::Err(\
+                                 ::tsjson::unknown_variant(__other, \"{name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("tsjson-derive generated invalid Rust")
+}
+
+/// `&self.f` field access for struct Serialize.
+struct SelfAccess;
+
+fn serialize_fields(fields: &Fields, _access: &SelfAccess) -> String {
+    match fields {
+        Fields::Unit => "::tsjson::Value::Null".to_string(),
+        Fields::Named(fs) => {
+            let inserts: Vec<String> = fs
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.insert(\"{f}\".to_string(), \
+                         ::tsjson::Serialize::to_value(&self.{f}));"
+                    )
+                })
+                .collect();
+            format!(
+                "{{ let mut __m = ::tsjson::Map::new(); {} ::tsjson::Value::Obj(__m) }}",
+                inserts.join(" ")
+            )
+        }
+        Fields::Tuple(1) => "::tsjson::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::tsjson::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::tsjson::Value::Arr(vec![{}])", items.join(", "))
+        }
+    }
+}
+
+/// A constructor expression decoding `fields` of `path` out of `src`
+/// (an expression of type `&Value`). `ty` names the shape in errors.
+fn deserialize_fields(fields: &Fields, path: &str, ty: &str, src: &str) -> String {
+    match fields {
+        Fields::Unit => path.to_string(),
+        Fields::Named(fs) => {
+            let inits: Vec<String> = fs
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::tsjson::Deserialize::from_value(\
+                         ::tsjson::field({src}, \"{f}\", \"{ty}\")?)?,"
+                    )
+                })
+                .collect();
+            format!("{path} {{ {} }}", inits.join(" "))
+        }
+        Fields::Tuple(1) => {
+            format!("{path}(::tsjson::Deserialize::from_value({src})?)")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::tsjson::Deserialize::from_value(\
+                         ::tsjson::tuple_item({src}, {i}, {n}, \"{ty}\")?)?"
+                    )
+                })
+                .collect();
+            format!("{path}({})", items.join(", "))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("tsjson-derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("tsjson-derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("tsjson-derive: generic types are not supported (on {name})");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("tsjson-derive: unsupported struct body for {name}: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("tsjson-derive: expected enum body for {name}, got {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("tsjson-derive: cannot derive for {other} items"),
+    }
+}
+
+/// Advances past any `#[...]` attributes and a `pub` / `pub(...)` prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field body: `a: T, b: U, ...`.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("tsjson-derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("tsjson-derive: expected ':' after field {name}, got {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+        // Optional trailing comma already consumed by skip_type.
+    }
+    fields
+}
+
+/// Arity of a tuple-field body: `pub T, U, ...`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut n = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        n += 1;
+    }
+    n
+}
+
+/// Advances past one type (field type or discriminant expression),
+/// stopping after the comma that follows it, if any. Tracks `<...>`
+/// nesting; parens/brackets arrive as single `Group` tokens.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("tsjson-derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        skip_type(&tokens, &mut i);
+        variants.push((name, fields));
+    }
+    variants
+}

@@ -1,0 +1,180 @@
+//! Data-parallel helpers over `std::thread::scope`.
+//!
+//! A dependency-free replacement for the narrow rayon subset the baseline
+//! trainers and the deep-forest pipeline use: indexed parallel map over a
+//! slice or range, indexed parallel mutation, and a [`ThreadPool`] value
+//! that carries a configured degree of parallelism.
+//!
+//! Work is split into contiguous chunks, one per thread, which matches how
+//! the call sites used rayon: coarse-grained, uniform-cost items. Results
+//! come back in input order.
+
+/// A configured degree of parallelism (rayon's `ThreadPool` stand-in —
+/// threads are scoped per call rather than pooled).
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool running `threads` ways parallel (clamped to at least 1).
+    pub fn new(threads: usize) -> ThreadPool {
+        ThreadPool {
+            threads: threads.max(1),
+        }
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Indexed map over a slice on this pool; results in input order.
+    pub fn map<T: Sync, U: Send>(&self, items: &[T], f: impl Fn(usize, &T) -> U + Sync) -> Vec<U> {
+        par_map(items, self.threads, f)
+    }
+
+    /// Indexed map over `0..n` on this pool; results in index order.
+    pub fn map_range<U: Send>(&self, n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
+        par_map_range(n, self.threads, f)
+    }
+
+    /// Indexed in-place mutation of a slice on this pool.
+    pub fn for_each_mut<T: Send>(&self, items: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
+        par_for_each_mut(items, self.threads, f)
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Indexed parallel map over a slice with `threads` workers (0 means "use
+/// the machine"); results in input order.
+pub fn par_map<T: Sync, U: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(usize, &T) -> U + Sync,
+) -> Vec<U> {
+    let mut out: Vec<Option<U>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    run_indexed(
+        items.len(),
+        threads,
+        &|i, slot: &mut Option<U>| {
+            *slot = Some(f(i, &items[i]));
+        },
+        &mut out,
+    );
+    out.into_iter()
+        .map(|v| v.expect("worker filled slot"))
+        .collect()
+}
+
+/// Indexed parallel map over `0..n`; results in index order.
+pub fn par_map_range<U: Send>(n: usize, threads: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
+    let mut out: Vec<Option<U>> = Vec::new();
+    out.resize_with(n, || None);
+    run_indexed(
+        n,
+        threads,
+        &|i, slot: &mut Option<U>| {
+            *slot = Some(f(i));
+        },
+        &mut out,
+    );
+    out.into_iter()
+        .map(|v| v.expect("worker filled slot"))
+        .collect()
+}
+
+/// Indexed parallel in-place mutation of a slice.
+pub fn par_for_each_mut<T: Send>(
+    items: &mut [T],
+    threads: usize,
+    f: impl Fn(usize, &mut T) + Sync,
+) {
+    let n = items.len();
+    run_indexed(n, threads, &f, items);
+}
+
+/// Splits `out` into one contiguous chunk per worker and applies
+/// `f(global_index, slot)` to every slot. One chunk per thread is enough:
+/// the call sites are coarse-grained, uniform-cost loops.
+fn run_indexed<T: Send>(
+    n: usize,
+    threads: usize,
+    f: &(impl Fn(usize, &mut T) + Sync),
+    out: &mut [T],
+) {
+    assert_eq!(out.len(), n);
+    let threads = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    };
+    let threads = threads.min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            f(i, slot);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = &mut *out;
+        let mut start = 0;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            scope.spawn(move || {
+                for (off, slot) in head.iter_mut().enumerate() {
+                    f(start + off, slot);
+                }
+            });
+            start += take;
+            rest = tail;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u64> = (0..1_000).collect();
+        let out = par_map(&items, 8, |i, &v| v * 2 + i as u64);
+        assert_eq!(out, (0..1_000).map(|v| v * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_range_matches_sequential() {
+        assert_eq!(
+            par_map_range(257, 4, |i| i * i),
+            (0..257).map(|i| i * i).collect::<Vec<_>>()
+        );
+        assert_eq!(par_map_range(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_range(1, 4, |i| i + 9), vec![9]);
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_slot_once() {
+        let mut v = vec![0u32; 503];
+        par_for_each_mut(&mut v, 6, |i, slot| *slot += i as u32 + 1);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32 + 1));
+    }
+
+    #[test]
+    fn pool_carries_thread_count() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let pool = ThreadPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        assert_eq!(pool.map(&[1, 2, 3], |_, &v| v + 1), vec![2, 3, 4]);
+        assert_eq!(pool.map_range(4, |i| i), vec![0, 1, 2, 3]);
+        let mut v = vec![1u8; 5];
+        pool.for_each_mut(&mut v, |_, s| *s *= 2);
+        assert_eq!(v, vec![2; 5]);
+    }
+}

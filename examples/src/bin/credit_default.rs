@@ -55,7 +55,12 @@ Age,Education,HomeOwner,Income,Default
     let (train, test) = customers.train_test_split(0.8, 3);
 
     let cluster = Cluster::launch(
-        ClusterConfig { n_workers: 3, compers_per_worker: 2, tau_d: 4_000, ..Default::default() },
+        ClusterConfig {
+            n_workers: 3,
+            compers_per_worker: 2,
+            tau_d: 4_000,
+            ..Default::default()
+        },
         &train,
     );
     let model = cluster
@@ -63,7 +68,10 @@ Age,Education,HomeOwner,Income,Default
         .into_tree();
     cluster.shutdown();
 
-    let acc = accuracy(&model.predict_labels(&test), test.labels().as_class().unwrap());
+    let acc = accuracy(
+        &model.predict_labels(&test),
+        test.labels().as_class().unwrap(),
+    );
     println!("full-depth test accuracy: {:.2}%", acc * 100.0);
 
     // Appendix D: the same trained tree can predict at ANY depth cap —

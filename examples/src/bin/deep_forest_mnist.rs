@@ -21,7 +21,10 @@ fn main() {
     let n_train = (1_200.0 * scale) as usize;
     let n_test = (400.0 * scale) as usize;
     let (train, test) = mnist_like(n_train, n_test, 7);
-    println!("images: {} train / {} test, 28x28, 10 classes", n_train, n_test);
+    println!(
+        "images: {} train / {} test, 28x28, 10 classes",
+        n_train, n_test
+    );
 
     let cfg = DeepForestConfig {
         windows: vec![3, 5, 7],
@@ -45,7 +48,10 @@ fn main() {
 
     let t0 = std::time::Instant::now();
     let (model, reports) = DeepForest::train(cfg, &train, &test);
-    println!("\n{:<14} {:>12} {:>12} {:>10}", "Step", "Train", "Test", "Accuracy");
+    println!(
+        "\n{:<14} {:>12} {:>12} {:>10}",
+        "Step", "Train", "Test", "Accuracy"
+    );
     for r in &reports {
         println!(
             "{:<14} {:>12} {:>12} {:>10}",

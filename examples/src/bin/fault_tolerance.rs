@@ -45,7 +45,10 @@ fn main() {
     let forest = cluster.wait(handle).into_forest();
     let report = cluster.shutdown();
 
-    let acc = accuracy(&forest.predict_labels(&test), test.labels().as_class().unwrap());
+    let acc = accuracy(
+        &forest.predict_labels(&test),
+        test.labels().as_class().unwrap(),
+    );
     println!(
         "job completed after the crash: {} trees, test accuracy {:.2}%",
         forest.n_trees(),

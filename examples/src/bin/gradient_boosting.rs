@@ -22,7 +22,11 @@ fn main() {
         ..Default::default()
     });
     let (train, test) = table.train_test_split(0.8, 1);
-    println!("data: {} train rows, {} attrs", train.n_rows(), train.n_attrs());
+    println!(
+        "data: {} train rows, {} attrs",
+        train.n_rows(),
+        train.n_attrs()
+    );
 
     let cluster_cfg = ClusterConfig {
         n_workers: 3,
@@ -58,12 +62,11 @@ fn main() {
     let model = train_gbt(
         cluster_cfg,
         &train,
-        GbtConfig::for_task(train.schema().task).with_rounds(20).with_eta(0.2),
+        GbtConfig::for_task(train.schema().task)
+            .with_rounds(20)
+            .with_eta(0.2),
     );
-    let forest = ts_tree::ForestModel::new(
-        model.trees.clone(),
-        ts_datatable::Task::Regression,
-    );
+    let forest = ts_tree::ForestModel::new(model.trees.clone(), ts_datatable::Task::Regression);
     let imp = forest.feature_importance(train.n_attrs());
     let mut ranked: Vec<(usize, f64)> = imp.into_iter().enumerate().collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));

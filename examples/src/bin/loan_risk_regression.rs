@@ -29,7 +29,10 @@ fn main() {
     let _ = std::fs::remove_dir_all(&dir);
     let dfs = ts_dfs::Dfs::new(ts_dfs::DfsConfig::local(&dir)).expect("dfs");
     dfs.put_table("loans", &train, 5, 10_000).expect("put");
-    println!("DFS holds the table in {} file opens so far", dfs.files_opened());
+    println!(
+        "DFS holds the table in {} file opens so far",
+        dfs.files_opened()
+    );
 
     let cfg = ClusterConfig {
         n_workers: 4,

@@ -53,9 +53,8 @@ fn main() {
             .with_dmax(6),
     );
     let dt2 = cluster.submit(JobSpec::decision_tree(dev.schema().task).with_dmax(8));
-    let rf3 = cluster.submit(
-        JobSpec::random_forest_with_fraction(dev.schema().task, 3, 0.4).with_seed(3),
-    );
+    let rf3 = cluster
+        .submit(JobSpec::random_forest_with_fraction(dev.schema().task, 3, 0.4).with_seed(3));
 
     let truth = holdout.labels().as_class().unwrap();
     let m_dt1 = cluster.wait(dt1).into_tree();

@@ -45,14 +45,19 @@ fn main() {
 
     // One exact decision tree.
     let t0 = std::time::Instant::now();
-    let tree = cluster.train(JobSpec::decision_tree(train.schema().task)).into_tree();
+    let tree = cluster
+        .train(JobSpec::decision_tree(train.schema().task))
+        .into_tree();
     println!(
         "decision tree: {} nodes, depth {}, trained in {:?}",
         tree.n_nodes(),
         tree.max_depth(),
         t0.elapsed()
     );
-    let acc = accuracy(&tree.predict_labels(&test), test.labels().as_class().unwrap());
+    let acc = accuracy(
+        &tree.predict_labels(&test),
+        test.labels().as_class().unwrap(),
+    );
     println!("decision tree test accuracy: {:.2}%", acc * 100.0);
 
     // A 20-tree random forest (|C| = sqrt(m) per tree, as in the paper).
@@ -60,8 +65,15 @@ fn main() {
     let forest = cluster
         .train(JobSpec::random_forest(train.schema().task, 20).with_seed(7))
         .into_forest();
-    println!("random forest: {} trees in {:?}", forest.n_trees(), t0.elapsed());
-    let acc = accuracy(&forest.predict_labels(&test), test.labels().as_class().unwrap());
+    println!(
+        "random forest: {} trees in {:?}",
+        forest.n_trees(),
+        t0.elapsed()
+    );
+    let acc = accuracy(
+        &forest.predict_labels(&test),
+        test.labels().as_class().unwrap(),
+    );
     println!("random forest test accuracy: {:.2}%", acc * 100.0);
 
     // Cluster statistics in the paper's units.

@@ -34,7 +34,13 @@ fn three_exact_trainers_agree() {
     let local = train_tree(&t, &all, &params, 0).canonicalize();
 
     let cluster = Cluster::launch(
-        ClusterConfig { n_workers: 3, compers_per_worker: 2, tau_d: 300, tau_dfs: 1_200, ..Default::default() },
+        ClusterConfig {
+            n_workers: 3,
+            compers_per_worker: 2,
+            tau_d: 300,
+            tau_dfs: 1_200,
+            ..Default::default()
+        },
         &t,
     );
     let ts = cluster
@@ -46,8 +52,14 @@ fn three_exact_trainers_agree() {
     let (ygg, _) = YggdrasilTrainer::new(YggdrasilConfig::default()).train_tree(&t, &all);
     let ygg = ygg.canonicalize();
 
-    assert_eq!(local, ts, "TreeServer diverged from the local exact trainer");
-    assert_eq!(local, ygg, "Yggdrasil diverged from the local exact trainer");
+    assert_eq!(
+        local, ts,
+        "TreeServer diverged from the local exact trainer"
+    );
+    assert_eq!(
+        local, ygg,
+        "Yggdrasil diverged from the local exact trainer"
+    );
 }
 
 #[test]
@@ -58,7 +70,10 @@ fn approximate_trainers_do_not_beat_exact_on_training_fit() {
     let exact_acc = accuracy(&exact.predict_labels(&t), t.labels().as_class().unwrap());
 
     for bins in [4usize, 8, 32] {
-        let trainer = PlanetTrainer::new(PlanetConfig { max_bins: bins, ..Default::default() });
+        let trainer = PlanetTrainer::new(PlanetConfig {
+            max_bins: bins,
+            ..Default::default()
+        });
         let (approx, _) = trainer.train_tree(&t, &all);
         let approx_acc = accuracy(&approx.predict_labels(&t), t.labels().as_class().unwrap());
         assert!(
@@ -75,7 +90,10 @@ fn coarser_bins_lose_more() {
     let t = sample(3_000, 47);
     let all: Vec<usize> = (0..t.n_attrs()).collect();
     let acc_at = |bins: usize| {
-        let trainer = PlanetTrainer::new(PlanetConfig { max_bins: bins, ..Default::default() });
+        let trainer = PlanetTrainer::new(PlanetConfig {
+            max_bins: bins,
+            ..Default::default()
+        });
         let (m, _) = trainer.train_tree(&t, &all);
         accuracy(&m.predict_labels(&t), t.labels().as_class().unwrap())
     };
@@ -110,7 +128,12 @@ fn all_paper_dataset_shapes_train_on_every_system() {
         let t = d.generate(1e-4, 3);
         let (train, test) = t.train_test_split(0.8, 1);
         let cluster = Cluster::launch(
-            ClusterConfig { n_workers: 2, compers_per_worker: 2, tau_d: 500, ..Default::default() },
+            ClusterConfig {
+                n_workers: 2,
+                compers_per_worker: 2,
+                tau_d: 500,
+                ..Default::default()
+            },
             &train,
         );
         let model = cluster.train(JobSpec::decision_tree(train.schema().task).with_dmax(5));

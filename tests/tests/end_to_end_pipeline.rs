@@ -46,7 +46,9 @@ fn csv_to_dfs_to_cluster_to_model_file() {
         ..Default::default()
     };
     let cluster = Cluster::launch_from_dfs(cfg, &dfs, "train").unwrap();
-    let tree = cluster.train(JobSpec::decision_tree(train.schema().task)).into_tree();
+    let tree = cluster
+        .train(JobSpec::decision_tree(train.schema().task))
+        .into_tree();
     let forest = cluster
         .train(JobSpec::random_forest(train.schema().task, 5).with_seed(4))
         .into_forest();
@@ -62,7 +64,10 @@ fn csv_to_dfs_to_cluster_to_model_file() {
     assert_eq!(tree.canonicalize(), reference.canonicalize());
 
     // 5. Predictions are sane and the model survives a disk round-trip.
-    let acc = accuracy(&forest.predict_labels(&test), test.labels().as_class().unwrap());
+    let acc = accuracy(
+        &forest.predict_labels(&test),
+        test.labels().as_class().unwrap(),
+    );
     assert!(acc > 0.6, "forest accuracy {acc}");
     let path = std::env::temp_dir().join(format!("ts-e2e-model-{}.json", std::process::id()));
     std::fs::write(&path, tree.to_json()).unwrap();
@@ -75,7 +80,12 @@ fn csv_to_dfs_to_cluster_to_model_file() {
 fn dfs_row_groups_serve_row_parallel_jobs() {
     // The deep-forest-style companion jobs read row-groups; check a full
     // row-partitioned traversal agrees with the columnar view.
-    let table = generate(&SynthSpec { rows: 1_000, numeric: 3, seed: 5, ..Default::default() });
+    let table = generate(&SynthSpec {
+        rows: 1_000,
+        numeric: 3,
+        seed: 5,
+        ..Default::default()
+    });
     let dfs = Dfs::new(DfsConfig::local(tmp("rows"))).unwrap();
     let meta = dfs.put_table("d", &table, 2, 128).unwrap();
     let dt = dfs.open("d").unwrap();

@@ -1,11 +1,11 @@
 //! Workspace-level property tests: randomised cluster shapes and datasets
 //! must never break the engine's core invariants.
 
-use proptest::prelude::*;
 use treeserver::{Cluster, ClusterConfig, JobSpec};
 use ts_datatable::synth::{generate, SynthSpec};
 use ts_datatable::Task;
 use ts_tree::{train_tree, TrainParams};
+use tscheck::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
