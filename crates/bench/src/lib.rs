@@ -143,6 +143,7 @@ pub fn score(result: &JobResult, test: &DataTable) -> f64 {
         (JobResult::Forest(f), Task::Regression) => {
             rmse(&f.predict_values(test), test.labels().as_real().unwrap())
         }
+        (JobResult::Failed(e), _) => panic!("bench job failed: {e}"),
     }
 }
 

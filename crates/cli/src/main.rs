@@ -54,12 +54,25 @@ usage:
   treeserver train      --csv FILE --target COL --task class|reg
                         [--model dt|rf|etc|gbt] [--trees N] [--dmax D]
                         [--workers W] [--compers C] [--seed S] [--out FILE]
+                        [--fault-seed S] [--drop-prob P] [--delay-prob P]
+                        [--dup-prob P] [--heartbeat-ms N] [--heartbeat-misses N]
                         [--trace-out FILE] [--metrics-json FILE]
                         [--quiet] [--verbose]
   treeserver predict    --model FILE --csv FILE --target COL --task class|reg
                         [--out FILE]
   treeserver importance --model FILE [--top K]
   treeserver show       --model FILE [--tree N]
+
+reliability (train):
+  --drop-prob P         drop each message with probability P (seeded; the
+                        acked/retried fabric still delivers exactly once)
+  --delay-prob P        delay each message with probability P (up to 5 ms)
+  --dup-prob P          duplicate each message with probability P (the
+                        receiver's dedup drops the copy)
+  --fault-seed S        seed of the fault plan (default: --seed)
+  --heartbeat-ms N      worker liveness heartbeat interval (default 20)
+  --heartbeat-misses N  missed intervals before a worker is declared dead
+                        and crash recovery runs (default 25)
 
 observability (train):
   --trace-out FILE      write a Chrome trace-event JSON (open in Perfetto or
@@ -139,14 +152,61 @@ fn cluster_config(opts: &Opts, n_rows: usize) -> Result<ClusterConfig, String> {
     if compers == 0 {
         return Err("--compers must be at least 1".into());
     }
+    let heartbeat_ms = opts.num("heartbeat-ms", 20u64)?;
+    if heartbeat_ms == 0 {
+        return Err("--heartbeat-ms must be at least 1".into());
+    }
+    let heartbeat_misses = opts.num("heartbeat-misses", 25u32)?;
+    if heartbeat_misses == 0 {
+        return Err("--heartbeat-misses must be at least 1".into());
+    }
     Ok(ClusterConfig {
         n_workers: workers,
         compers_per_worker: compers,
         replication: 2.min(workers),
         tau_d: (n_rows as u64 / 20).max(256),
         tau_dfs: (n_rows as u64 / 5).max(1_024),
+        faults: fault_plan(opts)?,
+        heartbeat_interval: std::time::Duration::from_millis(heartbeat_ms),
+        heartbeat_miss_threshold: heartbeat_misses,
         ..Default::default()
     })
+}
+
+/// Builds a seeded message-fault plan from `--drop-prob` / `--delay-prob` /
+/// `--dup-prob`. Returns `None` when no fault knob is set, which keeps the
+/// fabric on the raw (unacked) fast path.
+fn fault_plan(opts: &Opts) -> Result<Option<treeserver::FaultPlan>, String> {
+    let drop = opts.num("drop-prob", 0.0f64)?;
+    let delay = opts.num("delay-prob", 0.0f64)?;
+    let dup = opts.num("dup-prob", 0.0f64)?;
+    for (name, p) in [
+        ("drop-prob", drop),
+        ("delay-prob", delay),
+        ("dup-prob", dup),
+    ] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("--{name} must be in 0..=1, got {p}"));
+        }
+    }
+    if drop == 0.0 && delay == 0.0 && dup == 0.0 {
+        return Ok(None);
+    }
+    let seed = match opts.get("fault-seed") {
+        Some(_) => opts.num("fault-seed", 0u64)?,
+        None => opts.num("seed", 0u64)?,
+    };
+    let mut plan = treeserver::FaultPlan::new(seed);
+    if drop > 0.0 {
+        plan = plan.with_message_drops(drop);
+    }
+    if delay > 0.0 {
+        plan = plan.with_message_delays(delay, std::time::Duration::from_millis(5));
+    }
+    if dup > 0.0 {
+        plan = plan.with_message_duplicates(dup);
+    }
+    Ok(Some(plan))
 }
 
 fn cmd_train(opts: &Opts) -> Result<(), String> {
@@ -195,6 +255,7 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
             match m {
                 JobResult::Tree(t) => ModelFile::Tree(t),
                 JobResult::Forest(_) => unreachable!("decision tree job"),
+                JobResult::Failed(e) => return Err(format!("training failed: {e}")),
             }
         }
         "rf" | "etc" => {
@@ -203,11 +264,10 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
             } else {
                 JobSpec::extra_trees(task, trees)
             };
-            ModelFile::Forest(
-                cluster
-                    .train(spec.with_dmax(dmax).with_seed(seed))
-                    .into_forest(),
-            )
+            match cluster.train(spec.with_dmax(dmax).with_seed(seed)) {
+                JobResult::Failed(e) => return Err(format!("training failed: {e}")),
+                m => ModelFile::Forest(m.into_forest()),
+            }
         }
         "gbt" => {
             let gbt_cfg = GbtConfig::for_task(task)

@@ -15,6 +15,7 @@
 //! adding communication workloads whenever the requested data is local").
 //! All charges are remembered per task and deducted when its result arrives.
 
+use crate::recovery::{AttrId, RecoveryError};
 use std::collections::HashMap;
 use ts_netsim::NodeId;
 
@@ -119,9 +120,23 @@ impl ColumnMap {
     }
 
     /// Removes a crashed worker from every replica list; returns the columns
-    /// that lost a replica (all must still have at least one surviving
-    /// holder for recovery to proceed).
-    pub fn remove_worker(&mut self, worker: NodeId) -> Vec<usize> {
+    /// that lost a replica.
+    ///
+    /// If the worker held the *last* replica of some column the map is left
+    /// untouched and `RecoveryError::ColumnLost` names the first such column
+    /// — the data is unrecoverable and the caller should fail the job
+    /// cleanly rather than continue with a hole in the schema.
+    pub fn remove_worker(&mut self, worker: NodeId) -> Result<Vec<AttrId>, RecoveryError> {
+        // Check before mutating so a doomed cluster still has an intact map
+        // to report from.
+        for (a, h) in self.holders.iter().enumerate() {
+            if h == &[worker] {
+                return Err(RecoveryError::ColumnLost {
+                    attr: a,
+                    dead: worker,
+                });
+            }
+        }
         let mut lost = Vec::new();
         for (a, h) in self.holders.iter_mut().enumerate() {
             let before = h.len();
@@ -129,9 +144,8 @@ impl ColumnMap {
             if h.len() < before {
                 lost.push(a);
             }
-            assert!(!h.is_empty(), "column {a} lost all replicas");
         }
-        lost
+        Ok(lost)
     }
 
     /// Adds a worker as a holder of a column (re-replication).
@@ -486,7 +500,7 @@ mod tests {
     #[test]
     fn remove_worker_keeps_replicas() {
         let mut cm = ColumnMap::round_robin(4, 3, 2);
-        let lost = cm.remove_worker(2);
+        let lost = cm.remove_worker(2).expect("replicas survive with k = 2");
         assert!(!lost.is_empty());
         for a in 0..4 {
             assert!(!cm.holders(a).is_empty());
@@ -497,10 +511,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "lost all replicas")]
-    fn removing_last_replica_panics() {
+    fn removing_last_replica_errors() {
         let mut cm = ColumnMap::round_robin(2, 2, 1);
-        cm.remove_worker(1); // column 0's only holder
+        // Worker 1 is column 0's only holder: removal must fail cleanly and
+        // leave the map untouched for the failure report.
+        let err = cm.remove_worker(1).unwrap_err();
+        assert_eq!(err, RecoveryError::ColumnLost { attr: 0, dead: 1 });
+        assert_eq!(cm.holders(0), &[1]);
+        assert_eq!(cm.holders(1), &[2]);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use ts_datatable::{DataTable, Task};
-use ts_netsim::{Fabric, NetStats, NodeId};
+use ts_netsim::{Fabric, FabricReceiver, NetStats, NodeId, RetryDriver};
 use tschan::sync::Mutex;
 use tschan::Receiver;
 
@@ -110,6 +110,10 @@ pub struct Cluster {
     fabric_data: Fabric<DataMsg>,
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     pending: Mutex<HashMap<JobHandle, Receiver<JobResult>>>,
+    /// Retransmission drivers of the reliable fabrics (present only when the
+    /// fault plan injects message-level faults); stopped after the machine
+    /// threads have joined.
+    retry_drivers: Mutex<Vec<RetryDriver>>,
     task_kind: Task,
     n_rows: usize,
     launched: Instant,
@@ -127,20 +131,26 @@ impl Cluster {
         if cfg.obs.enabled {
             stats.set_recorder(Arc::new(ts_obs::Recorder::new(n_nodes, &cfg.obs)));
         }
-        let (fabric_task, mut task_rxs) = Fabric::<TaskMsg>::new_faulty(
+        // With a fault plan that drops/delays/duplicates messages, both
+        // planes run the reliable (acked + retried) protocol; otherwise
+        // these are plain raw fabrics with zero overhead.
+        let (fabric_task, mut task_rxs, task_driver) = Fabric::<TaskMsg>::new_reliable(
             n_nodes,
             cfg.net,
             Arc::clone(&stats),
             cfg.faults.clone(),
             ts_netsim::SimClock::wall(),
+            cfg.retry,
         );
-        let (fabric_data, mut data_rxs) = Fabric::<DataMsg>::new_faulty(
+        let (fabric_data, mut data_rxs, data_driver) = Fabric::<DataMsg>::new_reliable(
             n_nodes,
             cfg.net,
             Arc::clone(&stats),
             cfg.faults.clone(),
             ts_netsim::SimClock::wall(),
+            cfg.retry,
         );
+        let retry_drivers: Vec<RetryDriver> = task_driver.into_iter().chain(data_driver).collect();
 
         let colmap = ColumnMap::round_robin(table.n_attrs(), cfg.n_workers, cfg.replication);
         let labels = Arc::new(table.labels().clone());
@@ -157,9 +167,9 @@ impl Cluster {
 
         let mut handles = Vec::new();
         // Receivers must be taken in reverse so indices stay valid.
-        let mut task_rxs_opt: Vec<Option<Receiver<TaskMsg>>> =
+        let mut task_rxs_opt: Vec<Option<FabricReceiver<TaskMsg>>> =
             task_rxs.drain(..).map(Some).collect();
-        let mut data_rxs_opt: Vec<Option<Receiver<DataMsg>>> =
+        let mut data_rxs_opt: Vec<Option<FabricReceiver<DataMsg>>> =
             data_rxs.drain(..).map(Some).collect();
 
         for w in 1..=cfg.n_workers {
@@ -179,6 +189,7 @@ impl Cluster {
                 fabric_data.clone(),
                 task_rxs_opt[w].take().expect("receiver taken once"),
                 data_rxs_opt[w].take().expect("receiver taken once"),
+                cfg.heartbeat_interval,
             ));
         }
 
@@ -221,6 +232,7 @@ impl Cluster {
             fabric_data,
             handles: Mutex::new(handles),
             pending: Mutex::new(HashMap::new()),
+            retry_drivers: Mutex::new(retry_drivers),
             task_kind: table.schema().task,
             n_rows: table.n_rows(),
             launched: Instant::now(),
@@ -306,13 +318,20 @@ impl Cluster {
         });
     }
 
-    /// Simulates a worker crash: the worker stops processing and the master
-    /// re-replicates its columns and restarts all in-flight trees.
+    /// Simulates an *announced* worker crash: the worker stops processing
+    /// and the master immediately re-replicates its columns and restarts
+    /// all in-flight trees. (A crash injected with
+    /// `FaultPlan::with_crash_at_delegation` is the silent variant: the
+    /// worker just goes dark and the heartbeat detector must find it.)
+    ///
+    /// If recovery is impossible (e.g. the worker held the last replica of
+    /// a column), all pending jobs fail with a `JobResult::Failed` carrying
+    /// the structured reason.
     pub fn kill_worker(&self, worker: NodeId) {
         assert!(worker >= 1, "cannot kill the master");
         let _ = self.fabric_task.send(0, worker, TaskMsg::Shutdown);
         let _ = self.fabric_data.send(0, worker, DataMsg::Shutdown);
-        self.master.handle_worker_crash(worker);
+        self.master.recover_or_degrade(worker);
     }
 
     /// Live statistics handle.
@@ -343,6 +362,11 @@ impl Cluster {
         self.master.request_shutdown();
         for h in self.handles.lock().drain(..) {
             let _ = h.join();
+        }
+        // Machine threads are gone; any frames still in flight can only
+        // target dropped receivers, so the retry threads stop cleanly.
+        for d in self.retry_drivers.lock().drain(..) {
+            d.stop();
         }
         report
     }

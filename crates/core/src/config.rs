@@ -1,7 +1,7 @@
 //! Cluster and system configuration.
 
 use std::time::Duration;
-use ts_netsim::NetModel;
+use ts_netsim::{NetModel, RetryConfig};
 
 /// Configuration of a TreeServer cluster.
 ///
@@ -46,11 +46,25 @@ pub struct ClusterConfig {
     /// substitution (DESIGN.md §2).
     pub work_ns_per_unit: u64,
     /// Seeded fault injection (see `docs/TESTING.md`). `None` runs a
-    /// fault-free cluster. With a plan, message-level faults are applied by
-    /// the fabrics and a `with_crash_at_delegation` trigger makes the master
-    /// kill a key worker right after the n-th subtree delegation
-    /// cluster-wide, then run its normal crash recovery.
+    /// fault-free cluster. With a plan that drops/delays/duplicates
+    /// messages, both fabrics run the reliable (acked + retried) protocol,
+    /// so training still terminates with the fault-free model. A
+    /// `with_crash_at_delegation` trigger makes the master silence a key
+    /// worker right after the n-th subtree delegation cluster-wide; the
+    /// heartbeat detector then discovers the crash and runs recovery.
     pub faults: Option<ts_netsim::FaultPlan>,
+    /// Retransmission timing of the reliable fabric (only used when
+    /// `faults` injects message-level faults).
+    pub retry: RetryConfig,
+    /// How often each worker sends a liveness heartbeat to the master.
+    pub heartbeat_interval: Duration,
+    /// Consecutive missed heartbeat intervals before the master declares a
+    /// worker dead and runs crash recovery. The lease is
+    /// `heartbeat_interval * heartbeat_miss_threshold`; defaults are
+    /// generous (~500 ms) so loaded CI machines do not false-positive.
+    /// False positives are survivable anyway — recovery preserves the
+    /// model — but cost a round of re-replication.
+    pub heartbeat_miss_threshold: u32,
     /// Observability: task-lifecycle tracing and metrics (see
     /// `docs/OBSERVABILITY.md`). Off by default; `Cluster::launch` builds a
     /// recorder only when `obs.enabled` is set.
@@ -72,6 +86,9 @@ impl Default for ClusterConfig {
             model_dir: None,
             work_ns_per_unit: 0,
             faults: None,
+            retry: RetryConfig::default(),
+            heartbeat_interval: Duration::from_millis(20),
+            heartbeat_miss_threshold: 25,
             #[cfg(feature = "obs")]
             obs: ts_obs::ObsConfig::default(),
         }
@@ -99,6 +116,14 @@ impl ClusterConfig {
         );
         assert!(self.n_pool >= 1, "n_pool must be at least 1");
         assert!(self.tau_d >= 1, "tau_d must be at least 1");
+        assert!(
+            self.heartbeat_miss_threshold >= 1,
+            "heartbeat_miss_threshold must be at least 1"
+        );
+        assert!(
+            !self.heartbeat_interval.is_zero(),
+            "heartbeat_interval must be positive"
+        );
     }
 }
 
@@ -113,7 +138,20 @@ mod tests {
         assert_eq!(c.tau_dfs, 80_000);
         assert_eq!(c.n_pool, 200);
         assert_eq!(c.replication, 2);
+        // The default heartbeat lease is generous: ~500 ms before a worker
+        // is declared dead.
+        assert!(c.heartbeat_interval * c.heartbeat_miss_threshold >= Duration::from_millis(400));
         c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "heartbeat_miss_threshold")]
+    fn zero_miss_threshold_panics() {
+        ClusterConfig {
+            heartbeat_miss_threshold: 0,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]

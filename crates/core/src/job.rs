@@ -205,25 +205,33 @@ pub struct TreeSpec {
     pub seed: u64,
 }
 
-/// A completed job's model.
+/// A completed job's model — or a structured failure report when the
+/// cluster degraded past the point of being able to train (graceful
+/// degradation instead of a process abort).
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobResult {
     /// A single tree.
     Tree(DecisionTreeModel),
     /// A bagged forest.
     Forest(ForestModel),
+    /// The job failed cleanly: crash recovery was impossible (e.g. the last
+    /// replica of a column died) and the master failed all pending jobs
+    /// with the diagnosable reason.
+    Failed(crate::recovery::RecoveryError),
 }
 
 impl JobResult {
-    /// The single tree; panics for forests.
+    /// The single tree; panics for forests and failed jobs.
     pub fn into_tree(self) -> DecisionTreeModel {
         match self {
             JobResult::Tree(t) => t,
             JobResult::Forest(_) => panic!("job produced a forest, not a tree"),
+            JobResult::Failed(e) => panic!("job failed: {e}"),
         }
     }
 
-    /// The forest; a single tree is wrapped into a 1-tree forest.
+    /// The forest; a single tree is wrapped into a 1-tree forest. Panics
+    /// for failed jobs.
     pub fn into_forest(self) -> ForestModel {
         match self {
             JobResult::Forest(f) => f,
@@ -231,6 +239,15 @@ impl JobResult {
                 let task = t.task;
                 ForestModel::new(vec![t], task)
             }
+            JobResult::Failed(e) => panic!("job failed: {e}"),
+        }
+    }
+
+    /// The failure reason, if the job failed.
+    pub fn failure(&self) -> Option<&crate::recovery::RecoveryError> {
+        match self {
+            JobResult::Failed(e) => Some(e),
+            _ => None,
         }
     }
 }

@@ -24,13 +24,14 @@ use crate::config::ClusterConfig;
 use crate::ids::{ParentRef, Side, TaskId, TreeId};
 use crate::job::{JobHandle, JobKind, JobResult, JobSpec, TreeSpec};
 use crate::messages::{ColumnPlan, ColumnTaskBest, SubtreePlan, TaskMsg};
+use crate::recovery::RecoveryError;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use ts_datatable::Task;
 #[cfg(feature = "obs")]
 use ts_netsim::WireSized;
-use ts_netsim::{Fabric, NodeId};
+use ts_netsim::{Fabric, FabricReceiver, NodeId};
 use ts_splits::exact::ColumnSplit;
 use ts_splits::impurity::NodeStats;
 use ts_tree::{
@@ -125,6 +126,15 @@ struct Registry {
     next_job: u64,
 }
 
+/// One worker's liveness lease.
+struct HbLease {
+    /// Clock reading of the most recent heartbeat (or lease creation).
+    last_ns: u64,
+    /// Missed-interval count already reported via `HeartbeatMissed`, so each
+    /// detector pass emits at most one event per worker.
+    reported: u64,
+}
+
 /// Shared master state; the two master threads and the `Cluster` handle all
 /// hold an `Arc<Master>`.
 pub struct Master {
@@ -145,6 +155,15 @@ pub struct Master {
     delegations: AtomicU64,
     shutdown: AtomicBool,
     fabric: Fabric<TaskMsg>,
+    /// Liveness leases per worker, refreshed by `Heartbeat` messages and
+    /// swept by `check_heartbeats` on the main loop.
+    last_hb: Mutex<HashMap<NodeId, HbLease>>,
+    /// Clock reading of the last detector sweep (throttles the sweep to
+    /// roughly twice per heartbeat interval).
+    last_hb_sweep: AtomicU64,
+    /// Set once recovery proved impossible: every pending and future job
+    /// fails with this reason instead of training.
+    degraded: Mutex<Option<RecoveryError>>,
 }
 
 impl Master {
@@ -158,6 +177,19 @@ impl Master {
         fabric: Fabric<TaskMsg>,
     ) -> Arc<Master> {
         let workers: Vec<NodeId> = (1..=cfg.n_workers).collect();
+        let now = fabric.clock().now_ns();
+        let leases: HashMap<NodeId, HbLease> = workers
+            .iter()
+            .map(|&w| {
+                (
+                    w,
+                    HbLease {
+                        last_ns: now,
+                        reported: 0,
+                    },
+                )
+            })
+            .collect();
         Arc::new(Master {
             cfg,
             n_rows,
@@ -179,6 +211,9 @@ impl Master {
             delegations: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             fabric,
+            last_hb: Mutex::new(leases),
+            last_hb_sweep: AtomicU64::new(0),
+            degraded: Mutex::new(None),
         })
     }
 
@@ -188,9 +223,20 @@ impl Master {
     }
 
     /// Submits a job; returns the handle and the result channel.
+    ///
+    /// On a degraded cluster (recovery proved impossible) the job fails
+    /// immediately with the stored reason.
     pub fn submit(&self, spec: JobSpec) -> (JobHandle, Receiver<JobResult>) {
         let trees = spec.expand(self.n_attrs);
         let (tx, rx) = tschan::bounded(1);
+        if let Some(err) = self.degraded.lock().clone() {
+            let mut reg = self.registry.lock();
+            let job_id = reg.next_job;
+            reg.next_job += 1;
+            drop(reg);
+            let _ = tx.send(JobResult::Failed(err));
+            return (JobHandle(job_id), rx);
+        }
         let mut reg = self.registry.lock();
         let job_id = reg.next_job;
         reg.next_job += 1;
@@ -302,12 +348,81 @@ impl Master {
                 let _ = self.fabric.send(0, 0, TaskMsg::Shutdown);
                 return;
             }
+            self.check_heartbeats();
             self.admit_trees();
             let desc = self.bplan.lock().pop_front();
             match desc {
                 Some(d) => self.assign_plan(d),
                 None => std::thread::sleep(self.cfg.poll_sleep),
             }
+        }
+    }
+
+    /// Lease-based failure detector (run on `θ_main`): a worker whose last
+    /// heartbeat is older than `heartbeat_interval * heartbeat_miss_threshold`
+    /// is declared dead and handed to the normal crash-recovery path. The
+    /// sweep is throttled to about twice per heartbeat interval.
+    ///
+    /// A false positive (e.g. a heavily descheduled but healthy worker) is
+    /// survivable: recovery revokes and restarts in-flight trees, which
+    /// preserves the trained model; the declared-dead worker's late results
+    /// refer to revoked trees and are silently dropped.
+    fn check_heartbeats(&self) {
+        let interval = (self.cfg.heartbeat_interval.as_nanos() as u64).max(1);
+        let now = self.fabric.clock().now_ns();
+        let last = self.last_hb_sweep.load(Ordering::Relaxed);
+        if now.saturating_sub(last) < interval / 2 {
+            return;
+        }
+        self.last_hb_sweep.store(now, Ordering::Relaxed);
+        if self.degraded.lock().is_some() {
+            return;
+        }
+        let threshold = u64::from(self.cfg.heartbeat_miss_threshold);
+        let mut suspects: Vec<NodeId> = Vec::new();
+        {
+            let live = self.workers.lock().clone();
+            let mut hb = self.last_hb.lock();
+            for &w in &live {
+                let lease = hb.entry(w).or_insert(HbLease {
+                    last_ns: now,
+                    reported: 0,
+                });
+                let missed = now.saturating_sub(lease.last_ns) / interval;
+                if missed > lease.reported {
+                    lease.reported = missed;
+                    obs_event!(
+                        self.fabric.stats(),
+                        0,
+                        ts_obs::Event::HeartbeatMissed {
+                            worker: w as u32,
+                            missed,
+                        }
+                    );
+                }
+                if missed >= threshold {
+                    suspects.push(w);
+                }
+            }
+        }
+        for w in suspects {
+            obs_event!(
+                self.fabric.stats(),
+                0,
+                ts_obs::Event::WorkerSuspected { worker: w as u32 }
+            );
+            self.recover_or_degrade(w);
+        }
+    }
+
+    /// Refreshes a worker's liveness lease (`θ_recv`, on every heartbeat).
+    /// Heartbeats from already-declared-dead workers carry no lease and are
+    /// ignored.
+    fn on_heartbeat(&self, worker: NodeId) {
+        let now = self.fabric.clock().now_ns();
+        if let Some(lease) = self.last_hb.lock().get_mut(&worker) {
+            lease.last_ns = now;
+            lease.reported = 0;
         }
     }
 
@@ -581,10 +696,12 @@ impl Master {
 
     /// Counts cluster-wide subtree delegations and fires the fault plan's
     /// crash trigger on the n-th one: the key worker that just received the
-    /// plan is shut down and the normal crash recovery runs. A single
-    /// task-channel `Shutdown` suffices — the worker cascades it into its
-    /// own data loop (see `Worker::task_loop`); `Cluster::kill_worker` is
-    /// the externally-driven variant of the same sequence.
+    /// plan is silenced with a task-channel `Shutdown` (the worker cascades
+    /// it into its own data loop and heartbeat thread — see
+    /// `Worker::task_loop`). Nothing here announces the crash to the
+    /// scheduler: the worker simply goes dark, and the heartbeat detector
+    /// (`check_heartbeats`) must *discover* it and run recovery.
+    /// `Cluster::kill_worker` remains the externally-announced variant.
     fn note_delegation(&self, key_worker: NodeId) {
         let nth = self.delegations.fetch_add(1, Ordering::Relaxed) + 1;
         let Some(at) = self
@@ -612,7 +729,6 @@ impl Master {
             }
         );
         let _ = self.fabric.send(0, key_worker, TaskMsg::Shutdown);
-        self.handle_worker_crash(key_worker);
     }
 
     // ------------------------------------------------------------------
@@ -620,9 +736,10 @@ impl Master {
     // ------------------------------------------------------------------
 
     /// The master's receiving thread.
-    pub fn recv_loop(self: Arc<Self>, rx: Receiver<TaskMsg>) {
+    pub fn recv_loop(self: Arc<Self>, rx: FabricReceiver<TaskMsg>) {
         while let Ok(msg) = rx.recv() {
             match msg {
+                TaskMsg::Heartbeat { worker } => self.on_heartbeat(worker),
                 TaskMsg::ColumnResult {
                     task,
                     worker,
@@ -965,36 +1082,65 @@ impl Master {
     // Fault recovery (paper §IV "Fault Tolerance" / Appendix E).
     // ------------------------------------------------------------------
 
+    /// Runs crash recovery for `dead`; if recovery is impossible, fails
+    /// every pending (and future) job with the structured reason instead of
+    /// panicking. Safe to call from both the heartbeat detector and
+    /// `Cluster::kill_worker` — duplicate declarations are ignored.
+    pub fn recover_or_degrade(&self, dead: NodeId) {
+        if let Err(e) = self.handle_worker_crash(dead) {
+            self.fail_all_jobs(e);
+        }
+    }
+
     /// Handles a worker crash: re-replicates its columns from surviving
     /// replicas and restarts every in-flight tree (completed trees are
     /// unaffected). See DESIGN.md §7 for the tree-granularity note.
-    pub fn handle_worker_crash(&self, dead: NodeId) {
+    ///
+    /// Errors when no trainable cluster can be restored (last replica of a
+    /// column died, no replication target, or no workers left); the caller
+    /// should then fail all jobs — see [`Master::recover_or_degrade`].
+    pub fn handle_worker_crash(&self, dead: NodeId) -> Result<(), RecoveryError> {
+        // Deduplicate: the detector and an explicit kill may both declare
+        // the same worker dead; a degraded cluster has nothing to recover.
+        if self.degraded.lock().is_some() || !self.workers.lock().contains(&dead) {
+            return Ok(());
+        }
         obs_event!(
             self.fabric.stats(),
             0,
             ts_obs::Event::WorkerCrashed { node: dead as u32 }
         );
-        // 1. Membership.
+        // 1. Membership: drop the worker from scheduling, liveness tracking
+        // and the reliable fabric's retransmission table.
         self.workers.lock().retain(|&w| w != dead);
+        self.last_hb.lock().remove(&dead);
+        self.fabric.forget_destination(dead);
         let live = self.workers.lock().clone();
-        assert!(!live.is_empty(), "no workers left");
+        if live.is_empty() {
+            return Err(RecoveryError::NoWorkersLeft { dead });
+        }
 
-        // 2. Column re-replication planning.
+        // 2. Column re-replication planning. Columns down to a single
+        // surviving replica are scheduled first — another crash would lose
+        // them for good.
         let mut transfer: HashMap<NodeId, (NodeId, Vec<usize>)> = HashMap::new();
         {
             let mut colmap = self.colmap.lock();
-            let lost = colmap.remove_worker(dead);
+            let mut lost = colmap.remove_worker(dead)?;
+            lost.sort_by_key(|&a| (colmap.holders(a).len(), a));
             let mut load: HashMap<NodeId, usize> = live
                 .iter()
                 .map(|&w| (w, colmap.columns_of(w).len()))
                 .collect();
             for attr in lost {
                 let source = colmap.holders(attr)[0];
-                let target = *live
+                let Some(&target) = live
                     .iter()
                     .filter(|&&w| !colmap.holders(attr).contains(&w))
                     .min_by_key(|&&w| (load[&w], w))
-                    .expect("replication < live workers");
+                else {
+                    return Err(RecoveryError::NoReplicationTarget { attr });
+                };
                 *load.get_mut(&target).expect("live") += 1;
                 transfer
                     .entry(source)
@@ -1055,6 +1201,32 @@ impl Master {
                 .fabric
                 .send(0, source, TaskMsg::ReplicateTo { attrs, to: target });
         }
+        Ok(())
+    }
+
+    /// Graceful degradation: records the terminal reason, clears all
+    /// scheduling state, and fails every pending job (active and queued)
+    /// with a diagnosable report. Subsequent submits fail immediately.
+    fn fail_all_jobs(&self, err: RecoveryError) {
+        eprintln!("treeserver: cluster degraded, failing all jobs: {err}");
+        *self.degraded.lock() = Some(err.clone());
+        let jobs: Vec<JobState> = {
+            let mut reg = self.registry.lock();
+            reg.active.clear();
+            reg.queue.clear();
+            reg.jobs.drain().map(|(_, j)| j).collect()
+        };
+        self.ttask.lock().clear();
+        self.mwork.lock().clear();
+        self.bplan.lock().clear();
+        for j in jobs {
+            let _ = j.notify.send(JobResult::Failed(err.clone()));
+        }
+    }
+
+    /// The degradation reason, if recovery has failed.
+    pub fn degraded_reason(&self) -> Option<RecoveryError> {
+        self.degraded.lock().clone()
     }
 }
 
@@ -1063,7 +1235,10 @@ mod tests {
     use super::*;
     use ts_netsim::{Fabric, NetModel, NetStats};
 
-    fn test_master(n_rows: usize, tau_dfs: u64) -> (Arc<Master>, Vec<tschan::Receiver<TaskMsg>>) {
+    fn test_master(
+        n_rows: usize,
+        tau_dfs: u64,
+    ) -> (Arc<Master>, Vec<ts_netsim::FabricReceiver<TaskMsg>>) {
         let stats = NetStats::new(3);
         let (fabric, rxs) = Fabric::new(3, NetModel::instant(), stats);
         let cfg = ClusterConfig {
@@ -1179,5 +1354,78 @@ mod tests {
             Prediction::Class { pmf, .. } => assert_eq!(pmf.len(), 2),
             Prediction::Real(_) => panic!("classification master"),
         }
+    }
+
+    #[test]
+    fn heartbeat_refreshes_lease_and_fresh_workers_are_not_suspected() {
+        let (m, _rxs) = test_master(10, 100);
+        m.on_heartbeat(1);
+        m.on_heartbeat(2);
+        m.check_heartbeats();
+        assert_eq!(m.live_workers(), vec![1, 2]);
+        assert!(m.degraded.lock().is_none());
+    }
+
+    #[test]
+    fn silent_worker_is_suspected_and_impossible_recovery_degrades_cleanly() {
+        let stats = NetStats::new(3);
+        let (fabric, _rxs) = Fabric::new(3, NetModel::instant(), stats);
+        let cfg = ClusterConfig {
+            n_workers: 2,
+            heartbeat_interval: std::time::Duration::from_millis(1),
+            heartbeat_miss_threshold: 3,
+            ..ClusterConfig::default()
+        };
+        let colmap = crate::assign::ColumnMap::round_robin(4, 2, 2);
+        let m = Master::new(
+            cfg,
+            1_000,
+            4,
+            Task::Classification { n_classes: 2 },
+            colmap,
+            fabric,
+        );
+        m.init_load_matrix(3);
+        let (_h, rx) = m.submit(JobSpec::decision_tree(Task::Classification {
+            n_classes: 2,
+        }));
+        // Worker 2 keeps beating; worker 1 goes silent past the 3 ms lease.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        m.on_heartbeat(2);
+        m.check_heartbeats();
+        // 2 workers at replication 2: every live worker already holds the
+        // dead worker's columns, so no re-replication target exists and the
+        // job must fail with the structured reason rather than panic.
+        assert!(!m.live_workers().contains(&1), "worker 1 declared dead");
+        let res = rx.recv().expect("failure notification");
+        assert!(
+            matches!(
+                res,
+                JobResult::Failed(RecoveryError::NoReplicationTarget { .. })
+            ),
+            "unexpected result: {res:?}"
+        );
+        assert!(m.degraded_reason().is_some());
+        // Later submissions fail immediately with the same reason.
+        let (_h2, rx2) = m.submit(JobSpec::decision_tree(Task::Classification {
+            n_classes: 2,
+        }));
+        assert!(matches!(
+            rx2.recv().expect("immediate failure"),
+            JobResult::Failed(_)
+        ));
+    }
+
+    #[test]
+    fn duplicate_crash_declarations_are_ignored() {
+        let (m, _rxs) = test_master(10, 100);
+        // First declaration fails recovery (no replication target) and
+        // degrades; the second must be a no-op, not a second degradation.
+        m.recover_or_degrade(1);
+        let first = m.degraded_reason();
+        assert!(first.is_some());
+        m.recover_or_degrade(1);
+        m.recover_or_degrade(2);
+        assert_eq!(m.degraded_reason(), first);
     }
 }

@@ -172,6 +172,13 @@ pub enum TaskMsg {
         /// The new target values (must match the table's row count).
         labels: ts_datatable::Labels,
     },
+    /// Worker → master: liveness beacon. Sent unreliably on a fixed
+    /// interval; the master's lease detector declares a worker dead after
+    /// `heartbeat_miss_threshold` consecutive missed intervals.
+    Heartbeat {
+        /// The beating worker.
+        worker: NodeId,
+    },
     /// Master → worker: stop all threads.
     Shutdown,
 }
@@ -198,6 +205,7 @@ impl WireSized for TaskMsg {
             | TaskMsg::DropTask { .. }
             | TaskMsg::ServeQuota { .. }
             | TaskMsg::RevokeTree { .. }
+            | TaskMsg::Heartbeat { .. }
             | TaskMsg::Shutdown => HDR,
             TaskMsg::ReplicateTo { attrs, .. } | TaskMsg::ReplicateDone { attrs, .. } => {
                 HDR + 8 * attrs.len()

@@ -25,9 +25,11 @@
 use crate::ids::{ParentRef, RowSet, Side, TaskId, TreeId};
 use crate::messages::{ColumnPlan, ColumnTaskBest, DataMsg, SubtreePlan, TaskMsg};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use ts_datatable::{AttrType, Column, Labels, Task, ValuesBuf};
-use ts_netsim::{BusyGuard, Fabric, NetStats, NodeId};
+use ts_netsim::{BusyGuard, Fabric, FabricReceiver, NetStats, NodeId};
 use ts_splits::exact::{best_split_for_column, distinct_categories, ColumnSplit};
 use ts_splits::impurity::{LabelView, NodeStats};
 use ts_splits::random::random_split_for_column;
@@ -160,6 +162,9 @@ pub struct Worker {
     fabric_task: Fabric<TaskMsg>,
     fabric_data: Fabric<DataMsg>,
     stats: Arc<NetStats>,
+    /// Cleared on `Shutdown`; stops the heartbeat thread, so a silenced
+    /// worker also goes silent on the liveness plane.
+    alive: AtomicBool,
 }
 
 impl Worker {
@@ -176,8 +181,9 @@ impl Worker {
         compers: usize,
         fabric_task: Fabric<TaskMsg>,
         fabric_data: Fabric<DataMsg>,
-        task_rx: Receiver<TaskMsg>,
-        data_rx: Receiver<DataMsg>,
+        task_rx: FabricReceiver<TaskMsg>,
+        data_rx: FabricReceiver<DataMsg>,
+        heartbeat_interval: Duration,
     ) -> Vec<std::thread::JoinHandle<()>> {
         let (ready_tx, ready_rx) = tschan::unbounded();
         let stats = Arc::clone(fabric_task.stats());
@@ -204,6 +210,7 @@ impl Worker {
             fabric_task,
             fabric_data,
             stats,
+            alive: AtomicBool::new(true),
         });
 
         let mut handles = Vec::new();
@@ -235,7 +242,44 @@ impl Worker {
                     .expect("spawn comper"),
             );
         }
+        {
+            let w = Arc::clone(&worker);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("worker{id}-hb"))
+                    .spawn(move || w.heartbeat_loop(heartbeat_interval))
+                    .expect("spawn heartbeat"),
+            );
+        }
         handles
+    }
+
+    /// Liveness beacon: one unreliable `Heartbeat` to the master per
+    /// interval until shutdown. Unreliable on purpose — a heartbeat that a
+    /// fault plan drops must stay lost (that is the signal the detector
+    /// reads), and beacons must not queue behind the ordered-delivery
+    /// buffer of the reliable protocol.
+    fn heartbeat_loop(self: Arc<Self>, interval: Duration) {
+        // Sleep in small chunks so shutdown never waits a full interval.
+        let chunk = interval
+            .min(Duration::from_millis(2))
+            .max(Duration::from_micros(100));
+        let mut elapsed = Duration::ZERO;
+        while self.alive.load(Ordering::Acquire) {
+            std::thread::sleep(chunk);
+            elapsed += chunk;
+            if elapsed >= interval {
+                elapsed = Duration::ZERO;
+                if !self.alive.load(Ordering::Acquire) {
+                    break;
+                }
+                let _ = self.fabric_task.send_unreliable(
+                    self.id,
+                    0,
+                    TaskMsg::Heartbeat { worker: self.id },
+                );
+            }
+        }
     }
 
     fn n_classes(&self) -> u32 {
@@ -255,7 +299,7 @@ impl Worker {
     // ------------------------------------------------------------------
     // Task loop (worker θ_main): plans and control messages from master.
     // ------------------------------------------------------------------
-    fn task_loop(self: Arc<Self>, rx: Receiver<TaskMsg>, compers: usize) {
+    fn task_loop(self: Arc<Self>, rx: FabricReceiver<TaskMsg>, compers: usize) {
         while let Ok(msg) = rx.recv() {
             match msg {
                 TaskMsg::ColumnPlan(plan) => self.on_column_plan(plan),
@@ -296,6 +340,9 @@ impl Worker {
                         .send(self.id, to, DataMsg::ReplicateCols { columns });
                 }
                 TaskMsg::Shutdown => {
+                    // Silence the heartbeat first: from the master's point
+                    // of view this machine is now dark.
+                    self.alive.store(false, Ordering::Release);
                     for _ in 0..compers {
                         let _ = self.ready_tx.send(ReadyTask::Stop);
                     }
@@ -307,7 +354,8 @@ impl Worker {
                 // Master-only messages never reach workers.
                 TaskMsg::ColumnResult { .. }
                 | TaskMsg::SubtreeResult { .. }
-                | TaskMsg::ReplicateDone { .. } => {
+                | TaskMsg::ReplicateDone { .. }
+                | TaskMsg::Heartbeat { .. } => {
                     unreachable!("master-bound message delivered to a worker")
                 }
             }
@@ -514,7 +562,7 @@ impl Worker {
     // ------------------------------------------------------------------
     // Data loop (worker θ_recv): worker↔worker data plane.
     // ------------------------------------------------------------------
-    fn data_loop(self: Arc<Self>, rx: Receiver<DataMsg>) {
+    fn data_loop(self: Arc<Self>, rx: FabricReceiver<DataMsg>) {
         while let Ok(msg) = rx.recv() {
             match msg {
                 DataMsg::ReqIx {

@@ -1,13 +1,18 @@
 //! Seeded fault injection through `ClusterConfig::faults`: a `FaultPlan`
 //! crash trigger kills a key worker right after the n-th subtree delegation
 //! cluster-wide, and the engine's recovery (re-replication + tree restart)
-//! must still produce *exactly* the fault-free model. See `docs/TESTING.md`.
+//! must still produce *exactly* the fault-free model. Message-level plans
+//! (drops, delays, duplicates) exercise the acked/retried fabric instead:
+//! training must terminate with the byte-identical fault-free model under
+//! any fault seed. See `docs/TESTING.md` and `docs/PROTOCOL.md`.
 
-use treeserver::{Cluster, ClusterConfig, JobSpec};
+use std::time::Duration;
+use treeserver::{Cluster, ClusterConfig, JobResult, JobSpec, RecoveryError};
 use ts_datatable::synth::{generate, SynthSpec};
 use ts_datatable::DataTable;
 use ts_netsim::FaultPlan;
 use ts_tree::{train_tree, TrainParams};
+use tscheck::prelude::*;
 
 fn table(seed: u64) -> DataTable {
     generate(&SynthSpec {
@@ -107,6 +112,199 @@ fn injected_crash_is_recorded_by_obs() {
     let (node, at) = injected[0];
     assert!((1..=4).contains(&node), "killed a worker, not the master");
     assert_eq!(at, 2, "fired at the plan's delegation index");
+}
+
+/// A message-fault plan hitting every plane: 5% drops, 5% delays, 5%
+/// duplicates, all derived purely from `(seed, edge, seq)`.
+fn lossy_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with_message_drops(0.05)
+        .with_message_delays(0.05, Duration::from_millis(2))
+        .with_message_duplicates(0.05)
+}
+
+/// Serialized canonical form — "byte-identical" in the strictest sense.
+fn tree_bytes(m: &ts_tree::DecisionTreeModel) -> String {
+    m.canonicalize().to_json()
+}
+
+/// Fault-free golden run for the message-fault sweep, trained once.
+fn golden_bytes() -> &'static str {
+    static GOLDEN: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    GOLDEN.get_or_init(|| {
+        let t = table(17);
+        let cluster = Cluster::launch(faulty_cfg(None), &t);
+        let model = cluster
+            .train(JobSpec::decision_tree(t.schema().task))
+            .into_tree();
+        cluster.shutdown();
+        tree_bytes(&model)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// Sweep fault seeds: under drops + delays + duplicates the acked/
+    /// retried fabric still delivers every message exactly once and in
+    /// order, so training terminates and the model is byte-identical to
+    /// the fault-free golden run.
+    #[test]
+    fn lossy_fabric_training_is_byte_identical(fault_seed in any::<u64>()) {
+        let t = table(17);
+        let cluster = Cluster::launch(faulty_cfg(Some(lossy_plan(fault_seed))), &t);
+        let model = cluster
+            .train(JobSpec::decision_tree(t.schema().task))
+            .into_tree();
+        cluster.shutdown();
+        prop_assert_eq!(tree_bytes(&model), golden_bytes());
+    }
+}
+
+/// The same guarantee holds for boosting, where label broadcasts between
+/// rounds ride the data plane too. Mirrors the cluster shape of
+/// `gbt_survives_worker_crash_between_rounds` (3 workers, τ_D = 300,
+/// τ_dfs = 1 200, regression view).
+#[test]
+fn gbt_under_message_faults_matches_clean_run() {
+    let t = generate(&SynthSpec {
+        rows: 1_200,
+        numeric: 4,
+        task: ts_datatable::Task::Regression,
+        seed: 23,
+        ..Default::default()
+    });
+    let cfg = |faults: Option<FaultPlan>| ClusterConfig {
+        n_workers: 3,
+        compers_per_worker: 2,
+        tau_d: 300,
+        tau_dfs: 1_200,
+        faults,
+        ..Default::default()
+    };
+    let run = |faults: Option<FaultPlan>| {
+        let view = treeserver::gbt::regression_view(&t, vec![0.0; t.n_rows()]);
+        let cluster = Cluster::launch(cfg(faults), &view);
+        let model = treeserver::train_gbt_on(
+            &cluster,
+            &t,
+            treeserver::GbtConfig::for_task(ts_datatable::Task::Regression).with_rounds(3),
+        );
+        cluster.shutdown();
+        model
+    };
+    let clean = run(None);
+    for fault_seed in [0xA1u64, 0xB2, 0xC3] {
+        assert_eq!(
+            run(Some(lossy_plan(fault_seed))),
+            clean,
+            "gbt under fault seed {fault_seed:#x} diverged from the clean run"
+        );
+    }
+}
+
+/// Losing the last replica of a column is unrecoverable, and must fail the
+/// job cleanly — a structured `JobResult::Failed`, not a panic.
+#[test]
+fn losing_the_last_replica_fails_the_job_cleanly() {
+    let t = table(41);
+    let cluster = Cluster::launch(
+        ClusterConfig {
+            n_workers: 2,
+            compers_per_worker: 1,
+            replication: 1, // no replica to fall back on
+            tau_d: 100,
+            tau_dfs: 400,
+            ..Default::default()
+        },
+        &t,
+    );
+    cluster.kill_worker(1);
+    let result = cluster.train(JobSpec::decision_tree(t.schema().task));
+    assert!(
+        matches!(result, JobResult::Failed(RecoveryError::ColumnLost { .. })),
+        "expected a ColumnLost failure, got {:?}",
+        result.failure()
+    );
+    // The degradation is sticky: later submissions fail immediately too.
+    let again = cluster.train(JobSpec::decision_tree(t.schema().task));
+    assert!(matches!(again, JobResult::Failed(_)));
+    cluster.shutdown();
+}
+
+/// The acceptance scenario of the reliability layer: a worker crashes
+/// mid-training *silently* (no announced `kill_worker` call — the injected
+/// trigger just shuts the worker down). The master must *detect* the crash
+/// via missed heartbeats, recover, and still produce the exact model — with
+/// the detection and the fabric's retries visible in the obs event log.
+#[cfg(feature = "obs")]
+#[test]
+fn silent_crash_is_detected_by_heartbeats_and_recovered() {
+    let t = table(37);
+    let params = TrainParams {
+        dmax: 10,
+        ..TrainParams::for_task(t.schema().task)
+    };
+    let reference = train_tree(&t, &(0..t.n_attrs()).collect::<Vec<_>>(), &params, 0);
+
+    // Message faults keep the reliable fabric on (so retries are possible
+    // and observable); the crash trigger silences a worker mid-subtree.
+    let plan = lossy_plan(0xDEAD_BEA7).with_crash_at_delegation(3);
+    let mut cfg = faulty_cfg(Some(plan));
+    cfg.heartbeat_interval = Duration::from_millis(5);
+    cfg.heartbeat_miss_threshold = 10; // 50 ms lease: fast detection in tests
+    cfg.obs = ts_obs::ObsConfig::enabled();
+    let cluster = Cluster::launch(cfg, &t);
+    let model = cluster
+        .train(JobSpec::decision_tree(t.schema().task))
+        .into_tree();
+    let rec = std::sync::Arc::clone(cluster.obs().expect("obs enabled"));
+    cluster.shutdown();
+
+    assert_eq!(
+        model.canonicalize(),
+        reference.canonicalize(),
+        "detected-crash recovery diverged from the exact trainer"
+    );
+
+    let m = rec.metrics();
+    assert_eq!(m.counter("crashes_injected"), 1);
+    assert!(
+        m.counter("heartbeats_missed") >= 1,
+        "the lease detector never noticed the silent worker"
+    );
+    assert!(
+        m.counter("workers_suspected") >= 1,
+        "the silent worker was never declared dead"
+    );
+    assert!(
+        m.counter("retries_sent") >= 1,
+        "a lossy plan must force at least one retransmission"
+    );
+
+    // The event log names the crashed worker in the suspicion.
+    let crashed: Vec<u32> = rec
+        .events()
+        .iter()
+        .filter_map(|e| match e.event {
+            ts_obs::Event::CrashInjected { node, .. } => Some(node),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(crashed.len(), 1);
+    let suspected = rec.events().iter().any(
+        |e| matches!(e.event, ts_obs::Event::WorkerSuspected { worker } if worker == crashed[0]),
+    );
+    assert!(
+        suspected,
+        "WorkerSuspected {{ worker: {} }} not in the event log",
+        crashed[0]
+    );
+    let retried = rec
+        .events()
+        .iter()
+        .any(|e| matches!(e.event, ts_obs::Event::RetrySent { .. }));
+    assert!(retried, "RetrySent not in the event log");
 }
 
 /// A plan pointing past the end of training never fires and never perturbs

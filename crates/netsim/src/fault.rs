@@ -113,13 +113,16 @@ impl SimClock {
 pub enum FaultDecision {
     /// Deliver normally.
     Deliver,
-    /// Silently lose the message. **Training protocols have no retries**, so
-    /// drops are only meaningful for fabric-level tests; a training cluster
-    /// with drops enabled will deadlock waiting for the lost result.
+    /// Silently lose the message. The reliable fabric recovers lost frames
+    /// by retransmitting until acknowledged, so a training cluster survives
+    /// drops; on a raw (unreliable) fabric the message is simply gone.
     Drop,
     /// Deliver after an extra delay (sender-side, so per-channel FIFO order
     /// is preserved and protocol invariants hold).
     Delay(Duration),
+    /// Deliver the message twice back-to-back, exercising receiver-side
+    /// dedup (a retransmit whose original also arrived looks the same).
+    Duplicate,
 }
 
 /// A seeded fault-injection plan.
@@ -135,6 +138,7 @@ pub struct FaultPlan {
     seed: u64,
     drop_prob: f64,
     delay_prob: f64,
+    dup_prob: f64,
     max_delay: Duration,
     crash_at_delegation: Option<u64>,
 }
@@ -159,6 +163,7 @@ impl FaultPlan {
             seed,
             drop_prob: 0.0,
             delay_prob: 0.0,
+            dup_prob: 0.0,
             max_delay: Duration::ZERO,
             crash_at_delegation: None,
         }
@@ -170,7 +175,6 @@ impl FaultPlan {
     }
 
     /// Drops each remote message independently with probability `prob`.
-    /// See [`FaultDecision::Drop`] for why this is for fabric tests only.
     pub fn with_message_drops(mut self, prob: f64) -> FaultPlan {
         assert!((0.0..=1.0).contains(&prob), "probability out of range");
         self.drop_prob = prob;
@@ -183,6 +187,17 @@ impl FaultPlan {
         assert!((0.0..=1.0).contains(&prob), "probability out of range");
         self.delay_prob = prob;
         self.max_delay = max;
+        self
+    }
+
+    /// Duplicates each remote message independently with probability `prob`
+    /// (both copies are delivered back-to-back). Decided from the same pure
+    /// `(seed, edge, seq)` derivation as drops and delays, via an
+    /// independent hash chain so enabling duplicates never changes which
+    /// messages an existing seed drops or delays.
+    pub fn with_message_duplicates(mut self, prob: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        self.dup_prob = prob;
         self
     }
 
@@ -211,7 +226,7 @@ impl FaultPlan {
     /// The fate of message `seq` on the `(from, to)` edge. Pure: same plan,
     /// same arguments, same answer.
     pub fn decide(&self, from: NodeId, to: NodeId, seq: u64) -> FaultDecision {
-        if self.drop_prob == 0.0 && self.delay_prob == 0.0 {
+        if self.drop_prob == 0.0 && self.delay_prob == 0.0 && self.dup_prob == 0.0 {
             return FaultDecision::Deliver;
         }
         let edge = ((from as u64) << 32) | to as u64;
@@ -225,12 +240,18 @@ impl FaultPlan {
             let ns = (self.max_delay.as_nanos() as f64 * frac) as u64;
             return FaultDecision::Delay(Duration::from_nanos(ns));
         }
+        // Independent chain: `mix(h2)` is consumed by the delay fraction
+        // above, so duplicates branch off a salted rehash instead — adding a
+        // dup probability leaves an existing seed's drops/delays untouched.
+        if unit_f64(mix(h2 ^ 0x00D1_CA7E)) < self.dup_prob {
+            return FaultDecision::Duplicate;
+        }
         FaultDecision::Deliver
     }
 
-    /// Whether any message fault (drop or delay) is enabled.
+    /// Whether any message fault (drop, delay, or duplicate) is enabled.
     pub fn affects_messages(&self) -> bool {
-        self.drop_prob > 0.0 || self.delay_prob > 0.0
+        self.drop_prob > 0.0 || self.delay_prob > 0.0 || self.dup_prob > 0.0
     }
 }
 
@@ -322,6 +343,39 @@ mod tests {
                 other => panic!("expected delay, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn duplicates_are_seeded_and_leave_drops_and_delays_untouched() {
+        let base = FaultPlan::new(7)
+            .with_message_drops(0.2)
+            .with_message_delays(0.2, Duration::from_millis(5));
+        let dup = base.clone().with_message_duplicates(0.3);
+        assert!(dup.affects_messages());
+        let mut dups = 0;
+        for seq in 0..10_000 {
+            let a = base.decide(1, 2, seq);
+            let b = dup.decide(1, 2, seq);
+            match (a, b) {
+                (FaultDecision::Deliver, FaultDecision::Duplicate) => dups += 1,
+                // Every drop/delay decision of the base plan must survive
+                // the added duplicate probability bit-identically.
+                _ => assert_eq!(a, b, "seq {seq}"),
+            }
+        }
+        // ~30% of the ~64% delivered messages duplicate: expect ~1920.
+        assert!((1_500..2_400).contains(&dups), "{dups} duplicates");
+        // Pure function: replays identically.
+        let a: Vec<_> = (0..512).map(|s| dup.decide(0, 3, s)).collect();
+        let b: Vec<_> = (0..512).map(|s| dup.decide(0, 3, s)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dup_only_plan_affects_messages() {
+        let p = FaultPlan::new(1).with_message_duplicates(1.0);
+        assert!(p.affects_messages());
+        assert_eq!(p.decide(0, 1, 0), FaultDecision::Duplicate);
     }
 
     #[test]

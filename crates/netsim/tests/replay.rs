@@ -8,6 +8,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use ts_netsim::{Fabric, FaultPlan, NetModel, NetStats, SimClock, WireSized};
 
+#[derive(Clone)]
 struct Msg(usize);
 
 impl WireSized for Msg {

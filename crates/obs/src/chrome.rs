@@ -267,6 +267,35 @@ pub(crate) fn export(mut events: Vec<TimedEvent>) -> String {
                 from,
                 &format!("\"to\":{to},\"seq\":{seq},\"delay_ns\":{delay_ns}"),
             ),
+            Event::RetrySent {
+                from,
+                to,
+                seq,
+                attempt,
+            } => e.instant(
+                "retry_sent",
+                ev.ts_ns,
+                from,
+                &format!("\"to\":{to},\"seq\":{seq},\"attempt\":{attempt}"),
+            ),
+            Event::DupDropped { node, from, seq } => e.instant(
+                "dup_dropped",
+                ev.ts_ns,
+                node,
+                &format!("\"from\":{from},\"seq\":{seq}"),
+            ),
+            Event::HeartbeatMissed { worker, missed } => e.instant(
+                "heartbeat_missed",
+                ev.ts_ns,
+                MASTER_PID,
+                &format!("\"worker\":{worker},\"missed\":{missed}"),
+            ),
+            Event::WorkerSuspected { worker } => e.instant(
+                "worker_suspected",
+                ev.ts_ns,
+                MASTER_PID,
+                &format!("\"worker\":{worker}"),
+            ),
             Event::CrashInjected {
                 node,
                 at_delegation,

@@ -132,6 +132,41 @@ pub enum Event {
         /// The injected extra delay.
         delay_ns: u64,
     },
+    /// The reliable fabric retransmitted an unacknowledged frame.
+    RetrySent {
+        /// Sender machine.
+        from: u32,
+        /// Receiver machine.
+        to: u32,
+        /// The frame's reliable sequence number on the `(from, to)` edge.
+        seq: u64,
+        /// Retransmission attempt (1 = first retry).
+        attempt: u32,
+    },
+    /// A receiver discarded a reliable frame it had already delivered (a
+    /// retransmit whose original made it through, or an injected duplicate).
+    DupDropped {
+        /// The deduplicating receiver.
+        node: u32,
+        /// The frame's sender.
+        from: u32,
+        /// The frame's reliable sequence number on the `(from, node)` edge.
+        seq: u64,
+    },
+    /// The master's lease detector noticed a worker heartbeat overdue by at
+    /// least one more interval.
+    HeartbeatMissed {
+        /// The silent worker.
+        worker: u32,
+        /// Consecutive intervals without a heartbeat so far.
+        missed: u64,
+    },
+    /// A worker exhausted its heartbeat lease; the master declares it dead
+    /// and starts crash recovery.
+    WorkerSuspected {
+        /// The suspected worker.
+        worker: u32,
+    },
     /// A fault plan triggered a worker crash (followed by the engine's
     /// `WorkerCrashed` / recovery events).
     CrashInjected {

@@ -82,6 +82,10 @@ struct Hot {
     workers_recovered: Arc<Counter>,
     messages_dropped: Arc<Counter>,
     messages_delayed: Arc<Counter>,
+    retries_sent: Arc<Counter>,
+    dups_dropped: Arc<Counter>,
+    heartbeats_missed: Arc<Counter>,
+    workers_suspected: Arc<Counter>,
     crashes_injected: Arc<Counter>,
     net_sends: Arc<Counter>,
     gbt_rounds: Arc<Counter>,
@@ -109,6 +113,10 @@ impl Hot {
             workers_recovered: reg.counter("workers_recovered"),
             messages_dropped: reg.counter("messages_dropped"),
             messages_delayed: reg.counter("messages_delayed"),
+            retries_sent: reg.counter("retries_sent"),
+            dups_dropped: reg.counter("dups_dropped"),
+            heartbeats_missed: reg.counter("heartbeats_missed"),
+            workers_suspected: reg.counter("workers_suspected"),
             crashes_injected: reg.counter("crashes_injected"),
             net_sends: reg.counter("net_sends"),
             gbt_rounds: reg.counter("gbt_rounds"),
@@ -230,6 +238,10 @@ impl Recorder {
             Event::WorkerRecovered { .. } => h.workers_recovered.inc(),
             Event::MessageDropped { .. } => h.messages_dropped.inc(),
             Event::MessageDelayed { .. } => h.messages_delayed.inc(),
+            Event::RetrySent { .. } => h.retries_sent.inc(),
+            Event::DupDropped { .. } => h.dups_dropped.inc(),
+            Event::HeartbeatMissed { .. } => h.heartbeats_missed.inc(),
+            Event::WorkerSuspected { .. } => h.workers_suspected.inc(),
             Event::CrashInjected { .. } => h.crashes_injected.inc(),
             Event::NetSend { .. } => {} // accounted in on_net_send
             Event::GbtRound { .. } => h.gbt_rounds.inc(),
