@@ -13,12 +13,14 @@
 //! Because the split kernels are the shared exact ones, the produced model
 //! is bit-identical to the local exact trainer — asserted in tests.
 
+use std::collections::HashMap;
 use std::sync::Arc;
-use ts_datatable::{AttrType, DataTable, ValuesBuf};
+use ts_datatable::{AttrType, DataTable, SortedColumn};
 use ts_netsim::{NetModel, NetStats};
-use ts_splits::exact::{best_split_for_column, distinct_categories, ColumnSplit};
+use ts_splits::exact::ColumnSplit;
 use ts_splits::impurity::{Impurity, LabelView, NodeStats};
 use ts_splits::partition_rows;
+use ts_splits::sorted::{best_split_at, distinct_categories_at, ColumnRef, NodeRows, RowBitmap};
 use ts_tree::trainer::prediction_from_stats;
 use ts_tree::{DecisionTreeModel, Node, SplitInfo};
 
@@ -90,9 +92,18 @@ impl YggdrasilTrainer {
         // Column -> machine (round-robin, no replication in Yggdrasil).
         let machine_of_col = |attr: usize| 1 + attr % self.cfg.n_machines;
 
+        // Each machine presorts its columns once per tree; every level then
+        // reuses the shared sorted-column engine (`ts_splits::sorted`), so
+        // the model stays bit-identical to the local exact trainer.
+        let sorted: HashMap<usize, SortedColumn> = candidates
+            .iter()
+            .map(|&a| (a, SortedColumn::build(table.column(a))))
+            .collect();
+        let view = LabelView::of(table.labels(), n_classes);
+        let mut mask = RowBitmap::with_rows(n);
+
         let root_rows: Vec<u32> = (0..n as u32).collect();
-        let root_labels = table.labels().clone();
-        let root_stats = NodeStats::from_view(LabelView::of(&root_labels, n_classes));
+        let root_stats = NodeStats::from_view(view);
         let mut nodes = vec![Node::leaf(prediction_from_stats(&root_stats), n as u64, 0)];
         // Frontier: (arena node, rows, stats).
         let mut frontier: Vec<(usize, Vec<u32>, NodeStats)> = vec![(0, root_rows, root_stats)];
@@ -106,27 +117,42 @@ impl YggdrasilTrainer {
                 if stats.n() <= self.cfg.tau_leaf || stats.is_pure() {
                     continue;
                 }
-                let labels = table.labels().gather(&rows);
-                let view = LabelView::of(&labels, n_classes);
                 // Every machine evaluates its own columns exactly and sends
-                // its best condition to the master.
+                // its best condition to the master. Node rows are strictly
+                // ascending (the root is 0..n and partitions preserve
+                // order), so the engine's node mask is valid here.
+                let whole = rows.len() == n;
                 let mut best: Option<(usize, ColumnSplit)> = None;
-                for &attr in candidates {
-                    let buf = table.gather(attr, &rows);
-                    if let Some(s) = best_split_for_column(
-                        &buf,
-                        table.schema().attr_type(attr),
-                        view,
-                        self.cfg.impurity,
-                    ) {
-                        let wins = match &best {
-                            None => true,
-                            Some((battr, bs)) => ColumnSplit::challenger_wins(&s, attr, bs, *battr),
-                        };
-                        if wins {
-                            best = Some((attr, s));
+                {
+                    let (node, mask_ref) = if whole {
+                        (NodeRows::All(n), None)
+                    } else {
+                        mask.insert_all(&rows);
+                        (NodeRows::Subset(&rows), Some(&mask))
+                    };
+                    for &attr in candidates {
+                        let cref = ColumnRef::of_column(
+                            table.column(attr),
+                            &sorted[&attr],
+                            table.schema().attr_type(attr),
+                        );
+                        if let Some(s) =
+                            best_split_at(cref, node, mask_ref, view, self.cfg.impurity)
+                        {
+                            let wins = match &best {
+                                None => true,
+                                Some((battr, bs)) => {
+                                    ColumnSplit::challenger_wins(&s, attr, bs, *battr)
+                                }
+                            };
+                            if wins {
+                                best = Some((attr, s));
+                            }
                         }
                     }
+                }
+                if !whole {
+                    mask.remove_all(&rows);
                 }
                 // Condition messages: one per machine holding candidates.
                 let senders: std::collections::HashSet<usize> =
@@ -152,10 +178,15 @@ impl YggdrasilTrainer {
                 let (l_rows, r_rows) =
                     partition_rows(table.column(attr), &rows, &split.test, split.missing_left);
                 let seen = match table.schema().attr_type(attr) {
-                    AttrType::Categorical { .. } => match table.gather(attr, &rows) {
-                        ValuesBuf::Categorical(codes) => Some(distinct_categories(&codes)),
-                        ValuesBuf::Numeric(_) => None,
-                    },
+                    AttrType::Categorical { n_values } => Some(if whole {
+                        sorted[&attr].distinct().to_vec()
+                    } else {
+                        let codes = table
+                            .column(attr)
+                            .as_categorical()
+                            .expect("categorical winner must be a categorical column");
+                        distinct_categories_at(codes, NodeRows::Subset(&rows), n_values)
+                    }),
                     AttrType::Numeric => None,
                 };
                 let l_idx = nodes.len();

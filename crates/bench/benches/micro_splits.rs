@@ -3,14 +3,27 @@
 //!
 //! Plain timed loops (median of repeated runs) like the table benches, so
 //! the workspace needs no external benchmark harness.
+//!
+//! The exact kernels are timed on **both** engine paths — the legacy
+//! gather+sort kernels and the sorted-column engine's presorted-index scans
+//! (`ts_splits::sorted`) — and the per-size speedup is printed alongside.
+//! All timings are also recorded into `BENCH_splits.json` (see
+//! `ts_bench::BenchReport`), which CI uploads as an artifact.
 
 use std::hint::black_box;
 use std::time::Instant;
-use ts_bench::print_header;
-use ts_splits::exact::{best_cat_split_classification, best_numeric_split};
+use ts_bench::{print_header, BenchReport};
+use ts_datatable::SortedColumn;
+use ts_splits::exact::{
+    best_cat_split_classification, best_cat_split_regression, best_numeric_split,
+};
 use ts_splits::histogram::{BinCuts, NumericHistogram};
 use ts_splits::impurity::{Impurity, LabelView};
 use ts_splits::sketch::QuantileSketch;
+use ts_splits::sorted::{
+    best_cat_split_classification_at, best_cat_split_regression_at, best_numeric_split_at_path,
+    NodeRows, NumericPath,
+};
 use tsrand::prelude::*;
 
 fn data(n: usize, seed: u64) -> (Vec<f64>, Vec<u32>) {
@@ -20,8 +33,20 @@ fn data(n: usize, seed: u64) -> (Vec<f64>, Vec<u32>) {
     (values, ys)
 }
 
-/// Times `f` over enough iterations to pass ~50ms, three rounds, and
-/// reports the best round's per-iteration time.
+fn cat_data(n: usize, n_values: u32, seed: u64) -> (Vec<u32>, Vec<u32>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let codes: Vec<u32> = (0..n).map(|_| rng.gen_range(0..n_values)).collect();
+    let ys: Vec<u32> = codes.iter().map(|&c| u32::from(c % 3 == 0)).collect();
+    let reals: Vec<f64> = codes
+        .iter()
+        .map(|&c| c as f64 * 0.5 + rng.gen_range(-1.0..1.0))
+        .collect();
+    (codes, ys, reals)
+}
+
+/// Times `f` over enough iterations to pass ~50ms, five rounds, and
+/// reports the best round's per-iteration time (best-of-N because the
+/// shared host's noise is one-sided: interference only ever slows a round).
 fn time_us(mut f: impl FnMut()) -> f64 {
     let mut iters = 1u32;
     loop {
@@ -35,7 +60,7 @@ fn time_us(mut f: impl FnMut()) -> f64 {
         iters *= 2;
     }
     let mut best = f64::INFINITY;
-    for _ in 0..3 {
+    for _ in 0..5 {
         let t0 = Instant::now();
         for _ in 0..iters {
             f();
@@ -46,7 +71,20 @@ fn time_us(mut f: impl FnMut()) -> f64 {
 }
 
 fn report(name: &str, per_iter_us: f64) {
-    println!("{name:<40} {per_iter_us:>12.1} us/iter");
+    println!("{name:<48} {per_iter_us:>12.1} us/iter");
+}
+
+/// Reports a legacy/sorted pair plus the speedup, and records both.
+fn report_pair(out: &mut BenchReport, base: &str, n: usize, legacy_us: f64, sorted_us: f64) {
+    report(&format!("{base}/legacy"), legacy_us);
+    report(&format!("{base}/sorted"), sorted_us);
+    println!(
+        "{:<48} {:>11.2}x",
+        format!("{base}/speedup"),
+        legacy_us / sorted_us
+    );
+    out.push(&format!("{base}/legacy"), legacy_us * 1e-6, n, 0, None);
+    out.push(&format!("{base}/sorted"), sorted_us * 1e-6, n, 0, None);
 }
 
 fn main() {
@@ -54,17 +92,126 @@ fn main() {
         "Micro: split kernels",
         "per-call cost of the §VI work model's unit operations",
     );
+    let mut out = BenchReport::new("splits");
 
+    // Exact numeric splits, classification: legacy gather+sort vs the
+    // sorted-column engine's filtered scan over a prebuilt index.
     for n in [1_000usize, 10_000, 100_000] {
         let (values, ys) = data(n, 1);
-        let us = time_us(|| {
+        let index = SortedColumn::from_numeric(&values);
+        let legacy_us = time_us(|| {
             black_box(best_numeric_split(
                 black_box(&values),
                 LabelView::Class(&ys, 2),
                 Impurity::Gini,
             ));
         });
-        report(&format!("exact_numeric_split/{n}"), us);
+        let sorted_us = time_us(|| {
+            black_box(best_numeric_split_at_path(
+                NumericPath::SortedScan,
+                black_box(&values),
+                &index,
+                NodeRows::All(n),
+                None,
+                LabelView::Class(&ys, 2),
+                Impurity::Gini,
+            ));
+        });
+        report_pair(
+            &mut out,
+            &format!("exact_numeric_split/{n}"),
+            n,
+            legacy_us,
+            sorted_us,
+        );
+    }
+
+    // Exact numeric splits, regression (variance impurity).
+    for n in [10_000usize, 100_000] {
+        let (values, raw) = data(n, 5);
+        let ys: Vec<f64> = raw
+            .iter()
+            .zip(&values)
+            .map(|(&y, &v)| y as f64 + v * 0.01)
+            .collect();
+        let index = SortedColumn::from_numeric(&values);
+        let legacy_us = time_us(|| {
+            black_box(best_numeric_split(
+                black_box(&values),
+                LabelView::Real(&ys),
+                Impurity::Variance,
+            ));
+        });
+        let sorted_us = time_us(|| {
+            black_box(best_numeric_split_at_path(
+                NumericPath::SortedScan,
+                black_box(&values),
+                &index,
+                NodeRows::All(n),
+                None,
+                LabelView::Real(&ys),
+                Impurity::Variance,
+            ));
+        });
+        report_pair(
+            &mut out,
+            &format!("exact_numeric_reg_split/{n}"),
+            n,
+            legacy_us,
+            sorted_us,
+        );
+    }
+
+    // Exact categorical splits: one-vs-rest classification and Breiman
+    // regression, legacy per-call allocation vs pooled engine aggregates.
+    {
+        let n = 100_000;
+        let (codes, ys, reals) = cat_data(n, 32, 3);
+        let legacy_us = time_us(|| {
+            black_box(best_cat_split_classification(
+                black_box(&codes),
+                32,
+                &ys,
+                2,
+                Impurity::Gini,
+            ));
+        });
+        let sorted_us = time_us(|| {
+            black_box(best_cat_split_classification_at(
+                black_box(&codes),
+                32,
+                NodeRows::All(n),
+                &ys,
+                2,
+                Impurity::Gini,
+            ));
+        });
+        report_pair(
+            &mut out,
+            &format!("exact_categorical_split/{n}_32vals"),
+            n,
+            legacy_us,
+            sorted_us,
+        );
+
+        let legacy_us = time_us(|| {
+            black_box(best_cat_split_regression(black_box(&codes), 32, &reals));
+        });
+        let sorted_us = time_us(|| {
+            black_box(best_cat_split_regression_at(
+                black_box(&codes),
+                32,
+                NodeRows::All(n),
+                &reals,
+            ));
+        });
+        report_pair(
+            &mut out,
+            &format!("exact_breiman_split/{n}_32vals"),
+            n,
+            legacy_us,
+            sorted_us,
+        );
     }
 
     for n in [10_000usize, 100_000] {
@@ -78,23 +225,7 @@ fn main() {
             black_box(h.best_split(&cuts, Impurity::Gini));
         });
         report(&format!("histogram_pass/{n}"), us);
-    }
-
-    {
-        let mut rng = StdRng::seed_from_u64(3);
-        let n = 100_000;
-        let codes: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..32)).collect();
-        let ys: Vec<u32> = codes.iter().map(|&c| u32::from(c % 3 == 0)).collect();
-        let us = time_us(|| {
-            black_box(best_cat_split_classification(
-                black_box(&codes),
-                32,
-                &ys,
-                2,
-                Impurity::Gini,
-            ));
-        });
-        report("exact_categorical_split_100k_32vals", us);
+        out.push(&format!("histogram_pass/{n}"), us * 1e-6, n, 0, None);
     }
 
     {
@@ -107,5 +238,8 @@ fn main() {
             black_box(s.cut_points(32));
         });
         report("quantile_sketch_build_100k", us);
+        out.push("quantile_sketch_build_100k", us * 1e-6, 100_000, 0, None);
     }
+
+    out.write();
 }

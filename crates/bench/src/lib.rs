@@ -245,6 +245,80 @@ pub fn run_xgb(train: &DataTable, test: &DataTable, cfg: XgbConfig) -> RunResult
     RunResult { secs, metric }
 }
 
+/// One timed entry of a machine-readable bench report.
+#[derive(Debug, Clone, tsjson::Serialize, tsjson::Deserialize)]
+pub struct BenchRecord {
+    /// Bench row name (e.g. `exact_numeric_split/10000/sorted`).
+    pub name: String,
+    /// Wall-clock seconds of the timed region (per iteration for micros).
+    pub wall_secs: f64,
+    /// Training rows the run covered (0 when not meaningful).
+    pub rows: usize,
+    /// Trees trained (0 for micro/kernel benches).
+    pub trees: usize,
+    /// Accuracy (classification) or RMSE (regression); `None` for micros.
+    pub metric: Option<f64>,
+}
+
+/// Machine-readable sink for a bench target: collect records while the
+/// human-readable table prints, then [`BenchReport::write`] emits
+/// `BENCH_<target>.json` into the working directory (CI uploads these as
+/// artifacts, so perf history survives the log noise).
+#[derive(Debug, tsjson::Serialize, tsjson::Deserialize)]
+pub struct BenchReport {
+    /// Bench target name (the `BENCH_<target>.json` stem).
+    pub target: String,
+    /// Effective `TS_SCALE` at run time.
+    pub scale: f64,
+    /// All timed entries, in print order.
+    pub records: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    /// Creates an empty report for one bench target.
+    pub fn new(target: &str) -> BenchReport {
+        BenchReport {
+            target: target.to_string(),
+            scale: env_scale(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends one record.
+    pub fn push(
+        &mut self,
+        name: &str,
+        wall_secs: f64,
+        rows: usize,
+        trees: usize,
+        metric: Option<f64>,
+    ) {
+        self.records.push(BenchRecord {
+            name: name.to_string(),
+            wall_secs,
+            rows,
+            trees,
+            metric,
+        });
+    }
+
+    /// Appends a timed system run (wall time + paper-style metric).
+    pub fn push_run(&mut self, name: &str, rows: usize, trees: usize, run: &RunResult) {
+        self.push(name, run.secs, rows, trees, Some(run.metric));
+    }
+
+    /// Writes `BENCH_<target>.json` into the current directory and returns
+    /// the path. Panics on IO errors — a bench that cannot record its
+    /// results should fail loudly, not silently drop them.
+    pub fn write(&self) -> std::path::PathBuf {
+        let path = std::path::PathBuf::from(format!("BENCH_{}.json", self.target));
+        let json = tsjson::to_vec_pretty(self).expect("bench report serializes");
+        std::fs::write(&path, json).expect("write bench report");
+        println!("wrote {}", path.display());
+        path
+    }
+}
+
 /// Prints a table header with the bench name and the scaling context.
 pub fn print_header(table: &str, extra: &str) {
     println!("\n================================================================");
@@ -270,4 +344,31 @@ pub fn light_datasets() -> Vec<PaperDataset> {
         PaperDataset::Poker,
         PaperDataset::Susy,
     ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_report_round_trips() {
+        let mut r = BenchReport::new("unit");
+        r.push("kernel/10k", 0.5, 10_000, 0, None);
+        r.push_run(
+            "forest",
+            2_000,
+            8,
+            &RunResult {
+                secs: 1.25,
+                metric: 0.9,
+            },
+        );
+        let json = tsjson::to_string(&r).expect("serializes");
+        let back: BenchReport = tsjson::from_str(&json).expect("parses");
+        assert_eq!(back.target, "unit");
+        assert_eq!(back.records.len(), 2);
+        assert_eq!(back.records[0].metric, None);
+        assert_eq!(back.records[1].metric, Some(0.9));
+        assert_eq!(back.records[1].trees, 8);
+    }
 }

@@ -117,6 +117,11 @@ pub struct Cluster {
     task_kind: Task,
     n_rows: usize,
     launched: Instant,
+    /// Split-kernel counter snapshot at launch: the engine's counters are
+    /// process-global, so reports fold in the delta since this cluster came
+    /// up (see [`ts_splits::sorted::kernel_counters`]).
+    #[cfg(feature = "obs")]
+    kernel_base: ts_splits::sorted::KernelCounters,
 }
 
 impl Cluster {
@@ -236,6 +241,8 @@ impl Cluster {
             task_kind: table.schema().task,
             n_rows: table.n_rows(),
             launched: Instant::now(),
+            #[cfg(feature = "obs")]
+            kernel_base: ts_splits::sorted::kernel_counters(),
         }
     }
 
@@ -340,14 +347,58 @@ impl Cluster {
     }
 
     /// The attached event recorder, when `ClusterConfig::obs.enabled` was
-    /// set at launch.
+    /// set at launch. Split-kernel counters are synced into the registry on
+    /// every call, so `metrics_json()` always reflects the current deltas.
     #[cfg(feature = "obs")]
     pub fn obs(&self) -> Option<&Arc<ts_obs::Recorder>> {
+        self.sync_kernel_counters();
         self.stats.recorder()
+    }
+
+    /// Folds the process-global split-kernel counters (delta since launch)
+    /// into the recorder's metrics registry. Monotone: only the missing
+    /// remainder is added, so repeated calls never double-count.
+    #[cfg(feature = "obs")]
+    fn sync_kernel_counters(&self) {
+        let Some(rec) = self.stats.recorder() else {
+            return;
+        };
+        let cur = ts_splits::sorted::kernel_counters();
+        let reg = rec.registry();
+        let sync = |name: &'static str, base: u64, now: u64| {
+            let target = now.saturating_sub(base);
+            let c = reg.counter(name);
+            let have = c.get();
+            if target > have {
+                c.add(target - have);
+            }
+        };
+        sync(
+            "split_kernel_sorted_scans",
+            self.kernel_base.numeric_sorted_scans,
+            cur.numeric_sorted_scans,
+        );
+        sync(
+            "split_kernel_gather_scans",
+            self.kernel_base.numeric_gather_scans,
+            cur.numeric_gather_scans,
+        );
+        sync(
+            "split_scratch_pool_hits",
+            self.kernel_base.pool_hits,
+            cur.pool_hits,
+        );
+        sync(
+            "split_scratch_pool_misses",
+            self.kernel_base.pool_misses,
+            cur.pool_misses,
+        );
     }
 
     /// A point-in-time report in the paper's units.
     pub fn report(&self) -> ClusterReport {
+        #[cfg(feature = "obs")]
+        self.sync_kernel_counters();
         ClusterReport::from_stats(&self.stats, self.launched.elapsed())
     }
 

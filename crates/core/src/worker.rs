@@ -28,11 +28,15 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use ts_datatable::{AttrType, Column, Labels, Task, ValuesBuf};
+use ts_datatable::{AttrType, Column, Labels, SortedColumn, Task, ValuesBuf};
 use ts_netsim::{BusyGuard, Fabric, FabricReceiver, NetStats, NodeId};
-use ts_splits::exact::{best_split_for_column, distinct_categories, ColumnSplit};
+use ts_splits::exact::ColumnSplit;
+use ts_splits::impurity::Impurity;
 use ts_splits::impurity::{LabelView, NodeStats};
 use ts_splits::random::random_split_for_column;
+use ts_splits::sorted::{
+    best_split_at, distinct_categories_at, with_node_mask, ColumnRef, NodeRows, RowBitmap,
+};
 use ts_splits::{partition_rows, SplitTest};
 use ts_tree::{train_subtree, LocalDataset, TrainMode, TrainParams};
 use tschan::sync::{Mutex, RwLock};
@@ -157,6 +161,9 @@ pub struct Worker {
     labels: RwLock<Arc<Labels>>,
     attr_types: Arc<Vec<AttrType>>,
     columns: RwLock<HashMap<usize, Arc<Column>>>,
+    /// Presorted index per held column, built once when the column arrives
+    /// (load or replication) and shared by every column-task over it.
+    sorted: RwLock<HashMap<usize, Arc<SortedColumn>>>,
     state: Mutex<WorkerState>,
     ready_tx: Sender<ReadyTask>,
     fabric_task: Fabric<TaskMsg>,
@@ -191,6 +198,10 @@ impl Worker {
         // ("most memory is used to hold data columns", Table III discussion).
         let col_bytes: usize = columns.values().map(|c| c.payload_bytes()).sum();
         stats.mem_alloc(id, col_bytes + labels.payload_bytes());
+        let sorted: HashMap<usize, Arc<SortedColumn>> = columns
+            .iter()
+            .map(|(&attr, col)| (attr, Arc::new(SortedColumn::build(col))))
+            .collect();
         let worker = Arc::new(Worker {
             id,
             work_ns_per_unit,
@@ -199,6 +210,7 @@ impl Worker {
             labels: RwLock::new(labels),
             attr_types,
             columns: RwLock::new(columns),
+            sorted: RwLock::new(sorted),
             state: Mutex::new(WorkerState {
                 tasks: HashMap::new(),
                 awaiting: HashMap::new(),
@@ -297,6 +309,20 @@ impl Worker {
     }
 
     // ------------------------------------------------------------------
+    /// Installs freshly-received columns (initial load or replication):
+    /// accounts their memory and builds the presorted index alongside, so
+    /// column-tasks always find both under the same attr id. Lock order is
+    /// columns-then-sorted everywhere.
+    fn install_columns(&self, columns: Vec<(usize, Column)>) {
+        let mut store = self.columns.write();
+        let mut sorted = self.sorted.write();
+        for (attr, col) in columns {
+            self.stats.mem_alloc(self.id, col.payload_bytes());
+            sorted.insert(attr, Arc::new(SortedColumn::build(&col)));
+            store.insert(attr, Arc::new(col));
+        }
+    }
+
     // Task loop (worker θ_main): plans and control messages from master.
     // ------------------------------------------------------------------
     fn task_loop(self: Arc<Self>, rx: FabricReceiver<TaskMsg>, compers: usize) {
@@ -308,13 +334,7 @@ impl Worker {
                 TaskMsg::DropTask { task } => self.on_drop_task(task),
                 TaskMsg::ServeQuota { task, side, quota } => self.on_serve_quota(task, side, quota),
                 TaskMsg::RevokeTree { tree } => self.on_revoke_tree(tree),
-                TaskMsg::LoadColumns { columns } => {
-                    let mut store = self.columns.write();
-                    for (attr, col) in columns {
-                        self.stats.mem_alloc(self.id, col.payload_bytes());
-                        store.insert(attr, Arc::new(col));
-                    }
-                }
+                TaskMsg::LoadColumns { columns } => self.install_columns(columns),
                 TaskMsg::LoadLabels { labels } => {
                     // Boosting support: the client distributes a fresh target
                     // column between rounds (the cluster is quiesced — the
@@ -606,13 +626,7 @@ impl Worker {
                 DataMsg::Shutdown => break,
                 DataMsg::ReplicateCols { columns } => {
                     let attrs: Vec<usize> = columns.iter().map(|&(a, _)| a).collect();
-                    {
-                        let mut store = self.columns.write();
-                        for (attr, col) in columns {
-                            self.stats.mem_alloc(self.id, col.payload_bytes());
-                            store.insert(attr, Arc::new(col));
-                        }
-                    }
+                    self.install_columns(columns);
                     let _ = self.fabric_task.send(
                         self.id,
                         0,
@@ -876,61 +890,123 @@ impl Worker {
         }
     }
 
+    /// Runs the exact-split engine over each assigned column for one node,
+    /// folding the winners with the canonical tie-break (challenger order is
+    /// `plan.cols` order, the same on both kernel paths).
+    #[allow(clippy::too_many_arguments)]
+    fn best_exact_split(
+        &self,
+        store: &HashMap<usize, Arc<Column>>,
+        sorted_store: &HashMap<usize, Arc<SortedColumn>>,
+        cols: &[usize],
+        node: NodeRows<'_>,
+        mask: Option<&RowBitmap>,
+        view: LabelView<'_>,
+        imp: Impurity,
+    ) -> Option<(usize, ColumnSplit)> {
+        let mut best: Option<(usize, ColumnSplit)> = None;
+        for &attr in cols {
+            let col = store.get(&attr).expect("assigned column must be held");
+            let index = sorted_store.get(&attr).expect("sorted index must be held");
+            let cref = ColumnRef::of_column(col, index, self.attr_types[attr]);
+            if let Some(s) = best_split_at(cref, node, mask, view, imp) {
+                let wins = match &best {
+                    None => true,
+                    Some((battr, bs)) => ColumnSplit::challenger_wins(&s, attr, bs, *battr),
+                };
+                if wins {
+                    best = Some((attr, s));
+                }
+            }
+        }
+        best
+    }
+
     fn compute_column_task(&self, plan: ColumnPlan, ix: RowSet) -> Option<TaskMsg> {
         self.model_work(ix.len(self.n_rows) as u64 * plan.cols.len() as u64);
-        let labels = {
-            let y = self.labels.read().clone();
-            ix.gather_labels(&y, self.n_rows)
+        let y = self.labels.read().clone();
+        let view = LabelView::of(&y, self.n_classes());
+        let node_stats = match &ix {
+            RowSet::All => NodeStats::from_view(view),
+            RowSet::Ids(v) => NodeStats::from_view_positions(view, v.iter().map(|&r| r as usize)),
         };
-        let view = LabelView::of(&labels, self.n_classes());
-        let node_stats = NodeStats::from_view(view);
 
         let store = self.columns.read();
+        let sorted_store = self.sorted.read();
         let mut best: Option<(usize, ColumnSplit)> = None;
         if let Some(seed) = plan.random_seed {
             // Extra-trees: try this worker's columns in seeded random order,
             // accepting the first random split that separates anything.
+            // Random splits draw from the gathered node buffer, so this arm
+            // keeps the gather path (and a gathered label view to match).
+            let labels = ix.gather_labels(&y, self.n_rows);
+            let gathered_view = LabelView::of(&labels, self.n_classes());
             let mut rng = StdRng::seed_from_u64(seed);
             let mut order = plan.cols.clone();
             order.shuffle(&mut rng);
             for attr in order {
                 let col = store.get(&attr).expect("assigned column must be held");
                 let buf = ix.gather(col, self.n_rows);
-                if let Some(s) = random_split_for_column(&buf, view, &mut rng) {
+                if let Some(s) = random_split_for_column(&buf, gathered_view, &mut rng) {
                     best = Some((attr, s));
                     break;
                 }
             }
         } else {
-            for &attr in &plan.cols {
-                let col = store.get(&attr).expect("assigned column must be held");
-                let buf = ix.gather(col, self.n_rows);
-                let ty = self.attr_types[attr];
-                if let Some(s) = best_split_for_column(&buf, ty, view, plan.params.impurity) {
-                    let wins = match &best {
-                        None => true,
-                        Some((battr, bs)) => ColumnSplit::challenger_wins(&s, attr, bs, *battr),
-                    };
-                    if wins {
-                        best = Some((attr, s));
-                    }
-                }
-            }
+            // Exact splits: run the sorted-column engine over the full
+            // resident columns — no per-task gather. `Ix` is always strictly
+            // ascending, so the engine's scans visit rows in the same order
+            // a gather-then-scan would (see `ts_splits::sorted`).
+            best = match &ix {
+                RowSet::All => self.best_exact_split(
+                    &store,
+                    &sorted_store,
+                    &plan.cols,
+                    NodeRows::All(self.n_rows),
+                    None,
+                    view,
+                    plan.params.impurity,
+                ),
+                RowSet::Ids(v) => with_node_mask(self.n_rows, v, |mask| {
+                    self.best_exact_split(
+                        &store,
+                        &sorted_store,
+                        &plan.cols,
+                        NodeRows::Subset(v),
+                        Some(mask),
+                        view,
+                        plan.params.impurity,
+                    )
+                }),
+            };
         }
 
         let best_full = best.map(|(attr, split)| {
             let seen = match self.attr_types[attr] {
-                AttrType::Categorical { .. } => {
-                    let col = store.get(&attr).expect("held");
-                    match ix.gather(col, self.n_rows) {
-                        ValuesBuf::Categorical(codes) => Some(distinct_categories(&codes)),
-                        ValuesBuf::Numeric(_) => None,
+                AttrType::Categorical { n_values } => match &ix {
+                    // The whole-column category set is precomputed on the
+                    // sorted index; subsets scan the node's rows only.
+                    RowSet::All => Some(
+                        sorted_store
+                            .get(&attr)
+                            .expect("sorted index must be held")
+                            .distinct()
+                            .to_vec(),
+                    ),
+                    RowSet::Ids(v) => {
+                        let codes = store
+                            .get(&attr)
+                            .expect("held")
+                            .as_categorical()
+                            .expect("categorical winner must be a categorical column");
+                        Some(distinct_categories_at(codes, NodeRows::Subset(v), n_values))
                     }
-                }
+                },
                 AttrType::Numeric => None,
             };
             (attr, split, seen)
         });
+        drop(sorted_store);
         drop(store);
 
         // Keep Ix (and the winning condition) until the master's verdict —
@@ -1012,6 +1088,10 @@ impl Worker {
             } else {
                 TrainMode::Exact
             },
+            // Subtree-tasks stay single-threaded: parallelism in the
+            // simulated cluster comes from the comper pool, and the column
+            // loop must not oversubscribe it.
+            threads: 1,
         };
         let subtree = train_subtree(&data, &params, plan.depth, plan.seed);
         drop(data);

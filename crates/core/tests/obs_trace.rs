@@ -175,3 +175,24 @@ fn recorder_absent_when_runtime_disabled() {
     );
     cluster.shutdown();
 }
+
+#[test]
+fn kernel_counters_surface_in_metrics() {
+    // The sorted-column split engine ticks process-global counters; obs()
+    // folds the delta since launch into the recorder's registry. A forest
+    // over a 2k-row table must run exact numeric kernels, and calling obs()
+    // twice must not double-count (the sync is monotone).
+    let cluster = traced_forest(2, 4);
+    let rec = cluster.obs().expect("recorder attached").clone();
+    let snap = rec.metrics();
+    let scans =
+        snap.counter("split_kernel_sorted_scans") + snap.counter("split_kernel_gather_scans");
+    assert!(scans > 0, "exact training must run numeric split kernels");
+    let hits_then = snap.counter("split_scratch_pool_hits");
+    let again = cluster.obs().expect("recorder attached").metrics();
+    assert!(
+        again.counter("split_scratch_pool_hits") >= hits_then,
+        "counters are monotone"
+    );
+    cluster.shutdown();
+}

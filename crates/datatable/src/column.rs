@@ -85,6 +85,22 @@ impl Column {
             Column::Categorical(v) => v.iter().filter(|&&c| c == MISSING_CAT).count(),
         }
     }
+
+    /// The raw numeric values, if this is a numeric column.
+    pub fn as_numeric(&self) -> Option<&[f64]> {
+        match self {
+            Column::Numeric(v) => Some(v),
+            Column::Categorical(_) => None,
+        }
+    }
+
+    /// The raw categorical codes, if this is a categorical column.
+    pub fn as_categorical(&self) -> Option<&[u32]> {
+        match self {
+            Column::Categorical(v) => Some(v),
+            Column::Numeric(_) => None,
+        }
+    }
 }
 
 /// A single attribute value, as observed for one row.
@@ -166,6 +182,22 @@ impl ValuesBuf {
         match self {
             ValuesBuf::Numeric(v) => Column::Numeric(v),
             ValuesBuf::Categorical(v) => Column::Categorical(v),
+        }
+    }
+
+    /// The raw numeric values, if this is a numeric buffer.
+    pub fn as_numeric(&self) -> Option<&[f64]> {
+        match self {
+            ValuesBuf::Numeric(v) => Some(v),
+            ValuesBuf::Categorical(_) => None,
+        }
+    }
+
+    /// The raw categorical codes, if this is a categorical buffer.
+    pub fn as_categorical(&self) -> Option<&[u32]> {
+        match self {
+            ValuesBuf::Categorical(v) => Some(v),
+            ValuesBuf::Numeric(_) => None,
         }
     }
 

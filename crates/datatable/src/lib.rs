@@ -20,9 +20,11 @@ pub mod csv;
 pub mod cv;
 pub mod metrics;
 pub mod schema;
+pub mod sorted;
 pub mod synth;
 pub mod table;
 
 pub use column::{Column, Value, ValuesBuf, MISSING_CAT};
 pub use schema::{AttrMeta, AttrType, Schema, Task};
+pub use sorted::SortedColumn;
 pub use table::{DataTable, Labels};

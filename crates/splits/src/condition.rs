@@ -81,6 +81,31 @@ pub fn partition_rows(
     (left, right)
 }
 
+/// Like [`partition_rows`] but over a full [`ts_datatable::ValuesBuf`]
+/// indexed by row ids: the sorted-column trainer partitions a node's row set
+/// directly against the full column instead of re-gathering it first.
+/// Preserves input order, so ascending row sets stay ascending.
+pub fn partition_rows_buf(
+    values: &ts_datatable::ValuesBuf,
+    ix: &[u32],
+    test: &SplitTest,
+    missing_left: bool,
+) -> (Vec<u32>, Vec<u32>) {
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for &r in ix {
+        let go_left = test
+            .goes_left(values.value(r as usize))
+            .unwrap_or(missing_left);
+        if go_left {
+            left.push(r);
+        } else {
+            right.push(r);
+        }
+    }
+    (left, right)
+}
+
 /// Like [`partition_rows`] but over *positions* of an already-gathered values
 /// buffer (used inside subtree-tasks, where data is local and indexed by
 /// position within `Dx` rather than by global row id).

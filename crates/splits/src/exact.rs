@@ -71,7 +71,7 @@ impl ColumnSplit {
 ///
 /// Uses the midpoint, falling back to `a` when rounding would land on `b`
 /// (adjacent floats), so that `x <= thr` always separates `a` from `b`.
-fn boundary_threshold(a: f64, b: f64) -> f64 {
+pub(crate) fn boundary_threshold(a: f64, b: f64) -> f64 {
     debug_assert!(a < b);
     let mid = a + (b - a) / 2.0;
     if mid < b {
@@ -89,29 +89,44 @@ pub fn best_numeric_split(
     imp: Impurity,
 ) -> Option<ColumnSplit> {
     assert_eq!(values.len(), labels.len(), "values/labels length mismatch");
-    let n = values.len();
 
     // Split positions into present (to be sorted); missing rows are routed
     // to the majority side after the boundary is chosen.
-    let mut present: Vec<(f64, u32)> = Vec::with_capacity(n);
-    for (i, &v) in values.iter().enumerate() {
-        if !v.is_nan() {
-            present.push((v, i as u32));
+    crate::sorted::with_present(values.len(), |present| {
+        for (i, &v) in values.iter().enumerate() {
+            if !v.is_nan() {
+                present.push((v, i as u32));
+            }
         }
-    }
+        present.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let best = scan_presorted(present, labels, imp);
+        finish_numeric(best, present, values, labels)
+    })
+}
+
+/// One boundary scan over presorted `(value, label index)` pairs with `O(1)`
+/// incremental impurity. Returns the best `(gain, threshold, boundary index)`
+/// under the strict within-column order, or `None`.
+///
+/// `present` must be sorted by `(value, index)` under `f64::total_cmp`; the
+/// `.1` side indexes `labels` directly — gathered *positions* on the legacy
+/// path, global *row ids* on the sorted-column path. The scan only compares
+/// values and accumulates labels, so both paths produce bit-identical gains
+/// when fed order-isomorphic sequences (see docs/PERF.md).
+pub(crate) fn scan_presorted(
+    present: &[(f64, u32)],
+    labels: LabelView<'_>,
+    imp: Impurity,
+) -> Option<(f64, f64, usize)> {
     if present.len() < 2 {
         return None;
     }
-    present.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-
     match labels {
-        LabelView::Class(ys, k) => {
-            let mut right = ClassCounts::new(k);
-            for &(_, p) in &present {
+        LabelView::Class(ys, k) => crate::sorted::with_class_pair(k, |left, right| {
+            for &(_, p) in present {
                 right.add(ys[p as usize]);
             }
             let total_w = right.weighted_impurity(imp);
-            let mut left = ClassCounts::new(k);
             let mut best: Option<(f64, f64, usize)> = None; // (gain, threshold, boundary idx)
             for i in 0..present.len() - 1 {
                 left.add(ys[present[i].1 as usize]);
@@ -124,11 +139,11 @@ pub fn best_numeric_split(
                     }
                 }
             }
-            finish_numeric(best, &present, values, labels)
-        }
+            best
+        }),
         LabelView::Real(ys) => {
             let mut right = RegAgg::default();
-            for &(_, p) in &present {
+            for &(_, p) in present {
                 right.add(ys[p as usize]);
             }
             let total_w = right.weighted_impurity();
@@ -145,13 +160,13 @@ pub fn best_numeric_split(
                     }
                 }
             }
-            finish_numeric(best, &present, values, labels)
+            best
         }
     }
 }
 
 /// Strict within-column order: higher gain, then smaller threshold.
-fn challenger_gain_wins(gain: f64, thr: f64, best: &Option<(f64, f64, usize)>) -> bool {
+pub(crate) fn challenger_gain_wins(gain: f64, thr: f64, best: &Option<(f64, f64, usize)>) -> bool {
     if gain <= 0.0 || !gain.is_finite() {
         return false;
     }
@@ -180,6 +195,19 @@ fn child_stats_routed(
     missing_left: bool,
     route: impl Fn(usize) -> Option<bool>,
 ) -> (NodeStats, NodeStats) {
+    child_stats_routed_iter(0..n, labels, missing_left, route)
+}
+
+/// Generalisation of [`child_stats_routed`] over an explicit index sequence:
+/// the sorted-column engine accumulates over a node's (ascending) row ids
+/// against full-column labels, which visits the same labels in the same
+/// order as the legacy gathered scan — hence bit-identical child stats.
+pub(crate) fn child_stats_routed_iter(
+    indices: impl Iterator<Item = usize>,
+    labels: LabelView<'_>,
+    missing_left: bool,
+    route: impl Fn(usize) -> Option<bool>,
+) -> (NodeStats, NodeStats) {
     let (mut left, mut right) = match labels {
         LabelView::Class(_, k) => (
             NodeStats::Class(ClassCounts::new(k)),
@@ -190,7 +218,7 @@ fn child_stats_routed(
             NodeStats::Reg(RegAgg::default()),
         ),
     };
-    for i in 0..n {
+    for i in indices {
         let goes_left = route(i).unwrap_or(missing_left);
         let target = if goes_left { &mut left } else { &mut right };
         match (target, labels) {
@@ -251,26 +279,7 @@ pub fn best_cat_split_classification(
     if total.total() < 2 {
         return None;
     }
-    let total_w = total.weighted_impurity(imp);
-
-    let mut best: Option<(f64, u32)> = None;
-    for (code, counts) in per_value.iter().enumerate() {
-        if counts.total() == 0 || counts.total() == total.total() {
-            continue;
-        }
-        let rest = total.minus(counts);
-        let gain = total_w - counts.weighted_impurity(imp) - rest.weighted_impurity(imp);
-        if gain > 0.0
-            && best.is_none_or(|(bg, bc)| match gain.total_cmp(&bg) {
-                std::cmp::Ordering::Greater => true,
-                std::cmp::Ordering::Less => false,
-                std::cmp::Ordering::Equal => (code as u32) < bc,
-            })
-        {
-            best = Some((gain, code as u32));
-        }
-    }
-    let (gain, code) = best?;
+    let (gain, code) = best_one_vs_rest(&per_value, &total, imp)?;
 
     let labels = LabelView::Class(ys, n_classes);
     let n_left_present = per_value[code as usize].total();
@@ -291,6 +300,36 @@ pub fn best_cat_split_classification(
     })
 }
 
+/// One-vs-rest gain loop (Appendix B, Case 3) over per-category class
+/// counts: returns the best `(gain, singleton left code)`, ties toward the
+/// smaller code. Shared by the legacy gathered kernel and the sorted-column
+/// engine.
+pub(crate) fn best_one_vs_rest(
+    per_value: &[ClassCounts],
+    total: &ClassCounts,
+    imp: Impurity,
+) -> Option<(f64, u32)> {
+    let total_w = total.weighted_impurity(imp);
+    let mut best: Option<(f64, u32)> = None;
+    for (code, counts) in per_value.iter().enumerate() {
+        if counts.total() == 0 || counts.total() == total.total() {
+            continue;
+        }
+        let rest = total.minus(counts);
+        let gain = total_w - counts.weighted_impurity(imp) - rest.weighted_impurity(imp);
+        if gain > 0.0
+            && best.is_none_or(|(bg, bc)| match gain.total_cmp(&bg) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Less => false,
+                std::cmp::Ordering::Equal => (code as u32) < bc,
+            })
+        {
+            best = Some((gain, code as u32));
+        }
+    }
+    best
+}
+
 /// Exact best categorical split for regression (Appendix B, Case 2 —
 /// Breiman et al.): group rows by category, sort groups by mean `Y`, and the
 /// optimal `Sl` is a prefix of that order, found in one pass.
@@ -307,6 +346,36 @@ pub fn best_cat_split_regression(codes: &[u32], n_values: u32, ys: &[f64]) -> Op
     if total.n < 2 {
         return None;
     }
+    let (gain, left_set, n_left_present) = best_breiman_prefix(&per_value, &total)?;
+
+    let labels = LabelView::Real(ys);
+    let in_left = |c: u32| left_set.binary_search(&c).is_ok();
+    let missing_left = n_left_present >= total.n - n_left_present;
+    let (left, right) = child_stats_routed(codes.len(), labels, missing_left, |i| {
+        if codes[i] == MISSING_CAT {
+            None
+        } else {
+            Some(in_left(codes[i]))
+        }
+    });
+    Some(ColumnSplit {
+        test: SplitTest::CatIn(left_set),
+        gain,
+        missing_left,
+        left,
+        right,
+    })
+}
+
+/// Breiman prefix scan (Appendix B, Case 2) over per-category regression
+/// aggregates: sorts present categories by mean (ties by code), finds the
+/// best prefix cut, and returns `(gain, sorted left set, left present
+/// count)`. Shared by the legacy gathered kernel and the sorted-column
+/// engine.
+pub(crate) fn best_breiman_prefix(
+    per_value: &[RegAgg],
+    total: &RegAgg,
+) -> Option<(f64, Vec<u32>, u64)> {
     let total_w = total.weighted_impurity();
 
     // Present categories sorted by mean (ties by code for determinism).
@@ -322,7 +391,7 @@ pub fn best_cat_split_regression(codes: &[u32], n_values: u32, ys: &[f64]) -> Op
     groups.sort_unstable_by(|a, b| a.1.mean().total_cmp(&b.1.mean()).then(a.0.cmp(&b.0)));
 
     let mut left = RegAgg::default();
-    let mut right = total;
+    let mut right = *total;
     let mut best: Option<(f64, usize)> = None; // (gain, prefix length)
     for (i, (_, agg)) in groups.iter().enumerate().take(groups.len() - 1) {
         left.merge(agg);
@@ -339,30 +408,13 @@ pub fn best_cat_split_regression(codes: &[u32], n_values: u32, ys: &[f64]) -> Op
         }
     }
     let (gain, prefix) = best?;
+    let n_left_present: u64 = groups[..prefix].iter().map(|&(_, a)| a.n).sum();
     let left_set: Vec<u32> = {
         let mut s: Vec<u32> = groups[..prefix].iter().map(|&(c, _)| c).collect();
         s.sort_unstable();
         s
     };
-
-    let labels = LabelView::Real(ys);
-    let in_left = |c: u32| left_set.binary_search(&c).is_ok();
-    let n_left_present: u64 = groups[..prefix].iter().map(|&(_, a)| a.n).sum();
-    let missing_left = n_left_present >= total.n - n_left_present;
-    let (left, right) = child_stats_routed(codes.len(), labels, missing_left, |i| {
-        if codes[i] == MISSING_CAT {
-            None
-        } else {
-            Some(in_left(codes[i]))
-        }
-    });
-    Some(ColumnSplit {
-        test: SplitTest::CatIn(left_set),
-        gain,
-        missing_left,
-        left,
-        right,
-    })
+    Some((gain, left_set, n_left_present))
 }
 
 impl RegAgg {

@@ -112,6 +112,17 @@ impl ClassCounts {
         }
     }
 
+    /// Resets to the empty state, keeping the allocation (scratch-pool reuse).
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+    }
+
+    /// Number of classes this aggregate was sized for.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
     /// Total rows counted.
     pub fn total(&self) -> u64 {
         self.total

@@ -20,6 +20,9 @@
 //!   approximation.
 //! - [`random`]: the completely-random splits used by extra-trees
 //!   (Appendix F).
+//! - [`sorted`]: the sorted-column split engine — presorted per-column
+//!   indices, row bitmaps and a thread-local scratch arena that turn the
+//!   exact numeric kernel into an allocation-free linear scan (docs/PERF.md).
 //!
 //! All kernels are deterministic, with explicit total-order tie-breaking, so
 //! the distributed engine and the single-threaded trainer produce *identical*
@@ -32,7 +35,9 @@ pub mod histogram;
 pub mod impurity;
 pub mod random;
 pub mod sketch;
+pub mod sorted;
 
-pub use condition::{partition_positions, partition_rows, SplitTest};
+pub use condition::{partition_positions, partition_rows, partition_rows_buf, SplitTest};
 pub use exact::{best_split_for_column, ColumnSplit};
 pub use impurity::{Impurity, LabelView, NodeStats};
+pub use sorted::{best_split_at, kernel_counters, ColumnRef, KernelCounters, NodeRows, RowBitmap};

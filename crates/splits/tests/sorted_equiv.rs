@@ -1,0 +1,325 @@
+//! Kernel-equivalence property suite (satellite of the sorted-column split
+//! engine): for random columns, labels, and node row subsets, the engine's
+//! indexed kernels must pick **byte-identical** splits to the legacy
+//! gathered kernels — on both explicit numeric paths, not just the one the
+//! `Auto` heuristic would take. Gains are compared bitwise: both paths feed
+//! the same integer/float accumulations in the same row order, so there is
+//! no tolerance to hide behind. Deterministic edge-case tests cover ties,
+//! duplicates, NaN/missing routing, single-distinct, all-missing, and empty
+//! subsets.
+
+use ts_datatable::{SortedColumn, MISSING_CAT};
+use ts_splits::exact::{
+    best_cat_split_classification, best_cat_split_regression, best_numeric_split,
+    distinct_categories, ColumnSplit,
+};
+use ts_splits::impurity::{Impurity, LabelView};
+use ts_splits::sorted::{
+    best_cat_split_classification_at, best_cat_split_regression_at, best_numeric_split_at_path,
+    distinct_categories_at, with_node_mask, NodeRows, NumericPath,
+};
+use tscheck::prelude::*;
+
+const K: u32 = 3;
+const NV: u32 = 6;
+
+fn ascending_rows(keep: &[bool]) -> Vec<u32> {
+    keep.iter()
+        .enumerate()
+        .filter(|&(_, &k)| k)
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+fn gather_f(values: &[f64], rows: &[u32]) -> Vec<f64> {
+    rows.iter().map(|&r| values[r as usize]).collect()
+}
+
+fn gather_u(values: &[u32], rows: &[u32]) -> Vec<u32> {
+    rows.iter().map(|&r| values[r as usize]).collect()
+}
+
+/// Splits must agree exactly; when both exist the gain must agree *bitwise*.
+fn assert_same_split(
+    legacy: &Option<ColumnSplit>,
+    sorted: &Option<ColumnSplit>,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(legacy, sorted);
+    if let (Some(l), Some(s)) = (legacy, sorted) {
+        prop_assert_eq!(
+            l.gain.to_bits(),
+            s.gain.to_bits(),
+            "gain must match bitwise"
+        );
+    }
+    Ok(())
+}
+
+fn numeric_values(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    tscheck::collection::vec(prop_oneof![5 => -40.0..40.0f64, 1 => Just(f64::NAN)], n)
+}
+
+fn cat_codes(n: usize) -> impl Strategy<Value = Vec<u32>> {
+    tscheck::collection::vec(prop_oneof![5 => 0u32..NV, 1 => Just(MISSING_CAT)], n)
+}
+
+fn class_labels(n: usize) -> impl Strategy<Value = Vec<u32>> {
+    tscheck::collection::vec(0u32..K, n)
+}
+
+fn real_labels(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    tscheck::collection::vec(-10.0..10.0f64, n)
+}
+
+fn keep_mask(n: usize) -> impl Strategy<Value = Vec<bool>> {
+    tscheck::collection::vec(any::<bool>(), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Numeric classification over random subsets: both explicit engine
+    /// paths equal the legacy gather kernel, for Gini and entropy.
+    #[test]
+    fn numeric_class_subset_equivalence(
+        (values, ys, keep) in (2usize..120).prop_flat_map(|n| {
+            (numeric_values(n), class_labels(n), keep_mask(n))
+        })
+    ) {
+        let rows = ascending_rows(&keep);
+        let index = SortedColumn::from_numeric(&values);
+        let legacy_view_data = gather_u(&ys, &rows);
+        let legacy = best_numeric_split(
+            &gather_f(&values, &rows),
+            LabelView::Class(&legacy_view_data, K),
+            Impurity::Gini,
+        );
+        for imp in [Impurity::Gini, Impurity::Entropy] {
+            let gathered_vals = gather_f(&values, &rows);
+            let legacy = if imp == Impurity::Gini {
+                legacy.clone()
+            } else {
+                best_numeric_split(&gathered_vals, LabelView::Class(&legacy_view_data, K), imp)
+            };
+            for path in [NumericPath::SortedScan, NumericPath::GatherSort] {
+                let sorted = with_node_mask(values.len(), &rows, |mask| {
+                    best_numeric_split_at_path(
+                        path,
+                        &values,
+                        &index,
+                        NodeRows::Subset(&rows),
+                        Some(mask),
+                        LabelView::Class(&ys, K),
+                        imp,
+                    )
+                });
+                assert_same_split(&legacy, &sorted)?;
+            }
+        }
+    }
+
+    /// Numeric regression over random subsets, including the whole-column
+    /// `NodeRows::All` fast path.
+    #[test]
+    fn numeric_reg_subset_and_full_equivalence(
+        (values, ys, keep) in (2usize..120).prop_flat_map(|n| {
+            (numeric_values(n), real_labels(n), keep_mask(n))
+        })
+    ) {
+        let index = SortedColumn::from_numeric(&values);
+        let rows = ascending_rows(&keep);
+        let gys = gather_f(&ys, &rows);
+        let legacy = best_numeric_split(
+            &gather_f(&values, &rows),
+            LabelView::Real(&gys),
+            Impurity::Variance,
+        );
+        for path in [NumericPath::SortedScan, NumericPath::GatherSort] {
+            let sorted = with_node_mask(values.len(), &rows, |mask| {
+                best_numeric_split_at_path(
+                    path,
+                    &values,
+                    &index,
+                    NodeRows::Subset(&rows),
+                    Some(mask),
+                    LabelView::Real(&ys),
+                    Impurity::Variance,
+                )
+            });
+            assert_same_split(&legacy, &sorted)?;
+        }
+        // Full column: All(n) against the legacy kernel on the raw values.
+        let full_legacy = best_numeric_split(&values, LabelView::Real(&ys), Impurity::Variance);
+        for path in [NumericPath::SortedScan, NumericPath::GatherSort] {
+            let full_sorted = best_numeric_split_at_path(
+                path,
+                &values,
+                &index,
+                NodeRows::All(values.len()),
+                None,
+                LabelView::Real(&ys),
+                Impurity::Variance,
+            );
+            assert_same_split(&full_legacy, &full_sorted)?;
+        }
+    }
+
+    /// One-vs-rest categorical classification over random subsets.
+    #[test]
+    fn cat_class_subset_equivalence(
+        (codes, ys, keep) in (2usize..120).prop_flat_map(|n| {
+            (cat_codes(n), class_labels(n), keep_mask(n))
+        })
+    ) {
+        let rows = ascending_rows(&keep);
+        let gys = gather_u(&ys, &rows);
+        for imp in [Impurity::Gini, Impurity::Entropy] {
+            let legacy = best_cat_split_classification(
+                &gather_u(&codes, &rows),
+                NV,
+                &gys,
+                K,
+                imp,
+            );
+            let sorted =
+                best_cat_split_classification_at(&codes, NV, NodeRows::Subset(&rows), &ys, K, imp);
+            assert_same_split(&legacy, &sorted)?;
+        }
+    }
+
+    /// Breiman categorical regression over random subsets: identical
+    /// accumulation order makes even the float-sorted group means agree
+    /// bitwise.
+    #[test]
+    fn cat_reg_subset_equivalence(
+        (codes, ys, keep) in (2usize..120).prop_flat_map(|n| {
+            (cat_codes(n), real_labels(n), keep_mask(n))
+        })
+    ) {
+        let rows = ascending_rows(&keep);
+        let gys = gather_f(&ys, &rows);
+        let legacy = best_cat_split_regression(&gather_u(&codes, &rows), NV, &gys);
+        let sorted = best_cat_split_regression_at(&codes, NV, NodeRows::Subset(&rows), &ys);
+        assert_same_split(&legacy, &sorted)?;
+    }
+
+    /// The pooled distinct-category scan equals gather + sort + dedup.
+    #[test]
+    fn distinct_categories_subset_equivalence(
+        (codes, keep) in (1usize..120).prop_flat_map(|n| (cat_codes(n), keep_mask(n)))
+    ) {
+        let rows = ascending_rows(&keep);
+        let legacy = distinct_categories(&gather_u(&codes, &rows));
+        let sorted = distinct_categories_at(&codes, NodeRows::Subset(&rows), NV);
+        prop_assert_eq!(legacy, sorted);
+    }
+}
+
+/// Runs every numeric kernel variant over one column/labels/subset triple
+/// and asserts all agree with the legacy gathered kernel.
+fn check_numeric_class(values: &[f64], ys: &[u32], rows: &[u32], imp: Impurity) {
+    let index = SortedColumn::from_numeric(values);
+    let gys: Vec<u32> = rows.iter().map(|&r| ys[r as usize]).collect();
+    let legacy = best_numeric_split(&gather_f(values, rows), LabelView::Class(&gys, K), imp);
+    for path in [
+        NumericPath::Auto,
+        NumericPath::SortedScan,
+        NumericPath::GatherSort,
+    ] {
+        let sorted = with_node_mask(values.len(), rows, |mask| {
+            best_numeric_split_at_path(
+                path,
+                values,
+                &index,
+                NodeRows::Subset(rows),
+                Some(mask),
+                LabelView::Class(ys, K),
+                imp,
+            )
+        });
+        assert_eq!(legacy, sorted, "path {path:?} diverged");
+    }
+}
+
+#[test]
+fn ties_and_duplicates_pick_the_same_boundary() {
+    // Heavy duplicates force tie-breaks on both the value ordering (by row
+    // id) and the boundary midpoint; all paths must land on the same split.
+    let values = [2.0, 1.0, 2.0, 1.0, 2.0, 1.0, 3.0, 3.0, 2.0, 1.0];
+    let ys = [0, 1, 0, 1, 0, 1, 2, 2, 0, 1];
+    let rows: Vec<u32> = (0..values.len() as u32).collect();
+    check_numeric_class(&values, &ys, &rows, Impurity::Gini);
+    check_numeric_class(&values, &ys, &rows[2..8], Impurity::Entropy);
+}
+
+#[test]
+fn nan_rows_route_identically() {
+    // Missing rows are absent from the presorted order but must still be
+    // routed (majority side) into the chosen split's child stats.
+    let values = [1.0, f64::NAN, 3.0, f64::NAN, 5.0, 2.0, f64::NAN, 4.0];
+    let ys = [0, 1, 2, 1, 2, 0, 0, 2];
+    let rows: Vec<u32> = (0..values.len() as u32).collect();
+    check_numeric_class(&values, &ys, &rows, Impurity::Gini);
+    check_numeric_class(&values, &ys, &[1, 3, 6], Impurity::Gini); // all-missing subset
+}
+
+#[test]
+fn single_distinct_value_yields_no_split() {
+    let values = [7.0; 6];
+    let ys = [0, 1, 0, 1, 0, 1];
+    check_numeric_class(&values, &ys, &[0, 2, 3, 5], Impurity::Gini);
+    let index = SortedColumn::from_numeric(&values);
+    assert_eq!(
+        best_numeric_split_at_path(
+            NumericPath::SortedScan,
+            &values,
+            &index,
+            NodeRows::All(6),
+            None,
+            LabelView::Class(&ys, K),
+            Impurity::Gini,
+        ),
+        None
+    );
+}
+
+#[test]
+fn all_missing_column_yields_no_split() {
+    let values = [f64::NAN; 5];
+    let ys = [0, 1, 2, 0, 1];
+    let rows: Vec<u32> = (0..5).collect();
+    check_numeric_class(&values, &ys, &rows, Impurity::Gini);
+    let codes = [MISSING_CAT; 5];
+    assert_eq!(
+        best_cat_split_classification_at(
+            &codes,
+            NV,
+            NodeRows::Subset(&rows),
+            &ys,
+            K,
+            Impurity::Gini
+        ),
+        None
+    );
+    assert_eq!(
+        distinct_categories_at(&codes, NodeRows::Subset(&rows), NV),
+        Vec::<u32>::new()
+    );
+}
+
+#[test]
+fn empty_subset_yields_no_split() {
+    let values = [1.0, 2.0, 3.0];
+    let ys = [0u32, 1, 2];
+    check_numeric_class(&values, &ys, &[], Impurity::Gini);
+    let codes = [0u32, 1, 2];
+    assert_eq!(
+        best_cat_split_classification_at(&codes, NV, NodeRows::Subset(&[]), &ys, K, Impurity::Gini),
+        None
+    );
+    let reals = [1.0, 2.0, 3.0];
+    assert_eq!(
+        best_cat_split_regression_at(&codes, NV, NodeRows::Subset(&[]), &reals),
+        None
+    );
+}

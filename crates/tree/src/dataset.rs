@@ -5,7 +5,7 @@
 //! locally, and assembles this structure (paper §III/IV). The same structure
 //! backs whole-table single-machine training (the fairness experiment).
 
-use ts_datatable::{AttrType, DataTable, Labels, Task, ValuesBuf};
+use ts_datatable::{AttrType, DataTable, Labels, SortedColumn, Task, ValuesBuf};
 
 /// A gathered, self-contained slice of the training data: a set of columns
 /// (by global attribute id) over one common row set, plus labels.
@@ -17,6 +17,9 @@ pub struct LocalDataset {
     pub types: Vec<AttrType>,
     /// Gathered values of each local column, all aligned on the same rows.
     pub columns: Vec<ValuesBuf>,
+    /// Presorted index of each local column, built once at construction and
+    /// shared by every node of the subtree (see `ts_splits::sorted`).
+    pub sorted: Vec<SortedColumn>,
     /// Gathered labels, aligned with the columns.
     pub labels: Labels,
     /// The prediction task.
@@ -42,10 +45,12 @@ impl LocalDataset {
         for (i, c) in columns.iter().enumerate() {
             assert_eq!(c.len(), n, "column {i} not aligned with labels");
         }
+        let sorted = columns.iter().map(SortedColumn::build_buf).collect();
         LocalDataset {
             attrs,
             types,
             columns,
+            sorted,
             labels,
             task,
         }

@@ -10,14 +10,19 @@
 
 use crate::dataset::LocalDataset;
 use crate::model::{DecisionTreeModel, Node, Prediction, SplitInfo};
-use ts_datatable::{Task, ValuesBuf};
-use ts_splits::exact::{best_split_for_column, distinct_categories, ColumnSplit};
+use ts_datatable::{AttrType, Task};
+use ts_splits::condition::partition_rows_buf;
+use ts_splits::exact::ColumnSplit;
 use ts_splits::impurity::{Impurity, LabelView, NodeStats};
-use ts_splits::partition_positions;
 use ts_splits::random::random_split_for_column;
+use ts_splits::sorted::{best_split_at, distinct_categories_at, ColumnRef, NodeRows, RowBitmap};
 use tsrand::rngs::StdRng;
 use tsrand::seq::SliceRandom;
 use tsrand::SeedableRng;
+
+/// Below this node size the candidate-column loop stays sequential even when
+/// `TrainParams::threads > 1` — thread hand-off costs more than the scan.
+const PAR_COLS_MIN_ROWS: usize = 2_048;
 
 /// How splits are chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +48,12 @@ pub struct TrainParams {
     pub tau_leaf: u64,
     /// Split-selection mode.
     pub mode: TrainMode,
+    /// Threads for the candidate-column loop of large exact nodes (`tspar`);
+    /// 1 keeps training single-threaded (the default — subtree-tasks already
+    /// run on dedicated comper threads), 0 means "use the machine". The
+    /// reduction is in column order either way, so the trained tree is
+    /// identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for TrainParams {
@@ -52,6 +63,7 @@ impl Default for TrainParams {
             dmax: 10,
             tau_leaf: 1,
             mode: TrainMode::Exact,
+            threads: 1,
         }
     }
 }
@@ -107,12 +119,15 @@ pub fn train_subtree(
 ) -> DecisionTreeModel {
     assert!(data.n_rows() > 0, "cannot train on an empty dataset");
     let mut rng = StdRng::seed_from_u64(seed);
+    let n_classes = data.task.n_classes().unwrap_or(0);
     let mut builder = Builder {
         data,
         params,
         base_depth,
         nodes: Vec::new(),
         rng: &mut rng,
+        view: LabelView::of(&data.labels, n_classes),
+        mask: RowBitmap::with_rows(data.n_rows()),
     };
     let all: Vec<u32> = (0..data.n_rows() as u32).collect();
     builder.build(all, 0);
@@ -125,6 +140,12 @@ struct Builder<'a> {
     base_depth: u32,
     nodes: Vec<Node>,
     rng: &'a mut StdRng,
+    /// Full-dataset label view; per-node stats are accumulated through it by
+    /// position, which avoids the per-node label gather of the legacy path.
+    view: LabelView<'a>,
+    /// Reusable node-membership mask for the sorted scans — set to the
+    /// node's rows for the span of its column loop, then cleared.
+    mask: RowBitmap,
 }
 
 impl Builder<'_> {
@@ -132,10 +153,8 @@ impl Builder<'_> {
     /// at relative depth `depth`; returns its arena index.
     fn build(&mut self, positions: Vec<u32>, depth: u32) -> usize {
         let n = positions.len() as u64;
-        let labels_sub = self.data.labels.gather(&positions);
-        let n_classes = self.data.task.n_classes().unwrap_or(0);
-        let view = LabelView::of(&labels_sub, n_classes);
-        let stats = NodeStats::from_view(view);
+        let stats =
+            NodeStats::from_view_positions(self.view, positions.iter().map(|&p| p as usize));
         let prediction = prediction_from_stats(&stats);
 
         let abs_depth = self.base_depth.saturating_add(depth);
@@ -145,26 +164,38 @@ impl Builder<'_> {
         let chosen = if must_leaf {
             None
         } else {
-            self.choose_split(&positions, view)
+            self.choose_split(&positions)
         };
 
         let id = self.nodes.len();
-        let Some((col_idx, split, col_sub)) = chosen else {
+        let Some((col_idx, split)) = chosen else {
             self.nodes.push(Node::leaf(prediction, n, depth));
             return id;
         };
 
-        let seen = match &col_sub {
-            ValuesBuf::Categorical(codes) => Some(distinct_categories(codes)),
-            ValuesBuf::Numeric(_) => None,
+        let seen = match self.data.types[col_idx] {
+            AttrType::Categorical { n_values } => {
+                Some(if positions.len() == self.data.n_rows() {
+                    // Root-sized node: the distinct set cached at dataset
+                    // construction is exactly "seen in Dx".
+                    self.data.sorted[col_idx].distinct().to_vec()
+                } else {
+                    let codes = self.data.columns[col_idx]
+                        .as_categorical()
+                        .expect("categorical attribute stores categorical codes");
+                    distinct_categories_at(codes, NodeRows::Subset(&positions), n_values)
+                })
+            }
+            AttrType::Numeric => None,
         };
-        let (l_sub, r_sub) = partition_positions(&col_sub, &split.test, split.missing_left);
-        debug_assert_eq!(l_sub.len() as u64, split.n_left());
-        debug_assert_eq!(r_sub.len() as u64, split.n_right());
-        drop(col_sub);
-        drop(labels_sub);
-        let left_positions: Vec<u32> = l_sub.iter().map(|&p| positions[p as usize]).collect();
-        let right_positions: Vec<u32> = r_sub.iter().map(|&p| positions[p as usize]).collect();
+        let (left_positions, right_positions) = partition_rows_buf(
+            &self.data.columns[col_idx],
+            &positions,
+            &split.test,
+            split.missing_left,
+        );
+        debug_assert_eq!(left_positions.len() as u64, split.n_left());
+        debug_assert_eq!(right_positions.len() as u64, split.n_right());
         drop(positions);
 
         // Reserve the parent slot, then grow children (pre-order arena).
@@ -182,49 +213,72 @@ impl Builder<'_> {
         id
     }
 
-    /// Picks the split for a node; returns `(local column index, split,
-    /// gathered column buffer)` or `None` when no column can split.
-    fn choose_split(
-        &mut self,
-        positions: &[u32],
-        view: LabelView<'_>,
-    ) -> Option<(usize, ColumnSplit, ValuesBuf)> {
+    /// Picks the split for a node; returns `(local column index, split)` or
+    /// `None` when no column can split.
+    fn choose_split(&mut self, positions: &[u32]) -> Option<(usize, ColumnSplit)> {
         match self.params.mode {
             TrainMode::Exact => {
+                let data = self.data;
+                let view = self.view;
+                let imp = self.params.impurity;
+                let whole = positions.len() == data.n_rows();
+                let node = if whole {
+                    NodeRows::All(data.n_rows())
+                } else {
+                    self.mask.insert_all(positions);
+                    NodeRows::Subset(positions)
+                };
+                let mask = if whole { None } else { Some(&self.mask) };
+
+                let eval = |i: usize| {
+                    let col = ColumnRef::of_buf(&data.columns[i], &data.sorted[i], data.types[i]);
+                    best_split_at(col, node, mask, view, imp)
+                };
+                let threads = self.params.threads;
+                let results: Vec<Option<ColumnSplit>> =
+                    if threads != 1 && data.n_cols() > 1 && positions.len() >= PAR_COLS_MIN_ROWS {
+                        tspar::par_map_range(data.n_cols(), threads, eval)
+                    } else {
+                        (0..data.n_cols()).map(eval).collect()
+                    };
+                if !whole {
+                    self.mask.remove_all(positions);
+                }
+
+                // Fold in column order — the same strict total order as the
+                // sequential loop, regardless of which thread found what.
                 let mut best: Option<(usize, ColumnSplit)> = None;
-                for (i, col) in self.data.columns.iter().enumerate() {
-                    let sub = col.gather_positions(positions);
-                    if let Some(s) =
-                        best_split_for_column(&sub, self.data.types[i], view, self.params.impurity)
-                    {
-                        let wins = match &best {
-                            None => true,
-                            Some((bi, bs)) => ColumnSplit::challenger_wins(
-                                &s,
-                                self.data.attrs[i],
-                                bs,
-                                self.data.attrs[*bi],
-                            ),
-                        };
-                        if wins {
-                            best = Some((i, s));
-                        }
+                for (i, s) in results.into_iter().enumerate() {
+                    let Some(s) = s else { continue };
+                    let wins = match &best {
+                        None => true,
+                        Some((bi, bs)) => ColumnSplit::challenger_wins(
+                            &s,
+                            self.data.attrs[i],
+                            bs,
+                            self.data.attrs[*bi],
+                        ),
+                    };
+                    if wins {
+                        best = Some((i, s));
                     }
                 }
-                best.map(|(i, s)| {
-                    let sub = self.data.columns[i].gather_positions(positions);
-                    (i, s, sub)
-                })
+                best
             }
             TrainMode::ExtraTrees => {
                 // Resample columns in random order until one can split; a
-                // column with a constant value in Dx cannot.
+                // column with a constant value in Dx cannot. Random splits
+                // work on gathered buffers (their thresholds come from the
+                // rng, not from a sorted order).
+                let labels_sub = self.data.labels.gather(positions);
+                let n_classes = self.data.task.n_classes().unwrap_or(0);
+                let view = LabelView::of(&labels_sub, n_classes);
                 let mut order: Vec<usize> = (0..self.data.n_cols()).collect();
                 order.shuffle(self.rng);
                 for i in order {
                     let sub = self.data.columns[i].gather_positions(positions);
                     if let Some(s) = random_split_for_column(&sub, view, self.rng) {
-                        return Some((i, s, sub));
+                        return Some((i, s));
                     }
                 }
                 None
@@ -318,6 +372,18 @@ mod tests {
             if !n.is_leaf() {
                 assert!(n.n_rows > 100, "internal node with {} rows", n.n_rows);
             }
+        }
+    }
+
+    #[test]
+    fn parallel_column_loop_matches_sequential() {
+        let t = learnable_table(4_000, 11);
+        let c: Vec<usize> = (0..t.n_attrs()).collect();
+        let base = TrainParams::for_task(t.schema().task);
+        let seq = train_tree(&t, &c, &base, 0);
+        for threads in [0, 2, 4] {
+            let par = train_tree(&t, &c, &TrainParams { threads, ..base }, 0);
+            assert_eq!(seq, par, "threads={threads} must not change the tree");
         }
     }
 
