@@ -1,0 +1,282 @@
+//! Micro-benchmark of the serving paths: the per-row reference traversal
+//! vs the compiled batched engine (`ts-serve`), single-threaded and with
+//! the block fan-out across all cores.
+//!
+//! Timings are recorded into `BENCH_predict.json` (see
+//! `ts_bench::BenchReport`), which CI uploads next to `BENCH_splits.json`.
+//! The headline metric is `aggregate/speedup_1t`: single-thread
+//! throughput serving all three model archetypes (deep tree, forest,
+//! boosted ensemble) back-to-back, compiled over reference — the number
+//! the serving layer exists to improve. Per-case `*/speedup_1t` ratios
+//! and the worst case are recorded alongside; the deep single tree is
+//! the adversarial case (longest serial chains, no fill amortisation
+//! across trees) and runs well below the ensemble cases.
+
+use std::hint::black_box;
+use std::time::Instant;
+use treeserver::{GbtModel, GbtObjective};
+use ts_bench::{env_scale, print_header, BenchReport};
+use ts_datatable::synth::{generate, SynthSpec};
+use ts_datatable::{DataTable, Task};
+use ts_serve::{CompiledModel, ServeOptions};
+use ts_tree::{train_tree, DecisionTreeModel, ForestModel, TrainParams};
+
+fn time_us(mut f: impl FnMut()) -> f64 {
+    let mut iters = 1u32;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if t0.elapsed().as_millis() >= 50 || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e6 / iters as f64);
+    }
+    best
+}
+
+fn report(name: &str, per_iter_us: f64) {
+    println!("{name:<48} {per_iter_us:>12.1} us/iter");
+}
+
+/// Reports reference vs compiled (1 thread and all threads) and records
+/// all three plus the per-case single-thread speedup.
+#[allow(clippy::too_many_arguments)]
+fn report_trio(
+    out: &mut BenchReport,
+    base: &str,
+    rows: usize,
+    trees: usize,
+    reference_us: f64,
+    compiled_1t_us: f64,
+    compiled_mt_us: f64,
+) -> f64 {
+    let speedup = reference_us / compiled_1t_us;
+    report(&format!("{base}/reference"), reference_us);
+    report(&format!("{base}/compiled_1t"), compiled_1t_us);
+    report(&format!("{base}/compiled_mt"), compiled_mt_us);
+    println!("{:<48} {speedup:>11.2}x", format!("{base}/speedup_1t"));
+    out.push(
+        &format!("{base}/reference"),
+        reference_us * 1e-6,
+        rows,
+        trees,
+        None,
+    );
+    out.push(
+        &format!("{base}/compiled_1t"),
+        compiled_1t_us * 1e-6,
+        rows,
+        trees,
+        None,
+    );
+    out.push(
+        &format!("{base}/compiled_mt"),
+        compiled_mt_us * 1e-6,
+        rows,
+        trees,
+        None,
+    );
+    out.push(
+        &format!("{base}/speedup_1t"),
+        0.0,
+        rows,
+        trees,
+        Some(speedup),
+    );
+    speedup
+}
+
+fn class_table(rows: usize, seed: u64) -> DataTable {
+    generate(&SynthSpec {
+        rows,
+        numeric: 8,
+        categorical: 2,
+        cat_cardinality: 6,
+        task: Task::Classification { n_classes: 3 },
+        missing_rate: 0.02,
+        noise: 0.1,
+        concept_depth: 6,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn reg_table(rows: usize, seed: u64) -> DataTable {
+    generate(&SynthSpec {
+        rows,
+        numeric: 8,
+        categorical: 2,
+        cat_cardinality: 6,
+        task: Task::Regression,
+        missing_rate: 0.02,
+        noise: 0.1,
+        concept_depth: 6,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn main() {
+    print_header(
+        "Micro: batched prediction",
+        "per-row reference traversal vs the ts-serve compiled engine",
+    );
+    let mut out = BenchReport::new("predict");
+    let rows = ((20_000.0 * env_scale()) as usize).max(2_000);
+    let one_t = ServeOptions::default().with_threads(1);
+    let all_t = ServeOptions::default().with_threads(0);
+    let mut worst = f64::INFINITY;
+    let (mut ref_total_us, mut c1_total_us) = (0.0, 0.0);
+
+    // Single deep classification tree.
+    {
+        let t = class_table(rows, 1);
+        let model = train_tree(
+            &t,
+            &(0..t.n_attrs()).collect::<Vec<_>>(),
+            &TrainParams {
+                dmax: 12,
+                ..TrainParams::for_task(t.schema().task)
+            },
+            1,
+        );
+        let compiled_1t = CompiledModel::from_tree(&model).with_options(one_t);
+        let compiled_mt = CompiledModel::from_tree(&model).with_options(all_t);
+        let reference_us = time_us(|| {
+            black_box(model.predict_labels_reference(black_box(&t)));
+        });
+        let c1_us = time_us(|| {
+            black_box(compiled_1t.predict_labels(black_box(&t)));
+        });
+        let cm_us = time_us(|| {
+            black_box(compiled_mt.predict_labels(black_box(&t)));
+        });
+        ref_total_us += reference_us;
+        c1_total_us += c1_us;
+        worst = worst.min(report_trio(
+            &mut out,
+            &format!("tree_labels/{rows}"),
+            rows,
+            1,
+            reference_us,
+            c1_us,
+            cm_us,
+        ));
+    }
+
+    // 10-tree classification forest (PMF averaging).
+    {
+        let t = class_table(rows, 2);
+        let n_trees = 10;
+        let trees: Vec<DecisionTreeModel> = (0..n_trees)
+            .map(|i| {
+                train_tree(
+                    &t,
+                    &(0..t.n_attrs()).collect::<Vec<_>>(),
+                    &TrainParams {
+                        dmax: 8,
+                        ..TrainParams::for_task(t.schema().task)
+                    },
+                    i as u64,
+                )
+            })
+            .collect();
+        let forest = ForestModel::new(trees, t.schema().task);
+        let compiled_1t = CompiledModel::from_forest(&forest).with_options(one_t);
+        let compiled_mt = CompiledModel::from_forest(&forest).with_options(all_t);
+        let reference_us = time_us(|| {
+            black_box(forest.predict_labels_reference(black_box(&t)));
+        });
+        let c1_us = time_us(|| {
+            black_box(compiled_1t.predict_labels(black_box(&t)));
+        });
+        let cm_us = time_us(|| {
+            black_box(compiled_mt.predict_labels(black_box(&t)));
+        });
+        ref_total_us += reference_us;
+        c1_total_us += c1_us;
+        worst = worst.min(report_trio(
+            &mut out,
+            &format!("forest{n_trees}_labels/{rows}"),
+            rows,
+            n_trees,
+            reference_us,
+            c1_us,
+            cm_us,
+        ));
+    }
+
+    // 30-tree boosted regression model (margin accumulation).
+    {
+        let t = reg_table(rows, 3);
+        let n_trees = 30;
+        let trees: Vec<DecisionTreeModel> = (0..n_trees)
+            .map(|i| {
+                train_tree(
+                    &t,
+                    &(0..t.n_attrs()).collect::<Vec<_>>(),
+                    &TrainParams {
+                        dmax: 5,
+                        ..TrainParams::for_task(Task::Regression)
+                    },
+                    i as u64,
+                )
+            })
+            .collect();
+        let gbt = GbtModel {
+            trees,
+            base: 0.5,
+            eta: 0.1,
+            objective: GbtObjective::SquaredError,
+        };
+        let compiled_1t = CompiledModel::from_gbt(&gbt).with_options(one_t);
+        let compiled_mt = CompiledModel::from_gbt(&gbt).with_options(all_t);
+        let reference_us = time_us(|| {
+            black_box(gbt.predict_margins_reference(black_box(&t)));
+        });
+        let c1_us = time_us(|| {
+            black_box(compiled_1t.predict_margins(black_box(&t)));
+        });
+        let cm_us = time_us(|| {
+            black_box(compiled_mt.predict_margins(black_box(&t)));
+        });
+        ref_total_us += reference_us;
+        c1_total_us += c1_us;
+        worst = worst.min(report_trio(
+            &mut out,
+            &format!("gbt{n_trees}_margins/{rows}"),
+            rows,
+            n_trees,
+            reference_us,
+            c1_us,
+            cm_us,
+        ));
+    }
+
+    // Headline: the three archetypes served back-to-back. The aggregate
+    // is what total serving throughput improves by; the worst case keeps
+    // the adversarial deep-tree number visible rather than hidden in an
+    // average.
+    let aggregate = ref_total_us / c1_total_us;
+    println!("aggregate single-thread speedup (all cases back-to-back): {aggregate:.2}x");
+    println!("worst per-case single-thread speedup: {worst:.2}x");
+    out.push("aggregate/speedup_1t", 0.0, rows, 41, Some(aggregate));
+    out.push(
+        "aggregate/worst_case_speedup_1t",
+        0.0,
+        rows,
+        41,
+        Some(worst),
+    );
+    out.write();
+}

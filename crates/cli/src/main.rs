@@ -59,7 +59,8 @@ usage:
                         [--trace-out FILE] [--metrics-json FILE]
                         [--quiet] [--verbose]
   treeserver predict    --model FILE --csv FILE --target COL --task class|reg
-                        [--out FILE]
+                        [--out FILE] [--threads N] [--block-rows N]
+                        [--reference] [--serve-metrics FILE]
   treeserver importance --model FILE [--top K]
   treeserver show       --model FILE [--tree N]
 
@@ -80,10 +81,18 @@ observability (train):
   --metrics-json FILE   write the metrics registry (counters + histograms)
                         as JSON alongside the cluster report
   --quiet               suppress all non-error output
-  --verbose             also print event/metric totals after training";
+  --verbose             also print event/metric totals after training
+
+serving (predict):
+  --threads N           threads for the compiled batch evaluator (0 = all
+                        cores; default 0)
+  --block-rows N        rows per evaluation block (default 4096)
+  --reference           score with the per-row reference traversal instead
+                        of the compiled engine (bit-identical, much slower)
+  --serve-metrics FILE  write serving counters/latency histograms as JSON";
 
 /// Options that take no value.
-const FLAGS: &[&str] = &["quiet", "verbose"];
+const FLAGS: &[&str] = &["quiet", "verbose", "reference"];
 
 /// Parsed `--key value` options (plus valueless flags).
 struct Opts(HashMap<String, String>);
@@ -345,10 +354,25 @@ fn cmd_predict(opts: &Opts) -> Result<(), String> {
     )
     .map_err(|e| format!("parsing {model_path}: {e}"))?;
     let table = load_table(opts)?;
+    let reference = opts.flag("reference");
 
+    let stats = std::sync::Arc::new(ts_serve::ServeStats::new());
+    let serve_opts = ts_serve::ServeOptions::default()
+        .with_threads(opts.num("threads", 0usize)?)
+        .with_block_rows(opts.num("block-rows", 4096usize)?.max(1));
+    let compiled = model
+        .compile()
+        .with_options(serve_opts)
+        .with_stats(std::sync::Arc::clone(&stats));
+
+    let start = std::time::Instant::now();
     let lines: Vec<String> = match table.schema().task {
         Task::Classification { .. } => {
-            let pred = model.predict_labels(&table)?;
+            let pred = if reference {
+                model.predict_labels_reference(&table)?
+            } else {
+                compiled.predict_labels(&table)
+            };
             let acc = accuracy(&pred, table.labels().as_class().unwrap());
             eprintln!(
                 "accuracy against the CSV's target column: {:.2}%",
@@ -357,12 +381,27 @@ fn cmd_predict(opts: &Opts) -> Result<(), String> {
             pred.into_iter().map(|p| p.to_string()).collect()
         }
         Task::Regression => {
-            let pred = model.predict_values(&table)?;
+            let pred = if reference {
+                model.predict_values_reference(&table)?
+            } else {
+                compiled.predict_values(&table)
+            };
             let r = rmse(&pred, table.labels().as_real().unwrap());
             eprintln!("RMSE against the CSV's target column: {r:.4}");
             pred.into_iter().map(|p| p.to_string()).collect()
         }
     };
+    let elapsed = start.elapsed();
+    let rows = table.n_rows();
+    let path_name = if reference { "reference" } else { "compiled" };
+    eprintln!(
+        "{rows} rows scored in {elapsed:.2?} on the {path_name} path ({:.0} rows/s)",
+        rows as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    if let Some(path) = opts.get("serve-metrics") {
+        std::fs::write(path, stats.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("serving metrics written to {path}");
+    }
     match opts.get("out") {
         Some(path) => {
             std::fs::write(path, format!("prediction\n{}\n", lines.join("\n")))

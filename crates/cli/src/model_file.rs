@@ -49,7 +49,16 @@ impl ModelFile {
         }
     }
 
-    /// Class predictions over a table.
+    /// Compiles the model for batched serving (see `ts-serve`).
+    pub fn compile(&self) -> ts_serve::CompiledModel {
+        match self {
+            ModelFile::Tree(m) => ts_serve::CompiledModel::from_tree(m),
+            ModelFile::Forest(m) => ts_serve::CompiledModel::from_forest(m),
+            ModelFile::Gbt(m) => ts_serve::CompiledModel::from_gbt(m),
+        }
+    }
+
+    /// Class predictions over a table (compiled batched path).
     pub fn predict_labels(&self, table: &DataTable) -> Result<Vec<u32>, String> {
         match self {
             ModelFile::Tree(m) => Ok(m.predict_labels(table)),
@@ -58,12 +67,34 @@ impl ModelFile {
         }
     }
 
-    /// Value predictions over a table.
+    /// Value predictions over a table (compiled batched path).
     pub fn predict_values(&self, table: &DataTable) -> Result<Vec<f64>, String> {
         match self {
             ModelFile::Tree(m) => Ok(m.predict_values(table)),
             ModelFile::Forest(m) => Ok(m.predict_values(table)),
             ModelFile::Gbt(m) => Ok(m.predict_values(table)),
+        }
+    }
+
+    /// Class predictions on the per-row reference traversal (`--reference`).
+    pub fn predict_labels_reference(&self, table: &DataTable) -> Result<Vec<u32>, String> {
+        match self {
+            ModelFile::Tree(m) => Ok(m.predict_labels_reference(table)),
+            ModelFile::Forest(m) => Ok(m.predict_labels_reference(table)),
+            ModelFile::Gbt(m) => Ok(m
+                .predict_margins_reference(table)
+                .into_iter()
+                .map(|v| u32::from(v > 0.0))
+                .collect()),
+        }
+    }
+
+    /// Value predictions on the per-row reference traversal (`--reference`).
+    pub fn predict_values_reference(&self, table: &DataTable) -> Result<Vec<f64>, String> {
+        match self {
+            ModelFile::Tree(m) => Ok(m.predict_values_reference(table)),
+            ModelFile::Forest(m) => Ok(m.predict_values_reference(table)),
+            ModelFile::Gbt(m) => Ok(m.predict_margins_reference(table)),
         }
     }
 
@@ -121,6 +152,27 @@ mod tests {
         (m, t)
     }
 
+    fn sample_gbt() -> (treeserver::GbtModel, DataTable) {
+        let t = generate(&SynthSpec {
+            rows: 500,
+            numeric: 3,
+            task: ts_datatable::Task::Regression,
+            seed: 5,
+            ..Default::default()
+        });
+        let params = TrainParams::for_task(ts_datatable::Task::Regression);
+        let trees: Vec<_> = (0..3)
+            .map(|i| train_tree(&t, &[0, 1, 2], &params, i as u64))
+            .collect();
+        let gbt = treeserver::GbtModel {
+            trees,
+            base: 0.25,
+            eta: 0.1,
+            objective: treeserver::GbtObjective::SquaredError,
+        };
+        (gbt, t)
+    }
+
     #[test]
     fn envelope_roundtrips_every_kind() {
         let (tree, table) = sample_tree();
@@ -131,6 +183,44 @@ mod tests {
                 parsed.predict_labels(&table).unwrap(),
                 mf.predict_labels(&table).unwrap()
             );
+        }
+        let (gbt, reg_table) = sample_gbt();
+        let mf = ModelFile::Gbt(gbt);
+        let parsed = ModelFile::from_json(&mf.to_json()).unwrap();
+        assert_eq!(
+            parsed.predict_values(&reg_table).unwrap(),
+            mf.predict_values(&reg_table).unwrap()
+        );
+    }
+
+    /// Train → save → load → compile must reproduce the in-memory model's
+    /// predictions bit-for-bit: the envelope may not drop or round any
+    /// payload field the evaluator reads.
+    #[test]
+    fn saved_model_compiles_to_identical_predictions() {
+        let (tree, table) = sample_tree();
+        let forest = ForestModel::new(vec![tree.clone(), tree.clone()], table.schema().task);
+        for mf in [ModelFile::Tree(tree), ModelFile::Forest(forest)] {
+            let in_memory = mf.compile().predict_labels(&table);
+            let reloaded = ModelFile::from_json(&mf.to_json()).unwrap();
+            assert_eq!(reloaded.compile().predict_labels(&table), in_memory);
+            assert_eq!(
+                reloaded.predict_labels_reference(&table).unwrap(),
+                in_memory
+            );
+        }
+        let (gbt, reg_table) = sample_gbt();
+        let mf = ModelFile::Gbt(gbt);
+        let in_memory = mf.compile().predict_values(&reg_table);
+        let reloaded = ModelFile::from_json(&mf.to_json()).unwrap();
+        let after: Vec<f64> = reloaded.compile().predict_values(&reg_table);
+        assert_eq!(after.len(), in_memory.len());
+        for (a, b) in after.iter().zip(&in_memory) {
+            assert_eq!(a.to_bits(), b.to_bits(), "round-trip changed a margin");
+        }
+        let reference = reloaded.predict_values_reference(&reg_table).unwrap();
+        for (a, b) in after.iter().zip(&reference) {
+            assert_eq!(a.to_bits(), b.to_bits(), "compiled deviates from reference");
         }
     }
 

@@ -113,8 +113,21 @@ pub struct GbtModel {
 }
 
 impl GbtModel {
-    /// Raw margins for every row.
+    /// Raw margins for every row, on the compiled batched path. Per row the
+    /// accumulation order is tree order, the same sequence of f64 additions
+    /// as the reference loop, so the result is bit-identical to
+    /// [`predict_margins_reference`](Self::predict_margins_reference).
     pub fn predict_margins(&self, table: &DataTable) -> Vec<f64> {
+        let view = ts_tree::TableView::of(table);
+        let mut m = vec![self.base; table.n_rows()];
+        for t in &self.trees {
+            ts_tree::CompiledTree::compile(t).add_margins_table(&view, self.eta, &mut m);
+        }
+        m
+    }
+
+    /// Reference per-row traversal for [`predict_margins`](Self::predict_margins).
+    pub fn predict_margins_reference(&self, table: &DataTable) -> Vec<f64> {
         let mut m = vec![self.base; table.n_rows()];
         for t in &self.trees {
             for (row, margin) in m.iter_mut().enumerate() {
@@ -220,9 +233,13 @@ pub fn train_gbt_on(cluster: &Cluster, table: &DataTable, cfg: GbtConfig) -> Gbt
         // cluster's arena order depends on result arrival, the tree itself
         // does not).
         let tree = cluster.train(tree_spec()).into_tree().canonicalize();
-        for (row, m) in margins.iter_mut().enumerate() {
-            *m += cfg.eta * tree.predict_row(table, row, u32::MAX).value();
-        }
+        // Batched margin update; same per-row addition as the per-row walk,
+        // so gradients (and hence the whole model) are unchanged.
+        ts_tree::CompiledTree::compile(&tree).add_margins_table(
+            &ts_tree::TableView::of(table),
+            cfg.eta,
+            &mut margins,
+        );
         trees.push(tree);
         if round + 1 < cfg.n_rounds {
             // The boosting dependency: the next round's targets exist only
@@ -399,5 +416,28 @@ mod tests {
     #[should_panic(expected = "supports 2 classes")]
     fn gbt_rejects_multiclass() {
         GbtConfig::for_task(Task::Classification { n_classes: 5 });
+    }
+
+    #[test]
+    fn compiled_margins_match_reference_bitwise() {
+        let t = generate(&SynthSpec {
+            rows: 900,
+            numeric: 4,
+            categorical: 2,
+            task: Task::Regression,
+            seed: 29,
+            ..Default::default()
+        });
+        let m = train_gbt(
+            cfg(),
+            &t,
+            GbtConfig::for_task(Task::Regression).with_rounds(6),
+        );
+        let fast = m.predict_margins(&t);
+        let slow = m.predict_margins_reference(&t);
+        assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

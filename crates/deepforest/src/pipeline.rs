@@ -4,6 +4,7 @@ use crate::features::{slide_windows, table_from_rows};
 use std::time::{Duration, Instant};
 use treeserver::{Cluster, ClusterConfig, JobSpec};
 use ts_datatable::synth::ImageSet;
+use ts_serve::{CompiledModel, ServeOptions};
 use ts_tree::ForestModel;
 
 /// Configuration of the deep forest (defaults follow the paper's tuned
@@ -271,9 +272,21 @@ impl DeepForest {
     }
 }
 
+/// Compiles each forest once for serving; the image/forest loops below are
+/// already parallel, so the compiled models score sequentially inside them.
+fn compile_forests(forests: &[ForestModel]) -> Vec<CompiledModel> {
+    forests
+        .iter()
+        .map(|f| {
+            CompiledModel::from_forest(f).with_options(ServeOptions::default().with_threads(1))
+        })
+        .collect()
+}
+
 /// Runs window vectors through the MGS forests and concatenates the PMFs of
 /// all positions into one feature vector per image (row-parallel over
-/// images).
+/// images). The forests are compiled once up front — the per-image tables
+/// are tiny, so re-flattening every call would dominate.
 fn extract_features(
     forests: &[ForestModel],
     window_vecs: &[Vec<f32>],
@@ -286,28 +299,30 @@ fn extract_features(
         window_vecs.len(),
         "uneven window count"
     );
+    let compiled = compile_forests(forests);
     tspar::par_map_range(n_images, 0, |img| {
         let slice = &window_vecs[img * per_image..(img + 1) * per_image];
         let table = table_from_rows(slice, vec![0; slice.len()], n_classes);
         let mut out = Vec::with_capacity(per_image * forests.len() * n_classes as usize);
-        for f in forests {
-            for pmf in f.predict_pmf(&table) {
-                out.extend(pmf);
-            }
+        for f in &compiled {
+            out.extend(f.predict_pmf_flat(&table));
         }
         out
     })
 }
 
-/// One cascade layer's output features: the concatenated per-forest PMFs.
+/// One cascade layer's output features: the concatenated per-forest PMFs,
+/// each forest scored on the compiled batched path.
 fn layer_outputs(forests: &[ForestModel], input: &[Vec<f32>], n_classes: u32) -> Vec<Vec<f32>> {
     let table = table_from_rows(input, vec![0; input.len()], n_classes);
-    let per_forest: Vec<Vec<Vec<f32>>> = tspar::par_map(forests, 0, |_, f| f.predict_pmf(&table));
+    let compiled = compile_forests(forests);
+    let per_forest: Vec<Vec<f32>> = tspar::par_map(&compiled, 0, |_, f| f.predict_pmf_flat(&table));
+    let k = n_classes as usize;
     (0..input.len())
         .map(|r| {
-            let mut out = Vec::with_capacity(forests.len() * n_classes as usize);
+            let mut out = Vec::with_capacity(forests.len() * k);
             for pf in &per_forest {
-                out.extend(&pf[r]);
+                out.extend_from_slice(&pf[r * k..(r + 1) * k]);
             }
             out
         })

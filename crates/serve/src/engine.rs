@@ -1,0 +1,414 @@
+//! The batched serving engine: compiled multi-tree models, block-parallel
+//! evaluation, and optional metrics recording.
+//!
+//! [`CompiledModel`] is the serving-side counterpart to the three training
+//! artefacts — [`DecisionTreeModel`], [`ForestModel`], [`GbtModel`] — with
+//! every member tree flattened once into a [`CompiledTree`]
+//! (structure-of-arrays node layout, contiguous categorical-set pool and
+//! payload buffers; see `ts_tree::compiled` and docs/SERVING.md). Scoring
+//! splits the table into row blocks and fans the blocks out over `tspar`;
+//! rows are independent, and inside each row the per-tree fold order and
+//! arithmetic expressions are exactly the reference traversal's, so the
+//! results are **bit-for-bit identical** to the per-row walk for any block
+//! size and thread count (`tests/compiled_equiv.rs` enforces this).
+
+use std::sync::Arc;
+use std::time::Instant;
+use treeserver::{GbtModel, GbtObjective};
+use ts_datatable::{DataTable, Task};
+use ts_tree::forest::argmax;
+use ts_tree::{CompiledTree, DecisionTreeModel, ForestModel, TableView};
+
+use crate::stats::ServeStats;
+
+/// How the member trees combine into predictions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Combine {
+    /// One tree: its own node payloads are the prediction.
+    Single,
+    /// Bagged forest: average PMFs (classification) or means (regression).
+    Bagged,
+    /// Boosted additive model: `base + η · Σ tree(x)`.
+    Additive {
+        base: f64,
+        eta: f64,
+        objective: GbtObjective,
+    },
+}
+
+/// Serving knobs. The defaults serve whole tables single-threaded in
+/// 4096-row blocks with no depth cap.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Rows per evaluation block. Each block's terminal-node ids should
+    /// stay cache-resident; 1024–8192 is a good range.
+    pub block_rows: usize,
+    /// `tspar` thread count for the block fan-out; `0` = machine
+    /// parallelism, `1` = sequential.
+    pub threads: usize,
+    /// Appendix-D depth cap applied during traversal (`u32::MAX` = none).
+    pub max_depth: u32,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            block_rows: ts_tree::compiled::DEFAULT_BLOCK_ROWS,
+            threads: 1,
+            max_depth: u32::MAX,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Builder: block size.
+    pub fn with_block_rows(mut self, block_rows: usize) -> Self {
+        self.block_rows = block_rows;
+        self
+    }
+
+    /// Builder: thread count (0 = machine parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Builder: depth cap.
+    pub fn with_max_depth(mut self, max_depth: u32) -> Self {
+        self.max_depth = max_depth;
+        self
+    }
+}
+
+/// A model compiled for batched serving.
+pub struct CompiledModel {
+    trees: Vec<CompiledTree>,
+    combine: Combine,
+    task: Task,
+    opts: ServeOptions,
+    stats: Option<Arc<ServeStats>>,
+}
+
+impl CompiledModel {
+    /// Compiles a single decision tree.
+    pub fn from_tree(model: &DecisionTreeModel) -> CompiledModel {
+        CompiledModel {
+            trees: vec![CompiledTree::compile(model)],
+            combine: Combine::Single,
+            task: model.task,
+            opts: ServeOptions::default(),
+            stats: None,
+        }
+    }
+
+    /// Compiles every member of a bagged forest.
+    pub fn from_forest(model: &ForestModel) -> CompiledModel {
+        CompiledModel {
+            trees: model.trees.iter().map(CompiledTree::compile).collect(),
+            combine: Combine::Bagged,
+            task: model.task,
+            opts: ServeOptions::default(),
+            stats: None,
+        }
+    }
+
+    /// Compiles a boosted additive model.
+    pub fn from_gbt(model: &GbtModel) -> CompiledModel {
+        CompiledModel {
+            trees: model.trees.iter().map(CompiledTree::compile).collect(),
+            combine: Combine::Additive {
+                base: model.base,
+                eta: model.eta,
+                objective: model.objective,
+            },
+            task: match model.objective {
+                GbtObjective::SquaredError => Task::Regression,
+                GbtObjective::Logistic => Task::Classification { n_classes: 2 },
+            },
+            opts: ServeOptions::default(),
+            stats: None,
+        }
+    }
+
+    /// Builder: serving options.
+    pub fn with_options(mut self, opts: ServeOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Builder: attach a metrics sink; every predict call records a batch.
+    pub fn with_stats(mut self, stats: Arc<ServeStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// The prediction task.
+    pub fn task(&self) -> Task {
+        self.task
+    }
+
+    /// Number of compiled member trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Total compiled nodes across all member trees.
+    pub fn n_nodes(&self) -> usize {
+        self.trees.iter().map(CompiledTree::n_nodes).sum()
+    }
+
+    /// Class labels for every row. Defined for classification trees and
+    /// forests and for logistic boosted models (`margin > 0`).
+    pub fn predict_labels(&self, table: &DataTable) -> Vec<u32> {
+        self.timed(table, |m| match m.combine {
+            Combine::Single => {
+                let tree = &m.trees[0];
+                m.map_blocks(table, 1, |nodes, out| {
+                    for (o, &n) in out.iter_mut().zip(nodes) {
+                        *o = tree.label_of(n);
+                    }
+                })
+            }
+            Combine::Bagged => {
+                let k = m.n_classes();
+                m.pmf_blocks(table).chunks(k.max(1)).map(argmax).collect()
+            }
+            Combine::Additive { objective, .. } => {
+                assert_eq!(
+                    objective,
+                    GbtObjective::Logistic,
+                    "labels from a squared-error boosted model"
+                );
+                m.margin_blocks(table)
+                    .into_iter()
+                    .map(|v| u32::from(v > 0.0))
+                    .collect()
+            }
+        })
+    }
+
+    /// Regression values for every row. Defined for regression trees and
+    /// forests and squared-error boosted models.
+    pub fn predict_values(&self, table: &DataTable) -> Vec<f64> {
+        self.timed(table, |m| match m.combine {
+            Combine::Single => {
+                let tree = &m.trees[0];
+                m.map_blocks(table, 1, |nodes, out| {
+                    for (o, &n) in out.iter_mut().zip(nodes) {
+                        *o = tree.value_of(n);
+                    }
+                })
+            }
+            Combine::Bagged => {
+                if m.trees.is_empty() {
+                    return vec![0.0; table.n_rows()];
+                }
+                let n_trees = m.trees.len() as f64;
+                let mut acc = m.value_sum_blocks(table);
+                for a in &mut acc {
+                    *a /= n_trees;
+                }
+                acc
+            }
+            Combine::Additive { objective, .. } => {
+                assert_eq!(
+                    objective,
+                    GbtObjective::SquaredError,
+                    "values from a logistic boosted model"
+                );
+                m.margin_blocks(table)
+            }
+        })
+    }
+
+    /// Per-row class PMFs, row-major in one flat `n_rows * n_classes`
+    /// buffer. A single tree reports its terminal node's PMF; a forest the
+    /// average over member trees.
+    pub fn predict_pmf_flat(&self, table: &DataTable) -> Vec<f32> {
+        self.timed(table, |m| match m.combine {
+            Combine::Single => {
+                let tree = &m.trees[0];
+                let k = m.n_classes();
+                m.map_blocks(table, k, |nodes, out| {
+                    for (dst, &n) in out.chunks_exact_mut(k).zip(nodes) {
+                        dst.copy_from_slice(tree.pmf_of(n));
+                    }
+                })
+            }
+            Combine::Bagged => m.pmf_blocks(table),
+            Combine::Additive { .. } => panic!("PMFs from a boosted model"),
+        })
+    }
+
+    /// Per-row class PMFs as one `Vec` per row.
+    pub fn predict_pmf(&self, table: &DataTable) -> Vec<Vec<f32>> {
+        let k = self.n_classes();
+        self.predict_pmf_flat(table)
+            .chunks(k.max(1))
+            .map(<[f32]>::to_vec)
+            .collect()
+    }
+
+    /// Raw boosted margins (`base + η · Σ tree(x)`); additive models only.
+    pub fn predict_margins(&self, table: &DataTable) -> Vec<f64> {
+        assert!(
+            matches!(self.combine, Combine::Additive { .. }),
+            "margins are only defined for boosted models"
+        );
+        self.timed(table, |m| m.margin_blocks(table))
+    }
+
+    /// PMF width; panics on regression models.
+    fn n_classes(&self) -> usize {
+        self.task
+            .n_classes()
+            .expect("PMF prediction requires a classification model") as usize
+    }
+
+    /// Times `f` and records one batch into the attached stats, if any.
+    fn timed<T>(&self, table: &DataTable, f: impl FnOnce(&Self) -> T) -> T {
+        let start = Instant::now();
+        let out = f(self);
+        if let Some(stats) = &self.stats {
+            stats.record_batch(table.n_rows(), start.elapsed());
+        }
+        out
+    }
+
+    /// Resolved worker count (`0` = machine parallelism, like `tspar`).
+    fn effective_threads(&self) -> usize {
+        if self.opts.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.opts.threads
+        }
+    }
+
+    /// Fans row blocks out over `tspar`, writing each block's results
+    /// straight into one preallocated `width`-per-row output buffer — no
+    /// per-block `Vec`s and no concatenation copy. Each worker owns a
+    /// contiguous span of whole blocks and reuses one [`BlockImage`] and
+    /// one node buffer across them. `f` receives the terminal node ids of
+    /// the block's rows (for `self.trees[0]` — the single-tree path) and
+    /// the block's output slice.
+    fn map_blocks<T: Copy + Default + Send>(
+        &self,
+        table: &DataTable,
+        width: usize,
+        f: impl Fn(&[u32], &mut [T]) + Sync,
+    ) -> Vec<T> {
+        let view = TableView::of(table);
+        let mut out = vec![T::default(); view.n_rows() * width];
+        if out.is_empty() {
+            return out;
+        }
+        let block = self.opts.block_rows.max(1);
+        let n_blocks = view.n_rows().div_ceil(block);
+        let span = n_blocks.div_ceil(self.effective_threads().min(n_blocks)) * block;
+        let mut spans: Vec<&mut [T]> = out.chunks_mut(span * width).collect();
+        let tree = &self.trees[0];
+        tspar::par_for_each_mut(&mut spans, self.opts.threads, |s, chunk| {
+            let mut nodes = vec![0u32; block];
+            let mut img = view.image();
+            let mut first = s * span;
+            for blk in chunk.chunks_mut(block * width) {
+                let len = blk.len() / width;
+                img.fill(first, len);
+                tree.terminal_nodes_into(&img, self.opts.max_depth, &mut nodes[..len]);
+                f(&nodes[..len], blk);
+                first += len;
+            }
+        });
+        drop(spans);
+        out
+    }
+
+    /// Per-block multi-tree fold: for each block, runs every member tree
+    /// over the block's rows and folds into the block's slice of one
+    /// preallocated `width`-per-row accumulator seeded with `init`, in
+    /// tree order — the reference fold order. As in [`Self::map_blocks`],
+    /// each worker walks a span of blocks with reused buffers, and each
+    /// block's image is filled once and walked by every member tree.
+    fn fold_blocks<A: Clone + Send>(
+        &self,
+        table: &DataTable,
+        width: usize,
+        init: A,
+        fold: impl Fn(&CompiledTree, &[u32], &mut [A]) + Sync,
+    ) -> Vec<A> {
+        let view = TableView::of(table);
+        let mut out = vec![init; view.n_rows() * width];
+        if out.is_empty() {
+            return out;
+        }
+        let block = self.opts.block_rows.max(1);
+        let n_blocks = view.n_rows().div_ceil(block);
+        let span = n_blocks.div_ceil(self.effective_threads().min(n_blocks)) * block;
+        let mut spans: Vec<&mut [A]> = out.chunks_mut(span * width).collect();
+        tspar::par_for_each_mut(&mut spans, self.opts.threads, |s, chunk| {
+            let mut nodes = vec![0u32; block];
+            let mut img = view.image();
+            let mut first = s * span;
+            for blk in chunk.chunks_mut(block * width) {
+                let len = blk.len() / width;
+                img.fill(first, len);
+                for tree in &self.trees {
+                    tree.terminal_nodes_into(&img, self.opts.max_depth, &mut nodes[..len]);
+                    fold(tree, &nodes[..len], blk);
+                }
+                first += len;
+            }
+        });
+        drop(spans);
+        out
+    }
+
+    /// Sum of member-tree PMFs per row (row-major, unnormalised).
+    fn pmf_sum_blocks(&self, table: &DataTable) -> Vec<f32> {
+        let k = self.n_classes();
+        self.fold_blocks(table, k, 0f32, |tree, nodes, acc| {
+            for (i, &node) in nodes.iter().enumerate() {
+                for (a, b) in acc[i * k..(i + 1) * k].iter_mut().zip(tree.pmf_of(node)) {
+                    *a += b;
+                }
+            }
+        })
+    }
+
+    /// Averaged forest PMFs, row-major. A zero-tree forest serves the
+    /// uninformed uniform prior, matching `ForestModel::predict_pmf`.
+    fn pmf_blocks(&self, table: &DataTable) -> Vec<f32> {
+        let k = self.n_classes();
+        if self.trees.is_empty() {
+            let p = if k == 0 { 0.0 } else { 1.0 / k as f32 };
+            return vec![p; table.n_rows() * k];
+        }
+        let inv = 1.0 / self.trees.len() as f32;
+        let mut acc = self.pmf_sum_blocks(table);
+        for a in &mut acc {
+            *a *= inv;
+        }
+        acc
+    }
+
+    /// Sum of member-tree values per row.
+    fn value_sum_blocks(&self, table: &DataTable) -> Vec<f64> {
+        self.fold_blocks(table, 1, 0f64, |tree, nodes, acc| {
+            for (i, &node) in nodes.iter().enumerate() {
+                acc[i] += tree.value_of(node);
+            }
+        })
+    }
+
+    /// Boosted margins per row.
+    fn margin_blocks(&self, table: &DataTable) -> Vec<f64> {
+        let Combine::Additive { base, eta, .. } = self.combine else {
+            unreachable!("caller checked the combine kind");
+        };
+        self.fold_blocks(table, 1, base, |tree, nodes, acc| {
+            for (i, &node) in nodes.iter().enumerate() {
+                acc[i] += eta * tree.value_of(node);
+            }
+        })
+    }
+}

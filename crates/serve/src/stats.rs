@@ -1,0 +1,95 @@
+//! Serving-side observability: batch counters and latency histograms.
+//!
+//! A [`ServeStats`] wraps a [`ts_obs::MetricsRegistry`] with the four
+//! serving metrics every [`CompiledModel`](crate::CompiledModel) records
+//! when one is attached:
+//!
+//! - `serve_batches` — number of whole-table predict calls served;
+//! - `serve_rows` — total rows scored;
+//! - `serve_batch_latency_us` — per-call wall latency (µs, log₂ buckets);
+//! - `serve_batch_rows` — per-call batch size (rows, log₂ buckets).
+//!
+//! The registry is shareable (`Arc`) and lock-free on the hot path, so one
+//! `ServeStats` can sit behind many concurrent predict calls.
+
+use std::sync::Arc;
+use std::time::Duration;
+use ts_obs::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
+
+/// Shared serving metrics. Construct once, attach to compiled models with
+/// [`CompiledModel::with_stats`](crate::CompiledModel::with_stats).
+pub struct ServeStats {
+    registry: MetricsRegistry,
+    batches: Arc<Counter>,
+    rows: Arc<Counter>,
+    latency_us: Arc<Histogram>,
+    batch_rows: Arc<Histogram>,
+}
+
+impl ServeStats {
+    /// A fresh registry with the serving metrics registered.
+    pub fn new() -> ServeStats {
+        let registry = MetricsRegistry::new();
+        ServeStats {
+            batches: registry.counter("serve_batches"),
+            rows: registry.counter("serve_rows"),
+            latency_us: registry.histogram("serve_batch_latency_us"),
+            batch_rows: registry.histogram("serve_batch_rows"),
+            registry,
+        }
+    }
+
+    /// Records one whole-table predict call of `rows` rows taking `wall`.
+    pub fn record_batch(&self, rows: usize, wall: Duration) {
+        self.batches.inc();
+        self.rows.add(rows as u64);
+        self.latency_us.observe(wall.as_micros() as u64);
+        self.batch_rows.observe(rows as u64);
+    }
+
+    /// Number of predict calls recorded so far.
+    pub fn batches(&self) -> u64 {
+        self.batches.get()
+    }
+
+    /// Total rows scored so far.
+    pub fn rows(&self) -> u64 {
+        self.rows.get()
+    }
+
+    /// Point-in-time snapshot of all serving metrics.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// The snapshot rendered as JSON (counters + histogram summaries).
+    pub fn to_json(&self) -> String {
+        self.snapshot().to_json()
+    }
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        ServeStats::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots() {
+        let s = ServeStats::new();
+        s.record_batch(100, Duration::from_micros(250));
+        s.record_batch(50, Duration::from_micros(80));
+        assert_eq!(s.batches(), 2);
+        assert_eq!(s.rows(), 150);
+        let snap = s.snapshot();
+        assert_eq!(snap.counter("serve_batches"), 2);
+        assert_eq!(snap.counter("serve_rows"), 150);
+        let h = snap.histogram("serve_batch_rows").expect("registered");
+        assert_eq!(h.count, 2);
+        assert!(s.to_json().contains("serve_batch_latency_us"));
+    }
+}

@@ -1,0 +1,329 @@
+//! Differential property suite: the compiled batched engine is bit-for-bit
+//! identical to the per-row reference traversal.
+//!
+//! Random trees, forests, and boosted models are trained (or hand-built) on
+//! one random table, then evaluated on a *different* random table drawn with
+//! a higher categorical cardinality and a positive missing rate — so the
+//! evaluation rows exercise every Appendix-D stopping rule: depth caps,
+//! missing numeric values (NaN), missing categorical codes, and categorical
+//! codes never seen during training. Equality is asserted on the raw bits
+//! (`to_bits`), not within a tolerance, across block sizes and thread
+//! counts. Replay a failing case with `TS_SEED=<seed>`.
+
+use ts_datatable::synth::{generate, SynthSpec};
+use ts_datatable::{DataTable, Task};
+use ts_serve::{CompiledModel, ServeOptions};
+use ts_tree::{train_tree, DecisionTreeModel, ForestModel, TrainParams};
+use tscheck::prelude::*;
+
+/// Training table + a shifted evaluation table over the same schema. The
+/// evaluation table's categorical columns run over a larger code range
+/// (unseen values) and both carry missing entries.
+fn table_pair(seed: u64, numeric: usize, categorical: usize, task: Task) -> (DataTable, DataTable) {
+    let train = generate(&SynthSpec {
+        rows: 400,
+        numeric,
+        categorical,
+        cat_cardinality: 4,
+        task,
+        missing_rate: 0.05,
+        noise: 0.1,
+        concept_depth: 4,
+        seed,
+        ..Default::default()
+    });
+    let eval = generate(&SynthSpec {
+        rows: 257, // deliberately not a multiple of any block size below
+        numeric,
+        categorical,
+        cat_cardinality: 9, // codes 4..9 are unseen by the trained model
+        task,
+        missing_rate: 0.2,
+        noise: 0.1,
+        concept_depth: 4,
+        seed: seed ^ 0x5EED,
+        ..Default::default()
+    });
+    (train, eval)
+}
+
+/// The block/thread grid every equivalence assertion runs over: block
+/// boundaries inside the table, a 1-row degenerate block, and both the
+/// sequential and fully parallel fan-out.
+const GRID: &[(usize, usize)] = &[(4096, 1), (64, 1), (1, 1), (97, 0)];
+
+fn opts(block_rows: usize, threads: usize) -> ServeOptions {
+    ServeOptions::default()
+        .with_block_rows(block_rows)
+        .with_threads(threads)
+}
+
+fn assert_bits_f32(fast: &[f32], slow: &[f32], what: &str) {
+    assert_eq!(fast.len(), slow.len(), "{what}: length");
+    for (i, (a, b)) in fast.iter().zip(slow).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{what}: row-entry {i}: {a} vs {b}"
+        );
+    }
+}
+
+fn assert_bits_f64(fast: &[f64], slow: &[f64], what: &str) {
+    assert_eq!(fast.len(), slow.len(), "{what}: length");
+    for (i, (a, b)) in fast.iter().zip(slow).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{what}: row {i}: {a} vs {b}");
+    }
+}
+
+fn shape() -> impl Strategy<Value = (u64, usize, usize)> {
+    (0u64..5_000, 1usize..4, 0usize..3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Single classification tree: labels and PMFs match per row, at every
+    /// depth cap, for every block/thread combination.
+    #[test]
+    fn tree_classification_matches_reference((seed, numeric, categorical) in shape()) {
+        let task = Task::Classification { n_classes: 3 };
+        let (train, eval) = table_pair(seed, numeric, categorical, task);
+        let model = train_tree(
+            &train,
+            &(0..train.n_attrs()).collect::<Vec<_>>(),
+            &TrainParams { dmax: 6, ..TrainParams::for_task(task) },
+            seed,
+        );
+        for cap in [0, 1, 3, u32::MAX] {
+            let ref_labels: Vec<u32> = (0..eval.n_rows())
+                .map(|r| model.predict_row(&eval, r, cap).label())
+                .collect();
+            let ref_pmf: Vec<f32> = (0..eval.n_rows())
+                .flat_map(|r| model.predict_row(&eval, r, cap).pmf().to_vec())
+                .collect();
+            for &(block, threads) in GRID {
+                let compiled = CompiledModel::from_tree(&model)
+                    .with_options(opts(block, threads).with_max_depth(cap));
+                prop_assert_eq!(&compiled.predict_labels(&eval), &ref_labels);
+                assert_bits_f32(
+                    &compiled.predict_pmf_flat(&eval),
+                    &ref_pmf,
+                    &format!("tree pmf cap={cap} block={block} threads={threads}"),
+                );
+            }
+        }
+    }
+
+    /// Single regression tree: values match bitwise.
+    #[test]
+    fn tree_regression_matches_reference((seed, numeric, categorical) in shape()) {
+        let (train, eval) = table_pair(seed, numeric, categorical, Task::Regression);
+        let model = train_tree(
+            &train,
+            &(0..train.n_attrs()).collect::<Vec<_>>(),
+            &TrainParams { dmax: 6, ..TrainParams::for_task(Task::Regression) },
+            seed,
+        );
+        let reference = model.predict_values_reference(&eval);
+        for &(block, threads) in GRID {
+            let compiled = CompiledModel::from_tree(&model).with_options(opts(block, threads));
+            assert_bits_f64(
+                &compiled.predict_values(&eval),
+                &reference,
+                &format!("tree values block={block} threads={threads}"),
+            );
+        }
+    }
+
+    /// Bagged classification forest: averaged PMFs and argmax labels match
+    /// the reference fold (same tree order, same f32 accumulation).
+    #[test]
+    fn forest_classification_matches_reference((seed, numeric, categorical) in shape()) {
+        let task = Task::Classification { n_classes: 3 };
+        let (train, eval) = table_pair(seed, numeric, categorical, task);
+        let n_attrs = train.n_attrs();
+        let trees: Vec<DecisionTreeModel> = (0..5)
+            .map(|i| {
+                let cands: Vec<usize> = (0..n_attrs).filter(|a| (a + i) % 2 == 0 || n_attrs == 1).collect();
+                let cands = if cands.is_empty() { vec![i % n_attrs] } else { cands };
+                train_tree(
+                    &train,
+                    &cands,
+                    &TrainParams { dmax: 5, ..TrainParams::for_task(task) },
+                    seed ^ i as u64,
+                )
+            })
+            .collect();
+        let forest = ForestModel::new(trees, task);
+        let ref_pmf: Vec<f32> = forest
+            .predict_pmf_reference(&eval)
+            .into_iter()
+            .flatten()
+            .collect();
+        let ref_labels = forest.predict_labels_reference(&eval);
+        for &(block, threads) in GRID {
+            let compiled = CompiledModel::from_forest(&forest).with_options(opts(block, threads));
+            assert_bits_f32(
+                &compiled.predict_pmf_flat(&eval),
+                &ref_pmf,
+                &format!("forest pmf block={block} threads={threads}"),
+            );
+            prop_assert_eq!(&compiled.predict_labels(&eval), &ref_labels);
+        }
+        // The ForestModel methods themselves ride the compiled path; they
+        // must agree with their own reference variants too.
+        prop_assert_eq!(forest.predict_labels(&eval), ref_labels);
+    }
+
+    /// Bagged regression forest: averaged values match bitwise.
+    #[test]
+    fn forest_regression_matches_reference((seed, numeric, categorical) in shape()) {
+        let (train, eval) = table_pair(seed, numeric, categorical, Task::Regression);
+        let trees: Vec<DecisionTreeModel> = (0..4)
+            .map(|i| {
+                train_tree(
+                    &train,
+                    &(0..train.n_attrs()).collect::<Vec<_>>(),
+                    &TrainParams { dmax: 5, ..TrainParams::for_task(Task::Regression) },
+                    seed ^ (i as u64) << 4,
+                )
+            })
+            .collect();
+        let forest = ForestModel::new(trees, Task::Regression);
+        let reference = forest.predict_values_reference(&eval);
+        for &(block, threads) in GRID {
+            let compiled = CompiledModel::from_forest(&forest).with_options(opts(block, threads));
+            assert_bits_f64(
+                &compiled.predict_values(&eval),
+                &reference,
+                &format!("forest values block={block} threads={threads}"),
+            );
+        }
+        assert_bits_f64(&forest.predict_values(&eval), &reference, "ForestModel::predict_values");
+    }
+
+    /// Boosted additive model: margins (base + η·Σ tree) match bitwise —
+    /// the per-row addition sequence is the reference's tree order.
+    #[test]
+    fn gbt_margins_match_reference((seed, numeric, categorical) in shape()) {
+        let (train, eval) = table_pair(seed, numeric, categorical, Task::Regression);
+        let trees: Vec<DecisionTreeModel> = (0..5)
+            .map(|i| {
+                train_tree(
+                    &train,
+                    &(0..train.n_attrs()).collect::<Vec<_>>(),
+                    &TrainParams { dmax: 4, ..TrainParams::for_task(Task::Regression) },
+                    seed.wrapping_mul(31) ^ i as u64,
+                )
+            })
+            .collect();
+        let gbt = treeserver::GbtModel {
+            trees,
+            base: 0.125 + seed as f64 * 1e-6,
+            eta: 0.3,
+            objective: treeserver::GbtObjective::SquaredError,
+        };
+        let reference = gbt.predict_margins_reference(&eval);
+        for &(block, threads) in GRID {
+            let compiled = CompiledModel::from_gbt(&gbt).with_options(opts(block, threads));
+            assert_bits_f64(
+                &compiled.predict_margins(&eval),
+                &reference,
+                &format!("gbt margins block={block} threads={threads}"),
+            );
+        }
+        assert_bits_f64(&gbt.predict_margins(&eval), &reference, "GbtModel::predict_margins");
+    }
+
+    /// A dmax=0 training run yields a single-node tree; the compiled engine
+    /// must serve it (every row stops at the root).
+    #[test]
+    fn single_node_tree_matches_reference(seed in 0u64..2_000) {
+        let task = Task::Classification { n_classes: 3 };
+        let (train, eval) = table_pair(seed, 2, 1, task);
+        let model = train_tree(
+            &train,
+            &(0..train.n_attrs()).collect::<Vec<_>>(),
+            &TrainParams { dmax: 0, ..TrainParams::for_task(task) },
+            seed,
+        );
+        prop_assert_eq!(model.n_nodes(), 1);
+        let compiled = CompiledModel::from_tree(&model).with_options(opts(7, 1));
+        prop_assert_eq!(
+            compiled.predict_labels(&eval),
+            model.predict_labels_reference(&eval)
+        );
+    }
+}
+
+/// Thresholds adjacent to the stored split value: rows exactly at, just
+/// below, and just above a threshold must route identically (the compiled
+/// comparison is the same `x <= thr` on the same f64 bits), and NaN stops.
+#[test]
+fn nan_adjacent_thresholds_route_identically() {
+    let task = Task::Classification { n_classes: 2 };
+    let train = generate(&SynthSpec {
+        rows: 300,
+        numeric: 2,
+        task,
+        seed: 77,
+        concept_depth: 3,
+        ..Default::default()
+    });
+    let model = train_tree(
+        &train,
+        &[0, 1],
+        &TrainParams {
+            dmax: 4,
+            ..TrainParams::for_task(task)
+        },
+        7,
+    );
+    // Collect every numeric threshold in the tree and build probe rows at
+    // thr, nextafter-style neighbours, and NaN.
+    let mut probes: Vec<f64> = vec![f64::NAN, 0.0, -0.0];
+    for node in &model.nodes {
+        if let Some((info, _, _)) = &node.split {
+            if let ts_splits::SplitTest::NumericLe(v) = info.test {
+                probes.push(v);
+                probes.push(f64::from_bits(v.to_bits().wrapping_add(1)));
+                probes.push(f64::from_bits(v.to_bits().wrapping_sub(1)));
+            }
+        }
+    }
+    let n = probes.len();
+    let eval = DataTable::new(
+        train.schema().clone(),
+        vec![
+            ts_datatable::Column::Numeric(probes.clone()),
+            ts_datatable::Column::Numeric(probes.iter().rev().copied().collect()),
+        ],
+        ts_datatable::Labels::Class(vec![0; n]),
+    );
+    let compiled = CompiledModel::from_tree(&model).with_options(opts(3, 1));
+    assert_eq!(
+        compiled.predict_labels(&eval),
+        model.predict_labels_reference(&eval)
+    );
+    let fast = compiled.predict_pmf_flat(&eval);
+    let slow: Vec<f32> = (0..n)
+        .flat_map(|r| model.predict_row(&eval, r, u32::MAX).pmf().to_vec())
+        .collect();
+    assert_bits_f32(&fast, &slow, "nan-adjacent pmf");
+}
+
+/// The serving stats sink observes every predict call.
+#[test]
+fn stats_count_batches_and_rows() {
+    let task = Task::Classification { n_classes: 3 };
+    let (train, eval) = table_pair(5, 2, 1, task);
+    let model = train_tree(&train, &[0, 1, 2], &TrainParams::for_task(task), 5);
+    let stats = std::sync::Arc::new(ts_serve::ServeStats::new());
+    let compiled = CompiledModel::from_tree(&model).with_stats(std::sync::Arc::clone(&stats));
+    compiled.predict_labels(&eval);
+    compiled.predict_pmf_flat(&eval);
+    assert_eq!(stats.batches(), 2);
+    assert_eq!(stats.rows(), 2 * eval.n_rows() as u64);
+    assert!(stats.to_json().contains("serve_batches"));
+}

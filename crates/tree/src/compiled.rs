@@ -1,0 +1,1018 @@
+//! Flat, structure-of-arrays compilation of a [`DecisionTreeModel`] and the
+//! batched evaluator over it.
+//!
+//! `Tree::predict_with` walks pointer-chasing `Node` enums one row at a
+//! time: every step loads a ~200-byte `Node` (nested `Option`s, `Vec`s,
+//! `SplitInfo`), constructs a [`Value`](ts_datatable::Value) through a
+//! closure, and branches on enum tags. That is fine for accuracy checks and
+//! hopeless for serving. [`CompiledTree`] flattens the arena once into a
+//! serving layout:
+//!
+//! - nodes renumbered **breadth-first** so each level is contiguous and
+//!   siblings are adjacent (`right = left + 1` — the right-child pointer
+//!   disappears and numeric descent is branchless: `left + (x > thr)`);
+//! - the hot per-node fields packed into one 16-byte record (split kind +
+//!   feature id in a `u32`, left-child id, `f64` threshold), so each
+//!   traversal step touches a single cache line of tree data plus one raw
+//!   column value;
+//! - all categorical sets concatenated in one pool, and all node payloads
+//!   (labels, PMF rows, means) in contiguous buffers indexed by node id.
+//!
+//! Whole tables are scored in row blocks ([`DEFAULT_BLOCK_ROWS`]); within a
+//! block each row's walk runs entirely in registers.
+//!
+//! The compiled path is **bit-for-bit identical** to the reference
+//! traversal (`crates/serve/tests/compiled_equiv.rs` enforces this): the
+//! Appendix-D stopping rules — depth cap, missing value, unseen categorical
+//! code — are evaluated in the same order with the same comparisons, and
+//! every consumer that aggregates over trees (forest PMF averaging, GBT
+//! margin accumulation) folds per-row results in the same tree order with
+//! the same arithmetic expressions as the reference implementation.
+
+use crate::model::{DecisionTreeModel, Prediction};
+use ts_datatable::{Column, DataTable, Task, MISSING_CAT};
+use ts_splits::SplitTest;
+
+/// Node kind tags, stored in the top two bits of [`HotNode::kind_feat`].
+/// Bit 31 means "categorical" — `kind_feat >> 31` is the branchless
+/// is-categorical predicate the fast path selects on.
+const KIND_LEAF: u32 = 0;
+const KIND_NUM: u32 = 1;
+/// Categorical split whose left-set and seen-set fit 64-bit masks.
+const KIND_CAT: u32 = 2;
+/// Categorical split with codes ≥ 64; always resolved via the pool.
+const KIND_CAT_BIG: u32 = 3;
+const KIND_SHIFT: u32 = 30;
+const FEAT_MASK: u32 = (1 << KIND_SHIFT) - 1;
+
+/// Sentinel for "no seen-set recorded" in [`CompiledTree::seen_range`].
+const NO_SEEN: u32 = u32::MAX;
+
+/// Default row-block size for the whole-table helpers: big enough to
+/// amortise per-block setup, small enough that the block's
+/// [`BlockImage`] stays L2-resident while the walk re-reads it
+/// `levels × trees` times (2048 rows × 10 columns ≈ 160 KiB).
+pub const DEFAULT_BLOCK_ROWS: usize = 2048;
+
+/// Rows walked in lockstep by the uncapped traversal. One row's walk is a
+/// serial chain of dependent loads; this many independent chains keep the
+/// pipeline fed. Raising it further mostly adds register pressure.
+const INTERLEAVE: usize = 16;
+
+/// The 16 bytes of tree data a traversal step reads.
+#[derive(Debug, Clone, Copy)]
+struct HotNode {
+    /// [`Self::kind_feat`] in the low half and [`Self::left`] in the high
+    /// half, packed so a step fetches both with a single 8-byte load.
+    kf_left: u64,
+    /// [`KIND_NUM`] and [`KIND_LEAF`]: the threshold as a [`sort_key`]
+    /// (leaves use the `+∞` key, so the numeric step computation
+    /// self-loops). [`KIND_CAT`]: the left-set as a 64-bit mask.
+    aux: u64,
+}
+
+impl HotNode {
+    fn new(kind_feat: u32, left: u32, aux: u64) -> HotNode {
+        HotNode {
+            kf_left: u64::from(kind_feat) | u64::from(left) << 32,
+            aux,
+        }
+    }
+
+    /// Split kind in the top 2 bits, feature id in the low 30.
+    #[inline(always)]
+    fn kind_feat(self) -> u32 {
+        self.kf_left as u32
+    }
+
+    /// Left-child node id; the right child is always `left + 1`. Leaves
+    /// store their **own** id here, turning the leaf step into a
+    /// self-loop with no leaf branch on the fast path.
+    #[inline(always)]
+    fn left(self) -> u32 {
+        (self.kf_left >> 32) as u32
+    }
+}
+
+/// Maps an `f64` bit pattern to a `u64` whose **unsigned** order matches
+/// IEEE `<` on the underlying doubles (NaNs excluded): non-negative values
+/// get the sign bit set, negative values are bitwise inverted. Comparing
+/// keys lets the traversal step run entirely on the integer ALUs — no
+/// float compares, whose two-`ucomisd` NaN dance bottlenecks one port.
+///
+/// `x > thr ⟺ sort_key(x) > sort_key(thr)` for every non-NaN `x` provided
+/// `thr` is not `-0.0` (the one pair IEEE treats as equal but the keys
+/// order); `compile` normalises `-0.0` thresholds to `+0.0`, which is
+/// decision-preserving since `x > -0.0 ⟺ x > +0.0` for all `x`.
+#[inline(always)]
+const fn sort_key(bits: u64) -> u64 {
+    bits ^ ((((bits as i64) >> 63) as u64) | 1 << 63)
+}
+
+/// Key of `+∞` — the top of the non-NaN key range. The unified image maps
+/// every NaN cell (either sign) to [`KEY_MISSING`]`> KEY_POS_INF`, so the
+/// traversal step detects a missing numeric value with a single compare.
+const KEY_POS_INF: u64 = sort_key(f64::INFINITY.to_bits());
+const KEY_MISSING: u64 = u64::MAX;
+
+/// A [`DataTable`] prepared for traversal: borrowed raw column slices plus
+/// a per-column kind vector. Traversal reads cells through a
+/// [`BlockImage`] — a **unified** row-major `u64` image of one row block —
+/// built via [`TableView::image`] / [`BlockImage::fill`].
+pub struct TableView<'a> {
+    cols: Vec<ColView<'a>>,
+    /// Per column: 1 if categorical, 0 if numeric.
+    col_cat: Vec<u32>,
+    n_rows: usize,
+}
+
+/// One borrowed column.
+pub enum ColView<'a> {
+    /// Raw numeric values (`NaN` = missing).
+    Num(&'a [f64]),
+    /// Raw categorical codes ([`MISSING_CAT`] = missing).
+    Cat(&'a [u32]),
+}
+
+impl<'a> TableView<'a> {
+    /// Borrows every column of `table`.
+    pub fn of(table: &'a DataTable) -> TableView<'a> {
+        let n_rows = table.n_rows();
+        let cols: Vec<ColView<'a>> = table
+            .columns()
+            .iter()
+            .map(|c| match c {
+                Column::Numeric(v) => ColView::Num(v),
+                Column::Categorical(v) => ColView::Cat(v),
+            })
+            .collect();
+        let col_cat: Vec<u32> = cols
+            .iter()
+            .map(|c| match c {
+                ColView::Num(_) => 0,
+                ColView::Cat(_) => 1,
+            })
+            .collect();
+        TableView {
+            cols,
+            col_cat,
+            n_rows,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// An empty [`BlockImage`] over this view; [`BlockImage::fill`] it
+    /// with a row block before traversing.
+    pub fn image<'v>(&'v self) -> BlockImage<'v, 'a> {
+        BlockImage {
+            view: self,
+            first_row: 0,
+            len: 0,
+            cells: Vec::new(),
+        }
+    }
+}
+
+/// The unified `u64` image of one row block of a [`TableView`]:
+/// [`sort_key`]s for numeric cells (NaNs canonicalised to
+/// [`KEY_MISSING`]), one-hot bits (`1 << code`) for categorical cells —
+/// codes the 64-bit mask can't express (missing, or ≥ 64) encode to
+/// zero — row-major.
+/// It lets the fast traversal step load any column with one untyped
+/// 8-byte read instead of dispatching on the column kind.
+///
+/// Imaging **per block** rather than per table keeps the walk's working
+/// set cache-resident: the block's cells are written hot just before the
+/// walk reads them `levels × trees` times, instead of a whole-table image
+/// streaming through and out of cache before its first use. The buffer is
+/// reused across [`Self::fill`] calls, so a block loop performs one
+/// allocation total.
+pub struct BlockImage<'v, 'a> {
+    view: &'v TableView<'a>,
+    first_row: usize,
+    len: usize,
+    cells: Vec<u64>,
+}
+
+impl<'v, 'a> BlockImage<'v, 'a> {
+    /// Rebuilds this image over rows `[first_row, first_row + len)` of
+    /// its view. One linear pass: the numeric key transform runs once per
+    /// cell here instead of `levels × trees` times in the walk.
+    pub fn fill(&mut self, first_row: usize, len: usize) {
+        assert!(first_row + len <= self.view.n_rows);
+        let n_cols = self.view.cols.len();
+        self.first_row = first_row;
+        self.len = len;
+        self.cells.clear();
+        self.cells.reserve(n_cols * len);
+        // Column-outer fill within L1-sized row tiles: each inner loop is
+        // monomorphic and branch-free (no per-cell kind dispatch), reading
+        // its source column sequentially; writing through
+        // `spare_capacity_mut` skips a `vec![0; ..]` memset. The tile
+        // bounds how often a destination cache line is revisited — the
+        // column passes of one tile all hit the same ~32 KB of image, so
+        // each line is written back once instead of once per column.
+        let spare = &mut self.cells.spare_capacity_mut()[..n_cols * len];
+        let tile = (4096 / n_cols.max(1)).max(64);
+        for (t, chunk) in spare.chunks_mut(tile * n_cols.max(1)).enumerate() {
+            let r0 = first_row + t * tile;
+            let rows = chunk.len() / n_cols.max(1);
+            for (ci, col) in self.view.cols.iter().enumerate() {
+                let dst = chunk[ci..].iter_mut().step_by(n_cols.max(1));
+                match col {
+                    ColView::Num(v) => {
+                        for (d, x) in dst.zip(&v[r0..r0 + rows]) {
+                            let b = x.to_bits();
+                            // Either-sign NaN canonicalises to
+                            // KEY_MISSING without a data branch
+                            // (`KEY_MISSING * 1` is all-ones, `* 0` a
+                            // no-op mask).
+                            let nan = u64::from(b & !(1 << 63) > f64::INFINITY.to_bits());
+                            d.write(sort_key(b) | (KEY_MISSING * nan));
+                        }
+                    }
+                    ColView::Cat(v) => {
+                        for (d, &code) in dst.zip(&v[r0..r0 + rows]) {
+                            // One-hot: the step tests set membership with
+                            // a single AND. Codes the mask can't express —
+                            // ≥ 64, including MISSING_CAT — encode to
+                            // zero, the step's escape marker (a real code
+                            // < 64 never encodes to zero).
+                            d.write(1u64.wrapping_shl(code) & u64::from(code < 64).wrapping_neg());
+                        }
+                    }
+                }
+            }
+        }
+        // SAFETY: the loops above initialised all `n_cols * len` cells:
+        // every index `r * n_cols + ci` is covered exactly once.
+        unsafe { self.cells.set_len(n_cols * len) };
+    }
+
+    /// First row of the imaged block.
+    pub fn first_row(&self) -> usize {
+        self.first_row
+    }
+
+    /// Number of imaged rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the imaged block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Per-node prediction payloads, stored contiguously across all nodes
+/// (internal nodes carry predictions too — traversal can stop anywhere).
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// Classification: majority label per node plus one `k`-wide PMF row
+    /// per node in `pmf` (node-major).
+    Class {
+        /// Number of classes (PMF width).
+        k: usize,
+        /// Majority label per node.
+        labels: Vec<u32>,
+        /// `n_nodes * k` PMF entries, node-major.
+        pmf: Vec<f32>,
+    },
+    /// Regression: mean target per node.
+    Real(Vec<f64>),
+}
+
+/// A tree flattened into the breadth-first serving layout. Node ids are
+/// compiled ids (BFS order, root = 0), not arena indices.
+#[derive(Debug, Clone)]
+pub struct CompiledTree {
+    hot: Vec<HotNode>,
+    /// Node depth, read only on the capped traversal path.
+    depth: Vec<u32>,
+    /// `[start, end)` into `pool` for a categorical node's left-set.
+    set_range: Vec<(u32, u32)>,
+    /// `[start, end)` into `pool` for a categorical node's seen-set, or
+    /// `(NO_SEEN, NO_SEEN)` when the node recorded none.
+    seen_range: Vec<(u32, u32)>,
+    /// Per-node seen-set as a 64-bit mask ([`KIND_CAT`] nodes; all-ones
+    /// when no seen-set was recorded, so the unseen check never fires).
+    seen_mask: Vec<u64>,
+    /// All categorical sets, concatenated (each slice stays sorted).
+    pool: Vec<u32>,
+    /// Depth of the deepest reachable node = number of traversal steps
+    /// that suffice for any row (the interleaved walk runs exactly this
+    /// many level iterations).
+    max_node_depth: u32,
+    payload: Payload,
+    task: Task,
+}
+
+impl CompiledTree {
+    /// Flattens `model` into the compiled layout.
+    ///
+    /// # Panics
+    /// Panics if a node's prediction kind does not match the model's task
+    /// (such a model would also panic in the reference traversal).
+    pub fn compile(model: &DecisionTreeModel) -> CompiledTree {
+        // Breadth-first renumbering; pushing both children together makes
+        // every sibling pair adjacent (right = left + 1).
+        let mut order: Vec<usize> = Vec::with_capacity(model.nodes.len());
+        order.push(0);
+        let mut head = 0;
+        while head < order.len() {
+            if let Some((_, l, r)) = &model.nodes[order[head]].split {
+                order.push(*l);
+                order.push(*r);
+            }
+            head += 1;
+        }
+        let mut new_of = vec![u32::MAX; model.nodes.len()];
+        for (new, &arena) in order.iter().enumerate() {
+            new_of[arena] = new as u32;
+        }
+
+        let n = order.len();
+        let mut t = CompiledTree {
+            hot: Vec::with_capacity(n),
+            depth: Vec::with_capacity(n),
+            set_range: vec![(0, 0); n],
+            seen_range: vec![(NO_SEEN, NO_SEEN); n],
+            seen_mask: vec![0; n],
+            pool: Vec::new(),
+            max_node_depth: 0,
+            payload: match model.task {
+                Task::Classification { n_classes } => Payload::Class {
+                    k: n_classes as usize,
+                    labels: Vec::with_capacity(n),
+                    pmf: Vec::with_capacity(n * n_classes as usize),
+                },
+                Task::Regression => Payload::Real(Vec::with_capacity(n)),
+            },
+            task: model.task,
+        };
+        for (new, &arena) in order.iter().enumerate() {
+            let node = &model.nodes[arena];
+            t.depth.push(node.depth);
+            t.max_node_depth = t.max_node_depth.max(node.depth);
+            match &node.split {
+                // Leaf: a numeric-style self-loop (the `+∞` key never
+                // sends a row right, `left = self` keeps it in place), so
+                // the fast path needs no leaf branch at all.
+                None => t.hot.push(HotNode::new(
+                    KIND_LEAF << KIND_SHIFT,
+                    new as u32,
+                    KEY_POS_INF,
+                )),
+                Some((info, l, _)) => {
+                    let feat = info.attr as u32;
+                    debug_assert!(feat <= FEAT_MASK, "feature id overflows the packed layout");
+                    let left = new_of[*l];
+                    match &info.test {
+                        SplitTest::NumericLe(v) => t.hot.push(HotNode::new(
+                            (KIND_NUM << KIND_SHIFT) | feat,
+                            left,
+                            // `v + 0.0` normalises a -0.0 threshold to
+                            // +0.0 (see `sort_key`); every other value is
+                            // unchanged.
+                            sort_key((*v + 0.0).to_bits()),
+                        )),
+                        SplitTest::CatIn(set) => {
+                            t.set_range[new] = push_pool(&mut t.pool, set);
+                            let mut big = set.iter().any(|&c| c >= 64);
+                            if let Some(seen) = &info.seen {
+                                t.seen_range[new] = push_pool(&mut t.pool, seen);
+                                big |= seen.iter().any(|&c| c >= 64);
+                            }
+                            // Masks hold the `< 64` part of each set; the
+                            // fast step only consults them for row codes
+                            // the one-hot image can express (< 64), so
+                            // they are exact even for KIND_CAT_BIG nodes
+                            // — codes ≥ 64 escape to the pool path.
+                            t.seen_mask[new] = match &info.seen {
+                                None => u64::MAX,
+                                Some(seen) => bits_lo(seen),
+                            };
+                            let kind = if big { KIND_CAT_BIG } else { KIND_CAT };
+                            t.hot.push(HotNode::new(
+                                (kind << KIND_SHIFT) | feat,
+                                left,
+                                bits_lo(set),
+                            ));
+                        }
+                    }
+                }
+            }
+            match (&mut t.payload, &node.prediction) {
+                (Payload::Class { k, labels, pmf }, Prediction::Class { label, pmf: p }) => {
+                    labels.push(*label);
+                    // Pad/truncate to exactly k entries: the reference
+                    // accumulation zips against a k-wide accumulator, so
+                    // entries past k are never read and short PMFs act as
+                    // zeros (trained PMFs are always exactly k wide).
+                    pmf.extend((0..*k).map(|c| p.get(c).copied().unwrap_or(0.0)));
+                }
+                (Payload::Real(values), Prediction::Real(v)) => values.push(*v),
+                _ => panic!("node prediction kind does not match the tree's task"),
+            }
+        }
+        t
+    }
+
+    /// Number of nodes reachable from the root.
+    pub fn n_nodes(&self) -> usize {
+        self.hot.len()
+    }
+
+    /// The task the source model was trained for.
+    pub fn task(&self) -> Task {
+        self.task
+    }
+
+    /// The majority label at `node` (classification payloads).
+    pub fn label_of(&self, node: u32) -> u32 {
+        match &self.payload {
+            Payload::Class { labels, .. } => labels[node as usize],
+            Payload::Real(_) => panic!("label_of on a regression tree"),
+        }
+    }
+
+    /// The PMF row at `node` (classification payloads).
+    pub fn pmf_of(&self, node: u32) -> &[f32] {
+        match &self.payload {
+            Payload::Class { k, pmf, .. } => {
+                let o = node as usize * k;
+                &pmf[o..o + k]
+            }
+            Payload::Real(_) => panic!("pmf_of on a regression tree"),
+        }
+    }
+
+    /// The mean target at `node` (regression payloads).
+    pub fn value_of(&self, node: u32) -> f64 {
+        match &self.payload {
+            Payload::Real(values) => values[node as usize],
+            Payload::Class { .. } => panic!("value_of on a classification tree"),
+        }
+    }
+
+    /// Scores the imaged row block of `img` (see [`BlockImage::fill`]),
+    /// writing each row's **terminal node id** (where Appendix-D traversal
+    /// stops: a leaf, the depth cap, a missing value, or an unseen
+    /// categorical code) into `out` (`out.len() == img.len()`).
+    ///
+    /// The uncapped case (`max_depth == u32::MAX`, the serving default)
+    /// walks [`INTERLEAVE`] rows in lockstep: a single row's walk is
+    /// latency-bound — each step's node load depends on the previous one —
+    /// so interleaving independent rows lets the chains pipeline. Every
+    /// stop state is an idempotent self-loop ([`Self::step`]), so the
+    /// lockstep loop runs a fixed `max_node_depth` iterations with no
+    /// divergence bookkeeping: rows that stopped early just re-observe
+    /// their stop condition.
+    ///
+    /// The fast path requires every split's feature id to resolve to a
+    /// column of the split's kind; that is checked once per call
+    /// ([`Self::schema_consistent`]). A mismatched table falls back to the
+    /// per-row lazy walk, which panics only when a row actually reaches
+    /// the offending node — the reference traversal's exact behaviour.
+    pub fn terminal_nodes_into(&self, img: &BlockImage<'_, '_>, max_depth: u32, out: &mut [u32]) {
+        assert_eq!(out.len(), img.len);
+        if max_depth != u32::MAX || !self.schema_consistent(img.view) {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = self.walk_row_capped(img.view, img.first_row + i, max_depth);
+            }
+            return;
+        }
+        let levels = self.max_node_depth;
+        let unified = &img.cells[..];
+        let n_cols = img.view.col_cat.len();
+        let mut chunks = out.chunks_exact_mut(INTERLEAVE);
+        let mut row = 0usize; // block-local
+        for chunk in &mut chunks {
+            // The lanes are named locals, not an array: an indexed `n[j]`
+            // loop compiles to a stack-resident array walked by a genuine
+            // inner loop (store/reload per step plus loop control), which
+            // measures ~2x slower than keeping each lane's node id in a
+            // register.
+            let b0 = row * n_cols;
+            let (b1, b2, b3) = (b0 + n_cols, b0 + 2 * n_cols, b0 + 3 * n_cols);
+            let (b4, b5, b6, b7) = (
+                b0 + 4 * n_cols,
+                b0 + 5 * n_cols,
+                b0 + 6 * n_cols,
+                b0 + 7 * n_cols,
+            );
+            let (b8, b9, b10, b11) = (
+                b0 + 8 * n_cols,
+                b0 + 9 * n_cols,
+                b0 + 10 * n_cols,
+                b0 + 11 * n_cols,
+            );
+            let (b12, b13, b14, b15) = (
+                b0 + 12 * n_cols,
+                b0 + 13 * n_cols,
+                b0 + 14 * n_cols,
+                b0 + 15 * n_cols,
+            );
+            let (mut n0, mut n1, mut n2, mut n3) = (0u32, 0u32, 0u32, 0u32);
+            let (mut n4, mut n5, mut n6, mut n7) = (0u32, 0u32, 0u32, 0u32);
+            let (mut n8, mut n9, mut n10, mut n11) = (0u32, 0u32, 0u32, 0u32);
+            let (mut n12, mut n13, mut n14, mut n15) = (0u32, 0u32, 0u32, 0u32);
+            for _ in 0..levels {
+                let (p0, p1, p2, p3) = (n0, n1, n2, n3);
+                let (p4, p5, p6, p7) = (n4, n5, n6, n7);
+                let (p8, p9, p10, p11) = (n8, n9, n10, n11);
+                let (p12, p13, p14, p15) = (n12, n13, n14, n15);
+                n0 = self.step(img, unified, b0, n0);
+                n1 = self.step(img, unified, b1, n1);
+                n2 = self.step(img, unified, b2, n2);
+                n3 = self.step(img, unified, b3, n3);
+                n4 = self.step(img, unified, b4, n4);
+                n5 = self.step(img, unified, b5, n5);
+                n6 = self.step(img, unified, b6, n6);
+                n7 = self.step(img, unified, b7, n7);
+                n8 = self.step(img, unified, b8, n8);
+                n9 = self.step(img, unified, b9, n9);
+                n10 = self.step(img, unified, b10, n10);
+                n11 = self.step(img, unified, b11, n11);
+                n12 = self.step(img, unified, b12, n12);
+                n13 = self.step(img, unified, b13, n13);
+                n14 = self.step(img, unified, b14, n14);
+                n15 = self.step(img, unified, b15, n15);
+                // Every stop state self-loops, so "no lane moved" means
+                // all rows of the chunk are done; leaves cluster well
+                // above `max_node_depth`, so this usually fires several
+                // levels early. (One well-predicted branch per level:
+                // not-taken until the final iteration.)
+                let moved = (n0 ^ p0)
+                    | (n1 ^ p1)
+                    | (n2 ^ p2)
+                    | (n3 ^ p3)
+                    | (n4 ^ p4)
+                    | (n5 ^ p5)
+                    | (n6 ^ p6)
+                    | (n7 ^ p7)
+                    | (n8 ^ p8)
+                    | (n9 ^ p9)
+                    | (n10 ^ p10)
+                    | (n11 ^ p11)
+                    | (n12 ^ p12)
+                    | (n13 ^ p13)
+                    | (n14 ^ p14)
+                    | (n15 ^ p15);
+                if moved == 0 {
+                    break;
+                }
+            }
+            chunk.copy_from_slice(&[
+                n0, n1, n2, n3, n4, n5, n6, n7, n8, n9, n10, n11, n12, n13, n14, n15,
+            ]);
+            row += INTERLEAVE;
+        }
+        for slot in chunks.into_remainder() {
+            let mut n = 0u32;
+            for _ in 0..levels {
+                n = self.step(img, unified, row * n_cols, n);
+            }
+            *slot = n;
+            row += 1;
+        }
+    }
+
+    /// True when every split node's feature id resolves to a column of the
+    /// split's kind in this view — the precondition for [`Self::step`]'s
+    /// unchecked column loads. Leaves are exempt (their feature id is a
+    /// placeholder; the reference walk never reads a value at a leaf), but
+    /// a tree with any split guarantees `n_cols >= 1` so the placeholder
+    /// load stays in bounds.
+    fn schema_consistent(&self, view: &TableView<'_>) -> bool {
+        self.hot.iter().all(|h| {
+            let feat = (h.kind_feat() & FEAT_MASK) as usize;
+            match h.kind_feat() >> KIND_SHIFT {
+                KIND_LEAF => true,
+                KIND_NUM => feat < view.col_cat.len() && view.col_cat[feat] == 0,
+                _ => feat < view.col_cat.len() && view.col_cat[feat] == 1,
+            }
+        })
+    }
+
+    /// One uncapped traversal step at node `n` for the row whose unified
+    /// cells start at `base`: returns the child to descend into, or `n`
+    /// itself when traversal stops there — leaf, missing value, or unseen
+    /// categorical code. Stopped states are **idempotent**: re-running the
+    /// step re-derives the same stop, so callers may apply it any number
+    /// of extra times.
+    ///
+    /// The numeric path (splits and the leaf self-loop) is the unbranched
+    /// spine: one 16-byte node load, one untyped column load, an
+    /// integer-domain NaN test and [`sort_key`] compare, one add — no
+    /// float ops at all. Categorical nodes branch off on the sign bit of
+    /// `kind_feat`; pool-resolved cases are outlined in
+    /// [`Self::cat_pool_step`].
+    ///
+    /// # Safety (of the internal unchecked indexing)
+    /// - `n` is always a valid node id: it starts at 0 and every
+    ///   transition returns either `n` itself or a child id baked in by
+    ///   `compile`, all `< n_nodes`.
+    /// - column loads are in bounds: the caller verified
+    ///   [`Self::schema_consistent`] (every split's feature id `< n_cols`,
+    ///   leaf placeholders covered by `n_cols >= 1`) and
+    ///   `base = row * n_cols` for a block-local `row < img.len()`, with
+    ///   `unified` holding `img.len() * n_cols` cells.
+    #[inline(always)]
+    fn step(&self, img: &BlockImage<'_, '_>, unified: &[u64], base: usize, n: u32) -> u32 {
+        let h = unsafe { *self.hot.get_unchecked(n as usize) };
+        let kf = h.kind_feat();
+        let w = unsafe { *unified.get_unchecked(base + (kf & FEAT_MASK) as usize) };
+        // Branching on the node kind (and on each rare stop outcome) is
+        // deliberate: every mask-selected variant measured slower on all
+        // tree shapes — the extra select uops cost more than the kind
+        // branch's mispredicts, and predicted-not-taken stop branches let
+        // the core speculate straight down the serial load chain instead
+        // of waiting on cmov inputs.
+        if kf >> 31 != 0 {
+            // A zero cell is a code the one-hot image can't express
+            // (missing, or ≥ 64), resolved on the outlined
+            // reference-order path; almost never taken.
+            if w == 0 {
+                return self.cat_slow_step(img, base, n);
+            }
+            // SAFETY: `n` is a valid node id (see above); `seen_mask`
+            // has one entry per node.
+            let seen = unsafe { *self.seen_mask.get_unchecked(n as usize) };
+            if w & seen == 0 {
+                return n; // code unseen at training time: stop here
+            }
+            return h.left() + u32::from(w & h.aux == 0);
+        }
+        if w > KEY_POS_INF {
+            return n; // missing numeric value: stop here
+        }
+        h.left() + u32::from(w > h.aux)
+    }
+
+    /// Pool-resolved categorical step for codes the one-hot image encodes
+    /// as zero — missing values and codes ≥ 64 — in the reference order:
+    /// missing, then unseen, then set membership. Re-reads the true code
+    /// from the source column (the image dropped it).
+    #[cold]
+    fn cat_slow_step(&self, img: &BlockImage<'_, '_>, base: usize, n: u32) -> u32 {
+        let n_cols = img.view.cols.len();
+        let row = img.first_row + base / n_cols;
+        let feat = (self.hot[n as usize].kind_feat() & FEAT_MASK) as usize;
+        let ColView::Cat(v) = &img.view.cols[feat] else {
+            unreachable!("schema_consistent checked: categorical split, categorical column");
+        };
+        let c = v[row];
+        if c == MISSING_CAT {
+            return n; // missing value: stop here
+        }
+        match self.cat_child(n, c) {
+            Some(next) => next,
+            None => n, // unseen during training: stop here
+        }
+    }
+
+    /// One row's walk under an Appendix-D depth cap. The cap is tested
+    /// after the leaf check, exactly like the reference traversal.
+    fn walk_row_capped(&self, view: &TableView<'_>, row: usize, max_depth: u32) -> u32 {
+        let mut n = 0u32;
+        loop {
+            let h = self.hot[n as usize];
+            let kind = h.kind_feat() >> KIND_SHIFT;
+            if kind == KIND_LEAF || self.depth[n as usize] >= max_depth {
+                return n;
+            }
+            match &view.cols[(h.kind_feat() & FEAT_MASK) as usize] {
+                ColView::Num(v) => {
+                    if kind != KIND_NUM {
+                        panic!("categorical split applied to numeric value");
+                    }
+                    let x = v[row];
+                    if x.is_nan() {
+                        return n;
+                    }
+                    n = h.left() + u32::from(sort_key(x.to_bits()) > h.aux);
+                }
+                ColView::Cat(v) => {
+                    if kind != KIND_CAT && kind != KIND_CAT_BIG {
+                        panic!("numeric split applied to categorical value");
+                    }
+                    let c = v[row];
+                    if c == MISSING_CAT {
+                        return n;
+                    }
+                    match self.cat_child(n, c) {
+                        Some(next) => n = next,
+                        None => return n,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resolves a categorical step at `node` for code `c`: `None` when the
+    /// code was unseen during training (stop), otherwise the child id.
+    #[inline]
+    fn cat_child(&self, node: u32, c: u32) -> Option<u32> {
+        let (s0, s1) = self.seen_range[node as usize];
+        if s0 != NO_SEEN
+            && self.pool[s0 as usize..s1 as usize]
+                .binary_search(&c)
+                .is_err()
+        {
+            return None;
+        }
+        let (a, b) = self.set_range[node as usize];
+        let in_set = self.pool[a as usize..b as usize].binary_search(&c).is_ok();
+        Some(self.hot[node as usize].left() + u32::from(!in_set))
+    }
+
+    /// Class labels for every row of `table` (single-threaded block loop).
+    pub fn predict_labels_table(&self, table: &DataTable) -> Vec<u32> {
+        let view = TableView::of(table);
+        let mut out = Vec::with_capacity(view.n_rows());
+        self.for_each_block(&view, u32::MAX, |nodes, _| {
+            out.extend(nodes.iter().map(|&n| self.label_of(n)));
+        });
+        out
+    }
+
+    /// Regression values for every row of `table`.
+    pub fn predict_values_table(&self, table: &DataTable) -> Vec<f64> {
+        let view = TableView::of(table);
+        let mut out = Vec::with_capacity(view.n_rows());
+        self.for_each_block(&view, u32::MAX, |nodes, _| {
+            out.extend(nodes.iter().map(|&n| self.value_of(n)));
+        });
+        out
+    }
+
+    /// Adds this tree's PMF into a row-major accumulator: for every row
+    /// `r`, `acc[r*k + c] += pmf[c]` — the same per-row operation order as
+    /// the reference forest averaging.
+    pub fn accumulate_pmf_table(&self, view: &TableView<'_>, acc: &mut [f32]) {
+        let Payload::Class { k, .. } = &self.payload else {
+            panic!("accumulate_pmf_table on a regression tree");
+        };
+        let k = *k;
+        debug_assert_eq!(acc.len(), view.n_rows() * k);
+        self.for_each_block(view, u32::MAX, |nodes, first| {
+            for (i, &node) in nodes.iter().enumerate() {
+                let dst = &mut acc[(first + i) * k..(first + i + 1) * k];
+                for (a, b) in dst.iter_mut().zip(self.pmf_of(node)) {
+                    *a += b;
+                }
+            }
+        });
+    }
+
+    /// Adds this tree's value into a per-row accumulator (`acc[r] += v`).
+    pub fn accumulate_values_table(&self, view: &TableView<'_>, acc: &mut [f64]) {
+        debug_assert_eq!(acc.len(), view.n_rows());
+        self.for_each_block(view, u32::MAX, |nodes, first| {
+            for (i, &node) in nodes.iter().enumerate() {
+                acc[first + i] += self.value_of(node);
+            }
+        });
+    }
+
+    /// GBT margin update: `out[r] += eta * value(r)` for every row — the
+    /// same expression the reference margin accumulation evaluates.
+    pub fn add_margins_table(&self, view: &TableView<'_>, eta: f64, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), view.n_rows());
+        self.for_each_block(view, u32::MAX, |nodes, first| {
+            for (i, &node) in nodes.iter().enumerate() {
+                out[first + i] += eta * self.value_of(node);
+            }
+        });
+    }
+
+    /// Runs `f(terminal_nodes, first_row)` over the table in
+    /// [`DEFAULT_BLOCK_ROWS`]-sized blocks, reusing one scratch buffer and
+    /// one [`BlockImage`].
+    fn for_each_block(
+        &self,
+        view: &TableView<'_>,
+        max_depth: u32,
+        mut f: impl FnMut(&[u32], usize),
+    ) {
+        let n = view.n_rows();
+        let mut nodes = vec![0u32; DEFAULT_BLOCK_ROWS.min(n)];
+        let mut img = view.image();
+        let mut first = 0;
+        while first < n {
+            let len = DEFAULT_BLOCK_ROWS.min(n - first);
+            img.fill(first, len);
+            self.terminal_nodes_into(&img, max_depth, &mut nodes[..len]);
+            f(&nodes[..len], first);
+            first += len;
+        }
+    }
+}
+
+/// Appends a sorted set to the pool, returning its `[start, end)` range.
+fn push_pool(pool: &mut Vec<u32>, set: &[u32]) -> (u32, u32) {
+    let start = pool.len() as u32;
+    pool.extend_from_slice(set);
+    (start, pool.len() as u32)
+}
+
+/// The codes `< 64` of a set as a 64-bit mask (higher codes are dropped —
+/// they are pool-resolved, never mask-tested).
+fn bits_lo(set: &[u32]) -> u64 {
+    set.iter()
+        .filter(|&&c| c < 64)
+        .fold(0u64, |m, &c| m | (1 << c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Node, SplitInfo};
+    use ts_datatable::{AttrMeta, Labels, Schema, Value};
+
+    fn mixed_tree() -> DecisionTreeModel {
+        let nodes = vec![
+            Node {
+                split: Some((
+                    SplitInfo {
+                        attr: 0,
+                        test: SplitTest::NumericLe(40.0),
+                        gain: 1.0,
+                        missing_left: true,
+                        seen: None,
+                    },
+                    1,
+                    2,
+                )),
+                prediction: Prediction::Class {
+                    label: 0,
+                    pmf: vec![0.7, 0.3],
+                },
+                n_rows: 10,
+                depth: 0,
+            },
+            Node::leaf(
+                Prediction::Class {
+                    label: 1,
+                    pmf: vec![0.2, 0.8],
+                },
+                5,
+                1,
+            ),
+            Node {
+                split: Some((
+                    SplitInfo {
+                        attr: 1,
+                        test: SplitTest::cat_in(vec![2, 3, 4]),
+                        gain: 0.5,
+                        missing_left: false,
+                        seen: Some(vec![1, 2, 3, 4]),
+                    },
+                    3,
+                    4,
+                )),
+                prediction: Prediction::Class {
+                    label: 0,
+                    pmf: vec![0.9, 0.1],
+                },
+                n_rows: 5,
+                depth: 1,
+            },
+            Node::leaf(
+                Prediction::Class {
+                    label: 0,
+                    pmf: vec![1.0, 0.0],
+                },
+                3,
+                2,
+            ),
+            Node::leaf(
+                Prediction::Class {
+                    label: 1,
+                    pmf: vec![0.0, 1.0],
+                },
+                2,
+                2,
+            ),
+        ];
+        DecisionTreeModel::new(nodes, Task::Classification { n_classes: 2 })
+    }
+
+    fn table() -> DataTable {
+        DataTable::new(
+            Schema::new(
+                vec![AttrMeta::numeric("age"), AttrMeta::categorical("edu", 6)],
+                Task::Classification { n_classes: 2 },
+            ),
+            vec![
+                // Rows: descend-left, descend-right-left-set, unseen code,
+                // missing numeric, missing categorical, exact threshold.
+                Column::Numeric(vec![30.0, 50.0, 50.0, f64::NAN, 50.0, 40.0]),
+                Column::Categorical(vec![2, 1, 0, 2, MISSING_CAT, 3]),
+            ],
+            Labels::Class(vec![0; 6]),
+        )
+    }
+
+    #[test]
+    fn compiled_matches_reference_on_every_stop_rule() {
+        let model = mixed_tree();
+        let compiled = CompiledTree::compile(&model);
+        let t = table();
+        let view = TableView::of(&t);
+        let mut img = view.image();
+        img.fill(0, t.n_rows());
+        for cap in [0, 1, 2, u32::MAX] {
+            let mut nodes = vec![0u32; t.n_rows()];
+            compiled.terminal_nodes_into(&img, cap, &mut nodes);
+            for (row, &node) in nodes.iter().enumerate() {
+                let reference = model.predict_row(&t, row, cap);
+                assert_eq!(
+                    compiled.label_of(node),
+                    reference.label(),
+                    "row {row} cap {cap}"
+                );
+                assert_eq!(compiled.pmf_of(node), reference.pmf());
+            }
+        }
+    }
+
+    #[test]
+    fn siblings_are_adjacent_after_bfs_renumbering() {
+        let compiled = CompiledTree::compile(&mixed_tree());
+        assert_eq!(compiled.n_nodes(), 5);
+        for (id, h) in compiled.hot.iter().enumerate() {
+            if h.kind_feat() >> KIND_SHIFT == KIND_LEAF {
+                // Leaves self-loop: the +∞ key and left = self.
+                assert_eq!(h.left() as usize, id);
+                assert_eq!(h.aux, sort_key(f64::INFINITY.to_bits()));
+            } else {
+                // Children ids were allocated as a pair.
+                assert!(h.left() as usize + 1 < compiled.n_nodes());
+                assert!(h.left() as usize > id, "children come after the parent");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_labels_match_reference_loop() {
+        let model = mixed_tree();
+        let compiled = CompiledTree::compile(&model);
+        let t = table();
+        let reference: Vec<u32> = (0..t.n_rows())
+            .map(|r| model.predict_row(&t, r, u32::MAX).label())
+            .collect();
+        assert_eq!(compiled.predict_labels_table(&t), reference);
+    }
+
+    #[test]
+    fn empty_table_scores_to_empty() {
+        let compiled = CompiledTree::compile(&mixed_tree());
+        let t = DataTable::new(
+            Schema::new(
+                vec![AttrMeta::numeric("age"), AttrMeta::categorical("edu", 6)],
+                Task::Classification { n_classes: 2 },
+            ),
+            vec![Column::Numeric(vec![]), Column::Categorical(vec![])],
+            Labels::Class(vec![]),
+        );
+        assert_eq!(compiled.predict_labels_table(&t), Vec::<u32>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "numeric split applied to categorical value")]
+    fn type_mismatch_panics_like_reference() {
+        let model = mixed_tree();
+        let compiled = CompiledTree::compile(&model);
+        // Swap the columns so attr 0 (numeric split) is categorical.
+        let t = DataTable::new(
+            Schema::new(
+                vec![AttrMeta::categorical("edu", 6), AttrMeta::numeric("age")],
+                Task::Classification { n_classes: 2 },
+            ),
+            vec![Column::Categorical(vec![2]), Column::Numeric(vec![30.0])],
+            Labels::Class(vec![0]),
+        );
+        compiled.predict_labels_table(&t);
+    }
+
+    #[test]
+    fn value_enum_still_matches_column_reads() {
+        // Sanity: TableView reads agree with DataTable::value semantics.
+        let t = table();
+        let view = TableView::of(&t);
+        match &view.cols[0] {
+            ColView::Num(v) => {
+                assert!(v[3].is_nan());
+                assert_eq!(t.value(3, 0), Value::Missing);
+            }
+            ColView::Cat(_) => panic!("attr 0 is numeric"),
+        }
+    }
+}

@@ -5,6 +5,7 @@
 //! returned by all its trees" (§VII). `ForestModel` implements exactly that,
 //! plus plain label/value prediction for the evaluation tables.
 
+use crate::compiled::{CompiledTree, TableView};
 use crate::model::{DecisionTreeModel, Prediction};
 use ts_datatable::{DataTable, Task};
 use tsjson::{Deserialize, Serialize};
@@ -21,10 +22,13 @@ pub struct ForestModel {
 impl ForestModel {
     /// Builds a forest, validating that every tree matches the task.
     ///
+    /// A zero-tree forest is allowed (it can also arise from
+    /// deserialisation): its predictions are the task's uninformed prior —
+    /// a uniform PMF / label 0 for classification, 0.0 for regression.
+    ///
     /// # Panics
-    /// Panics if the forest is empty or a member has a different task.
+    /// Panics if a member has a different task.
     pub fn new(trees: Vec<DecisionTreeModel>, task: Task) -> Self {
-        assert!(!trees.is_empty(), "forest must contain at least one tree");
         for t in &trees {
             assert_eq!(t.task, task, "tree task mismatch");
         }
@@ -36,12 +40,21 @@ impl ForestModel {
         self.trees.len()
     }
 
-    /// The averaged PMF vector for one row (classification forests).
-    pub fn predict_pmf_row(&self, table: &DataTable, row: usize) -> Vec<f32> {
-        let k = self
-            .task
+    /// PMF width for classification forests.
+    fn n_classes(&self) -> usize {
+        self.task
             .n_classes()
-            .expect("predict_pmf_row requires a classification forest") as usize;
+            .expect("PMF prediction requires a classification forest") as usize
+    }
+
+    /// The averaged PMF vector for one row (classification forests). This
+    /// is the per-row reference path; the whole-table methods below run the
+    /// compiled engine and are bit-identical to it.
+    pub fn predict_pmf_row(&self, table: &DataTable, row: usize) -> Vec<f32> {
+        let k = self.n_classes();
+        if self.trees.is_empty() {
+            return uniform_pmf(k);
+        }
         let mut acc = vec![0f32; k];
         for t in &self.trees {
             let p = t.predict_row(table, row, u32::MAX);
@@ -61,16 +74,75 @@ impl ForestModel {
         acc
     }
 
-    /// Averaged PMFs for every row — deep forest's re-representation output.
+    /// Averaged PMFs for every row — deep forest's re-representation
+    /// output — on the compiled batched path.
     pub fn predict_pmf(&self, table: &DataTable) -> Vec<Vec<f32>> {
+        let k = self.n_classes();
+        let flat = self.predict_pmf_flat(table);
+        flat.chunks(k.max(1)).map(<[f32]>::to_vec).collect()
+    }
+
+    /// Averaged PMFs for every row, row-major in one flat buffer
+    /// (`n_rows * n_classes`); the allocation-friendly form `ts-serve` and
+    /// the deep-forest feature extraction build on.
+    pub fn predict_pmf_flat(&self, table: &DataTable) -> Vec<f32> {
+        let k = self.n_classes();
+        let n = table.n_rows();
+        if self.trees.is_empty() {
+            let u = uniform_pmf(k);
+            return (0..n).flat_map(|_| u.iter().copied()).collect();
+        }
+        let view = TableView::of(table);
+        let mut acc = vec![0f32; n * k];
+        for t in &self.trees {
+            CompiledTree::compile(t).accumulate_pmf_table(&view, &mut acc);
+        }
+        let inv = 1.0 / self.trees.len() as f32;
+        for a in &mut acc {
+            *a *= inv;
+        }
+        acc
+    }
+
+    /// Majority-vote labels from the averaged PMFs (ties toward the smaller
+    /// class id), on the compiled batched path.
+    pub fn predict_labels(&self, table: &DataTable) -> Vec<u32> {
+        let k = self.n_classes();
+        self.predict_pmf_flat(table)
+            .chunks(k.max(1))
+            .map(argmax)
+            .collect()
+    }
+
+    /// Mean of per-tree regression predictions for every row, on the
+    /// compiled batched path.
+    pub fn predict_values(&self, table: &DataTable) -> Vec<f64> {
+        let n = table.n_rows();
+        if self.trees.is_empty() {
+            return vec![0.0; n];
+        }
+        let view = TableView::of(table);
+        let mut acc = vec![0f64; n];
+        for t in &self.trees {
+            CompiledTree::compile(t).accumulate_values_table(&view, &mut acc);
+        }
+        let inv_n = self.trees.len() as f64;
+        for a in &mut acc {
+            *a /= inv_n;
+        }
+        acc
+    }
+
+    /// Reference traversal for [`predict_pmf`](Self::predict_pmf): one
+    /// [`predict_pmf_row`](Self::predict_pmf_row) per row.
+    pub fn predict_pmf_reference(&self, table: &DataTable) -> Vec<Vec<f32>> {
         (0..table.n_rows())
             .map(|r| self.predict_pmf_row(table, r))
             .collect()
     }
 
-    /// Majority-vote labels from the averaged PMFs (ties toward the smaller
-    /// class id).
-    pub fn predict_labels(&self, table: &DataTable) -> Vec<u32> {
+    /// Reference traversal for [`predict_labels`](Self::predict_labels).
+    pub fn predict_labels_reference(&self, table: &DataTable) -> Vec<u32> {
         (0..table.n_rows())
             .map(|r| {
                 let pmf = self.predict_pmf_row(table, r);
@@ -79,8 +151,11 @@ impl ForestModel {
             .collect()
     }
 
-    /// Mean of per-tree regression predictions for every row.
-    pub fn predict_values(&self, table: &DataTable) -> Vec<f64> {
+    /// Reference traversal for [`predict_values`](Self::predict_values).
+    pub fn predict_values_reference(&self, table: &DataTable) -> Vec<f64> {
+        if self.trees.is_empty() {
+            return vec![0.0; table.n_rows()];
+        }
         (0..table.n_rows())
             .map(|r| {
                 self.trees
@@ -118,6 +193,14 @@ impl ForestModel {
     pub fn from_json(s: &str) -> Result<Self, tsjson::Error> {
         tsjson::from_str(s)
     }
+}
+
+/// The uninformed prior a zero-tree classification forest predicts with.
+fn uniform_pmf(k: usize) -> Vec<f32> {
+    if k == 0 {
+        return Vec::new();
+    }
+    vec![1.0 / k as f32; k]
 }
 
 /// Index of the maximum entry, ties toward the smaller index.
@@ -213,8 +296,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one tree")]
-    fn empty_forest_panics() {
-        ForestModel::new(vec![], ts_datatable::Task::Regression);
+    fn zero_tree_forest_is_well_defined() {
+        let t = generate(&SynthSpec {
+            rows: 7,
+            numeric: 2,
+            seed: 11,
+            ..Default::default()
+        });
+        let f = ForestModel::new(vec![], t.schema().task);
+        assert_eq!(f.n_trees(), 0);
+        assert_eq!(f.predict_labels(&t), vec![0; 7]);
+        assert_eq!(f.predict_labels_reference(&t), vec![0; 7]);
+        for pmf in f.predict_pmf(&t) {
+            assert_eq!(pmf, vec![0.5, 0.5]);
+        }
+        let reg = ForestModel::new(vec![], ts_datatable::Task::Regression);
+        assert_eq!(reg.predict_values(&t), vec![0.0; 7]);
+        assert_eq!(reg.predict_values_reference(&t), vec![0.0; 7]);
+    }
+
+    #[test]
+    fn compiled_forest_paths_match_reference_bitwise() {
+        let (f, t) = forest_on(600, 7, 21);
+        assert_eq!(f.predict_labels(&t), f.predict_labels_reference(&t));
+        let fast = f.predict_pmf(&t);
+        let slow = f.predict_pmf_reference(&t);
+        for (a, b) in fast.iter().zip(&slow) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 }

@@ -16,13 +16,21 @@
 //!   trainer produce **identical** trees — the "exact training" guarantee;
 //! - [`forest`]: bagged forests ([`ForestModel`]) whose prediction averages
 //!   per-tree PMF vectors (classification) or means (regression), exactly
-//!   the k-D re-representation deep forest consumes.
+//!   the k-D re-representation deep forest consumes;
+//! - [`compiled`]: the flat structure-of-arrays compilation of a tree and
+//!   the batched breadth-per-level evaluator. All whole-table prediction
+//!   methods delegate to it (bit-identically — see docs/SERVING.md); the
+//!   per-row `predict_with`/`predict_row` walk stays the reference
+//!   traversal, and `ts-serve` layers batch parallelism and observability
+//!   on top.
 
+pub mod compiled;
 pub mod dataset;
 pub mod forest;
 pub mod model;
 pub mod trainer;
 
+pub use compiled::{ColView, CompiledTree, TableView};
 pub use dataset::LocalDataset;
 pub use forest::ForestModel;
 pub use model::{graft_nodes, DecisionTreeModel, Node, Prediction, SplitInfo};

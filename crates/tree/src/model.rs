@@ -196,15 +196,30 @@ impl DecisionTreeModel {
         self.predict_with(|attr| table.value(row, attr), max_depth)
     }
 
-    /// Predicts class labels for every row (classification trees).
+    /// Predicts class labels for every row (classification trees) on the
+    /// compiled batched path — bit-identical to
+    /// [`predict_labels_reference`](Self::predict_labels_reference).
     pub fn predict_labels(&self, table: &DataTable) -> Vec<u32> {
+        crate::compiled::CompiledTree::compile(self).predict_labels_table(table)
+    }
+
+    /// Predicts values for every row (regression trees) on the compiled
+    /// batched path — bit-identical to
+    /// [`predict_values_reference`](Self::predict_values_reference).
+    pub fn predict_values(&self, table: &DataTable) -> Vec<f64> {
+        crate::compiled::CompiledTree::compile(self).predict_values_table(table)
+    }
+
+    /// Reference traversal for [`predict_labels`](Self::predict_labels):
+    /// one [`predict_row`](Self::predict_row) walk per row.
+    pub fn predict_labels_reference(&self, table: &DataTable) -> Vec<u32> {
         (0..table.n_rows())
             .map(|r| self.predict_row(table, r, u32::MAX).label())
             .collect()
     }
 
-    /// Predicts values for every row (regression trees).
-    pub fn predict_values(&self, table: &DataTable) -> Vec<f64> {
+    /// Reference traversal for [`predict_values`](Self::predict_values).
+    pub fn predict_values_reference(&self, table: &DataTable) -> Vec<f64> {
         (0..table.n_rows())
             .map(|r| self.predict_row(table, r, u32::MAX).value())
             .collect()
