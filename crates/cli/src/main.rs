@@ -56,7 +56,8 @@ usage:
                         [--workers W] [--compers C] [--seed S] [--out FILE]
                         [--fault-seed S] [--drop-prob P] [--delay-prob P]
                         [--dup-prob P] [--heartbeat-ms N] [--heartbeat-misses N]
-                        [--trace-out FILE] [--metrics-json FILE]
+                        [--trace-out FILE] [--trace-report FILE]
+                        [--metrics-json FILE] [--metrics-prom FILE]
                         [--quiet] [--verbose]
   treeserver predict    --model FILE --csv FILE --target COL --task class|reg
                         [--out FILE] [--threads N] [--block-rows N]
@@ -77,11 +78,17 @@ reliability (train):
 
 observability (train):
   --trace-out FILE      write a Chrome trace-event JSON (open in Perfetto or
-                        chrome://tracing) of the run's task lifecycle
+                        chrome://tracing) of the run's task lifecycle,
+                        including span flow arrows across machines
+  --trace-report FILE   write a TraceReport JSON for the last finished job:
+                        critical-path segments, phase totals (scheduling/
+                        network/queueing/compute/gather), span latencies
   --metrics-json FILE   write the metrics registry (counters + histograms)
                         as JSON alongside the cluster report
+  --metrics-prom FILE   write the same registry in Prometheus text format
   --quiet               suppress all non-error output
-  --verbose             also print event/metric totals after training
+  --verbose             also print event/metric totals and the rolling
+                        task-latency feed (p50/p95) after training
 
 serving (predict):
   --threads N           threads for the compiled batch evaluator (0 = all
@@ -229,7 +236,9 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
         return Err("--quiet and --verbose are mutually exclusive".into());
     }
     let trace_out = opts.get("trace-out").map(str::to_string);
+    let trace_report = opts.get("trace-report").map(str::to_string);
     let metrics_out = opts.get("metrics-json").map(str::to_string);
+    let metrics_prom = opts.get("metrics-prom").map(str::to_string);
 
     let table = load_table(opts)?;
     let task = table.schema().task;
@@ -237,8 +246,16 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
     let dmax = opts.num("dmax", 10u32)?;
     let seed = opts.num("seed", 0u64)?;
     let mut cfg = cluster_config(opts, table.n_rows())?;
-    if trace_out.is_some() || metrics_out.is_some() || verbose {
+    if trace_out.is_some()
+        || trace_report.is_some()
+        || metrics_out.is_some()
+        || metrics_prom.is_some()
+        || verbose
+    {
         cfg.obs = treeserver::obs::ObsConfig::enabled();
+        // --verbose also streams the rolling p50/p95 task-latency feed line
+        // the master prints as each job finishes.
+        cfg.obs.log_latency_feed = verbose;
     }
     if !quiet {
         eprintln!(
@@ -297,10 +314,29 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
                 eprintln!("trace written to {path} (load in Perfetto or chrome://tracing)");
             }
         }
+        if let Some(path) = &trace_report {
+            match rec.trace_report() {
+                Some(report) => {
+                    std::fs::write(path, report.to_json())
+                        .map_err(|e| format!("writing {path}: {e}"))?;
+                    if !quiet {
+                        eprintln!("trace report written to {path}");
+                    }
+                }
+                None => eprintln!("warning: no finished job span — trace report not written"),
+            }
+        }
         if let Some(path) = &metrics_out {
             std::fs::write(path, rec.metrics_json()).map_err(|e| format!("writing {path}: {e}"))?;
             if !quiet {
                 eprintln!("metrics written to {path}");
+            }
+        }
+        if let Some(path) = &metrics_prom {
+            std::fs::write(path, rec.metrics().to_prometheus_text())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            if !quiet {
+                eprintln!("prometheus metrics written to {path}");
             }
         }
         if verbose {

@@ -1,0 +1,101 @@
+//! End-to-end trace smoke test: drive the real `treeserver` binary with
+//! `--trace-out` / `--trace-report` / `--metrics-prom` and check that every
+//! artifact parses and carries the expected structure. CI runs this as its
+//! trace-smoke gate.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A small deterministic two-class CSV (no RNG needed: class follows f0).
+fn write_csv(dir: &std::path::Path) -> PathBuf {
+    let mut csv = String::from("f0,f1,f2,label\n");
+    for i in 0..400u32 {
+        let f0 = (i % 97) as f64 / 97.0;
+        let f1 = ((i * 7) % 89) as f64 / 89.0;
+        let f2 = ((i * 13) % 83) as f64 / 83.0;
+        let label = if f0 > 0.5 { "pos" } else { "neg" };
+        csv.push_str(&format!("{f0:.4},{f1:.4},{f2:.4},{label}\n"));
+    }
+    let path = dir.join("smoke.csv");
+    std::fs::write(&path, csv).expect("write csv");
+    path
+}
+
+#[test]
+fn train_writes_parseable_trace_artifacts() {
+    let dir = std::env::temp_dir().join(format!("ts-trace-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mk temp dir");
+    let csv = write_csv(&dir);
+    let trace = dir.join("trace.json");
+    let report = dir.join("report.json");
+    let prom = dir.join("metrics.prom");
+    let model = dir.join("model.json");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_treeserver"))
+        .args([
+            "train",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--target",
+            "label",
+            "--task",
+            "class",
+            "--model",
+            "rf",
+            "--trees",
+            "4",
+            "--workers",
+            "2",
+            "--out",
+            model.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--trace-report",
+            report.to_str().unwrap(),
+            "--metrics-prom",
+            prom.to_str().unwrap(),
+            "--quiet",
+        ])
+        .output()
+        .expect("run treeserver");
+    assert!(
+        out.status.success(),
+        "train failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Chrome trace: valid JSON with a non-empty traceEvents array.
+    let trace_text = std::fs::read_to_string(&trace).expect("trace written");
+    let trace_json = tsjson::from_str::<tsjson::Value>(&trace_text).expect("trace is valid JSON");
+    let events = trace_json["traceEvents"]
+        .as_array()
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "trace must contain events");
+
+    // TraceReport: valid JSON, non-empty critical path whose phase totals
+    // sum to the wall clock.
+    let report_text = std::fs::read_to_string(&report).expect("report written");
+    let report_json =
+        tsjson::from_str::<tsjson::Value>(&report_text).expect("report is valid JSON");
+    let path = report_json["critical_path"]
+        .as_array()
+        .expect("critical_path array");
+    assert!(!path.is_empty(), "critical path must be non-empty");
+    let wall = report_json["wall_ns"].as_u64().expect("wall_ns");
+    let phases = report_json["phase_totals_ns"]
+        .as_object()
+        .expect("phase_totals_ns object");
+    let sum: u64 = phases.iter().map(|(_, v)| v.as_u64().expect("ns")).sum();
+    assert_eq!(sum, wall, "phase totals must tile the wall clock");
+
+    // Prometheus text: the training counters in exposition format.
+    let prom_text = std::fs::read_to_string(&prom).expect("prom written");
+    assert!(
+        prom_text.contains("# TYPE jobs_finished counter"),
+        "{prom_text}"
+    );
+    assert!(prom_text.contains("jobs_finished 1"), "{prom_text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -355,6 +355,23 @@ impl Cluster {
         self.stats.recorder()
     }
 
+    /// The rolling task-latency feed (p50/p95 of column- and subtree-task
+    /// durations), when a recorder is attached. This is the read side of
+    /// ROADMAP item 4's adaptive τ: schedulers can poll it cheaply while
+    /// training runs.
+    #[cfg(feature = "obs")]
+    pub fn latency_feed(&self) -> Option<ts_obs::LatencyFeedSnapshot> {
+        self.stats.recorder().map(|r| r.latency_feed().snapshot())
+    }
+
+    /// Reconstructs the span DAG from the rings and builds a `TraceReport`
+    /// for the most recently finished job (critical path + phase breakdown).
+    /// `None` without a recorder or before any job span closed.
+    #[cfg(feature = "obs")]
+    pub fn trace_report(&self) -> Option<ts_obs::TraceReport> {
+        self.stats.recorder().and_then(|r| r.trace_report())
+    }
+
     /// Folds the process-global split-kernel counters (delta since launch)
     /// into the recorder's metrics registry. Monotone: only the missing
     /// remainder is added, so repeated calls never double-count.

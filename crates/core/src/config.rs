@@ -67,8 +67,9 @@ pub struct ClusterConfig {
     pub heartbeat_miss_threshold: u32,
     /// Observability: task-lifecycle tracing and metrics (see
     /// `docs/OBSERVABILITY.md`). Off by default; `Cluster::launch` builds a
-    /// recorder only when `obs.enabled` is set.
-    #[cfg(feature = "obs")]
+    /// recorder only when `obs.enabled` is set *and* the `obs` feature is
+    /// compiled in (the field itself is always present, so configs are
+    /// feature-independent).
     pub obs: ts_obs::ObsConfig,
 }
 
@@ -89,7 +90,6 @@ impl Default for ClusterConfig {
             retry: RetryConfig::default(),
             heartbeat_interval: Duration::from_millis(20),
             heartbeat_miss_threshold: 25,
-            #[cfg(feature = "obs")]
             obs: ts_obs::ObsConfig::default(),
         }
     }

@@ -18,6 +18,16 @@ use tsrand::SeedableRng;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct JobHandle(pub(crate) u64);
 
+impl JobHandle {
+    /// The job id, as it appears in observability output: `JobSubmitted` /
+    /// `JobFinished` events, the job span's `subject`, and
+    /// `TraceReport::job`. Use it to correlate a submitted job with its
+    /// trace.
+    pub fn id(&self) -> u64 {
+        self.0
+    }
+}
+
 /// What kind of model a job trains.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobKind {

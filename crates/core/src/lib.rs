@@ -65,7 +65,6 @@ macro_rules! obs_event {
     ($stats:expr, $node:expr, $event:expr) => {};
 }
 
-#[cfg(feature = "obs")]
 pub use ts_obs as obs;
 
 pub mod assign;

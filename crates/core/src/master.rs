@@ -32,6 +32,7 @@ use ts_datatable::Task;
 #[cfg(feature = "obs")]
 use ts_netsim::WireSized;
 use ts_netsim::{Fabric, FabricReceiver, NodeId};
+use ts_obs::{SpanId, TraceCtx};
 use ts_splits::exact::ColumnSplit;
 use ts_splits::impurity::NodeStats;
 use ts_tree::{
@@ -56,6 +57,12 @@ struct PlanDesc {
     /// randomness (extra-trees sampling, subtree seeds) derives from it
     /// rather than from racy task ids.
     path: u64,
+    /// The trace (job span id) this plan belongs to.
+    trace: u64,
+    /// The plan's own span, opened when the plan is created; `SpanActive`
+    /// when `θ_main` pops it, closed when its dispatch sends are done.
+    #[cfg_attr(not(feature = "obs"), allow(dead_code))]
+    span: u64,
 }
 
 /// SplitMix64 finaliser: decorrelates path-derived seeds.
@@ -75,9 +82,17 @@ struct MasterTask {
     path: u64,
     charges: Vec<(NodeId, [u64; 3])>,
     kind: TaskKind,
-    /// Dispatch time, for the master-side task-latency histograms.
+    /// The trace (job span id) the task belongs to.
+    #[cfg_attr(not(feature = "obs"), allow(dead_code))]
+    trace: u64,
+    /// The task's span (the one its plan/result frames carry).
+    #[cfg_attr(not(feature = "obs"), allow(dead_code))]
+    span: u64,
+    /// Dispatch clock reading (`Fabric::clock`), for the master-side
+    /// task-latency histograms; virtual time under `SimClock::virtual_at`,
+    /// so seeded replays measure identical latencies.
     #[cfg(feature = "obs")]
-    started: std::time::Instant,
+    started_ns: u64,
 }
 
 #[allow(clippy::large_enum_variant)] // Column is the hot variant; boxing it costs more
@@ -96,6 +111,8 @@ struct ActiveTree {
     job: u64,
     /// Index of this tree within its job.
     index: usize,
+    /// The owning job's trace id (= its root span).
+    trace: u64,
     spec: TreeSpec,
     nodes: Vec<Node>,
     /// Outstanding tasks (Appendix C's per-tree progress counter).
@@ -109,6 +126,10 @@ struct JobState {
     models: Vec<Option<DecisionTreeModel>>,
     kind: JobKind,
     notify: Sender<JobResult>,
+    /// The job's root span; doubles as the trace id for every span the job
+    /// produces (plans, tasks, child plans, ...).
+    #[cfg_attr(not(feature = "obs"), allow(dead_code))]
+    span: u64,
 }
 
 /// Trees waiting for pool admission.
@@ -116,6 +137,8 @@ struct QueuedTree {
     job: u64,
     index: usize,
     spec: TreeSpec,
+    /// The owning job's trace id (= its root span).
+    trace: u64,
 }
 
 struct Registry {
@@ -149,6 +172,9 @@ pub struct Master {
     mwork: Mutex<LoadMatrix>,
     registry: Mutex<Registry>,
     next_task: AtomicU64,
+    /// Span-id allocator for ts-trace. Master-allocated so ids are unique
+    /// cluster-wide; starts at 1 because 0 means "no span".
+    next_span: AtomicU64,
     /// Cluster-wide count of subtree delegations, driving the fault plan's
     /// `crash_at_delegation` trigger (global so the trigger is independent
     /// of which worker happens to be picked as key worker).
@@ -208,6 +234,7 @@ impl Master {
                 next_job: 0,
             }),
             next_task: AtomicU64::new(0),
+            next_span: AtomicU64::new(1),
             delegations: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             fabric,
@@ -237,6 +264,9 @@ impl Master {
             let _ = tx.send(JobResult::Failed(err));
             return (JobHandle(job_id), rx);
         }
+        // The job's root span doubles as the trace id: every descendant
+        // span (plans, tasks) carries it across the fabric.
+        let job_span = self.new_span();
         let mut reg = self.registry.lock();
         let job_id = reg.next_job;
         reg.next_job += 1;
@@ -248,6 +278,7 @@ impl Master {
                 models: vec![None; trees.len()],
                 kind: spec.kind.clone(),
                 notify: tx,
+                span: job_span,
             },
         );
         for (index, spec) in trees.into_iter().enumerate() {
@@ -255,6 +286,7 @@ impl Master {
                 job: job_id,
                 index,
                 spec,
+                trace: job_span,
             });
         }
         drop(reg);
@@ -262,6 +294,17 @@ impl Master {
             self.fabric.stats(),
             0,
             ts_obs::Event::JobSubmitted { job: job_id }
+        );
+        obs_event!(
+            self.fabric.stats(),
+            0,
+            ts_obs::Event::SpanOpen {
+                trace: job_span,
+                span: job_span,
+                parent: 0,
+                kind: ts_obs::SpanKind::Job,
+                subject: job_id,
+            }
         );
         (JobHandle(job_id), rx)
     }
@@ -288,6 +331,10 @@ impl Master {
 
     fn new_task(&self) -> TaskId {
         TaskId(self.next_task.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn new_span(&self) -> u64 {
+        self.next_span.fetch_add(1, Ordering::Relaxed)
     }
 
     fn placeholder_pred(&self) -> Prediction {
@@ -439,11 +486,13 @@ impl Master {
                 };
                 let tree = TreeId(reg.next_tree);
                 reg.next_tree += 1;
+                let trace = q.trace;
                 reg.active.insert(
                     tree,
                     ActiveTree {
                         job: q.job,
                         index: q.index,
+                        trace,
                         spec: q.spec,
                         nodes: vec![Node::leaf(self.placeholder_pred(), 0, 0)],
                         pending: 1,
@@ -457,8 +506,22 @@ impl Master {
                     n_rows: self.n_rows as u64,
                     depth: 0,
                     path: 1,
+                    trace,
+                    span: self.new_span(),
                 }
             };
+            // Root plans hang directly off the job span.
+            obs_event!(
+                self.fabric.stats(),
+                0,
+                ts_obs::Event::SpanOpen {
+                    trace: root.trace,
+                    span: root.span,
+                    parent: root.trace,
+                    kind: ts_obs::SpanKind::Plan,
+                    subject: root.task.0,
+                }
+            );
             self.enqueue_plan(root);
         }
     }
@@ -478,6 +541,37 @@ impl Master {
             ParentRef::Root => None,
             ParentRef::Node { worker, .. } => Some(worker),
         };
+        // The plan span leaves the queue: open→active is queue wait,
+        // active→close is assignment + dispatch sends.
+        obs_event!(
+            self.fabric.stats(),
+            0,
+            ts_obs::Event::SpanActive {
+                span: desc.span,
+                node: 0,
+            }
+        );
+        // The task span: carried by every plan/result frame of this task,
+        // closed by θ_recv when the folded result is final.
+        let task_span = self.new_span();
+        let ctx = TraceCtx::new(desc.trace, SpanId(task_span));
+        obs_event!(
+            self.fabric.stats(),
+            0,
+            ts_obs::Event::SpanOpen {
+                trace: desc.trace,
+                span: task_span,
+                parent: desc.span,
+                kind: if desc.n_rows <= self.cfg.tau_d {
+                    ts_obs::SpanKind::SubtreeTask
+                } else {
+                    ts_obs::SpanKind::ColumnTask
+                },
+                subject: desc.task.0,
+            }
+        );
+        #[cfg(feature = "obs")]
+        let started_ns = self.fabric.clock().now_ns();
 
         let mut msgs: Vec<(NodeId, TaskMsg)> = Vec::new();
         if desc.n_rows <= self.cfg.tau_d {
@@ -504,8 +598,10 @@ impl Master {
                     path: desc.path,
                     charges: asg.charges.clone(),
                     kind: TaskKind::Subtree,
+                    trace: desc.trace,
+                    span: task_span,
                     #[cfg(feature = "obs")]
-                    started: std::time::Instant::now(),
+                    started_ns,
                 },
             );
             if let ParentRef::Node {
@@ -534,6 +630,7 @@ impl Master {
                     depth: desc.depth,
                     params,
                     seed: mix_seed(tree_seed, desc.path),
+                    ctx,
                 }),
             ));
         } else if params.extra_trees {
@@ -572,8 +669,10 @@ impl Master {
                         best: None,
                         node_stats: None,
                     },
+                    trace: desc.trace,
+                    span: task_span,
                     #[cfg(feature = "obs")]
-                    started: std::time::Instant::now(),
+                    started_ns,
                 },
             );
             if let ParentRef::Node {
@@ -602,6 +701,7 @@ impl Master {
                     depth: desc.depth,
                     params,
                     random_seed: Some(rng.gen()),
+                    ctx,
                 }),
             ));
         } else {
@@ -627,8 +727,10 @@ impl Master {
                         best: None,
                         node_stats: None,
                     },
+                    trace: desc.trace,
+                    span: task_span,
                     #[cfg(feature = "obs")]
-                    started: std::time::Instant::now(),
+                    started_ns,
                 },
             );
             if let ParentRef::Node {
@@ -658,6 +760,7 @@ impl Master {
                         depth: desc.depth,
                         params,
                         random_seed: None,
+                        ctx,
                     }),
                 ));
             }
@@ -692,6 +795,13 @@ impl Master {
                 self.note_delegation(to);
             }
         }
+        // Dispatch done: the plan span ends here; the task span stays open
+        // until θ_recv folds the final result.
+        obs_event!(
+            self.fabric.stats(),
+            0,
+            ts_obs::Event::SpanClose { span: desc.span }
+        );
     }
 
     /// Counts cluster-wide subtree delegations and fires the fault plan's
@@ -745,11 +855,13 @@ impl Master {
                     worker,
                     best,
                     node_stats,
+                    ..
                 } => self.on_column_result(task, worker, best, node_stats),
                 TaskMsg::SubtreeResult {
                     task,
                     worker,
                     subtree,
+                    ..
                 } => self.on_subtree_result(task, worker, subtree),
                 TaskMsg::ReplicateDone { attrs, worker } => {
                     {
@@ -790,7 +902,11 @@ impl Master {
                 ts_obs::Event::ColumnTaskCompleted {
                     task: task.0,
                     node: worker as u32,
-                    latency_ns: entry.started.elapsed().as_nanos() as u64,
+                    latency_ns: self
+                        .fabric
+                        .clock()
+                        .now_ns()
+                        .saturating_sub(entry.started_ns),
                 }
             );
             let TaskKind::Column {
@@ -835,6 +951,13 @@ impl Master {
     /// All shards of a column-task have reported: pick the winner, update
     /// the tree, spawn child tasks (or leaves), and notify the workers.
     fn finalize_column_task(&self, task: TaskId, entry: MasterTask) {
+        // The last shard has been folded: the task span is complete,
+        // whatever the outcome (leaf, winner, or revoked tree).
+        obs_event!(
+            self.fabric.stats(),
+            0,
+            ts_obs::Event::SpanClose { span: entry.span }
+        );
         let TaskKind::Column {
             involved,
             best,
@@ -966,6 +1089,8 @@ impl Master {
                             Side::Left => entry.path.wrapping_shl(1),
                             Side::Right => entry.path.wrapping_shl(1) | 1,
                         },
+                        trace: entry.trace,
+                        span: self.new_span(),
                     });
                 }
             }
@@ -995,6 +1120,20 @@ impl Master {
             );
         }
         for plan in child_plans {
+            // Child plans are causally parented to the column task whose
+            // winning split spawned them — this is the job→plan→task→plan
+            // chain the critical-path walk follows.
+            obs_event!(
+                self.fabric.stats(),
+                0,
+                ts_obs::Event::SpanOpen {
+                    trace: plan.trace,
+                    span: plan.span,
+                    parent: entry.span,
+                    kind: ts_obs::SpanKind::Plan,
+                    subject: plan.task.0,
+                }
+            );
             self.enqueue_plan(plan);
         }
         if done_tree {
@@ -1015,8 +1154,17 @@ impl Master {
                 task: task.0,
                 node: worker as u32,
                 nodes: subtree.n_nodes() as u32,
-                latency_ns: entry.started.elapsed().as_nanos() as u64,
+                latency_ns: self
+                    .fabric
+                    .clock()
+                    .now_ns()
+                    .saturating_sub(entry.started_ns),
             }
+        );
+        obs_event!(
+            self.fabric.stats(),
+            0,
+            ts_obs::Event::SpanClose { span: entry.span }
         );
         let done_tree = {
             let mut reg = self.registry.lock();
@@ -1072,8 +1220,30 @@ impl Master {
             obs_event!(
                 self.fabric.stats(),
                 0,
+                ts_obs::Event::SpanClose { span: job.span }
+            );
+            obs_event!(
+                self.fabric.stats(),
+                0,
                 ts_obs::Event::JobFinished { job: tree.job }
             );
+            #[cfg(feature = "obs")]
+            if let Some(rec) = self.fabric.stats().recorder() {
+                if rec.log_latency_feed() {
+                    let feed = rec.latency_feed().snapshot();
+                    eprintln!(
+                        "treeserver: job {} latency feed: column p50={}ns p95={}ns (n={}), \
+                         subtree p50={}ns p95={}ns (n={})",
+                        tree.job,
+                        feed.column.p50_ns,
+                        feed.column.p95_ns,
+                        feed.column.count,
+                        feed.subtree.p50_ns,
+                        feed.subtree.p95_ns,
+                        feed.subtree.count,
+                    );
+                }
+            }
             let _ = job.notify.send(result);
         }
     }
@@ -1162,11 +1332,13 @@ impl Master {
                 revoked.push(tid);
                 let new_id = TreeId(reg.next_tree);
                 reg.next_tree += 1;
+                let trace = t.trace;
                 reg.active.insert(
                     new_id,
                     ActiveTree {
                         job: t.job,
                         index: t.index,
+                        trace,
                         spec: t.spec,
                         nodes: vec![Node::leaf(self.placeholder_pred(), 0, 0)],
                         pending: 1,
@@ -1180,6 +1352,8 @@ impl Master {
                     n_rows: self.n_rows as u64,
                     depth: 0,
                     path: 1,
+                    trace,
+                    span: self.new_span(),
                 });
             }
         }
@@ -1187,6 +1361,19 @@ impl Master {
         self.mwork.lock().clear();
         self.bplan.lock().clear();
         for root in new_roots {
+            // Restarted roots hang off the job span again, like the
+            // originals; the revoked subtrees' spans simply never close.
+            obs_event!(
+                self.fabric.stats(),
+                0,
+                ts_obs::Event::SpanOpen {
+                    trace: root.trace,
+                    span: root.span,
+                    parent: root.trace,
+                    kind: ts_obs::SpanKind::Plan,
+                    subject: root.task.0,
+                }
+            );
             self.enqueue_plan(root);
         }
 
@@ -1272,6 +1459,8 @@ mod tests {
             n_rows,
             depth: 0,
             path: 1,
+            trace: 0,
+            span: 0,
         };
         m.enqueue_plan(mk(1, 500)); // big -> tail
         m.enqueue_plan(mk(2, 600)); // big -> tail (after 1)
@@ -1313,6 +1502,7 @@ mod tests {
                         col_fraction: -1.0,
                     },
                     notify: tschan::bounded(1).0,
+                    span: 0,
                 },
             );
             for index in 0..10 {
@@ -1322,6 +1512,7 @@ mod tests {
                     spec: JobSpec::random_forest(Task::Classification { n_classes: 2 }, 10)
                         .expand(4)
                         .remove(index),
+                    trace: 0,
                 });
             }
         }

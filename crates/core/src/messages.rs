@@ -10,10 +10,22 @@
 //!
 //! Every message reports an approximate serialized size so the fabric can
 //! account and pace it.
+//!
+//! Task- and data-plane frames that belong to a training job also carry a
+//! [`TraceCtx`] — the id of the master-allocated span that originated the
+//! work — as a plain (never feature-gated) field: context propagation is
+//! part of the wire protocol, so a worker can causally parent its events
+//! to the master's delegation across machines, and the reliable fabric
+//! can attribute retransmissions and duplicate drops to the same span
+//! (see `docs/PROTOCOL.md` and `docs/OBSERVABILITY.md`). The context is
+//! carried out in plans, copied by workers into their data-plane requests,
+//! and echoed back on results. It does not count toward `wire_bytes`: two
+//! u64s ride inside the 24-byte frame header the sizes already charge.
 
 use crate::ids::{ParentRef, Side, TaskId, TreeId};
 use ts_datatable::{Column, ValuesBuf};
 use ts_netsim::{NodeId, WireSized};
+use ts_obs::TraceCtx;
 use ts_splits::exact::ColumnSplit;
 use ts_splits::impurity::NodeStats;
 use ts_splits::{Impurity, SplitTest};
@@ -51,6 +63,9 @@ pub struct ColumnPlan {
     pub params: TreeParams,
     /// Extra-trees only: the seed for the random split draw.
     pub random_seed: Option<u64>,
+    /// The column-task span this plan shard carries (all shards of a task
+    /// share it).
+    pub ctx: TraceCtx,
 }
 
 /// A plan for a subtree-task: "collect `Dx` and build `∆x`".
@@ -73,6 +88,8 @@ pub struct SubtreePlan {
     pub params: TreeParams,
     /// Seed for extra-trees randomness inside the subtree.
     pub seed: u64,
+    /// The subtree-task span this delegation carries.
+    pub ctx: TraceCtx,
 }
 
 /// The best split one worker found among its assigned columns, with the
@@ -106,6 +123,8 @@ pub enum TaskMsg {
         /// The node's own label statistics over `Dx` (for the node's stored
         /// prediction and the leaf decision).
         node_stats: NodeStats,
+        /// The task span, echoed from the plan.
+        ctx: TraceCtx,
     },
     /// Worker → master: a completed subtree.
     SubtreeResult {
@@ -115,6 +134,8 @@ pub enum TaskMsg {
         worker: NodeId,
         /// The built subtree (depths relative to the subtree root).
         subtree: DecisionTreeModel,
+        /// The task span, echoed from the plan.
+        ctx: TraceCtx,
     },
     /// Master → winner worker: your split is the overall best — partition
     /// `Ix` and serve the child tasks (you are now a delegate worker).
@@ -219,6 +240,16 @@ impl WireSized for TaskMsg {
             }
         }
     }
+
+    fn trace_ctx(&self) -> TraceCtx {
+        match self {
+            TaskMsg::ColumnPlan(p) => p.ctx,
+            TaskMsg::SubtreePlan(p) => p.ctx,
+            TaskMsg::ColumnResult { ctx, .. } | TaskMsg::SubtreeResult { ctx, .. } => *ctx,
+            // Control traffic is outside any trace.
+            _ => TraceCtx::NONE,
+        }
+    }
 }
 
 /// Messages on the data channel.
@@ -237,6 +268,8 @@ pub enum DataMsg {
         for_task: TaskId,
         /// The tree both tasks belong to (fault-recovery bookkeeping).
         tree: TreeId,
+        /// The requesting task's span (copied from its plan).
+        ctx: TraceCtx,
     },
     /// The requested row ids.
     RespIx {
@@ -244,6 +277,8 @@ pub enum DataMsg {
         for_task: TaskId,
         /// The rows `Ix` (sorted).
         rows: Vec<u32>,
+        /// The requesting task's span, echoed from the request.
+        ctx: TraceCtx,
     },
     /// Key worker → holder: send me these columns gathered over `for_task`'s
     /// rows (the holder fetches `Ix` from the parent worker itself).
@@ -258,6 +293,8 @@ pub enum DataMsg {
         parent: ParentRef,
         /// The tree the task belongs to (fault-recovery bookkeeping).
         tree: TreeId,
+        /// The subtree task's span (copied from its plan).
+        ctx: TraceCtx,
     },
     /// Holder → key worker: gathered column data.
     RespCols {
@@ -267,6 +304,8 @@ pub enum DataMsg {
         attrs: Vec<usize>,
         /// Gathered values, aligned with the task's `Ix` order.
         bufs: Vec<ValuesBuf>,
+        /// The subtree task's span, echoed from the request.
+        ctx: TraceCtx,
     },
     /// Master-directed replication: the column payload a surviving replica
     /// copies to a new holder (crash recovery).
@@ -295,6 +334,16 @@ impl WireSized for DataMsg {
                     .sum::<usize>()
             }
             DataMsg::Shutdown => HDR,
+        }
+    }
+
+    fn trace_ctx(&self) -> TraceCtx {
+        match self {
+            DataMsg::ReqIx { ctx, .. }
+            | DataMsg::RespIx { ctx, .. }
+            | DataMsg::ReqCols { ctx, .. }
+            | DataMsg::RespCols { ctx, .. } => *ctx,
+            DataMsg::ReplicateCols { .. } | DataMsg::Shutdown => TraceCtx::NONE,
         }
     }
 }
@@ -338,12 +387,35 @@ mod tests {
         let small = DataMsg::RespIx {
             for_task: TaskId(1),
             rows: vec![1, 2],
+            ctx: TraceCtx::NONE,
         };
         let big = DataMsg::RespIx {
             for_task: TaskId(1),
             rows: vec![0; 1000],
+            ctx: TraceCtx::NONE,
         };
         assert!(big.wire_bytes() > small.wire_bytes() + 3900);
+    }
+
+    #[test]
+    fn trace_ctx_rides_frames_without_wire_cost() {
+        // Builds in every feature combination: TraceCtx is a plain field,
+        // not gated behind `obs`.
+        use ts_obs::SpanId;
+        let ctx = TraceCtx::new(3, SpanId(41));
+        let m = DataMsg::ReqIx {
+            parent_task: TaskId(5),
+            side: Side::Left,
+            requester: 2,
+            for_task: TaskId(6),
+            tree: TreeId(1),
+            ctx,
+        };
+        assert_eq!(m.trace_ctx(), ctx);
+        // The context rides inside the accounted frame header.
+        assert_eq!(m.wire_bytes(), 24);
+        assert_eq!(TaskMsg::Shutdown.trace_ctx(), TraceCtx::NONE);
+        assert_eq!(DataMsg::Shutdown.trace_ctx(), TraceCtx::NONE);
     }
 
     #[test]
@@ -352,6 +424,7 @@ mod tests {
             for_task: TaskId(1),
             attrs: vec![0],
             bufs: vec![ValuesBuf::Numeric(vec![0.0; 100])],
+            ctx: TraceCtx::NONE,
         };
         assert!(m.wire_bytes() >= 800);
     }
@@ -364,6 +437,7 @@ mod tests {
             worker: 1,
             best: None,
             node_stats: stats,
+            ctx: TraceCtx::NONE,
         };
         assert!(m.wire_bytes() >= 24 + 24);
     }

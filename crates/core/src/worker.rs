@@ -30,6 +30,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use ts_datatable::{AttrType, Column, Labels, SortedColumn, Task, ValuesBuf};
 use ts_netsim::{BusyGuard, Fabric, FabricReceiver, NetStats, NodeId};
+use ts_obs::TraceCtx;
 use ts_splits::exact::ColumnSplit;
 use ts_splits::impurity::Impurity;
 use ts_splits::impurity::{LabelView, NodeStats};
@@ -84,6 +85,9 @@ enum PendingTask {
         tree: TreeId,
         attrs: Vec<usize>,
         key_worker: NodeId,
+        /// Trace context of the subtree task being provisioned; echoed on
+        /// the eventual `RespCols` so the transfer stays attributed.
+        ctx: TraceCtx,
     },
 }
 
@@ -142,12 +146,18 @@ impl DelegateEntry {
     }
 }
 
+/// One parked `Ix` request: everything needed to replay it after
+/// `ConfirmBest`, including the `TraceCtx` that keeps the response
+/// attributed to the requesting task's span.
+type ParkedIxReq = (TreeId, Side, NodeId, TaskId, TraceCtx);
+
 struct WorkerState {
     tasks: HashMap<TaskId, PendingTask>,
     awaiting: HashMap<TaskId, AwaitingVerdict>,
     delegates: HashMap<TaskId, DelegateEntry>,
-    /// `Ix` requests that arrived before `ConfirmBest`, keyed by parent task.
-    parked: HashMap<TaskId, Vec<(TreeId, Side, NodeId, TaskId)>>,
+    /// `Ix` requests that arrived before `ConfirmBest`, keyed by parent
+    /// task.
+    parked: HashMap<TaskId, Vec<ParkedIxReq>>,
     /// Trees revoked by fault recovery: results for them are suppressed.
     revoked: HashSet<TreeId>,
 }
@@ -383,6 +393,15 @@ impl Worker {
     }
 
     fn on_column_plan(&self, plan: ColumnPlan) {
+        // Cross-machine causality: the master's task span is now live here.
+        obs_event!(
+            self.stats,
+            self.id,
+            ts_obs::Event::SpanRecv {
+                span: plan.ctx.span.0,
+                node: self.id as u32,
+            }
+        );
         match plan.parent {
             ParentRef::Root => {
                 let _ = self.ready_tx.send(ReadyTask::Column {
@@ -397,18 +416,28 @@ impl Worker {
             } => {
                 let task = plan.task;
                 let tree = plan.tree;
+                let ctx = plan.ctx;
                 self.state
                     .lock()
                     .tasks
                     .insert(task, PendingTask::Column { plan });
-                self.request_ix(worker, ptask, side, task, tree);
+                self.request_ix(worker, ptask, side, task, tree, ctx);
             }
         }
     }
 
     fn on_subtree_plan(&self, plan: SubtreePlan) {
+        obs_event!(
+            self.stats,
+            self.id,
+            ts_obs::Event::SpanRecv {
+                span: plan.ctx.span.0,
+                node: self.id as u32,
+            }
+        );
         let task = plan.task;
         let me = self.id;
+        let ctx = plan.ctx;
         // Group remote column requests by holder.
         let mut by_holder: HashMap<NodeId, Vec<usize>> = HashMap::new();
         let mut remote_needed = 0usize;
@@ -454,6 +483,7 @@ impl Worker {
                     key_worker: me,
                     parent,
                     tree,
+                    ctx,
                 },
             );
         }
@@ -463,7 +493,7 @@ impl Worker {
             side,
         } = parent
         {
-            self.request_ix(worker, ptask, side, task, tree);
+            self.request_ix(worker, ptask, side, task, tree, ctx);
         }
     }
 
@@ -474,6 +504,7 @@ impl Worker {
         side: Side,
         for_task: TaskId,
         tree: TreeId,
+        ctx: TraceCtx,
     ) {
         let _ = self.fabric_data.send(
             self.id,
@@ -484,6 +515,7 @@ impl Worker {
                 requester: self.id,
                 for_task,
                 tree,
+                ctx,
             },
         );
     }
@@ -519,8 +551,8 @@ impl Worker {
             );
             // Replay any Ix requests that raced ahead of the verdict.
             if let Some(parked) = st.parked.remove(&task) {
-                for (_tree, side, requester, for_task) in parked {
-                    if let Some(resp) = self.serve_ix(&mut st, task, side, for_task) {
+                for (_tree, side, requester, for_task, ctx) in parked {
+                    if let Some(resp) = self.serve_ix(&mut st, task, side, for_task, ctx) {
                         responses.push((requester, resp));
                     }
                 }
@@ -573,7 +605,7 @@ impl Worker {
             }
         });
         for reqs in st.parked.values_mut() {
-            reqs.retain(|&(t, _, _, _)| t != tree);
+            reqs.retain(|&(t, _, _, _, _)| t != tree);
         }
         st.parked.retain(|_, reqs| !reqs.is_empty());
         self.stats.mem_free(self.id, freed);
@@ -591,18 +623,19 @@ impl Worker {
                     requester,
                     for_task,
                     tree,
+                    ctx,
                 } => {
                     let response = {
                         let mut st = self.state.lock();
                         if st.delegates.contains_key(&parent_task) {
-                            self.serve_ix(&mut st, parent_task, side, for_task)
+                            self.serve_ix(&mut st, parent_task, side, for_task, ctx)
                         } else if st.revoked.contains(&tree) {
                             None // requester's task was revoked too
                         } else {
                             st.parked
                                 .entry(parent_task)
                                 .or_default()
-                                .push((tree, side, requester, for_task));
+                                .push((tree, side, requester, for_task, ctx));
                             None
                         }
                     };
@@ -610,18 +643,20 @@ impl Worker {
                         let _ = self.fabric_data.send(self.id, requester, resp);
                     }
                 }
-                DataMsg::RespIx { for_task, rows } => self.on_resp_ix(for_task, rows),
+                DataMsg::RespIx { for_task, rows, .. } => self.on_resp_ix(for_task, rows),
                 DataMsg::ReqCols {
                     for_task,
                     attrs,
                     key_worker,
                     parent,
                     tree,
-                } => self.on_req_cols(for_task, attrs, key_worker, parent, tree),
+                    ctx,
+                } => self.on_req_cols(for_task, attrs, key_worker, parent, tree, ctx),
                 DataMsg::RespCols {
                     for_task,
                     attrs,
                     bufs,
+                    ..
                 } => self.on_resp_cols(for_task, attrs, bufs),
                 DataMsg::Shutdown => break,
                 DataMsg::ReplicateCols { columns } => {
@@ -648,6 +683,7 @@ impl Worker {
         parent_task: TaskId,
         side: Side,
         for_task: TaskId,
+        ctx: TraceCtx,
     ) -> Option<DataMsg> {
         let idx = DelegateEntry::side_idx(side);
         let (rows, done, freed) = {
@@ -664,14 +700,22 @@ impl Worker {
         if done {
             st.delegates.remove(&parent_task);
         }
-        Some(DataMsg::RespIx { for_task, rows })
+        Some(DataMsg::RespIx {
+            for_task,
+            rows,
+            ctx,
+        })
     }
 
     fn on_resp_ix(&self, for_task: TaskId, rows: Vec<u32>) {
         let ix = RowSet::Ids(Arc::new(rows));
         enum Next {
             Nothing,
-            Serve { attrs: Vec<usize>, key: NodeId },
+            Serve {
+                attrs: Vec<usize>,
+                key: NodeId,
+                ctx: TraceCtx,
+            },
         }
         let next = {
             let mut st = self.state.lock();
@@ -710,7 +754,10 @@ impl Worker {
                 }
                 Some(PendingTask::Serve { .. }) => {
                     let Some(PendingTask::Serve {
-                        attrs, key_worker, ..
+                        attrs,
+                        key_worker,
+                        ctx,
+                        ..
                     }) = st.tasks.remove(&for_task)
                     else {
                         unreachable!()
@@ -718,12 +765,13 @@ impl Worker {
                     Next::Serve {
                         attrs,
                         key: key_worker,
+                        ctx,
                     }
                 }
             }
         };
-        if let Next::Serve { attrs, key } = next {
-            self.send_cols(for_task, &attrs, key, &ix);
+        if let Next::Serve { attrs, key, ctx } = next {
+            self.send_cols(for_task, &attrs, key, &ix, ctx);
         }
     }
 
@@ -734,9 +782,10 @@ impl Worker {
         key_worker: NodeId,
         parent: ParentRef,
         tree: TreeId,
+        ctx: TraceCtx,
     ) {
         match parent {
-            ParentRef::Root => self.send_cols(for_task, &attrs, key_worker, &RowSet::All),
+            ParentRef::Root => self.send_cols(for_task, &attrs, key_worker, &RowSet::All, ctx),
             ParentRef::Node {
                 worker,
                 task: ptask,
@@ -753,15 +802,23 @@ impl Worker {
                             tree,
                             attrs,
                             key_worker,
+                            ctx,
                         },
                     );
                 }
-                self.request_ix(worker, ptask, side, for_task, tree);
+                self.request_ix(worker, ptask, side, for_task, tree, ctx);
             }
         }
     }
 
-    fn send_cols(&self, for_task: TaskId, attrs: &[usize], key_worker: NodeId, ix: &RowSet) {
+    fn send_cols(
+        &self,
+        for_task: TaskId,
+        attrs: &[usize],
+        key_worker: NodeId,
+        ix: &RowSet,
+        ctx: TraceCtx,
+    ) {
         let bufs: Vec<ValuesBuf> = {
             let store = self.columns.read();
             attrs
@@ -779,6 +836,7 @@ impl Worker {
                 for_task,
                 attrs: attrs.to_vec(),
                 bufs,
+                ctx,
             },
         );
     }
@@ -833,6 +891,15 @@ impl Worker {
             match task {
                 ReadyTask::Stop => break,
                 ReadyTask::Column { plan, ix } => {
+                    // A comper picked the task up: queue wait ends here.
+                    obs_event!(
+                        self.stats,
+                        self.id,
+                        ts_obs::Event::SpanActive {
+                            span: plan.ctx.span.0,
+                            node: self.id as u32,
+                        }
+                    );
                     #[cfg(feature = "obs")]
                     let (task_id, t0) = (plan.task.0, std::time::Instant::now());
                     let msg = {
@@ -857,6 +924,14 @@ impl Worker {
                     ix,
                     remote_bufs,
                 } => {
+                    obs_event!(
+                        self.stats,
+                        self.id,
+                        ts_obs::Event::SpanActive {
+                            span: plan.ctx.span.0,
+                            node: self.id as u32,
+                        }
+                    );
                     #[cfg(feature = "obs")]
                     let (task_id, t0) = (plan.task.0, std::time::Instant::now());
                     let msg = {
@@ -1034,6 +1109,7 @@ impl Worker {
             worker: self.id,
             best,
             node_stats,
+            ctx: plan.ctx,
         })
     }
 
@@ -1102,6 +1178,7 @@ impl Worker {
             task: plan.task,
             worker: self.id,
             subtree,
+            ctx: plan.ctx,
         })
     }
 }
@@ -1159,6 +1236,7 @@ mod tests {
             tree: TreeId(7),
             attrs: vec![0],
             key_worker: 1,
+            ctx: TraceCtx::NONE,
         };
         assert_eq!(serve.tree(), TreeId(7));
     }

@@ -111,9 +111,15 @@ fn chrome_trace_is_valid_json_with_required_fields() {
     for ev in events {
         let ph = ev["ph"].as_str().expect("every event needs a ph");
         assert!(
-            ["X", "i", "C", "M"].contains(&ph),
+            ["X", "i", "C", "M", "s", "f"].contains(&ph),
             "unexpected phase {ph:?} in {ev}"
         );
+        if ph == "s" || ph == "f" {
+            assert!(
+                ev["id"].as_u64().is_some(),
+                "flow events need a span id: {ev}"
+            );
+        }
         assert!(ev.get("pid").is_some(), "every event needs a pid: {ev}");
         if ph != "M" {
             assert!(

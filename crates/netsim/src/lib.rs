@@ -42,6 +42,14 @@ pub type NodeId = usize;
 pub trait WireSized {
     /// Approximate serialized size in bytes.
     fn wire_bytes(&self) -> usize;
+
+    /// The causal span context the message carries, if any. The reliable
+    /// fabric reads it to attribute retransmissions and duplicate drops to
+    /// the originating span; defaults to [`TraceCtx::NONE`] for payloads
+    /// outside any trace (heartbeats, raw test messages).
+    fn trace_ctx(&self) -> ts_obs::TraceCtx {
+        ts_obs::TraceCtx::NONE
+    }
 }
 
 /// The link model applied to every non-local send.
@@ -755,6 +763,9 @@ impl<M: WireSized + Clone> Fabric<M> {
                         to: to as u32,
                         seq,
                         attempt,
+                        // A retransmission stays attributed to the span of
+                        // the payload it re-carries.
+                        span: msg.trace_ctx().span.0,
                     },
                 );
             }
@@ -902,7 +913,7 @@ impl<M: WireSized + Clone> FabricReceiver<M> {
                 let RecvState { ready, edges } = &mut *st;
                 let edge = &mut edges[from];
                 if seq < edge.next_expected {
-                    self.note_duplicate(from, seq);
+                    self.note_duplicate(from, seq, payload.trace_ctx().span.0);
                 } else if seq == edge.next_expected {
                     edge.next_expected += 1;
                     ready.push_back(payload);
@@ -910,8 +921,9 @@ impl<M: WireSized + Clone> FabricReceiver<M> {
                         edge.next_expected += 1;
                         ready.push_back(next);
                     }
-                } else if edge.pending.insert(seq, payload).is_some() {
-                    self.note_duplicate(from, seq);
+                } else if let Some(old) = edge.pending.insert(seq, payload) {
+                    // Same (from, seq) => same frame => same span.
+                    self.note_duplicate(from, seq, old.trace_ctx().span.0);
                 }
             }
             Packet::Ack { from, seq } => {
@@ -923,7 +935,7 @@ impl<M: WireSized + Clone> FabricReceiver<M> {
     }
 
     #[cfg_attr(not(feature = "obs"), allow(unused_variables))]
-    fn note_duplicate(&self, from: NodeId, seq: u64) {
+    fn note_duplicate(&self, from: NodeId, seq: u64, span: u64) {
         #[cfg(feature = "obs")]
         if let Some(rec) = self.fabric.stats.recorder() {
             rec.record(
@@ -932,6 +944,7 @@ impl<M: WireSized + Clone> FabricReceiver<M> {
                     node: self.node as u32,
                     from: from as u32,
                     seq,
+                    span,
                 },
             );
         }

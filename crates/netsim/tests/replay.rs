@@ -43,6 +43,119 @@ fn run(seed: u64) -> String {
     format!("{:?}", rec.events())
 }
 
+/// A frame that carries a trace context, like the engine's real messages.
+#[derive(Clone)]
+struct SpanMsg {
+    bytes: usize,
+    ctx: ts_obs::TraceCtx,
+}
+
+impl WireSized for SpanMsg {
+    fn wire_bytes(&self) -> usize {
+        self.bytes
+    }
+    fn trace_ctx(&self) -> ts_obs::TraceCtx {
+        self.ctx
+    }
+}
+
+/// Runs a synthetic traced job — master span, one plan span, a fan-out of
+/// task spans whose frames cross a faulty fabric — entirely on the virtual
+/// clock, and returns the reconstructed span DAG (debug form) plus the
+/// `TraceReport` JSON.
+fn run_spans(seed: u64) -> (String, String) {
+    use ts_obs::{Event, SpanKind, TraceCtx};
+    let n = 4;
+    let clock = SimClock::virtual_at(0);
+    let stats = NetStats::new(n);
+    let rec = Arc::new(ts_obs::Recorder::with_time_source(
+        n,
+        &ts_obs::ObsConfig::enabled(),
+        clock
+            .time_source()
+            .expect("virtual clock exposes its counter"),
+    ));
+    stats.set_recorder(Arc::clone(&rec));
+    let plan = FaultPlan::new(seed)
+        .with_message_drops(0.10)
+        .with_message_delays(0.25, Duration::from_millis(5))
+        .with_message_duplicates(0.10);
+    let (fabric, _rxs) =
+        Fabric::<SpanMsg>::new_faulty(n, NetModel::gige(), Arc::clone(&stats), Some(plan), clock);
+
+    let trace = 1u64;
+    rec.record(
+        0,
+        Event::SpanOpen {
+            trace,
+            span: 1,
+            parent: 0,
+            kind: SpanKind::Job,
+            subject: 0,
+        },
+    );
+    rec.record(
+        0,
+        Event::SpanOpen {
+            trace,
+            span: 2,
+            parent: 1,
+            kind: SpanKind::Plan,
+            subject: 0,
+        },
+    );
+    rec.record(0, Event::SpanActive { span: 2, node: 0 });
+    for t in 0..12u64 {
+        let span = 3 + t;
+        let worker = (t as usize % (n - 1)) + 1;
+        rec.record(
+            0,
+            Event::SpanOpen {
+                trace,
+                span,
+                parent: 2,
+                kind: SpanKind::ColumnTask,
+                subject: t,
+            },
+        );
+        // The plan frame carries the span across the (faulty) fabric; the
+        // result frame carries it back.
+        let ctx = TraceCtx::new(trace, ts_obs::SpanId(span));
+        let _ = fabric.send(0, worker, SpanMsg { bytes: 256, ctx });
+        rec.record(
+            worker as u32,
+            Event::SpanRecv {
+                span,
+                node: worker as u32,
+            },
+        );
+        rec.record(
+            worker as u32,
+            Event::SpanActive {
+                span,
+                node: worker as u32,
+            },
+        );
+        rec.record(
+            worker as u32,
+            Event::TaskComputed {
+                task: t,
+                node: worker as u32,
+                busy_ns: 1_000,
+            },
+        );
+        let _ = fabric.send(worker, 0, SpanMsg { bytes: 64, ctx });
+        rec.record(0, Event::SpanClose { span });
+    }
+    rec.record(0, Event::SpanClose { span: 2 });
+    rec.record(0, Event::SpanClose { span: 1 });
+
+    let events = rec.events();
+    let dag = ts_obs::SpanDag::from_events(&events);
+    let report = ts_obs::TraceReport::build(&dag).expect("job span closed");
+    (format!("{dag:?}"), report.to_json())
+}
+
 #[test]
 fn same_fault_seed_replays_byte_identically() {
     let a = run(0xD5);
@@ -58,4 +171,24 @@ fn same_fault_seed_replays_byte_identically() {
     );
     let c = run(0xBEEF);
     assert_ne!(a, c, "a different seed must pick different faults");
+}
+
+#[test]
+fn span_dag_and_critical_path_replay_byte_identically_under_faults() {
+    let (dag_a, report_a) = run_spans(0xC0FFEE);
+    let (dag_b, report_b) = run_spans(0xC0FFEE);
+    assert_eq!(dag_a, dag_b, "same seed must rebuild the same span DAG");
+    assert_eq!(
+        report_a, report_b,
+        "same seed must produce a byte-identical trace report"
+    );
+    // The report is non-trivial: a real critical path with phase totals
+    // that tile the root span's wall clock exactly.
+    assert!(report_a.contains("\"critical_path\""));
+    assert!(report_a.contains("column_task"));
+    let (_, report_c) = run_spans(0xDECAF);
+    assert_ne!(
+        report_a, report_c,
+        "different fault seeds change delivery timing, hence the report"
+    );
 }

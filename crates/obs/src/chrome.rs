@@ -9,6 +9,12 @@
 //!   a `job` span on the master's track;
 //! - `TaskComputed` becomes a retroactive `compute` span (the comper only
 //!   knows its busy time once it finishes);
+//! - span lifecycle events become *flow* records: a task-kind `SpanOpen`
+//!   emits a flow start (`"ph":"s"`) on the master and the matching
+//!   `SpanRecv` a flow finish (`"ph":"f"`, `"bp":"e"`) on the receiving
+//!   machine, so Perfetto draws the causal arrow of every cross-machine
+//!   handoff; a plan span's `SpanOpen`/`SpanClose` pair is a `plan`
+//!   complete span on the master's track;
 //! - `BplanPush` becomes a `bplan_len` counter sample (`"ph":"C"`);
 //! - everything else becomes an instant (`"ph":"i"`);
 //! - every process id gets a `process_name` metadata record (`"ph":"M"`).
@@ -18,8 +24,9 @@
 
 use crate::event::{DequeEnd, Event, TimedEvent};
 use crate::json;
+use crate::span::SpanKind;
 use std::collections::BTreeSet;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 
 const MASTER_PID: u32 = 0;
@@ -79,6 +86,15 @@ impl Emitter {
         self.emit(name, 'C', ts_ns, pid, &body);
     }
 
+    /// A flow record (`ph` is `'s'` start or `'f'` finish); `id` ties the
+    /// two ends of the arrow together (we use the span id). Finishes bind
+    /// to the enclosing slice's end (`"bp":"e"`).
+    fn flow(&mut self, ph: char, ts_ns: u64, pid: u32, tid: u64, id: u64) {
+        let bp = if ph == 'f' { ",\"bp\":\"e\"" } else { "" };
+        let body = format!(",\"tid\":{tid},\"cat\":\"span\",\"id\":{id}{bp}");
+        self.emit("handoff", ph, ts_ns, pid, &body);
+    }
+
     fn finish(mut self) -> String {
         // Metadata records carry no ts; pid 0 is the master, the rest are
         // the simulated worker machines.
@@ -105,9 +121,52 @@ pub(crate) fn export(mut events: Vec<TimedEvent>) -> String {
     let mut open_cols: HashMap<(u64, u32), TimedEvent> = HashMap::new();
     let mut open_subs: HashMap<u64, TimedEvent> = HashMap::new();
     let mut open_jobs: HashMap<u64, TimedEvent> = HashMap::new();
+    // Plan spans awaiting their close, and span -> subject for flow tids.
+    let mut open_plans: HashMap<u64, TimedEvent> = HashMap::new();
+    let mut span_subjects: HashMap<u64, u64> = HashMap::new();
 
     for ev in &events {
         match ev.event {
+            Event::SpanOpen {
+                span,
+                kind,
+                subject,
+                ..
+            } => {
+                span_subjects.insert(span, subject);
+                match kind {
+                    SpanKind::Plan => {
+                        open_plans.insert(span, *ev);
+                    }
+                    // A task span opens at the master and is received on a
+                    // worker: the flow start half of the causal arrow.
+                    SpanKind::ColumnTask | SpanKind::SubtreeTask => {
+                        e.flow('s', ev.ts_ns, MASTER_PID, subject + 1, span);
+                    }
+                    SpanKind::Job => {}
+                }
+            }
+            Event::SpanRecv { span, node } => {
+                let tid = span_subjects.get(&span).copied().unwrap_or(0) + 1;
+                e.flow('f', ev.ts_ns, node, tid, span);
+            }
+            Event::SpanActive { .. } => {}
+            Event::SpanClose { span } => {
+                if let Some(start) = open_plans.remove(&span) {
+                    let subject = match start.event {
+                        Event::SpanOpen { subject, .. } => subject,
+                        _ => 0,
+                    };
+                    e.span(
+                        "plan",
+                        start.ts_ns,
+                        ev.ts_ns,
+                        MASTER_PID,
+                        subject + 1,
+                        &format!("\"span\":{span},\"task\":{subject}"),
+                    );
+                }
+            }
             Event::JobSubmitted { job } => {
                 open_jobs.insert(job, *ev);
             }
@@ -272,17 +331,23 @@ pub(crate) fn export(mut events: Vec<TimedEvent>) -> String {
                 to,
                 seq,
                 attempt,
+                span,
             } => e.instant(
                 "retry_sent",
                 ev.ts_ns,
                 from,
-                &format!("\"to\":{to},\"seq\":{seq},\"attempt\":{attempt}"),
+                &format!("\"to\":{to},\"seq\":{seq},\"attempt\":{attempt},\"span\":{span}"),
             ),
-            Event::DupDropped { node, from, seq } => e.instant(
+            Event::DupDropped {
+                node,
+                from,
+                seq,
+                span,
+            } => e.instant(
                 "dup_dropped",
                 ev.ts_ns,
                 node,
-                &format!("\"from\":{from},\"seq\":{seq}"),
+                &format!("\"from\":{from},\"seq\":{seq},\"span\":{span}"),
             ),
             Event::HeartbeatMissed { worker, missed } => e.instant(
                 "heartbeat_missed",
@@ -322,7 +387,8 @@ pub(crate) fn export(mut events: Vec<TimedEvent>) -> String {
 
     // Unpaired opens (job still running at export, or the completion event
     // was lost to ring overwrite) degrade to instants rather than vanish.
-    for (job, ev) in open_jobs {
+    // Sorted maps: the export must be byte-stable for a given event log.
+    for (job, ev) in open_jobs.into_iter().collect::<BTreeMap<_, _>>() {
         e.instant(
             "job_submitted",
             ev.ts_ns,
@@ -330,7 +396,7 @@ pub(crate) fn export(mut events: Vec<TimedEvent>) -> String {
             &format!("\"job\":{job}"),
         );
     }
-    for ((task, node), ev) in open_cols {
+    for ((task, node), ev) in open_cols.into_iter().collect::<BTreeMap<_, _>>() {
         e.instant(
             "column_task_dispatched",
             ev.ts_ns,
@@ -338,7 +404,7 @@ pub(crate) fn export(mut events: Vec<TimedEvent>) -> String {
             &format!("\"task\":{task}"),
         );
     }
-    for (task, ev) in open_subs {
+    for (task, ev) in open_subs.into_iter().collect::<BTreeMap<_, _>>() {
         let key_worker = match ev.event {
             Event::SubtreeTaskDelegated { key_worker, .. } => key_worker,
             _ => MASTER_PID,
@@ -348,6 +414,18 @@ pub(crate) fn export(mut events: Vec<TimedEvent>) -> String {
             ev.ts_ns,
             key_worker,
             &format!("\"task\":{task}"),
+        );
+    }
+    for (span, ev) in open_plans.into_iter().collect::<BTreeMap<_, _>>() {
+        let subject = match ev.event {
+            Event::SpanOpen { subject, .. } => subject,
+            _ => 0,
+        };
+        e.instant(
+            "plan_open",
+            ev.ts_ns,
+            MASTER_PID,
+            &format!("\"span\":{span},\"task\":{subject}"),
         );
     }
 
@@ -441,6 +519,76 @@ mod tests {
         );
         assert!(trace.contains("\"len\":2"), "{trace}");
         assert!(trace.contains("\"end\":\"head\""), "{trace}");
+    }
+
+    #[test]
+    fn task_spans_become_flow_arrows() {
+        let trace = export(vec![
+            te(
+                1_000,
+                0,
+                Event::SpanOpen {
+                    trace: 1,
+                    span: 9,
+                    parent: 4,
+                    kind: SpanKind::ColumnTask,
+                    subject: 3,
+                },
+            ),
+            te(5_000, 2, Event::SpanRecv { span: 9, node: 2 }),
+        ]);
+        assert!(
+            trace.contains("\"name\":\"handoff\",\"ph\":\"s\",\"ts\":1.000,\"pid\":0,\"tid\":4,\"cat\":\"span\",\"id\":9"),
+            "{trace}"
+        );
+        assert!(
+            trace.contains("\"name\":\"handoff\",\"ph\":\"f\",\"ts\":5.000,\"pid\":2,\"tid\":4,\"cat\":\"span\",\"id\":9,\"bp\":\"e\""),
+            "{trace}"
+        );
+    }
+
+    #[test]
+    fn plan_spans_pair_into_complete_spans() {
+        let trace = export(vec![
+            te(
+                100,
+                0,
+                Event::SpanOpen {
+                    trace: 1,
+                    span: 2,
+                    parent: 1,
+                    kind: SpanKind::Plan,
+                    subject: 7,
+                },
+            ),
+            te(400, 0, Event::SpanActive { span: 2, node: 0 }),
+            te(900, 0, Event::SpanClose { span: 2 }),
+        ]);
+        assert!(
+            trace.contains("\"name\":\"plan\",\"ph\":\"X\",\"ts\":0.100,\"pid\":0"),
+            "{trace}"
+        );
+        assert!(trace.contains("\"dur\":0.800"), "{trace}");
+        assert!(trace.contains("\"span\":2,\"task\":7"), "{trace}");
+    }
+
+    #[test]
+    fn unpaired_plan_open_degrades_to_instant() {
+        let trace = export(vec![te(
+            100,
+            0,
+            Event::SpanOpen {
+                trace: 1,
+                span: 2,
+                parent: 1,
+                kind: SpanKind::Plan,
+                subject: 7,
+            },
+        )]);
+        assert!(
+            trace.contains("\"name\":\"plan_open\",\"ph\":\"i\""),
+            "{trace}"
+        );
     }
 
     #[test]

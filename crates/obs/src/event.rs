@@ -16,10 +16,48 @@ pub enum DequeEnd {
     Tail,
 }
 
+use crate::span::SpanKind;
+
 /// One task-lifecycle event. See `docs/OBSERVABILITY.md` for the taxonomy
 /// and how each variant maps onto the Chrome-trace export.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Event {
+    /// A span was allocated at the master. `parent == 0` marks a trace
+    /// root (a job span, whose id doubles as the trace id).
+    SpanOpen {
+        /// The trace (root job span id) this span belongs to.
+        trace: u64,
+        /// The new span's id.
+        span: u64,
+        /// The causally-parenting span (0 for trace roots).
+        parent: u64,
+        /// What work the span covers.
+        kind: SpanKind,
+        /// The engine id of the subject: the job id for jobs, `TaskId.0`
+        /// for plans and tasks.
+        subject: u64,
+    },
+    /// A machine received the frame that carries this span's work — the
+    /// cross-machine handoff edge of the DAG.
+    SpanRecv {
+        /// The span.
+        span: u64,
+        /// The receiving machine.
+        node: u32,
+    },
+    /// Work on the span left its queue and started executing (a comper
+    /// picked the task up; the master popped the plan for assignment).
+    SpanActive {
+        /// The span.
+        span: u64,
+        /// The executing machine.
+        node: u32,
+    },
+    /// The span's work is complete and folded at the master.
+    SpanClose {
+        /// The span.
+        span: u64,
+    },
     /// A job entered the master's registry.
     JobSubmitted {
         /// The job id (`JobHandle.0`).
@@ -142,6 +180,9 @@ pub enum Event {
         seq: u64,
         /// Retransmission attempt (1 = first retry).
         attempt: u32,
+        /// The span of the payload being retransmitted (0 for spanless
+        /// frames); a retry stays attributed to the originating span.
+        span: u64,
     },
     /// A receiver discarded a reliable frame it had already delivered (a
     /// retransmit whose original made it through, or an injected duplicate).
@@ -152,6 +193,8 @@ pub enum Event {
         from: u32,
         /// The frame's reliable sequence number on the `(from, node)` edge.
         seq: u64,
+        /// The span of the discarded payload (0 for spanless frames).
+        span: u64,
     },
     /// The master's lease detector noticed a worker heartbeat overdue by at
     /// least one more interval.

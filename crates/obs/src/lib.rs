@@ -21,11 +21,15 @@ mod event;
 mod json;
 mod metrics;
 mod ring;
+mod span;
+pub mod trace;
 
 pub use event::{DequeEnd, Event, TimedEvent};
 pub use metrics::{
     Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, N_BUCKETS,
 };
+pub use span::{KindLatency, LatencyFeed, LatencyFeedSnapshot, SpanId, SpanKind, TraceCtx};
+pub use trace::{Phase, Segment, SpanDag, SpanInfo, TraceReport};
 
 use ring::Ring;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,10 +44,16 @@ pub struct ObsConfig {
     pub enabled: bool,
     /// Per-machine event-ring capacity (rounded up to a power of two).
     pub ring_capacity: usize,
-    /// Record one `NetSend` ring event per this many fabric sends (the
-    /// `net_sends` counter and `net_send_bytes` histogram still see every
-    /// send). 0 disables per-send ring events entirely.
+    /// Record one `NetSend` ring event per this many fabric sends *per
+    /// directed edge* — the first send on an edge is always recorded, so
+    /// flow arrows in the Chrome trace never orphan (the `net_sends`
+    /// counter and `net_send_bytes` histogram still see every send).
+    /// 0 disables per-send ring events entirely.
     pub net_sample_every: u64,
+    /// When true, the master logs the [`LatencyFeed`] snapshot (rolling
+    /// p50/p95 of column-/subtree-task span durations) to stderr when a
+    /// job finishes. The feed itself is always maintained.
+    pub log_latency_feed: bool,
 }
 
 impl Default for ObsConfig {
@@ -52,6 +62,7 @@ impl Default for ObsConfig {
             enabled: false,
             ring_capacity: 1 << 16,
             net_sample_every: 64,
+            log_latency_feed: false,
         }
     }
 }
@@ -89,6 +100,8 @@ struct Hot {
     crashes_injected: Arc<Counter>,
     net_sends: Arc<Counter>,
     gbt_rounds: Arc<Counter>,
+    spans_opened: Arc<Counter>,
+    spans_closed: Arc<Counter>,
     column_task_latency_ns: Arc<Histogram>,
     subtree_task_latency_ns: Arc<Histogram>,
     subtree_handoff_rows: Arc<Histogram>,
@@ -120,6 +133,8 @@ impl Hot {
             crashes_injected: reg.counter("crashes_injected"),
             net_sends: reg.counter("net_sends"),
             gbt_rounds: reg.counter("gbt_rounds"),
+            spans_opened: reg.counter("spans_opened"),
+            spans_closed: reg.counter("spans_closed"),
             column_task_latency_ns: reg.histogram("column_task_latency_ns"),
             subtree_task_latency_ns: reg.histogram("subtree_task_latency_ns"),
             subtree_handoff_rows: reg.histogram("subtree_handoff_rows"),
@@ -141,8 +156,13 @@ pub struct Recorder {
     rings: Vec<Ring>,
     registry: MetricsRegistry,
     hot: Hot,
-    net_seq: AtomicU64,
+    /// One send counter per directed edge (`from * n + to`), plus a
+    /// trailing fallback slot for out-of-range endpoints, so the first
+    /// send on every edge lands a ring event (sampling is per edge).
+    net_seq: Vec<AtomicU64>,
     net_sample_every: u64,
+    feed: LatencyFeed,
+    log_latency_feed: bool,
 }
 
 impl std::fmt::Debug for Recorder {
@@ -160,16 +180,17 @@ impl Recorder {
     pub fn new(n_nodes: usize, cfg: &ObsConfig) -> Recorder {
         let registry = MetricsRegistry::new();
         let hot = Hot::new(&registry);
+        let n = n_nodes.max(1);
         Recorder {
             start: Instant::now(),
             time_source: None,
-            rings: (0..n_nodes.max(1))
-                .map(|_| Ring::new(cfg.ring_capacity))
-                .collect(),
+            rings: (0..n).map(|_| Ring::new(cfg.ring_capacity)).collect(),
             registry,
             hot,
-            net_seq: AtomicU64::new(0),
+            net_seq: (0..n * n + 1).map(|_| AtomicU64::new(0)).collect(),
             net_sample_every: cfg.net_sample_every,
+            feed: LatencyFeed::default(),
+            log_latency_feed: cfg.log_latency_feed,
         }
     }
 
@@ -210,12 +231,16 @@ impl Recorder {
     fn observe_metrics(&self, event: &Event) {
         let h = &self.hot;
         match *event {
+            Event::SpanOpen { .. } => h.spans_opened.inc(),
+            Event::SpanClose { .. } => h.spans_closed.inc(),
+            Event::SpanRecv { .. } | Event::SpanActive { .. } => {}
             Event::JobSubmitted { .. } => h.jobs_submitted.inc(),
             Event::JobFinished { .. } => h.jobs_finished.inc(),
             Event::ColumnTaskDispatched { .. } => h.column_tasks_dispatched.inc(),
             Event::ColumnTaskCompleted { latency_ns, .. } => {
                 h.column_tasks_completed.inc();
                 h.column_task_latency_ns.observe(latency_ns);
+                self.feed.record_column(latency_ns);
             }
             Event::SubtreeTaskDelegated { rows, .. } => {
                 h.subtree_tasks_delegated.inc();
@@ -224,6 +249,7 @@ impl Recorder {
             Event::SubtreeTaskBuilt { latency_ns, .. } => {
                 h.subtree_tasks_built.inc();
                 h.subtree_task_latency_ns.observe(latency_ns);
+                self.feed.record_subtree(latency_ns);
             }
             Event::BplanPush { end, depth, .. } => {
                 match end {
@@ -249,14 +275,24 @@ impl Recorder {
     }
 
     /// Fabric send hook: every send hits the counter and byte histogram;
-    /// one in `net_sample_every` also lands a ring event on the sender.
+    /// one in `net_sample_every` sends *per directed edge* also lands a
+    /// ring event on the sender. Sequence counters are per edge so the
+    /// first send on an edge is always recorded — a globally-shared
+    /// counter would let a busy edge sample out another edge's first
+    /// send, orphaning its flow arrows in the Chrome trace.
     pub fn on_net_send(&self, from: u32, to: u32, bytes: u64) {
         self.hot.net_sends.inc();
         self.hot.net_send_bytes.observe(bytes);
         if self.net_sample_every == 0 {
             return;
         }
-        let seq = self.net_seq.fetch_add(1, Ordering::Relaxed);
+        let n = self.rings.len();
+        let edge = (from as usize)
+            .checked_mul(n)
+            .and_then(|e| e.checked_add(to as usize))
+            .filter(|_| (from as usize) < n && (to as usize) < n)
+            .unwrap_or(n * n);
+        let seq = self.net_seq[edge].fetch_add(1, Ordering::Relaxed);
         if seq.is_multiple_of(self.net_sample_every) {
             self.push(from, Event::NetSend { from, to, bytes });
         }
@@ -265,6 +301,28 @@ impl Recorder {
     /// The metrics registry (for ad-hoc counters outside the hot set).
     pub fn registry(&self) -> &MetricsRegistry {
         &self.registry
+    }
+
+    /// The rolling task-latency feed (p50/p95 of completed column- and
+    /// subtree-task spans) — the observation half of adaptive τ.
+    pub fn latency_feed(&self) -> &LatencyFeed {
+        &self.feed
+    }
+
+    /// Whether the master should log the latency feed at job finish.
+    pub fn log_latency_feed(&self) -> bool {
+        self.log_latency_feed
+    }
+
+    /// The span DAG reconstructed from the currently-readable events.
+    pub fn span_dag(&self) -> SpanDag {
+        SpanDag::from_events(&self.events())
+    }
+
+    /// The critical-path report for the slowest-finishing job, if any job
+    /// span has closed.
+    pub fn trace_report(&self) -> Option<TraceReport> {
+        TraceReport::build(&self.span_dag())
     }
 
     /// Every currently-readable event across all rings, in timestamp order.
@@ -374,6 +432,47 @@ mod tests {
     }
 
     #[test]
+    fn net_send_sampling_is_per_edge() {
+        // A busy edge must not sample out another edge's *first* send:
+        // interleave 30 sends on 0->1 with a single 1->0 send late in the
+        // stream, and that one send must still land a ring event.
+        let cfg = ObsConfig {
+            net_sample_every: 10,
+            ..ObsConfig::enabled()
+        };
+        let rec = Recorder::new(2, &cfg);
+        for _ in 0..25 {
+            rec.on_net_send(0, 1, 64);
+        }
+        rec.on_net_send(1, 0, 128);
+        for _ in 0..5 {
+            rec.on_net_send(0, 1, 64);
+        }
+        let events = rec.events();
+        let edge = |from: u32, to: u32| {
+            events
+                .iter()
+                .filter(
+                    |e| matches!(e.event, Event::NetSend { from: f, to: t, .. } if f == from && t == to),
+                )
+                .count()
+        };
+        assert_eq!(edge(0, 1), 3, "seq 0, 10, 20 of the busy edge");
+        assert_eq!(edge(1, 0), 1, "first send on a fresh edge always lands");
+    }
+
+    #[test]
+    fn net_send_out_of_range_endpoint_uses_fallback_slot() {
+        let cfg = ObsConfig {
+            net_sample_every: 10,
+            ..ObsConfig::enabled()
+        };
+        let rec = Recorder::new(2, &cfg);
+        rec.on_net_send(7, 9, 64); // out of range: must not panic
+        assert_eq!(rec.metrics().counter("net_sends"), 1);
+    }
+
+    #[test]
     fn net_send_sampling_disabled_at_zero() {
         let cfg = ObsConfig {
             net_sample_every: 0,
@@ -383,6 +482,56 @@ mod tests {
         rec.on_net_send(0, 1, 64);
         assert_eq!(rec.metrics().counter("net_sends"), 1);
         assert!(rec.events().is_empty());
+    }
+
+    #[test]
+    fn task_completions_feed_the_latency_feed() {
+        let rec = Recorder::new(2, &ObsConfig::enabled());
+        rec.record(
+            0,
+            Event::ColumnTaskCompleted {
+                task: 1,
+                node: 1,
+                latency_ns: 1_000,
+            },
+        );
+        rec.record(
+            0,
+            Event::SubtreeTaskBuilt {
+                task: 2,
+                node: 1,
+                nodes: 3,
+                latency_ns: 9_000,
+            },
+        );
+        let snap = rec.latency_feed().snapshot();
+        assert_eq!(snap.column.count, 1);
+        assert_eq!(snap.column.p50_ns, 1_000);
+        assert_eq!(snap.subtree.count, 1);
+        assert_eq!(snap.subtree.p95_ns, 9_000);
+    }
+
+    #[test]
+    fn recorder_builds_a_trace_report_from_span_events() {
+        let rec = Recorder::new(2, &ObsConfig::enabled());
+        rec.record(
+            0,
+            Event::SpanOpen {
+                trace: 1,
+                span: 1,
+                parent: 0,
+                kind: SpanKind::Job,
+                subject: 0,
+            },
+        );
+        assert!(rec.trace_report().is_none(), "job still open");
+        rec.record(0, Event::SpanClose { span: 1 });
+        let report = rec.trace_report().expect("job closed");
+        assert_eq!(report.root_span, 1);
+        assert_eq!(report.phase_sum_ns(), report.wall_ns);
+        let m = rec.metrics();
+        assert_eq!(m.counter("spans_opened"), 1);
+        assert_eq!(m.counter("spans_closed"), 1);
     }
 
     #[test]

@@ -254,6 +254,31 @@ impl MetricsSnapshot {
         s.push('}');
         s
     }
+
+    /// The snapshot in the Prometheus text exposition format: every
+    /// counter as a `counter`, every histogram as a `histogram` with
+    /// cumulative `_bucket{le="..."}` series (one per non-empty bucket
+    /// plus the mandatory `+Inf`), `_sum` and `_count`. Deterministic:
+    /// metrics in name order, buckets ascending.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut s = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(s, "# TYPE {name} counter");
+            let _ = writeln!(s, "{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(s, "# TYPE {name} histogram");
+            let mut cum = 0u64;
+            for &(ub, n) in &h.buckets {
+                cum += n;
+                let _ = writeln!(s, "{name}_bucket{{le=\"{ub}\"}} {cum}");
+            }
+            let _ = writeln!(s, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(s, "{name}_sum {}", h.sum);
+            let _ = writeln!(s, "{name}_count {}", h.count);
+        }
+        s
+    }
 }
 
 #[cfg(test)]
@@ -316,6 +341,62 @@ mod tests {
         a.inc();
         assert_eq!(r.snapshot().counter("x"), 1);
         assert_eq!(r.snapshot().counter("never"), 0);
+    }
+
+    #[test]
+    fn prometheus_text_round_trips_the_snapshot() {
+        let r = MetricsRegistry::new();
+        r.counter("jobs_done").add(3);
+        let h = r.histogram("latency_ns");
+        for v in [0u64, 1, 2, 3, 100] {
+            h.observe(v);
+        }
+        let snap = r.snapshot();
+        let text = snap.to_prometheus_text();
+
+        // Shape: TYPE lines, cumulative buckets ending in +Inf, sum/count.
+        assert!(
+            text.contains("# TYPE jobs_done counter\njobs_done 3\n"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE latency_ns histogram"), "{text}");
+        assert!(text.contains("latency_ns_bucket{le=\"+Inf\"} 5"), "{text}");
+        assert!(text.contains("latency_ns_sum 106"), "{text}");
+        assert!(text.contains("latency_ns_count 5"), "{text}");
+
+        // Round trip: parse the text back and recover every value.
+        let mut counters = BTreeMap::new();
+        let mut series: BTreeMap<String, Vec<(String, u64)>> = BTreeMap::new();
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (key, val) = line.rsplit_once(' ').expect("sample line");
+            let val: u64 = val.parse().expect("integer sample");
+            match key.split_once('{') {
+                Some((name, labels)) => series
+                    .entry(name.to_string())
+                    .or_default()
+                    .push((labels.trim_end_matches('}').to_string(), val)),
+                None => {
+                    counters.insert(key.to_string(), val);
+                }
+            }
+        }
+        assert_eq!(counters.get("jobs_done"), Some(&3));
+        assert_eq!(
+            counters.get("latency_ns_sum"),
+            Some(&snap.histogram("latency_ns").unwrap().sum)
+        );
+        assert_eq!(counters.get("latency_ns_count"), Some(&5));
+        let buckets = &series["latency_ns_bucket"];
+        // Cumulative counts de-cumulate back to the snapshot's buckets.
+        let snap_h = snap.histogram("latency_ns").unwrap();
+        let mut prev = 0u64;
+        for (i, &(ub, n)) in snap_h.buckets.iter().enumerate() {
+            let (le, cum) = &buckets[i];
+            assert_eq!(le, &format!("le=\"{ub}\""));
+            assert_eq!(cum - prev, n);
+            prev = *cum;
+        }
+        assert_eq!(buckets.last().unwrap(), &("le=\"+Inf\"".to_string(), 5));
     }
 
     #[test]

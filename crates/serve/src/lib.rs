@@ -20,4 +20,4 @@ pub mod engine;
 pub mod stats;
 
 pub use engine::{CompiledModel, ServeOptions};
-pub use stats::ServeStats;
+pub use stats::{BatchSpan, ServeStats};

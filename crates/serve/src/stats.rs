@@ -11,10 +11,34 @@
 //!
 //! The registry is shareable (`Arc`) and lock-free on the hot path, so one
 //! `ServeStats` can sit behind many concurrent predict calls.
+//!
+//! Each predict call also leaves a [`BatchSpan`] in a bounded ring (newest
+//! kept), mirroring the training side's ts-trace spans: a span id, the batch
+//! size, and start/duration timestamps relative to the `ServeStats` epoch.
 
-use std::sync::Arc;
-use std::time::Duration;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use ts_obs::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
+
+/// Maximum retained batch spans; older ones are dropped (drop-oldest, like
+/// the training rings).
+const SPAN_CAP: usize = 256;
+
+/// One served batch, as a span: when it started (ns since the `ServeStats`
+/// epoch), how long it took, and how many rows it scored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchSpan {
+    /// Per-`ServeStats` span id, starting at 1.
+    pub span: u64,
+    /// Rows scored by this call.
+    pub rows: u64,
+    /// Start, in nanoseconds since the `ServeStats` was constructed.
+    pub start_ns: u64,
+    /// Wall duration in nanoseconds.
+    pub dur_ns: u64,
+}
 
 /// Shared serving metrics. Construct once, attach to compiled models with
 /// [`CompiledModel::with_stats`](crate::CompiledModel::with_stats).
@@ -24,6 +48,9 @@ pub struct ServeStats {
     rows: Arc<Counter>,
     latency_us: Arc<Histogram>,
     batch_rows: Arc<Histogram>,
+    epoch: Instant,
+    next_span: AtomicU64,
+    spans: Mutex<VecDeque<BatchSpan>>,
 }
 
 impl ServeStats {
@@ -36,6 +63,9 @@ impl ServeStats {
             latency_us: registry.histogram("serve_batch_latency_us"),
             batch_rows: registry.histogram("serve_batch_rows"),
             registry,
+            epoch: Instant::now(),
+            next_span: AtomicU64::new(1),
+            spans: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -45,6 +75,29 @@ impl ServeStats {
         self.rows.add(rows as u64);
         self.latency_us.observe(wall.as_micros() as u64);
         self.batch_rows.observe(rows as u64);
+        let span = self.next_span.fetch_add(1, Ordering::Relaxed);
+        let end_ns = self.epoch.elapsed().as_nanos() as u64;
+        let dur_ns = wall.as_nanos() as u64;
+        let mut spans = self.spans.lock().expect("span log poisoned");
+        if spans.len() == SPAN_CAP {
+            spans.pop_front();
+        }
+        spans.push_back(BatchSpan {
+            span,
+            rows: rows as u64,
+            start_ns: end_ns.saturating_sub(dur_ns),
+            dur_ns,
+        });
+    }
+
+    /// The retained batch spans, oldest first (at most [the cap] newest).
+    pub fn batch_spans(&self) -> Vec<BatchSpan> {
+        self.spans
+            .lock()
+            .expect("span log poisoned")
+            .iter()
+            .copied()
+            .collect()
     }
 
     /// Number of predict calls recorded so far.
@@ -65,6 +118,11 @@ impl ServeStats {
     /// The snapshot rendered as JSON (counters + histogram summaries).
     pub fn to_json(&self) -> String {
         self.snapshot().to_json()
+    }
+
+    /// The snapshot rendered in Prometheus text exposition format.
+    pub fn to_prometheus_text(&self) -> String {
+        self.snapshot().to_prometheus_text()
     }
 }
 
@@ -91,5 +149,33 @@ mod tests {
         let h = snap.histogram("serve_batch_rows").expect("registered");
         assert_eq!(h.count, 2);
         assert!(s.to_json().contains("serve_batch_latency_us"));
+        assert!(s
+            .to_prometheus_text()
+            .contains("# TYPE serve_batches counter"));
+    }
+
+    #[test]
+    fn batch_spans_are_logged_in_order_and_capped() {
+        let s = ServeStats::new();
+        s.record_batch(10, Duration::from_micros(5));
+        s.record_batch(20, Duration::from_micros(7));
+        let spans = s.batch_spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].span, 1);
+        assert_eq!(spans[1].span, 2);
+        assert_eq!(spans[1].rows, 20);
+        assert_eq!(spans[1].dur_ns, 7_000);
+        assert!(spans[0].start_ns <= spans[1].start_ns);
+
+        // Overflow keeps the newest spans only.
+        for _ in 0..SPAN_CAP + 10 {
+            s.record_batch(1, Duration::from_micros(1));
+        }
+        let spans = s.batch_spans();
+        assert_eq!(spans.len(), SPAN_CAP);
+        assert_eq!(
+            spans.last().expect("non-empty").span,
+            2 + (SPAN_CAP + 10) as u64
+        );
     }
 }
