@@ -54,6 +54,7 @@ usage:
   treeserver train      --csv FILE --target COL --task class|reg
                         [--model dt|rf|etc|gbt] [--trees N] [--dmax D]
                         [--workers W] [--compers C] [--seed S] [--out FILE]
+                        [--steal] [--adaptive-tau]
                         [--fault-seed S] [--drop-prob P] [--delay-prob P]
                         [--dup-prob P] [--heartbeat-ms N] [--heartbeat-misses N]
                         [--trace-out FILE] [--trace-report FILE]
@@ -64,6 +65,16 @@ usage:
                         [--reference] [--serve-metrics FILE]
   treeserver importance --model FILE [--top K]
   treeserver show       --model FILE [--tree N]
+
+scheduling (train):
+  --steal               per-worker plan deques with work stealing: idle
+                        workers advertise hunger and the master re-routes
+                        queued plans from the most-loaded peer (models are
+                        bit-identical either way; see docs/SCHEDULING.md)
+  --adaptive-tau        adapt the tau_D / tau_dfs thresholds from the rolling
+                        task-latency feed instead of the static defaults
+                        (enables observability; changes which tasks run as
+                        subtrees, so extra-trees forests may differ)
 
 reliability (train):
   --drop-prob P         drop each message with probability P (seeded; the
@@ -99,7 +110,7 @@ serving (predict):
   --serve-metrics FILE  write serving counters/latency histograms as JSON";
 
 /// Options that take no value.
-const FLAGS: &[&str] = &["quiet", "verbose", "reference"];
+const FLAGS: &[&str] = &["quiet", "verbose", "reference", "steal", "adaptive-tau"];
 
 /// Parsed `--key value` options (plus valueless flags).
 struct Opts(HashMap<String, String>);
@@ -182,6 +193,8 @@ fn cluster_config(opts: &Opts, n_rows: usize) -> Result<ClusterConfig, String> {
         replication: 2.min(workers),
         tau_d: (n_rows as u64 / 20).max(256),
         tau_dfs: (n_rows as u64 / 5).max(1_024),
+        steal: opts.flag("steal"),
+        adaptive_tau: opts.flag("adaptive-tau"),
         faults: fault_plan(opts)?,
         heartbeat_interval: std::time::Duration::from_millis(heartbeat_ms),
         heartbeat_miss_threshold: heartbeat_misses,
@@ -246,11 +259,14 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
     let dmax = opts.num("dmax", 10u32)?;
     let seed = opts.num("seed", 0u64)?;
     let mut cfg = cluster_config(opts, table.n_rows())?;
+    // Adaptive tau reads the rolling latency feed, which lives on the
+    // recorder — the flag implies observability.
     if trace_out.is_some()
         || trace_report.is_some()
         || metrics_out.is_some()
         || metrics_prom.is_some()
         || verbose
+        || cfg.adaptive_tau
     {
         cfg.obs = treeserver::obs::ObsConfig::enabled();
         // --verbose also streams the rolling p50/p95 task-latency feed line

@@ -184,7 +184,9 @@ impl Cluster {
             }
             handles.extend(Worker::spawn(
                 w,
-                cfg.work_ns_per_unit,
+                // Per-worker rate: `work_scale` models heterogeneous
+                // machines (a slow worker is the target of stealing).
+                cfg.worker_work_ns(w),
                 cols,
                 Arc::clone(&labels),
                 Arc::clone(&attr_types),
@@ -195,6 +197,7 @@ impl Cluster {
                 task_rxs_opt[w].take().expect("receiver taken once"),
                 data_rxs_opt[w].take().expect("receiver taken once"),
                 cfg.heartbeat_interval,
+                cfg.steal,
             ));
         }
 

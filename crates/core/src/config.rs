@@ -71,6 +71,30 @@ pub struct ClusterConfig {
     /// compiled in (the field itself is always present, so configs are
     /// feature-independent).
     pub obs: ts_obs::ObsConfig,
+    /// Work-stealing scheduler (`ts-sched`, see `docs/SCHEDULING.md`): the
+    /// master keeps one plan deque per worker (keyed by the parent worker
+    /// of each plan), bounds in-flight dispatch per worker so column-task
+    /// communication overlaps subtree compute, and idle workers steal from
+    /// the tail of the most-loaded peer's deque. Off by default: the
+    /// single-deque scheduler is the paper-exact seed behaviour, and
+    /// `sched_equiv` proves both produce byte-identical models.
+    pub steal: bool,
+    /// Per-worker in-flight plan cap in stealing mode (0 = auto:
+    /// `2 * compers_per_worker + 2` — enough queued work to keep every
+    /// comper busy while the next tasks' column/`Ix` fetches are in
+    /// flight). Ignored when `steal` is off.
+    pub steal_capacity: usize,
+    /// Adapt `τ_D`/`τ_dfs` at runtime from the rolling p50/p95 column- vs
+    /// subtree-task latencies in the obs `LatencyFeed` (requires
+    /// `obs.enabled`; without a recorder the thresholds silently stay at
+    /// the static values). The static `tau_d`/`tau_dfs` remain the
+    /// starting point, fallback, and clamp anchors (`[τ/4, 4τ]`).
+    pub adaptive_tau: bool,
+    /// Per-worker compute-speed heterogeneity: multiplier applied to
+    /// `work_ns_per_unit` for each worker (index 0 = worker 1). `> 1.0`
+    /// slows a worker down — the skewed-load scenario the stealing
+    /// scheduler rebalances. Empty = homogeneous.
+    pub work_scale: Vec<f64>,
 }
 
 impl Default for ClusterConfig {
@@ -91,6 +115,10 @@ impl Default for ClusterConfig {
             heartbeat_interval: Duration::from_millis(20),
             heartbeat_miss_threshold: 25,
             obs: ts_obs::ObsConfig::default(),
+            steal: false,
+            steal_capacity: 0,
+            adaptive_tau: false,
+            work_scale: Vec::new(),
         }
     }
 }
@@ -124,6 +152,34 @@ impl ClusterConfig {
             !self.heartbeat_interval.is_zero(),
             "heartbeat_interval must be positive"
         );
+        assert!(
+            self.work_scale.is_empty() || self.work_scale.len() == self.n_workers,
+            "work_scale must name every worker (or be empty)"
+        );
+        assert!(
+            self.work_scale.iter().all(|&s| s > 0.0 && s.is_finite()),
+            "work_scale factors must be positive and finite"
+        );
+    }
+
+    /// The effective per-worker in-flight plan cap in stealing mode.
+    pub fn effective_steal_capacity(&self) -> usize {
+        if self.steal_capacity == 0 {
+            2 * self.compers_per_worker + 2
+        } else {
+            self.steal_capacity
+        }
+    }
+
+    /// `work_ns_per_unit` for one worker, after heterogeneity scaling
+    /// (`worker` is the 1-based fabric node id).
+    pub fn worker_work_ns(&self, worker: usize) -> u64 {
+        let scale = self
+            .work_scale
+            .get(worker.saturating_sub(1))
+            .copied()
+            .unwrap_or(1.0);
+        (self.work_ns_per_unit as f64 * scale).round() as u64
     }
 }
 
@@ -168,6 +224,48 @@ mod tests {
         ClusterConfig {
             n_workers: 2,
             replication: 3,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn scheduler_knobs_default_off_and_cap_autosizes() {
+        let c = ClusterConfig::default();
+        assert!(!c.steal, "stealing must default to the seed scheduler");
+        assert!(!c.adaptive_tau, "adaptive τ must default off");
+        assert!(c.work_scale.is_empty());
+        // Auto cap: room for every comper plus a pipelined fetch margin.
+        assert_eq!(c.effective_steal_capacity(), 2 * c.compers_per_worker + 2);
+        assert_eq!(
+            ClusterConfig {
+                steal_capacity: 7,
+                ..Default::default()
+            }
+            .effective_steal_capacity(),
+            7
+        );
+    }
+
+    #[test]
+    fn work_scale_scales_per_worker() {
+        let c = ClusterConfig {
+            work_ns_per_unit: 100,
+            work_scale: vec![4.0, 1.0, 1.0, 1.0],
+            ..Default::default()
+        };
+        c.validate();
+        assert_eq!(c.worker_work_ns(1), 400, "worker 1 is 4x slower");
+        assert_eq!(c.worker_work_ns(2), 100);
+        assert_eq!(c.worker_work_ns(4), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "work_scale")]
+    fn short_work_scale_panics() {
+        ClusterConfig {
+            n_workers: 4,
+            work_scale: vec![1.0, 2.0],
             ..Default::default()
         }
         .validate();

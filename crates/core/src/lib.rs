@@ -76,6 +76,7 @@ pub mod job;
 pub mod master;
 pub mod messages;
 pub mod recovery;
+pub mod sched;
 pub mod worker;
 
 pub use cluster::{Cluster, ClusterReport};
@@ -84,4 +85,5 @@ pub use gbt::{train_gbt, train_gbt_on, GbtConfig, GbtModel, GbtObjective};
 pub use ids::{ParentRef, RowSet, Side, TaskId, TreeId};
 pub use job::{JobHandle, JobKind, JobResult, JobSpec};
 pub use recovery::{AttrId, RecoveryError};
+pub use sched::{PlanQueue, StealInfo, TauController};
 pub use ts_netsim::{FaultPlan, NetModel, RetryConfig};

@@ -19,15 +19,17 @@
 //! subtree-tasks quickly) and to the **tail** otherwise (breadth-first —
 //! generates parallelism early).
 
-use crate::assign::{assign_column_task, assign_subtree, ColumnMap, LoadMatrix};
+use crate::assign::{assign_column_task, assign_subtree, ColumnMap, LoadMatrix, COMP};
 use crate::config::ClusterConfig;
 use crate::ids::{ParentRef, Side, TaskId, TreeId};
 use crate::job::{JobHandle, JobKind, JobResult, JobSpec, TreeSpec};
 use crate::messages::{ColumnPlan, ColumnTaskBest, SubtreePlan, TaskMsg};
 use crate::recovery::RecoveryError;
+use crate::sched::{PlanQueue, StealInfo, TauController};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use ts_datatable::Task;
 #[cfg(feature = "obs")]
 use ts_netsim::WireSized;
@@ -167,7 +169,18 @@ pub struct Master {
     data_task: Mutex<Task>,
     workers: Mutex<Vec<NodeId>>,
     colmap: Mutex<ColumnMap>,
-    bplan: Mutex<VecDeque<PlanDesc>>,
+    /// The plan queue `Bplan` (`ts-sched`): single-deque by default,
+    /// per-worker deques with stealing when `cfg.steal` is set. Condvar-
+    /// signalled either way — pushes, completions and steal requests wake
+    /// `θ_main` immediately (no blind `poll_sleep`).
+    plans: PlanQueue<PlanDesc>,
+    /// Adaptive `τ_D`/`τ_dfs` (`cfg.adaptive_tau`); holds the statics
+    /// until the `LatencyFeed` has enough samples of both task kinds.
+    tau: Mutex<TauController>,
+    /// Clock reading of the last controller update (throttles feed
+    /// snapshots to about twice per heartbeat interval).
+    #[cfg_attr(not(feature = "obs"), allow(dead_code))]
+    last_tau_update: AtomicU64,
     ttask: Mutex<HashMap<TaskId, MasterTask>>,
     mwork: Mutex<LoadMatrix>,
     registry: Mutex<Registry>,
@@ -216,6 +229,13 @@ impl Master {
                 )
             })
             .collect();
+        let plans = if cfg.steal {
+            PlanQueue::new_stealing(cfg.effective_steal_capacity())
+        } else {
+            PlanQueue::new_single()
+        };
+        plans.set_workers(&workers);
+        let tau = Mutex::new(TauController::new(cfg.tau_d, cfg.tau_dfs));
         Arc::new(Master {
             cfg,
             n_rows,
@@ -223,7 +243,9 @@ impl Master {
             data_task: Mutex::new(data_task),
             workers: Mutex::new(workers),
             colmap: Mutex::new(colmap),
-            bplan: Mutex::new(VecDeque::new()),
+            plans,
+            tau,
+            last_tau_update: AtomicU64::new(0),
             ttask: Mutex::new(HashMap::new()),
             mwork: Mutex::new(LoadMatrix::new(0)),
             registry: Mutex::new(Registry {
@@ -290,6 +312,8 @@ impl Master {
             });
         }
         drop(reg);
+        // Wake θ_main so admission does not wait out a queue timeout.
+        self.plans.notify();
         obs_event!(
             self.fabric.stats(),
             0,
@@ -327,6 +351,8 @@ impl Master {
     /// Requests shutdown: `θ_main` notifies workers and both loops exit.
     pub fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        // Wake θ_main if it is blocked on an empty plan queue.
+        self.plans.notify();
     }
 
     fn new_task(&self) -> TaskId {
@@ -347,21 +373,56 @@ impl Master {
         }
     }
 
-    /// Inserts a plan into `Bplan` per the hybrid BFS/DFS rule.
+    /// The thresholds in force right now: the adaptive controller's when
+    /// `cfg.adaptive_tau` is set, the static configuration otherwise.
+    fn current_tau(&self) -> (u64, u64) {
+        if self.cfg.adaptive_tau {
+            let tau = self.tau.lock();
+            (tau.tau_d(), tau.tau_dfs())
+        } else {
+            (self.cfg.tau_d, self.cfg.tau_dfs)
+        }
+    }
+
+    /// Folds a fresh `LatencyFeed` snapshot into the τ controller, at most
+    /// about twice per heartbeat interval. No-op unless `cfg.adaptive_tau`
+    /// is set and a recorder is attached (the feed lives on the recorder).
+    #[cfg(feature = "obs")]
+    fn maybe_update_tau(&self) {
+        if !self.cfg.adaptive_tau {
+            return;
+        }
+        let Some(rec) = self.fabric.stats().recorder() else {
+            return;
+        };
+        let interval = (self.cfg.heartbeat_interval.as_nanos() as u64).max(2);
+        let now = self.fabric.clock().now_ns();
+        let last = self.last_tau_update.load(Ordering::Relaxed);
+        if now.saturating_sub(last) < interval / 2 {
+            return;
+        }
+        self.last_tau_update.store(now, Ordering::Relaxed);
+        self.tau.lock().update(&rec.latency_feed().snapshot());
+    }
+
+    #[cfg(not(feature = "obs"))]
+    fn maybe_update_tau(&self) {}
+
+    /// Inserts a plan into `Bplan` per the hybrid BFS/DFS rule. In steal
+    /// mode the plan lands on its parent worker's deque (§VI affinity);
+    /// roots go to the shared global deque.
     fn enqueue_plan(&self, desc: PlanDesc) {
-        let head = desc.n_rows <= self.cfg.tau_dfs;
+        let (_, tau_dfs) = self.current_tau();
+        let head = desc.n_rows <= tau_dfs;
+        let affinity = match desc.parent {
+            ParentRef::Root => None,
+            ParentRef::Node { worker, .. } => Some(worker),
+        };
         #[cfg(feature = "obs")]
         let (depth, rows) = (desc.depth, desc.n_rows);
-        let mut bplan = self.bplan.lock();
-        if head {
-            bplan.push_front(desc);
-        } else {
-            bplan.push_back(desc);
-        }
+        let _qlen = self.plans.push(desc, affinity, head);
         #[cfg(feature = "obs")]
         {
-            let qlen = bplan.len() as u32;
-            drop(bplan);
             obs_event!(
                 self.fabric.stats(),
                 0,
@@ -373,7 +434,7 @@ impl Master {
                     },
                     depth,
                     rows,
-                    qlen,
+                    qlen: _qlen as u32,
                 }
             );
         }
@@ -397,10 +458,22 @@ impl Master {
             }
             self.check_heartbeats();
             self.admit_trees();
-            let desc = self.bplan.lock().pop_front();
-            match desc {
-                Some(d) => self.assign_plan(d),
-                None => std::thread::sleep(self.cfg.poll_sleep),
+            self.maybe_update_tau();
+            // Bound the wait so the heartbeat detector and shutdown flag
+            // keep being polled even while the queue is idle; any push,
+            // completion or steal request wakes the condvar immediately.
+            let timeout = (self.cfg.heartbeat_interval / 2)
+                .clamp(Duration::from_millis(1), Duration::from_millis(50));
+            // Steal victims are ranked by §VI COMP load; snapshot it before
+            // blocking on the queue (never hold both locks at once).
+            let comp: Vec<u64> = if self.plans.stealing() {
+                let mw = self.mwork.lock();
+                (0..mw.n_nodes()).map(|n| mw.get(n, COMP)).collect()
+            } else {
+                Vec::new()
+            };
+            if let Some((d, steal)) = self.plans.next_timeout(timeout, &comp) {
+                self.assign_plan(d, steal);
             }
         }
     }
@@ -526,8 +599,11 @@ impl Master {
         }
     }
 
-    /// Assigns one plan to workers (§VI) and ships it.
-    fn assign_plan(&self, desc: PlanDesc) {
+    /// Assigns one plan to workers (§VI) and ships it. When the plan was
+    /// stolen (`steal`), the thief is told first via a `Donate` frame so
+    /// its pending steal request is acknowledged before (or with) the
+    /// plan traffic it produced.
+    fn assign_plan(&self, desc: PlanDesc, steal: Option<StealInfo>) {
         // Fetch the tree's spec; a missing tree was revoked by recovery.
         let (candidates, params, tree_seed) = {
             let reg = self.registry.lock();
@@ -537,6 +613,7 @@ impl Master {
             }
         };
         let workers = self.workers.lock().clone();
+        let (tau_d, _) = self.current_tau();
         let parent_worker = match desc.parent {
             ParentRef::Root => None,
             ParentRef::Node { worker, .. } => Some(worker),
@@ -562,7 +639,7 @@ impl Master {
                 trace: desc.trace,
                 span: task_span,
                 parent: desc.span,
-                kind: if desc.n_rows <= self.cfg.tau_d {
+                kind: if desc.n_rows <= tau_d {
                     ts_obs::SpanKind::SubtreeTask
                 } else {
                     ts_obs::SpanKind::ColumnTask
@@ -573,8 +650,32 @@ impl Master {
         #[cfg(feature = "obs")]
         let started_ns = self.fabric.clock().now_ns();
 
+        // Acknowledge a stolen plan before any of its traffic: the Donate
+        // frame clears the thief's outstanding steal request and carries the
+        // task span, which draws the steal edge in the span DAG.
+        if let Some(info) = steal {
+            obs_event!(
+                self.fabric.stats(),
+                0,
+                ts_obs::Event::PlanStolen {
+                    task: desc.task.0,
+                    victim: info.victim as u32,
+                    thief: info.thief as u32,
+                }
+            );
+            let _ = self.fabric.send(
+                0,
+                info.thief,
+                TaskMsg::Donate {
+                    task: desc.task,
+                    victim: info.victim,
+                    ctx,
+                },
+            );
+        }
+
         let mut msgs: Vec<(NodeId, TaskMsg)> = Vec::new();
-        if desc.n_rows <= self.cfg.tau_d {
+        if desc.n_rows <= tau_d {
             // Subtree-task.
             let asg = {
                 let mut mwork = self.mwork.lock();
@@ -619,6 +720,7 @@ impl Master {
                     },
                 ));
             }
+            self.plans.note_dispatched(&[asg.key_worker]);
             msgs.push((
                 asg.key_worker,
                 TaskMsg::SubtreePlan(SubtreePlan {
@@ -654,6 +756,7 @@ impl Master {
             };
             let charges = vec![(w, [desc.n_rows, 0, 0])];
             self.mwork.lock().apply(&charges);
+            self.plans.note_dispatched(&[w]);
             self.ttask.lock().insert(
                 desc.task,
                 MasterTask {
@@ -712,6 +815,7 @@ impl Master {
                 assign_column_task(&mut mwork, &colmap, &candidates, desc.n_rows, parent_worker)
             };
             let involved: Vec<NodeId> = asg.shards.iter().map(|&(w, _)| w).collect();
+            self.plans.note_dispatched(&involved);
             self.ttask.lock().insert(
                 desc.task,
                 MasterTask {
@@ -879,9 +983,19 @@ impl Master {
                     );
                 }
                 TaskMsg::Shutdown => return,
+                TaskMsg::StealRequest { worker } => self.on_steal_request(worker),
                 _ => unreachable!("worker-bound message delivered to the master"),
             }
         }
+    }
+
+    /// A worker's compute pool ran dry: queue it for the stealing pop and
+    /// wake `θ_main`. Requests are accelerators, not obligations — losing
+    /// one costs latency, never progress (the next completion re-triggers).
+    /// The `StealRequested` event is recorded at the origin (the worker),
+    /// not here, so the counter sees each request exactly once.
+    fn on_steal_request(&self, worker: NodeId) {
+        self.plans.mark_hungry(worker);
     }
 
     fn on_column_result(
@@ -942,6 +1056,10 @@ impl Master {
                 None
             }
         };
+        // One shard of this worker's outstanding work came back (stale
+        // results of revoked tasks returned above and never reach this —
+        // the queue's accounting was reset when the tasks were revoked).
+        self.plans.note_completed(worker);
         if let Some(entry) = finished {
             self.mwork.lock().deduct(&entry.charges);
             self.finalize_column_task(task, entry);
@@ -1146,6 +1264,7 @@ impl Master {
         let Some(entry) = self.ttask.lock().remove(&task) else {
             return; // revoked
         };
+        self.plans.note_completed(worker);
         self.mwork.lock().deduct(&entry.charges);
         obs_event!(
             self.fabric.stats(),
@@ -1359,7 +1478,11 @@ impl Master {
         }
         self.ttask.lock().clear();
         self.mwork.lock().clear();
-        self.bplan.lock().clear();
+        // Reset the queue wholesale — deques, hunger, and the per-worker
+        // outstanding counts (results for revoked tasks must not undercount
+        // the fresh dispatches) — and install the surviving roster.
+        self.plans.clear();
+        self.plans.set_workers(&live);
         for root in new_roots {
             // Restarted roots hang off the job span again, like the
             // originals; the revoked subtrees' spans simply never close.
@@ -1405,7 +1528,7 @@ impl Master {
         };
         self.ttask.lock().clear();
         self.mwork.lock().clear();
-        self.bplan.lock().clear();
+        self.plans.clear();
         for j in jobs {
             let _ = j.notify.send(JobResult::Failed(err.clone()));
         }
@@ -1466,7 +1589,11 @@ mod tests {
         m.enqueue_plan(mk(2, 600)); // big -> tail (after 1)
         m.enqueue_plan(mk(3, 50)); // small -> head
         m.enqueue_plan(mk(4, 20)); // small -> head (before 3)
-        let order: Vec<u64> = m.bplan.lock().iter().map(|p| p.task.0).collect();
+        let mut order: Vec<u64> = Vec::new();
+        while let Some((p, steal)) = m.plans.try_next(&[]) {
+            assert!(steal.is_none(), "single mode never steals");
+            order.push(p.task.0);
+        }
         assert_eq!(order, vec![4, 3, 1, 2]);
     }
 
@@ -1525,7 +1652,7 @@ mod tests {
         assert_eq!(reg.active.len(), 3, "pool capped at 3");
         assert_eq!(reg.queue.len(), 7);
         drop(reg);
-        assert_eq!(m.bplan.lock().len(), 3, "one root plan per admitted tree");
+        assert_eq!(m.plans.len(), 3, "one root plan per admitted tree");
     }
 
     #[test]
@@ -1559,8 +1686,17 @@ mod tests {
 
     #[test]
     fn silent_worker_is_suspected_and_impossible_recovery_degrades_cleanly() {
+        // Runs on a virtual clock: the 10 ms of silence is an `advance`,
+        // not a real sleep, so the detector's verdict is deterministic no
+        // matter how heavily the test host is loaded.
         let stats = NetStats::new(3);
-        let (fabric, _rxs) = Fabric::new(3, NetModel::instant(), stats);
+        let (fabric, _rxs) = Fabric::new_faulty(
+            3,
+            NetModel::instant(),
+            stats,
+            None,
+            ts_netsim::SimClock::virtual_at(0),
+        );
         let cfg = ClusterConfig {
             n_workers: 2,
             heartbeat_interval: std::time::Duration::from_millis(1),
@@ -1581,7 +1717,9 @@ mod tests {
             n_classes: 2,
         }));
         // Worker 2 keeps beating; worker 1 goes silent past the 3 ms lease.
-        std::thread::sleep(std::time::Duration::from_millis(10));
+        m.fabric
+            .clock()
+            .advance(std::time::Duration::from_millis(10));
         m.on_heartbeat(2);
         m.check_heartbeats();
         // 2 workers at replication 2: every live worker already holds the
@@ -1605,6 +1743,73 @@ mod tests {
             rx2.recv().expect("immediate failure"),
             JobResult::Failed(_)
         ));
+    }
+
+    #[test]
+    fn stolen_plan_sends_donate_to_the_thief_before_any_plan_traffic() {
+        // Steal-mode master over 3 workers. A child plan parked on worker
+        // 1's deque is stolen by hungry worker 2; the thief's first frame
+        // must be the Donate carrying the stolen task.
+        let stats = NetStats::new(4);
+        let (fabric, rxs) = Fabric::new(4, NetModel::instant(), stats);
+        let cfg = ClusterConfig {
+            n_workers: 3,
+            steal: true,
+            ..ClusterConfig::default()
+        };
+        let colmap = crate::assign::ColumnMap::round_robin(4, 3, 2);
+        let m = Master::new(
+            cfg,
+            1_000,
+            4,
+            Task::Classification { n_classes: 2 },
+            colmap,
+            fabric,
+        );
+        m.init_load_matrix(4);
+        let (_h, _rx) = m.submit(JobSpec::decision_tree(Task::Classification {
+            n_classes: 2,
+        }));
+        m.admit_trees();
+        // Drain the root from the global deque: nobody is hungry yet, so
+        // this is a plain pop, not a steal.
+        let (root, steal) = m.plans.try_next(&[]).expect("root plan queued");
+        assert!(steal.is_none(), "global pop is not a steal");
+        // Park a child on worker 1's deque, then let worker 2 go hungry.
+        m.enqueue_plan(PlanDesc {
+            task: TaskId(99),
+            tree: root.tree,
+            node: 0,
+            parent: ParentRef::Node {
+                worker: 1,
+                task: root.task,
+                side: Side::Left,
+            },
+            n_rows: 50,
+            depth: 1,
+            path: 2,
+            trace: root.trace,
+            span: 0,
+        });
+        m.on_steal_request(2);
+        let (stolen, steal) = m.plans.try_next(&[]).expect("stolen child");
+        assert_eq!(stolen.task, TaskId(99));
+        assert_eq!(
+            steal,
+            Some(StealInfo {
+                victim: 1,
+                thief: 2
+            })
+        );
+        m.assign_plan(stolen, steal);
+        let first = rxs[2].try_recv().expect("thief was messaged");
+        match first {
+            TaskMsg::Donate { task, victim, .. } => {
+                assert_eq!(task, TaskId(99));
+                assert_eq!(victim, 1);
+            }
+            other => panic!("thief's first frame was {other:?}, not Donate"),
+        }
     }
 
     #[test]

@@ -200,6 +200,29 @@ pub enum TaskMsg {
         /// The beating worker.
         worker: NodeId,
     },
+    /// Worker → master: the worker's ready queue ran dry (`ts-sched`,
+    /// stealing mode only). The scheduler serves this worker next — from
+    /// its own deque if non-empty, otherwise by stealing from the tail of
+    /// the most-loaded peer's deque. Rate-limited worker-side: at most one
+    /// outstanding request, acked by `Donate` or implicitly by any new
+    /// plan. Purely an accelerator — a lost request costs latency, never
+    /// progress (the capacity-based dispatch feeds idle workers anyway).
+    StealRequest {
+        /// The idle worker.
+        worker: NodeId,
+    },
+    /// Master → thief worker: acks a `StealRequest` — a plan stolen from
+    /// `victim`'s deque has been dispatched on the thief's behalf. Carries
+    /// the stolen task's span so the steal is visible in the span DAG
+    /// (`SpanRecv` on the thief under the stolen task's trace).
+    Donate {
+        /// The stolen task.
+        task: TaskId,
+        /// The worker whose deque gave the plan up.
+        victim: NodeId,
+        /// The stolen task's span context.
+        ctx: TraceCtx,
+    },
     /// Master → worker: stop all threads.
     Shutdown,
 }
@@ -227,6 +250,8 @@ impl WireSized for TaskMsg {
             | TaskMsg::ServeQuota { .. }
             | TaskMsg::RevokeTree { .. }
             | TaskMsg::Heartbeat { .. }
+            | TaskMsg::StealRequest { .. }
+            | TaskMsg::Donate { .. }
             | TaskMsg::Shutdown => HDR,
             TaskMsg::ReplicateTo { attrs, .. } | TaskMsg::ReplicateDone { attrs, .. } => {
                 HDR + 8 * attrs.len()
@@ -245,7 +270,11 @@ impl WireSized for TaskMsg {
         match self {
             TaskMsg::ColumnPlan(p) => p.ctx,
             TaskMsg::SubtreePlan(p) => p.ctx,
-            TaskMsg::ColumnResult { ctx, .. } | TaskMsg::SubtreeResult { ctx, .. } => *ctx,
+            TaskMsg::ColumnResult { ctx, .. }
+            | TaskMsg::SubtreeResult { ctx, .. }
+            // A donation belongs to the stolen task's trace: the thief's
+            // `SpanRecv` is the steal edge in the span DAG.
+            | TaskMsg::Donate { ctx, .. } => *ctx,
             // Control traffic is outside any trace.
             _ => TraceCtx::NONE,
         }
@@ -454,5 +483,23 @@ mod tests {
             .wire_bytes(),
             24
         );
+    }
+
+    #[test]
+    fn steal_frames_are_header_only_and_donate_carries_the_stolen_span() {
+        use ts_obs::SpanId;
+        let req = TaskMsg::StealRequest { worker: 3 };
+        assert_eq!(req.wire_bytes(), 24, "steal request is pure control");
+        assert_eq!(req.trace_ctx(), TraceCtx::NONE);
+        let ctx = TraceCtx::new(7, SpanId(99));
+        let don = TaskMsg::Donate {
+            task: TaskId(12),
+            victim: 1,
+            ctx,
+        };
+        // The stolen task's context rides the already-charged header, so
+        // stealing shows up in the span DAG at zero wire cost.
+        assert_eq!(don.wire_bytes(), 24);
+        assert_eq!(don.trace_ctx(), ctx);
     }
 }

@@ -1,0 +1,801 @@
+//! ts-sched: the master's plan queue and the adaptive-τ controller.
+//!
+//! Two schedulers share one type, [`PlanQueue`]:
+//!
+//! - **Single-deque** (default): the paper-exact seed behaviour. One global
+//!   deque; the hybrid BFS/DFS rule pushes small tasks to the head and big
+//!   ones to the tail, `θ_main` pops the head. Byte-identical models and
+//!   scheduling order to the pre-`ts-sched` engine.
+//! - **Stealing** ([`PlanQueue::new_stealing`]): one deque per worker,
+//!   keyed by each plan's *parent worker* (the machine already holding the
+//!   task's row set `Ix` — the §VI cost model's affinity), plus a global
+//!   deque for root plans. Dispatch is throttled to a per-worker in-flight
+//!   cap, so the queue holds a master-side backlog: up to `cap` plans per
+//!   worker are in flight (their column/`Ix` fetches overlapping the
+//!   compers' current compute) while the rest wait where the scheduler can
+//!   still re-route them. An idle worker (it sent a `StealRequest` frame)
+//!   is served its own deque first, then the global deque, and otherwise
+//!   **steals from the tail** of the most-loaded peer's deque — tails hold
+//!   the big breadth-first tasks, so small depth-first tasks stay with the
+//!   worker whose delegate already holds their `Ix` (the steal-order
+//!   heuristic that preserves §VI affinity). Victim choice breaks deque-
+//!   length ties by the §VI `COMP` load column.
+//!
+//! Either way the queue is condvar-signalled: pushes, completions, steal
+//! requests and shutdown wake `θ_main` immediately instead of the seed's
+//! blind `poll_sleep`.
+//!
+//! Changing *when* and *where* a plan is dispatched never changes the
+//! trained model: all task randomness derives from the scheduling-invariant
+//! root path (`mix_seed(tree_seed, path)`) and result folding is a total
+//! order — `core/tests/sched_equiv.rs` locks this down against the
+//! single-deque scheduler. The one exception is the τ_D boundary itself:
+//! extra-trees resampling differs between column- and subtree-tasks, so
+//! only *static*-τ runs are comparable for extra-trees models.
+//!
+//! [`TauController`] is the control half of the PR 6 `LatencyFeed`
+//! measurement loop: it nudges `τ_D` from the subtree/column p50 ratio and
+//! `τ_dfs` from column-latency dispersion, clamped to `[τ/4, 4τ]` around
+//! the static configuration, and falls back to the statics whenever the
+//! feed is too thin to trust.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Duration;
+use ts_netsim::NodeId;
+use ts_obs::LatencyFeedSnapshot;
+use tschan::sync::{Condvar, Mutex};
+
+/// A steal performed by the scheduler: `thief` asked, `victim`'s deque
+/// gave up its tail plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealInfo {
+    /// The worker whose deque lost the plan.
+    pub victim: NodeId,
+    /// The idle worker whose request triggered the steal.
+    pub thief: NodeId,
+}
+
+/// Consecutive empty-handed waits (with plans still queued) before the
+/// failsafe force-pops past the in-flight cap. Normal operation never gets
+/// here — every result arrival frees capacity and wakes the queue — but a
+/// lost completion must degrade to the single-deque behaviour, not a hang.
+const STALL_STRIKES: u32 = 32;
+
+struct Inner<T> {
+    /// The live worker roster (capacity checks; set by the master at
+    /// launch and after crash recovery). Empty = unknown = no gating.
+    workers: Vec<NodeId>,
+    /// Root plans and (in single mode) everything else.
+    global: VecDeque<T>,
+    /// Per-worker affinity deques (stealing mode only).
+    deques: BTreeMap<NodeId, VecDeque<T>>,
+    /// Plans dispatched and not yet completed, per worker (stealing mode).
+    outstanding: BTreeMap<NodeId, u64>,
+    /// Workers whose `StealRequest` is pending, in arrival order.
+    hungry: VecDeque<NodeId>,
+    /// Total queued plans across all deques.
+    len: usize,
+    /// Consecutive timed-out waits that found plans but no capacity.
+    stalls: u32,
+}
+
+impl<T> Inner<T> {
+    fn empty() -> Inner<T> {
+        Inner {
+            workers: Vec::new(),
+            global: VecDeque::new(),
+            deques: BTreeMap::new(),
+            outstanding: BTreeMap::new(),
+            hungry: VecDeque::new(),
+            len: 0,
+            stalls: 0,
+        }
+    }
+
+    fn outstanding_of(&self, w: NodeId) -> u64 {
+        self.outstanding.get(&w).copied().unwrap_or(0)
+    }
+}
+
+/// The master's plan queue (see the module docs for the two modes).
+///
+/// Generic over the plan payload so scheduler policy is unit-testable
+/// without dragging in the master's private plan descriptor.
+pub struct PlanQueue<T> {
+    steal: bool,
+    /// Per-worker in-flight cap (stealing mode; `u64::MAX` = unbounded).
+    cap: u64,
+    inner: Mutex<Inner<T>>,
+    cv: Condvar,
+}
+
+impl<T> PlanQueue<T> {
+    /// The seed scheduler: one global deque, no throttling, no stealing.
+    pub fn new_single() -> PlanQueue<T> {
+        PlanQueue {
+            steal: false,
+            cap: u64::MAX,
+            inner: Mutex::new(Inner::empty()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The stealing scheduler with a per-worker in-flight cap (`cap >= 1`).
+    pub fn new_stealing(cap: usize) -> PlanQueue<T> {
+        assert!(cap >= 1, "stealing needs a positive in-flight cap");
+        PlanQueue {
+            steal: true,
+            cap: cap as u64,
+            inner: Mutex::new(Inner::empty()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Sets the live worker roster (capacity checks for global plans).
+    /// Called at launch and after crash recovery shrinks the cluster.
+    pub fn set_workers(&self, workers: &[NodeId]) {
+        self.inner.lock().workers = workers.to_vec();
+        self.cv.notify_all();
+    }
+
+    /// Whether this queue runs the stealing scheduler.
+    pub fn stealing(&self) -> bool {
+        self.steal
+    }
+
+    /// Queues a plan and wakes the assignment loop. `affinity` is the plan's
+    /// parent worker (`None` for roots); `dfs` is the hybrid rule's verdict
+    /// (`|Dx| <= τ_dfs` → head). Returns the total queue length after the
+    /// push, for the `BplanPush` observability event.
+    pub fn push(&self, item: T, affinity: Option<NodeId>, dfs: bool) -> usize {
+        let mut inner = self.inner.lock();
+        let q = match affinity {
+            Some(w) if self.steal => inner.deques.entry(w).or_default(),
+            _ => &mut inner.global,
+        };
+        if dfs {
+            q.push_front(item);
+        } else {
+            q.push_back(item);
+        }
+        inner.len += 1;
+        inner.stalls = 0;
+        let len = inner.len;
+        drop(inner);
+        self.cv.notify_all();
+        len
+    }
+
+    /// Records a worker's `StealRequest`: its compers ran dry, so the next
+    /// pop serves it first (stealing if its own deque is empty). No-op in
+    /// single mode. Duplicate pending requests collapse.
+    pub fn mark_hungry(&self, worker: NodeId) {
+        if self.steal {
+            let mut inner = self.inner.lock();
+            if !inner.hungry.contains(&worker) {
+                inner.hungry.push_back(worker);
+            }
+            drop(inner);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Charges one in-flight plan to each involved worker at dispatch.
+    pub fn note_dispatched(&self, workers: &[NodeId]) {
+        if !self.steal {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        for &w in workers {
+            *inner.outstanding.entry(w).or_insert(0) += 1;
+        }
+    }
+
+    /// Releases one in-flight charge when a worker's result arrives
+    /// (saturating: recovery resets charges that results may still chase).
+    pub fn note_completed(&self, worker: NodeId) {
+        if !self.steal {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if let Some(o) = inner.outstanding.get_mut(&worker) {
+            *o = o.saturating_sub(1);
+        }
+        inner.stalls = 0;
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Drops every queued plan and resets in-flight accounting and pending
+    /// steal requests (fault recovery revoked all in-flight work).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.global.clear();
+        inner.deques.clear();
+        inner.outstanding.clear();
+        inner.hungry.clear();
+        inner.len = 0;
+        inner.stalls = 0;
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Total queued plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len
+    }
+
+    /// Whether no plan is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Wakes the assignment loop without queueing anything (job submission,
+    /// shutdown).
+    pub fn notify(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Pops the next assignable plan without blocking. `comp` is a snapshot
+    /// of the §VI `COMP` load column indexed by node id (used only to break
+    /// steal-victim ties; pass `&[]` to fall back to ids).
+    pub fn try_next(&self, comp: &[u64]) -> Option<(T, Option<StealInfo>)> {
+        let mut inner = self.inner.lock();
+        self.pop_locked(&mut inner, comp, false)
+    }
+
+    /// Pops the next assignable plan, waiting up to `timeout` for one to
+    /// become available (push, freed capacity, steal request and shutdown
+    /// all notify). Returns `None` on timeout — the caller's loop re-checks
+    /// shutdown/heartbeats and calls again.
+    pub fn next_timeout(&self, timeout: Duration, comp: &[u64]) -> Option<(T, Option<StealInfo>)> {
+        let mut inner = self.inner.lock();
+        if let Some(popped) = self.pop_locked(&mut inner, comp, false) {
+            return Some(popped);
+        }
+        let (mut inner, timed_out) = self.cv.wait_timeout(inner, timeout);
+        let force = if timed_out && inner.len > 0 {
+            // Plans are queued but nothing was assignable for a full wait:
+            // count a strike; too many in a row trips the failsafe.
+            inner.stalls += 1;
+            inner.stalls >= STALL_STRIKES
+        } else {
+            false
+        };
+        let popped = self.pop_locked(&mut inner, comp, force);
+        if popped.is_some() {
+            inner.stalls = 0;
+        }
+        popped
+    }
+
+    /// The scheduling policy. `force` ignores the in-flight cap (failsafe).
+    fn pop_locked(
+        &self,
+        inner: &mut Inner<T>,
+        comp: &[u64],
+        force: bool,
+    ) -> Option<(T, Option<StealInfo>)> {
+        if !self.steal {
+            let item = inner.global.pop_front()?;
+            inner.len -= 1;
+            return Some((item, None));
+        }
+        // 1. The oldest pending steal request (one pop per call): own
+        // deque, then the global deque, then steal from the most-loaded
+        // peer's tail.
+        if let Some(h) = inner.hungry.pop_front() {
+            if let Some(item) = inner.deques.get_mut(&h).and_then(VecDeque::pop_front) {
+                inner.len -= 1;
+                return Some((item, None));
+            }
+            if let Some(item) = inner.global.pop_front() {
+                inner.len -= 1;
+                return Some((item, None));
+            }
+            let comp_of = |w: NodeId| comp.get(w).copied().unwrap_or(0);
+            let victim = inner
+                .deques
+                .iter()
+                .filter(|&(&w, q)| w != h && !q.is_empty())
+                // Longest deque; ties go to the §VI-heavier worker, then
+                // the smaller id (deterministic under equal load).
+                .max_by(|&(&a, qa), &(&b, qb)| {
+                    qa.len()
+                        .cmp(&qb.len())
+                        .then(comp_of(a).cmp(&comp_of(b)))
+                        .then(b.cmp(&a))
+                })
+                .map(|(&w, _)| w);
+            match victim {
+                Some(v) => {
+                    let item = inner
+                        .deques
+                        .get_mut(&v)
+                        .and_then(VecDeque::pop_back)
+                        .expect("victim deque checked non-empty");
+                    inner.len -= 1;
+                    return Some((
+                        item,
+                        Some(StealInfo {
+                            victim: v,
+                            thief: h,
+                        }),
+                    ));
+                }
+                None => {
+                    // Nothing queued anywhere: keep the request pending so
+                    // the next push serves this worker first.
+                    inner.hungry.push_front(h);
+                }
+            }
+        }
+        // 2. Affinity dispatch under the in-flight cap: the least-loaded
+        // worker with queued plans and spare capacity.
+        let candidate = inner
+            .deques
+            .iter()
+            .filter(|&(&w, q)| !q.is_empty() && (force || inner.outstanding_of(w) < self.cap))
+            .min_by_key(|&(&w, _)| (inner.outstanding_of(w), w))
+            .map(|(&w, _)| w);
+        if let Some(w) = candidate {
+            let item = inner
+                .deques
+                .get_mut(&w)
+                .and_then(VecDeque::pop_front)
+                .expect("candidate deque checked non-empty");
+            inner.len -= 1;
+            return Some((item, None));
+        }
+        // 3. Root/global plans, as long as someone has spare capacity (the
+        // assignment itself picks the workers).
+        if !inner.global.is_empty() {
+            let spare = force
+                || inner.workers.is_empty()
+                || inner
+                    .workers
+                    .iter()
+                    .any(|&w| inner.outstanding_of(w) < self.cap);
+            if spare {
+                let item = inner.global.pop_front().expect("checked non-empty");
+                inner.len -= 1;
+                return Some((item, None));
+            }
+        }
+        None
+    }
+}
+
+/// Bounds and step size of the τ controller, relative to the static values.
+const TAU_CLAMP: u64 = 4; // clamp to [static/4, static*4]
+const TAU_STEP_DIV: u64 = 8; // each nudge moves τ by ±τ/8
+
+/// Minimum samples of *each* task kind before the feed is trusted; below
+/// this the controller holds the static thresholds (degenerate-feed
+/// fallback).
+const TAU_MIN_SAMPLES: u64 = 16;
+
+/// Subtree-p50 : column-p50 ratio above which subtree tasks are considered
+/// too coarse (shrink `τ_D`), and below which too fine (grow `τ_D`).
+const RATIO_HI: u64 = 8;
+const RATIO_LO: u64 = 2;
+
+/// Column p95 : p50 dispersion above which the queue is congested (widen
+/// `τ_dfs`: more depth-first, reach CPU-bound subtree tasks sooner), and
+/// below which it is smooth (relax back towards breadth-first).
+const DISP_HI: u64 = 6;
+const DISP_LO: u64 = 2;
+
+/// Feedback controller for the hybrid-scheduling thresholds (`τ_D`,
+/// `τ_dfs`), driven by the obs `LatencyFeed` (PR 6).
+///
+/// Pure state machine — no clocks, no locks — so it is exactly
+/// reproducible from a feed-snapshot sequence. The master updates it
+/// periodically and reads the current thresholds instead of the static
+/// config when `ClusterConfig::adaptive_tau` is set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TauController {
+    static_d: u64,
+    static_dfs: u64,
+    tau_d: u64,
+    tau_dfs: u64,
+}
+
+impl TauController {
+    /// Starts at the static thresholds (which also anchor the clamps).
+    pub fn new(static_tau_d: u64, static_tau_dfs: u64) -> TauController {
+        assert!(static_tau_d >= 1 && static_tau_dfs >= 1);
+        TauController {
+            static_d: static_tau_d,
+            static_dfs: static_tau_dfs,
+            tau_d: static_tau_d,
+            tau_dfs: static_tau_dfs,
+        }
+    }
+
+    /// Current subtree-task threshold.
+    pub fn tau_d(&self) -> u64 {
+        self.tau_d
+    }
+
+    /// Current depth-first threshold.
+    pub fn tau_dfs(&self) -> u64 {
+        self.tau_dfs
+    }
+
+    fn clamp(v: u64, anchor: u64) -> u64 {
+        v.clamp(
+            (anchor / TAU_CLAMP).max(1),
+            anchor.saturating_mul(TAU_CLAMP),
+        )
+    }
+
+    fn step(v: u64) -> u64 {
+        (v / TAU_STEP_DIV).max(1)
+    }
+
+    /// Folds one feed snapshot into the thresholds.
+    ///
+    /// - Degenerate feed (fewer than [`TAU_MIN_SAMPLES`] of either kind):
+    ///   reset to the static thresholds — never extrapolate from one-sided
+    ///   or empty data.
+    /// - `τ_D`: subtree tasks running much longer than column tasks mean
+    ///   the `|Dx| <= τ_D` cut delegates too much work per task → shrink;
+    ///   subtree tasks barely more expensive than a single column scan
+    ///   mean delegation is too fine → grow.
+    /// - `τ_dfs`: high column-latency dispersion (p95 ≫ p50) means tasks
+    ///   are queueing behind each other → widen (depth-first reaches
+    ///   subtree tasks, which leave the column pipeline, sooner); low
+    ///   dispersion relaxes it back.
+    ///
+    /// Each call moves each threshold at most one step (±τ/8), clamped to
+    /// `[static/4, 4·static]`, so a burst of noisy snapshots cannot slam
+    /// the thresholds across their range.
+    pub fn update(&mut self, feed: &LatencyFeedSnapshot) {
+        if feed.column.count < TAU_MIN_SAMPLES || feed.subtree.count < TAU_MIN_SAMPLES {
+            self.tau_d = self.static_d;
+            self.tau_dfs = self.static_dfs;
+            return;
+        }
+        let ratio = feed.subtree.p50_ns / feed.column.p50_ns.max(1);
+        if ratio > RATIO_HI {
+            self.tau_d = self.tau_d.saturating_sub(Self::step(self.tau_d));
+        } else if ratio < RATIO_LO {
+            self.tau_d = self.tau_d.saturating_add(Self::step(self.tau_d));
+        }
+        self.tau_d = Self::clamp(self.tau_d, self.static_d);
+
+        let disp = feed.column.p95_ns / feed.column.p50_ns.max(1);
+        if disp > DISP_HI {
+            self.tau_dfs = self.tau_dfs.saturating_add(Self::step(self.tau_dfs));
+        } else if disp < DISP_LO {
+            self.tau_dfs = self.tau_dfs.saturating_sub(Self::step(self.tau_dfs));
+        }
+        self.tau_dfs = Self::clamp(self.tau_dfs, self.static_dfs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Instant;
+    use ts_obs::KindLatency;
+
+    // ------------------------------------------------------------------
+    // PlanQueue: single mode reproduces the seed scheduler.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn single_mode_is_the_hybrid_seed_deque() {
+        let q: PlanQueue<u64> = PlanQueue::new_single();
+        q.push(1, None, false); // big -> tail
+        q.push(2, Some(1), false); // affinity ignored in single mode
+        q.push(3, None, true); // small -> head
+        q.push(4, Some(2), true); // small -> head (before 3)
+        let mut order = Vec::new();
+        while let Some((t, steal)) = q.try_next(&[]) {
+            assert!(steal.is_none(), "single mode never steals");
+            order.push(t);
+        }
+        assert_eq!(order, vec![4, 3, 1, 2]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn single_mode_ignores_capacity_and_hunger() {
+        let q: PlanQueue<u64> = PlanQueue::new_single();
+        q.note_dispatched(&[1, 1, 1, 1]);
+        q.mark_hungry(2);
+        q.push(7, None, false);
+        assert_eq!(q.try_next(&[]).map(|(t, _)| t), Some(7));
+    }
+
+    // ------------------------------------------------------------------
+    // PlanQueue: stealing mode.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn affinity_pop_prefers_least_loaded_worker() {
+        let q: PlanQueue<u64> = PlanQueue::new_stealing(4);
+        q.push(10, Some(1), false);
+        q.push(20, Some(2), false);
+        q.note_dispatched(&[1]); // worker 1 now has 1 in flight
+                                 // Worker 2 is idle-est, so its deque pops first.
+        assert_eq!(q.try_next(&[]).map(|(t, _)| t), Some(20));
+        assert_eq!(q.try_next(&[]).map(|(t, _)| t), Some(10));
+    }
+
+    #[test]
+    fn capacity_throttles_until_completion() {
+        let q: PlanQueue<u64> = PlanQueue::new_stealing(2);
+        q.push(1, Some(1), false);
+        q.note_dispatched(&[1]);
+        q.note_dispatched(&[1]); // worker 1 at cap
+        assert!(q.try_next(&[]).is_none(), "worker 1 is at capacity");
+        assert_eq!(q.len(), 1, "plan stays queued");
+        q.note_completed(1);
+        assert_eq!(q.try_next(&[]).map(|(t, _)| t), Some(1));
+    }
+
+    #[test]
+    fn hungry_worker_steals_from_longest_tail() {
+        let q: PlanQueue<u64> = PlanQueue::new_stealing(8);
+        // Worker 1's deque: head [11, 12, 13] tail — 13 is the BFS tail.
+        q.push(11, Some(1), false);
+        q.push(12, Some(1), false);
+        q.push(13, Some(1), false);
+        q.push(21, Some(2), false);
+        q.mark_hungry(3);
+        let (t, steal) = q.try_next(&[]).expect("plan available");
+        assert_eq!(t, 13, "steals the tail of the longest deque");
+        assert_eq!(
+            steal,
+            Some(StealInfo {
+                victim: 1,
+                thief: 3
+            })
+        );
+        // Hunger is consumed: the next pop is a normal affinity pop.
+        let (_, steal) = q.try_next(&[]).expect("plan available");
+        assert!(steal.is_none());
+    }
+
+    #[test]
+    fn hungry_worker_drains_own_deque_before_stealing() {
+        let q: PlanQueue<u64> = PlanQueue::new_stealing(8);
+        q.push(11, Some(1), false);
+        q.push(31, Some(3), false);
+        q.mark_hungry(3);
+        let (t, steal) = q.try_next(&[]).expect("plan available");
+        assert_eq!(t, 31, "own deque first");
+        assert!(steal.is_none(), "serving your own deque is not a steal");
+    }
+
+    #[test]
+    fn steal_victim_ties_break_by_comp_load() {
+        let q: PlanQueue<u64> = PlanQueue::new_stealing(8);
+        q.push(11, Some(1), false);
+        q.push(21, Some(2), false);
+        q.mark_hungry(3);
+        // Equal deque lengths; worker 2 carries more §VI COMP load.
+        let comp = [0, 5, 50];
+        let (t, steal) = q.try_next(&comp).expect("plan available");
+        assert_eq!(t, 21);
+        assert_eq!(
+            steal,
+            Some(StealInfo {
+                victim: 2,
+                thief: 3
+            })
+        );
+    }
+
+    #[test]
+    fn unserved_hunger_survives_until_work_arrives() {
+        let q: PlanQueue<u64> = PlanQueue::new_stealing(8);
+        q.mark_hungry(2);
+        assert!(q.try_next(&[]).is_none());
+        // Work for worker 1 arrives; the pending request from worker 2
+        // grabs it (steal) before worker 1's ordinary affinity pop.
+        q.push(11, Some(1), false);
+        let (t, steal) = q.try_next(&[]).expect("plan available");
+        assert_eq!(t, 11);
+        assert_eq!(
+            steal,
+            Some(StealInfo {
+                victim: 1,
+                thief: 2
+            })
+        );
+    }
+
+    #[test]
+    fn clear_resets_queues_hunger_and_accounting() {
+        let q: PlanQueue<u64> = PlanQueue::new_stealing(1);
+        q.push(1, Some(1), false);
+        q.push(2, None, false);
+        q.note_dispatched(&[1]);
+        q.mark_hungry(2);
+        q.clear();
+        assert!(q.is_empty());
+        // Capacity was reset too: worker 1 can be dispatched to again.
+        q.push(3, Some(1), false);
+        assert_eq!(q.try_next(&[]).map(|(t, _)| t), Some(3));
+    }
+
+    #[test]
+    fn global_plans_flow_when_capacity_exists() {
+        let q: PlanQueue<u64> = PlanQueue::new_stealing(1);
+        q.set_workers(&[1, 2]);
+        q.push(1, None, false);
+        q.push(2, None, false);
+        assert_eq!(q.try_next(&[]).map(|(t, _)| t), Some(1));
+        q.note_dispatched(&[1]);
+        q.note_dispatched(&[2]);
+        assert!(q.try_next(&[]).is_none(), "every worker at capacity");
+        q.note_completed(2);
+        assert_eq!(q.try_next(&[]).map(|(t, _)| t), Some(2));
+    }
+
+    // ------------------------------------------------------------------
+    // Condvar wakeup (satellite: no blind poll_sleep).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn push_wakes_a_waiting_pop_immediately() {
+        let q: Arc<PlanQueue<u64>> = Arc::new(PlanQueue::new_single());
+        let q2 = Arc::clone(&q);
+        let start = Instant::now();
+        let waiter = thread::spawn(move || {
+            // A poll-interval-sized timeout: the pop must return long
+            // before it elapses, woken by the push.
+            q2.next_timeout(Duration::from_secs(10), &[])
+        });
+        thread::sleep(Duration::from_millis(20));
+        q.push(99, None, true);
+        let got = waiter.join().unwrap();
+        assert_eq!(got.map(|(t, _)| t), Some(99));
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "pop waited out the timeout instead of being woken"
+        );
+    }
+
+    #[test]
+    fn completion_wakes_a_capacity_blocked_pop() {
+        let q: Arc<PlanQueue<u64>> = Arc::new(PlanQueue::new_stealing(1));
+        q.push(5, Some(1), false);
+        q.note_dispatched(&[1]);
+        let q2 = Arc::clone(&q);
+        let start = Instant::now();
+        let waiter = thread::spawn(move || q2.next_timeout(Duration::from_secs(10), &[]));
+        thread::sleep(Duration::from_millis(20));
+        q.note_completed(1);
+        assert_eq!(waiter.join().unwrap().map(|(t, _)| t), Some(5));
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn stall_failsafe_force_pops_past_the_cap() {
+        let q: PlanQueue<u64> = PlanQueue::new_stealing(1);
+        q.push(5, Some(1), false);
+        q.note_dispatched(&[1]); // capacity never freed (lost completion)
+        let mut got = None;
+        for _ in 0..(STALL_STRIKES + 1) {
+            if let Some((t, _)) = q.next_timeout(Duration::from_millis(1), &[]) {
+                got = Some(t);
+                break;
+            }
+        }
+        assert_eq!(got, Some(5), "failsafe must eventually dispatch");
+    }
+
+    // ------------------------------------------------------------------
+    // TauController (satellite: adaptive-τ unit tests).
+    // ------------------------------------------------------------------
+
+    fn feed(col_p50: u64, col_p95: u64, sub_p50: u64) -> LatencyFeedSnapshot {
+        LatencyFeedSnapshot {
+            column: KindLatency {
+                count: 100,
+                p50_ns: col_p50,
+                p95_ns: col_p95,
+            },
+            subtree: KindLatency {
+                count: 100,
+                p50_ns: sub_p50,
+                p95_ns: sub_p50 * 2,
+            },
+        }
+    }
+
+    #[test]
+    fn heavy_subtrees_drive_tau_d_down_monotonically_to_the_clamp() {
+        let mut c = TauController::new(10_000, 80_000);
+        // Subtree p50 is 100x column p50: delegation is far too coarse.
+        let f = feed(1_000, 3_000, 100_000);
+        let mut prev = c.tau_d();
+        for _ in 0..200 {
+            c.update(&f);
+            assert!(c.tau_d() <= prev, "τ_D must fall monotonically");
+            prev = c.tau_d();
+        }
+        assert_eq!(c.tau_d(), 10_000 / 4, "clamped at static/4");
+    }
+
+    #[test]
+    fn cheap_subtrees_drive_tau_d_up_monotonically_to_the_clamp() {
+        let mut c = TauController::new(10_000, 80_000);
+        // Subtree p50 == column p50: delegation far too fine.
+        let f = feed(1_000, 3_000, 1_000);
+        let mut prev = c.tau_d();
+        for _ in 0..200 {
+            c.update(&f);
+            assert!(c.tau_d() >= prev, "τ_D must rise monotonically");
+            prev = c.tau_d();
+        }
+        assert_eq!(c.tau_d(), 10_000 * 4, "clamped at 4x static");
+    }
+
+    #[test]
+    fn column_dispersion_widens_tau_dfs_and_smoothness_narrows_it() {
+        let mut c = TauController::new(10_000, 80_000);
+        // p95 = 20x p50: heavy queueing -> widen depth-first range.
+        for _ in 0..200 {
+            c.update(&feed(1_000, 20_000, 3_000));
+        }
+        assert_eq!(c.tau_dfs(), 80_000 * 4, "clamped at 4x static");
+        // Smooth latencies relax it back down to the lower clamp.
+        for _ in 0..400 {
+            c.update(&feed(1_000, 1_200, 3_000));
+        }
+        assert_eq!(c.tau_dfs(), 80_000 / 4, "clamped at static/4");
+    }
+
+    #[test]
+    fn balanced_feed_holds_thresholds_steady() {
+        let mut c = TauController::new(10_000, 80_000);
+        // Ratio 4 (between LO=2 and HI=8), dispersion 3 (between 2 and 6).
+        for _ in 0..50 {
+            c.update(&feed(1_000, 3_000, 4_000));
+        }
+        assert_eq!(c.tau_d(), 10_000);
+        assert_eq!(c.tau_dfs(), 80_000);
+    }
+
+    #[test]
+    fn degenerate_feed_falls_back_to_static_tau() {
+        let mut c = TauController::new(10_000, 80_000);
+        // Drive thresholds away from the statics first.
+        for _ in 0..10 {
+            c.update(&feed(1_000, 3_000, 100_000));
+        }
+        assert_ne!(c.tau_d(), 10_000);
+        // Empty feed: full reset, no panic.
+        c.update(&LatencyFeedSnapshot::default());
+        assert_eq!(c.tau_d(), 10_000);
+        assert_eq!(c.tau_dfs(), 80_000);
+        // One-sided feed (only column samples): also degenerate.
+        let one_sided = LatencyFeedSnapshot {
+            column: KindLatency {
+                count: 500,
+                p50_ns: 10,
+                p95_ns: 1_000_000,
+            },
+            ..Default::default()
+        };
+        c.update(&one_sided);
+        assert_eq!(c.tau_d(), 10_000);
+        assert_eq!(c.tau_dfs(), 80_000);
+        // Zero-latency samples must not divide by zero; the thresholds
+        // stay inside their clamps.
+        let zeros = feed(0, 0, 0);
+        for _ in 0..10 {
+            c.update(&zeros);
+        }
+        assert!((2_500..=40_000).contains(&c.tau_d()));
+        assert!((20_000..=320_000).contains(&c.tau_dfs()));
+    }
+}

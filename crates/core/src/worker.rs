@@ -25,7 +25,7 @@
 use crate::ids::{ParentRef, RowSet, Side, TaskId, TreeId};
 use crate::messages::{ColumnPlan, ColumnTaskBest, DataMsg, SubtreePlan, TaskMsg};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use ts_datatable::{AttrType, Column, Labels, SortedColumn, Task, ValuesBuf};
@@ -182,6 +182,16 @@ pub struct Worker {
     /// Cleared on `Shutdown`; stops the heartbeat thread, so a silenced
     /// worker also goes silent on the liveness plane.
     alive: AtomicBool,
+    /// Whether this worker advertises hunger to the master (`ts-sched`
+    /// work stealing, `ClusterConfig::steal`).
+    steal: bool,
+    /// Ready tasks enqueued for the comper pool minus tasks picked up —
+    /// the signal for "my compute backlog ran dry". Signed because the
+    /// comper-side decrement can observe the send before the increment.
+    ready_backlog: AtomicI64,
+    /// One outstanding `StealRequest` at a time; cleared when the master
+    /// answers with any plan or an explicit `Donate`.
+    steal_outstanding: AtomicBool,
 }
 
 impl Worker {
@@ -201,6 +211,7 @@ impl Worker {
         task_rx: FabricReceiver<TaskMsg>,
         data_rx: FabricReceiver<DataMsg>,
         heartbeat_interval: Duration,
+        steal: bool,
     ) -> Vec<std::thread::JoinHandle<()>> {
         let (ready_tx, ready_rx) = tschan::unbounded();
         let stats = Arc::clone(fabric_task.stats());
@@ -233,6 +244,9 @@ impl Worker {
             fabric_data,
             stats,
             alive: AtomicBool::new(true),
+            steal,
+            ready_backlog: AtomicI64::new(0),
+            steal_outstanding: AtomicBool::new(false),
         });
 
         let mut handles = Vec::new();
@@ -301,6 +315,44 @@ impl Worker {
                     TaskMsg::Heartbeat { worker: self.id },
                 );
             }
+        }
+    }
+
+    /// Hands a provisioned task to the comper pool, keeping the ready
+    /// backlog counter in step (the hunger signal for work stealing).
+    fn push_ready(&self, task: ReadyTask) {
+        if !matches!(task, ReadyTask::Stop) {
+            self.ready_backlog.fetch_add(1, Ordering::AcqRel);
+        }
+        let _ = self.ready_tx.send(task);
+    }
+
+    /// Called by a comper that just finished a task: when the ready
+    /// backlog is empty and no request is in flight, advertise hunger to
+    /// the master. The request is an accelerator — if it (or its Donate)
+    /// is lost, the flag is cleared by the next plan that arrives anyway.
+    fn maybe_request_steal(&self) {
+        if !self.steal || !self.alive.load(Ordering::Acquire) {
+            return;
+        }
+        if self.ready_backlog.load(Ordering::Acquire) > 0 {
+            return;
+        }
+        if self
+            .steal_outstanding
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            obs_event!(
+                self.stats,
+                self.id,
+                ts_obs::Event::StealRequested {
+                    worker: self.id as u32
+                }
+            );
+            let _ = self
+                .fabric_task
+                .send(self.id, 0, TaskMsg::StealRequest { worker: self.id });
         }
     }
 
@@ -381,10 +433,25 @@ impl Worker {
                     let _ = self.fabric_data.send(self.id, self.id, DataMsg::Shutdown);
                     break;
                 }
+                TaskMsg::Donate { ctx, .. } => {
+                    // The master answered our steal request: the stolen
+                    // task's plan follows on this same FIFO channel. The
+                    // SpanRecv here is the steal edge in the span DAG.
+                    obs_event!(
+                        self.stats,
+                        self.id,
+                        ts_obs::Event::SpanRecv {
+                            span: ctx.span.0,
+                            node: self.id as u32,
+                        }
+                    );
+                    self.steal_outstanding.store(false, Ordering::Release);
+                }
                 // Master-only messages never reach workers.
                 TaskMsg::ColumnResult { .. }
                 | TaskMsg::SubtreeResult { .. }
                 | TaskMsg::ReplicateDone { .. }
+                | TaskMsg::StealRequest { .. }
                 | TaskMsg::Heartbeat { .. } => {
                     unreachable!("master-bound message delivered to a worker")
                 }
@@ -393,6 +460,9 @@ impl Worker {
     }
 
     fn on_column_plan(&self, plan: ColumnPlan) {
+        // Any plan arriving means the master is feeding us again — a lost
+        // steal request (or Donate) must not wedge the hunger signal.
+        self.steal_outstanding.store(false, Ordering::Release);
         // Cross-machine causality: the master's task span is now live here.
         obs_event!(
             self.stats,
@@ -404,7 +474,7 @@ impl Worker {
         );
         match plan.parent {
             ParentRef::Root => {
-                let _ = self.ready_tx.send(ReadyTask::Column {
+                self.push_ready(ReadyTask::Column {
                     plan,
                     ix: RowSet::All,
                 });
@@ -427,6 +497,7 @@ impl Worker {
     }
 
     fn on_subtree_plan(&self, plan: SubtreePlan) {
+        self.steal_outstanding.store(false, Ordering::Release);
         obs_event!(
             self.stats,
             self.id,
@@ -454,7 +525,7 @@ impl Worker {
             ParentRef::Node { .. } => None,
         };
         if ix.is_some() && remote_needed == 0 {
-            let _ = self.ready_tx.send(ReadyTask::Subtree {
+            self.push_ready(ReadyTask::Subtree {
                 plan,
                 ix: RowSet::All,
                 remote_bufs: HashMap::new(),
@@ -726,7 +797,7 @@ impl Worker {
                         unreachable!()
                     };
                     self.stats.mem_alloc(self.id, ix_bytes(&ix));
-                    let _ = self.ready_tx.send(ReadyTask::Column {
+                    self.push_ready(ReadyTask::Column {
                         plan,
                         ix: ix.clone(),
                     });
@@ -876,7 +947,7 @@ impl Worker {
         else {
             unreachable!("promote_subtree on a non-subtree task");
         };
-        let _ = self.ready_tx.send(ReadyTask::Subtree {
+        self.push_ready(ReadyTask::Subtree {
             plan,
             ix: ix.expect("ix present when promoting"),
             remote_bufs,
@@ -888,6 +959,9 @@ impl Worker {
     // ------------------------------------------------------------------
     fn comper_loop(self: Arc<Self>, rx: Receiver<ReadyTask>) {
         while let Ok(task) = rx.recv() {
+            if !matches!(task, ReadyTask::Stop) {
+                self.ready_backlog.fetch_sub(1, Ordering::AcqRel);
+            }
             match task {
                 ReadyTask::Stop => break,
                 ReadyTask::Column { plan, ix } => {
@@ -918,6 +992,7 @@ impl Worker {
                     if let Some(msg) = msg {
                         let _ = self.fabric_task.send(self.id, 0, msg);
                     }
+                    self.maybe_request_steal();
                 }
                 ReadyTask::Subtree {
                     plan,
@@ -950,6 +1025,7 @@ impl Worker {
                     if let Some(msg) = msg {
                         let _ = self.fabric_task.send(self.id, 0, msg);
                     }
+                    self.maybe_request_steal();
                 }
             }
         }

@@ -161,6 +161,72 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// Scheduler-invariant property (`ts-sched`): across fault seeds and
+    /// worker counts, with work stealing on and a lossy message plan,
+    /// every planned task is executed **exactly once** — the multiset of
+    /// dispatch events equals the multiset of worker-side executions
+    /// equals the multiset of folded results, per `(task, node)` — and
+    /// the model stays byte-identical to the fault-free golden run.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn stealing_executes_every_planned_task_exactly_once(
+        fault_seed in any::<u64>(),
+        n_workers in 2usize..=5,
+    ) {
+        let t = table(17);
+        let mut cfg = faulty_cfg(Some(lossy_plan(fault_seed)));
+        cfg.n_workers = n_workers;
+        cfg.replication = 2.min(n_workers);
+        cfg.steal = true;
+        cfg.obs = ts_obs::ObsConfig::enabled();
+        let cluster = Cluster::launch(cfg, &t);
+        let model = cluster
+            .train(JobSpec::decision_tree(t.schema().task))
+            .into_tree();
+        let rec = std::sync::Arc::clone(cluster.obs().expect("obs enabled"));
+        cluster.shutdown();
+
+        prop_assert_eq!(tree_bytes(&model), golden_bytes());
+        prop_assert_eq!(rec.events_lost(), 0, "ring overflow would blind the count");
+
+        // (task, node) multisets of the three lifecycle stages.
+        let mut dispatched: Vec<(u64, u32)> = Vec::new();
+        let mut computed: Vec<(u64, u32)> = Vec::new();
+        let mut folded: Vec<(u64, u32)> = Vec::new();
+        for e in rec.events().iter() {
+            match e.event {
+                ts_obs::Event::ColumnTaskDispatched { task, node, .. } => {
+                    dispatched.push((task, node));
+                }
+                ts_obs::Event::SubtreeTaskDelegated { task, key_worker, .. } => {
+                    dispatched.push((task, key_worker));
+                }
+                ts_obs::Event::TaskComputed { task, node, .. } => computed.push((task, node)),
+                ts_obs::Event::ColumnTaskCompleted { task, node, .. } => {
+                    folded.push((task, node));
+                }
+                ts_obs::Event::SubtreeTaskBuilt { task, node, .. } => folded.push((task, node)),
+                _ => {}
+            }
+        }
+        dispatched.sort_unstable();
+        computed.sort_unstable();
+        folded.sort_unstable();
+        prop_assert!(!dispatched.is_empty(), "training dispatched no tasks?");
+        prop_assert_eq!(
+            &dispatched, &computed,
+            "a dispatched task shard was executed zero or multiple times"
+        );
+        prop_assert_eq!(
+            &dispatched, &folded,
+            "a dispatched task shard was folded zero or multiple times"
+        );
+    }
+}
+
 /// The same guarantee holds for boosting, where label broadcasts between
 /// rounds ride the data plane too. Mirrors the cluster shape of
 /// `gbt_survives_worker_crash_between_rounds` (3 workers, τ_D = 300,

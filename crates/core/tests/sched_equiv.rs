@@ -1,0 +1,127 @@
+//! Scheduler-equivalence golden suite (`ts-sched`): work stealing and
+//! adaptive τ are *scheduling* changes, so the models they produce must be
+//! bit-identical to the static single-deque scheduler over the same golden
+//! seed × dataset matrix as `golden.rs`.
+//!
+//! Exact training is scheduling-order-invariant by construction (every
+//! random choice derives from the stable root-path id), so the exact
+//! trainers are compared under every knob combination. Extra-trees forests
+//! additionally depend on *which* tasks run as subtree-tasks — the τ_D
+//! boundary — so they are only compared under static τ (stealing changes
+//! who runs a task, never which kind of task it is).
+
+use treeserver::{Cluster, ClusterConfig, JobSpec};
+use ts_datatable::synth::{generate, SynthSpec};
+use ts_datatable::{DataTable, Task};
+
+const SEEDS: [u64; 3] = [11, 42, 977];
+
+fn datasets(seed: u64) -> [DataTable; 2] {
+    [
+        generate(&SynthSpec {
+            rows: 12_000,
+            numeric: 5,
+            categorical: 2,
+            cat_cardinality: 5,
+            noise: 0.05,
+            concept_depth: 5,
+            seed,
+            ..Default::default()
+        }),
+        generate(&SynthSpec {
+            rows: 12_000,
+            numeric: 4,
+            categorical: 1,
+            task: Task::Regression,
+            seed,
+            ..Default::default()
+        }),
+    ]
+}
+
+/// Trains one decision tree under `cfg` and returns the canonical model.
+fn train_dt(cfg: ClusterConfig, t: &DataTable) -> ts_tree::DecisionTreeModel {
+    let cluster = Cluster::launch(cfg, t);
+    let model = cluster
+        .train(JobSpec::decision_tree(t.schema().task).with_dmax(8))
+        .into_tree();
+    cluster.shutdown();
+    model.canonicalize()
+}
+
+/// A steal-mode config with mildly heterogeneous workers: worker 1 runs at
+/// a third of the speed of its peers, so stealing genuinely happens while
+/// the model must not notice.
+fn steal_cfg() -> ClusterConfig {
+    ClusterConfig {
+        steal: true,
+        work_ns_per_unit: 5,
+        work_scale: vec![3.0, 1.0, 1.0, 1.0],
+        ..ClusterConfig::default()
+    }
+}
+
+#[test]
+fn stealing_produces_bit_identical_trees() {
+    for seed in SEEDS {
+        for t in datasets(seed) {
+            let baseline = train_dt(ClusterConfig::default(), &t);
+            let stolen = train_dt(steal_cfg(), &t);
+            assert_eq!(
+                stolen,
+                baseline,
+                "seed {seed}, task {:?}: stealing changed the model",
+                t.schema().task
+            );
+        }
+    }
+}
+
+#[test]
+fn adaptive_tau_with_stealing_produces_bit_identical_trees() {
+    for seed in SEEDS {
+        for t in datasets(seed) {
+            let baseline = train_dt(ClusterConfig::default(), &t);
+            let mut cfg = steal_cfg();
+            cfg.adaptive_tau = true;
+            // The controller reads the rolling latency feed off the
+            // recorder; without observability it falls back to static τ
+            // and the test would not exercise the adaptive path.
+            cfg.obs = treeserver::obs::ObsConfig::enabled();
+            let adaptive = train_dt(cfg, &t);
+            assert_eq!(
+                adaptive,
+                baseline,
+                "seed {seed}, task {:?}: adaptive τ changed the exact model",
+                t.schema().task
+            );
+        }
+    }
+}
+
+#[test]
+fn stealing_preserves_extra_trees_forests_under_static_tau() {
+    // Extra-trees randomness derives from stable path ids, but which arm
+    // (column vs subtree) draws it depends on τ_D — so this comparison is
+    // only valid with τ static, which steal-only mode keeps.
+    let t = datasets(SEEDS[0]).into_iter().next().unwrap();
+    let spec = || {
+        JobSpec::extra_trees(t.schema().task, 6)
+            .with_dmax(6)
+            .with_seed(7)
+    };
+    let base_cluster = Cluster::launch(ClusterConfig::default(), &t);
+    let baseline = base_cluster.train(spec()).into_forest();
+    base_cluster.shutdown();
+    let steal_cluster = Cluster::launch(steal_cfg(), &t);
+    let stolen = steal_cluster.train(spec()).into_forest();
+    steal_cluster.shutdown();
+    let canon = |f: ts_tree::ForestModel| -> Vec<ts_tree::DecisionTreeModel> {
+        f.trees.iter().map(|m| m.canonicalize()).collect()
+    };
+    assert_eq!(
+        canon(stolen),
+        canon(baseline),
+        "stealing changed an extra-trees forest"
+    );
+}

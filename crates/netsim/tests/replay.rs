@@ -107,7 +107,7 @@ fn run_spans(seed: u64) -> (String, String) {
     rec.record(0, Event::SpanActive { span: 2, node: 0 });
     for t in 0..12u64 {
         let span = 3 + t;
-        let worker = (t as usize % (n - 1)) + 1;
+        let mut worker = (t as usize % (n - 1)) + 1;
         rec.record(
             0,
             Event::SpanOpen {
@@ -118,9 +118,41 @@ fn run_spans(seed: u64) -> (String, String) {
                 subject: t,
             },
         );
+        let ctx = TraceCtx::new(trace, ts_obs::SpanId(span));
+        // Every third task is stolen, like the engine's `ts-sched` path:
+        // the hungry thief's request, the master's verdict, and a
+        // header-only Donate frame carrying the stolen task's span — all
+        // of it rides the same faulty fabric and must replay identically.
+        if t % 3 == 2 {
+            let victim = worker;
+            let thief = (victim % (n - 1)) + 1;
+            rec.record(
+                thief as u32,
+                Event::StealRequested {
+                    worker: thief as u32,
+                },
+            );
+            let _ = fabric.send(
+                thief,
+                0,
+                SpanMsg {
+                    bytes: 24,
+                    ctx: TraceCtx::NONE,
+                },
+            );
+            rec.record(
+                0,
+                Event::PlanStolen {
+                    task: t,
+                    victim: victim as u32,
+                    thief: thief as u32,
+                },
+            );
+            let _ = fabric.send(0, thief, SpanMsg { bytes: 24, ctx });
+            worker = thief;
+        }
         // The plan frame carries the span across the (faulty) fabric; the
         // result frame carries it back.
-        let ctx = TraceCtx::new(trace, ts_obs::SpanId(span));
         let _ = fabric.send(0, worker, SpanMsg { bytes: 256, ctx });
         rec.record(
             worker as u32,

@@ -382,6 +382,22 @@ pub(crate) fn export(mut events: Vec<TimedEvent>) -> String {
                 MASTER_PID,
                 &format!("\"round\":{round}"),
             ),
+            Event::StealRequested { worker } => e.instant(
+                "steal_requested",
+                ev.ts_ns,
+                worker,
+                &format!("\"worker\":{worker}"),
+            ),
+            Event::PlanStolen {
+                task,
+                victim,
+                thief,
+            } => e.instant(
+                "plan_stolen",
+                ev.ts_ns,
+                MASTER_PID,
+                &format!("\"task\":{task},\"victim\":{victim},\"thief\":{thief}"),
+            ),
         }
     }
 

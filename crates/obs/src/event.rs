@@ -232,6 +232,22 @@ pub enum Event {
         /// The round index.
         round: u32,
     },
+    /// A worker's ready queue ran dry and it asked the scheduler to steal
+    /// on its behalf (`ts-sched` stealing mode, see `docs/SCHEDULING.md`).
+    StealRequested {
+        /// The idle worker.
+        worker: u32,
+    },
+    /// The scheduler stole a queued plan from `victim`'s affinity deque
+    /// and dispatched it on `thief`'s behalf.
+    PlanStolen {
+        /// The stolen task (`TaskId.0`).
+        task: u64,
+        /// The worker whose deque lost the plan.
+        victim: u32,
+        /// The idle worker that requested the steal.
+        thief: u32,
+    },
 }
 
 /// An [`Event`] stamped with its monotonic record time and the machine whose

@@ -100,6 +100,8 @@ struct Hot {
     crashes_injected: Arc<Counter>,
     net_sends: Arc<Counter>,
     gbt_rounds: Arc<Counter>,
+    steals_requested: Arc<Counter>,
+    plans_stolen: Arc<Counter>,
     spans_opened: Arc<Counter>,
     spans_closed: Arc<Counter>,
     column_task_latency_ns: Arc<Histogram>,
@@ -133,6 +135,8 @@ impl Hot {
             crashes_injected: reg.counter("crashes_injected"),
             net_sends: reg.counter("net_sends"),
             gbt_rounds: reg.counter("gbt_rounds"),
+            steals_requested: reg.counter("steals_requested"),
+            plans_stolen: reg.counter("plans_stolen"),
             spans_opened: reg.counter("spans_opened"),
             spans_closed: reg.counter("spans_closed"),
             column_task_latency_ns: reg.histogram("column_task_latency_ns"),
@@ -271,6 +275,8 @@ impl Recorder {
             Event::CrashInjected { .. } => h.crashes_injected.inc(),
             Event::NetSend { .. } => {} // accounted in on_net_send
             Event::GbtRound { .. } => h.gbt_rounds.inc(),
+            Event::StealRequested { .. } => h.steals_requested.inc(),
+            Event::PlanStolen { .. } => h.plans_stolen.inc(),
         }
     }
 

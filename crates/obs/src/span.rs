@@ -93,10 +93,12 @@ impl SpanKind {
 const FEED_WINDOW: usize = 512;
 
 /// Rolling task-latency quantiles, fed from completed column-task and
-/// subtree-task spans. This is the observation half of ROADMAP item 4
-/// (adaptive τ_D / τ_dfs): the master can read p50/p95 of recent task
-/// durations at any instant; today it only logs them (see
-/// `ObsConfig::log_latency_feed`), the control loop itself is future work.
+/// subtree-task spans. This is the observation half of adaptive
+/// τ_D / τ_dfs: the master reads p50/p95 of recent task durations at any
+/// instant, and the control half (`treeserver::sched::TauController`,
+/// enabled by `ClusterConfig::adaptive_tau`) folds these snapshots into
+/// the hybrid-scheduling thresholds; see `docs/SCHEDULING.md`. The feed
+/// can also be logged per job (`ObsConfig::log_latency_feed`).
 #[derive(Debug, Default)]
 pub struct LatencyFeed {
     column_ns: Mutex<VecDeque<u64>>,
