@@ -57,6 +57,8 @@ usage:
                         [--steal] [--adaptive-tau]
                         [--fault-seed S] [--drop-prob P] [--delay-prob P]
                         [--dup-prob P] [--heartbeat-ms N] [--heartbeat-misses N]
+                        [--join-at MS] [--join-count N] [--preempt-at MS]
+                        [--preempt-grace-ms MS] [--work-scale F1,F2,...]
                         [--trace-out FILE] [--trace-report FILE]
                         [--metrics-json FILE] [--metrics-prom FILE]
                         [--quiet] [--verbose]
@@ -86,6 +88,22 @@ reliability (train):
   --heartbeat-ms N      worker liveness heartbeat interval (default 20)
   --heartbeat-misses N  missed intervals before a worker is declared dead
                         and crash recovery runs (default 25)
+
+elasticity (train, see docs/ELASTICITY.md):
+  --join-at MS          script N fresh workers (see --join-count) joining the
+                        cluster MS milliseconds into training; they handshake
+                        via Hello/Welcome and receive column replicas
+                        incrementally while training continues
+  --join-count N        how many workers join at --join-at (default 1)
+  --preempt-at MS       script a spot preemption of the highest-numbered
+                        initial worker MS milliseconds in: it drains (finishes
+                        in-flight work, hands its columns off) and departs
+                        gracefully instead of crashing
+  --preempt-grace-ms MS grace window for the drain (default 500); a drain
+                        that blows the window escalates to crash recovery
+  --work-scale F1,...   per-worker compute-speed multipliers (one per initial
+                        worker; > 1 slows a worker down) modelling
+                        heterogeneous machines
 
 observability (train):
   --trace-out FILE      write a Chrome trace-event JSON (open in Perfetto or
@@ -187,6 +205,29 @@ fn cluster_config(opts: &Opts, n_rows: usize) -> Result<ClusterConfig, String> {
     if heartbeat_misses == 0 {
         return Err("--heartbeat-misses must be at least 1".into());
     }
+    let work_scale = match opts.get("work-scale") {
+        None => Vec::new(),
+        Some(list) => {
+            let factors: Vec<f64> = list
+                .split(',')
+                .map(|t| {
+                    t.trim()
+                        .parse()
+                        .map_err(|_| format!("--work-scale factor {t:?} is not a valid number"))
+                })
+                .collect::<Result<_, String>>()?;
+            if factors.len() != workers {
+                return Err(format!(
+                    "--work-scale names {} factors but --workers is {workers}",
+                    factors.len()
+                ));
+            }
+            if factors.iter().any(|&f| f <= 0.0 || !f.is_finite()) {
+                return Err("--work-scale factors must be positive and finite".into());
+            }
+            factors
+        }
+    };
     Ok(ClusterConfig {
         n_workers: workers,
         compers_per_worker: compers,
@@ -195,17 +236,21 @@ fn cluster_config(opts: &Opts, n_rows: usize) -> Result<ClusterConfig, String> {
         tau_dfs: (n_rows as u64 / 5).max(1_024),
         steal: opts.flag("steal"),
         adaptive_tau: opts.flag("adaptive-tau"),
-        faults: fault_plan(opts)?,
+        work_scale,
+        faults: fault_plan(opts, workers)?,
         heartbeat_interval: std::time::Duration::from_millis(heartbeat_ms),
         heartbeat_miss_threshold: heartbeat_misses,
         ..Default::default()
     })
 }
 
-/// Builds a seeded message-fault plan from `--drop-prob` / `--delay-prob` /
-/// `--dup-prob`. Returns `None` when no fault knob is set, which keeps the
-/// fabric on the raw (unacked) fast path.
-fn fault_plan(opts: &Opts) -> Result<Option<treeserver::FaultPlan>, String> {
+/// Builds a seeded fault plan from the reliability knobs (`--drop-prob` /
+/// `--delay-prob` / `--dup-prob`) and the elasticity knobs (`--join-at` /
+/// `--preempt-at`). Returns `None` when no knob is set, which keeps the
+/// fabric on the raw (unacked) fast path; a membership knob alone is enough
+/// to produce a plan (with zero message-fault probabilities).
+fn fault_plan(opts: &Opts, workers: usize) -> Result<Option<treeserver::FaultPlan>, String> {
+    use std::time::Duration;
     let drop = opts.num("drop-prob", 0.0f64)?;
     let delay = opts.num("delay-prob", 0.0f64)?;
     let dup = opts.num("dup-prob", 0.0f64)?;
@@ -218,7 +263,15 @@ fn fault_plan(opts: &Opts) -> Result<Option<treeserver::FaultPlan>, String> {
             return Err(format!("--{name} must be in 0..=1, got {p}"));
         }
     }
-    if drop == 0.0 && delay == 0.0 && dup == 0.0 {
+    let join = opts.get("join-at").is_some();
+    let preempt = opts.get("preempt-at").is_some();
+    if !join && opts.get("join-count").is_some() {
+        return Err("--join-count needs --join-at".into());
+    }
+    if !preempt && opts.get("preempt-grace-ms").is_some() {
+        return Err("--preempt-grace-ms needs --preempt-at".into());
+    }
+    if drop == 0.0 && delay == 0.0 && dup == 0.0 && !join && !preempt {
         return Ok(None);
     }
     let seed = match opts.get("fault-seed") {
@@ -230,10 +283,35 @@ fn fault_plan(opts: &Opts) -> Result<Option<treeserver::FaultPlan>, String> {
         plan = plan.with_message_drops(drop);
     }
     if delay > 0.0 {
-        plan = plan.with_message_delays(delay, std::time::Duration::from_millis(5));
+        plan = plan.with_message_delays(delay, Duration::from_millis(5));
     }
     if dup > 0.0 {
         plan = plan.with_message_duplicates(dup);
+    }
+    if join {
+        let at = opts.num("join-at", 0u64)?;
+        let count = opts.num("join-count", 1usize)?;
+        if count == 0 {
+            return Err("--join-count must be at least 1".into());
+        }
+        plan = plan.with_worker_join(Duration::from_millis(at), count);
+    }
+    if preempt {
+        if workers < 2 {
+            return Err("--preempt-at needs at least 2 workers (the last one cannot leave)".into());
+        }
+        let at = opts.num("preempt-at", 0u64)?;
+        let grace = opts.num("preempt-grace-ms", 500u64)?;
+        if grace == 0 {
+            return Err("--preempt-grace-ms must be at least 1".into());
+        }
+        // The highest-numbered initial worker plays the preempted spot
+        // instance; joiners (if any) occupy ids above it.
+        plan = plan.with_preemption(
+            Duration::from_millis(at),
+            workers,
+            Duration::from_millis(grace),
+        );
     }
     Ok(Some(plan))
 }

@@ -153,11 +153,101 @@ impl ColumnMap {
         Ok(lost)
     }
 
+    /// Removes one worker from one column's replica list, but only if
+    /// another holder remains (graceful drain: the leaver stops being a
+    /// holder attr-by-attr as each handoff completes, and must never leave
+    /// a column unservable). Returns whether the worker was removed.
+    pub fn drop_holder(&mut self, attr: usize, worker: NodeId) -> bool {
+        let h = &mut self.holders[attr];
+        if h.len() >= 2 && h.contains(&worker) {
+            h.retain(|&w| w != worker);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Adds a worker as a holder of a column (re-replication).
     pub fn add_holder(&mut self, attr: usize, worker: NodeId) {
         if !self.holders[attr].contains(&worker) {
             self.holders[attr].push(worker);
         }
+    }
+
+    /// Plans the incremental migration that folds a joining `worker` into
+    /// the map: returns `(attr, source holder)` pairs to copy onto the
+    /// joiner. The plan moves the fewest bytes that both restore the
+    /// replication factor and give the joiner a useful share of columns
+    /// (all columns are the same byte size, so fewest bytes = fewest
+    /// columns):
+    ///
+    /// 1. every under-replicated column gains the joiner as a replica,
+    ///    single-holder columns first (the same priority `remove_worker`
+    ///    uses — those are one crash away from `ColumnLost`);
+    /// 2. the joiner is topped up to its fair share (`n_attrs ·
+    ///    replication / n_workers_after`) with columns taken from the
+    ///    richest holders, so future tasks can actually land on it.
+    ///
+    /// The map is **not** mutated: the joiner becomes a holder only when
+    /// its `ReplicateDone` arrives (via [`ColumnMap::add_holder`]), so
+    /// column tasks never target data still in flight. This is deliberately
+    /// asymmetric with `remove_worker`, which must mutate eagerly because
+    /// a crashed holder is gone whether or not recovery succeeds.
+    pub fn add_worker(&self, worker: NodeId, replication: usize) -> Vec<(AttrId, NodeId)> {
+        let mut plan: Vec<(AttrId, NodeId)> = Vec::new();
+        let mut planned = vec![false; self.holders.len()];
+        // Per-holder column counts, counting planned copies as the joiner's.
+        let mut held: HashMap<NodeId, usize> = HashMap::new();
+        for h in &self.holders {
+            for &w in h {
+                *held.entry(w).or_insert(0) += 1;
+            }
+        }
+
+        // Phase 1: restore replication, single-holder columns first.
+        let mut deficits: Vec<usize> = (0..self.holders.len())
+            .filter(|&a| self.holders[a].len() < replication && !self.holders[a].contains(&worker))
+            .collect();
+        deficits.sort_unstable_by_key(|&a| (self.holders[a].len(), a));
+        for a in deficits {
+            // Source: the least-loaded current holder (ties to the lowest
+            // worker id) so the copy traffic spreads.
+            let &src = self.holders[a]
+                .iter()
+                .min_by_key(|&&w| (held.get(&w).copied().unwrap_or(0), w))
+                .expect("a held column");
+            plan.push((a, src));
+            planned[a] = true;
+        }
+
+        // Phase 2: top the joiner up to its fair share, pulling columns off
+        // the richest holders.
+        let n_workers_after = held.keys().filter(|&&w| w != worker).count() + 1;
+        let total: usize = self.holders.iter().map(|h| h.len()).sum();
+        let fair = (total + plan.len()) / n_workers_after;
+        let mut joiner_holds = self.columns_of(worker).len() + plan.len();
+        while joiner_holds < fair {
+            // The candidate column: held by the currently richest holder,
+            // not yet planned and not already on the joiner; ties break to
+            // the lowest attr for determinism.
+            let pick = (0..self.holders.len())
+                .filter(|&a| !planned[a] && !self.holders[a].contains(&worker))
+                .filter_map(|a| {
+                    self.holders[a]
+                        .iter()
+                        .map(|&w| (held.get(&w).copied().unwrap_or(0), w))
+                        .max_by_key(|&(load, w)| (load, std::cmp::Reverse(w)))
+                        .map(|(load, w)| (load, a, w))
+                })
+                .max_by_key(|&(load, a, _)| (load, std::cmp::Reverse(a)));
+            let Some((_, a, src)) = pick else { break };
+            plan.push((a, src));
+            planned[a] = true;
+            joiner_holds += 1;
+        }
+
+        plan.sort_unstable();
+        plan
     }
 }
 
@@ -524,6 +614,56 @@ mod tests {
         assert_eq!(err, RecoveryError::ColumnLost { attr: 0, dead: 1 });
         assert_eq!(cm.holders(0), &[1]);
         assert_eq!(cm.holders(1), &[2]);
+    }
+
+    #[test]
+    fn add_worker_restores_replication_single_holder_first() {
+        // Start from a crash: drop worker 2 so some columns are down a
+        // replica, then plan a join.
+        let mut cm = ColumnMap::round_robin(6, 3, 2);
+        cm.remove_worker(2).expect("replicas survive");
+        let plan = cm.add_worker(4, 2);
+        // Every under-replicated column must be in the plan, sourced from a
+        // current holder.
+        for a in 0..6 {
+            if cm.holders(a).len() < 2 {
+                let entry = plan.iter().find(|&&(pa, _)| pa == a);
+                let &(_, src) = entry.expect("deficit column {a} planned");
+                assert!(cm.holders(a).contains(&src));
+            }
+        }
+        // The map itself is untouched until ReplicateDone lands.
+        assert!(cm.columns_of(4).is_empty());
+        // Deterministic: planning twice gives the same answer.
+        assert_eq!(plan, cm.add_worker(4, 2));
+    }
+
+    #[test]
+    fn add_worker_tops_up_to_fair_share() {
+        // Fully-replicated map: no deficits, so the plan is pure top-up.
+        let cm = ColumnMap::round_robin(8, 2, 2);
+        let plan = cm.add_worker(3, 2);
+        // 16 replica instances over 3 workers → fair share ≥ 5 columns, and
+        // no column is planned twice.
+        assert!(plan.len() >= 5, "plan {plan:?} leaves the joiner starved");
+        let mut attrs: Vec<usize> = plan.iter().map(|&(a, _)| a).collect();
+        attrs.sort_unstable();
+        attrs.dedup();
+        assert_eq!(attrs.len(), plan.len(), "no duplicate columns");
+        for &(a, src) in &plan {
+            assert!(cm.holders(a).contains(&src), "source must hold {a}");
+            assert!(!cm.holders(a).contains(&3));
+        }
+    }
+
+    #[test]
+    fn add_worker_noop_when_joiner_already_at_share() {
+        let mut cm = ColumnMap::round_robin(3, 3, 1);
+        // Give the joiner everything first: nothing left to plan.
+        for a in 0..3 {
+            cm.add_holder(a, 4);
+        }
+        assert!(cm.add_worker(4, 1).is_empty());
     }
 
     #[test]

@@ -8,9 +8,10 @@ use crate::master::Master;
 use crate::messages::{DataMsg, TaskMsg};
 use crate::worker::Worker;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use ts_datatable::{DataTable, Task};
+use ts_datatable::{AttrType, DataTable, Labels, Task};
 use ts_netsim::{Fabric, FabricReceiver, NetStats, NodeId, RetryDriver};
 use tschan::sync::Mutex;
 use tschan::Receiver;
@@ -92,6 +93,68 @@ impl std::fmt::Display for ClusterReport {
     }
 }
 
+/// A pre-provisioned worker slot waiting for a mid-training join
+/// (`ts-elastic`): its fabric receivers are parked here until
+/// [`Cluster::join_worker`] spawns the machine.
+struct SpareSlot {
+    id: NodeId,
+    task_rx: FabricReceiver<TaskMsg>,
+    data_rx: FabricReceiver<DataMsg>,
+}
+
+/// Everything needed to spawn a joiner after launch. Shared (via `Arc`)
+/// between the cluster handle and the scripted-membership orchestrator
+/// thread.
+struct ElasticCtx {
+    labels: Arc<Labels>,
+    attr_types: Arc<Vec<AttrType>>,
+    task: Task,
+    compers_per_worker: usize,
+    heartbeat_interval: Duration,
+    steal: bool,
+    /// Modeled per-unit compute cost per slot id (config × fault-plan
+    /// heterogeneity, resolved at launch).
+    work_ns: HashMap<NodeId, u64>,
+    /// Unused spare slots, lowest id last (so `pop` joins in id order).
+    spares: Mutex<Vec<SpareSlot>>,
+    /// Thread handles of workers spawned after launch.
+    joined_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl ElasticCtx {
+    /// Spawns the next spare slot as a live worker and fires its `Hello`
+    /// handshake at the master. Returns the node id, or `None` when all
+    /// spare slots are used up.
+    fn join_one(
+        &self,
+        fabric_task: &Fabric<TaskMsg>,
+        fabric_data: &Fabric<DataMsg>,
+    ) -> Option<NodeId> {
+        let slot = self.spares.lock().pop()?;
+        let w = slot.id;
+        // Joiners start column-less; the master's incremental rebalancing
+        // streams columns over once the handshake lands.
+        let handles = Worker::spawn(
+            w,
+            self.work_ns.get(&w).copied().unwrap_or(0),
+            HashMap::new(),
+            Arc::clone(&self.labels),
+            Arc::clone(&self.attr_types),
+            self.task,
+            self.compers_per_worker,
+            fabric_task.clone(),
+            fabric_data.clone(),
+            slot.task_rx,
+            slot.data_rx,
+            self.heartbeat_interval,
+            self.steal,
+        );
+        self.joined_handles.lock().extend(handles);
+        let _ = fabric_task.send(w, 0, TaskMsg::Hello { worker: w });
+        Some(w)
+    }
+}
+
 /// A running TreeServer cluster.
 ///
 /// ```no_run
@@ -117,6 +180,10 @@ pub struct Cluster {
     task_kind: Task,
     n_rows: usize,
     launched: Instant,
+    /// Spawn context for mid-training joins (`ts-elastic`).
+    elastic: Arc<ElasticCtx>,
+    /// Stops the scripted-membership orchestrator thread at shutdown.
+    orch_stop: Arc<AtomicBool>,
     /// Split-kernel counter snapshot at launch: the engine's counters are
     /// process-global, so reports fold in the delta since this cluster came
     /// up (see [`ts_splits::sorted::kernel_counters`]).
@@ -129,8 +196,15 @@ impl Cluster {
     /// among workers (round-robin with replication `k`), replicates `Y`
     /// everywhere, and starts the master and worker threads.
     pub fn launch(cfg: ClusterConfig, table: &DataTable) -> Cluster {
+        let mut cfg = cfg;
+        // A fault plan scripting joins raises the spare-slot provisioning
+        // implicitly: the fabric is fixed-size, so every future member needs
+        // its node id (and receivers) from the start.
+        if let Some((_, n)) = cfg.faults.as_ref().and_then(|p| p.worker_join()) {
+            cfg.join_capacity = cfg.join_capacity.max(n);
+        }
         cfg.validate();
-        let n_nodes = cfg.n_workers + 1;
+        let n_nodes = cfg.total_worker_slots() + 1;
         let stats = NetStats::new(n_nodes);
         #[cfg(feature = "obs")]
         if cfg.obs.enabled {
@@ -177,6 +251,15 @@ impl Cluster {
         let mut data_rxs_opt: Vec<Option<FabricReceiver<DataMsg>>> =
             data_rxs.drain(..).map(Some).collect();
 
+        // Per-worker rate: `work_scale` (config) and the fault plan's
+        // `with_work_scale` both model heterogeneous machines (a slow
+        // worker is the target of stealing and the natural preemption
+        // victim). The plan's factor also covers spare slots, which the
+        // config vector (sized to the initial roster) cannot name.
+        let work_ns_for = |w: NodeId| -> u64 {
+            let plan_scale = cfg.faults.as_ref().map_or(1.0, |p| p.work_scale(w));
+            (cfg.worker_work_ns(w) as f64 * plan_scale).round() as u64
+        };
         for w in 1..=cfg.n_workers {
             let mut cols = HashMap::new();
             for a in colmap.columns_of(w) {
@@ -184,9 +267,7 @@ impl Cluster {
             }
             handles.extend(Worker::spawn(
                 w,
-                // Per-worker rate: `work_scale` models heterogeneous
-                // machines (a slow worker is the target of stealing).
-                cfg.worker_work_ns(w),
+                work_ns_for(w),
                 cols,
                 Arc::clone(&labels),
                 Arc::clone(&attr_types),
@@ -233,6 +314,78 @@ impl Cluster {
         // dropping its receiver is deliberate.
         drop(data_rxs_opt[0].take());
 
+        // Park the spare slots' receivers for mid-training joins, lowest id
+        // last so `join_one` pops them in id order.
+        let mut spares: Vec<SpareSlot> = (cfg.n_workers + 1..=cfg.total_worker_slots())
+            .map(|w| SpareSlot {
+                id: w,
+                task_rx: task_rxs_opt[w].take().expect("spare receiver taken once"),
+                data_rx: data_rxs_opt[w].take().expect("spare receiver taken once"),
+            })
+            .collect();
+        spares.reverse();
+        let elastic = Arc::new(ElasticCtx {
+            labels,
+            attr_types,
+            task: table.schema().task,
+            compers_per_worker: cfg.compers_per_worker,
+            heartbeat_interval: cfg.heartbeat_interval,
+            steal: cfg.steal,
+            work_ns: (1..=cfg.total_worker_slots())
+                .map(|w| (w, work_ns_for(w)))
+                .collect(),
+            spares: Mutex::new(spares),
+            joined_handles: Mutex::new(Vec::new()),
+        });
+
+        // Scripted membership events (`FaultPlan::with_worker_join` /
+        // `with_preemption`) fire from a small orchestrator thread that
+        // watches the fabric clock — real or virtual, the same comparison
+        // works, which keeps seeded replays deterministic.
+        let orch_stop = Arc::new(AtomicBool::new(false));
+        let membership = cfg
+            .faults
+            .as_ref()
+            .filter(|p| p.affects_membership())
+            .map(|p| (p.worker_join(), p.preemption()));
+        if let Some((mut join_ev, mut preempt_ev)) = membership {
+            let ctx = Arc::clone(&elastic);
+            let ft = fabric_task.clone();
+            let fd = fabric_data.clone();
+            let m = Arc::clone(&master);
+            let clock = fabric_task.clock().clone();
+            let stop = Arc::clone(&orch_stop);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("membership-orch".into())
+                    .spawn(move || {
+                        while (join_ev.is_some() || preempt_ev.is_some())
+                            && !stop.load(Ordering::Acquire)
+                        {
+                            let now = clock.now_ns();
+                            if let Some((at, n)) = join_ev {
+                                if now >= at {
+                                    for _ in 0..n {
+                                        ctx.join_one(&ft, &fd);
+                                    }
+                                    join_ev = None;
+                                }
+                            }
+                            if let Some((at, victim, grace_ns)) = preempt_ev {
+                                if now >= at {
+                                    m.begin_drain(victim, Duration::from_nanos(grace_ns));
+                                    preempt_ev = None;
+                                }
+                            }
+                            // Real sleep on purpose: under a virtual clock
+                            // the poll just re-reads the advanced time.
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                    })
+                    .expect("spawn membership orchestrator"),
+            );
+        }
+
         Cluster {
             master,
             stats,
@@ -244,9 +397,42 @@ impl Cluster {
             task_kind: table.schema().task,
             n_rows: table.n_rows(),
             launched: Instant::now(),
+            elastic,
+            orch_stop,
             #[cfg(feature = "obs")]
             kernel_base: ts_splits::sorted::kernel_counters(),
         }
+    }
+
+    /// Brings one pre-provisioned spare slot online as a live worker
+    /// (`ts-elastic` mid-training join): the machine spawns column-less,
+    /// handshakes with the master (`Hello`/`Welcome`), receives its share
+    /// of columns by incremental migration, and starts taking plans
+    /// immediately. Returns the new worker's node id, or `None` when the
+    /// `join_capacity` spare slots are all used.
+    pub fn join_worker(&self) -> Option<NodeId> {
+        self.elastic.join_one(&self.fabric_task, &self.fabric_data)
+    }
+
+    /// Announces a spot preemption of `worker` with a grace window
+    /// (`ts-elastic`): the master drains it — no new plans, queued plans
+    /// reclaimed, columns handed off — and retires it cleanly once its
+    /// in-flight work finishes. A drain that outlives `grace` escalates to
+    /// ordinary crash recovery. Compare [`Cluster::kill_worker`], the
+    /// unannounced variant.
+    pub fn preempt_worker(&self, worker: NodeId, grace: Duration) {
+        assert!(worker >= 1, "cannot preempt the master");
+        self.master.begin_drain(worker, grace);
+    }
+
+    /// Whether `worker` is currently mid-drain.
+    pub fn is_draining(&self, worker: NodeId) -> bool {
+        self.master.is_draining(worker)
+    }
+
+    /// The currently live workers (roster order).
+    pub fn live_workers(&self) -> Vec<NodeId> {
+        self.master.live_workers()
     }
 
     /// Launches a cluster whose workers load their columns from a dataset in
@@ -430,8 +616,12 @@ impl Cluster {
             "shutdown with jobs still pending — wait() on them first"
         );
         let report = self.report();
+        self.orch_stop.store(true, Ordering::Release);
         self.master.request_shutdown();
         for h in self.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+        for h in self.elastic.joined_handles.lock().drain(..) {
             let _ = h.join();
         }
         // Machine threads are gone; any frames still in flight can only

@@ -95,6 +95,14 @@ pub struct ClusterConfig {
     /// slows a worker down — the skewed-load scenario the stealing
     /// scheduler rebalances. Empty = homogeneous.
     pub work_scale: Vec<f64>,
+    /// Spare worker slots provisioned for mid-training joins (`ts-elastic`,
+    /// see `docs/ELASTICITY.md`). The fabric, load matrix and recorder are
+    /// sized for `n_workers + join_capacity` machines at launch; joiners
+    /// occupy the spare node ids `n_workers+1 ..= n_workers+join_capacity`
+    /// and enter via the `Hello`/`Welcome` handshake
+    /// (`Cluster::join_worker`). 0 = a fixed-size cluster. A fault plan
+    /// with `with_worker_join` raises this implicitly at launch.
+    pub join_capacity: usize,
 }
 
 impl Default for ClusterConfig {
@@ -119,6 +127,7 @@ impl Default for ClusterConfig {
             steal_capacity: 0,
             adaptive_tau: false,
             work_scale: Vec::new(),
+            join_capacity: 0,
         }
     }
 }
@@ -160,6 +169,14 @@ impl ClusterConfig {
             self.work_scale.iter().all(|&s| s > 0.0 && s.is_finite()),
             "work_scale factors must be positive and finite"
         );
+        // Joiners start empty and are topped up by migration, so the
+        // replication bound stays against the *initial* worker count.
+    }
+
+    /// Total worker slots the fabric must provision: the initial roster
+    /// plus spare slots for mid-training joins.
+    pub fn total_worker_slots(&self) -> usize {
+        self.n_workers + self.join_capacity
     }
 
     /// The effective per-worker in-flight plan cap in stealing mode.

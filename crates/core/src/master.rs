@@ -26,7 +26,7 @@ use crate::job::{JobHandle, JobKind, JobResult, JobSpec, TreeSpec};
 use crate::messages::{ColumnPlan, ColumnTaskBest, SubtreePlan, TaskMsg};
 use crate::recovery::RecoveryError;
 use crate::sched::{PlanQueue, StealInfo, TauController};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -83,6 +83,10 @@ struct MasterTask {
     depth: u32,
     path: u64,
     charges: Vec<(NodeId, [u64; 3])>,
+    /// Every worker this task involves on either plane: shards / key
+    /// worker / column sources / `Ix` parent. A draining worker cannot
+    /// depart while any in-flight task touches it (`ts-elastic`).
+    touches: Vec<NodeId>,
     kind: TaskKind,
     /// The trace (job span id) the task belongs to.
     #[cfg_attr(not(feature = "obs"), allow(dead_code))]
@@ -151,6 +155,19 @@ struct Registry {
     next_job: u64,
 }
 
+/// Master-side state of one draining worker (announced preemption,
+/// `ts-elastic`; see `docs/ELASTICITY.md` for the state machine).
+struct DrainState {
+    /// Clock deadline (`begin_drain` time + grace window); a drain still
+    /// incomplete past it escalates to ordinary crash recovery.
+    deadline_ns: u64,
+    /// Columns the leaver is still the holder of record for, pending
+    /// handoff to another worker (`ReplicateDone` retires them one by one).
+    migrating: BTreeSet<usize>,
+    /// The leaver reported its task queue idle (`Goodbye` received).
+    goodbye: bool,
+}
+
 /// One worker's liveness lease.
 struct HbLease {
     /// Clock reading of the most recent heartbeat (or lease creation).
@@ -203,6 +220,12 @@ pub struct Master {
     /// Set once recovery proved impossible: every pending and future job
     /// fails with this reason instead of training.
     degraded: Mutex<Option<RecoveryError>>,
+    /// Workers mid-drain, keyed by node id (`ts-elastic` preemption).
+    draining: Mutex<HashMap<NodeId, DrainState>>,
+    /// In-flight elastic migrations: `(attr, destination) → source`.
+    /// Distinguishes join/drain migrations from crash re-replication when
+    /// a `ReplicateDone` arrives.
+    migrations: Mutex<HashMap<(usize, NodeId), NodeId>>,
 }
 
 impl Master {
@@ -263,6 +286,8 @@ impl Master {
             last_hb: Mutex::new(leases),
             last_hb_sweep: AtomicU64::new(0),
             degraded: Mutex::new(None),
+            draining: Mutex::new(HashMap::new()),
+            migrations: Mutex::new(HashMap::new()),
         })
     }
 
@@ -448,7 +473,10 @@ impl Master {
     pub fn main_loop(self: Arc<Self>) {
         loop {
             if self.shutdown.load(Ordering::SeqCst) {
-                let workers = self.workers.lock().clone();
+                let mut workers = self.workers.lock().clone();
+                // Draining workers left the roster but are still alive
+                // (serving their data plane): they need the Shutdown too.
+                workers.extend(self.draining.lock().keys().copied());
                 for w in workers {
                     let _ = self.fabric.send(0, w, TaskMsg::Shutdown);
                 }
@@ -526,6 +554,47 @@ impl Master {
             }
         }
         for w in suspects {
+            obs_event!(
+                self.fabric.stats(),
+                0,
+                ts_obs::Event::WorkerSuspected { worker: w as u32 }
+            );
+            self.recover_or_degrade(w);
+        }
+        // Elastic drains piggyback on the same sweep: escalate leavers that
+        // blew their grace window, and re-check departure conditions that
+        // have no direct trigger (a queued plan of the leaver's finally
+        // dispatched and completed).
+        self.escalate_expired_drains(now);
+        self.maybe_finish_drains();
+    }
+
+    /// A drain that outlives its grace window stops being graceful: the
+    /// leaver is re-listed and handed to ordinary crash recovery, exactly
+    /// as if it had gone silent (spot preemption fired before the handoff
+    /// finished).
+    fn escalate_expired_drains(&self, now: u64) {
+        let expired: Vec<NodeId> = {
+            let draining = self.draining.lock();
+            draining
+                .iter()
+                .filter(|&(_, st)| now >= st.deadline_ns)
+                .map(|(&w, _)| w)
+                .collect()
+        };
+        for w in expired {
+            self.draining.lock().remove(&w);
+            // Its outbound handoffs die with it; survivor-sourced
+            // re-replications stay useful and complete normally.
+            self.migrations.lock().retain(|_, &mut from| from != w);
+            // Re-list the worker so the crash path's dedupe accepts it.
+            {
+                let mut workers = self.workers.lock();
+                if !workers.contains(&w) {
+                    workers.push(w);
+                    workers.sort_unstable();
+                }
+            }
             obs_event!(
                 self.fabric.stats(),
                 0,
@@ -689,6 +758,11 @@ impl Master {
                     parent_worker,
                 )
             };
+            let mut touches: Vec<NodeId> = vec![asg.key_worker];
+            touches.extend(asg.col_sources.iter().map(|&(_, w)| w));
+            touches.extend(parent_worker);
+            touches.sort_unstable();
+            touches.dedup();
             self.ttask.lock().insert(
                 desc.task,
                 MasterTask {
@@ -698,6 +772,7 @@ impl Master {
                     depth: desc.depth,
                     path: desc.path,
                     charges: asg.charges.clone(),
+                    touches,
                     kind: TaskKind::Subtree,
                     trace: desc.trace,
                     span: task_span,
@@ -757,6 +832,10 @@ impl Master {
             let charges = vec![(w, [desc.n_rows, 0, 0])];
             self.mwork.lock().apply(&charges);
             self.plans.note_dispatched(&[w]);
+            let mut touches: Vec<NodeId> = vec![w];
+            touches.extend(parent_worker);
+            touches.sort_unstable();
+            touches.dedup();
             self.ttask.lock().insert(
                 desc.task,
                 MasterTask {
@@ -766,6 +845,7 @@ impl Master {
                     depth: desc.depth,
                     path: desc.path,
                     charges,
+                    touches,
                     kind: TaskKind::Column {
                         pending: 1,
                         involved: vec![w],
@@ -816,6 +896,10 @@ impl Master {
             };
             let involved: Vec<NodeId> = asg.shards.iter().map(|&(w, _)| w).collect();
             self.plans.note_dispatched(&involved);
+            let mut touches = involved.clone();
+            touches.extend(parent_worker);
+            touches.sort_unstable();
+            touches.dedup();
             self.ttask.lock().insert(
                 desc.task,
                 MasterTask {
@@ -825,6 +909,7 @@ impl Master {
                     depth: desc.depth,
                     path: desc.path,
                     charges: asg.charges.clone(),
+                    touches,
                     kind: TaskKind::Column {
                         pending: involved.len(),
                         involved: involved.clone(),
@@ -967,23 +1052,13 @@ impl Master {
                     subtree,
                     ..
                 } => self.on_subtree_result(task, worker, subtree),
-                TaskMsg::ReplicateDone { attrs, worker } => {
-                    {
-                        let mut colmap = self.colmap.lock();
-                        for a in attrs {
-                            colmap.add_holder(a, worker);
-                        }
-                    }
-                    obs_event!(
-                        self.fabric.stats(),
-                        0,
-                        ts_obs::Event::WorkerRecovered {
-                            node: worker as u32
-                        }
-                    );
+                TaskMsg::ReplicateDone { attrs, worker, .. } => {
+                    self.on_replicate_done(attrs, worker)
                 }
                 TaskMsg::Shutdown => return,
                 TaskMsg::StealRequest { worker } => self.on_steal_request(worker),
+                TaskMsg::Hello { worker } => self.on_hello(worker),
+                TaskMsg::Goodbye { worker } => self.on_goodbye(worker),
                 _ => unreachable!("worker-bound message delivered to the master"),
             }
         }
@@ -996,6 +1071,300 @@ impl Master {
     /// not here, so the counter sees each request exactly once.
     fn on_steal_request(&self, worker: NodeId) {
         self.plans.mark_hungry(worker);
+    }
+
+    // ------------------------------------------------------------------
+    // Elastic membership (`ts-elastic`, see `docs/ELASTICITY.md`).
+    // ------------------------------------------------------------------
+
+    /// A pre-provisioned spare slot handshakes in: add it to the roster,
+    /// arm its heartbeat lease, register its affinity deque, ack with
+    /// `Welcome`, and start incremental column migration toward it. The
+    /// joiner becomes a column holder only as each `ReplicateDone` lands,
+    /// so column tasks never target data still in flight — but subtree
+    /// tasks can pick it as key worker immediately (they fetch columns
+    /// remotely anyway).
+    fn on_hello(&self, worker: NodeId) {
+        if self.degraded.lock().is_some() || self.draining.lock().contains_key(&worker) {
+            return;
+        }
+        {
+            let mut workers = self.workers.lock();
+            if workers.contains(&worker) {
+                return; // duplicate Hello
+            }
+            workers.push(worker);
+            workers.sort_unstable();
+        }
+        let now = self.fabric.clock().now_ns();
+        self.last_hb.lock().insert(
+            worker,
+            HbLease {
+                last_ns: now,
+                reported: 0,
+            },
+        );
+        let live = self.workers.lock().clone();
+        self.plans.set_workers(&live);
+        obs_event!(
+            self.fabric.stats(),
+            0,
+            ts_obs::Event::WorkerJoined {
+                node: worker as u32
+            }
+        );
+        let _ = self.fabric.send(0, worker, TaskMsg::Welcome { worker });
+
+        // Plan the join top-up and route one ReplicateTo per source. The
+        // migration span rides every frame of the handoff (ReplicateTo →
+        // ReplicateCols → ReplicateDone), so retries and duplicate drops
+        // attribute to it.
+        let plan = self.colmap.lock().add_worker(worker, self.cfg.replication);
+        let mut by_source: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        {
+            let mut migs = self.migrations.lock();
+            for &(attr, src) in &plan {
+                migs.insert((attr, worker), src);
+                by_source.entry(src).or_default().push(attr);
+            }
+        }
+        let mut by_source: Vec<(NodeId, Vec<usize>)> = by_source.into_iter().collect();
+        by_source.sort_unstable_by_key(|&(s, _)| s);
+        for (src, attrs) in by_source {
+            let span = self.new_span();
+            let _ = self.fabric.send(
+                0,
+                src,
+                TaskMsg::ReplicateTo {
+                    attrs,
+                    to: worker,
+                    ctx: TraceCtx::new(span, SpanId(span)),
+                },
+            );
+        }
+    }
+
+    /// Starts a graceful drain of `worker` ahead of an announced preemption
+    /// with the given grace window. The leaver is removed from scheduling
+    /// immediately (so the lease sweep and the assigner both skip it), its
+    /// queued plans are reclaimed onto the global deque, its columns are
+    /// handed off, and a `Drain` frame tells it to finish up and `Goodbye`.
+    pub fn begin_drain(&self, worker: NodeId, grace: Duration) {
+        if self.degraded.lock().is_some()
+            || self.draining.lock().contains_key(&worker)
+            || !self.workers.lock().contains(&worker)
+        {
+            return;
+        }
+        // Never drain the last worker: there is nowhere to hand off to.
+        if self.workers.lock().len() <= 1 {
+            return;
+        }
+        obs_event!(
+            self.fabric.stats(),
+            0,
+            ts_obs::Event::WorkerDraining {
+                node: worker as u32
+            }
+        );
+        self.workers.lock().retain(|&w| w != worker);
+        let live = self.workers.lock().clone();
+        // Reclaim the leaver's queued plans; they re-enter on the global
+        // deque (their affinity points at a machine that is leaving).
+        let reclaimed = self.plans.drain_worker(worker);
+        self.plans.set_workers(&live);
+        for d in reclaimed {
+            self.plans.push(d, None, false);
+        }
+
+        // Column handoff. Two cases per held column:
+        //  - another holder exists → the leaver stops being a holder now;
+        //    if that leaves the column under-replicated, a survivor
+        //    re-replicates it (exactly the crash-recovery move, minus the
+        //    crash).
+        //  - the leaver is the sole holder → it keeps serving the column
+        //    and copies it to a live non-holder itself; the handoff
+        //    completing is what retires it as holder (`migrating` set).
+        let mut sends: Vec<(NodeId, Vec<usize>, NodeId)> = Vec::new(); // (src, attrs, to)
+        let mut migrating: BTreeSet<usize> = BTreeSet::new();
+        {
+            let mut colmap = self.colmap.lock();
+            let mut migs = self.migrations.lock();
+            let mut load: HashMap<NodeId, usize> = live
+                .iter()
+                .map(|&w| (w, colmap.columns_of(w).len()))
+                .collect();
+            let mut by_pair: HashMap<(NodeId, NodeId), Vec<usize>> = HashMap::new();
+            for attr in colmap.columns_of(worker) {
+                if colmap.drop_holder(attr, worker) {
+                    // Survivors still hold it; top the replication back up
+                    // if the departure cut below k and a target exists.
+                    if colmap.holders(attr).len() < self.cfg.replication {
+                        let src = colmap.holders(attr)[0];
+                        if let Some(&target) = live
+                            .iter()
+                            .filter(|&&w| !colmap.holders(attr).contains(&w))
+                            .min_by_key(|&&w| (load[&w], w))
+                        {
+                            *load.get_mut(&target).expect("live") += 1;
+                            migs.insert((attr, target), src);
+                            by_pair.entry((src, target)).or_default().push(attr);
+                        }
+                    }
+                } else {
+                    // Sole holder: the leaver hands the column off itself.
+                    let Some(&target) = live
+                        .iter()
+                        .filter(|&&w| !colmap.holders(attr).contains(&w))
+                        .min_by_key(|&&w| (load[&w], w))
+                    else {
+                        continue; // no live target; escalation will decide
+                    };
+                    *load.get_mut(&target).expect("live") += 1;
+                    migs.insert((attr, target), worker);
+                    migrating.insert(attr);
+                    by_pair.entry((worker, target)).or_default().push(attr);
+                }
+            }
+            let mut pairs: Vec<((NodeId, NodeId), Vec<usize>)> = by_pair.into_iter().collect();
+            pairs.sort_unstable_by_key(|&(k, _)| k);
+            for ((src, to), attrs) in pairs {
+                sends.push((src, attrs, to));
+            }
+        }
+        for (src, attrs, to) in sends {
+            let span = self.new_span();
+            let _ = self.fabric.send(
+                0,
+                src,
+                TaskMsg::ReplicateTo {
+                    attrs,
+                    to,
+                    ctx: TraceCtx::new(span, SpanId(span)),
+                },
+            );
+        }
+        let deadline_ns = self
+            .fabric
+            .clock()
+            .now_ns()
+            .saturating_add(grace.as_nanos() as u64);
+        self.draining.lock().insert(
+            worker,
+            DrainState {
+                deadline_ns,
+                migrating,
+                goodbye: false,
+            },
+        );
+        let _ = self.fabric.send(0, worker, TaskMsg::Drain);
+        // A steal request from the leaver may already be queued; forget it.
+        self.plans.notify();
+    }
+
+    /// The draining worker reports its task queue idle. Departure still
+    /// waits on column handoffs and on in-flight tasks that reference the
+    /// leaver on the data plane.
+    fn on_goodbye(&self, worker: NodeId) {
+        if let Some(st) = self.draining.lock().get_mut(&worker) {
+            st.goodbye = true;
+        }
+        self.maybe_finish_drains();
+    }
+
+    /// Replicated columns landed at `worker`. Join/drain migrations are
+    /// recognised by the `(attr, destination)` key recorded when the
+    /// `ReplicateTo` went out; anything else is crash re-replication and
+    /// keeps the `WorkerRecovered` semantics.
+    fn on_replicate_done(&self, attrs: Vec<usize>, worker: NodeId) {
+        let mut any_recovery = false;
+        {
+            let mut colmap = self.colmap.lock();
+            let mut migs = self.migrations.lock();
+            let mut draining = self.draining.lock();
+            for &a in &attrs {
+                colmap.add_holder(a, worker);
+                match migs.remove(&(a, worker)) {
+                    Some(from) => {
+                        obs_event!(
+                            self.fabric.stats(),
+                            0,
+                            ts_obs::Event::ColumnMigrated {
+                                attr: a as u32,
+                                from: from as u32,
+                                to: worker as u32,
+                            }
+                        );
+                        if let Some(st) = draining.get_mut(&from) {
+                            // Pre-departure handoff: the leaver stops being
+                            // this column's holder the moment the copy is
+                            // servable elsewhere.
+                            colmap.drop_holder(a, from);
+                            st.migrating.remove(&a);
+                        }
+                    }
+                    None => any_recovery = true,
+                }
+            }
+        }
+        if any_recovery {
+            obs_event!(
+                self.fabric.stats(),
+                0,
+                ts_obs::Event::WorkerRecovered {
+                    node: worker as u32
+                }
+            );
+        }
+        self.maybe_finish_drains();
+    }
+
+    /// Finalises every drain whose conditions are all met: `Goodbye`
+    /// received, no column still migrating off the leaver, no in-flight
+    /// task touching it, and no queued plan that would fetch `Ix` from it.
+    /// Finalisation retires the lease and sends the final `Shutdown`; the
+    /// leaver exits through the ordinary shutdown cascade — zero crash
+    /// recovery, zero tree revocation.
+    fn maybe_finish_drains(&self) {
+        let ready: Vec<NodeId> = {
+            let draining = self.draining.lock();
+            if draining.is_empty() {
+                return;
+            }
+            let ttask = self.ttask.lock();
+            draining
+                .iter()
+                .filter(|&(_, st)| st.goodbye && st.migrating.is_empty())
+                .filter(|&(w, _)| !ttask.values().any(|t| t.touches.contains(w)))
+                .map(|(&w, _)| w)
+                .collect()
+        };
+        for w in ready {
+            let parented = self.plans.any_match(
+                |d: &PlanDesc| matches!(d.parent, ParentRef::Node { worker, .. } if worker == w),
+            );
+            if parented {
+                continue;
+            }
+            if self.draining.lock().remove(&w).is_none() {
+                continue;
+            }
+            self.last_hb.lock().remove(&w);
+            obs_event!(
+                self.fabric.stats(),
+                0,
+                ts_obs::Event::WorkerDeparted { node: w as u32 }
+            );
+            // The leaver holds no columns by now (handoffs retired them),
+            // so the reliable Shutdown is the last frame it will ever see;
+            // it acks and exits through the normal cascade.
+            let _ = self.fabric.send(0, w, TaskMsg::Shutdown);
+        }
+    }
+
+    /// Whether a worker is currently mid-drain (test and cluster helper).
+    pub fn is_draining(&self, worker: NodeId) -> bool {
+        self.draining.lock().contains_key(&worker)
     }
 
     fn on_column_result(
@@ -1404,6 +1773,8 @@ impl Master {
         self.workers.lock().retain(|&w| w != dead);
         self.last_hb.lock().remove(&dead);
         self.fabric.forget_destination(dead);
+        // Elastic migrations headed for the dead worker will never land.
+        self.migrations.lock().retain(|&(_, to), _| to != dead);
         let live = self.workers.lock().clone();
         if live.is_empty() {
             return Err(RecoveryError::NoWorkersLeft { dead });
@@ -1507,9 +1878,15 @@ impl Master {
             }
         }
         for (source, (target, attrs)) in transfer {
-            let _ = self
-                .fabric
-                .send(0, source, TaskMsg::ReplicateTo { attrs, to: target });
+            let _ = self.fabric.send(
+                0,
+                source,
+                TaskMsg::ReplicateTo {
+                    attrs,
+                    to: target,
+                    ctx: TraceCtx::NONE,
+                },
+            );
         }
         Ok(())
     }

@@ -170,13 +170,18 @@ pub enum TaskMsg {
         /// `(attr id, column)` pairs.
         columns: Vec<(usize, Column)>,
     },
-    /// Master → surviving replica: copy your columns `attrs` to worker `to`
-    /// over the data channel (crash recovery).
+    /// Master → holder: copy your columns `attrs` to worker `to` over the
+    /// data channel. Used by crash re-replication (source is a surviving
+    /// replica), join top-up and pre-departure handoff (`ts-elastic`
+    /// migrations). Carries the migration span so cross-machine column
+    /// movement shows up in the trace DAG.
     ReplicateTo {
         /// Columns to copy.
         attrs: Vec<usize>,
         /// The new holder.
         to: NodeId,
+        /// The migration span (NONE for crash re-replication).
+        ctx: TraceCtx,
     },
     /// Worker → master: the replicated columns have arrived and are
     /// servable; the master may now list this worker as a holder.
@@ -185,6 +190,8 @@ pub enum TaskMsg {
         attrs: Vec<usize>,
         /// The reporting worker.
         worker: NodeId,
+        /// The migration span, echoed from `ReplicateTo`.
+        ctx: TraceCtx,
     },
     /// Client → worker: replace the full target column (boosting rounds
     /// re-label between trees; `Y` is replicated on every machine, so the
@@ -223,6 +230,31 @@ pub enum TaskMsg {
         /// The stolen task's span context.
         ctx: TraceCtx,
     },
+    /// Joining worker → master: membership handshake (`ts-elastic`). The
+    /// worker is spawned with no columns; the master adds it to the roster,
+    /// arms its heartbeat lease, registers its affinity deque and starts
+    /// incremental column migration toward it.
+    Hello {
+        /// The joining worker.
+        worker: NodeId,
+    },
+    /// Master → joining worker: the `Hello` was accepted. Purely an ack —
+    /// plans and migrated columns follow on their own frames.
+    Welcome {
+        /// The accepted worker.
+        worker: NodeId,
+    },
+    /// Master → worker: a scripted preemption was announced — stop taking
+    /// new work, finish or return what is in flight, hand your columns off
+    /// and leave with `Goodbye` before the grace window expires.
+    Drain,
+    /// Draining worker → master: all in-flight work is done and flushed;
+    /// retire my lease without invoking crash recovery. The worker keeps
+    /// serving its data plane until the master sends the final `Shutdown`.
+    Goodbye {
+        /// The departing worker.
+        worker: NodeId,
+    },
     /// Master → worker: stop all threads.
     Shutdown,
 }
@@ -252,6 +284,10 @@ impl WireSized for TaskMsg {
             | TaskMsg::Heartbeat { .. }
             | TaskMsg::StealRequest { .. }
             | TaskMsg::Donate { .. }
+            | TaskMsg::Hello { .. }
+            | TaskMsg::Welcome { .. }
+            | TaskMsg::Drain
+            | TaskMsg::Goodbye { .. }
             | TaskMsg::Shutdown => HDR,
             TaskMsg::ReplicateTo { attrs, .. } | TaskMsg::ReplicateDone { attrs, .. } => {
                 HDR + 8 * attrs.len()
@@ -274,7 +310,10 @@ impl WireSized for TaskMsg {
             | TaskMsg::SubtreeResult { ctx, .. }
             // A donation belongs to the stolen task's trace: the thief's
             // `SpanRecv` is the steal edge in the span DAG.
-            | TaskMsg::Donate { ctx, .. } => *ctx,
+            | TaskMsg::Donate { ctx, .. }
+            // Elastic column migrations carry their own span end to end.
+            | TaskMsg::ReplicateTo { ctx, .. }
+            | TaskMsg::ReplicateDone { ctx, .. } => *ctx,
             // Control traffic is outside any trace.
             _ => TraceCtx::NONE,
         }
@@ -336,11 +375,13 @@ pub enum DataMsg {
         /// The subtree task's span, echoed from the request.
         ctx: TraceCtx,
     },
-    /// Master-directed replication: the column payload a surviving replica
-    /// copies to a new holder (crash recovery).
+    /// Master-directed replication: the column payload a holder copies to a
+    /// new holder (crash recovery, join top-up or pre-departure handoff).
     ReplicateCols {
-        /// `(attr id, column)` pairs copied from a surviving replica.
+        /// `(attr id, column)` pairs copied from the source holder.
         columns: Vec<(usize, Column)>,
+        /// The migration span, forwarded from `ReplicateTo`.
+        ctx: TraceCtx,
     },
     /// Stop the data loop (sent by the worker to itself during shutdown).
     Shutdown,
@@ -356,7 +397,7 @@ impl WireSized for DataMsg {
             DataMsg::RespCols { bufs, .. } => {
                 HDR + bufs.iter().map(|b| 8 + b.payload_bytes()).sum::<usize>()
             }
-            DataMsg::ReplicateCols { columns } => {
+            DataMsg::ReplicateCols { columns, .. } => {
                 HDR + columns
                     .iter()
                     .map(|(_, c)| 8 + c.payload_bytes())
@@ -371,8 +412,9 @@ impl WireSized for DataMsg {
             DataMsg::ReqIx { ctx, .. }
             | DataMsg::RespIx { ctx, .. }
             | DataMsg::ReqCols { ctx, .. }
-            | DataMsg::RespCols { ctx, .. } => *ctx,
-            DataMsg::ReplicateCols { .. } | DataMsg::Shutdown => TraceCtx::NONE,
+            | DataMsg::RespCols { ctx, .. }
+            | DataMsg::ReplicateCols { ctx, .. } => *ctx,
+            DataMsg::Shutdown => TraceCtx::NONE,
         }
     }
 }
@@ -483,6 +525,41 @@ mod tests {
             .wire_bytes(),
             24
         );
+    }
+
+    #[test]
+    fn membership_frames_are_header_only_and_migrations_carry_spans() {
+        use ts_obs::SpanId;
+        for m in [
+            TaskMsg::Hello { worker: 3 },
+            TaskMsg::Welcome { worker: 3 },
+            TaskMsg::Drain,
+            TaskMsg::Goodbye { worker: 3 },
+        ] {
+            assert_eq!(m.wire_bytes(), 24, "membership frames are pure control");
+            assert_eq!(m.trace_ctx(), TraceCtx::NONE);
+        }
+        // A migration's span rides the already-charged header end to end:
+        // ReplicateTo → ReplicateCols → ReplicateDone.
+        let ctx = TraceCtx::new(5, SpanId(77));
+        let to = TaskMsg::ReplicateTo {
+            attrs: vec![1, 2],
+            to: 4,
+            ctx,
+        };
+        assert_eq!(to.wire_bytes(), 24 + 16);
+        assert_eq!(to.trace_ctx(), ctx);
+        let done = TaskMsg::ReplicateDone {
+            attrs: vec![1, 2],
+            worker: 4,
+            ctx,
+        };
+        assert_eq!(done.trace_ctx(), ctx);
+        let cols = DataMsg::ReplicateCols {
+            columns: vec![],
+            ctx,
+        };
+        assert_eq!(cols.trace_ctx(), ctx);
     }
 
     #[test]

@@ -8,6 +8,12 @@
 //! inside the master; they now surface as a [`RecoveryError`] that fails
 //! every pending job cleanly with a diagnosable report, leaving the
 //! process (and any co-hosted clusters) alive.
+//!
+//! A *graceful* departure (`ts-elastic` drain after an announced
+//! preemption, see `docs/ELASTICITY.md`) never constructs these errors:
+//! the leaver hands its columns off before it goes, so there is nothing to
+//! recover. Only a drain that blows its grace window escalates into the
+//! crash path — and can then fail with one of these.
 
 use std::fmt;
 use ts_netsim::NodeId;

@@ -206,6 +206,40 @@ impl<T> PlanQueue<T> {
         self.cv.notify_all();
     }
 
+    /// Whether any queued plan (global or affinity) matches `pred`. Used by
+    /// the drain state machine to hold a leaver's departure while queued
+    /// plans still reference it as their `Ix` parent.
+    pub fn any_match(&self, pred: impl Fn(&T) -> bool) -> bool {
+        let inner = self.inner.lock();
+        inner
+            .global
+            .iter()
+            .chain(inner.deques.values().flatten())
+            .any(pred)
+    }
+
+    /// Removes a worker's affinity deque and returns its queued plans so
+    /// the caller can re-queue them elsewhere (graceful drain, `ts-elastic`).
+    /// Also forgets the worker's in-flight accounting and any pending steal
+    /// request — the worker is leaving, nothing will complete or be served.
+    /// The caller is expected to follow up with [`PlanQueue::set_workers`]
+    /// for the shrunken roster. No-op (empty vec) in single mode, where
+    /// plans carry no affinity.
+    pub fn drain_worker(&self, worker: NodeId) -> Vec<T> {
+        let mut inner = self.inner.lock();
+        let drained: Vec<T> = inner
+            .deques
+            .remove(&worker)
+            .map(Vec::from)
+            .unwrap_or_default();
+        inner.len -= drained.len();
+        inner.outstanding.remove(&worker);
+        inner.hungry.retain(|&w| w != worker);
+        drop(inner);
+        self.cv.notify_all();
+        drained
+    }
+
     /// Drops every queued plan and resets in-flight accounting and pending
     /// steal requests (fault recovery revoked all in-flight work).
     pub fn clear(&self) {
@@ -609,6 +643,32 @@ mod tests {
                 thief: 2
             })
         );
+    }
+
+    #[test]
+    fn drain_worker_reclaims_queued_plans() {
+        let q: PlanQueue<u64> = PlanQueue::new_stealing(1);
+        q.set_workers(&[1, 2]);
+        q.push(11, Some(1), false);
+        q.push(12, Some(1), false);
+        q.push(21, Some(2), false);
+        q.note_dispatched(&[1]); // at cap: would block worker 1 forever
+        q.mark_hungry(1);
+        let drained = q.drain_worker(1);
+        assert_eq!(drained, vec![11, 12], "queued plans come back in order");
+        assert_eq!(q.len(), 1, "only worker 2's plan remains");
+        // The drained worker's hunger and accounting are gone: the next pop
+        // is worker 2's ordinary affinity pop, not a steal for worker 1.
+        let (t, steal) = q.try_next(&[]).expect("plan available");
+        assert_eq!(t, 21);
+        assert!(steal.is_none());
+        // Draining an unknown worker is a harmless no-op.
+        assert!(q.drain_worker(9).is_empty());
+        // Single mode has no affinity deques to drain.
+        let s: PlanQueue<u64> = PlanQueue::new_single();
+        s.push(1, Some(1), false);
+        assert!(s.drain_worker(1).is_empty());
+        assert_eq!(s.len(), 1);
     }
 
     #[test]

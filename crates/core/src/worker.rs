@@ -192,6 +192,17 @@ pub struct Worker {
     /// One outstanding `StealRequest` at a time; cleared when the master
     /// answers with any plan or an explicit `Donate`.
     steal_outstanding: AtomicBool,
+    /// Set by the master's `Drain` frame (`ts-elastic`): stop advertising
+    /// hunger, finish what is queued, and report `Goodbye` when the local
+    /// compute pipeline runs dry. The worker stays fully alive — serving
+    /// its data plane and heartbeating — until the master's final
+    /// `Shutdown`.
+    draining: AtomicBool,
+    /// `Goodbye` is sent exactly once per drain.
+    goodbye_sent: AtomicBool,
+    /// Tasks currently on a comper (picked up but not yet resulted); the
+    /// drain's "pipeline dry" check needs it alongside `ready_backlog`.
+    computing: AtomicI64,
 }
 
 impl Worker {
@@ -247,6 +258,9 @@ impl Worker {
             steal,
             ready_backlog: AtomicI64::new(0),
             steal_outstanding: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            goodbye_sent: AtomicBool::new(false),
+            computing: AtomicI64::new(0),
         });
 
         let mut handles = Vec::new();
@@ -335,6 +349,11 @@ impl Worker {
         if !self.steal || !self.alive.load(Ordering::Acquire) {
             return;
         }
+        // A draining worker must wind down, not attract more work (the
+        // master forgot its deque anyway).
+        if self.draining.load(Ordering::Acquire) {
+            return;
+        }
         if self.ready_backlog.load(Ordering::Acquire) > 0 {
             return;
         }
@@ -353,6 +372,31 @@ impl Worker {
             let _ = self
                 .fabric_task
                 .send(self.id, 0, TaskMsg::StealRequest { worker: self.id });
+        }
+    }
+
+    /// Drain progress check: once the ready queue and the comper pipeline
+    /// are both empty, report `Goodbye` to the master (exactly once). This
+    /// is deliberately only a "my compute ran dry" signal — tasks still
+    /// parked for `Ix`/columns and the delegate table are in-flight state
+    /// the *master* tracks (`touches`), and the worker keeps serving its
+    /// data plane until the final `Shutdown` arrives.
+    fn maybe_goodbye(&self) {
+        if !self.draining.load(Ordering::Acquire)
+            || !self.alive.load(Ordering::Acquire)
+            || self.ready_backlog.load(Ordering::Acquire) > 0
+            || self.computing.load(Ordering::Acquire) > 0
+        {
+            return;
+        }
+        if self
+            .goodbye_sent
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            let _ = self
+                .fabric_task
+                .send(self.id, 0, TaskMsg::Goodbye { worker: self.id });
         }
     }
 
@@ -404,7 +448,7 @@ impl Worker {
                     assert_eq!(labels.len(), self.n_rows, "label column length");
                     *self.labels.write() = Arc::new(labels);
                 }
-                TaskMsg::ReplicateTo { attrs, to } => {
+                TaskMsg::ReplicateTo { attrs, to, ctx } => {
                     let columns: Vec<(usize, Column)> = {
                         let store = self.columns.read();
                         attrs
@@ -417,9 +461,21 @@ impl Worker {
                             })
                             .collect()
                     };
-                    let _ = self
-                        .fabric_data
-                        .send(self.id, to, DataMsg::ReplicateCols { columns });
+                    // The migration span rides the bulk transfer and its
+                    // eventual ReplicateDone, so retries stay attributed.
+                    let _ =
+                        self.fabric_data
+                            .send(self.id, to, DataMsg::ReplicateCols { columns, ctx });
+                }
+                TaskMsg::Welcome { .. } => {
+                    // Join handshake ack. Nothing to set up here: columns
+                    // arrive via `ReplicateCols` on the data plane, and the
+                    // heartbeat thread has been beating since spawn.
+                }
+                TaskMsg::Drain => {
+                    self.draining.store(true, Ordering::Release);
+                    // Maybe the pipeline is already dry.
+                    self.maybe_goodbye();
                 }
                 TaskMsg::Shutdown => {
                     // Silence the heartbeat first: from the master's point
@@ -452,6 +508,8 @@ impl Worker {
                 | TaskMsg::SubtreeResult { .. }
                 | TaskMsg::ReplicateDone { .. }
                 | TaskMsg::StealRequest { .. }
+                | TaskMsg::Hello { .. }
+                | TaskMsg::Goodbye { .. }
                 | TaskMsg::Heartbeat { .. } => {
                     unreachable!("master-bound message delivered to a worker")
                 }
@@ -730,7 +788,7 @@ impl Worker {
                     ..
                 } => self.on_resp_cols(for_task, attrs, bufs),
                 DataMsg::Shutdown => break,
-                DataMsg::ReplicateCols { columns } => {
+                DataMsg::ReplicateCols { columns, ctx } => {
                     let attrs: Vec<usize> = columns.iter().map(|&(a, _)| a).collect();
                     self.install_columns(columns);
                     let _ = self.fabric_task.send(
@@ -739,6 +797,7 @@ impl Worker {
                         TaskMsg::ReplicateDone {
                             attrs,
                             worker: self.id,
+                            ctx,
                         },
                     );
                 }
@@ -961,6 +1020,7 @@ impl Worker {
         while let Ok(task) = rx.recv() {
             if !matches!(task, ReadyTask::Stop) {
                 self.ready_backlog.fetch_sub(1, Ordering::AcqRel);
+                self.computing.fetch_add(1, Ordering::AcqRel);
             }
             match task {
                 ReadyTask::Stop => break,
@@ -992,7 +1052,9 @@ impl Worker {
                     if let Some(msg) = msg {
                         let _ = self.fabric_task.send(self.id, 0, msg);
                     }
+                    self.computing.fetch_sub(1, Ordering::AcqRel);
                     self.maybe_request_steal();
+                    self.maybe_goodbye();
                 }
                 ReadyTask::Subtree {
                     plan,
@@ -1025,7 +1087,9 @@ impl Worker {
                     if let Some(msg) = msg {
                         let _ = self.fabric_task.send(self.id, 0, msg);
                     }
+                    self.computing.fetch_sub(1, Ordering::AcqRel);
                     self.maybe_request_steal();
+                    self.maybe_goodbye();
                 }
             }
         }

@@ -373,6 +373,195 @@ fn silent_crash_is_detected_by_heartbeats_and_recovered() {
     assert!(retried, "RetrySent not in the event log");
 }
 
+// ----------------------------------------------------------------------
+// Elastic membership (`ts-elastic`, docs/ELASTICITY.md): mid-training
+// join/leave, spot preemption with grace windows, incremental column
+// rebalancing. The CI `elastic-matrix` job sweeps these tests under fixed
+// `TS_SEED`s with `TS_STEAL` both on and off.
+// ----------------------------------------------------------------------
+
+/// Fault-plan seed for the elastic tests, overridable by the CI matrix.
+fn env_seed(default: u64) -> u64 {
+    std::env::var("TS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Work-stealing toggle for the elastic tests (`TS_STEAL=1`).
+fn env_steal() -> bool {
+    std::env::var("TS_STEAL").is_ok_and(|s| s == "1" || s.eq_ignore_ascii_case("true"))
+}
+
+/// Satellite regression for the lease detector: an *announced* preemption
+/// drains gracefully — `Goodbye`, not a missed-heartbeat suspicion — so the
+/// run must finish with zero crash-recovery activity (no `WorkerSuspected`,
+/// no `WorkerCrashed`, no `CrashInjected`, no tree revocation) and still
+/// produce the fault-free model byte for byte.
+#[cfg(feature = "obs")]
+#[test]
+fn graceful_preemption_drains_without_crash_recovery() {
+    let t = table(17);
+    let mut cfg = faulty_cfg(None);
+    cfg.steal = env_steal();
+    // Stretch the run so the preemption lands mid-training.
+    cfg.work_ns_per_unit = 1_000;
+    cfg.obs = ts_obs::ObsConfig::enabled();
+    let cluster = Cluster::launch(cfg, &t);
+    let h = cluster.submit(JobSpec::decision_tree(t.schema().task));
+    std::thread::sleep(Duration::from_millis(10));
+    // Generous grace: the drain must complete without escalating.
+    cluster.preempt_worker(3, Duration::from_secs(30));
+    let model = cluster.wait(h).into_tree();
+    let rec = std::sync::Arc::clone(cluster.obs().expect("obs enabled"));
+    cluster.shutdown();
+
+    assert_eq!(
+        tree_bytes(&model),
+        golden_bytes(),
+        "a graceful drain must not perturb the model"
+    );
+    let m = rec.metrics();
+    assert_eq!(m.counter("workers_draining"), 1, "drain was announced once");
+    assert_eq!(
+        m.counter("workers_departed"),
+        1,
+        "the leaver retired cleanly"
+    );
+    assert!(
+        m.counter("columns_migrated") >= 1,
+        "the leaver's columns were handed off"
+    );
+    // The satellite regression proper: zero crash-recovery activity.
+    assert_eq!(
+        m.counter("workers_suspected"),
+        0,
+        "lease detector fired on a drained worker"
+    );
+    assert_eq!(m.counter("workers_crashed"), 0);
+    assert_eq!(m.counter("crashes_injected"), 0);
+    assert_eq!(
+        m.counter("workers_recovered"),
+        0,
+        "handoffs must not masquerade as recovery"
+    );
+}
+
+/// The tentpole acceptance scenario: a 2-worker cluster doubles to 4 early
+/// in a compute-bound run via scripted joins. The doubled run must beat the
+/// static half-size run on wall clock AND produce the byte-identical model
+/// (joins never revoke trees; randomness is scheduling-invariant).
+#[test]
+fn cluster_doubling_mid_run_beats_static_half_size() {
+    let t = table(17);
+    let base = || ClusterConfig {
+        n_workers: 2,
+        compers_per_worker: 2,
+        replication: 2,
+        tau_d: 100,
+        tau_dfs: 400,
+        // Compute-dominated: the modeled work makes capacity the
+        // bottleneck, so extra machines translate into wall time.
+        work_ns_per_unit: 4_000,
+        steal: env_steal(),
+        ..Default::default()
+    };
+    let run = |faults: Option<FaultPlan>| {
+        let cluster = Cluster::launch(ClusterConfig { faults, ..base() }, &t);
+        let start = std::time::Instant::now();
+        let model = cluster
+            .train(JobSpec::decision_tree(t.schema().task))
+            .into_tree();
+        let wall = start.elapsed();
+        cluster.shutdown();
+        (wall, tree_bytes(&model))
+    };
+    let (static_wall, static_bytes) = run(None);
+    // Two joiners 15 ms in: most of the run executes at double width.
+    let join_plan = FaultPlan::new(env_seed(0xE1A5)).with_worker_join(Duration::from_millis(15), 2);
+    let (elastic_wall, elastic_bytes) = run(Some(join_plan));
+
+    assert_eq!(
+        elastic_bytes, static_bytes,
+        "mid-run joins must not change the trained model"
+    );
+    assert!(
+        elastic_wall < static_wall,
+        "doubling the cluster mid-run did not speed training up: \
+         elastic {elastic_wall:?} vs static {static_wall:?}"
+    );
+}
+
+// Membership churn under message faults: a scripted join AND a scripted
+// preemption AND a lossy fabric, swept over fault seeds. Every planned
+// task still executes exactly once (dispatch = execution = fold multisets
+// per `(task, node)`), nothing is lost from the event rings, and the model
+// matches the fault-free golden run.
+#[cfg(feature = "obs")]
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    #[test]
+    fn membership_churn_under_faults_is_exactly_once(fault_seed in any::<u64>()) {
+        let t = table(17);
+        let plan = FaultPlan::new(fault_seed ^ env_seed(0))
+            .with_message_drops(0.03)
+            .with_message_duplicates(0.03)
+            .with_worker_join(Duration::from_millis(8), 1)
+            .with_preemption(Duration::from_millis(20), 2, Duration::from_secs(30));
+        let mut cfg = faulty_cfg(Some(plan));
+        cfg.work_ns_per_unit = 500; // long enough for both events to land mid-run
+        cfg.steal = env_steal();
+        cfg.obs = ts_obs::ObsConfig::enabled();
+        let cluster = Cluster::launch(cfg, &t);
+        let model = cluster
+            .train(JobSpec::decision_tree(t.schema().task))
+            .into_tree();
+        let rec = std::sync::Arc::clone(cluster.obs().expect("obs enabled"));
+        cluster.shutdown();
+
+        prop_assert_eq!(tree_bytes(&model), golden_bytes());
+        prop_assert_eq!(rec.events_lost(), 0, "ring overflow would blind the count");
+
+        let mut dispatched: Vec<(u64, u32)> = Vec::new();
+        let mut computed: Vec<(u64, u32)> = Vec::new();
+        let mut folded: Vec<(u64, u32)> = Vec::new();
+        for e in rec.events().iter() {
+            match e.event {
+                ts_obs::Event::ColumnTaskDispatched { task, node, .. } => {
+                    dispatched.push((task, node));
+                }
+                ts_obs::Event::SubtreeTaskDelegated { task, key_worker, .. } => {
+                    dispatched.push((task, key_worker));
+                }
+                ts_obs::Event::TaskComputed { task, node, .. } => computed.push((task, node)),
+                ts_obs::Event::ColumnTaskCompleted { task, node, .. } => {
+                    folded.push((task, node));
+                }
+                ts_obs::Event::SubtreeTaskBuilt { task, node, .. } => folded.push((task, node)),
+                _ => {}
+            }
+        }
+        dispatched.sort_unstable();
+        computed.sort_unstable();
+        folded.sort_unstable();
+        prop_assert!(!dispatched.is_empty(), "training dispatched no tasks?");
+        prop_assert_eq!(
+            &dispatched, &computed,
+            "a task shard executed zero or multiple times under churn"
+        );
+        prop_assert_eq!(
+            &dispatched, &folded,
+            "a task shard folded zero or multiple times under churn"
+        );
+        // The churn actually happened: someone joined, and — unless the
+        // run outpaced the 20 ms trigger — someone drained.
+        let m = rec.metrics();
+        prop_assert_eq!(m.counter("workers_joined"), 1);
+        prop_assert_eq!(m.counter("workers_crashed"), 0, "graceful churn must not crash-recover");
+    }
+}
+
 /// A plan pointing past the end of training never fires and never perturbs
 /// the run.
 #[test]

@@ -141,6 +141,21 @@ pub struct FaultPlan {
     dup_prob: f64,
     max_delay: Duration,
     crash_at_delegation: Option<u64>,
+    /// Scripted membership: `n` fresh workers join `at_ns` into the run.
+    /// Stored as plain nanoseconds (not `Instant`) so the plan stays a pure
+    /// value — clonable, comparable, replayable off any [`SimClock`].
+    join: Option<(u64, usize)>,
+    /// Scripted spot preemption: `(at_ns, victim, grace_ns)` — the victim
+    /// is told to drain at `at_ns` and must be gone `grace_ns` later.
+    /// Distinct from [`with_crash_at_delegation`](Self::with_crash_at_delegation):
+    /// a preemption is *announced*, a crash is silent.
+    preempt: Option<(u64, NodeId, u64)>,
+    /// Per-machine compute heterogeneity: `(machine, factor)` multiplies the
+    /// machine's modeled per-unit work cost (2.0 = half-speed CPU).
+    work_scales: Vec<(NodeId, f64)>,
+    /// Per-machine link heterogeneity: `(machine, factor)` multiplies the
+    /// machine's outbound transmission delay (2.0 = half-bandwidth NIC).
+    bandwidth_scales: Vec<(NodeId, f64)>,
 }
 
 /// SplitMix64: the mixing function behind every fault decision.
@@ -166,6 +181,10 @@ impl FaultPlan {
             dup_prob: 0.0,
             max_delay: Duration::ZERO,
             crash_at_delegation: None,
+            join: None,
+            preempt: None,
+            work_scales: Vec::new(),
+            bandwidth_scales: Vec::new(),
         }
     }
 
@@ -221,6 +240,80 @@ impl FaultPlan {
     /// The global delegation count at which a worker crash fires, if any.
     pub fn crash_at_delegation(&self) -> Option<u64> {
         self.crash_at_delegation
+    }
+
+    /// Scripts `n` workers joining the cluster `at` into the run. Membership
+    /// events are plain scheduled times read off the fabric's [`SimClock`],
+    /// so a seeded run replays them at the identical (virtual) instant.
+    pub fn with_worker_join(mut self, at: Duration, n: usize) -> FaultPlan {
+        assert!(n >= 1, "a join must add at least one worker");
+        self.join = Some((at.as_nanos() as u64, n));
+        self
+    }
+
+    /// Scripts a spot preemption: `victim` is told to drain `at` into the
+    /// run and is granted `grace` to finish in-flight work, hand its columns
+    /// off and say `Goodbye` — after which the engine escalates to the
+    /// silent-crash recovery path. Distinct from a crash: the kill is
+    /// *announced*, so no work need be lost.
+    pub fn with_preemption(mut self, at: Duration, victim: NodeId, grace: Duration) -> FaultPlan {
+        self.preempt = Some((at.as_nanos() as u64, victim, grace.as_nanos() as u64));
+        self
+    }
+
+    /// Scales `machine`'s modeled compute cost by `factor` (2.0 = a
+    /// half-speed CPU). Later calls for the same machine override.
+    pub fn with_work_scale(mut self, machine: NodeId, factor: f64) -> FaultPlan {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "work scale must be positive"
+        );
+        self.work_scales.retain(|&(m, _)| m != machine);
+        self.work_scales.push((machine, factor));
+        self
+    }
+
+    /// Scales `machine`'s outbound transmission delay by `factor` (2.0 = a
+    /// half-bandwidth NIC). Later calls for the same machine override.
+    pub fn with_bandwidth_scale(mut self, machine: NodeId, factor: f64) -> FaultPlan {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "bandwidth scale must be positive"
+        );
+        self.bandwidth_scales.retain(|&(m, _)| m != machine);
+        self.bandwidth_scales.push((machine, factor));
+        self
+    }
+
+    /// The scripted membership join `(at_ns, n_workers)`, if any.
+    pub fn worker_join(&self) -> Option<(u64, usize)> {
+        self.join
+    }
+
+    /// The scripted preemption `(at_ns, victim, grace_ns)`, if any.
+    pub fn preemption(&self) -> Option<(u64, NodeId, u64)> {
+        self.preempt
+    }
+
+    /// `machine`'s compute-cost multiplier (1.0 when unset).
+    pub fn work_scale(&self, machine: NodeId) -> f64 {
+        self.work_scales
+            .iter()
+            .find(|&&(m, _)| m == machine)
+            .map_or(1.0, |&(_, f)| f)
+    }
+
+    /// `machine`'s outbound-delay multiplier (1.0 when unset).
+    pub fn bandwidth_scale(&self, machine: NodeId) -> f64 {
+        self.bandwidth_scales
+            .iter()
+            .find(|&&(m, _)| m == machine)
+            .map_or(1.0, |&(_, f)| f)
+    }
+
+    /// Whether any scripted membership event (join or preemption) is set.
+    pub fn affects_membership(&self) -> bool {
+        self.join.is_some() || self.preempt.is_some()
     }
 
     /// The fate of message `seq` on the `(from, to)` edge. Pure: same plan,
@@ -398,6 +491,37 @@ mod tests {
                 Some(n)
             );
         }
+    }
+
+    #[test]
+    fn membership_events_are_pure_plan_data() {
+        let p = FaultPlan::new(3)
+            .with_worker_join(Duration::from_millis(50), 2)
+            .with_preemption(Duration::from_millis(80), 3, Duration::from_millis(200))
+            .with_work_scale(2, 2.0)
+            .with_bandwidth_scale(1, 0.5);
+        assert!(p.affects_membership());
+        assert!(!p.affects_messages(), "membership alone needs no retries");
+        assert_eq!(p.worker_join(), Some((50_000_000, 2)));
+        assert_eq!(p.preemption(), Some((80_000_000, 3, 200_000_000)));
+        assert_eq!(p.work_scale(2), 2.0);
+        assert_eq!(p.work_scale(9), 1.0, "unset machines run at unit scale");
+        assert_eq!(p.bandwidth_scale(1), 0.5);
+        assert_eq!(p.bandwidth_scale(2), 1.0);
+        // Pure value semantics: a clone replays the identical script, and
+        // adding membership events never perturbs message-fault decisions.
+        assert_eq!(p, p.clone());
+        let base = FaultPlan::new(3).with_message_drops(0.3);
+        let scripted = base
+            .clone()
+            .with_worker_join(Duration::from_millis(1), 1)
+            .with_preemption(Duration::from_millis(2), 1, Duration::ZERO);
+        for seq in 0..512 {
+            assert_eq!(base.decide(0, 1, seq), scripted.decide(0, 1, seq));
+        }
+        // Re-scaling a machine overrides rather than accumulates.
+        let q = p.with_work_scale(2, 3.0);
+        assert_eq!(q.work_scale(2), 3.0);
     }
 
     #[test]

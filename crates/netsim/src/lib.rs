@@ -445,6 +445,11 @@ pub struct Fabric<M> {
     clock: SimClock,
     faults: Option<Arc<FaultState>>,
     reliable: Option<Arc<ReliableState<M>>>,
+    /// Per-sender outbound-delay multipliers from the fault plan's
+    /// heterogeneity script (all 1.0 without one). Kept outside
+    /// [`FaultState`] so link heterogeneity applies even when the plan has
+    /// no message faults (and hence no fault state).
+    bw_scale: Arc<Vec<f64>>,
 }
 
 impl<M> Clone for Fabric<M> {
@@ -456,6 +461,7 @@ impl<M> Clone for Fabric<M> {
             clock: self.clock.clone(),
             faults: self.faults.clone(),
             reliable: self.reliable.clone(),
+            bw_scale: Arc::clone(&self.bw_scale),
         }
     }
 }
@@ -546,6 +552,11 @@ impl<M: WireSized + Clone> Fabric<M> {
             senders.push(s);
             raw_rxs.push(r);
         }
+        let bw_scale = Arc::new(
+            (0..n)
+                .map(|m| plan.as_ref().map_or(1.0, |p| p.bandwidth_scale(m)))
+                .collect::<Vec<f64>>(),
+        );
         let faults = plan
             .filter(|p| p.affects_messages())
             .map(|p| Arc::new(FaultState::new(p, n)));
@@ -557,6 +568,7 @@ impl<M: WireSized + Clone> Fabric<M> {
             clock,
             faults,
             reliable,
+            bw_scale,
         };
         let receivers = raw_rxs
             .into_iter()
@@ -684,7 +696,14 @@ impl<M: WireSized + Clone> Fabric<M> {
         for copy in 0..copies {
             self.stats.record_send(from, to, bytes);
             if pace {
-                let delay = self.model.delay_for(bytes);
+                let mut delay = self.model.delay_for(bytes);
+                // Link heterogeneity: a machine with a scripted bandwidth
+                // scale serialises its outbound traffic that much slower
+                // (or faster) than the uniform link model.
+                let scale = self.bw_scale.get(from).copied().unwrap_or(1.0);
+                if scale != 1.0 {
+                    delay = delay.mul_f64(scale);
+                }
                 if !delay.is_zero() {
                     self.clock.sleep(delay);
                 }
@@ -1008,6 +1027,28 @@ mod tests {
             t.elapsed() >= Duration::from_millis(95),
             "took {:?}",
             t.elapsed()
+        );
+    }
+
+    #[test]
+    fn bandwidth_scale_slows_one_senders_link() {
+        // 100 KB at 10 MB/s is 10 ms; node 0's link is scripted 4x slower.
+        let model = NetModel::slow(10_000_000.0, Duration::ZERO);
+        let stats = NetStats::new(2);
+        let plan = FaultPlan::new(1).with_bandwidth_scale(0, 4.0);
+        let clock = SimClock::virtual_at(0);
+        let (f, _r) = Fabric::<Msg>::new_faulty(2, model, stats, Some(plan), clock.clone());
+        f.send(0, 1, Msg(vec![0; 100_000])).unwrap();
+        let scaled = clock.now_ns();
+        assert!(
+            (35_000_000..=45_000_000).contains(&scaled),
+            "4x-scaled 10 ms transfer took {scaled} ns"
+        );
+        f.send(1, 0, Msg(vec![0; 100_000])).unwrap();
+        let unscaled = clock.now_ns() - scaled;
+        assert!(
+            (8_000_000..=12_000_000).contains(&unscaled),
+            "unscripted sender keeps the uniform link, took {unscaled} ns"
         );
     }
 

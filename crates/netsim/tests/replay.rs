@@ -188,6 +188,97 @@ fn run_spans(seed: u64) -> (String, String) {
     (format!("{dag:?}"), report.to_json())
 }
 
+/// Drives a synthetic membership-churn run — a scripted mid-run join, a
+/// scripted preemption with a grace window, per-machine work/bandwidth
+/// heterogeneity, and a lossy fabric — entirely on the virtual clock, and
+/// returns the serialized obs event log. The membership schedule comes out
+/// of the [`FaultPlan`] accessors, so this exercises exactly the state the
+/// engine's `membership-orch` thread consumes.
+fn run_membership(seed: u64) -> String {
+    use ts_obs::Event;
+    let n = 5; // master + 3 initial workers + 1 pre-provisioned join slot
+    let clock = SimClock::virtual_at(0);
+    let stats = NetStats::new(n);
+    let rec = Arc::new(ts_obs::Recorder::with_time_source(
+        n,
+        &ts_obs::ObsConfig::enabled(),
+        clock
+            .time_source()
+            .expect("virtual clock exposes its counter"),
+    ));
+    stats.set_recorder(Arc::clone(&rec));
+    let plan = FaultPlan::new(seed)
+        .with_message_drops(0.10)
+        .with_message_delays(0.20, Duration::from_millis(3))
+        .with_worker_join(Duration::from_millis(2), 1)
+        .with_preemption(Duration::from_millis(6), 2, Duration::from_millis(20))
+        .with_work_scale(3, 0.5)
+        .with_bandwidth_scale(4, 2.0);
+    let (join_at, joiners) = plan.worker_join().expect("join scripted");
+    let (preempt_at, victim, _grace) = plan.preemption().expect("preemption scripted");
+    let (fabric, _rxs) =
+        Fabric::<Msg>::new_faulty(n, NetModel::gige(), Arc::clone(&stats), Some(plan), clock);
+
+    let joiner = n - 1; // the pre-provisioned slot
+    let mut joined = false;
+    let mut draining = false;
+    for i in 0..300usize {
+        let now = i as u64 * 40_000; // 40 µs per tick of synthetic traffic
+        if !joined && now >= join_at {
+            for j in 0..joiners {
+                let w = (joiner + j) as u32;
+                rec.record(0, Event::WorkerJoined { node: w });
+                // Join top-up: the new holder pulls a replica per column.
+                let _ = fabric.send(1, joiner + j, Msg(4096));
+                rec.record(
+                    0,
+                    Event::ColumnMigrated {
+                        attr: j as u32,
+                        from: 1,
+                        to: w,
+                    },
+                );
+            }
+            joined = true;
+        }
+        if !draining && now >= preempt_at {
+            rec.record(
+                0,
+                Event::WorkerDraining {
+                    node: victim as u32,
+                },
+            );
+            // Pre-departure handoff: the leaver serves its own columns out.
+            let _ = fabric.send(victim, joiner, Msg(4096));
+            rec.record(
+                0,
+                Event::ColumnMigrated {
+                    attr: 9,
+                    from: victim as u32,
+                    to: joiner as u32,
+                },
+            );
+            rec.record(
+                0,
+                Event::WorkerDeparted {
+                    node: victim as u32,
+                },
+            );
+            draining = true;
+        }
+        let from = i % n;
+        let mut to = (i * 7 + 1) % n;
+        if draining && (from == victim || to == victim) {
+            continue; // departed workers send and receive nothing
+        }
+        if to == from {
+            to = (to + 1) % n;
+        }
+        let _ = fabric.send(from, to, Msg(64 + (i * 13) % 512));
+    }
+    format!("{:?}", rec.events())
+}
+
 #[test]
 fn same_fault_seed_replays_byte_identically() {
     let a = run(0xD5);
@@ -203,6 +294,33 @@ fn same_fault_seed_replays_byte_identically() {
     );
     let c = run(0xBEEF);
     assert_ne!(a, c, "a different seed must pick different faults");
+}
+
+#[test]
+fn membership_churn_replays_byte_identically() {
+    let a = run_membership(0xE1A5);
+    let b = run_membership(0xE1A5);
+    assert_eq!(
+        a, b,
+        "same seed must reproduce the exact membership-churn event log"
+    );
+    for ev in [
+        "WorkerJoined",
+        "WorkerDraining",
+        "WorkerDeparted",
+        "ColumnMigrated",
+    ] {
+        assert!(a.contains(ev), "log should contain {ev}");
+    }
+    assert!(
+        a.contains("MessageDropped"),
+        "the lossy plan should have dropped something"
+    );
+    let c = run_membership(0x5EED);
+    assert_ne!(
+        a, c,
+        "a different seed must pick different faults around the same schedule"
+    );
 }
 
 #[test]

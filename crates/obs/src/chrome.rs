@@ -398,6 +398,27 @@ pub(crate) fn export(mut events: Vec<TimedEvent>) -> String {
                 MASTER_PID,
                 &format!("\"task\":{task},\"victim\":{victim},\"thief\":{thief}"),
             ),
+            Event::WorkerJoined { node } => {
+                e.instant("worker_joined", ev.ts_ns, node, &format!("\"node\":{node}"))
+            }
+            Event::WorkerDraining { node } => e.instant(
+                "worker_draining",
+                ev.ts_ns,
+                node,
+                &format!("\"node\":{node}"),
+            ),
+            Event::WorkerDeparted { node } => e.instant(
+                "worker_departed",
+                ev.ts_ns,
+                node,
+                &format!("\"node\":{node}"),
+            ),
+            Event::ColumnMigrated { attr, from, to } => e.instant(
+                "column_migrated",
+                ev.ts_ns,
+                to,
+                &format!("\"attr\":{attr},\"from\":{from},\"to\":{to}"),
+            ),
         }
     }
 

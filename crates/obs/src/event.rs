@@ -248,6 +248,36 @@ pub enum Event {
         /// The idle worker that requested the steal.
         thief: u32,
     },
+    /// A worker's `Hello` handshake was accepted: it is now in the roster,
+    /// its heartbeat lease is armed, and its column migration is under way
+    /// (`ts-elastic` membership, see `docs/ELASTICITY.md`).
+    WorkerJoined {
+        /// The joining worker.
+        node: u32,
+    },
+    /// The master told a worker to drain ahead of a scripted preemption:
+    /// no new plans flow to it, its queued plans were reclaimed, and its
+    /// columns are being handed off within the grace window.
+    WorkerDraining {
+        /// The draining worker.
+        node: u32,
+    },
+    /// A draining worker finished handing off and was retired gracefully —
+    /// its `Goodbye` cleared the lease without invoking crash recovery.
+    WorkerDeparted {
+        /// The departed worker.
+        node: u32,
+    },
+    /// One column finished migrating between holders as part of a join
+    /// top-up or a pre-departure handoff (not crash re-replication).
+    ColumnMigrated {
+        /// The migrated attribute.
+        attr: u32,
+        /// The holder that served the copy.
+        from: u32,
+        /// The new holder.
+        to: u32,
+    },
 }
 
 /// An [`Event`] stamped with its monotonic record time and the machine whose

@@ -102,6 +102,10 @@ struct Hot {
     gbt_rounds: Arc<Counter>,
     steals_requested: Arc<Counter>,
     plans_stolen: Arc<Counter>,
+    workers_joined: Arc<Counter>,
+    workers_draining: Arc<Counter>,
+    workers_departed: Arc<Counter>,
+    columns_migrated: Arc<Counter>,
     spans_opened: Arc<Counter>,
     spans_closed: Arc<Counter>,
     column_task_latency_ns: Arc<Histogram>,
@@ -137,6 +141,10 @@ impl Hot {
             gbt_rounds: reg.counter("gbt_rounds"),
             steals_requested: reg.counter("steals_requested"),
             plans_stolen: reg.counter("plans_stolen"),
+            workers_joined: reg.counter("workers_joined"),
+            workers_draining: reg.counter("workers_draining"),
+            workers_departed: reg.counter("workers_departed"),
+            columns_migrated: reg.counter("columns_migrated"),
             spans_opened: reg.counter("spans_opened"),
             spans_closed: reg.counter("spans_closed"),
             column_task_latency_ns: reg.histogram("column_task_latency_ns"),
@@ -277,6 +285,10 @@ impl Recorder {
             Event::GbtRound { .. } => h.gbt_rounds.inc(),
             Event::StealRequested { .. } => h.steals_requested.inc(),
             Event::PlanStolen { .. } => h.plans_stolen.inc(),
+            Event::WorkerJoined { .. } => h.workers_joined.inc(),
+            Event::WorkerDraining { .. } => h.workers_draining.inc(),
+            Event::WorkerDeparted { .. } => h.workers_departed.inc(),
+            Event::ColumnMigrated { .. } => h.columns_migrated.inc(),
         }
     }
 
