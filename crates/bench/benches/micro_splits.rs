@@ -12,8 +12,10 @@
 
 use std::hint::black_box;
 use std::time::Instant;
-use ts_bench::{print_header, BenchReport};
-use ts_datatable::SortedColumn;
+use treeserver::{Cluster, JobSpec, Splitter};
+use ts_bench::{print_header, ts_config, BenchReport};
+use ts_datatable::synth::{generate, SynthSpec};
+use ts_datatable::{SortedColumn, Task};
 use ts_splits::exact::{
     best_cat_split_classification, best_cat_split_regression, best_numeric_split,
 };
@@ -239,6 +241,79 @@ fn main() {
         });
         report("quantile_sketch_build_100k", us);
         out.push("quantile_sketch_build_100k", us * 1e-6, 100_000, 0, None);
+    }
+
+    // Cluster-level split plane: the exact engine ships a full per-column
+    // `ColumnResult` (with per-shard `NodeStats`) for every column-task,
+    // while `Splitter::Histogram` ships top-k nominations plus one elected
+    // result (docs/HISTOGRAM.md). Multi-class data is the regime the vote
+    // plane wins in — the stats payloads grow with the class count — so
+    // this uses a Covtype-shaped 7-class table. The `metric` field of the
+    // two records carries the split-plane bytes each mode moved.
+    {
+        let rows = ((24_000.0 * ts_bench::env_scale()) as usize).max(4_000);
+        let table = generate(&SynthSpec {
+            rows,
+            numeric: 8,
+            categorical: 2,
+            cat_cardinality: 6,
+            task: Task::Classification { n_classes: 7 },
+            noise: 0.05,
+            concept_depth: 6,
+            seed: 5,
+            ..Default::default()
+        });
+        let run = |splitter: Splitter| {
+            let mut cfg = ts_config(rows, 8, 4);
+            cfg.splitter = splitter;
+            // Keep the upper tree on the distributed column path: the
+            // splitter modes only differ there.
+            cfg.tau_d = (rows as u64 / 40).max(400);
+            cfg.obs = treeserver::obs::ObsConfig::enabled();
+            let cluster = Cluster::launch(cfg, &table);
+            let t0 = Instant::now();
+            let _ = cluster.train(JobSpec::decision_tree(table.schema().task).with_dmax(8));
+            let secs = t0.elapsed().as_secs_f64();
+            (secs, cluster.shutdown())
+        };
+        let (exact_secs, exact_rep) = run(Splitter::Exact);
+        let (hist_secs, hist_rep) = run(Splitter::Histogram {
+            bins: 64,
+            vote_k: 2,
+        });
+        let (exact_b, hist_b) = (exact_rep.split_bytes_sent, hist_rep.hist_bytes_sent);
+        println!(
+            "{:<48} {:>9.3} s {:>10.1} KB",
+            format!("cluster_split_plane/exact/{rows}"),
+            exact_secs,
+            exact_b as f64 / 1024.0
+        );
+        println!(
+            "{:<48} {:>9.3} s {:>10.1} KB",
+            format!("cluster_split_plane/hist/{rows}"),
+            hist_secs,
+            hist_b as f64 / 1024.0
+        );
+        println!(
+            "{:<48} {:>11.2}x bytes, {:.2}x time",
+            "cluster_split_plane/reduction",
+            exact_b as f64 / hist_b.max(1) as f64,
+            exact_secs / hist_secs
+        );
+        out.push(
+            &format!("cluster_split_plane/exact/{rows}"),
+            exact_secs,
+            rows,
+            1,
+            Some(exact_b as f64),
+        );
+        out.push(
+            &format!("cluster_split_plane/hist/{rows}"),
+            hist_secs,
+            rows,
+            1,
+            Some(hist_b as f64),
+        );
     }
 
     out.write();

@@ -55,6 +55,7 @@ usage:
                         [--model dt|rf|etc|gbt] [--trees N] [--dmax D]
                         [--workers W] [--compers C] [--seed S] [--out FILE]
                         [--steal] [--adaptive-tau]
+                        [--splitter exact|hist] [--hist-bins N] [--vote-k K]
                         [--fault-seed S] [--drop-prob P] [--delay-prob P]
                         [--dup-prob P] [--heartbeat-ms N] [--heartbeat-misses N]
                         [--join-at MS] [--join-count N] [--preempt-at MS]
@@ -67,6 +68,17 @@ usage:
                         [--reference] [--serve-metrics FILE]
   treeserver importance --model FILE [--top K]
   treeserver show       --model FILE [--tree N]
+
+split engine (train, see docs/HISTOGRAM.md):
+  --splitter exact|hist exact sorted-scan splits (default) or quantized
+                        histogram splits with top-k column voting: workers
+                        nominate candidate gains and the master fetches the
+                        full split of the elected column only — a far leaner
+                        master<->worker split plane for a bounded accuracy
+                        loss (the final cluster report breaks the traffic out)
+  --hist-bins N         bin budget per numeric column (default 64; lossless
+                        when a column has at most N distinct values)
+  --vote-k K            candidates each worker nominates per task (default 2)
 
 scheduling (train):
   --steal               per-worker plan deques with work stealing: idle
@@ -228,9 +240,30 @@ fn cluster_config(opts: &Opts, n_rows: usize) -> Result<ClusterConfig, String> {
             factors
         }
     };
+    let splitter = match opts.get("splitter").unwrap_or("exact") {
+        "exact" => {
+            if opts.get("hist-bins").is_some() || opts.get("vote-k").is_some() {
+                return Err("--hist-bins/--vote-k need --splitter hist".into());
+            }
+            treeserver::Splitter::Exact
+        }
+        "hist" | "histogram" => {
+            let bins = opts.num("hist-bins", 64usize)?;
+            if !(2..=65_535).contains(&bins) {
+                return Err(format!("--hist-bins must be in 2..=65535, got {bins}"));
+            }
+            let vote_k = opts.num("vote-k", 2usize)?;
+            if vote_k == 0 {
+                return Err("--vote-k must be at least 1".into());
+            }
+            treeserver::Splitter::Histogram { bins, vote_k }
+        }
+        other => return Err(format!("--splitter must be exact or hist, got {other:?}")),
+    };
     Ok(ClusterConfig {
         n_workers: workers,
         compers_per_worker: compers,
+        splitter,
         replication: 2.min(workers),
         tau_d: (n_rows as u64 / 20).max(256),
         tau_dfs: (n_rows as u64 / 5).max(1_024),

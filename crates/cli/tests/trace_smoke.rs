@@ -99,3 +99,84 @@ fn train_writes_parseable_trace_artifacts() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn train_with_histogram_splitter_exports_its_byte_counter() {
+    let dir = std::env::temp_dir().join(format!("ts-hist-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mk temp dir");
+    let csv = write_csv(&dir);
+    let prom = dir.join("metrics.prom");
+    let model = dir.join("model.json");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_treeserver"))
+        .args([
+            "train",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--target",
+            "label",
+            "--task",
+            "class",
+            "--model",
+            "dt",
+            "--workers",
+            "2",
+            "--splitter",
+            "hist",
+            "--hist-bins",
+            "16",
+            "--vote-k",
+            "2",
+            "--out",
+            model.to_str().unwrap(),
+            "--metrics-prom",
+            prom.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run treeserver");
+    assert!(
+        out.status.success(),
+        "hist train failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The final cluster report breaks the histogram split plane out.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("hist votes+fetch"),
+        "report lacks the histogram traffic line:\n{stderr}"
+    );
+
+    let prom_text = std::fs::read_to_string(&prom).expect("prom written");
+    assert!(
+        prom_text.contains("# TYPE hist_bytes_sent counter"),
+        "{prom_text}"
+    );
+    assert!(
+        !prom_text.contains("split_bytes_sent 0\n") || !prom_text.contains("hist_bytes_sent 0"),
+        "hist mode moved no split-plane bytes:\n{prom_text}"
+    );
+    assert!(model.exists(), "model not written");
+
+    // Rejects histogram knobs without the mode.
+    let bad = Command::new(env!("CARGO_BIN_EXE_treeserver"))
+        .args([
+            "train",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--target",
+            "label",
+            "--task",
+            "class",
+            "--hist-bins",
+            "32",
+        ])
+        .output()
+        .expect("run treeserver");
+    assert!(
+        !bad.status.success(),
+        "--hist-bins without --splitter hist must fail"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

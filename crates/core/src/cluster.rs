@@ -28,6 +28,12 @@ pub struct ClusterReport {
     pub avg_send_mbps: f64,
     /// Master outbound bytes (the §V bottleneck under scrutiny).
     pub master_sent_bytes: u64,
+    /// Split-phase bytes that differ *by splitter mode* (requires `obs`):
+    /// full `ColumnResult` payloads received by the master in exact mode.
+    pub split_bytes_sent: u64,
+    /// Histogram-mode counterpart: nomination + fetch + elected-result
+    /// bytes on the master↔worker split plane (requires `obs`).
+    pub hist_bytes_sent: u64,
     /// Peak tracked memory per worker in bytes, averaged over workers.
     pub avg_peak_mem_bytes: f64,
     /// Per-machine snapshots (index 0 = master).
@@ -47,11 +53,23 @@ impl ClusterReport {
                 (1..per_node.len()).map(f).sum::<f64>() / n_workers as f64
             }
         };
+        #[cfg(feature = "obs")]
+        let (split_bytes_sent, hist_bytes_sent) = stats.recorder().map_or((0, 0), |r| {
+            let reg = r.registry();
+            (
+                reg.counter("split_bytes_sent").get(),
+                reg.counter("hist_bytes_sent").get(),
+            )
+        });
+        #[cfg(not(feature = "obs"))]
+        let (split_bytes_sent, hist_bytes_sent) = (0, 0);
         ClusterReport {
             elapsed,
             avg_cpu_percent: avg(&|w| stats.cpu_percent(w, elapsed)),
             avg_send_mbps: avg(&|w| stats.send_mbps(w, elapsed)),
             master_sent_bytes: per_node.first().map_or(0, |m| m.sent_bytes),
+            split_bytes_sent,
+            hist_bytes_sent,
             avg_peak_mem_bytes: avg(&|w| per_node[w].mem_peak as f64),
             per_node,
         }
@@ -81,6 +99,20 @@ impl std::fmt::Display for ClusterReport {
             "  avg peak mem     {:>10.2} MB",
             self.avg_peak_mem_bytes / 1e6
         )?;
+        if self.split_bytes_sent > 0 {
+            writeln!(
+                f,
+                "  split results    {:>10.2} KB (exact ColumnResult payloads)",
+                self.split_bytes_sent as f64 / 1e3
+            )?;
+        }
+        if self.hist_bytes_sent > 0 {
+            writeln!(
+                f,
+                "  hist votes+fetch {:>10.2} KB (nominations, fetches, elected results)",
+                self.hist_bytes_sent as f64 / 1e3
+            )?;
+        }
         for (i, snap) in self.per_node.iter().enumerate() {
             let name = if i == 0 {
                 "master ".to_string()
@@ -112,6 +144,9 @@ struct ElasticCtx {
     compers_per_worker: usize,
     heartbeat_interval: Duration,
     steal: bool,
+    /// Bin budget when the cluster runs the histogram splitter: joiners
+    /// must build the same bin indices the launch roster did.
+    hist_bins: Option<usize>,
     /// Modeled per-unit compute cost per slot id (config × fault-plan
     /// heterogeneity, resolved at launch).
     work_ns: HashMap<NodeId, u64>,
@@ -148,6 +183,7 @@ impl ElasticCtx {
             slot.data_rx,
             self.heartbeat_interval,
             self.steal,
+            self.hist_bins,
         );
         self.joined_handles.lock().extend(handles);
         let _ = fabric_task.send(w, 0, TaskMsg::Hello { worker: w });
@@ -279,6 +315,7 @@ impl Cluster {
                 data_rxs_opt[w].take().expect("receiver taken once"),
                 cfg.heartbeat_interval,
                 cfg.steal,
+                cfg.splitter.hist_bins(),
             ));
         }
 
@@ -331,6 +368,7 @@ impl Cluster {
             compers_per_worker: cfg.compers_per_worker,
             heartbeat_interval: cfg.heartbeat_interval,
             steal: cfg.steal,
+            hist_bins: cfg.splitter.hist_bins(),
             work_ns: (1..=cfg.total_worker_slots())
                 .map(|w| (w, work_ns_for(w)))
                 .collect(),

@@ -3,6 +3,36 @@
 use std::time::Duration;
 use ts_netsim::{NetModel, RetryConfig};
 
+/// Split-finding strategy of the distributed engine (`docs/HISTOGRAM.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Splitter {
+    /// Exact sorted-scan kernels: every shard returns its full best split
+    /// and the master folds the winner. Paper-exact; the accuracy oracle.
+    Exact,
+    /// Quantized histogram path: columns are pre-binned at load into at
+    /// most `bins` equi-depth bins, shards score candidates on per-bin
+    /// aggregates and nominate only their `vote_k` best `(attr, gain)`
+    /// summaries; the master elects a winner by PV-Tree-style voting and
+    /// fetches the one full split it needs.
+    Histogram {
+        /// Maximum bins per numeric column (including the implicit
+        /// overflow bin); 2..=65535.
+        bins: usize,
+        /// Candidate summaries each shard nominates per task (>= 1).
+        vote_k: usize,
+    },
+}
+
+impl Splitter {
+    /// The histogram bin budget, when the histogram path is selected.
+    pub fn hist_bins(&self) -> Option<usize> {
+        match *self {
+            Splitter::Exact => None,
+            Splitter::Histogram { bins, .. } => Some(bins),
+        }
+    }
+}
+
 /// Configuration of a TreeServer cluster.
 ///
 /// Defaults follow the paper's tuned system parameters (§III):
@@ -103,6 +133,11 @@ pub struct ClusterConfig {
     /// (`Cluster::join_worker`). 0 = a fixed-size cluster. A fault plan
     /// with `with_worker_join` raises this implicitly at launch.
     pub join_capacity: usize,
+    /// Split-finding strategy: exact sorted-scan kernels (the seed
+    /// behaviour and accuracy oracle) or the quantized histogram path with
+    /// top-k column voting (`docs/HISTOGRAM.md`). Subtree tasks and
+    /// extra-trees sampling always use the exact kernels regardless.
+    pub splitter: Splitter,
 }
 
 impl Default for ClusterConfig {
@@ -128,6 +163,7 @@ impl Default for ClusterConfig {
             adaptive_tau: false,
             work_scale: Vec::new(),
             join_capacity: 0,
+            splitter: Splitter::Exact,
         }
     }
 }
@@ -169,6 +205,13 @@ impl ClusterConfig {
             self.work_scale.iter().all(|&s| s > 0.0 && s.is_finite()),
             "work_scale factors must be positive and finite"
         );
+        if let Splitter::Histogram { bins, vote_k } = self.splitter {
+            assert!(
+                (2..=65535).contains(&bins),
+                "hist bins must be in 2..=65535"
+            );
+            assert!(vote_k >= 1, "vote_k must be at least 1");
+        }
         // Joiners start empty and are topped up by migration, so the
         // replication bound stays against the *initial* worker count.
     }
@@ -262,6 +305,45 @@ mod tests {
             .effective_steal_capacity(),
             7
         );
+    }
+
+    #[test]
+    fn splitter_defaults_to_exact_and_hist_bounds_validate() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.splitter, Splitter::Exact, "exact is the seed behaviour");
+        assert_eq!(c.splitter.hist_bins(), None);
+        let h = ClusterConfig {
+            splitter: Splitter::Histogram {
+                bins: 64,
+                vote_k: 2,
+            },
+            ..Default::default()
+        };
+        h.validate();
+        assert_eq!(h.splitter.hist_bins(), Some(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "hist bins")]
+    fn single_hist_bin_panics() {
+        ClusterConfig {
+            splitter: Splitter::Histogram { bins: 1, vote_k: 2 },
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "vote_k")]
+    fn zero_vote_k_panics() {
+        ClusterConfig {
+            splitter: Splitter::Histogram {
+                bins: 64,
+                vote_k: 0,
+            },
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]

@@ -80,7 +80,7 @@ pub mod sched;
 pub mod worker;
 
 pub use cluster::{Cluster, ClusterReport};
-pub use config::ClusterConfig;
+pub use config::{ClusterConfig, Splitter};
 pub use gbt::{train_gbt, train_gbt_on, GbtConfig, GbtModel, GbtObjective};
 pub use ids::{ParentRef, RowSet, Side, TaskId, TreeId};
 pub use job::{JobHandle, JobKind, JobResult, JobSpec};

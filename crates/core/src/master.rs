@@ -109,6 +109,21 @@ enum TaskKind {
         best: Option<(NodeId, ColumnTaskBest)>,
         node_stats: Option<NodeStats>,
     },
+    /// Histogram-mode column task (`docs/HISTOGRAM.md`): shards nominate
+    /// bare `(attr, gain)` candidates; once all have voted the master
+    /// elects a winner and fetches the one full split it needs.
+    Hist {
+        pending: usize,
+        involved: Vec<NodeId>,
+        /// Accumulated nominations as `(gain, attr, worker)` triples.
+        cands: Vec<(f64, usize, NodeId)>,
+        /// Node statistics from the designated stats shard.
+        node_stats: Option<NodeStats>,
+        /// The elected full split, filled by `HistBest`.
+        best: Option<(NodeId, ColumnTaskBest)>,
+        /// The worker a `HistFetch` is outstanding to.
+        fetched: Option<NodeId>,
+    },
     Subtree,
 }
 
@@ -884,11 +899,15 @@ impl Master {
                     depth: desc.depth,
                     params,
                     random_seed: Some(rng.gen()),
+                    hist: None,
                     ctx,
                 }),
             ));
         } else {
-            // Exact column-task, sharded over column holders.
+            // Column-task, sharded over column holders. The shard layout is
+            // identical for both splitters; only the scoring mode and the
+            // result protocol differ (exact full results vs histogram
+            // nominations, `docs/HISTOGRAM.md`).
             let asg = {
                 let mut mwork = self.mwork.lock();
                 let colmap = self.colmap.lock();
@@ -900,6 +919,22 @@ impl Master {
             touches.extend(parent_worker);
             touches.sort_unstable();
             touches.dedup();
+            let kind = match self.cfg.splitter {
+                crate::config::Splitter::Exact => TaskKind::Column {
+                    pending: involved.len(),
+                    involved: involved.clone(),
+                    best: None,
+                    node_stats: None,
+                },
+                crate::config::Splitter::Histogram { .. } => TaskKind::Hist {
+                    pending: involved.len(),
+                    involved: involved.clone(),
+                    cands: Vec::new(),
+                    node_stats: None,
+                    best: None,
+                    fetched: None,
+                },
+            };
             self.ttask.lock().insert(
                 desc.task,
                 MasterTask {
@@ -910,12 +945,7 @@ impl Master {
                     path: desc.path,
                     charges: asg.charges.clone(),
                     touches,
-                    kind: TaskKind::Column {
-                        pending: involved.len(),
-                        involved: involved.clone(),
-                        best: None,
-                        node_stats: None,
-                    },
+                    kind,
                     trace: desc.trace,
                     span: task_span,
                     #[cfg(feature = "obs")]
@@ -937,7 +967,19 @@ impl Master {
                     },
                 ));
             }
-            for (w, cols) in asg.shards {
+            for (i, (w, cols)) in asg.shards.into_iter().enumerate() {
+                // In histogram mode exactly one shard (the first, in the
+                // assignment's deterministic order) carries node stats.
+                let hist = match self.cfg.splitter {
+                    crate::config::Splitter::Exact => None,
+                    crate::config::Splitter::Histogram { bins, vote_k } => {
+                        Some(crate::messages::HistPlanConf {
+                            bins: bins as u32,
+                            vote_k: vote_k as u32,
+                            want_stats: i == 0,
+                        })
+                    }
+                };
                 msgs.push((
                     w,
                     TaskMsg::ColumnPlan(ColumnPlan {
@@ -949,6 +991,7 @@ impl Master {
                         depth: desc.depth,
                         params,
                         random_seed: None,
+                        hist,
                         ctx,
                     }),
                 ));
@@ -1037,6 +1080,8 @@ impl Master {
     /// The master's receiving thread.
     pub fn recv_loop(self: Arc<Self>, rx: FabricReceiver<TaskMsg>) {
         while let Ok(msg) = rx.recv() {
+            #[cfg(feature = "obs")]
+            self.count_split_plane_bytes(&msg);
             match msg {
                 TaskMsg::Heartbeat { worker } => self.on_heartbeat(worker),
                 TaskMsg::ColumnResult {
@@ -1046,6 +1091,16 @@ impl Master {
                     node_stats,
                     ..
                 } => self.on_column_result(task, worker, best, node_stats),
+                TaskMsg::HistNominate {
+                    task,
+                    worker,
+                    cands,
+                    node_stats,
+                    ..
+                } => self.on_hist_nominate(task, worker, cands, node_stats),
+                TaskMsg::HistBest {
+                    task, worker, best, ..
+                } => self.on_hist_best(task, worker, best),
                 TaskMsg::SubtreeResult {
                     task,
                     worker,
@@ -1061,6 +1116,30 @@ impl Master {
                 TaskMsg::Goodbye { worker } => self.on_goodbye(worker),
                 _ => unreachable!("worker-bound message delivered to the master"),
             }
+        }
+    }
+
+    /// Folds split-phase result traffic into the per-kind byte counters
+    /// (`split_bytes_sent` for exact full results, `hist_bytes_sent` for
+    /// the nomination/fetch/best election). Frames common to both modes
+    /// (plans, confirms, quotas) are deliberately excluded from both, so
+    /// the two counters compare exactly the traffic the splitter choice
+    /// changes (`docs/HISTOGRAM.md`).
+    #[cfg(feature = "obs")]
+    fn count_split_plane_bytes(&self, msg: &TaskMsg) {
+        let Some(rec) = self.fabric.stats().recorder() else {
+            return;
+        };
+        match msg {
+            TaskMsg::ColumnResult { .. } => rec
+                .registry()
+                .counter("split_bytes_sent")
+                .add(msg.wire_bytes() as u64),
+            TaskMsg::HistNominate { .. } | TaskMsg::HistBest { .. } => rec
+                .registry()
+                .counter("hist_bytes_sent")
+                .add(msg.wire_bytes() as u64),
+            _ => {}
         }
     }
 
@@ -1435,6 +1514,146 @@ impl Master {
         }
     }
 
+    /// One shard of a histogram-mode column task voted: fold its
+    /// `(attr, gain)` nominations. When the last shard reports, either the
+    /// node is a leaf (or nobody found a split) and the task finalizes
+    /// immediately, or the master elects the globally best candidate by
+    /// `(gain desc, attr asc, worker asc)` and fetches the single full
+    /// split it needs from the nominating worker.
+    fn on_hist_nominate(
+        &self,
+        task: TaskId,
+        worker: NodeId,
+        noms: Vec<(usize, f64)>,
+        stats: Option<NodeStats>,
+    ) {
+        enum Outcome {
+            Wait,
+            Leaf(Box<MasterTask>),
+            Fetch(NodeId, usize, TraceCtx),
+        }
+        let outcome = {
+            let mut ttask = self.ttask.lock();
+            let Some(entry) = ttask.get_mut(&task) else {
+                return; // revoked
+            };
+            obs_event!(
+                self.fabric.stats(),
+                0,
+                ts_obs::Event::ColumnTaskCompleted {
+                    task: task.0,
+                    node: worker as u32,
+                    latency_ns: self
+                        .fabric
+                        .clock()
+                        .now_ns()
+                        .saturating_sub(entry.started_ns),
+                }
+            );
+            let TaskKind::Hist {
+                pending,
+                cands,
+                node_stats,
+                fetched,
+                ..
+            } = &mut entry.kind
+            else {
+                unreachable!("hist nomination for a non-hist task");
+            };
+            *pending -= 1;
+            cands.extend(noms.into_iter().map(|(attr, gain)| (gain, attr, worker)));
+            if node_stats.is_none() {
+                *node_stats = stats;
+            }
+            if *pending > 0 {
+                Outcome::Wait
+            } else {
+                // All shards voted. Leaf conditions short-circuit the fetch
+                // round-trip entirely; so does an empty candidate set.
+                let params = {
+                    let reg = self.registry.lock();
+                    reg.active.get(&entry.tree).map(|t| t.spec.params)
+                };
+                let must_leaf = match (&params, &node_stats) {
+                    (Some(p), Some(ns)) => {
+                        entry.depth >= p.dmax || entry.n_rows <= p.tau_leaf || ns.is_pure()
+                    }
+                    _ => true, // revoked tree: finalize handles the drops
+                };
+                let elected = if must_leaf {
+                    None
+                } else {
+                    // Election: total order over (gain desc, attr asc,
+                    // worker asc) — deterministic whatever the nomination
+                    // arrival order, which is what keeps same-seed replays
+                    // byte-identical under stealing and elastic membership.
+                    cands
+                        .iter()
+                        .copied()
+                        .max_by(|&(ga, aa, wa), &(gb, ab, wb)| {
+                            ga.total_cmp(&gb).then(ab.cmp(&aa)).then(wb.cmp(&wa))
+                        })
+                        .map(|(_, attr, w)| (w, attr))
+                };
+                match elected {
+                    None => Outcome::Leaf(Box::new(ttask.remove(&task).expect("present"))),
+                    Some((w, attr)) => {
+                        *fetched = Some(w);
+                        Outcome::Fetch(w, attr, TraceCtx::new(entry.trace, SpanId(entry.span)))
+                    }
+                }
+            }
+        };
+        // One shard of this worker's outstanding work came back (mirrors
+        // the exact path's per-shard queue accounting).
+        self.plans.note_completed(worker);
+        match outcome {
+            Outcome::Wait => {}
+            Outcome::Leaf(entry) => {
+                self.mwork.lock().deduct(&entry.charges);
+                self.finalize_column_task(task, *entry);
+            }
+            Outcome::Fetch(w, attr, ctx) => {
+                let msg = TaskMsg::HistFetch { task, attr, ctx };
+                #[cfg(feature = "obs")]
+                if let Some(rec) = self.fabric.stats().recorder() {
+                    rec.registry()
+                        .counter("hist_bytes_sent")
+                        .add(ts_netsim::WireSized::wire_bytes(&msg) as u64);
+                }
+                let _ = self.fabric.send(0, w, msg);
+            }
+        }
+    }
+
+    /// The elected worker answered the `HistFetch` with its full split:
+    /// the task is complete — finalize exactly like an exact column task.
+    fn on_hist_best(&self, task: TaskId, worker: NodeId, best: Option<ColumnTaskBest>) {
+        let entry = {
+            let mut ttask = self.ttask.lock();
+            let Some(entry) = ttask.get_mut(&task) else {
+                return; // revoked
+            };
+            let TaskKind::Hist {
+                fetched,
+                best: slot,
+                ..
+            } = &mut entry.kind
+            else {
+                unreachable!("hist best for a non-hist task");
+            };
+            assert_eq!(
+                *fetched,
+                Some(worker),
+                "HistBest from a worker that was not fetched"
+            );
+            *slot = best.map(|b| (worker, b));
+            ttask.remove(&task).expect("present")
+        };
+        self.mwork.lock().deduct(&entry.charges);
+        self.finalize_column_task(task, entry);
+    }
+
     /// All shards of a column-task have reported: pick the winner, update
     /// the tree, spawn child tasks (or leaves), and notify the workers.
     fn finalize_column_task(&self, task: TaskId, entry: MasterTask) {
@@ -1445,14 +1664,24 @@ impl Master {
             0,
             ts_obs::Event::SpanClose { span: entry.span }
         );
-        let TaskKind::Column {
-            involved,
-            best,
-            node_stats,
-            ..
-        } = entry.kind
-        else {
-            unreachable!()
+        let (involved, best, node_stats) = match entry.kind {
+            TaskKind::Column {
+                involved,
+                best,
+                node_stats,
+                ..
+            } => (involved, best, node_stats),
+            // A finished hist election carries the fetched full split in
+            // the same shape; the shared winner/leaf logic below is what
+            // keeps both splitters' control flow (ConfirmBest first, then
+            // drops and quotas) identical.
+            TaskKind::Hist {
+                involved,
+                best,
+                node_stats,
+                ..
+            } => (involved, best, node_stats),
+            TaskKind::Subtree => unreachable!(),
         };
         let node_stats = node_stats.expect("at least one shard reported");
         let params = {

@@ -44,6 +44,22 @@ pub struct TreeParams {
     pub extra_trees: bool,
 }
 
+/// Histogram-mode parameters of a column-task shard (`--splitter hist`,
+/// see `docs/HISTOGRAM.md`). Present on a `ColumnPlan` only when the
+/// cluster runs the quantized histogram splitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistPlanConf {
+    /// Bin budget the worker's load-time `BinnedColumn` indices were built
+    /// with (workers assert it matches; cuts are never shipped per task).
+    pub bins: u32,
+    /// How many top `(attr, gain)` candidates to nominate.
+    pub vote_k: u32,
+    /// Exactly one shard per task is designated to carry the node's label
+    /// statistics in its nomination — the others omit them, which is where
+    /// most of the byte saving over the exact path comes from.
+    pub want_stats: bool,
+}
+
 /// A plan for a column-task shard: "evaluate these columns of node `x`".
 #[derive(Debug, Clone)]
 pub struct ColumnPlan {
@@ -63,6 +79,8 @@ pub struct ColumnPlan {
     pub params: TreeParams,
     /// Extra-trees only: the seed for the random split draw.
     pub random_seed: Option<u64>,
+    /// Histogram-mode parameters (`None`: exact sorted-scan scoring).
+    pub hist: Option<HistPlanConf>,
     /// The column-task span this plan shard carries (all shards of a task
     /// share it).
     pub ctx: TraceCtx,
@@ -135,6 +153,46 @@ pub enum TaskMsg {
         /// The built subtree (depths relative to the subtree root).
         subtree: DecisionTreeModel,
         /// The task span, echoed from the plan.
+        ctx: TraceCtx,
+    },
+    /// Worker → master: histogram-mode shard result — the shard's top
+    /// `vote_k` candidate columns as bare `(attr, gain)` summaries instead
+    /// of full splits (PV-Tree-style voting, `docs/HISTOGRAM.md`). Node
+    /// statistics ride along only on the task's designated stats shard.
+    HistNominate {
+        /// The task.
+        task: TaskId,
+        /// Reporting worker.
+        worker: NodeId,
+        /// Top candidates, best first: `(attr, gain)`. Empty when none of
+        /// the shard's columns yields a positive-gain split.
+        cands: Vec<(usize, f64)>,
+        /// The node's label statistics over `Dx`; `Some` only on the
+        /// designated stats shard (`HistPlanConf::want_stats`).
+        node_stats: Option<NodeStats>,
+        /// The task span, echoed from the plan.
+        ctx: TraceCtx,
+    },
+    /// Master → elected worker: the vote elected your attribute `attr` —
+    /// send the full split (test, child stats, seen categories) for it.
+    HistFetch {
+        /// The task.
+        task: TaskId,
+        /// The elected attribute.
+        attr: usize,
+        /// The task span (carried so the worker can echo it on `HistBest`).
+        ctx: TraceCtx,
+    },
+    /// Worker → master: the full split answering a `HistFetch`.
+    HistBest {
+        /// The task.
+        task: TaskId,
+        /// Reporting worker.
+        worker: NodeId,
+        /// The elected attribute's full split (`None` only if the recount
+        /// over the retained rows finds no positive-gain split after all).
+        best: Option<ColumnTaskBest>,
+        /// The task span, echoed from the fetch.
         ctx: TraceCtx,
     },
     /// Master → winner worker: your split is the overall best — partition
@@ -277,6 +335,23 @@ impl WireSized for TaskMsg {
                     })
             }
             TaskMsg::SubtreeResult { subtree, .. } => HDR + tree_bytes(subtree),
+            // Histogram voting: a nomination is `vote_k` (attr, gain) pairs
+            // (8 + 4 bytes each — attrs fit u32 on the wire) plus node
+            // stats on the one designated shard; the fetch is one attr id;
+            // the elected worker's reply prices exactly like the exact
+            // path's best payload.
+            TaskMsg::HistNominate {
+                cands, node_stats, ..
+            } => HDR + 12 * cands.len() + node_stats.as_ref().map_or(1, stats_bytes),
+            TaskMsg::HistFetch { .. } => HDR + 8,
+            TaskMsg::HistBest { best, .. } => {
+                HDR + best.as_ref().map_or(1, |b| {
+                    8 + b.split.test.wire_bytes()
+                        + stats_bytes(&b.split.left)
+                        + stats_bytes(&b.split.right)
+                        + b.seen.as_ref().map_or(0, |s| 4 * s.len())
+                })
+            }
             TaskMsg::ConfirmBest { .. }
             | TaskMsg::DropTask { .. }
             | TaskMsg::ServeQuota { .. }
@@ -308,6 +383,11 @@ impl WireSized for TaskMsg {
             TaskMsg::SubtreePlan(p) => p.ctx,
             TaskMsg::ColumnResult { ctx, .. }
             | TaskMsg::SubtreeResult { ctx, .. }
+            // The histogram election rides the task span end to end:
+            // nominate → fetch → best.
+            | TaskMsg::HistNominate { ctx, .. }
+            | TaskMsg::HistFetch { ctx, .. }
+            | TaskMsg::HistBest { ctx, .. }
             // A donation belongs to the stolen task's trace: the thief's
             // `SpanRecv` is the steal edge in the span DAG.
             | TaskMsg::Donate { ctx, .. }
@@ -511,6 +591,99 @@ mod tests {
             ctx: TraceCtx::NONE,
         };
         assert!(m.wire_bytes() >= 24 + 24);
+    }
+
+    #[test]
+    fn hist_nomination_is_cheaper_than_a_full_column_result() {
+        // The byte economy the histogram path is built on: for a non-binary
+        // task, vote_k bare (attr, gain) summaries cost less than one full
+        // split with two per-class child stats — and the k-1 losing shards
+        // skip even the node stats.
+        let k = 7u32; // Covtype-like multi-class
+        let labels: Vec<u32> = (0..21).map(|i| i % k).collect();
+        let stats = NodeStats::from_view(LabelView::Class(&labels, k));
+        let split = ColumnSplit {
+            test: SplitTest::NumericLe(1.5),
+            gain: 0.25,
+            missing_left: false,
+            left: stats.clone(),
+            right: stats.clone(),
+        };
+        let exact = TaskMsg::ColumnResult {
+            task: TaskId(0),
+            worker: 1,
+            best: Some(ColumnTaskBest {
+                attr: 3,
+                split: split.clone(),
+                seen: None,
+            }),
+            node_stats: stats.clone(),
+            ctx: TraceCtx::NONE,
+        };
+        let losing_nomination = TaskMsg::HistNominate {
+            task: TaskId(0),
+            worker: 1,
+            cands: vec![(3, 0.25), (5, 0.20)],
+            node_stats: None,
+            ctx: TraceCtx::NONE,
+        };
+        let stats_nomination = TaskMsg::HistNominate {
+            task: TaskId(0),
+            worker: 2,
+            cands: vec![(3, 0.25), (5, 0.20)],
+            node_stats: Some(stats.clone()),
+            ctx: TraceCtx::NONE,
+        };
+        assert_eq!(losing_nomination.wire_bytes(), 24 + 24 + 1);
+        assert!(losing_nomination.wire_bytes() * 2 < exact.wire_bytes());
+        assert!(stats_nomination.wire_bytes() < exact.wire_bytes());
+        // The single fetched full answer prices like the exact best payload.
+        let fetch = TaskMsg::HistFetch {
+            task: TaskId(0),
+            attr: 3,
+            ctx: TraceCtx::NONE,
+        };
+        assert_eq!(fetch.wire_bytes(), 24 + 8);
+        let best = TaskMsg::HistBest {
+            task: TaskId(0),
+            worker: 1,
+            best: Some(ColumnTaskBest {
+                attr: 3,
+                split,
+                seen: None,
+            }),
+            ctx: TraceCtx::NONE,
+        };
+        let exact_best_payload = exact.wire_bytes() - stats_bytes(&stats);
+        assert_eq!(best.wire_bytes(), exact_best_payload);
+    }
+
+    #[test]
+    fn hist_frames_carry_the_task_span() {
+        use ts_obs::SpanId;
+        let ctx = TraceCtx::new(9, SpanId(123));
+        let nom = TaskMsg::HistNominate {
+            task: TaskId(1),
+            worker: 2,
+            cands: vec![],
+            node_stats: None,
+            ctx,
+        };
+        let fetch = TaskMsg::HistFetch {
+            task: TaskId(1),
+            attr: 0,
+            ctx,
+        };
+        let best = TaskMsg::HistBest {
+            task: TaskId(1),
+            worker: 2,
+            best: None,
+            ctx,
+        };
+        assert_eq!(nom.trace_ctx(), ctx);
+        assert_eq!(fetch.trace_ctx(), ctx);
+        assert_eq!(best.trace_ctx(), ctx);
+        assert_eq!(best.wire_bytes(), 25, "no-split reply is one flag byte");
     }
 
     #[test]

@@ -23,15 +23,16 @@
 //! (sends sleep under the link model).
 
 use crate::ids::{ParentRef, RowSet, Side, TaskId, TreeId};
-use crate::messages::{ColumnPlan, ColumnTaskBest, DataMsg, SubtreePlan, TaskMsg};
+use crate::messages::{ColumnPlan, ColumnTaskBest, DataMsg, HistPlanConf, SubtreePlan, TaskMsg};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use ts_datatable::{AttrType, Column, Labels, SortedColumn, Task, ValuesBuf};
+use ts_datatable::{AttrType, BinnedColumn, Column, Labels, SortedColumn, Task, ValuesBuf};
 use ts_netsim::{BusyGuard, Fabric, FabricReceiver, NetStats, NodeId};
 use ts_obs::TraceCtx;
 use ts_splits::exact::ColumnSplit;
+use ts_splits::hist::{best_hist_split_at, top_k_candidates, HistCandidate, HistColumnRef};
 use ts_splits::impurity::Impurity;
 use ts_splits::impurity::{LabelView, NodeStats};
 use ts_splits::random::random_split_for_column;
@@ -106,6 +107,9 @@ impl PendingTask {
 struct AwaitingVerdict {
     tree: TreeId,
     ix: RowSet,
+    /// The task's impurity criterion, kept so a histogram `HistFetch`
+    /// recount after the plan is gone uses the same criterion bit for bit.
+    imp: Impurity,
     winning: Option<(usize, SplitTest, bool)>,
 }
 
@@ -174,6 +178,11 @@ pub struct Worker {
     /// Presorted index per held column, built once when the column arrives
     /// (load or replication) and shared by every column-task over it.
     sorted: RwLock<HashMap<usize, Arc<SortedColumn>>>,
+    /// Quantized bin index per held *numeric* column (`--splitter hist`),
+    /// built alongside the sorted index; absent in exact mode.
+    binned: RwLock<HashMap<usize, Arc<BinnedColumn>>>,
+    /// Bin budget for histogram mode; `None` disables bin-index building.
+    hist_bins: Option<usize>,
     state: Mutex<WorkerState>,
     ready_tx: Sender<ReadyTask>,
     fabric_task: Fabric<TaskMsg>,
@@ -223,17 +232,30 @@ impl Worker {
         data_rx: FabricReceiver<DataMsg>,
         heartbeat_interval: Duration,
         steal: bool,
+        hist_bins: Option<usize>,
     ) -> Vec<std::thread::JoinHandle<()>> {
         let (ready_tx, ready_rx) = tschan::unbounded();
         let stats = Arc::clone(fabric_task.stats());
-        // The resident column data is the memory baseline of the machine
-        // ("most memory is used to hold data columns", Table III discussion).
-        let col_bytes: usize = columns.values().map(|c| c.payload_bytes()).sum();
-        stats.mem_alloc(id, col_bytes + labels.payload_bytes());
         let sorted: HashMap<usize, Arc<SortedColumn>> = columns
             .iter()
             .map(|(&attr, col)| (attr, Arc::new(SortedColumn::build(col))))
             .collect();
+        let binned: HashMap<usize, Arc<BinnedColumn>> = match hist_bins {
+            Some(bins) => columns
+                .iter()
+                .filter_map(|(&attr, col)| {
+                    col.as_numeric()
+                        .map(|v| (attr, Arc::new(BinnedColumn::build(v, bins))))
+                })
+                .collect(),
+            None => HashMap::new(),
+        };
+        // The resident column data is the memory baseline of the machine
+        // ("most memory is used to hold data columns", Table III discussion);
+        // histogram mode adds its compact bin ids on top.
+        let col_bytes: usize = columns.values().map(|c| c.payload_bytes()).sum();
+        let bin_bytes: usize = binned.values().map(|b| b.payload_bytes()).sum();
+        stats.mem_alloc(id, col_bytes + labels.payload_bytes() + bin_bytes);
         let worker = Arc::new(Worker {
             id,
             work_ns_per_unit,
@@ -243,6 +265,8 @@ impl Worker {
             attr_types,
             columns: RwLock::new(columns),
             sorted: RwLock::new(sorted),
+            binned: RwLock::new(binned),
+            hist_bins,
             state: Mutex::new(WorkerState {
                 tasks: HashMap::new(),
                 awaiting: HashMap::new(),
@@ -416,15 +440,24 @@ impl Worker {
 
     // ------------------------------------------------------------------
     /// Installs freshly-received columns (initial load or replication):
-    /// accounts their memory and builds the presorted index alongside, so
-    /// column-tasks always find both under the same attr id. Lock order is
-    /// columns-then-sorted everywhere.
+    /// accounts their memory and builds the presorted index — plus, in
+    /// histogram mode, the bin index for numeric columns — alongside, so
+    /// column-tasks always find all of them under the same attr id. Lock
+    /// order is columns-then-sorted-then-binned everywhere.
     fn install_columns(&self, columns: Vec<(usize, Column)>) {
         let mut store = self.columns.write();
         let mut sorted = self.sorted.write();
+        let mut binned = self.binned.write();
         for (attr, col) in columns {
             self.stats.mem_alloc(self.id, col.payload_bytes());
             sorted.insert(attr, Arc::new(SortedColumn::build(&col)));
+            if let Some(bins) = self.hist_bins {
+                if let Some(v) = col.as_numeric() {
+                    let b = BinnedColumn::build(v, bins);
+                    self.stats.mem_alloc(self.id, b.payload_bytes());
+                    binned.insert(attr, Arc::new(b));
+                }
+            }
             store.insert(attr, Arc::new(col));
         }
     }
@@ -437,6 +470,7 @@ impl Worker {
                 TaskMsg::ColumnPlan(plan) => self.on_column_plan(plan),
                 TaskMsg::SubtreePlan(plan) => self.on_subtree_plan(plan),
                 TaskMsg::ConfirmBest { task } => self.on_confirm_best(task),
+                TaskMsg::HistFetch { task, attr, ctx } => self.on_hist_fetch(task, attr, ctx),
                 TaskMsg::DropTask { task } => self.on_drop_task(task),
                 TaskMsg::ServeQuota { task, side, quota } => self.on_serve_quota(task, side, quota),
                 TaskMsg::RevokeTree { tree } => self.on_revoke_tree(tree),
@@ -505,6 +539,8 @@ impl Worker {
                 }
                 // Master-only messages never reach workers.
                 TaskMsg::ColumnResult { .. }
+                | TaskMsg::HistNominate { .. }
+                | TaskMsg::HistBest { .. }
                 | TaskMsg::SubtreeResult { .. }
                 | TaskMsg::ReplicateDone { .. }
                 | TaskMsg::StealRequest { .. }
@@ -1138,7 +1174,16 @@ impl Worker {
     }
 
     fn compute_column_task(&self, plan: ColumnPlan, ix: RowSet) -> Option<TaskMsg> {
+        // Both split engines touch every (row, column) pair of the task once,
+        // so the modeled compute charge is identical — the histogram path's
+        // savings are wire bytes and the extra tree level of candidates the
+        // master never has to rank, not scan work.
         self.model_work(ix.len(self.n_rows) as u64 * plan.cols.len() as u64);
+        if plan.random_seed.is_none() {
+            if let Some(conf) = plan.hist {
+                return self.compute_hist_column_task(plan, ix, conf);
+            }
+        }
         let y = self.labels.read().clone();
         let view = LabelView::of(&y, self.n_classes());
         let node_stats = match &ix {
@@ -1237,6 +1282,7 @@ impl Worker {
                 AwaitingVerdict {
                     tree: plan.tree,
                     ix,
+                    imp: plan.params.impurity,
                     winning: best_full
                         .as_ref()
                         .map(|(a, s, _)| (*a, s.test.clone(), s.missing_left)),
@@ -1251,6 +1297,172 @@ impl Worker {
             node_stats,
             ctx: plan.ctx,
         })
+    }
+
+    /// One column through the histogram engine over a node's rows.
+    fn hist_split_for(
+        &self,
+        store: &HashMap<usize, Arc<Column>>,
+        binned_store: &HashMap<usize, Arc<BinnedColumn>>,
+        attr: usize,
+        ix: &RowSet,
+        view: LabelView<'_>,
+        imp: Impurity,
+    ) -> Option<ColumnSplit> {
+        let col = store.get(&attr).expect("assigned column must be held");
+        let cref = HistColumnRef::of_column(
+            col,
+            binned_store.get(&attr).map(|b| &**b),
+            self.attr_types[attr],
+        );
+        match ix {
+            RowSet::All => best_hist_split_at(cref, NodeRows::All(self.n_rows), view, imp),
+            RowSet::Ids(v) => best_hist_split_at(cref, NodeRows::Subset(v), view, imp),
+        }
+    }
+
+    /// Histogram-mode column task (`--splitter hist`): score every assigned
+    /// column with the quantized kernel, nominate the local top `vote_k`
+    /// candidate gains, and park `Ix` awaiting the master's election. The
+    /// full split of the elected attribute is shipped only on `HistFetch`.
+    fn compute_hist_column_task(
+        &self,
+        plan: ColumnPlan,
+        ix: RowSet,
+        conf: HistPlanConf,
+    ) -> Option<TaskMsg> {
+        let y = self.labels.read().clone();
+        let view = LabelView::of(&y, self.n_classes());
+        // Only the designated stats shard ships node stats: one copy per
+        // task is enough for the master's leaf checks.
+        let node_stats = if conf.want_stats {
+            Some(match &ix {
+                RowSet::All => NodeStats::from_view(view),
+                RowSet::Ids(v) => {
+                    NodeStats::from_view_positions(view, v.iter().map(|&r| r as usize))
+                }
+            })
+        } else {
+            None
+        };
+        let cands = {
+            let store = self.columns.read();
+            let binned_store = self.binned.read();
+            let mut cands = Vec::with_capacity(plan.cols.len());
+            for &attr in &plan.cols {
+                if let Some(split) = self.hist_split_for(
+                    &store,
+                    &binned_store,
+                    attr,
+                    &ix,
+                    view,
+                    plan.params.impurity,
+                ) {
+                    cands.push(HistCandidate {
+                        attr,
+                        gain: split.gain,
+                    });
+                }
+            }
+            cands
+        };
+        let cands = top_k_candidates(cands, conf.vote_k as usize);
+        // Keep Ix until the verdict — before sending, so HistFetch (or
+        // DropTask) can never miss it. The winning condition is unknown
+        // until the master elects an attribute.
+        {
+            let mut st = self.state.lock();
+            if st.revoked.contains(&plan.tree) {
+                self.stats.mem_free(self.id, ix_bytes(&ix));
+                return None;
+            }
+            st.awaiting.insert(
+                plan.task,
+                AwaitingVerdict {
+                    tree: plan.tree,
+                    ix,
+                    imp: plan.params.impurity,
+                    winning: None,
+                },
+            );
+        }
+        Some(TaskMsg::HistNominate {
+            task: plan.task,
+            worker: self.id,
+            cands: cands.into_iter().map(|c| (c.attr, c.gain)).collect(),
+            node_stats,
+            ctx: plan.ctx,
+        })
+    }
+
+    /// The master elected one of our nominated attributes: recompute its
+    /// full split over the retained `Ix` (same kernel, same rows, same
+    /// criterion — the gain is bit-identical to the nominated one), remember
+    /// the winning condition for the `ConfirmBest` that follows on this same
+    /// FIFO edge, and ship the full result.
+    fn on_hist_fetch(&self, task: TaskId, attr: usize, ctx: TraceCtx) {
+        let (ix, imp) = {
+            let st = self.state.lock();
+            match st.awaiting.get(&task) {
+                Some(av) => (av.ix.clone(), av.imp),
+                None => return, // tree revoked while the election was in flight
+            }
+        };
+        let best_full = {
+            let _busy = BusyGuard::start(&self.stats, self.id);
+            // The recount is real extra compute the histogram path pays:
+            // one column's share of the task's modeled work, a second time.
+            self.model_work(ix.len(self.n_rows) as u64);
+            let y = self.labels.read().clone();
+            let view = LabelView::of(&y, self.n_classes());
+            let store = self.columns.read();
+            let binned_store = self.binned.read();
+            let split = self.hist_split_for(&store, &binned_store, attr, &ix, view, imp);
+            split.map(|split| {
+                let seen = match self.attr_types[attr] {
+                    AttrType::Categorical { n_values } => match &ix {
+                        RowSet::All => Some(
+                            self.sorted
+                                .read()
+                                .get(&attr)
+                                .expect("sorted index must be held")
+                                .distinct()
+                                .to_vec(),
+                        ),
+                        RowSet::Ids(v) => {
+                            let codes = store
+                                .get(&attr)
+                                .expect("held")
+                                .as_categorical()
+                                .expect("categorical winner must be a categorical column");
+                            Some(distinct_categories_at(codes, NodeRows::Subset(v), n_values))
+                        }
+                    },
+                    AttrType::Numeric => None,
+                };
+                (split, seen)
+            })
+        };
+        {
+            let mut st = self.state.lock();
+            let Some(av) = st.awaiting.get_mut(&task) else {
+                return; // revoked during the recount: the master forgot us too
+            };
+            av.winning = best_full
+                .as_ref()
+                .map(|(s, _)| (attr, s.test.clone(), s.missing_left));
+        }
+        let best = best_full.map(|(split, seen)| ColumnTaskBest { attr, split, seen });
+        let _ = self.fabric_task.send(
+            self.id,
+            0,
+            TaskMsg::HistBest {
+                task,
+                worker: self.id,
+                best,
+                ctx,
+            },
+        );
     }
 
     fn compute_subtree_task(

@@ -6,6 +6,9 @@
 //! - a column-major [`DataTable`] with numeric and categorical attributes,
 //!   explicit missing values and a separate target column ([`Labels`]),
 //! - schema types ([`Schema`], [`AttrMeta`], [`AttrType`], [`Task`]),
+//! - per-column load-time indices: presorted row orders ([`sorted`]) for the
+//!   exact split engine and quantized bin ids ([`binned`]) for the histogram
+//!   split path,
 //! - a small CSV reader/writer with schema inference ([`csv`]),
 //! - seeded synthetic dataset generators matching the *shapes* of the paper's
 //!   evaluation datasets ([`synth`]), and
@@ -15,6 +18,7 @@
 //! machines **by columns**, so the natural unit of storage and of network
 //! transfer is a column (or a gathered slice of one).
 
+pub mod binned;
 pub mod column;
 pub mod csv;
 pub mod cv;
@@ -24,6 +28,7 @@ pub mod sorted;
 pub mod synth;
 pub mod table;
 
+pub use binned::{BinCuts, BinnedColumn};
 pub use column::{Column, Value, ValuesBuf, MISSING_CAT};
 pub use schema::{AttrMeta, AttrType, Schema, Task};
 pub use sorted::SortedColumn;

@@ -19,67 +19,10 @@ use crate::impurity::{ClassCounts, Impurity, NodeStats, RegAgg};
 use ts_datatable::MISSING_CAT;
 use tsjson::{Deserialize, Serialize};
 
-/// Candidate split thresholds for one numeric attribute.
-///
-/// `cuts` is strictly increasing; values `v <= cuts[b]` with
-/// `v > cuts[b-1]` fall into bin `b`, and values above the last cut fall
-/// into the overflow bin `cuts.len()`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct BinCuts {
-    cuts: Vec<f64>,
-}
-
-impl BinCuts {
-    /// Builds equi-depth cuts from (a sample of) the attribute values,
-    /// keeping at most `max_bins - 1` thresholds (so at most `max_bins`
-    /// bins), mirroring MLlib's `findSplits`.
-    pub fn equi_depth(values: &[f64], max_bins: usize) -> BinCuts {
-        assert!(max_bins >= 2, "need at least two bins");
-        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
-        sorted.sort_unstable_by(f64::total_cmp);
-        if sorted.is_empty() {
-            return BinCuts { cuts: Vec::new() };
-        }
-        let n = sorted.len();
-        let mut cuts = Vec::with_capacity(max_bins - 1);
-        for i in 1..max_bins {
-            let idx = (i * n) / max_bins;
-            if idx == 0 || idx >= n {
-                continue;
-            }
-            let c = sorted[idx - 1];
-            if cuts.last().is_none_or(|&last| c > last) && c < sorted[n - 1] {
-                cuts.push(c);
-            }
-        }
-        BinCuts { cuts }
-    }
-
-    /// The candidate thresholds.
-    pub fn cuts(&self) -> &[f64] {
-        &self.cuts
-    }
-
-    /// Number of bins (`cuts + 1`, or 0 when there are no values).
-    pub fn n_bins(&self) -> usize {
-        if self.cuts.is_empty() {
-            1
-        } else {
-            self.cuts.len() + 1
-        }
-    }
-
-    /// The bin index of a value: the first bin whose cut is `>= v`.
-    pub fn bin_of(&self, v: f64) -> usize {
-        debug_assert!(!v.is_nan());
-        self.cuts.partition_point(|&c| c < v)
-    }
-
-    /// Approximate wire size (what PLANET broadcasts per attribute).
-    pub fn wire_bytes(&self) -> usize {
-        8 * self.cuts.len() + 8
-    }
-}
+// `BinCuts` moved to `ts-datatable` when binning became a load-time column
+// index (`BinnedColumn`); re-exported here so kernel-side callers keep their
+// import path.
+pub use ts_datatable::BinCuts;
 
 /// Per-bin label aggregates for one numeric attribute over one machine's
 /// share of a node's rows. Mergeable: the master folds every machine's
@@ -463,40 +406,6 @@ mod tests {
     use crate::exact::{best_cat_split_classification, best_cat_split_regression};
 
     #[test]
-    fn equi_depth_cuts_are_increasing_and_bounded() {
-        let values: Vec<f64> = (0..1000).map(|i| (i % 100) as f64).collect();
-        let cuts = BinCuts::equi_depth(&values, 32);
-        assert!(cuts.cuts().len() <= 31);
-        assert!(cuts.cuts().windows(2).all(|w| w[0] < w[1]));
-    }
-
-    #[test]
-    fn equi_depth_few_distinct_values() {
-        let values = [1.0, 1.0, 2.0, 2.0, 2.0];
-        let cuts = BinCuts::equi_depth(&values, 32);
-        assert_eq!(cuts.cuts(), &[1.0]);
-        assert_eq!(cuts.n_bins(), 2);
-    }
-
-    #[test]
-    fn equi_depth_constant_column_has_no_cuts() {
-        let cuts = BinCuts::equi_depth(&[7.0; 50], 32);
-        assert!(cuts.cuts().is_empty());
-    }
-
-    #[test]
-    fn bin_of_respects_boundaries() {
-        let cuts = BinCuts {
-            cuts: vec![1.0, 5.0],
-        };
-        assert_eq!(cuts.bin_of(0.5), 0);
-        assert_eq!(cuts.bin_of(1.0), 0);
-        assert_eq!(cuts.bin_of(1.5), 1);
-        assert_eq!(cuts.bin_of(5.0), 1);
-        assert_eq!(cuts.bin_of(9.0), 2);
-    }
-
-    #[test]
     fn histogram_merge_equals_single_pass() {
         let values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
         let ys = [0u32, 0, 0, 1, 1, 1];
@@ -611,7 +520,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "class row added")]
     fn histogram_kind_mismatch_panics() {
-        let cuts = BinCuts { cuts: vec![1.0] };
+        let cuts = BinCuts::from_cuts(vec![1.0]);
         NumericHistogram::new_reg(2).add_class(&cuts, 0.5, 1);
     }
 }

@@ -16,6 +16,9 @@
 //!   row partitioning (how a delegate worker splits `Ix` into `Ixl`/`Ixr`).
 //! - [`histogram`]: equi-depth binning and mergeable histograms — the
 //!   PLANET/MLlib approximation (`maxBins`).
+//! - [`hist`]: the distributed histogram split engine — allocation-free
+//!   per-node per-bin kernels over load-time `BinnedColumn` indices, used
+//!   by the engine's `--splitter hist` mode (docs/HISTOGRAM.md).
 //! - [`sketch`]: a mergeable weighted quantile sketch — the XGBoost
 //!   approximation.
 //! - [`random`]: the completely-random splits used by extra-trees
@@ -31,6 +34,7 @@
 
 pub mod condition;
 pub mod exact;
+pub mod hist;
 pub mod histogram;
 pub mod impurity;
 pub mod random;
@@ -39,5 +43,6 @@ pub mod sorted;
 
 pub use condition::{partition_positions, partition_rows, partition_rows_buf, SplitTest};
 pub use exact::{best_split_for_column, ColumnSplit};
+pub use hist::{best_hist_split_at, top_k_candidates, HistCandidate, HistColumnRef};
 pub use impurity::{Impurity, LabelView, NodeStats};
 pub use sorted::{best_split_at, kernel_counters, ColumnRef, KernelCounters, NodeRows, RowBitmap};

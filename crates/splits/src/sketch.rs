@@ -215,6 +215,31 @@ mod tests {
     }
 
     #[test]
+    fn merge_empty_sketches_is_identity() {
+        // Empty ⊕ empty stays empty.
+        let mut e = QuantileSketch::new(8);
+        e.merge(&QuantileSketch::new(8));
+        assert_eq!(e.total_weight(), 0.0);
+        assert!(e.cut_points(4).is_empty());
+
+        // Merging an empty sketch into a populated one changes nothing.
+        let mut s = QuantileSketch::new(16);
+        for i in 0..100 {
+            s.push(i as f64, 1.0);
+        }
+        let before_cuts = s.clone().cut_points(4);
+        s.merge(&QuantileSketch::new(8));
+        assert_eq!(s.total_weight(), 100.0);
+        assert_eq!(s.cut_points(4), before_cuts);
+
+        // Merging a populated sketch into an empty one adopts its contents.
+        let mut e2 = QuantileSketch::new(16);
+        e2.merge(&s);
+        assert_eq!(e2.total_weight(), 100.0);
+        assert_eq!(e2.cut_points(4), s.cut_points(4));
+    }
+
+    #[test]
     fn weights_shift_quantiles() {
         let mut s = QuantileSketch::new(64);
         // Value 0 has weight 90, value 100 weight 10: the median cut is 0.

@@ -463,7 +463,7 @@ pub fn best_numeric_split_at_path(
 /// `child_stats_routed_iter` over `node.iter()`, but dispatched per node
 /// shape so the whole-column case runs on a plain range instead of a
 /// chained iterator (measurably cheaper on 100k-row columns).
-fn child_stats_at(
+pub(crate) fn child_stats_at(
     node: NodeRows<'_>,
     labels: LabelView<'_>,
     missing_left: bool,

@@ -1,0 +1,171 @@
+//! Differential oracle for the histogram split engine (`ts_splits::hist`):
+//! the exact kernel is ground truth.
+//!
+//! Two regimes, two contracts:
+//!
+//! - **Lossless** (at most `bins` distinct present values): binning keeps
+//!   every value its own bin (`BinCuts::equi_depth` fast path), so the
+//!   histogram kernel must agree with the exact kernel *bitwise* on gain,
+//!   missing routing and child stats — classification impurities are pure
+//!   functions of integer counts, so no summation-order slack is needed.
+//!   Only the threshold representation differs (the bin's upper cut versus
+//!   the exact kernel's midpoint), and both must route the node's rows
+//!   identically.
+//! - **Lossy** (more distinct values than bins): the histogram gain is a
+//!   restriction of the exact candidate set, so it can never exceed the
+//!   exact gain — and on planted threshold signal it must capture most of
+//!   it, since equi-depth cuts land within one rank-quantile of any
+//!   boundary.
+
+use ts_datatable::{BinnedColumn, Column};
+use ts_splits::condition::partition_rows;
+use ts_splits::exact::best_numeric_split;
+use ts_splits::hist::best_hist_split_numeric_at;
+use ts_splits::impurity::{Impurity, LabelView, NodeStats};
+use ts_splits::sorted::NodeRows;
+use ts_splits::{top_k_candidates, HistCandidate};
+use tscheck::prelude::*;
+use tsrand::rngs::StdRng;
+use tsrand::{Rng, SeedableRng};
+
+/// Columns with at most 12 distinct present values — far below the 64-bin
+/// budget, so binning is lossless by construction.
+fn few_distinct_data() -> impl Strategy<Value = (Vec<f64>, Vec<u32>)> {
+    (2usize..150).prop_flat_map(|n| {
+        (
+            tscheck::collection::vec(
+                prop_oneof![5 => (0u32..12).prop_map(|v| v as f64 * 1.5 - 7.0), 1 => Just(f64::NAN)],
+                n,
+            ),
+            tscheck::collection::vec(0u32..3, n),
+        )
+    })
+}
+
+proptest! {
+    /// Lossless regime: bitwise agreement with the exact kernel on gain,
+    /// missing side and child statistics, full node and subset alike.
+    #[test]
+    fn lossless_matches_exact_kernel_bitwise((values, ys) in few_distinct_data()) {
+        let view = LabelView::Class(&ys, 3);
+        let exact = best_numeric_split(&values, view, Impurity::Gini);
+        let binned = BinnedColumn::build(&values, 64);
+        let hist = best_hist_split_numeric_at(
+            &binned,
+            NodeRows::All(values.len()),
+            view,
+            Impurity::Gini,
+        );
+        match (exact, hist) {
+            (None, None) => {}
+            (Some(e), Some(h)) => {
+                prop_assert_eq!(h.gain.to_bits(), e.gain.to_bits(),
+                    "gain diverged: hist {} vs exact {}", h.gain, e.gain);
+                prop_assert_eq!(h.missing_left, e.missing_left);
+                prop_assert_eq!(&h.left, &e.left);
+                prop_assert_eq!(&h.right, &e.right);
+            }
+            (e, h) => prop_assert!(false, "split existence disagrees: exact {:?} vs hist {:?}", e, h),
+        }
+    }
+
+    /// Lossless regime over a node subset: gather-then-exact is the oracle
+    /// for the histogram kernel's masked accumulation.
+    #[test]
+    fn lossless_subset_matches_gathered_exact((values, ys) in few_distinct_data(), stride in 2usize..5) {
+        let rows: Vec<u32> = (0..values.len() as u32).filter(|r| *r % stride as u32 != 0).collect();
+        if rows.len() < 2 {
+            return Ok(());
+        }
+        let gathered_v: Vec<f64> = rows.iter().map(|&r| values[r as usize]).collect();
+        let gathered_y: Vec<u32> = rows.iter().map(|&r| ys[r as usize]).collect();
+        let exact = best_numeric_split(&gathered_v, LabelView::Class(&gathered_y, 3), Impurity::Gini);
+        let binned = BinnedColumn::build(&values, 64);
+        let hist = best_hist_split_numeric_at(
+            &binned,
+            NodeRows::Subset(&rows),
+            LabelView::Class(&ys, 3),
+            Impurity::Gini,
+        );
+        match (exact, hist) {
+            (None, None) => {}
+            (Some(e), Some(h)) => {
+                prop_assert_eq!(h.gain.to_bits(), e.gain.to_bits());
+                prop_assert_eq!(h.missing_left, e.missing_left);
+                prop_assert_eq!(&h.left, &e.left);
+                prop_assert_eq!(&h.right, &e.right);
+            }
+            (e, h) => prop_assert!(false, "split existence disagrees: exact {:?} vs hist {:?}", e, h),
+        }
+    }
+
+    /// The returned condition routes the node exactly as the returned child
+    /// stats claim — the invariant `ConfirmBest` partitioning relies on.
+    #[test]
+    fn hist_split_children_match_its_own_routing((values, ys) in few_distinct_data()) {
+        let binned = BinnedColumn::build(&values, 8); // deliberately lossy too
+        let view = LabelView::Class(&ys, 3);
+        if let Some(s) = best_hist_split_numeric_at(
+            &binned,
+            NodeRows::All(values.len()),
+            view,
+            Impurity::Gini,
+        ) {
+            let col = Column::Numeric(values.clone());
+            let ix: Vec<u32> = (0..values.len() as u32).collect();
+            let (l, r) = partition_rows(&col, &ix, &s.test, s.missing_left);
+            let ls = NodeStats::from_view_positions(view, l.iter().map(|&p| p as usize));
+            let rs = NodeStats::from_view_positions(view, r.iter().map(|&p| p as usize));
+            prop_assert_eq!(&ls, &s.left);
+            prop_assert_eq!(&rs, &s.right);
+        }
+    }
+
+    /// Lossy regime, seeded sweep: the histogram gain never exceeds the
+    /// exact gain, and on a planted threshold concept it captures at least
+    /// 90% of it — equi-depth cuts land within one rank-quantile of any
+    /// boundary, so a 64-bin budget cannot lose more of a clean step signal.
+    #[test]
+    fn lossy_divergence_is_bounded_on_planted_signal(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 2_000;
+        let boundary = rng.gen_range(0.15..0.85);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let ys: Vec<u32> = values
+            .iter()
+            .map(|&v| {
+                let label = u32::from(v > boundary);
+                if rng.gen::<f64>() < 0.02 { 1 - label } else { label } // 2% noise
+            })
+            .collect();
+        let view = LabelView::Class(&ys, 2);
+        let exact = best_numeric_split(&values, view, Impurity::Gini)
+            .expect("planted signal must split");
+        let binned = BinnedColumn::build(&values, 64);
+        let hist = best_hist_split_numeric_at(&binned, NodeRows::All(n), view, Impurity::Gini)
+            .expect("planted signal must split under binning");
+        prop_assert!(hist.gain <= exact.gain + 1e-9,
+            "histogram gain {} beat the exact kernel's {}", hist.gain, exact.gain);
+        prop_assert!(hist.gain >= 0.9 * exact.gain,
+            "histogram lost too much of the planted signal: {} vs exact {}",
+            hist.gain, exact.gain);
+    }
+
+    /// Nomination order is input-order independent: any rotation of the
+    /// candidate list elects the same top-k.
+    #[test]
+    fn top_k_is_input_order_independent(
+        gains in tscheck::collection::vec(0.0f64..10.0, 1..20),
+        rot in 0usize..20,
+        k in 1usize..6,
+    ) {
+        let cands: Vec<HistCandidate> = gains
+            .iter()
+            .enumerate()
+            .map(|(attr, &gain)| HistCandidate { attr, gain })
+            .collect();
+        let mut rotated = cands.clone();
+        rotated.rotate_left(rot % cands.len());
+        prop_assert_eq!(top_k_candidates(cands, k), top_k_candidates(rotated, k));
+    }
+}
