@@ -1,0 +1,177 @@
+//! Serving-tier bench: the ts-front request tier driven by both arrival
+//! plans, plus a mid-run hot-swap case verified torn-response-free.
+//!
+//! Everything runs on the deterministic virtual clock, so the latency
+//! quantiles are exact properties of (plan, seed, config) — reruns
+//! reproduce them bit-for-bit. Results land in `BENCH_serve.json` (see
+//! `ts_bench::BenchReport`); CI's bench-smoke job uploads it next to
+//! `BENCH_splits.json`. Headline metrics per plan: p50/p99/p999
+//! admission→completion latency (µs), sustained QPS, and shed fraction;
+//! the swap case additionally records `swap/torn_responses`, which this
+//! bench asserts is zero (every response re-scores identically under the
+//! model of its tagged epoch).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ts_bench::{env_scale, print_header, BenchReport};
+use ts_datatable::synth::{generate, SynthSpec};
+use ts_datatable::{DataTable, Task};
+use ts_front::{
+    ArrivalPlan, FrontConfig, FrontReport, FrontServer, ModelRegistry, Score, ServiceModel,
+};
+use ts_serve::CompiledModel;
+use ts_tree::{train_tree, DecisionTreeModel, ForestModel, TrainParams};
+
+const SEED: u64 = 0x5E4F_E007;
+
+fn table(rows: usize) -> DataTable {
+    generate(&SynthSpec {
+        rows,
+        numeric: 6,
+        categorical: 2,
+        cat_cardinality: 5,
+        task: Task::Classification { n_classes: 3 },
+        missing_rate: 0.03,
+        noise: 0.1,
+        concept_depth: 5,
+        seed: SEED,
+        ..Default::default()
+    })
+}
+
+fn forest(t: &DataTable, seed: u64) -> CompiledModel {
+    let attrs: Vec<usize> = (0..t.n_attrs()).collect();
+    let params = TrainParams {
+        dmax: 6,
+        ..TrainParams::for_task(t.schema().task)
+    };
+    let trees: Vec<DecisionTreeModel> = (0..5)
+        .map(|i| train_tree(t, &attrs, &params, seed.wrapping_add(i * 7919)))
+        .collect();
+    CompiledModel::from_forest(&ForestModel::new(trees, t.schema().task))
+}
+
+fn config() -> FrontConfig {
+    FrontConfig {
+        latency_budget: Duration::from_micros(1_500),
+        max_batch: 32,
+        queue_cap: 128,
+        adaptive_batch: true,
+        service: ServiceModel {
+            batch_overhead_ns: 20_000,
+            per_row_ns: 5_000,
+        },
+        ..FrontConfig::default()
+    }
+}
+
+fn run_plan(t: &Arc<DataTable>, plan: &ArrivalPlan, n: usize, swaps: usize) -> FrontReport {
+    let registry = Arc::new(ModelRegistry::new(forest(t, SEED)));
+    let mut server = FrontServer::new(config(), registry, Arc::clone(t));
+    for i in 0..swaps {
+        let t = Arc::clone(t);
+        let s = SEED ^ (0xA5 + i as u64);
+        // Real background trainer; virtual time is unaffected by its wall
+        // speed, so the quantiles below stay exact.
+        let trainer = std::thread::spawn(move || forest(&t, s));
+        server.schedule_swap(Duration::from_micros(3_000 + 4_000 * i as u64), move || {
+            trainer.join().expect("trainer panicked")
+        });
+    }
+    let arrivals = plan.generate(n, t.n_rows() as u32, 16, SEED);
+    server.run(&arrivals)
+}
+
+fn record(out: &mut BenchReport, base: &str, n: usize, report: &FrontReport) {
+    let q = report.latency_quantiles().expect("responses exist");
+    let virtual_secs = report
+        .responses
+        .iter()
+        .map(|r| r.done_ns)
+        .max()
+        .unwrap_or(0) as f64
+        / 1e9;
+    let shed_frac = report.sheds.len() as f64 / n as f64;
+    let qps = report.sustained_qps();
+    println!(
+        "{base:<28} p50 {:>8.1} us  p99 {:>8.1} us  p999 {:>8.1} us  {qps:>9.0} qps  \
+         {:>5.1}% shed",
+        q.p50_ns as f64 / 1e3,
+        q.p99_ns as f64 / 1e3,
+        q.p999_ns as f64 / 1e3,
+        shed_frac * 100.0,
+    );
+    for (name, metric) in [
+        ("p50_us", q.p50_ns as f64 / 1e3),
+        ("p99_us", q.p99_ns as f64 / 1e3),
+        ("p999_us", q.p999_ns as f64 / 1e3),
+        ("sustained_qps", qps),
+        ("shed_frac", shed_frac),
+    ] {
+        out.push(&format!("{base}/{name}"), virtual_secs, n, 5, Some(metric));
+    }
+}
+
+fn main() {
+    print_header(
+        "Serving front: micro-batched request tier",
+        "virtual-clock arrival streams; quantiles are exact and replayable",
+    );
+    let mut out = BenchReport::new("serve");
+    let n = ((20_000.0 * env_scale()) as usize).max(2_000);
+    let t = Arc::new(table(997));
+
+    // Two arrival plans at the same mean rate: Poisson vs bursty ON/OFF.
+    let poisson = ArrivalPlan::Poisson { qps: 150_000.0 };
+    let bursty = ArrivalPlan::Bursty {
+        on_qps: 450_000.0,
+        off_qps: 15_000.0,
+        on: Duration::from_millis(1),
+        off: Duration::from_millis(2),
+    };
+    let poisson_report = run_plan(&t, &poisson, n, 0);
+    record(&mut out, "poisson", n, &poisson_report);
+    let bursty_report = run_plan(&t, &bursty, n, 0);
+    record(&mut out, "bursty", n, &bursty_report);
+
+    // Mid-run hot swaps under Poisson load: every response must re-score
+    // identically under the model of the epoch it was tagged with — a torn
+    // response (mixed-epoch batch, half-applied swap) shows up here.
+    let swap_report = run_plan(&t, &poisson, n, 2);
+    record(&mut out, "poisson_swap2", n, &swap_report);
+    assert_eq!(swap_report.swaps.len(), 2, "both swaps must fire mid-run");
+    let registry = {
+        // Rebuild the same epoch sequence the run published (same seeds).
+        let r = ModelRegistry::new(forest(&t, SEED));
+        r.publish(forest(&t, SEED ^ 0xA5));
+        r.publish(forest(&t, SEED ^ 0xA6));
+        r
+    };
+    let torn = swap_report
+        .responses
+        .iter()
+        .filter(|r| {
+            let solo = t.select_rows(&[r.row]);
+            let label = registry
+                .model(r.epoch)
+                .expect("epoch exists")
+                .predict_labels(&solo)[0];
+            r.score != Score::Label(label)
+        })
+        .count();
+    let epochs: std::collections::BTreeSet<u32> =
+        swap_report.responses.iter().map(|r| r.epoch).collect();
+    println!(
+        "hot swap: {} responses across epochs {:?}, {} torn",
+        swap_report.responses.len(),
+        epochs,
+        torn
+    );
+    out.push("swap/torn_responses", 0.0, n, 5, Some(torn as f64));
+    out.push("swap/epochs_observed", 0.0, n, 5, Some(epochs.len() as f64));
+    assert_eq!(torn, 0, "hot swap must never tear a response");
+    assert!(epochs.len() >= 2, "the stream must cross a swap");
+
+    out.write();
+}

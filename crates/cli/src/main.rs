@@ -36,6 +36,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "train" => cmd_train(&opts),
         "predict" => cmd_predict(&opts),
+        "serve" => cmd_serve(&opts),
         "importance" => cmd_importance(&opts),
         "show" => cmd_show(&opts),
         other => Err(format!("unknown command {other:?}")),
@@ -66,6 +67,13 @@ usage:
   treeserver predict    --model FILE --csv FILE --target COL --task class|reg
                         [--out FILE] [--threads N] [--block-rows N]
                         [--reference] [--serve-metrics FILE]
+  treeserver serve      --model FILE --csv FILE --target COL --task class|reg
+                        [--requests N] [--qps Q] [--arrival poisson|bursty]
+                        [--burst-on-qps Q] [--burst-off-qps Q]
+                        [--burst-on-us US] [--burst-off-us US]
+                        [--latency-budget-us US] [--max-batch N]
+                        [--queue-cap N] [--fixed-batch] [--conns N]
+                        [--swap-at US[,US...]] [--seed S] [--report FILE]
   treeserver importance --model FILE [--top K]
   treeserver show       --model FILE [--tree N]
 
@@ -137,10 +145,40 @@ serving (predict):
   --block-rows N        rows per evaluation block (default 4096)
   --reference           score with the per-row reference traversal instead
                         of the compiled engine (bit-identical, much slower)
-  --serve-metrics FILE  write serving counters/latency histograms as JSON";
+  --serve-metrics FILE  write serving counters/latency histograms as JSON
+
+request tier (serve, see docs/SERVING.md):
+  --requests N          simulated single-row requests to stream (default 5000)
+  --qps Q               mean arrival rate (default 100000)
+  --arrival KIND        poisson (default) or bursty ON/OFF arrivals; the
+                        stream runs on the deterministic virtual clock, so
+                        the same seed replays byte-identically
+  --burst-on-qps Q      bursty: rate inside a burst (default 3x --qps)
+  --burst-off-qps Q     bursty: rate between bursts (default --qps / 10)
+  --burst-on-us US      bursty: burst duration (default 1000)
+  --burst-off-us US     bursty: gap duration (default 2000)
+  --latency-budget-us US  per-request completion budget enforced by
+                        admission control (default 2000)
+  --max-batch N         micro-batch row cap (default 64)
+  --queue-cap N         admission queue bound; beyond it requests shed with
+                        a structured reject (default 256)
+  --fixed-batch         disable adaptive batch sizing (p95-feedback)
+  --conns N             simulated client connections (default 8)
+  --swap-at US[,US...]  hot-swap the model at these virtual times: each swap
+                        retrains a replacement on a background thread and
+                        publishes it at a batch boundary, zero downtime
+  --report FILE         write the serving report (quantiles, QPS, sheds,
+                        swaps) as JSON";
 
 /// Options that take no value.
-const FLAGS: &[&str] = &["quiet", "verbose", "reference", "steal", "adaptive-tau"];
+const FLAGS: &[&str] = &[
+    "quiet",
+    "verbose",
+    "reference",
+    "steal",
+    "adaptive-tau",
+    "fixed-batch",
+];
 
 /// Parsed `--key value` options (plus valueless flags).
 struct Opts(HashMap<String, String>);
@@ -579,6 +617,193 @@ fn cmd_predict(opts: &Opts) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// The online request tier: stream a simulated arrival plan through the
+/// micro-batching front (virtual clock, so runs are deterministic and
+/// seed-replayable) and report latency quantiles, sustained QPS, sheds
+/// and hot swaps. See docs/SERVING.md, "The request tier".
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    use std::sync::Arc;
+    use std::time::Duration;
+    use ts_front::{ArrivalPlan, FrontConfig, FrontServer, ModelRegistry};
+
+    let model_path = opts.required("model")?;
+    let model = ModelFile::from_json(
+        &std::fs::read_to_string(model_path).map_err(|e| format!("reading {model_path}: {e}"))?,
+    )
+    .map_err(|e| format!("parsing {model_path}: {e}"))?;
+    let table = Arc::new(load_table(opts)?);
+    if table.n_rows() == 0 {
+        return Err("the request table has no rows".into());
+    }
+
+    let requests = opts.num("requests", 5_000usize)?;
+    if requests == 0 {
+        return Err("--requests must be at least 1".into());
+    }
+    let conns = opts.num("conns", 8u32)?;
+    if conns == 0 {
+        return Err("--conns must be at least 1".into());
+    }
+    let seed = opts.num("seed", 0u64)?;
+    let qps = opts.num("qps", 100_000.0f64)?;
+    if !(qps > 0.0 && qps.is_finite()) {
+        return Err(format!("--qps must be positive and finite, got {qps}"));
+    }
+    let plan = match opts.get("arrival").unwrap_or("poisson") {
+        "poisson" => {
+            for k in [
+                "burst-on-qps",
+                "burst-off-qps",
+                "burst-on-us",
+                "burst-off-us",
+            ] {
+                if opts.get(k).is_some() {
+                    return Err(format!("--{k} needs --arrival bursty"));
+                }
+            }
+            ArrivalPlan::Poisson { qps }
+        }
+        "bursty" => {
+            let on_qps = opts.num("burst-on-qps", qps * 3.0)?;
+            let off_qps = opts.num("burst-off-qps", qps / 10.0)?;
+            for (name, q) in [("burst-on-qps", on_qps), ("burst-off-qps", off_qps)] {
+                if !(q > 0.0 && q.is_finite()) {
+                    return Err(format!("--{name} must be positive and finite, got {q}"));
+                }
+            }
+            let on_us = opts.num("burst-on-us", 1_000u64)?;
+            let off_us = opts.num("burst-off-us", 2_000u64)?;
+            if on_us == 0 || off_us == 0 {
+                return Err("--burst-on-us/--burst-off-us must be at least 1".into());
+            }
+            ArrivalPlan::Bursty {
+                on_qps,
+                off_qps,
+                on: Duration::from_micros(on_us),
+                off: Duration::from_micros(off_us),
+            }
+        }
+        other => {
+            return Err(format!(
+                "--arrival must be poisson or bursty, got {other:?}"
+            ))
+        }
+    };
+    let cfg = FrontConfig {
+        latency_budget: Duration::from_micros(opts.num("latency-budget-us", 2_000u64)?),
+        max_batch: opts.num("max-batch", 64usize)?,
+        queue_cap: opts.num("queue-cap", 256usize)?,
+        adaptive_batch: !opts.flag("fixed-batch"),
+        ..FrontConfig::default()
+    };
+
+    let registry = Arc::new(ModelRegistry::new(model.compile()));
+    let mut server = FrontServer::new(cfg, Arc::clone(&registry), Arc::clone(&table));
+    let mut n_swaps = 0usize;
+    if let Some(list) = opts.get("swap-at") {
+        for (i, tok) in list.split(',').enumerate() {
+            let at_us: u64 = tok
+                .trim()
+                .parse()
+                .map_err(|_| format!("--swap-at time {tok:?} is not a valid number"))?;
+            // The replacement trains off the virtual clock on a real
+            // thread; the swap closure joins it at the scheduled virtual
+            // time, so trainer wall time never skews response latencies.
+            let t = Arc::clone(&table);
+            let s = seed ^ (0xF507_A881 + i as u64);
+            let trainer = std::thread::spawn(move || {
+                let attrs: Vec<usize> = (0..t.n_attrs()).collect();
+                let params = ts_tree::TrainParams::for_task(t.schema().task);
+                let tree = ts_tree::train_tree(&t, &attrs, &params, s);
+                ts_serve::CompiledModel::from_tree(&tree)
+            });
+            server.schedule_swap(Duration::from_micros(at_us), move || {
+                trainer.join().expect("replacement trainer panicked")
+            });
+            n_swaps += 1;
+        }
+    }
+
+    let arrivals = plan.generate(requests, table.n_rows() as u32, conns, seed);
+    eprintln!(
+        "streaming {requests} requests ({} arrivals, {conns} conns, seed {seed}) \
+         against {} rows x {} attrs",
+        plan.name(),
+        table.n_rows(),
+        table.n_attrs()
+    );
+    let report = server.run(&arrivals);
+
+    if report.swaps.len() != n_swaps {
+        return Err(format!(
+            "only {} of {n_swaps} scheduled swaps fired — the stream ended at \
+             {:.3} ms; move --swap-at earlier",
+            report.swaps.len(),
+            arrivals.last().map_or(0, |a| a.at_ns) as f64 / 1e6,
+        ));
+    }
+    eprintln!(
+        "served {} / {} ({} shed: {} queue-full, {} backpressure)",
+        report.responses.len(),
+        requests,
+        report.sheds.len(),
+        report
+            .sheds
+            .iter()
+            .filter(|s| s.reason == ts_front::RejectReason::QueueFull)
+            .count(),
+        report
+            .sheds
+            .iter()
+            .filter(|s| s.reason == ts_front::RejectReason::Backpressure)
+            .count(),
+    );
+    eprintln!(
+        "{} batches ({} deadline flushes, {} full flushes), {} hot swaps",
+        report.batches,
+        report.deadline_flushes,
+        report.full_flushes,
+        report.swaps.len()
+    );
+    let q = report.latency_quantiles().unwrap_or_default();
+    println!(
+        "latency p50 {:.1} us | p99 {:.1} us | p999 {:.1} us | sustained {:.0} qps",
+        q.p50_ns as f64 / 1e3,
+        q.p99_ns as f64 / 1e3,
+        q.p999_ns as f64 / 1e3,
+        report.sustained_qps()
+    );
+    if let Some(path) = opts.get("report") {
+        let json = serve_report_json(&plan, seed, &report);
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("serving report written to {path}");
+    }
+    Ok(())
+}
+
+/// Hand-rolled JSON for the serving report — small and flat enough that
+/// the tsjson derive would be heavier than the literal.
+fn serve_report_json(plan: &ts_front::ArrivalPlan, seed: u64, r: &ts_front::FrontReport) -> String {
+    let q = r.latency_quantiles().unwrap_or_default();
+    format!(
+        "{{\n  \"arrival\": \"{}\",\n  \"seed\": {seed},\n  \"responses\": {},\n  \
+         \"sheds\": {},\n  \"batches\": {},\n  \"deadline_flushes\": {},\n  \
+         \"full_flushes\": {},\n  \"swaps\": {},\n  \"p50_us\": {:.3},\n  \
+         \"p99_us\": {:.3},\n  \"p999_us\": {:.3},\n  \"sustained_qps\": {:.1}\n}}\n",
+        plan.name(),
+        r.responses.len(),
+        r.sheds.len(),
+        r.batches,
+        r.deadline_flushes,
+        r.full_flushes,
+        r.swaps.len(),
+        q.p50_ns as f64 / 1e3,
+        q.p99_ns as f64 / 1e3,
+        q.p999_ns as f64 / 1e3,
+        r.sustained_qps(),
+    )
 }
 
 fn cmd_show(opts: &Opts) -> Result<(), String> {

@@ -1,0 +1,176 @@
+//! End-to-end serve smoke test: drive the real `treeserver` binary through
+//! train → serve (with mid-stream hot swaps) and check the report JSON,
+//! the replay-determinism guarantee, and the knob validation. CI's
+//! serve-matrix job runs the ts-front suites; this covers the binary glue.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A small deterministic two-class CSV (no RNG needed: class follows f0).
+fn write_csv(dir: &std::path::Path) -> PathBuf {
+    let mut csv = String::from("f0,f1,f2,label\n");
+    for i in 0..400u32 {
+        let f0 = (i % 97) as f64 / 97.0;
+        let f1 = ((i * 7) % 89) as f64 / 89.0;
+        let f2 = ((i * 13) % 83) as f64 / 83.0;
+        let label = if f0 > 0.5 { "pos" } else { "neg" };
+        csv.push_str(&format!("{f0:.4},{f1:.4},{f2:.4},{label}\n"));
+    }
+    let path = dir.join("serve.csv");
+    std::fs::write(&path, csv).expect("write csv");
+    path
+}
+
+fn serve_args(model: &str, csv: &str, report: &str) -> Vec<String> {
+    [
+        "serve",
+        "--model",
+        model,
+        "--csv",
+        csv,
+        "--target",
+        "label",
+        "--task",
+        "class",
+        "--requests",
+        "2500",
+        "--qps",
+        "120000",
+        "--swap-at",
+        "4000,12000",
+        "--seed",
+        "11",
+        "--report",
+        report,
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+#[test]
+fn serve_streams_swaps_and_replays_identically() {
+    let dir = std::env::temp_dir().join(format!("ts-serve-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mk temp dir");
+    let csv = write_csv(&dir);
+    let model = dir.join("model.json");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_treeserver"))
+        .args([
+            "train",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--target",
+            "label",
+            "--task",
+            "class",
+            "--model",
+            "rf",
+            "--trees",
+            "4",
+            "--workers",
+            "2",
+            "--out",
+            model.to_str().unwrap(),
+            "--quiet",
+        ])
+        .output()
+        .expect("run treeserver train");
+    assert!(
+        out.status.success(),
+        "train failed:\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let report_a = dir.join("report-a.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_treeserver"))
+        .args(serve_args(
+            model.to_str().unwrap(),
+            csv.to_str().unwrap(),
+            report_a.to_str().unwrap(),
+        ))
+        .output()
+        .expect("run treeserver serve");
+    assert!(
+        out.status.success(),
+        "serve failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("p50"), "quantile line missing:\n{stdout}");
+
+    // The report parses and both scheduled swaps fired mid-stream.
+    let text = std::fs::read_to_string(&report_a).expect("report written");
+    let json = tsjson::from_str::<tsjson::Value>(&text).expect("report is valid JSON");
+    assert_eq!(json["swaps"].as_u64(), Some(2));
+    assert_eq!(json["arrival"].as_str(), Some("poisson"));
+    let served = json["responses"].as_u64().expect("responses");
+    let shed = json["sheds"].as_u64().expect("sheds");
+    assert_eq!(served + shed, 2500, "every request answered or shed");
+    assert!(json["sustained_qps"].as_f64().expect("qps") > 0.0);
+
+    // Same seed, second process: byte-identical report (virtual clock —
+    // wall speed of the background trainer must not leak in).
+    let report_b = dir.join("report-b.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_treeserver"))
+        .args(serve_args(
+            model.to_str().unwrap(),
+            csv.to_str().unwrap(),
+            report_b.to_str().unwrap(),
+        ))
+        .output()
+        .expect("run treeserver serve again");
+    assert!(out.status.success());
+    assert_eq!(
+        std::fs::read(&report_a).unwrap(),
+        std::fs::read(&report_b).unwrap(),
+        "same-seed serve runs must produce byte-identical reports"
+    );
+
+    // A swap scheduled past the end of the stream is a hard error, not a
+    // silently-skipped swap.
+    let out = Command::new(env!("CARGO_BIN_EXE_treeserver"))
+        .args([
+            "serve",
+            "--model",
+            model.to_str().unwrap(),
+            "--csv",
+            csv.to_str().unwrap(),
+            "--target",
+            "label",
+            "--task",
+            "class",
+            "--requests",
+            "100",
+            "--swap-at",
+            "99999999999",
+        ])
+        .output()
+        .expect("run treeserver serve (late swap)");
+    assert!(!out.status.success(), "late swap must fail loudly");
+
+    // Burst knobs require the bursty plan.
+    let out = Command::new(env!("CARGO_BIN_EXE_treeserver"))
+        .args([
+            "serve",
+            "--model",
+            model.to_str().unwrap(),
+            "--csv",
+            csv.to_str().unwrap(),
+            "--target",
+            "label",
+            "--task",
+            "class",
+            "--burst-on-qps",
+            "500000",
+        ])
+        .output()
+        .expect("run treeserver serve (bad knob)");
+    assert!(
+        !out.status.success(),
+        "--burst-on-qps without --arrival bursty must fail"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -768,6 +768,7 @@ mod tests {
                 p50_ns: sub_p50,
                 p95_ns: sub_p50 * 2,
             },
+            ..Default::default()
         }
     }
 

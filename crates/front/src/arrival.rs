@@ -1,0 +1,181 @@
+//! Seeded open-loop arrival plans.
+//!
+//! A plan is a pure function of `(plan, seed)` — the same pair always
+//! produces the same request stream, byte for byte, in the `FaultPlan`
+//! style: all randomness flows through one seeded [`tsrand::StdRng`] and
+//! virtual timestamps are derived arithmetic, never wall-clock reads.
+//! *Open loop* means arrival times are drawn independently of how the
+//! server is keeping up, which is what exposes real queueing behaviour
+//! (a closed loop would throttle itself and hide overload).
+
+use std::time::Duration;
+use tsrand::{Rng, SeedableRng, StdRng};
+
+/// How requests arrive over virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalPlan {
+    /// Memoryless Poisson arrivals at a constant mean rate: exponential
+    /// inter-arrival gaps `-ln(1-u)/qps`.
+    Poisson {
+        /// Mean arrival rate, requests per (virtual) second. Must be > 0.
+        qps: f64,
+    },
+    /// ON/OFF-modulated Poisson (bursty): the rate alternates between
+    /// `on_qps` for `on` and `off_qps` for `off`. Phase switches use the
+    /// memorylessness of the exponential — a gap that would cross a
+    /// boundary is truncated there and redrawn at the new rate, which is
+    /// distributionally exact for a modulated Poisson process.
+    Bursty {
+        /// Rate during the ON phase (requests/s). Must be > 0.
+        on_qps: f64,
+        /// Rate during the OFF phase (requests/s); 0 silences the phase.
+        off_qps: f64,
+        /// ON-phase length.
+        on: Duration,
+        /// OFF-phase length.
+        off: Duration,
+    },
+}
+
+impl ArrivalPlan {
+    /// A stable lowercase name, used in bench/CI matrix labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalPlan::Poisson { .. } => "poisson",
+            ArrivalPlan::Bursty { .. } => "bursty",
+        }
+    }
+
+    /// Generates the first `n` arrivals of this plan under `seed`.
+    ///
+    /// Each request is pinned to a uniformly-drawn row of the request
+    /// table (`0..n_rows`) and to connection `id % n_conns` — connections
+    /// model distinct clients, so per-connection response ordering is
+    /// meaningful (see the epoch-monotonicity property).
+    ///
+    /// # Panics
+    /// Panics if the plan can never emit (`qps <= 0`), or if `n_rows` or
+    /// `n_conns` is 0.
+    pub fn generate(&self, n: usize, n_rows: u32, n_conns: u32, seed: u64) -> Vec<Arrival> {
+        assert!(n_rows > 0, "arrival rows must come from a non-empty table");
+        assert!(n_conns > 0, "need at least one connection");
+        let rate_ok = match self {
+            ArrivalPlan::Poisson { qps } => *qps > 0.0,
+            ArrivalPlan::Bursty { on_qps, .. } => *on_qps > 0.0,
+        };
+        assert!(rate_ok, "arrival plan needs a positive ON rate");
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF507_A881_05EE_D001);
+        let mut out = Vec::with_capacity(n);
+        let mut t = 0.0f64; // virtual ns
+        let (mut qps, mut phase_on) = match self {
+            ArrivalPlan::Poisson { qps } => (*qps, true),
+            ArrivalPlan::Bursty { on_qps, .. } => (*on_qps, true),
+        };
+        let mut phase_end = match self {
+            ArrivalPlan::Poisson { .. } => f64::INFINITY,
+            ArrivalPlan::Bursty { on, .. } => on.as_nanos() as f64,
+        };
+        while out.len() < n {
+            let u: f64 = rng.gen();
+            let gap = if qps > 0.0 {
+                -(1.0 - u).ln() / qps * 1e9
+            } else {
+                f64::INFINITY
+            };
+            if t + gap >= phase_end {
+                if let ArrivalPlan::Bursty {
+                    on_qps,
+                    off_qps,
+                    on,
+                    off,
+                } = self
+                {
+                    t = phase_end;
+                    phase_on = !phase_on;
+                    qps = if phase_on { *on_qps } else { *off_qps };
+                    phase_end = t + if phase_on { on } else { off }.as_nanos() as f64;
+                    continue; // redraw the gap at the new rate
+                }
+            }
+            t += gap;
+            let id = out.len() as u64;
+            out.push(Arrival {
+                id,
+                conn: (id % n_conns as u64) as u32,
+                at_ns: t as u64,
+                row: rng.gen_range(0..n_rows),
+            });
+        }
+        out
+    }
+}
+
+/// One request of the open-loop stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Stream-unique request id (also the arrival index).
+    pub id: u64,
+    /// The issuing connection (`id % n_conns`).
+    pub conn: u32,
+    /// Virtual arrival time.
+    pub at_ns: u64,
+    /// The row of the request table this request asks to score.
+    pub row: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_is_identical_and_seeds_differ() {
+        let p = ArrivalPlan::Poisson { qps: 50_000.0 };
+        let a = p.generate(200, 64, 8, 7);
+        let b = p.generate(200, 64, 8, 7);
+        assert_eq!(a, b);
+        let c = p.generate(200, 64, 8, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_times_are_monotone_and_rate_roughly_holds() {
+        let p = ArrivalPlan::Poisson { qps: 100_000.0 };
+        let arr = p.generate(10_000, 16, 4, 42);
+        assert!(arr.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        assert!(arr.iter().enumerate().all(|(i, a)| a.id == i as u64));
+        // 10k arrivals at 100k qps ≈ 0.1 virtual seconds.
+        let span_s = arr.last().unwrap().at_ns as f64 / 1e9;
+        assert!((0.08..0.12).contains(&span_s), "span {span_s}");
+    }
+
+    #[test]
+    fn bursty_concentrates_arrivals_in_on_phases() {
+        let p = ArrivalPlan::Bursty {
+            on_qps: 200_000.0,
+            off_qps: 2_000.0,
+            on: Duration::from_millis(1),
+            off: Duration::from_millis(4),
+        };
+        let arr = p.generate(5_000, 16, 4, 9);
+        assert!(arr.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        // Period 5ms, ON is the first 1ms of each period.
+        let in_on = arr
+            .iter()
+            .filter(|a| a.at_ns % 5_000_000 < 1_000_000)
+            .count();
+        assert!(
+            in_on as f64 > 0.9 * arr.len() as f64,
+            "only {in_on}/{} arrivals in ON phases",
+            arr.len()
+        );
+    }
+
+    #[test]
+    fn rows_and_conns_stay_in_range() {
+        let p = ArrivalPlan::Poisson { qps: 10_000.0 };
+        let arr = p.generate(1_000, 7, 3, 1);
+        assert!(arr.iter().all(|a| a.row < 7 && a.conn < 3));
+        assert!(arr.iter().any(|a| a.conn == 2));
+    }
+}

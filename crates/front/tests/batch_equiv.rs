@@ -1,0 +1,217 @@
+//! Differential correctness: micro-batching and hot swap are *invisible*
+//! to correctness. For every arrival plan × batch budget × swap schedule,
+//! each response must be bit-identical to scoring its row **alone**
+//! against the model epoch named in the response tag — and same-seed runs
+//! must produce byte-identical response logs. Replay a failing combo with
+//! `TS_SEED=<printed seed>`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ts_datatable::synth::{generate, SynthSpec};
+use ts_datatable::{DataTable, Task};
+use ts_front::{ArrivalPlan, FrontConfig, FrontServer, ModelRegistry, Score, ServiceModel};
+use ts_serve::CompiledModel;
+use ts_tree::{train_tree, DecisionTreeModel, ForestModel, TrainParams};
+
+fn base_seed() -> u64 {
+    match std::env::var("TS_SEED") {
+        Ok(s) => s
+            .strip_prefix("0x")
+            .map(|h| u64::from_str_radix(h, 16).expect("hex TS_SEED"))
+            .unwrap_or_else(|| s.parse().expect("decimal TS_SEED")),
+        Err(_) => 0xF407_5EED,
+    }
+}
+
+/// The arrival plans under test; `TS_ARRIVAL={poisson,bursty}` narrows the
+/// sweep to one (the CI serve-matrix shards on it).
+fn plans() -> Vec<ArrivalPlan> {
+    let poisson = ArrivalPlan::Poisson { qps: 150_000.0 };
+    let bursty = ArrivalPlan::Bursty {
+        on_qps: 400_000.0,
+        off_qps: 10_000.0,
+        on: Duration::from_millis(1),
+        off: Duration::from_millis(2),
+    };
+    match std::env::var("TS_ARRIVAL").as_deref() {
+        Ok("poisson") => vec![poisson],
+        Ok("bursty") => vec![bursty],
+        _ => vec![poisson, bursty],
+    }
+}
+
+fn synth(seed: u64, rows: usize, task: Task) -> DataTable {
+    generate(&SynthSpec {
+        rows,
+        numeric: 6,
+        categorical: 2,
+        cat_cardinality: 5,
+        task,
+        missing_rate: 0.05,
+        noise: 0.1,
+        concept_depth: 4,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn forest(table: &DataTable, n_trees: usize, seed: u64) -> CompiledModel {
+    let attrs: Vec<usize> = (0..table.n_attrs()).collect();
+    let params = TrainParams {
+        dmax: 5,
+        ..TrainParams::for_task(table.schema().task)
+    };
+    let trees: Vec<DecisionTreeModel> = (0..n_trees)
+        .map(|i| train_tree(table, &attrs, &params, seed.wrapping_add(i as u64 * 7919)))
+        .collect();
+    CompiledModel::from_forest(&ForestModel::new(trees, table.schema().task))
+}
+
+/// Runs one (plan, budget, swap-schedule) combo and checks every response
+/// against the lone-row reference under the epoch it names. Returns the
+/// canonical log bytes for the replay assertion.
+fn check_combo(
+    task: Task,
+    plan: ArrivalPlan,
+    budget: Duration,
+    max_batch: usize,
+    swap_ats: &[Duration],
+    seed: u64,
+) -> Vec<u8> {
+    let train = Arc::new(synth(seed, 300, task));
+    let eval = Arc::new(synth(seed ^ 0x5EED, 97, task));
+    let registry = Arc::new(ModelRegistry::new(forest(&train, 4, seed)));
+    let cfg = FrontConfig {
+        latency_budget: budget,
+        max_batch,
+        queue_cap: 4096, // roomy: this suite is about correctness, not shed
+        service: ServiceModel {
+            batch_overhead_ns: 15_000,
+            per_row_ns: 3_000,
+        },
+        ..FrontConfig::default()
+    };
+    let mut server = FrontServer::new(cfg, Arc::clone(&registry), Arc::clone(&eval));
+    for (i, &at) in swap_ats.iter().enumerate() {
+        let replacement = forest(&train, 4, seed ^ (0xABCD + i as u64));
+        server.schedule_swap(at, move || replacement);
+    }
+    let arrivals = plan.generate(1_200, eval.n_rows() as u32, 8, seed);
+    let report = server.run(&arrivals);
+
+    assert_eq!(
+        report.responses.len() + report.sheds.len(),
+        arrivals.len(),
+        "every request answered exactly once"
+    );
+    assert_eq!(report.swaps.len(), swap_ats.len(), "every swap applied");
+    if !swap_ats.is_empty() {
+        let epochs: std::collections::BTreeSet<u32> =
+            report.responses.iter().map(|r| r.epoch).collect();
+        assert!(
+            epochs.len() > 1,
+            "swap must land mid-run (epochs seen: {epochs:?}; seed {seed})"
+        );
+    }
+
+    for r in &report.responses {
+        let model = registry
+            .model(r.epoch)
+            .expect("response epoch resolves in the registry");
+        let alone = eval.select_rows(&[r.row]);
+        match r.score {
+            Score::Label(got) => {
+                let want = model.predict_labels(&alone)[0];
+                assert_eq!(
+                    got, want,
+                    "request {} (row {}, epoch {}): batched label != lone-row label (seed {seed})",
+                    r.id, r.row, r.epoch
+                );
+            }
+            Score::Value(got) => {
+                let want = model.predict_values(&alone)[0];
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "request {} (row {}, epoch {}): batched value bits != lone-row bits (seed {seed})",
+                    r.id,
+                    r.row,
+                    r.epoch
+                );
+            }
+        }
+    }
+    report.log_bytes()
+}
+
+/// Classification sweep: arrival plans × latency budgets × swap schedules,
+/// each response re-scored alone under its tagged epoch.
+#[test]
+fn batched_responses_match_lone_row_reference_classification() {
+    let seed = base_seed();
+    let task = Task::Classification { n_classes: 3 };
+    let swaps_mid = [Duration::from_millis(3)];
+    let swaps_two = [Duration::from_millis(2), Duration::from_millis(5)];
+    for plan in plans() {
+        for (budget_us, max_batch) in [(400, 8), (2_000, 32), (10_000, 64)] {
+            for swap_ats in [&[] as &[Duration], &swaps_mid, &swaps_two] {
+                check_combo(
+                    task,
+                    plan,
+                    Duration::from_micros(budget_us),
+                    max_batch,
+                    swap_ats,
+                    seed ^ budget_us,
+                );
+            }
+        }
+    }
+}
+
+/// Regression sweep: raw f64 bit equality against the lone-row reference.
+#[test]
+fn batched_responses_match_lone_row_reference_regression() {
+    let seed = base_seed() ^ 0x9E37;
+    for plan in plans() {
+        for swap_ats in [
+            &[] as &[Duration],
+            &[Duration::from_millis(3)] as &[Duration],
+        ] {
+            check_combo(
+                Task::Regression,
+                plan,
+                Duration::from_millis(2),
+                32,
+                swap_ats,
+                seed,
+            );
+        }
+    }
+}
+
+/// Same seed, same config ⇒ byte-identical canonical logs, including a
+/// mid-run swap; a different seed must diverge (the log actually encodes
+/// the run).
+#[test]
+fn same_seed_replay_is_byte_identical() {
+    let seed = base_seed() ^ 0xB10B;
+    let task = Task::Classification { n_classes: 3 };
+    for plan in plans() {
+        let combo = |s: u64| {
+            check_combo(
+                task,
+                plan,
+                Duration::from_millis(1),
+                16,
+                &[Duration::from_millis(3)],
+                s,
+            )
+        };
+        let a = combo(seed);
+        let b = combo(seed);
+        assert_eq!(a, b, "same-seed logs must be byte-identical");
+        let c = combo(seed ^ 1);
+        assert_ne!(a, c, "different seeds must produce different logs");
+    }
+}

@@ -84,6 +84,18 @@ impl SimClock {
         }
     }
 
+    /// Advances a virtual clock forward to absolute time `ns` — a no-op if
+    /// the clock already reads at or past `ns` (virtual time never runs
+    /// backwards) or on a wall clock. This is the primitive a
+    /// discrete-event loop uses to jump to its next event timestamp
+    /// (ts-front's request loop) without accumulating drift from repeated
+    /// relative `advance` deltas.
+    pub fn advance_to(&self, ns: u64) {
+        if let ClockInner::Virtual { now_ns } = &self.inner {
+            now_ns.fetch_max(ns, Ordering::Relaxed);
+        }
+    }
+
     /// Sleeps the calling thread (wall) or advances the counter (virtual).
     pub fn sleep(&self, d: Duration) {
         match &self.inner {
@@ -469,6 +481,22 @@ mod tests {
         let p = FaultPlan::new(1).with_message_duplicates(1.0);
         assert!(p.affects_messages());
         assert_eq!(p.decide(0, 1, 0), FaultDecision::Duplicate);
+    }
+
+    #[test]
+    fn advance_to_is_monotone_and_wall_noop() {
+        let v = SimClock::virtual_at(100);
+        v.advance_to(1_000);
+        assert_eq!(v.now_ns(), 1_000);
+        // Never backwards: a stale target leaves the clock untouched.
+        v.advance_to(500);
+        assert_eq!(v.now_ns(), 1_000);
+        v.advance_to(1_000);
+        assert_eq!(v.now_ns(), 1_000);
+        // Wall clocks ignore it entirely.
+        let w = SimClock::wall();
+        w.advance_to(u64::MAX);
+        assert!(w.now_ns() < 1_000_000_000);
     }
 
     #[test]

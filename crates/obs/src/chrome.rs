@@ -143,7 +143,9 @@ pub(crate) fn export(mut events: Vec<TimedEvent>) -> String {
                     SpanKind::ColumnTask | SpanKind::SubtreeTask => {
                         e.flow('s', ev.ts_ns, MASTER_PID, subject + 1, span);
                     }
-                    SpanKind::Job => {}
+                    // Job spans root the trace; Request spans live entirely
+                    // on the front node — neither crosses a machine edge.
+                    SpanKind::Job | SpanKind::Request => {}
                 }
             }
             Event::SpanRecv { span, node } => {

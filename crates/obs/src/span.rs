@@ -75,6 +75,8 @@ pub enum SpanKind {
     ColumnTask,
     /// One subtree task.
     SubtreeTask,
+    /// One serving-tier request, from admission to response (ts-front).
+    Request,
 }
 
 impl SpanKind {
@@ -85,6 +87,7 @@ impl SpanKind {
             SpanKind::Plan => "plan",
             SpanKind::ColumnTask => "column_task",
             SpanKind::SubtreeTask => "subtree_task",
+            SpanKind::Request => "request",
         }
     }
 }
@@ -103,6 +106,7 @@ const FEED_WINDOW: usize = 512;
 pub struct LatencyFeed {
     column_ns: Mutex<VecDeque<u64>>,
     subtree_ns: Mutex<VecDeque<u64>>,
+    request_ns: Mutex<VecDeque<u64>>,
 }
 
 /// Quantiles of one kind's rolling window.
@@ -123,6 +127,8 @@ pub struct LatencyFeedSnapshot {
     pub column: KindLatency,
     /// Subtree-task span durations.
     pub subtree: KindLatency,
+    /// Serving-request span durations (ts-front admission → response).
+    pub request: KindLatency,
 }
 
 fn push_window(win: &Mutex<VecDeque<u64>>, v: u64) {
@@ -162,11 +168,17 @@ impl LatencyFeed {
         push_window(&self.subtree_ns, latency_ns);
     }
 
-    /// Rolling p50/p95 of both kinds right now.
+    /// Feeds one completed serving-request span duration.
+    pub fn record_request(&self, latency_ns: u64) {
+        push_window(&self.request_ns, latency_ns);
+    }
+
+    /// Rolling p50/p95 of every kind right now.
     pub fn snapshot(&self) -> LatencyFeedSnapshot {
         LatencyFeedSnapshot {
             column: window_quantiles(&self.column_ns),
             subtree: window_quantiles(&self.subtree_ns),
+            request: window_quantiles(&self.request_ns),
         }
     }
 }
@@ -193,6 +205,7 @@ mod tests {
         assert_eq!(SpanKind::Plan.name(), "plan");
         assert_eq!(SpanKind::ColumnTask.name(), "column_task");
         assert_eq!(SpanKind::SubtreeTask.name(), "subtree_task");
+        assert_eq!(SpanKind::Request.name(), "request");
     }
 
     #[test]
@@ -203,6 +216,7 @@ mod tests {
             feed.record_column(v * 10);
         }
         feed.record_subtree(7);
+        feed.record_request(42);
         let snap = feed.snapshot();
         assert_eq!(snap.column.count, 100);
         assert_eq!(snap.column.p50_ns, 510);
@@ -210,6 +224,9 @@ mod tests {
         assert_eq!(snap.subtree.count, 1);
         assert_eq!(snap.subtree.p50_ns, 7);
         assert_eq!(snap.subtree.p95_ns, 7);
+        assert_eq!(snap.request.count, 1);
+        assert_eq!(snap.request.p50_ns, 42);
+        assert_eq!(snap.request.p95_ns, 42);
     }
 
     #[test]

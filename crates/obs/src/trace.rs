@@ -277,7 +277,7 @@ pub struct TraceReport {
     pub phase_totals_ns: [u64; 5],
     /// Per-kind latency summaries over the trace's closed spans, in
     /// [`SpanKind`] declaration order (job, plan, column, subtree).
-    pub kind_summaries: [KindSummary; 4],
+    pub kind_summaries: [KindSummary; 5],
     /// Spans reconstructed for this trace.
     pub spans_total: u64,
 }
@@ -310,6 +310,12 @@ fn decompose(span: &SpanInfo, lo: u64, hi: u64, out: &mut Vec<Segment>) {
             (span.active_ns, Phase::Gather),
             (span.computed_ns, Phase::Compute),
             (Some(u64::MAX), Phase::Network),
+        ],
+        // admission -> batch dispatch = queueing; dispatch -> response
+        // = engine compute (ts-front micro-batch service).
+        SpanKind::Request => &[
+            (span.active_ns, Phase::Queueing),
+            (Some(u64::MAX), Phase::Compute),
         ],
     };
     let mut cursor = lo;
@@ -436,8 +442,9 @@ impl TraceReport {
             SpanKind::Plan,
             SpanKind::ColumnTask,
             SpanKind::SubtreeTask,
+            SpanKind::Request,
         ];
-        let mut kind_summaries = [KindSummary::default(); 4];
+        let mut kind_summaries = [KindSummary::default(); 5];
         for (at, kind) in kinds.iter().enumerate() {
             let mut durs: Vec<u64> = dag
                 .trace_spans(root.trace)
@@ -528,6 +535,7 @@ impl TraceReport {
             SpanKind::Plan,
             SpanKind::ColumnTask,
             SpanKind::SubtreeTask,
+            SpanKind::Request,
         ];
         for (i, kind) in kinds.iter().enumerate() {
             if i > 0 {

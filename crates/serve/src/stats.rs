@@ -124,6 +124,54 @@ impl ServeStats {
     pub fn to_prometheus_text(&self) -> String {
         self.snapshot().to_prometheus_text()
     }
+
+    /// Division-guarded reductions over the serving metrics. Safe on any
+    /// stats state — zero batches, 0-row batches, 0µs latencies — in the
+    /// same shape as the `ClusterReport::from_stats` 0-worker guard: every
+    /// ratio degrades to `0.0`, never to NaN/∞.
+    pub fn summary(&self) -> ServeSummary {
+        let batches = self.batches.get();
+        let rows = self.rows.get();
+        let lat = self.latency_us.snapshot();
+        let mean_batch_rows = if batches == 0 {
+            0.0
+        } else {
+            rows as f64 / batches as f64
+        };
+        let mean_latency_us = if lat.count == 0 {
+            0.0
+        } else {
+            lat.sum as f64 / lat.count as f64
+        };
+        let rows_per_sec = if lat.sum == 0 {
+            0.0
+        } else {
+            rows as f64 / (lat.sum as f64 / 1e6)
+        };
+        ServeSummary {
+            batches,
+            rows,
+            mean_batch_rows,
+            mean_latency_us,
+            rows_per_sec,
+        }
+    }
+}
+
+/// Derived serving throughput/latency figures; see [`ServeStats::summary`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeSummary {
+    /// Predict calls recorded.
+    pub batches: u64,
+    /// Total rows scored.
+    pub rows: u64,
+    /// Mean rows per batch (0.0 when no batches).
+    pub mean_batch_rows: f64,
+    /// Mean per-call latency, µs (0.0 when no batches).
+    pub mean_latency_us: f64,
+    /// Aggregate scoring rate over measured wall time (0.0 when no wall
+    /// time was measured — e.g. only sub-µs or 0-row calls).
+    pub rows_per_sec: f64,
 }
 
 impl Default for ServeStats {
@@ -152,6 +200,48 @@ mod tests {
         assert!(s
             .to_prometheus_text()
             .contains("# TYPE serve_batches counter"));
+    }
+
+    /// Regression: the 0-row and 1-row block edge cases. A 0-row batch
+    /// must count as a batch, land in bucket 0 of both histograms, and
+    /// every summary ratio must stay finite (no divide-by-zero/NaN).
+    #[test]
+    fn zero_row_and_one_row_batches_are_well_defined() {
+        let s = ServeStats::new();
+        // Empty stats: all ratios are exactly 0.0, not NaN.
+        let empty = s.summary();
+        assert_eq!(empty.batches, 0);
+        assert_eq!(empty.mean_batch_rows, 0.0);
+        assert_eq!(empty.mean_latency_us, 0.0);
+        assert_eq!(empty.rows_per_sec, 0.0);
+
+        // A 0-row batch with zero measured latency: the degenerate corner.
+        s.record_batch(0, Duration::ZERO);
+        assert_eq!(s.batches(), 1);
+        assert_eq!(s.rows(), 0);
+        let snap = s.snapshot();
+        let h = snap.histogram("serve_batch_rows").expect("registered");
+        assert_eq!(h.count, 1);
+        assert_eq!(h.buckets, vec![(0, 1)], "0 rows lands in bucket 0");
+        let sum = s.summary();
+        assert_eq!(sum.mean_batch_rows, 0.0);
+        assert_eq!(sum.mean_latency_us, 0.0);
+        assert_eq!(sum.rows_per_sec, 0.0, "no wall time measured yet");
+        assert!(sum.rows_per_sec.is_finite() && sum.mean_batch_rows.is_finite());
+
+        // A 1-row batch: ratios become exact, still finite.
+        s.record_batch(1, Duration::from_micros(4));
+        let sum = s.summary();
+        assert_eq!(sum.batches, 2);
+        assert_eq!(sum.rows, 1);
+        assert_eq!(sum.mean_batch_rows, 0.5);
+        assert_eq!(sum.mean_latency_us, 2.0);
+        assert_eq!(sum.rows_per_sec, 250_000.0);
+        // The span ring logged both, including the 0-row span.
+        let spans = s.batch_spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].rows, 0);
+        assert_eq!(spans[1].rows, 1);
     }
 
     #[test]

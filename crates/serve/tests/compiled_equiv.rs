@@ -327,3 +327,34 @@ fn stats_count_batches_and_rows() {
     assert_eq!(stats.rows(), 2 * eval.n_rows() as u64);
     assert!(stats.to_json().contains("serve_batches"));
 }
+
+/// Regression: 0-row and 1-row tables through the instrumented engine.
+/// Both must score cleanly (empty/singleton outputs), be recorded as
+/// batches, and keep every derived stats ratio finite — the serving-tier
+/// front cuts 1-row batches on deadline flushes, so this path is hot.
+#[test]
+fn stats_survive_zero_and_one_row_batches() {
+    let task = Task::Classification { n_classes: 3 };
+    let (train, eval) = table_pair(11, 2, 1, task);
+    let model = train_tree(&train, &[0, 1, 2], &TrainParams::for_task(task), 11);
+    let stats = std::sync::Arc::new(ts_serve::ServeStats::new());
+    let compiled = CompiledModel::from_tree(&model).with_stats(std::sync::Arc::clone(&stats));
+
+    let empty = eval.select_rows(&[]);
+    assert_eq!(empty.n_rows(), 0);
+    assert!(compiled.predict_labels(&empty).is_empty());
+    assert!(compiled.predict_pmf_flat(&empty).is_empty());
+
+    let one = eval.select_rows(&[7]);
+    let lone = compiled.predict_labels(&one);
+    assert_eq!(lone.len(), 1);
+    assert_eq!(lone[0], model.predict_labels_reference(&eval)[7]);
+
+    assert_eq!(stats.batches(), 3);
+    assert_eq!(stats.rows(), 1);
+    let sum = stats.summary();
+    assert!(sum.mean_batch_rows.is_finite());
+    assert!(sum.mean_latency_us.is_finite());
+    assert!(sum.rows_per_sec.is_finite());
+    assert!((sum.mean_batch_rows - 1.0 / 3.0).abs() < 1e-12);
+}
